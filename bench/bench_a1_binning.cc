@@ -1,0 +1,101 @@
+// Ablation A1 — genomic bin width of the parallel executor.
+//
+// The binned (chromosome, bin) partitioning is the engine's central design
+// choice (DESIGN.md). Sweeping the bin width on a fixed MAP workload shows
+// the trade-off: tiny bins create many partitions (scheduling + halo
+// overhead), huge bins collapse to one partition per chromosome (no
+// parallel slack, but minimal overhead on a 1-core host). Results must be
+// identical at every width (asserted).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT
+using bench::Timer;
+
+const char* kQuery =
+    "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+    "R = MAP(n AS COUNT, s AS SUM(signal)) PROMS ENCODE;\n"
+    "MATERIALIZE R;\n";
+
+void RegisterData(core::QueryRunner* runner) {
+  auto genome = gdm::GenomeAssembly::HumanLike(8, 100000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 6;
+  popt.peaks_per_sample = 30000;
+  runner->RegisterDataset(sim::GeneratePeakDataset(genome, popt, 11));
+  auto catalog = sim::GenerateGenes(genome, 3000, 11);
+  runner->RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 11));
+}
+
+struct AblationRun {
+  double seconds = 0;
+  uint64_t partitions = 0;
+  uint64_t result_regions = 0;
+};
+
+AblationRun RunWithBinSize(int64_t bin_size) {
+  engine::EngineOptions options;
+  options.bin_size = bin_size;
+  options.threads = 2;
+  options.backend = engine::BackendKind::kPipelined;
+  engine::ParallelExecutor executor(options);
+  core::QueryRunner runner(&executor);
+  RegisterData(&runner);
+  Timer timer;
+  auto results = runner.Run(kQuery);
+  AblationRun out;
+  out.seconds = timer.Seconds();
+  out.partitions = executor.trace().partitions.load();
+  out.result_regions = results.ValueOrDie().at("R").TotalRegions();
+  return out;
+}
+
+void PrintTable() {
+  bench::Header("A1 (ablation): bin width of the binned partitioner",
+                "DESIGN.md design choice: (chromosome, bin) range "
+                "partitioning of the data-parallel operators");
+  std::printf("%14s %12s %10s %14s\n", "bin_size", "partitions", "sec",
+              "result_regions");
+  uint64_t baseline_regions = 0;
+  for (int64_t bin :
+       {int64_t{100000}, int64_t{1000000}, int64_t{10000000},
+        int64_t{100000000}, int64_t{1000000000}}) {
+    AblationRun run = RunWithBinSize(bin);
+    if (baseline_regions == 0) baseline_regions = run.result_regions;
+    std::printf("%14s %12llu %10.3f %14s%s\n", WithThousands(bin).c_str(),
+                static_cast<unsigned long long>(run.partitions), run.seconds,
+                WithThousands(run.result_regions).c_str(),
+                run.result_regions == baseline_regions ? ""
+                                                       : "  !! MISMATCH");
+  }
+  bench::Note(
+      "shape check: results are bin-size invariant; partition count scales "
+      "inversely\nwith width. The default (5 Mb) keeps thousands of "
+      "partitions on a human-scale\ngenome — enough parallel slack for tens "
+      "of workers without halo overhead.");
+}
+
+void BM_BinSize(benchmark::State& state) {
+  for (auto _ : state) {
+    AblationRun run = RunWithBinSize(state.range(0));
+    benchmark::DoNotOptimize(run.result_regions);
+  }
+}
+BENCHMARK(BM_BinSize)->Arg(1000000)->Arg(100000000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

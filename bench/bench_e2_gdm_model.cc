@@ -1,0 +1,137 @@
+// E2 — Figure 2: the GDM schema and instances.
+//
+// Reproduces the PEAKS dataset of Figure 2 literally (two samples, fixed
+// coordinates + P_VALUE, metadata triples connected by sample id), validates
+// the GDM constraint, and micro-benchmarks the model's core operations:
+// validation, native-format round-trip, schema merging and sorting.
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "gdm/dataset.h"
+#include "io/gdm_format.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT
+
+gdm::Dataset Figure2() {
+  gdm::RegionSchema schema;
+  (void)schema.AddAttr("p_value", gdm::AttrType::kDouble);
+  gdm::Dataset ds("PEAKS", schema);
+  int32_t chr1 = gdm::InternChrom("chr1");
+  int32_t chr2 = gdm::InternChrom("chr2");
+  gdm::Sample s1(1);
+  s1.metadata.Add("antibody_target", "CTCF");
+  s1.metadata.Add("dataType", "ChipSeq");
+  s1.metadata.Add("cell", "HeLa-S3");
+  s1.metadata.Add("karyotype", "cancer");
+  s1.regions = {
+      {chr1, 2571, 3049, gdm::Strand::kPlus, {gdm::Value(3.3e-9)}},
+      {chr1, 10200, 10641, gdm::Strand::kMinus, {gdm::Value(1.2e-7)}},
+      {chr1, 30018, 30601, gdm::Strand::kPlus, {gdm::Value(8.1e-10)}},
+      {chr2, 1001, 1441, gdm::Strand::kPlus, {gdm::Value(3.4e-8)}},
+      {chr2, 8801, 9321, gdm::Strand::kMinus, {gdm::Value(5.5e-9)}}};
+  s1.SortNow();
+  gdm::Sample s2(2);
+  s2.metadata.Add("antibody_target", "POLR2A");
+  s2.metadata.Add("dataType", "ChipSeq");
+  s2.metadata.Add("sex", "female");
+  s2.regions = {
+      {chr1, 3001, 3540, gdm::Strand::kNone, {gdm::Value(6.0e-8)}},
+      {chr1, 15000, 15440, gdm::Strand::kNone, {gdm::Value(2.2e-7)}},
+      {chr2, 1200, 1640, gdm::Strand::kNone, {gdm::Value(9.1e-9)}},
+      {chr2, 10200, 10560, gdm::Strand::kNone, {gdm::Value(4.4e-8)}}};
+  s2.SortNow();
+  ds.AddSample(std::move(s1));
+  ds.AddSample(std::move(s2));
+  return ds;
+}
+
+gdm::Dataset BigDataset(size_t samples, size_t regions) {
+  sim::PeakDatasetOptions opt;
+  opt.num_samples = samples;
+  opt.peaks_per_sample = regions;
+  return sim::GeneratePeakDataset(gdm::GenomeAssembly::HumanLike(8, 50000000),
+                                  opt, 1);
+}
+
+void PrintTable() {
+  bench::Header("E2: GDM model reproduction",
+                "Figure 2: GDM schema and instances for NGS ChIP-Seq data");
+  gdm::Dataset fig2 = Figure2();
+  std::fputs(fig2.Describe(2, 5).c_str(), stdout);
+  bench::Note("GDM constraint validates: %s", fig2.Validate().ToString().c_str());
+  std::string wire = io::WriteGdmString(fig2);
+  auto back = io::ReadGdmString(wire);
+  bench::Note("native-format round-trip: %s (%zu bytes)",
+              back.ok() ? "ok" : back.status().ToString().c_str(), wire.size());
+  // Schema merging (the interoperability mechanism).
+  gdm::RegionSchema other;
+  (void)other.AddAttr("p_value", gdm::AttrType::kDouble);
+  (void)other.AddAttr("fold_change", gdm::AttrType::kDouble);
+  auto merged = gdm::RegionSchema::Merge(fig2.schema(), other);
+  bench::Note("schema merge of [%s] and [%s] -> [%s]",
+              fig2.schema().ToString().c_str(), other.ToString().c_str(),
+              merged.ToString().c_str());
+}
+
+void BM_Validate(benchmark::State& state) {
+  gdm::Dataset ds = BigDataset(4, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Validate().ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.TotalRegions()));
+}
+BENCHMARK(BM_Validate)->Arg(1000)->Arg(10000);
+
+void BM_GdmFormatRoundTrip(benchmark::State& state) {
+  gdm::Dataset ds = BigDataset(2, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string wire = io::WriteGdmString(ds);
+    auto back = io::ReadGdmString(wire);
+    benchmark::DoNotOptimize(back.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.TotalRegions()));
+}
+BENCHMARK(BM_GdmFormatRoundTrip)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_SortRegions(benchmark::State& state) {
+  gdm::Dataset ds = BigDataset(1, static_cast<size_t>(state.range(0)));
+  std::vector<gdm::GenomicRegion> shuffled = ds.sample(0).regions;
+  std::reverse(shuffled.begin(), shuffled.end());
+  for (auto _ : state) {
+    auto copy = shuffled;
+    gdm::SortRegions(&copy);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_SortRegions)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_SchemaMerge(benchmark::State& state) {
+  gdm::RegionSchema a;
+  gdm::RegionSchema b;
+  for (int i = 0; i < 16; ++i) {
+    (void)a.AddAttr("a" + std::to_string(i), gdm::AttrType::kDouble);
+    (void)b.AddAttr(i % 2 ? "a" + std::to_string(i) : "b" + std::to_string(i),
+                    gdm::AttrType::kDouble);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gdm::RegionSchema::Merge(a, b).size());
+  }
+}
+BENCHMARK(BM_SchemaMerge);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

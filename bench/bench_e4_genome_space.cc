@@ -1,0 +1,158 @@
+// E4 — Figure 4: MAP -> genome space -> gene network.
+//
+// Builds the genome space from a real MAP query, prints its corner (the
+// figure's table), derives the gene network at several similarity
+// thresholds, and checks the paper's Section 4.2 scale claim: "simple
+// queries over genes may produce genome spaces of 10K genes and 100M
+// relationships" — i.e. edge counts approach the n^2/2 all-pairs ceiling as
+// the threshold drops.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/clustering.h"
+#include "analysis/genome_space.h"
+#include "analysis/latent.h"
+#include "analysis/network.h"
+#include "analysis/phenotype.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/runner.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT
+using bench::Timer;
+
+gdm::Dataset BuildMapResult(size_t num_genes, size_t num_experiments,
+                            uint64_t seed) {
+  auto genome = gdm::GenomeAssembly::HumanLike(8, 60000000);
+  core::QueryRunner runner;
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = num_experiments;
+  popt.peaks_per_sample = 2500;
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, seed));
+  auto catalog = sim::GenerateGenes(genome, num_genes, seed);
+  runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, seed));
+  auto results = runner.Run(
+      "GENES = SELECT(annType == 'gene') ANNOTATIONS;\n"
+      "GS = MAP(n AS COUNT) GENES ENCODE;\nMATERIALIZE GS;\n");
+  return std::move(results).ValueOrDie().at("GS");
+}
+
+analysis::GenomeSpace BuildSpace(size_t num_genes, size_t num_experiments,
+                                 uint64_t seed) {
+  return analysis::GenomeSpace::FromMapResult(
+             BuildMapResult(num_genes, num_experiments, seed), "n")
+      .ValueOrDie();
+}
+
+void PrintTable() {
+  bench::Header("E4: genome space and gene network",
+                "Figure 4: MAP query as genome space, genome space as gene "
+                "network; Sec. 4.2 claim of 10K genes / 100M relationships");
+  analysis::GenomeSpace space = BuildSpace(600, 8, 44);
+  std::printf("genome space: %zu regions x %zu experiments; corner:\n",
+              space.num_regions(), space.num_experiments());
+  std::fputs(space.RenderCorner(5, 6).c_str(), stdout);
+
+  std::printf("\n%10s %10s %10s %12s %12s %10s\n", "threshold", "nodes",
+              "edges", "avg_degree", "components", "largest");
+  for (double threshold : {0.9, 0.6, 0.3, 0.1}) {
+    auto net = analysis::GeneNetwork::FromGenomeSpace(
+        space, analysis::SimilarityKind::kJaccard, threshold);
+    auto stats = net.Stats();
+    std::printf("%10.2f %10zu %10s %12.2f %12zu %10zu\n", threshold,
+                stats.nodes, WithThousands(stats.edges).c_str(),
+                stats.avg_degree, stats.connected_components,
+                stats.largest_component);
+  }
+  // Scale claim: at 10K genes the all-pairs relationship space is ~50M and
+  // with near-zero threshold the network materializes most of it.
+  double pairs_10k = 10000.0 * 9999.0 / 2.0;
+  bench::Note(
+      "\nscale claim: 10K genes give %.0fM potential relationships "
+      "(paper says '10K genes\nand 100M relationships'); a dense genome "
+      "space materializes that order of arcs.",
+      pairs_10k / 1e6);
+
+  // Clustering of genome-space rows (Sec. 4.1 "DNA region clustering").
+  std::printf("\n%6s %14s %12s\n", "k", "inertia", "iterations");
+  for (size_t k : {2, 4, 8, 16}) {
+    auto clust = analysis::KMeans(space, k, 7);
+    std::printf("%6zu %14.1f %12zu\n", k, clust.inertia, clust.iterations);
+  }
+
+  // Latent semantic analysis (Sec. 4.1): truncated SVD spectrum and the
+  // variance captured per rank.
+  double total_norm = 0;
+  for (size_t r = 0; r < space.num_regions(); ++r) {
+    for (size_t e = 0; e < space.num_experiments(); ++e) {
+      total_norm += space.at(r, e) * space.at(r, e);
+    }
+  }
+  total_norm = std::sqrt(total_norm);
+  std::printf("\n%6s %16s %18s\n", "rank", "sigma_k", "residual/||A||");
+  auto model = analysis::TruncatedSvd(space, 4, 7).ValueOrDie();
+  for (size_t k = 1; k <= model.rank; ++k) {
+    analysis::LatentModel truncated = model;
+    truncated.rank = k;
+    double err = analysis::ReconstructionError(space, truncated);
+    std::printf("%6zu %16.2f %18.3f\n", k, model.singular_values[k - 1],
+                total_norm > 0 ? err / total_norm : 0);
+  }
+
+  // Genotype-phenotype correlation (Sec. 4.1): split experiments by the
+  // karyotype metadata and rank regions by point-biserial correlation.
+  gdm::Dataset mapped = BuildMapResult(600, 8, 44);
+  auto assocs = analysis::PhenotypeCorrelation(space, mapped, "karyotype",
+                                               "cancer");
+  if (assocs.ok()) {
+    std::puts("\ntop regions associated with karyotype == cancer:");
+    for (size_t i = 0; i < 5 && i < assocs.value().size(); ++i) {
+      std::printf("  %-28s r=%+.3f\n", assocs.value()[i].label.c_str(),
+                  assocs.value()[i].correlation);
+    }
+  } else {
+    std::printf("\nphenotype split unavailable: %s\n",
+                assocs.status().ToString().c_str());
+  }
+}
+
+void BM_BuildGenomeSpace(benchmark::State& state) {
+  for (auto _ : state) {
+    auto space = BuildSpace(static_cast<size_t>(state.range(0)), 6, 44);
+    benchmark::DoNotOptimize(space.num_regions());
+  }
+}
+BENCHMARK(BM_BuildGenomeSpace)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkExtraction(benchmark::State& state) {
+  analysis::GenomeSpace space = BuildSpace(400, 6, 44);
+  for (auto _ : state) {
+    auto net = analysis::GeneNetwork::FromGenomeSpace(
+        space, analysis::SimilarityKind::kPearson, 0.5);
+    benchmark::DoNotOptimize(net.edges().size());
+  }
+}
+BENCHMARK(BM_NetworkExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  analysis::GenomeSpace space = BuildSpace(400, 6, 44);
+  for (auto _ : state) {
+    auto clust = analysis::KMeans(space, 8, 7);
+    benchmark::DoNotOptimize(clust.inertia);
+  }
+}
+BENCHMARK(BM_KMeans)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E5 — Section 3 problem 1: mutations / breaks / gene-activity correlation.
+//
+// Sweeps the fragile-site concentration of the synthetic data and reports
+// the enrichment of mutations on break-hit genes recovered by the GMQL
+// pipeline. Shape: enrichment grows with fragility and vanishes when
+// fragility is removed (negative control).
+
+#include <set>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/runner.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT
+using bench::Timer;
+
+struct Enrichment {
+  double hit_rate = 0;    // mutations per Mb of break-hit genes
+  double other_rate = 0;  // mutations per Mb of break-free genes
+  double seconds = 0;
+};
+
+Enrichment RunStudy(double fragile_fraction, uint64_t seed) {
+  auto genome = gdm::GenomeAssembly::HumanLike(8, 60000000);
+  core::QueryRunner runner;
+  auto catalog = sim::GenerateGenes(genome, 800, seed);
+  sim::BreakpointOptions bopt;
+  bopt.breaks_per_sample = 5000;
+  bopt.fragile_fraction = fragile_fraction;
+  runner.RegisterDataset(sim::GenerateBreakpoints(genome, bopt, seed));
+  sim::MutationOptions mopt;
+  mopt.num_samples = 4;
+  mopt.mutations_per_sample = 12000;
+  mopt.fragile_fraction = fragile_fraction;
+  runner.RegisterDataset(sim::GenerateMutations(genome, mopt, seed));
+
+  // All genes as the reference (differential selection is exercised in the
+  // example; the enrichment shape is independent of it).
+  gdm::RegionSchema schema;
+  (void)schema.AddAttr("gene", gdm::AttrType::kString);
+  gdm::Dataset genes("GENES", schema);
+  gdm::Sample sample(1);
+  for (const auto& g : catalog.genes) {
+    gdm::GenomicRegion r(g.chrom, g.left, g.right, g.strand);
+    r.values = {gdm::Value(g.id)};
+    sample.regions.push_back(std::move(r));
+  }
+  sample.SortNow();
+  genes.AddSample(std::move(sample));
+  runner.RegisterDataset(std::move(genes));
+
+  Timer timer;
+  auto results = runner.Run(
+      "IND_BREAKS = SELECT(condition == 'oncogene_induced') BREAKS;\n"
+      "BROKEN = JOIN(DLE(0); LEFT) GENES IND_BREAKS;\n"
+      "LOAD = MAP(mut_count AS COUNT) GENES MUTATIONS;\n"
+      "MATERIALIZE BROKEN; MATERIALIZE LOAD;\n");
+  Enrichment out;
+  out.seconds = timer.Seconds();
+  const auto& r = results.ValueOrDie();
+  std::set<std::pair<int32_t, int64_t>> broken;
+  for (const auto& s : r.at("BROKEN").samples()) {
+    for (const auto& region : s.regions) {
+      broken.insert({region.chrom, region.left});
+    }
+  }
+  const auto& load = r.at("LOAD");
+  size_t mc = *load.schema().IndexOf("mut_count");
+  // Rates are per megabase of gene: longer genes catch more breaks AND more
+  // mutations, so raw per-gene counts would show spurious enrichment even
+  // with uniform placement (the length confound).
+  uint64_t hit_m = 0;
+  int64_t hit_bases = 0;
+  uint64_t other_m = 0;
+  int64_t other_bases = 0;
+  for (const auto& s : load.samples()) {
+    for (const auto& region : s.regions) {
+      uint64_t n = static_cast<uint64_t>(region.values[mc].AsInt());
+      if (broken.count({region.chrom, region.left})) {
+        hit_m += n;
+        hit_bases += region.length();
+      } else {
+        other_m += n;
+        other_bases += region.length();
+      }
+    }
+  }
+  out.hit_rate =
+      hit_bases == 0 ? 0 : static_cast<double>(hit_m) * 1e6 / hit_bases;
+  out.other_rate =
+      other_bases == 0 ? 0 : static_cast<double>(other_m) * 1e6 / other_bases;
+  return out;
+}
+
+void PrintTable() {
+  bench::Header("E5: mutation / break-point correlation study",
+                "Section 3 problem 1: mutations occur where the genome is "
+                "most fragile; fragility is revealed by DNA break points");
+  std::printf("%18s %14s %14s %10s %8s\n", "fragile_fraction",
+              "mut/Mb(hit)", "mut/Mb(free)", "enrich", "sec");
+  for (double frac : {0.0, 0.3, 0.6, 0.9}) {
+    Enrichment e = RunStudy(frac, 47);
+    double enrich = e.other_rate > 0 ? e.hit_rate / e.other_rate : 0;
+    std::printf("%18.1f %14.2f %14.2f %9.1fx %8.2f\n", frac, e.hit_rate,
+                e.other_rate, enrich, e.seconds);
+  }
+  bench::Note(
+      "shape check: enrichment ~1x with no fragile concentration (negative "
+      "control)\nand grows monotonically with it — the correlation the study "
+      "tests for.");
+}
+
+void BM_CorrelationStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    Enrichment e = RunStudy(0.6, 47);
+    benchmark::DoNotOptimize(e.hit_rate);
+  }
+}
+BENCHMARK(BM_CorrelationStudy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

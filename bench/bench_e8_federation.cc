@@ -1,0 +1,109 @@
+// E8 — Section 4.4: federated query processing — query shipping vs data
+// shipping.
+//
+// "Queries ... are short texts and produce short answers"; the protocol
+// transfers results instead of datasets. The bench sweeps the remote
+// dataset size and reports bytes moved both ways plus the advantage ratio.
+// Shape: the ratio grows with dataset size because the query text and the
+// (selective) result stay near-constant.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "repo/federation.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT
+using bench::Timer;
+
+const char* kQuery =
+    "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+    "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+    "R = MAP(peak_count AS COUNT) PROMS PEAKS;\n"
+    "TOPK = ORDER(antibody; TOP 2) R;\n"
+    "MATERIALIZE TOPK;\n";
+
+struct FedRun {
+  uint64_t query_ship_bytes = 0;
+  uint64_t data_ship_bytes = 0;
+  double query_ship_seconds = 0;
+  double data_ship_seconds = 0;
+  uint64_t remote_dataset_bytes = 0;
+};
+
+FedRun RunAtScale(size_t peaks_per_sample) {
+  auto genome = gdm::GenomeAssembly::HumanLike(6, 50000000);
+  repo::FederatedNode node("milan");
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 6;
+  popt.peaks_per_sample = peaks_per_sample;
+  node.catalog()->Put(sim::GeneratePeakDataset(genome, popt, 7));
+  auto catalog = sim::GenerateGenes(genome, 400, 7);
+  node.catalog()->Put(sim::GenerateAnnotations(genome, catalog, {}, 7));
+  repo::Coordinator coordinator;
+  coordinator.AddNode(&node);
+
+  FedRun out;
+  out.remote_dataset_bytes =
+      node.catalog()->Get("ENCODE")->EstimateBytes() +
+      node.catalog()->Get("ANNOTATIONS")->EstimateBytes();
+  {
+    Timer timer;
+    coordinator.RunRemote("milan", kQuery).ValueOrDie();
+    out.query_ship_seconds = timer.Seconds();
+    out.query_ship_bytes = coordinator.counters().bytes_sent +
+                           coordinator.counters().bytes_received;
+  }
+  coordinator.ResetCounters();
+  {
+    Timer timer;
+    coordinator.RunWithDataShipping("milan", {"ANNOTATIONS", "ENCODE"}, kQuery)
+        .ValueOrDie();
+    out.data_ship_seconds = timer.Seconds();
+    out.data_ship_bytes = coordinator.counters().bytes_sent +
+                          coordinator.counters().bytes_received;
+  }
+  return out;
+}
+
+void PrintTable() {
+  bench::Header("E8: query shipping vs data shipping",
+                "Section 4.4: 'distributing the processing to data, "
+                "transferring only query results which are usually small'");
+  std::printf("%14s %14s %14s %14s %8s\n", "remote_data", "query_ship",
+              "data_ship", "advantage", "sec(q/d)");
+  for (size_t peaks : {2000, 8000, 32000}) {
+    FedRun run = RunAtScale(peaks);
+    std::printf("%14s %14s %14s %13.1fx %4.2f/%4.2f\n",
+                HumanBytes(run.remote_dataset_bytes).c_str(),
+                HumanBytes(run.query_ship_bytes).c_str(),
+                HumanBytes(run.data_ship_bytes).c_str(),
+                static_cast<double>(run.data_ship_bytes) /
+                    static_cast<double>(
+                        run.query_ship_bytes ? run.query_ship_bytes : 1),
+                run.query_ship_seconds, run.data_ship_seconds);
+  }
+  bench::Note(
+      "shape check: the advantage of query shipping grows with remote data "
+      "size\nbecause the shipped query and the TOP-k result stay small.");
+}
+
+void BM_QueryShipping(benchmark::State& state) {
+  for (auto _ : state) {
+    FedRun run = RunAtScale(2000);
+    benchmark::DoNotOptimize(run.query_ship_bytes);
+  }
+}
+BENCHMARK(BM_QueryShipping)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

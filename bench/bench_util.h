@@ -1,0 +1,48 @@
+#ifndef GDMS_BENCH_BENCH_UTIL_H_
+#define GDMS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment benches. Every bench binary prints the
+// paper-shaped table for its experiment (EXPERIMENTS.md records the mapping)
+// and then runs its google-benchmark microbenchmarks, so both
+// `./bench_e1_...` and `--benchmark_filter=...` behave as expected.
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace gdms::bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void Header(const char* experiment, const char* paper_artifact) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper artifact: %s\n", paper_artifact);
+  std::printf("================================================================\n");
+}
+
+inline void Note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace gdms::bench
+
+#endif  // GDMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,94 @@
+// Figure 3 / Section 3 problem 2: CTCF loops and gene regulation by
+// enhancers.
+//
+// "The assumption to be tested is whether there is a direct relationship
+// between active enhancers and active genes when enhancers and promoters are
+// enclosed within CTCF loops." The pipeline extracts candidate
+// enhancer-gene pairs by intersecting CTCF loop regions, the three
+// methylation/acetylation experiments (H3K27ac, H3K4me1, H3K4me3) and
+// promoter regions — all in GMQL.
+
+#include <cstdio>
+
+#include "core/runner.h"
+#include "sim/generators.h"
+
+using namespace gdms;  // NOLINT: example brevity
+
+int main() {
+  auto genome = gdm::GenomeAssembly::HumanLike(8, 60000000);
+  const uint64_t seed = 33;
+
+  core::QueryRunner runner;
+
+  // CTCF loops (ChIA-PET style) and their anchor peaks.
+  sim::CtcfLoopOptions lopt;
+  lopt.num_loops = 1500;
+  runner.RegisterDataset(sim::GenerateCtcfLoops(genome, lopt, seed));
+  runner.RegisterDataset(sim::GenerateCtcfAnchors(genome, lopt, seed));
+
+  // The three enhancer/promoter marks of Figure 3 as ChIP-seq datasets.
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 3;
+  popt.peaks_per_sample = 4000;
+  popt.antibodies = {"H3K27ac", "H3K4me1", "H3K4me3"};
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, seed, "MARKS"));
+
+  // RefSeq-like annotations.
+  auto catalog = sim::GenerateGenes(genome, 1200, seed);
+  runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, seed));
+
+  // The GMQL pipeline:
+  //  1. active enhancer candidates: genomic stretches covered by >= 2 of the
+  //     three marks (COVER over the mark samples);
+  //  2. keep candidates inside a CTCF loop (JOIN with overlap, INT output);
+  //  3. pair those candidates with promoters in the same neighbourhood
+  //     (genometric JOIN, distance <= 200kb — the "short loop" scale);
+  //  4. count marks supporting each candidate via MAP for reporting.
+  const char* query =
+      "MARKED = SELECT(dataType == 'ChipSeq') MARKS;\n"
+      "ACTIVE = COVER(2, ANY; support AS COUNT) MARKED;\n"
+      "IN_LOOP = JOIN(DLE(0); INT) ACTIVE CTCF_LOOPS;\n"
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "PAIRS = JOIN(DLE(200000); CAT) PROMS IN_LOOP;\n"
+      "MATERIALIZE ACTIVE; MATERIALIZE IN_LOOP; MATERIALIZE PAIRS;\n";
+  std::printf("GMQL pipeline:\n%s\n", query);
+
+  auto results = runner.Run(query);
+  if (!results.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  const auto& active = results.value().at("ACTIVE");
+  const auto& in_loop = results.value().at("IN_LOOP");
+  const auto& pairs = results.value().at("PAIRS");
+
+  std::printf("active enhancer candidates (>=2 marks):   %8llu regions\n",
+              static_cast<unsigned long long>(active.TotalRegions()));
+  std::printf("candidates enclosed in a CTCF loop:       %8llu regions\n",
+              static_cast<unsigned long long>(in_loop.TotalRegions()));
+  std::printf("candidate promoter-enhancer pairs:        %8llu regions\n",
+              static_cast<unsigned long long>(pairs.TotalRegions()));
+
+  // Show a few candidate pairs: the CAT output spans promoter..enhancer.
+  std::puts("\nfirst candidate pairs (promoter..enhancer span, gene id):");
+  if (pairs.num_samples() > 0) {
+    const auto& sample = pairs.sample(0);
+    auto name_idx = pairs.schema().IndexOf("name");
+    for (size_t i = 0; i < 8 && i < sample.regions.size(); ++i) {
+      const auto& r = sample.regions[i];
+      std::printf("  %-32s %s\n", r.CoordString().c_str(),
+                  name_idx ? r.values[*name_idx].ToString().c_str() : "");
+    }
+  }
+
+  // Sanity signal: enclosing loops should make the pair density higher than
+  // pairing against arbitrary active regions. Report the ratio.
+  double enclosed_rate =
+      in_loop.TotalRegions() /
+      static_cast<double>(active.TotalRegions() > 0 ? active.TotalRegions() : 1);
+  std::printf("\nfraction of active candidates inside loops: %.3f\n",
+              enclosed_rate);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Section 4.5: search methods and the Internet of Genomes.
+//
+// Research hosts publish links to their experimental data with metadata
+// (the simple publishing protocol), a third-party crawler indexes them, and
+// a search service answers keyword queries — ontology-expanded — with
+// snippets that say whether each dataset is already cached. Users then
+// fetch datasets asynchronously.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "search/internet_of_genomes.h"
+#include "search/region_search.h"
+#include "sim/generators.h"
+
+using namespace gdms;         // NOLINT: example brevity
+using namespace gdms::search; // NOLINT: example brevity
+
+int main() {
+  auto genome = gdm::GenomeAssembly::HumanLike(5, 40000000);
+
+  // Three research centers publish their data.
+  iog::Host polimi("polimi.it");
+  iog::Host broad("broadinstitute.org");
+  iog::Host sanger("sanger.ac.uk");
+
+  auto publish_peaks = [&](iog::Host* host, uint64_t seed,
+                           const std::string& cell,
+                           const std::string& antibody) {
+    sim::PeakDatasetOptions opt;
+    opt.num_samples = 2;
+    opt.peaks_per_sample = 600;
+    opt.cells = {cell};
+    opt.antibodies = {antibody};
+    gdm::Metadata meta;
+    meta.Add("dataType", "ChipSeq");
+    meta.Add("cell", cell);
+    meta.Add("antibody", antibody);
+    meta.Add("description", antibody + " ChIP-seq in " + cell);
+    gdm::Dataset ds = sim::GeneratePeakDataset(genome, opt, seed,
+                                               antibody + "_" + cell);
+    host->Publish(std::move(ds), std::move(meta));
+  };
+  publish_peaks(&polimi, 1, "K562", "CTCF");
+  publish_peaks(&polimi, 2, "HeLa-S3", "H3K27ac");
+  publish_peaks(&broad, 3, "GM12878", "CTCF");
+  publish_peaks(&broad, 4, "K562", "POLR2A");
+  publish_peaks(&sanger, 5, "IMR90", "H3K4me3");
+  // One private dataset: visible to its owner only, never crawled.
+  {
+    sim::PeakDatasetOptions opt;
+    opt.num_samples = 1;
+    opt.peaks_per_sample = 100;
+    gdm::Metadata meta;
+    meta.Add("dataType", "ChipSeq");
+    meta.Add("embargo", "unpublished");
+    sanger.Publish(sim::GeneratePeakDataset(genome, opt, 6, "EMBARGOED"),
+                   std::move(meta), /*is_public=*/false);
+  }
+
+  iog::SearchService service;
+  service.AddHost(&polimi);
+  service.AddHost(&broad);
+  service.AddHost(&sanger);
+
+  // Crawl: metadata always; datasets cached when under the per-dataset
+  // budget (the non-intrusive protocol).
+  auto stats = service.Crawl(/*cache_budget_bytes=*/60 * 1024).ValueOrDie();
+  std::printf(
+      "crawl: %zu hosts, %zu entries indexed, %zu datasets cached "
+      "(metadata %s, data %s)\n",
+      stats.hosts_visited, stats.entries_indexed, stats.datasets_cached,
+      HumanBytes(stats.metadata_bytes).c_str(),
+      HumanBytes(stats.dataset_bytes).c_str());
+
+  // Keyword + ontology searches.
+  for (const char* query :
+       {"CTCF", "K562", "cancer_cell_line", "histone_mark"}) {
+    auto snippets = service.Search(query);
+    std::printf("\nsearch '%s' -> %zu snippets\n", query, snippets.size());
+    for (const auto& s : snippets) {
+      std::printf("  %-44s host=%-22s score=%.1f %s\n", s.url.c_str(),
+                  s.host.c_str(), s.score, s.cached ? "[cached]" : "");
+    }
+  }
+
+  // Asynchronous dataset retrieval: first hit goes to the host, a cached
+  // copy is free.
+  auto snippets = service.Search("CTCF");
+  if (!snippets.empty()) {
+    uint64_t bytes = 0;
+    auto ds = service.FetchDataset(snippets[0].url, &bytes);
+    if (ds.ok()) {
+      std::printf("\nfetched %s: %zu samples, %llu regions (%s %s)\n",
+                  snippets[0].url.c_str(), ds.value().num_samples(),
+                  static_cast<unsigned long long>(ds.value().TotalRegions()),
+                  HumanBytes(bytes).c_str(),
+                  bytes == 0 ? "from cache" : "over the wire");
+
+      // Feature-based region search on the fetched dataset: rank regions by
+      // signal and length ("search and feature evaluation intertwine").
+      RegionSearch region_search({});
+      std::vector<FeatureWeight> weights = {
+          {RegionFeature::kAttrValue, 1.0, "signal"},
+          {RegionFeature::kLength, 0.25, ""}};
+      auto hits = region_search.TopK(ds.value(), weights, 5);
+      if (hits.ok()) {
+        std::puts("top regions by (signal, length):");
+        for (const auto& h : hits.value()) {
+          std::printf("  %-28s score=%.3f\n", h.region.CoordString().c_str(),
+                      h.score);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Section 3 problem 1: correlating cancer-inducing mutations and DNA breaks
+// with abnormal gene activity.
+//
+// "GMQL can extract differentially dis-regulated genes, intersect them with
+// regions where string breaks occur, and then count the mutations in various
+// conditions." This example runs exactly that pipeline over synthetic data
+// in which oncogene induction (a) shifts replication timing of some domains,
+// (b) doubles break-point counts in fragile sites and (c) dysregulates ~10%
+// of genes — the correlation the study looks for is present by construction
+// and the pipeline must recover it.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/runner.h"
+#include "sim/generators.h"
+
+using namespace gdms;  // NOLINT: example brevity
+
+int main() {
+  auto genome = gdm::GenomeAssembly::HumanLike(8, 60000000);
+  const uint64_t seed = 47;
+
+  core::QueryRunner runner;
+  auto catalog = sim::GenerateGenes(genome, 1000, seed);
+  runner.RegisterDataset(sim::GenerateExpression(genome, catalog, {}, seed));
+  sim::BreakpointOptions bopt;
+  bopt.breaks_per_sample = 6000;
+  runner.RegisterDataset(sim::GenerateBreakpoints(genome, bopt, seed));
+  sim::MutationOptions mopt;
+  mopt.num_samples = 4;
+  mopt.mutations_per_sample = 15000;
+  runner.RegisterDataset(sim::GenerateMutations(genome, mopt, seed));
+  runner.RegisterDataset(sim::GenerateReplicationTiming(genome, {}, seed));
+
+  // Stage 1 (GMQL): per-condition gene expression mapped onto genes is
+  // already one region per gene; materialize both conditions.
+  auto stage1 = runner.Run(
+      "CTRL = SELECT(condition == 'control') EXPRESSION;\n"
+      "IND = SELECT(condition == 'oncogene_induced') EXPRESSION;\n"
+      "MATERIALIZE CTRL; MATERIALIZE IND;\n");
+  if (!stage1.ok()) {
+    std::fprintf(stderr, "%s\n", stage1.status().ToString().c_str());
+    return 1;
+  }
+  const auto& ctrl = stage1.value().at("CTRL").sample(0);
+  const auto& ind = stage1.value().at("IND").sample(0);
+  size_t fpkm = *stage1.value().at("CTRL").schema().IndexOf("fpkm");
+  size_t gene = *stage1.value().at("CTRL").schema().IndexOf("gene");
+
+  // Differentially dis-regulated genes: |log2 fold change| >= 1.
+  gdm::RegionSchema diff_schema;
+  (void)diff_schema.AddAttr("gene", gdm::AttrType::kString);
+  (void)diff_schema.AddAttr("log2fc", gdm::AttrType::kDouble);
+  gdm::Dataset diff_genes("DIFF_GENES", diff_schema);
+  gdm::Sample diff_sample(1);
+  diff_sample.metadata.Add("derived", "differential_expression");
+  for (size_t i = 0; i < ctrl.regions.size(); ++i) {
+    double a = ctrl.regions[i].values[fpkm].AsDouble();
+    double b = ind.regions[i].values[fpkm].AsDouble();
+    double log2fc = std::log2((b + 1e-9) / (a + 1e-9));
+    if (log2fc >= 1.0 || log2fc <= -1.0) {
+      gdm::GenomicRegion r = ctrl.regions[i];
+      r.values = {ctrl.regions[i].values[gene], gdm::Value(log2fc)};
+      diff_sample.regions.push_back(std::move(r));
+    }
+  }
+  diff_sample.SortNow();
+  size_t n_diff = diff_sample.regions.size();
+  diff_genes.AddSample(std::move(diff_sample));
+  runner.RegisterDataset(std::move(diff_genes));
+  std::printf("differentially dis-regulated genes: %zu of %zu\n", n_diff,
+              ctrl.regions.size());
+
+  // Stage 2 (GMQL): intersect dis-regulated genes with break regions of the
+  // induced condition, then count mutations per condition on those genes.
+  auto stage2 = runner.Run(
+      "IND_BREAKS = SELECT(condition == 'oncogene_induced') BREAKS;\n"
+      "BROKEN_GENES = JOIN(DLE(0); LEFT) DIFF_GENES IND_BREAKS;\n"
+      "MUT_ON_DIFF = MAP(mut_count AS COUNT, mean_vaf AS AVG(vaf)) "
+      "DIFF_GENES MUTATIONS;\n"
+      "MATERIALIZE BROKEN_GENES; MATERIALIZE MUT_ON_DIFF;\n");
+  if (!stage2.ok()) {
+    std::fprintf(stderr, "%s\n", stage2.status().ToString().c_str());
+    return 1;
+  }
+  const auto& broken = stage2.value().at("BROKEN_GENES");
+  std::printf("dis-regulated genes hit by induced breaks: %llu region pairs\n",
+              static_cast<unsigned long long>(broken.TotalRegions()));
+
+  // Stage 3: the correlation readout. Mutations should concentrate on the
+  // genes where string breaks occur (shared fragile sites), so split the
+  // mapped mutation counts by break-hit vs break-free genes, per condition.
+  std::set<std::pair<int32_t, int64_t>> broken_coords;
+  for (const auto& s : broken.samples()) {
+    for (const auto& r : s.regions) broken_coords.insert({r.chrom, r.left});
+  }
+  const auto& mapped = stage2.value().at("MUT_ON_DIFF");
+  size_t mc = *mapped.schema().IndexOf("mut_count");
+  struct Load {
+    uint64_t broken_mutations = 0;
+    uint64_t broken_genes = 0;
+    uint64_t other_mutations = 0;
+    uint64_t other_genes = 0;
+  };
+  std::map<std::string, Load> by_condition;
+  for (const auto& s : mapped.samples()) {
+    auto& load = by_condition[s.metadata.FirstValue("condition")];
+    for (const auto& r : s.regions) {
+      bool hit = broken_coords.count({r.chrom, r.left}) > 0;
+      uint64_t n = static_cast<uint64_t>(r.values[mc].AsInt());
+      if (hit) {
+        load.broken_mutations += n;
+        ++load.broken_genes;
+      } else {
+        load.other_mutations += n;
+        ++load.other_genes;
+      }
+    }
+  }
+  std::puts("\nmutations per dis-regulated gene, break-hit vs break-free:");
+  std::printf("%-20s %16s %16s %8s\n", "condition", "break-hit genes",
+              "break-free genes", "ratio");
+  for (const auto& [condition, load] : by_condition) {
+    double hit_rate = load.broken_genes == 0
+                          ? 0
+                          : static_cast<double>(load.broken_mutations) /
+                                load.broken_genes;
+    double other_rate = load.other_genes == 0
+                            ? 0
+                            : static_cast<double>(load.other_mutations) /
+                                  load.other_genes;
+    std::printf("%-20s %16.2f %16.2f %8.1fx\n", condition.c_str(), hit_rate,
+                other_rate, other_rate > 0 ? hit_rate / other_rate : 0.0);
+  }
+  std::puts(
+      "\n(mutations and string breaks share fragile sites, so break-hit "
+      "genes\ncarry the higher load — the correlation the study sets out to "
+      "find)");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "analysis/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace gdms::analysis {
+
+namespace {
+
+double Sq(double x) { return x * x; }
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += Sq(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace
+
+ClusteringResult KMeans(const GenomeSpace& space, size_t k, uint64_t seed,
+                        size_t max_iters) {
+  ClusteringResult result;
+  size_t n = space.num_regions();
+  if (n == 0 || k == 0) return result;
+  k = std::min(k, n);
+
+  std::vector<std::vector<double>> rows(n);
+  for (size_t r = 0; r < n; ++r) rows[r] = space.Row(r);
+
+  // k-means++ seeding.
+  Rng rng(seed);
+  result.centroids.push_back(rows[rng.Next() % n]);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    double total = 0;
+    for (size_t r = 0; r < n; ++r) {
+      min_d2[r] = std::min(min_d2[r], Dist2(rows[r], result.centroids.back()));
+      total += min_d2[r];
+    }
+    if (total <= 0) break;  // all remaining points identical to centroids
+    double pick = rng.UniformDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t r = 0; r < n; ++r) {
+      pick -= min_d2[r];
+      if (pick <= 0) {
+        chosen = r;
+        break;
+      }
+    }
+    result.centroids.push_back(rows[chosen]);
+  }
+  k = result.centroids.size();
+
+  // Lloyd iterations.
+  result.assignment.assign(n, 0);
+  for (result.iterations = 0; result.iterations < max_iters;
+       ++result.iterations) {
+    bool changed = false;
+    for (size_t r = 0; r < n; ++r) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t arg = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = Dist2(rows[r], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          arg = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignment[r] != arg) {
+        result.assignment[r] = arg;
+        changed = true;
+      }
+    }
+    if (!changed && result.iterations > 0) break;
+    // Recompute centroids.
+    size_t dims = rows[0].size();
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t r = 0; r < n; ++r) {
+      auto& sum = sums[result.assignment[r]];
+      for (size_t d = 0; d < dims; ++d) sum[d] += rows[r][d];
+      ++counts[result.assignment[r]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  result.inertia = 0;
+  for (size_t r = 0; r < n; ++r) {
+    result.inertia += Dist2(rows[r], result.centroids[result.assignment[r]]);
+  }
+  return result;
+}
+
+}  // namespace gdms::analysis

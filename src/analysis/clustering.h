@@ -1,0 +1,30 @@
+#ifndef GDMS_ANALYSIS_CLUSTERING_H_
+#define GDMS_ANALYSIS_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/genome_space.h"
+
+namespace gdms::analysis {
+
+/// Result of a k-means run over genome-space rows.
+struct ClusteringResult {
+  std::vector<uint32_t> assignment;  ///< cluster id per region
+  std::vector<std::vector<double>> centroids;
+  double inertia = 0;                ///< sum of squared distances
+  size_t iterations = 0;
+};
+
+/// \brief Seeded k-means over genome-space rows ("DNA region clustering",
+/// paper abstract / Section 4.1).
+///
+/// k-means++-style seeding from the given RNG seed, Lloyd iterations until
+/// assignments stabilize or `max_iters`. Rows are used as-is; callers who
+/// want scale-free clustering should log-transform the MAP aggregate first.
+ClusteringResult KMeans(const GenomeSpace& space, size_t k, uint64_t seed,
+                        size_t max_iters = 50);
+
+}  // namespace gdms::analysis
+
+#endif  // GDMS_ANALYSIS_CLUSTERING_H_

@@ -1,0 +1,70 @@
+#include "analysis/enrichment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "interval/sweep.h"
+
+namespace gdms::analysis {
+
+double BinomialUpperTail(int64_t k, int64_t n, double p) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p <= 0) return 0.0;
+  if (p >= 1) return 1.0;
+  // Sum P(X = i) for i in [k, n] in log space, starting from the log PMF at
+  // k and using the recurrence P(i+1)/P(i) = (n-i)/(i+1) * p/(1-p).
+  double log_p = std::log(p);
+  double log_q = std::log1p(-p);
+  // log C(n, k) via lgamma.
+  double log_pmf = std::lgamma(static_cast<double>(n) + 1) -
+                   std::lgamma(static_cast<double>(k) + 1) -
+                   std::lgamma(static_cast<double>(n - k) + 1) +
+                   static_cast<double>(k) * log_p +
+                   static_cast<double>(n - k) * log_q;
+  double ratio_log_base = log_p - log_q;
+  double total = 0;
+  double log_term = log_pmf;
+  for (int64_t i = k; i <= n; ++i) {
+    total += std::exp(log_term);
+    if (log_term < -745.0) break;  // below double underflow; tail negligible
+    log_term += std::log(static_cast<double>(n - i)) -
+                std::log(static_cast<double>(i + 1)) + ratio_log_base;
+    if (i + 1 > n) break;
+  }
+  return std::min(1.0, total);
+}
+
+Result<EnrichmentResult> BinomialEnrichment(
+    const std::vector<gdm::GenomicRegion>& query,
+    const std::vector<gdm::GenomicRegion>& annotation, int64_t genome_bases) {
+  if (genome_bases <= 0) {
+    return Status::InvalidArgument("genome_bases must be positive");
+  }
+  EnrichmentResult out;
+  out.query_regions = query.size();
+  // Flatten the annotation and compute covered bases.
+  std::vector<gdm::GenomicRegion> flat = interval::MergeTouching(annotation);
+  int64_t covered = 0;
+  for (const auto& r : flat) covered += r.length();
+  out.coverage_fraction =
+      std::min(1.0, static_cast<double>(covered) / static_cast<double>(genome_bases));
+  // Count query regions with at least one overlap.
+  auto flags = interval::ExistsOverlap(query, flat);
+  for (char f : flags) {
+    if (f) ++out.hits;
+  }
+  out.expected_hits = static_cast<double>(out.query_regions) * out.coverage_fraction;
+  out.fold_enrichment =
+      out.expected_hits > 0
+          ? static_cast<double>(out.hits) / out.expected_hits
+          : (out.hits > 0 ? std::numeric_limits<double>::infinity() : 0.0);
+  out.p_value = BinomialUpperTail(static_cast<int64_t>(out.hits),
+                                  static_cast<int64_t>(out.query_regions),
+                                  out.coverage_fraction);
+  out.log10_p = out.p_value > 0 ? -std::log10(out.p_value) : 320.0;
+  return out;
+}
+
+}  // namespace gdms::analysis

@@ -1,0 +1,46 @@
+#ifndef GDMS_ANALYSIS_ENRICHMENT_H_
+#define GDMS_ANALYSIS_ENRICHMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/region.h"
+
+namespace gdms::analysis {
+
+/// Result of a region-enrichment test.
+struct EnrichmentResult {
+  size_t query_regions = 0;      ///< n
+  size_t hits = 0;               ///< k: query regions overlapping the annotation
+  double expected_hits = 0;      ///< n * p
+  double coverage_fraction = 0;  ///< p: fraction of the genome the annotation covers
+  double fold_enrichment = 0;    ///< k / (n * p)
+  double p_value = 1.0;          ///< P(X >= k), X ~ Binomial(n, p)
+  double log10_p = 0;            ///< -log10(p_value)
+};
+
+/// \brief GREAT-style binomial enrichment of query regions in an annotation.
+///
+/// Section 4.3 envisions custom queries "augmented with suitable mechanisms
+/// for reasoning about data ... imitat[ing] the GREAT service ... which
+/// includes powerful statistics to indicate the significance of query
+/// results". The test: under the null, each query region hits the
+/// annotation independently with probability p = covered bases / genome
+/// bases; significance is the binomial upper tail of the observed hit count
+/// (McLean et al. 2010, the paper's ref [18]).
+///
+/// `annotation` need not be disjoint (it is flattened internally); both
+/// inputs must be coordinate-sorted. `genome_bases` is the denominator of
+/// p — typically GenomeAssembly::TotalLength().
+Result<EnrichmentResult> BinomialEnrichment(
+    const std::vector<gdm::GenomicRegion>& query,
+    const std::vector<gdm::GenomicRegion>& annotation, int64_t genome_bases);
+
+/// Upper-tail binomial probability P(X >= k) for X ~ Binomial(n, p),
+/// computed in log space (exact summation; stable for n up to ~10^7).
+double BinomialUpperTail(int64_t k, int64_t n, double p);
+
+}  // namespace gdms::analysis
+
+#endif  // GDMS_ANALYSIS_ENRICHMENT_H_

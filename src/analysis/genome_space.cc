@@ -1,0 +1,81 @@
+#include "analysis/genome_space.h"
+
+#include <cstdio>
+
+namespace gdms::analysis {
+
+Result<GenomeSpace> GenomeSpace::FromMapResult(const gdm::Dataset& map_result,
+                                               const std::string& value_attr) {
+  auto attr = map_result.schema().IndexOf(value_attr);
+  if (!attr.has_value()) {
+    return Status::InvalidArgument("MAP result has no attribute " + value_attr);
+  }
+  GenomeSpace space;
+  if (map_result.num_samples() == 0) return space;
+
+  const auto& first = map_result.sample(0);
+  space.regions_ = first.regions;
+  space.region_labels_.reserve(first.regions.size());
+  for (const auto& r : first.regions) {
+    space.region_labels_.push_back(r.CoordString());
+  }
+  space.experiment_labels_.reserve(map_result.num_samples());
+  for (const auto& s : map_result.samples()) {
+    if (s.regions.size() != first.regions.size()) {
+      return Status::InvalidArgument(
+          "samples carry different region counts; not a MAP result");
+    }
+    std::string label = s.metadata.FirstValue("sample_name");
+    if (label.empty()) label = s.metadata.FirstValue("antibody");
+    if (label.empty()) label = "exp_" + std::to_string(s.id);
+    space.experiment_labels_.push_back(label);
+  }
+  size_t cols = map_result.num_samples();
+  space.cells_.assign(first.regions.size() * cols, 0.0);
+  for (size_t e = 0; e < cols; ++e) {
+    const auto& s = map_result.sample(e);
+    for (size_t r = 0; r < s.regions.size(); ++r) {
+      if (s.regions[r].left != first.regions[r].left ||
+          s.regions[r].chrom != first.regions[r].chrom) {
+        return Status::InvalidArgument(
+            "sample regions misaligned; not a MAP result");
+      }
+      const gdm::Value& v = s.regions[r].values[*attr];
+      auto num = v.ToNumeric();
+      space.cells_[r * cols + e] = num.ok() ? num.value() : 0.0;
+    }
+  }
+  return space;
+}
+
+std::vector<double> GenomeSpace::Row(size_t region) const {
+  size_t cols = num_experiments();
+  std::vector<double> out(cols);
+  for (size_t e = 0; e < cols; ++e) out[e] = at(region, e);
+  return out;
+}
+
+std::string GenomeSpace::RenderCorner(size_t max_rows, size_t max_cols) const {
+  std::string out = "region";
+  size_t cols = std::min(max_cols, num_experiments());
+  size_t rows = std::min(max_rows, num_regions());
+  for (size_t e = 0; e < cols; ++e) {
+    out += "\t" + experiment_labels_[e];
+  }
+  if (cols < num_experiments()) out += "\t...";
+  out += "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    out += region_labels_[r];
+    for (size_t e = 0; e < cols; ++e) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "\t%.3g", at(r, e));
+      out += buf;
+    }
+    if (cols < num_experiments()) out += "\t...";
+    out += "\n";
+  }
+  if (rows < num_regions()) out += "...\n";
+  return out;
+}
+
+}  // namespace gdms::analysis

@@ -1,0 +1,59 @@
+#ifndef GDMS_ANALYSIS_GENOME_SPACE_H_
+#define GDMS_ANALYSIS_GENOME_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::analysis {
+
+/// \brief The genome space of Figure 4: a regions x experiments matrix.
+///
+/// "Every map operation produces what we call a genome space, i.e., a
+/// tabular space of regions vs. experiments, which is the starting point
+/// for data analysis." Rows are the (shared) reference regions of the MAP
+/// output; columns are the MAP output samples (one per experiment); cells
+/// are the numeric value of a chosen aggregate attribute.
+class GenomeSpace {
+ public:
+  GenomeSpace() = default;
+
+  /// Builds from a MAP result: every sample must carry the same reference
+  /// regions (coordinates) — exactly what MAP produces. `value_attr` names
+  /// the aggregate attribute to read; NULL cells become 0.
+  static Result<GenomeSpace> FromMapResult(const gdm::Dataset& map_result,
+                                           const std::string& value_attr);
+
+  size_t num_regions() const { return region_labels_.size(); }
+  size_t num_experiments() const { return experiment_labels_.size(); }
+
+  double at(size_t region, size_t experiment) const {
+    return cells_[region * num_experiments() + experiment];
+  }
+
+  /// Row of one region across all experiments.
+  std::vector<double> Row(size_t region) const;
+
+  const std::vector<std::string>& region_labels() const {
+    return region_labels_;
+  }
+  const std::vector<std::string>& experiment_labels() const {
+    return experiment_labels_;
+  }
+  const std::vector<gdm::GenomicRegion>& regions() const { return regions_; }
+
+  /// Pretty-prints the top-left corner (Figure 4 rendering).
+  std::string RenderCorner(size_t max_rows = 6, size_t max_cols = 6) const;
+
+ private:
+  std::vector<std::string> region_labels_;
+  std::vector<std::string> experiment_labels_;
+  std::vector<gdm::GenomicRegion> regions_;
+  std::vector<double> cells_;  // row-major
+};
+
+}  // namespace gdms::analysis
+
+#endif  // GDMS_ANALYSIS_GENOME_SPACE_H_

@@ -1,0 +1,109 @@
+#include "analysis/latent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gdms::analysis {
+
+namespace {
+
+double Norm(const std::vector<double>& v) {
+  double total = 0;
+  for (double x : v) total += x * x;
+  return std::sqrt(total);
+}
+
+void Scale(std::vector<double>* v, double factor) {
+  for (double& x : *v) x *= factor;
+}
+
+}  // namespace
+
+double LatentModel::Reconstruct(size_t region, size_t experiment) const {
+  double total = 0;
+  for (size_t k = 0; k < rank; ++k) {
+    total += singular_values[k] * region_factors[k][region] *
+             experiment_factors[k][experiment];
+  }
+  return total;
+}
+
+Result<LatentModel> TruncatedSvd(const GenomeSpace& space, size_t rank,
+                                 uint64_t seed, size_t iterations) {
+  size_t rows = space.num_regions();
+  size_t cols = space.num_experiments();
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("cannot factorize an empty genome space");
+  }
+  rank = std::min(rank, std::min(rows, cols));
+  if (rank == 0) return Status::InvalidArgument("rank must be positive");
+
+  // Residual copy of the matrix; deflated after each extracted component.
+  std::vector<double> residual(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t e = 0; e < cols; ++e) residual[r * cols + e] = space.at(r, e);
+  }
+
+  LatentModel model;
+  Rng rng(seed);
+  for (size_t k = 0; k < rank; ++k) {
+    // Power iteration on residual^T * residual via alternating products.
+    std::vector<double> v(cols);
+    for (double& x : v) x = rng.Normal();
+    double nv = Norm(v);
+    if (nv == 0) v[0] = 1;
+    Scale(&v, 1.0 / std::max(1e-300, nv));
+    std::vector<double> u(rows, 0.0);
+    double sigma = 0;
+    for (size_t it = 0; it < iterations; ++it) {
+      // u = A v
+      for (size_t r = 0; r < rows; ++r) {
+        double dot = 0;
+        const double* row = &residual[r * cols];
+        for (size_t e = 0; e < cols; ++e) dot += row[e] * v[e];
+        u[r] = dot;
+      }
+      double nu = Norm(u);
+      if (nu < 1e-12) {
+        sigma = 0;
+        break;
+      }
+      Scale(&u, 1.0 / nu);
+      // v = A^T u
+      for (size_t e = 0; e < cols; ++e) v[e] = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        const double* row = &residual[r * cols];
+        for (size_t e = 0; e < cols; ++e) v[e] += row[e] * u[r];
+      }
+      sigma = Norm(v);
+      if (sigma < 1e-12) break;
+      Scale(&v, 1.0 / sigma);
+    }
+    if (sigma < 1e-12) break;  // residual is (numerically) zero
+    // Deflate: residual -= sigma * u v^T.
+    for (size_t r = 0; r < rows; ++r) {
+      double* row = &residual[r * cols];
+      for (size_t e = 0; e < cols; ++e) row[e] -= sigma * u[r] * v[e];
+    }
+    model.singular_values.push_back(sigma);
+    model.region_factors.push_back(u);
+    model.experiment_factors.push_back(v);
+  }
+  model.rank = model.singular_values.size();
+  return model;
+}
+
+double ReconstructionError(const GenomeSpace& space, const LatentModel& model) {
+  double total = 0;
+  for (size_t r = 0; r < space.num_regions(); ++r) {
+    for (size_t e = 0; e < space.num_experiments(); ++e) {
+      double diff = space.at(r, e) - model.Reconstruct(r, e);
+      total += diff * diff;
+    }
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace gdms::analysis

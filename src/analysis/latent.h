@@ -1,0 +1,43 @@
+#ifndef GDMS_ANALYSIS_LATENT_H_
+#define GDMS_ANALYSIS_LATENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/genome_space.h"
+#include "common/status.h"
+
+namespace gdms::analysis {
+
+/// Rank-k factorization of a genome space.
+struct LatentModel {
+  size_t rank = 0;
+  /// Singular values, non-increasing.
+  std::vector<double> singular_values;
+  /// Region factors: rank vectors of length num_regions (left singular
+  /// vectors, unit norm).
+  std::vector<std::vector<double>> region_factors;
+  /// Experiment factors: rank vectors of length num_experiments (right
+  /// singular vectors, unit norm).
+  std::vector<std::vector<double>> experiment_factors;
+
+  /// Reconstructed cell value sum_k s_k * u_k[r] * v_k[e].
+  double Reconstruct(size_t region, size_t experiment) const;
+};
+
+/// \brief Truncated SVD of the genome space by power iteration + deflation.
+///
+/// The paper's Section 4.1 points at "advanced latent semantic analysis and
+/// topic modelling" over genome spaces; the truncated SVD is the LSA core:
+/// latent components are co-binding programs shared by experiments. Rows
+/// are regions, columns experiments; `iterations` power steps per component
+/// (50 is plenty at these sizes). Deterministic from `seed`.
+Result<LatentModel> TruncatedSvd(const GenomeSpace& space, size_t rank,
+                                 uint64_t seed, size_t iterations = 50);
+
+/// Frobenius norm of the reconstruction error of `model` against `space`.
+double ReconstructionError(const GenomeSpace& space, const LatentModel& model);
+
+}  // namespace gdms::analysis
+
+#endif  // GDMS_ANALYSIS_LATENT_H_

@@ -1,0 +1,150 @@
+#include "analysis/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gdms::analysis {
+
+const char* SimilarityKindName(SimilarityKind kind) {
+  switch (kind) {
+    case SimilarityKind::kPearson:
+      return "pearson";
+    case SimilarityKind::kCosine:
+      return "cosine";
+    case SimilarityKind::kJaccard:
+      return "jaccard";
+  }
+  return "?";
+}
+
+double RowSimilarity(const std::vector<double>& a, const std::vector<double>& b,
+                     SimilarityKind kind) {
+  size_t n = a.size();
+  if (n == 0 || b.size() != n) return 0;
+  switch (kind) {
+    case SimilarityKind::kPearson: {
+      double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+      double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+      double cov = 0;
+      double va = 0;
+      double vb = 0;
+      for (size_t i = 0; i < n; ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+      }
+      if (va <= 0 || vb <= 0) return 0;
+      return cov / std::sqrt(va * vb);
+    }
+    case SimilarityKind::kCosine: {
+      double dot = 0;
+      double na = 0;
+      double nb = 0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+      }
+      if (na <= 0 || nb <= 0) return 0;
+      return dot / std::sqrt(na * nb);
+    }
+    case SimilarityKind::kJaccard: {
+      size_t inter = 0;
+      size_t uni = 0;
+      for (size_t i = 0; i < n; ++i) {
+        bool pa = a[i] > 0;
+        bool pb = b[i] > 0;
+        if (pa && pb) ++inter;
+        if (pa || pb) ++uni;
+      }
+      return uni == 0 ? 0 : static_cast<double>(inter) / uni;
+    }
+  }
+  return 0;
+}
+
+GeneNetwork GeneNetwork::FromGenomeSpace(const GenomeSpace& space,
+                                         SimilarityKind kind,
+                                         double threshold) {
+  GeneNetwork net;
+  net.num_nodes_ = space.num_regions();
+  net.labels_ = space.region_labels();
+  // Precompute rows once.
+  std::vector<std::vector<double>> rows(space.num_regions());
+  for (size_t r = 0; r < space.num_regions(); ++r) rows[r] = space.Row(r);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      double sim = RowSimilarity(rows[i], rows[j], kind);
+      if (sim >= threshold) {
+        net.edges_.push_back({static_cast<uint32_t>(i),
+                              static_cast<uint32_t>(j), sim});
+      }
+    }
+  }
+  return net;
+}
+
+std::vector<size_t> GeneNetwork::Degrees() const {
+  std::vector<size_t> deg(num_nodes_, 0);
+  for (const auto& e : edges_) {
+    ++deg[e.a];
+    ++deg[e.b];
+  }
+  return deg;
+}
+
+NetworkStats GeneNetwork::Stats() const {
+  NetworkStats stats;
+  stats.nodes = num_nodes_;
+  stats.edges = edges_.size();
+  auto deg = Degrees();
+  size_t total = 0;
+  for (size_t d : deg) {
+    total += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+  }
+  stats.avg_degree = num_nodes_ == 0
+                         ? 0
+                         : static_cast<double>(total) / static_cast<double>(num_nodes_);
+  // Connected components by union-find.
+  std::vector<uint32_t> parent(num_nodes_);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<uint32_t> rank(num_nodes_, 0);
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& e : edges_) {
+    uint32_t ra = find(e.a);
+    uint32_t rb = find(e.b);
+    if (ra == rb) continue;
+    if (rank[ra] < rank[rb]) std::swap(ra, rb);
+    parent[rb] = ra;
+    if (rank[ra] == rank[rb]) ++rank[ra];
+  }
+  std::vector<size_t> sizes(num_nodes_, 0);
+  for (uint32_t v = 0; v < num_nodes_; ++v) ++sizes[find(v)];
+  for (size_t s : sizes) {
+    if (s > 0) {
+      ++stats.connected_components;
+      stats.largest_component = std::max(stats.largest_component, s);
+    }
+  }
+  return stats;
+}
+
+std::vector<NetworkEdge> GeneNetwork::TopEdges(size_t k) const {
+  std::vector<NetworkEdge> out = edges_;
+  std::sort(out.begin(), out.end(),
+            [](const NetworkEdge& a, const NetworkEdge& b) {
+              return a.weight > b.weight;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace gdms::analysis

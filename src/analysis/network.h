@@ -1,0 +1,76 @@
+#ifndef GDMS_ANALYSIS_NETWORK_H_
+#define GDMS_ANALYSIS_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/genome_space.h"
+
+namespace gdms::analysis {
+
+/// One weighted edge of a gene network.
+struct NetworkEdge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double weight = 0;
+};
+
+/// Summary statistics of a network.
+struct NetworkStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  double avg_degree = 0;
+  size_t max_degree = 0;
+  size_t connected_components = 0;
+  size_t largest_component = 0;
+};
+
+/// How node similarity is computed from genome-space rows.
+enum class SimilarityKind {
+  kPearson,  ///< correlation of aggregate values across experiments
+  kCosine,
+  kJaccard,  ///< on rows binarized at > 0
+};
+
+const char* SimilarityKindName(SimilarityKind kind);
+
+/// \brief The genome space -> gene network transformation of Figure 4.
+///
+/// "Such table can also be interpreted as an adjacency matrix representing a
+/// network, where regions are nodes and arcs have a weight obtained by
+/// further aggregating properties across experiments." Nodes are genome-
+/// space regions (genes); an edge joins two nodes whose row similarity
+/// exceeds `threshold`; the weight is the similarity.
+class GeneNetwork {
+ public:
+  GeneNetwork() = default;
+
+  static GeneNetwork FromGenomeSpace(const GenomeSpace& space,
+                                     SimilarityKind kind, double threshold);
+
+  size_t num_nodes() const { return num_nodes_; }
+  const std::vector<NetworkEdge>& edges() const { return edges_; }
+  const std::vector<std::string>& node_labels() const { return labels_; }
+
+  NetworkStats Stats() const;
+
+  /// The `k` heaviest edges, best first.
+  std::vector<NetworkEdge> TopEdges(size_t k) const;
+
+  /// Degree of each node.
+  std::vector<size_t> Degrees() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  std::vector<NetworkEdge> edges_;
+  std::vector<std::string> labels_;
+};
+
+/// Row similarity between two equal-length vectors.
+double RowSimilarity(const std::vector<double>& a, const std::vector<double>& b,
+                     SimilarityKind kind);
+
+}  // namespace gdms::analysis
+
+#endif  // GDMS_ANALYSIS_NETWORK_H_

@@ -1,0 +1,75 @@
+#include "analysis/phenotype.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdms::analysis {
+
+double PointBiserial(const std::vector<double>& values,
+                     const std::vector<char>& group) {
+  size_t n = values.size();
+  if (n == 0 || group.size() != n) return 0;
+  size_t n1 = 0;
+  double sum1 = 0;
+  double sum0 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (group[i]) {
+      ++n1;
+      sum1 += values[i];
+    } else {
+      sum0 += values[i];
+    }
+  }
+  size_t n0 = n - n1;
+  if (n0 == 0 || n1 == 0) return 0;
+  double mean1 = sum1 / n1;
+  double mean0 = sum0 / n0;
+  double mean = (sum1 + sum0) / n;
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= n;  // population variance, the standard point-biserial form
+  if (var <= 0) return 0;
+  double p = static_cast<double>(n1) / n;
+  return (mean1 - mean0) / std::sqrt(var) * std::sqrt(p * (1 - p));
+}
+
+Result<std::vector<PhenotypeAssociation>> PhenotypeCorrelation(
+    const GenomeSpace& space, const gdm::Dataset& map_result,
+    const std::string& meta_attr, const std::string& meta_value) {
+  if (map_result.num_samples() != space.num_experiments()) {
+    return Status::InvalidArgument(
+        "map_result does not match the genome space (sample count differs)");
+  }
+  std::vector<char> group(space.num_experiments(), 0);
+  size_t positives = 0;
+  for (size_t e = 0; e < map_result.num_samples(); ++e) {
+    if (map_result.sample(e).metadata.HasPair(meta_attr, meta_value)) {
+      group[e] = 1;
+      ++positives;
+    }
+  }
+  if (positives == 0 || positives == group.size()) {
+    return Status::InvalidArgument(
+        "phenotype " + meta_attr + "==" + meta_value +
+        " does not split the samples into two non-empty groups");
+  }
+  std::vector<PhenotypeAssociation> out;
+  out.reserve(space.num_regions());
+  for (size_t r = 0; r < space.num_regions(); ++r) {
+    PhenotypeAssociation assoc;
+    assoc.region = r;
+    assoc.label = space.region_labels()[r];
+    assoc.correlation = PointBiserial(space.Row(r), group);
+    out.push_back(std::move(assoc));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhenotypeAssociation& a, const PhenotypeAssociation& b) {
+              double fa = std::fabs(a.correlation);
+              double fb = std::fabs(b.correlation);
+              if (fa != fb) return fa > fb;
+              return a.region < b.region;
+            });
+  return out;
+}
+
+}  // namespace gdms::analysis

@@ -1,0 +1,45 @@
+#ifndef GDMS_ANALYSIS_PHENOTYPE_H_
+#define GDMS_ANALYSIS_PHENOTYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/genome_space.h"
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::analysis {
+
+/// One region's association with a phenotype.
+struct PhenotypeAssociation {
+  size_t region = 0;
+  std::string label;        ///< genome-space region label
+  double correlation = 0;   ///< point-biserial correlation in [-1, 1]
+};
+
+/// \brief Genotype-phenotype correlation over a genome space.
+///
+/// Section 4.1: relationships "between [genomic data] and biological or
+/// clinical features of experimental samples expressed in their metadata,
+/// i.e., for genotype-phenotype correlation analysis". The phenotype is a
+/// binary split of the MAP output samples by a metadata attribute-value
+/// pair (e.g. karyotype == cancer); each genome-space row is scored by the
+/// point-biserial correlation of its values against that split.
+///
+/// `map_result` must be the dataset the `space` was built from (it supplies
+/// per-sample metadata, in the same order). Returns associations for all
+/// regions sorted by |correlation|, strongest first. Errors when either
+/// phenotype group is empty.
+Result<std::vector<PhenotypeAssociation>> PhenotypeCorrelation(
+    const GenomeSpace& space, const gdm::Dataset& map_result,
+    const std::string& meta_attr, const std::string& meta_value);
+
+/// Point-biserial correlation between `values` and binary `group`
+/// (group[i] true = positive class). 0 when either class is empty or the
+/// values are constant.
+double PointBiserial(const std::vector<double>& values,
+                     const std::vector<char>& group);
+
+}  // namespace gdms::analysis
+
+#endif  // GDMS_ANALYSIS_PHENOTYPE_H_

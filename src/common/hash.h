@@ -1,0 +1,36 @@
+#ifndef GDMS_COMMON_HASH_H_
+#define GDMS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace gdms {
+
+/// 64-bit FNV-1a hash of a byte string. Stable across platforms and runs;
+/// used for content-derived sample ids (provenance) and partitioning.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 14695981039346656037ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+/// Finalizer from SplitMix64; good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace gdms
+
+#endif  // GDMS_COMMON_HASH_H_

@@ -1,0 +1,96 @@
+#ifndef GDMS_COMMON_RNG_H_
+#define GDMS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace gdms {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** core with a
+/// SplitMix64 seeder). All synthetic workloads in the library derive from
+/// this type so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = Mix64(x);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda) {
+    double u = UniformDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+  }
+
+  /// Bernoulli with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Geometric-ish positive integer with mean approximately `mean`.
+  int64_t PositiveGeometric(double mean) {
+    if (mean <= 1.0) return 1;
+    double v = Exponential(1.0 / (mean - 1.0));
+    return 1 + static_cast<int64_t>(v);
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s (approximate, via
+  /// rejection-free inverse CDF on a precomputable harmonic estimate).
+  int64_t Zipf(int64_t n, double s) {
+    // Inverse-transform on the continuous approximation of the Zipf CDF.
+    double u = UniformDouble();
+    if (s == 1.0) s = 1.0000001;
+    double t = std::pow(static_cast<double>(n), 1.0 - s);
+    double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    int64_t k = static_cast<int64_t>(x) - 1;
+    if (k < 0) k = 0;
+    if (k >= n) k = n - 1;
+    return k;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gdms
+
+#endif  // GDMS_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdms {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kSchemaMismatch:
+      return "SchemaMismatch";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+
+void AbortWithStatus(const std::string& rendered) {
+  std::fprintf(stderr, "ValueOrDie on errored Result: %s\n", rendered.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gdms

@@ -1,0 +1,164 @@
+#ifndef GDMS_COMMON_STATUS_H_
+#define GDMS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gdms {
+
+/// Error categories used across the library. Follows the RocksDB/Arrow idiom
+/// of status-based error handling: no exceptions cross public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kSchemaMismatch,
+  kIoError,
+  kInternal,
+  kNotImplemented,
+  kResourceExhausted,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A Status is either OK or carries a code and a message. It is cheap to
+/// copy in the OK case and is intended as the return type of every fallible
+/// operation in the library.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result is a
+/// programming error; callers must check ok() first (ValueOrDie aborts
+/// otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Moves the value out; requires ok().
+  T ValueOrDie() {
+    if (!ok()) {
+      AbortOnError(status_);
+    }
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  static void AbortOnError(const Status& s);
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const std::string& rendered);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortOnError(const Status& s) {
+  internal::AbortWithStatus(s.ToString());
+}
+
+/// Propagates a non-OK Status from the current function.
+#define GDMS_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::gdms::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define GDMS_ASSIGN_OR_RETURN(lhs, rexpr)    \
+  auto GDMS_CONCAT_(_res, __LINE__) = (rexpr);              \
+  if (!GDMS_CONCAT_(_res, __LINE__).ok())                   \
+    return GDMS_CONCAT_(_res, __LINE__).status();           \
+  lhs = std::move(GDMS_CONCAT_(_res, __LINE__)).value()
+
+#define GDMS_CONCAT_IMPL_(a, b) a##b
+#define GDMS_CONCAT_(a, b) GDMS_CONCAT_IMPL_(a, b)
+
+}  // namespace gdms
+
+#endif  // GDMS_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#ifndef GDMS_COMMON_STRING_UTIL_H_
+#define GDMS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gdms {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with / ends with `prefix`/`suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses an unsigned 64-bit integer (needed for content-hashed sample ids,
+/// which use the full 64-bit space); rejects signs and trailing garbage.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats a byte count as a human-readable string ("1.2 GB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats `n` with thousands separators ("83,899,526").
+std::string WithThousands(uint64_t n);
+
+}  // namespace gdms
+
+#endif  // GDMS_COMMON_STRING_UTIL_H_

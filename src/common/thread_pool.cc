@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace gdms {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t threads = workers_.size();
+  if (n == 1 || threads == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunked dynamic scheduling: a shared atomic cursor, one task per worker.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  size_t grain = std::max<size_t>(1, n / (threads * 8));
+  size_t tasks = std::min(threads, (n + grain - 1) / grain);
+  auto remaining = std::make_shared<std::atomic<size_t>>(tasks);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([&, cursor, remaining, grain, n] {
+      while (true) {
+        size_t begin = cursor->fetch_add(grain);
+        if (begin >= n) break;
+        size_t end = std::min(n, begin + grain);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+      if (remaining->fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lk(done_mu);
+        done = true;
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return done; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace gdms

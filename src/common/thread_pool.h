@@ -1,0 +1,56 @@
+#ifndef GDMS_COMMON_THREAD_POOL_H_
+#define GDMS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdms {
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// Used by the parallel executors (src/engine) as the stand-in for cluster
+/// workers. Tasks are plain std::function<void()>; callers coordinate
+/// completion either with WaitIdle() or by running a batch through
+/// ParallelFor.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (>= 1; 0 means hardware_concurrency).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Grain size is chosen automatically; fn must be thread-safe.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gdms
+
+#endif  // GDMS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,66 @@
+#include "core/executor.h"
+
+#include "core/operators.h"
+
+namespace gdms::core {
+
+Result<gdm::Dataset> ReferenceExecutor::Execute(
+    const PlanNode& node, const std::vector<const gdm::Dataset*>& inputs) {
+  auto arity = [&](size_t n) -> Status {
+    if (inputs.size() != n) {
+      return Status::Internal(std::string(OpKindName(node.kind)) +
+                              " expects " + std::to_string(n) + " inputs, got " +
+                              std::to_string(inputs.size()));
+    }
+    return Status::OK();
+  };
+  switch (node.kind) {
+    case OpKind::kSource:
+      return Status::Internal("sources are resolved by the runner");
+    case OpKind::kSelect:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Select(node.select, *inputs[0]);
+    case OpKind::kProject:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Project(node.project, *inputs[0]);
+    case OpKind::kExtend:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Extend(node.extend, *inputs[0]);
+    case OpKind::kMerge:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Merge(node.merge, *inputs[0]);
+    case OpKind::kGroup:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Group(node.group, *inputs[0]);
+    case OpKind::kOrder:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Order(node.order, *inputs[0]);
+    case OpKind::kUnion:
+      GDMS_RETURN_NOT_OK(arity(2));
+      return Operators::Union(*inputs[0], *inputs[1]);
+    case OpKind::kDifference:
+      GDMS_RETURN_NOT_OK(arity(2));
+      return Operators::Difference(node.difference, *inputs[0], *inputs[1]);
+    case OpKind::kSemijoin:
+      GDMS_RETURN_NOT_OK(arity(2));
+      return Operators::Semijoin(node.semijoin, *inputs[0], *inputs[1]);
+    case OpKind::kJoin:
+      GDMS_RETURN_NOT_OK(arity(2));
+      return Operators::Join(node.join, *inputs[0], *inputs[1]);
+    case OpKind::kMap:
+      GDMS_RETURN_NOT_OK(arity(2));
+      return Operators::Map(node.map, *inputs[0], *inputs[1]);
+    case OpKind::kCover:
+      GDMS_RETURN_NOT_OK(arity(1));
+      return Operators::Cover(node.cover, *inputs[0]);
+    case OpKind::kMaterialize: {
+      GDMS_RETURN_NOT_OK(arity(1));
+      gdm::Dataset out = *inputs[0];
+      out.set_name(node.name);
+      return out;
+    }
+  }
+  return Status::Internal("unreachable operator kind");
+}
+
+}  // namespace gdms::core

@@ -1,0 +1,39 @@
+#ifndef GDMS_CORE_EXECUTOR_H_
+#define GDMS_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "gdm/dataset.h"
+
+namespace gdms::core {
+
+/// \brief Strategy interface for evaluating one plan node.
+///
+/// The runner walks the DAG and hands each non-source node, with its already
+/// computed input datasets, to an Executor. The ReferenceExecutor runs the
+/// sequential semantics in core/operators.h; the engines in src/engine
+/// override the data-parallel operators (paper, Section 4.2: "the two
+/// implementations differ only in the encoding of about twenty GMQL language
+/// components, while the compiler, logical optimizer, and APIs are
+/// independent from the adoption of either framework").
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Result<gdm::Dataset> Execute(
+      const PlanNode& node, const std::vector<const gdm::Dataset*>& inputs) = 0;
+};
+
+/// Sequential reference executor.
+class ReferenceExecutor : public Executor {
+ public:
+  Result<gdm::Dataset> Execute(
+      const PlanNode& node,
+      const std::vector<const gdm::Dataset*>& inputs) override;
+};
+
+}  // namespace gdms::core
+
+#endif  // GDMS_CORE_EXECUTOR_H_

@@ -1,0 +1,683 @@
+#include "core/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "interval/accumulation.h"
+#include "interval/sweep.h"
+
+namespace gdms::core {
+
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::Metadata;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::SampleId;
+using gdm::Value;
+
+void AddProvenance(Sample* sample, const std::string& op,
+                   const std::vector<SampleId>& parents) {
+  std::string entry = op + "[";
+  for (size_t i = 0; i < parents.size(); ++i) {
+    if (i > 0) entry += ",";
+    entry += std::to_string(parents[i]);
+  }
+  entry += "]";
+  sample->metadata.Add("_provenance", entry);
+}
+
+/// Numeric-aware comparison for metadata values (ORDER, GROUP keys).
+int CompareMetaValues(const std::string& a, const std::string& b) {
+  auto na = ParseDouble(a);
+  auto nb = ParseDouble(b);
+  if (na.ok() && nb.ok()) {
+    double x = na.value();
+    double y = nb.value();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+/// Replays RegionSchema::Merge and records, for each right attribute, its
+/// index in the merged schema. Needed by UNION to remap right-side values.
+RegionSchema MergeWithMapping(const RegionSchema& left,
+                              const RegionSchema& right,
+                              std::vector<size_t>* right_mapping) {
+  RegionSchema out = left;
+  right_mapping->clear();
+  right_mapping->reserve(right.size());
+  for (const auto& attr : right.attrs()) {
+    auto idx = out.IndexOf(attr.name);
+    if (idx.has_value() && out.attr(*idx).type == attr.type) {
+      right_mapping->push_back(*idx);
+      continue;
+    }
+    std::string name = attr.name;
+    if (idx.has_value()) name = "right_" + name;
+    while (out.Contains(name)) name = "right_" + name;
+    right_mapping->push_back(out.size());
+    (void)out.AddAttr(name, attr.type);
+  }
+  return out;
+}
+
+/// Appends aggregate output attributes to a schema, renaming collisions
+/// with a numeric suffix. Returns the final names.
+std::vector<std::string> AppendAggAttrs(
+    const std::vector<AggregateSpec>& specs, RegionSchema* schema) {
+  std::vector<std::string> names;
+  for (const auto& spec : specs) {
+    std::string name = spec.output_name;
+    int suffix = 1;
+    while (schema->Contains(name)) {
+      name = spec.output_name + "_" + std::to_string(suffix++);
+    }
+    (void)schema->AddAttr(name, AggOutputType(spec.func));
+    names.push_back(name);
+  }
+  return names;
+}
+
+/// Concatenated, sorted regions of several samples.
+std::vector<GenomicRegion> ConcatRegions(const std::vector<const Sample*>& samples) {
+  std::vector<GenomicRegion> out;
+  size_t total = 0;
+  for (const auto* s : samples) total += s->regions.size();
+  out.reserve(total);
+  for (const auto* s : samples) {
+    out.insert(out.end(), s->regions.begin(), s->regions.end());
+  }
+  gdm::SortRegions(&out);
+  return out;
+}
+
+}  // namespace
+
+Result<gdm::Dataset> Operators::Select(const SelectParams& params,
+                                       const Dataset& in) {
+  Dataset out("SELECT", in.schema());
+  RegionPredicate::Ptr region_pred = params.region->Clone();
+  GDMS_RETURN_NOT_OK(region_pred->Bind(in.schema()));
+  for (const auto& s : in.samples()) {
+    if (!params.meta->Eval(s.metadata)) continue;
+    Sample kept(s.id);
+    kept.metadata = s.metadata;
+    kept.regions.reserve(s.regions.size());
+    for (const auto& r : s.regions) {
+      if (region_pred->Eval(r)) kept.regions.push_back(r);
+    }
+    out.AddSample(std::move(kept));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Project(const ProjectParams& params,
+                                        const Dataset& in) {
+  // Output schema: kept attributes then new attributes.
+  RegionSchema schema;
+  std::vector<size_t> keep_indexes;
+  if (params.keep_all) {
+    schema = in.schema();
+    for (size_t i = 0; i < in.schema().size(); ++i) keep_indexes.push_back(i);
+  } else {
+    for (const auto& name : params.keep_attrs) {
+      auto idx = in.schema().IndexOf(name);
+      if (!idx.has_value()) {
+        return Status::InvalidArgument("PROJECT keeps unknown attribute: " +
+                                       name);
+      }
+      keep_indexes.push_back(*idx);
+      GDMS_RETURN_NOT_OK(schema.AddAttr(name, in.schema().attr(*idx).type));
+    }
+  }
+  std::vector<RegionExpr::Ptr> exprs;
+  for (const auto& na : params.new_attrs) {
+    RegionExpr::Ptr expr = na.expr->Clone();
+    GDMS_RETURN_NOT_OK(expr->Bind(in.schema()));
+    GDMS_RETURN_NOT_OK(schema.AddAttr(na.name, expr->OutputType(in.schema())));
+    exprs.push_back(std::move(expr));
+  }
+
+  Dataset out("PROJECT", schema);
+  for (const auto& s : in.samples()) {
+    Sample ns(s.id);
+    if (params.meta_all) {
+      ns.metadata = s.metadata;
+    } else {
+      for (const auto& attr : params.keep_meta) {
+        for (const auto& value : s.metadata.ValuesOf(attr)) {
+          ns.metadata.Add(attr, value);
+        }
+      }
+    }
+    ns.regions.reserve(s.regions.size());
+    for (const auto& r : s.regions) {
+      GenomicRegion nr(r.chrom, r.left, r.right, r.strand);
+      nr.values.reserve(schema.size());
+      for (size_t ki : keep_indexes) nr.values.push_back(r.values[ki]);
+      for (const auto& expr : exprs) nr.values.push_back(expr->Eval(r));
+      ns.regions.push_back(std::move(nr));
+    }
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Extend(const ExtendParams& params,
+                                       const Dataset& in) {
+  GDMS_ASSIGN_OR_RETURN(std::vector<size_t> inputs,
+                        ResolveAggInputs(params.aggregates, in.schema()));
+  Dataset out("EXTEND", in.schema());
+  for (const auto& s : in.samples()) {
+    Sample ns = s;
+    std::vector<size_t> all(s.regions.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    auto values = EvaluateAggregates(params.aggregates, inputs, s.regions, all);
+    for (size_t a = 0; a < params.aggregates.size(); ++a) {
+      ns.metadata.Add(params.aggregates[a].output_name, values[a].ToString());
+    }
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Merge(const MergeParams& params,
+                                      const Dataset& in) {
+  Dataset out("MERGE", in.schema());
+  // Group samples by the groupby value ("" = single group).
+  std::map<std::string, std::vector<const Sample*>> groups;
+  for (const auto& s : in.samples()) {
+    std::string key =
+        params.groupby.empty() ? "" : s.metadata.FirstValue(params.groupby);
+    groups[key].push_back(&s);
+  }
+  for (const auto& [key, members] : groups) {
+    std::vector<SampleId> parents;
+    Metadata meta;
+    for (const auto* m : members) {
+      parents.push_back(m->id);
+      meta = Metadata::Union(meta, m->metadata);
+    }
+    Sample ns(gdm::DeriveSampleId("MERGE", parents));
+    ns.metadata = std::move(meta);
+    ns.regions = ConcatRegions(members);
+    AddProvenance(&ns, "MERGE", parents);
+    if (!params.groupby.empty()) ns.metadata.Add(params.groupby, key);
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Group(const GroupParams& params,
+                                      const Dataset& in) {
+  if (params.meta_attr.empty()) {
+    return Status::InvalidArgument("GROUP requires a metadata attribute");
+  }
+  GDMS_ASSIGN_OR_RETURN(std::vector<size_t> inputs,
+                        ResolveAggInputs(params.aggregates, in.schema()));
+  Dataset out("GROUP", in.schema());
+  std::map<std::string, std::vector<const Sample*>> groups;
+  for (const auto& s : in.samples()) {
+    groups[s.metadata.FirstValue(params.meta_attr)].push_back(&s);
+  }
+  for (const auto& [key, members] : groups) {
+    std::vector<SampleId> parents;
+    Metadata meta;
+    for (const auto* m : members) {
+      parents.push_back(m->id);
+      meta = Metadata::Union(meta, m->metadata);
+    }
+    Sample ns(gdm::DeriveSampleId("GROUP", parents));
+    ns.metadata = std::move(meta);
+    ns.regions = ConcatRegions(members);
+    // GROUP eliminates duplicate regions (same coordinates and values).
+    ns.regions.erase(
+        std::unique(ns.regions.begin(), ns.regions.end(),
+                    [](const GenomicRegion& a, const GenomicRegion& b) {
+                      return a.chrom == b.chrom && a.left == b.left &&
+                             a.right == b.right && a.strand == b.strand &&
+                             a.values == b.values;
+                    }),
+        ns.regions.end());
+    std::vector<size_t> all(ns.regions.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    auto values =
+        EvaluateAggregates(params.aggregates, inputs, ns.regions, all);
+    for (size_t a = 0; a < params.aggregates.size(); ++a) {
+      ns.metadata.Add(params.aggregates[a].output_name, values[a].ToString());
+    }
+    AddProvenance(&ns, "GROUP", parents);
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Order(const OrderParams& params,
+                                      const Dataset& in) {
+  if (params.meta_attr.empty()) {
+    return Status::InvalidArgument("ORDER requires a metadata attribute");
+  }
+  Dataset out("ORDER", in.schema());
+  std::vector<const Sample*> ordered;
+  ordered.reserve(in.num_samples());
+  for (const auto& s : in.samples()) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const Sample* a, const Sample* b) {
+                     std::string va = a->metadata.FirstValue(params.meta_attr);
+                     std::string vb = b->metadata.FirstValue(params.meta_attr);
+                     // Missing values sort last regardless of direction.
+                     bool ma = !a->metadata.Has(params.meta_attr);
+                     bool mb = !b->metadata.Has(params.meta_attr);
+                     if (ma != mb) return mb;
+                     int cmp = CompareMetaValues(va, vb);
+                     return params.descending ? cmp > 0 : cmp < 0;
+                   });
+  // Optional region clause: keep only the best region_top regions per
+  // sample by the given attribute; output regions stay coordinate-sorted.
+  std::optional<size_t> region_attr_index;
+  if (!params.region_attr.empty()) {
+    region_attr_index = in.schema().IndexOf(params.region_attr);
+    if (!region_attr_index.has_value()) {
+      return Status::InvalidArgument(
+          "ORDER region clause references unknown attribute: " +
+          params.region_attr);
+    }
+    if (params.region_top == 0) {
+      return Status::InvalidArgument("ORDER region clause requires TOP > 0");
+    }
+  }
+
+  size_t limit = params.top == 0 ? ordered.size()
+                                 : std::min(params.top, ordered.size());
+  for (size_t i = 0; i < limit; ++i) {
+    Sample ns = *ordered[i];
+    ns.metadata.RemoveAttr("_rank");
+    ns.metadata.Add("_rank", std::to_string(i + 1));
+    if (region_attr_index.has_value() &&
+        ns.regions.size() > params.region_top) {
+      size_t attr = *region_attr_index;
+      std::stable_sort(ns.regions.begin(), ns.regions.end(),
+                       [&](const GenomicRegion& a, const GenomicRegion& b) {
+                         // NULLs sort last regardless of direction.
+                         bool na = a.values[attr].is_null();
+                         bool nb = b.values[attr].is_null();
+                         if (na != nb) return nb;
+                         int cmp = a.values[attr].Compare(b.values[attr]);
+                         return params.region_descending ? cmp > 0 : cmp < 0;
+                       });
+      ns.regions.resize(params.region_top);
+      ns.SortNow();
+    }
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Union(const Dataset& left,
+                                      const Dataset& right) {
+  std::vector<size_t> right_mapping;
+  RegionSchema schema = MergeWithMapping(left.schema(), right.schema(),
+                                         &right_mapping);
+  Dataset out("UNION", schema);
+  for (const auto& s : left.samples()) {
+    Sample ns(gdm::DeriveSampleId("UNION-L", {s.id}));
+    ns.metadata = s.metadata;
+    ns.regions.reserve(s.regions.size());
+    for (const auto& r : s.regions) {
+      GenomicRegion nr(r.chrom, r.left, r.right, r.strand);
+      nr.values = r.values;
+      nr.values.resize(schema.size());  // extra slots default to NULL
+      ns.regions.push_back(std::move(nr));
+    }
+    AddProvenance(&ns, "UNION-L", {s.id});
+    out.AddSample(std::move(ns));
+  }
+  for (const auto& s : right.samples()) {
+    Sample ns(gdm::DeriveSampleId("UNION-R", {s.id}));
+    ns.metadata = s.metadata;
+    ns.regions.reserve(s.regions.size());
+    for (const auto& r : s.regions) {
+      GenomicRegion nr(r.chrom, r.left, r.right, r.strand);
+      nr.values.resize(schema.size());
+      for (size_t i = 0; i < r.values.size(); ++i) {
+        nr.values[right_mapping[i]] = r.values[i];
+      }
+      ns.regions.push_back(std::move(nr));
+    }
+    AddProvenance(&ns, "UNION-R", {s.id});
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Difference(const DifferenceParams& params,
+                                           const Dataset& left,
+                                           const Dataset& right) {
+  Dataset out("DIFFERENCE", left.schema());
+  for (const auto& ls : left.samples()) {
+    // Pool the regions of every matching right sample.
+    std::vector<const Sample*> matching;
+    for (const auto& rs : right.samples()) {
+      if (JoinbyMatch(params.joinby, ls.metadata, rs.metadata)) {
+        matching.push_back(&rs);
+      }
+    }
+    Sample ns(ls.id);
+    ns.metadata = ls.metadata;
+    if (matching.empty()) {
+      ns.regions = ls.regions;
+    } else {
+      std::vector<GenomicRegion> negatives = ConcatRegions(matching);
+      std::vector<char> flags = interval::ExistsOverlap(ls.regions, negatives);
+      for (size_t i = 0; i < ls.regions.size(); ++i) {
+        if (!flags[i]) ns.regions.push_back(ls.regions[i]);
+      }
+    }
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Semijoin(const SemijoinParams& params,
+                                         const Dataset& left,
+                                         const Dataset& right) {
+  if (params.attrs.empty()) {
+    return Status::InvalidArgument("SEMIJOIN requires at least one attribute");
+  }
+  Dataset out("SEMIJOIN", left.schema());
+  for (const auto& ls : left.samples()) {
+    bool matched = false;
+    for (const auto& rs : right.samples()) {
+      if (JoinbyMatch(params.attrs, ls.metadata, rs.metadata)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched != params.negated) out.AddSample(ls);
+  }
+  return out;
+}
+
+bool Operators::JoinbyMatch(const std::vector<std::string>& joinby,
+                            const Metadata& a, const Metadata& b) {
+  for (const auto& attr : joinby) {
+    auto va = a.ValuesOf(attr);
+    auto vb = b.ValuesOf(attr);
+    bool shared = false;
+    for (const auto& x : va) {
+      for (const auto& y : vb) {
+        if (x == y) {
+          shared = true;
+          break;
+        }
+      }
+      if (shared) break;
+    }
+    if (!shared) return false;
+  }
+  return true;
+}
+
+gdm::RegionSchema Operators::JoinOutputSchema(const RegionSchema& left,
+                                              const RegionSchema& right) {
+  return RegionSchema::Concat(left, right, "right_");
+}
+
+gdm::Sample Operators::DerivedSample(const std::string& op_tag,
+                                     const Sample& left, const Sample& right,
+                                     bool prefix_left_right) {
+  Sample ns(gdm::DeriveSampleId(op_tag, {left.id, right.id}));
+  if (prefix_left_right) {
+    ns.metadata = Metadata::Union(left.metadata.WithPrefix("left."),
+                                  right.metadata.WithPrefix("right."));
+  } else {
+    ns.metadata = Metadata::Union(left.metadata, right.metadata);
+  }
+  AddProvenance(&ns, op_tag, {left.id, right.id});
+  return ns;
+}
+
+gdm::Sample Operators::DerivedGroupSample(
+    const std::string& op_tag, const std::vector<const Sample*>& members) {
+  std::vector<gdm::SampleId> parents;
+  Metadata meta;
+  for (const auto* m : members) {
+    parents.push_back(m->id);
+    meta = Metadata::Union(meta, m->metadata);
+  }
+  Sample ns(gdm::DeriveSampleId(op_tag, parents));
+  ns.metadata = std::move(meta);
+  AddProvenance(&ns, op_tag, parents);
+  return ns;
+}
+
+gdm::Sample Operators::JoinPair(const JoinParams& params,
+                                const Sample& left_sample,
+                                const Sample& right_sample) {
+  Sample ns = DerivedSample("JOIN", left_sample, right_sample, true);
+
+  const auto& pred = params.predicate;
+  auto emit = [&](size_t li, size_t ri) {
+    JoinEmit(params, left_sample.regions[li], right_sample.regions[ri],
+             &ns.regions);
+  };
+
+  if (pred.md_k > 0) {
+    interval::NearestK(left_sample.regions, right_sample.regions,
+                       static_cast<size_t>(pred.md_k), emit);
+  } else {
+    interval::DistanceJoin(left_sample.regions, right_sample.regions,
+                           pred.min_dist == INT64_MIN ? INT64_MIN / 4
+                                                      : pred.min_dist,
+                           pred.max_dist, emit);
+  }
+  ns.SortNow();
+  return ns;
+}
+
+bool Operators::JoinEmit(const JoinParams& params, const GenomicRegion& lr,
+                         const GenomicRegion& rr,
+                         std::vector<GenomicRegion>* out) {
+  const auto& pred = params.predicate;
+  int64_t d = lr.DistanceTo(rr);
+  if (d < pred.min_dist || d > pred.max_dist) return false;
+  if (pred.upstream || pred.downstream) {
+    // Strand-aware relative position of the right region w.r.t. the left.
+    bool minus = lr.strand == gdm::Strand::kMinus;
+    bool right_is_up = minus ? rr.left >= lr.right : rr.right <= lr.left;
+    bool right_is_down = minus ? rr.right <= lr.left : rr.left >= lr.right;
+    if (pred.upstream && !right_is_up) return false;
+    if (pred.downstream && !right_is_down) return false;
+  }
+  GenomicRegion out_region;
+  switch (params.output) {
+    case JoinOutput::kLeft:
+      out_region = GenomicRegion(lr.chrom, lr.left, lr.right, lr.strand);
+      break;
+    case JoinOutput::kRight:
+      out_region = GenomicRegion(rr.chrom, rr.left, rr.right, rr.strand);
+      break;
+    case JoinOutput::kIntersection:
+      if (!lr.Overlaps(rr)) return false;  // INT only emits overlapping pairs
+      out_region = interval::IntersectCoords(lr, rr);
+      break;
+    case JoinOutput::kContig:
+      if (lr.chrom != rr.chrom) return false;
+      out_region = interval::SpanCoords(lr, rr);
+      break;
+  }
+  out_region.values.reserve(lr.values.size() + rr.values.size());
+  out_region.values.insert(out_region.values.end(), lr.values.begin(),
+                           lr.values.end());
+  out_region.values.insert(out_region.values.end(), rr.values.begin(),
+                           rr.values.end());
+  out->push_back(std::move(out_region));
+  return true;
+}
+
+Result<gdm::Dataset> Operators::Join(const JoinParams& params,
+                                     const Dataset& left,
+                                     const Dataset& right) {
+  if (!params.predicate.has_upper && params.predicate.md_k == 0) {
+    return Status::InvalidArgument(
+        "genometric JOIN requires an upper distance bound (DLE/DLT) or MD(k)");
+  }
+  Dataset out("JOIN", JoinOutputSchema(left.schema(), right.schema()));
+  for (const auto& ls : left.samples()) {
+    for (const auto& rs : right.samples()) {
+      if (!JoinbyMatch(params.joinby, ls.metadata, rs.metadata)) continue;
+      out.AddSample(JoinPair(params, ls, rs));
+    }
+  }
+  return out;
+}
+
+std::vector<AggregateSpec> Operators::EffectiveMapAggregates(
+    const MapParams& params) {
+  if (!params.aggregates.empty()) return params.aggregates;
+  return {AggregateSpec{"count", AggFunc::kCount, ""}};
+}
+
+Result<gdm::RegionSchema> Operators::MapOutputSchema(
+    const MapParams& params, const RegionSchema& ref_schema) {
+  RegionSchema schema = ref_schema;
+  AppendAggAttrs(EffectiveMapAggregates(params), &schema);
+  return schema;
+}
+
+gdm::Sample Operators::MapPair(const std::vector<AggregateSpec>& specs,
+                               const std::vector<size_t>& agg_inputs,
+                               const Sample& ref_sample,
+                               const Sample& exp_sample) {
+  Sample ns = DerivedSample("MAP", ref_sample, exp_sample, false);
+
+  // One accumulator row per ref region.
+  std::vector<std::vector<AggAccumulator>> accs(ref_sample.regions.size());
+  for (auto& row : accs) {
+    row.reserve(specs.size());
+    for (const auto& spec : specs) row.emplace_back(spec.func);
+  }
+  interval::OverlapJoin(
+      ref_sample.regions, exp_sample.regions, [&](size_t ri, size_t ei) {
+        auto& row = accs[ri];
+        for (size_t a = 0; a < specs.size(); ++a) {
+          if (agg_inputs[a] == SIZE_MAX) {
+            row[a].AddRegion();
+          } else {
+            row[a].Add(exp_sample.regions[ei].values[agg_inputs[a]]);
+          }
+        }
+      });
+  ns.regions.reserve(ref_sample.regions.size());
+  for (size_t ri = 0; ri < ref_sample.regions.size(); ++ri) {
+    GenomicRegion nr = ref_sample.regions[ri];
+    for (auto& acc : accs[ri]) nr.values.push_back(acc.Finish());
+    ns.regions.push_back(std::move(nr));
+  }
+  return ns;
+}
+
+Result<gdm::Dataset> Operators::Map(const MapParams& params,
+                                    const Dataset& ref, const Dataset& exp) {
+  auto specs = EffectiveMapAggregates(params);
+  GDMS_ASSIGN_OR_RETURN(std::vector<size_t> inputs,
+                        ResolveAggInputs(specs, exp.schema()));
+  GDMS_ASSIGN_OR_RETURN(RegionSchema schema,
+                        MapOutputSchema(params, ref.schema()));
+  Dataset out("MAP", schema);
+  for (const auto& rs : ref.samples()) {
+    for (const auto& es : exp.samples()) {
+      if (!JoinbyMatch(params.joinby, rs.metadata, es.metadata)) continue;
+      out.AddSample(MapPair(specs, inputs, rs, es));
+    }
+  }
+  return out;
+}
+
+Result<gdm::Dataset> Operators::Cover(const CoverParams& params,
+                                      const Dataset& in) {
+  GDMS_ASSIGN_OR_RETURN(std::vector<size_t> inputs,
+                        ResolveAggInputs(params.aggregates, in.schema()));
+  // Output schema: acc_index for HISTOGRAM/SUMMIT, then aggregates.
+  RegionSchema schema;
+  bool with_acc = params.variant == CoverVariant::kHistogram ||
+                  params.variant == CoverVariant::kSummit;
+  if (with_acc) (void)schema.AddAttr("acc_index", AttrType::kInt);
+  AppendAggAttrs(params.aggregates, &schema);
+  Dataset out(CoverVariantName(params.variant), schema);
+
+  std::map<std::string, std::vector<const Sample*>> groups;
+  for (const auto& s : in.samples()) {
+    std::string key =
+        params.groupby.empty() ? "" : s.metadata.FirstValue(params.groupby);
+    groups[key].push_back(&s);
+  }
+
+  for (const auto& [key, members] : groups) {
+    std::vector<GenomicRegion> pooled = ConcatRegions(members);
+    auto profile = interval::AccumulationProfile(pooled);
+    interval::CoverBounds bounds{params.min_acc, params.max_acc};
+
+    std::vector<GenomicRegion> regions;
+    std::vector<int64_t> counts;
+    switch (params.variant) {
+      case CoverVariant::kCover:
+        regions = interval::Cover(profile, bounds);
+        break;
+      case CoverVariant::kFlat:
+        regions = interval::Flat(profile, bounds, pooled);
+        break;
+      case CoverVariant::kHistogram:
+        regions = interval::Histogram(profile, bounds, &counts);
+        break;
+      case CoverVariant::kSummit:
+        regions = interval::Summit(profile, bounds, &counts);
+        break;
+    }
+
+    Sample ns = DerivedGroupSample(CoverVariantName(params.variant), members);
+    if (!params.groupby.empty()) ns.metadata.Add(params.groupby, key);
+
+    // Aggregates over the input regions intersecting each output region.
+    std::vector<std::vector<AggAccumulator>> accs(regions.size());
+    if (!params.aggregates.empty()) {
+      for (auto& row : accs) {
+        row.reserve(params.aggregates.size());
+        for (const auto& spec : params.aggregates) row.emplace_back(spec.func);
+      }
+      interval::OverlapJoin(regions, pooled, [&](size_t oi, size_t ii) {
+        auto& row = accs[oi];
+        for (size_t a = 0; a < params.aggregates.size(); ++a) {
+          if (inputs[a] == SIZE_MAX) {
+            row[a].AddRegion();
+          } else {
+            row[a].Add(pooled[ii].values[inputs[a]]);
+          }
+        }
+      });
+    }
+    ns.regions.reserve(regions.size());
+    for (size_t i = 0; i < regions.size(); ++i) {
+      GenomicRegion nr = regions[i];
+      if (with_acc) nr.values.push_back(Value(counts[i]));
+      if (!params.aggregates.empty()) {
+        for (auto& acc : accs[i]) nr.values.push_back(acc.Finish());
+      }
+      ns.regions.push_back(std::move(nr));
+    }
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+}  // namespace gdms::core

@@ -1,0 +1,110 @@
+#ifndef GDMS_CORE_OPERATORS_H_
+#define GDMS_CORE_OPERATORS_H_
+
+#include "common/status.h"
+#include "core/plan.h"
+#include "gdm/dataset.h"
+
+namespace gdms::core {
+
+/// \brief Reference (sequential) implementations of every GMQL operator.
+///
+/// These definitions are the semantics of the language: the parallel
+/// executors in src/engine must produce datasets equal to these up to sample
+/// order. Each operator computes BOTH regions and metadata, connected by
+/// sample ids, and stamps a `_provenance` metadata entry on derived samples
+/// (paper, Section 2: "knowing why resulting regions were produced is quite
+/// relevant").
+class Operators {
+ public:
+  Operators() = delete;
+
+  static Result<gdm::Dataset> Select(const SelectParams& params,
+                                     const gdm::Dataset& in);
+  static Result<gdm::Dataset> Project(const ProjectParams& params,
+                                      const gdm::Dataset& in);
+  static Result<gdm::Dataset> Extend(const ExtendParams& params,
+                                     const gdm::Dataset& in);
+  static Result<gdm::Dataset> Merge(const MergeParams& params,
+                                    const gdm::Dataset& in);
+  static Result<gdm::Dataset> Group(const GroupParams& params,
+                                    const gdm::Dataset& in);
+  static Result<gdm::Dataset> Order(const OrderParams& params,
+                                    const gdm::Dataset& in);
+  static Result<gdm::Dataset> Union(const gdm::Dataset& left,
+                                    const gdm::Dataset& right);
+  static Result<gdm::Dataset> Difference(const DifferenceParams& params,
+                                         const gdm::Dataset& left,
+                                         const gdm::Dataset& right);
+  /// Metadata semijoin: keeps left samples that share a value on every
+  /// listed attribute with at least one right sample (or with none, when
+  /// negated). Regions, metadata, ids and schema pass through untouched.
+  static Result<gdm::Dataset> Semijoin(const SemijoinParams& params,
+                                       const gdm::Dataset& left,
+                                       const gdm::Dataset& right);
+  static Result<gdm::Dataset> Join(const JoinParams& params,
+                                   const gdm::Dataset& left,
+                                   const gdm::Dataset& right);
+  static Result<gdm::Dataset> Map(const MapParams& params,
+                                  const gdm::Dataset& ref,
+                                  const gdm::Dataset& exp);
+  static Result<gdm::Dataset> Cover(const CoverParams& params,
+                                    const gdm::Dataset& in);
+
+  /// The effective aggregate list of a MAP: params.aggregates, or the
+  /// default single `count AS COUNT` when empty.
+  static std::vector<AggregateSpec> EffectiveMapAggregates(
+      const MapParams& params);
+
+  /// Output schema of a MAP with the given inputs (ref schema + aggregate
+  /// columns, deduplicating collisions with a numeric suffix).
+  static Result<gdm::RegionSchema> MapOutputSchema(
+      const MapParams& params, const gdm::RegionSchema& ref_schema);
+
+  /// Output schema of a genometric JOIN (left concat right, with renames).
+  static gdm::RegionSchema JoinOutputSchema(const gdm::RegionSchema& left,
+                                            const gdm::RegionSchema& right);
+
+  /// True when two samples match on every joinby attribute (sharing at
+  /// least one value per attribute). An empty list always matches.
+  static bool JoinbyMatch(const std::vector<std::string>& joinby,
+                          const gdm::Metadata& a, const gdm::Metadata& b);
+
+  /// Computes one MAP output sample for the pair (ref_sample, exp_sample);
+  /// exposed so the parallel engine can reuse the exact region semantics.
+  static gdm::Sample MapPair(const std::vector<AggregateSpec>& specs,
+                             const std::vector<size_t>& agg_inputs,
+                             const gdm::Sample& ref_sample,
+                             const gdm::Sample& exp_sample);
+
+  /// Computes the JOIN output regions for one sample pair; exposed for the
+  /// parallel engine.
+  static gdm::Sample JoinPair(const JoinParams& params,
+                              const gdm::Sample& left_sample,
+                              const gdm::Sample& right_sample);
+
+  /// Builds the derived sample shell (content-hashed id, merged metadata,
+  /// `_provenance` stamp) for a binary operation over `parents`. With
+  /// `prefix_left_right`, parent metadata is namespaced "left." / "right."
+  /// (JOIN); otherwise it is unioned as-is (MAP). Regions are left empty.
+  static gdm::Sample DerivedSample(const std::string& op_tag,
+                                   const gdm::Sample& left,
+                                   const gdm::Sample& right,
+                                   bool prefix_left_right);
+
+  /// N-ary variant used by MERGE / GROUP / COVER groups: unioned metadata of
+  /// all members, content-hashed id, `_provenance` stamp. Regions empty.
+  static gdm::Sample DerivedGroupSample(
+      const std::string& op_tag, const std::vector<const gdm::Sample*>& members);
+
+  /// Applies the genometric predicate and output option to one candidate
+  /// region pair, appending the output region on success. Returns true when
+  /// a region was emitted. Shared by the reference and parallel JOINs.
+  static bool JoinEmit(const JoinParams& params, const gdm::GenomicRegion& lr,
+                       const gdm::GenomicRegion& rr,
+                       std::vector<gdm::GenomicRegion>* out);
+};
+
+}  // namespace gdms::core
+
+#endif  // GDMS_CORE_OPERATORS_H_

@@ -1,0 +1,39 @@
+#ifndef GDMS_CORE_OPTIMIZER_H_
+#define GDMS_CORE_OPTIMIZER_H_
+
+#include "core/plan.h"
+
+namespace gdms::core {
+
+/// Statistics of one optimization pass, for the E11 experiment report.
+struct OptimizerStats {
+  size_t selects_fused = 0;
+  size_t selects_pushed_through_union = 0;
+  size_t nodes_deduplicated = 0;  // common-subexpression eliminations
+  size_t nodes_before = 0;
+  size_t nodes_after = 0;
+};
+
+/// \brief The logical optimizer.
+///
+/// Rewrites applied (paper, Section 4.2 mentions a "logical optimizer"
+/// shared by both parallel encodings):
+///   1. SELECT fusion       — SELECT(p2)(SELECT(p1)(X)) => SELECT(p1 AND p2)(X)
+///   2. Meta-select pushdown through UNION — a metadata-only SELECT above a
+///      UNION is applied to both branches, shrinking the (expensive) schema-
+///      merging union input.
+///   3. Common-subexpression elimination — structurally identical subplans
+///      (by PlanNode::Signature) collapse to one shared node, which the
+///      memoizing runner then evaluates once.
+///
+/// Dead-variable elimination is inherent: evaluation starts from the
+/// materialized sinks, so unreferenced statements are never run.
+class Optimizer {
+ public:
+  /// Optimizes the program in place; returns pass statistics.
+  static OptimizerStats Optimize(Program* program);
+};
+
+}  // namespace gdms::core
+
+#endif  // GDMS_CORE_OPTIMIZER_H_

@@ -1,0 +1,65 @@
+#ifndef GDMS_CORE_PARSER_H_
+#define GDMS_CORE_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/plan.h"
+
+namespace gdms::core {
+
+/// \brief Parser for the GMQL surface syntax.
+///
+/// A program is a sequence of statements in the style of the paper's
+/// Section 2 example:
+///
+///     PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+///     PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+///     RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+///     MATERIALIZE RESULT;
+///
+/// Statements:
+///   VAR = OPNAME(params) OPERAND [OPERAND];
+///   MATERIALIZE VAR [INTO name];
+///
+/// Operator parameter grammars (everything case-insensitive except
+/// identifiers and string literals):
+///   SELECT( [meta_pred] [; region: region_pred] )
+///   PROJECT( attr, ... | * [; new_attr AS expr, ...] )
+///   EXTEND( name AS FUNC(attr), ... )
+///   MERGE( [groupby: attr] )
+///   GROUP( attr [; name AS FUNC(attr), ...] )
+///   ORDER( attr [DESC] [; TOP n] )
+///   UNION( )
+///   DIFFERENCE( [joinby: attr, ...] )
+///   SEMIJOIN( attr, ... [; NOT] )   -- keep left samples sharing values
+///                                      with some (NOT: no) right sample
+///   JOIN( atom [AND atom ...] ; output [; joinby: attr, ...] )
+///       atom   := DLE(n) | DLT(n) | DGE(n) | DGT(n) | MD(k) | UP | DOWN
+///       output := LEFT | RIGHT | INT | CAT
+///   MAP( [name AS FUNC(attr), ...] [; joinby: attr, ...] )
+///   COVER( minAcc, maxAcc [; name AS FUNC(attr), ...] [; groupby: attr] )
+///       minAcc/maxAcc := integer | ANY | ALL
+///   FLAT / SUMMIT / HISTOGRAM — same parameters as COVER.
+///
+/// Predicates: comparisons (==, !=, <, <=, >, >=) combined with AND / OR /
+/// NOT and parentheses; metadata comparisons take quoted or bare values,
+/// region comparisons compare against typed constants. Projection
+/// expressions support + - * / over attributes (left, right, len, schema
+/// attrs) and numeric constants.
+///
+/// Unbound operand names are resolved as dataset sources; bound names refer
+/// to earlier statements, sharing the plan subtree (so the optimizer's CSE
+/// sees one node).
+class Parser {
+ public:
+  /// Parses a full program. Every variable that is the target of
+  /// MATERIALIZE becomes a sink; if no MATERIALIZE appears, the last
+  /// assigned variable is materialized under its own name.
+  static Result<Program> Parse(const std::string& text);
+};
+
+}  // namespace gdms::core
+
+#endif  // GDMS_CORE_PARSER_H_

@@ -1,0 +1,298 @@
+#include "core/plan.h"
+
+namespace gdms::core {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSource:
+      return "SOURCE";
+    case OpKind::kSelect:
+      return "SELECT";
+    case OpKind::kProject:
+      return "PROJECT";
+    case OpKind::kExtend:
+      return "EXTEND";
+    case OpKind::kMerge:
+      return "MERGE";
+    case OpKind::kGroup:
+      return "GROUP";
+    case OpKind::kOrder:
+      return "ORDER";
+    case OpKind::kUnion:
+      return "UNION";
+    case OpKind::kDifference:
+      return "DIFFERENCE";
+    case OpKind::kSemijoin:
+      return "SEMIJOIN";
+    case OpKind::kJoin:
+      return "JOIN";
+    case OpKind::kMap:
+      return "MAP";
+    case OpKind::kCover:
+      return "COVER";
+    case OpKind::kMaterialize:
+      return "MATERIALIZE";
+  }
+  return "?";
+}
+
+const char* CoverVariantName(CoverVariant v) {
+  switch (v) {
+    case CoverVariant::kCover:
+      return "COVER";
+    case CoverVariant::kFlat:
+      return "FLAT";
+    case CoverVariant::kSummit:
+      return "SUMMIT";
+    case CoverVariant::kHistogram:
+      return "HISTOGRAM";
+  }
+  return "?";
+}
+
+const char* JoinOutputName(JoinOutput o) {
+  switch (o) {
+    case JoinOutput::kLeft:
+      return "LEFT";
+    case JoinOutput::kRight:
+      return "RIGHT";
+    case JoinOutput::kIntersection:
+      return "INT";
+    case JoinOutput::kContig:
+      return "CAT";
+  }
+  return "?";
+}
+
+std::string GenometricPredicate::ToString() const {
+  std::string out;
+  auto append = [&](const std::string& s) {
+    if (!out.empty()) out += " AND ";
+    out += s;
+  };
+  if (has_upper) append("DLE(" + std::to_string(max_dist) + ")");
+  if (min_dist != INT64_MIN) append("DGE(" + std::to_string(min_dist) + ")");
+  if (md_k > 0) append("MD(" + std::to_string(md_k) + ")");
+  if (upstream) append("UP");
+  if (downstream) append("DOWN");
+  if (out.empty()) out = "true";
+  return out;
+}
+
+namespace {
+
+std::string JoinStrings(const std::vector<std::string>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += v[i];
+  }
+  return out;
+}
+
+std::string AggsToString(const std::vector<AggregateSpec>& aggs) {
+  std::string out;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PlanNode::Signature() const {
+  std::string out = OpKindName(kind);
+  out += "(";
+  switch (kind) {
+    case OpKind::kSource:
+      out += name;
+      break;
+    case OpKind::kSelect:
+      out += select.meta->ToString();
+      out += "; region: ";
+      out += select.region->ToString();
+      break;
+    case OpKind::kProject: {
+      out += project.keep_all ? "*" : JoinStrings(project.keep_attrs);
+      for (const auto& na : project.new_attrs) {
+        out += "; " + na.name + " AS " + na.expr->ToString();
+      }
+      if (!project.meta_all) {
+        out += "; meta: " + JoinStrings(project.keep_meta);
+      }
+      break;
+    }
+    case OpKind::kExtend:
+      out += AggsToString(extend.aggregates);
+      break;
+    case OpKind::kMerge:
+      out += merge.groupby;
+      break;
+    case OpKind::kGroup:
+      out += group.meta_attr + "; " + AggsToString(group.aggregates);
+      break;
+    case OpKind::kOrder:
+      out += order.meta_attr;
+      if (order.descending) out += " DESC";
+      if (order.top > 0) out += "; TOP " + std::to_string(order.top);
+      if (!order.region_attr.empty()) {
+        out += "; region: " + order.region_attr;
+        if (order.region_descending) out += " DESC";
+        out += " TOP " + std::to_string(order.region_top);
+      }
+      break;
+    case OpKind::kUnion:
+      break;
+    case OpKind::kDifference:
+      out += "joinby: " + JoinStrings(difference.joinby);
+      break;
+    case OpKind::kSemijoin:
+      out += JoinStrings(semijoin.attrs);
+      if (semijoin.negated) out += "; NOT";
+      break;
+    case OpKind::kJoin:
+      out += join.predicate.ToString();
+      out += "; ";
+      out += JoinOutputName(join.output);
+      if (!join.joinby.empty()) out += "; joinby: " + JoinStrings(join.joinby);
+      break;
+    case OpKind::kMap:
+      out += AggsToString(map.aggregates);
+      if (!map.joinby.empty()) out += "; joinby: " + JoinStrings(map.joinby);
+      break;
+    case OpKind::kCover:
+      out += CoverVariantName(cover.variant);
+      out += " " + std::to_string(cover.min_acc) + "," +
+             std::to_string(cover.max_acc);
+      if (!cover.aggregates.empty()) out += "; " + AggsToString(cover.aggregates);
+      if (!cover.groupby.empty()) out += "; groupby: " + cover.groupby;
+      break;
+    case OpKind::kMaterialize:
+      out += name;
+      break;
+  }
+  out += ")";
+  if (!children.empty()) {
+    out += "[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += children[i]->Signature();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+PlanNode::Ptr PlanNode::Source(std::string dataset_name) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kSource;
+  n->name = std::move(dataset_name);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Select(Ptr child, SelectParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kSelect;
+  n->children = {std::move(child)};
+  n->select = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Project(Ptr child, ProjectParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kProject;
+  n->children = {std::move(child)};
+  n->project = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Extend(Ptr child, ExtendParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kExtend;
+  n->children = {std::move(child)};
+  n->extend = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Merge(Ptr child, MergeParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kMerge;
+  n->children = {std::move(child)};
+  n->merge = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Group(Ptr child, GroupParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kGroup;
+  n->children = {std::move(child)};
+  n->group = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Order(Ptr child, OrderParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kOrder;
+  n->children = {std::move(child)};
+  n->order = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Union(Ptr left, Ptr right) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kUnion;
+  n->children = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Difference(Ptr left, Ptr right,
+                                   DifferenceParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kDifference;
+  n->children = {std::move(left), std::move(right)};
+  n->difference = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Semijoin(Ptr left, Ptr right, SemijoinParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kSemijoin;
+  n->children = {std::move(left), std::move(right)};
+  n->semijoin = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Join(Ptr left, Ptr right, JoinParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kJoin;
+  n->children = {std::move(left), std::move(right)};
+  n->join = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Map(Ptr ref, Ptr exp, MapParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kMap;
+  n->children = {std::move(ref), std::move(exp)};
+  n->map = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Cover(Ptr child, CoverParams params) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kCover;
+  n->children = {std::move(child)};
+  n->cover = std::move(params);
+  return n;
+}
+
+PlanNode::Ptr PlanNode::Materialize(Ptr child, std::string output_name) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kMaterialize;
+  n->children = {std::move(child)};
+  n->name = std::move(output_name);
+  return n;
+}
+
+}  // namespace gdms::core

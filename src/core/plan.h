@@ -1,0 +1,198 @@
+#ifndef GDMS_CORE_PLAN_H_
+#define GDMS_CORE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregates.h"
+#include "core/predicates.h"
+
+namespace gdms::core {
+
+/// GMQL operators (paper, Section 2: classic algebraic transformations plus
+/// the domain-specific COVER, MAP and GENOMETRIC JOIN).
+enum class OpKind {
+  kSource,       ///< leaf: a named dataset from the repository
+  kSelect,
+  kProject,
+  kExtend,
+  kMerge,
+  kGroup,
+  kOrder,
+  kUnion,
+  kDifference,
+  kSemijoin,
+  kJoin,
+  kMap,
+  kCover,
+  kMaterialize,  ///< sink marker
+};
+
+const char* OpKindName(OpKind kind);
+
+/// COVER family variants.
+enum class CoverVariant { kCover, kFlat, kSummit, kHistogram };
+
+const char* CoverVariantName(CoverVariant v);
+
+/// Output coordinate option of a genometric join.
+enum class JoinOutput { kLeft, kRight, kIntersection, kContig };
+
+const char* JoinOutputName(JoinOutput o);
+
+/// \brief A genometric predicate: conjunction of distance atoms.
+///
+/// `DLE(n)`/`DLT(n)` upper-bound the genometric distance, `DGE(n)`/`DGT(n)`
+/// lower-bound it, `MD(k)` restricts to the k nearest right-operand regions
+/// of each left region, and UP / DOWN constrain the right region to lie
+/// up/down-stream of the left one (strand-aware). At least one upper bound
+/// (DLE/DLT) or MD(k) is required, otherwise the join is unbounded.
+struct GenometricPredicate {
+  int64_t min_dist = INT64_MIN;   ///< from DGE/DGT (exclusive handled below)
+  int64_t max_dist = INT64_MAX;   ///< from DLE/DLT
+  bool has_upper = false;
+  int64_t md_k = 0;               ///< 0 = no MD clause
+  bool upstream = false;
+  bool downstream = false;
+
+  std::string ToString() const;
+};
+
+struct SelectParams {
+  MetaPredicate::Ptr meta = MetaPredicate::True();
+  RegionPredicate::Ptr region = RegionPredicate::True();
+};
+
+struct ProjectParams {
+  /// Variable attributes to keep, in order; empty + keep_all keeps all.
+  std::vector<std::string> keep_attrs;
+  bool keep_all = false;
+  /// New attributes computed per region.
+  struct NewAttr {
+    std::string name;
+    RegionExpr::Ptr expr;
+  };
+  std::vector<NewAttr> new_attrs;
+  /// Metadata projection: when meta_all is false, only the listed metadata
+  /// attributes survive.
+  std::vector<std::string> keep_meta;
+  bool meta_all = true;
+};
+
+struct ExtendParams {
+  std::vector<AggregateSpec> aggregates;  ///< become metadata entries
+};
+
+struct MergeParams {
+  /// When set, merge samples per distinct value of this metadata attribute
+  /// instead of all into one.
+  std::string groupby;
+};
+
+struct GroupParams {
+  std::string meta_attr;                   ///< grouping key
+  std::vector<AggregateSpec> aggregates;   ///< per-group region aggregates
+};
+
+struct OrderParams {
+  std::string meta_attr;
+  bool descending = false;
+  /// 0 = keep all samples.
+  size_t top = 0;
+  /// Optional region clause: per sample, keep the region_top regions with
+  /// the best region_attr value (output stays coordinate-sorted).
+  std::string region_attr;
+  bool region_descending = false;
+  size_t region_top = 0;
+};
+
+struct DifferenceParams {
+  /// Optional joinby metadata attributes: a right sample contributes to a
+  /// left sample's subtraction only when all listed attributes share a value.
+  std::vector<std::string> joinby;
+};
+
+struct SemijoinParams {
+  /// Attributes that must share a value with at least one right sample.
+  std::vector<std::string> attrs;
+  /// Inverted semijoin: keep left samples matching NO right sample.
+  bool negated = false;
+};
+
+struct JoinParams {
+  GenometricPredicate predicate;
+  JoinOutput output = JoinOutput::kLeft;
+  std::vector<std::string> joinby;  ///< metadata equi-join attributes
+};
+
+struct MapParams {
+  /// Empty list means the default single COUNT aggregate named "count".
+  std::vector<AggregateSpec> aggregates;
+  std::vector<std::string> joinby;
+};
+
+struct CoverParams {
+  CoverVariant variant = CoverVariant::kCover;
+  /// interval::CoverBounds values; kAny = -1, kAll = -2 sentinels.
+  int64_t min_acc = 1;
+  int64_t max_acc = -1;
+  std::vector<AggregateSpec> aggregates;
+  std::string groupby;  ///< optional: one output sample per metadata value
+};
+
+/// \brief One node of the logical query DAG.
+///
+/// Children are shared: the optimizer's common-subexpression elimination
+/// makes identical subplans literally the same node, and the evaluator
+/// memoizes per node.
+struct PlanNode {
+  using Ptr = std::shared_ptr<PlanNode>;
+
+  OpKind kind = OpKind::kSource;
+  std::vector<Ptr> children;
+
+  /// kSource: dataset name in the repository. kMaterialize: output name.
+  std::string name;
+
+  SelectParams select;
+  ProjectParams project;
+  ExtendParams extend;
+  MergeParams merge;
+  GroupParams group;
+  OrderParams order;
+  DifferenceParams difference;
+  SemijoinParams semijoin;
+  JoinParams join;
+  MapParams map;
+  CoverParams cover;
+
+  /// Canonical rendering of the whole subtree; equal strings = equal plans
+  /// (the CSE key).
+  std::string Signature() const;
+
+  static Ptr Source(std::string dataset_name);
+  static Ptr Select(Ptr child, SelectParams params);
+  static Ptr Project(Ptr child, ProjectParams params);
+  static Ptr Extend(Ptr child, ExtendParams params);
+  static Ptr Merge(Ptr child, MergeParams params);
+  static Ptr Group(Ptr child, GroupParams params);
+  static Ptr Order(Ptr child, OrderParams params);
+  static Ptr Union(Ptr left, Ptr right);
+  static Ptr Difference(Ptr left, Ptr right, DifferenceParams params);
+  static Ptr Semijoin(Ptr left, Ptr right, SemijoinParams params);
+  static Ptr Join(Ptr left, Ptr right, JoinParams params);
+  static Ptr Map(Ptr ref, Ptr exp, MapParams params);
+  static Ptr Cover(Ptr child, CoverParams params);
+  static Ptr Materialize(Ptr child, std::string output_name);
+};
+
+/// A parsed GMQL program: named sinks to evaluate.
+struct Program {
+  std::vector<PlanNode::Ptr> sinks;  ///< all kMaterialize nodes
+};
+
+}  // namespace gdms::core
+
+#endif  // GDMS_CORE_PLAN_H_

@@ -1,0 +1,121 @@
+#include "core/runner.h"
+
+#include <chrono>
+
+namespace gdms::core {
+
+QueryRunner::QueryRunner()
+    : owned_executor_(std::make_unique<ReferenceExecutor>()),
+      executor_(owned_executor_.get()) {}
+
+QueryRunner::QueryRunner(Executor* executor) : executor_(executor) {}
+
+void QueryRunner::RegisterDataset(gdm::Dataset dataset) {
+  std::string name = dataset.name();
+  sources_.insert_or_assign(std::move(name), std::move(dataset));
+}
+
+const gdm::Dataset* QueryRunner::FindDataset(const std::string& name) const {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> QueryRunner::DatasetNames() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, ds] : sources_) out.push_back(name);
+  return out;
+}
+
+Result<std::map<std::string, gdm::Dataset>> QueryRunner::Run(
+    const std::string& gmql_text) {
+  GDMS_ASSIGN_OR_RETURN(Program program, Parser::Parse(gmql_text));
+  return RunProgram(std::move(program));
+}
+
+Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
+    Program program) {
+  auto start = std::chrono::steady_clock::now();
+  stats_ = RunStats{};
+  if (optimize_) {
+    stats_.optimizer = Optimizer::Optimize(&program);
+  }
+  std::map<const PlanNode*, gdm::Dataset> memo;
+  std::map<std::string, gdm::Dataset> outputs;
+  // Evaluate every sink first (the memo may be shared across sinks), then
+  // extract results. A sink result is moved out of the memo when no other
+  // sink shares its subtree — large results are not copied on the way out.
+  for (const auto& sink : program.sinks) {
+    GDMS_RETURN_NOT_OK(Evaluate(sink, &memo).status());
+  }
+  for (size_t i = 0; i < program.sinks.size(); ++i) {
+    const PlanNode::Ptr& sink = program.sinks[i];
+    const PlanNode* payload = sink->kind == OpKind::kMaterialize
+                                  ? sink->children[0].get()
+                                  : sink.get();
+    bool shared = false;
+    for (size_t j = i + 1; j < program.sinks.size(); ++j) {
+      const PlanNode* other = program.sinks[j]->kind == OpKind::kMaterialize
+                                  ? program.sinks[j]->children[0].get()
+                                  : program.sinks[j].get();
+      if (other == payload) shared = true;
+    }
+    gdm::Dataset out;
+    auto it = memo.find(payload);
+    if (it != memo.end()) {
+      if (shared) {
+        out = it->second;
+      } else {
+        out = std::move(it->second);
+        memo.erase(it);
+      }
+    } else {
+      // The payload is a source dataset; never move registry entries.
+      const gdm::Dataset* src = FindDataset(payload->name);
+      if (src == nullptr) {
+        return Status::NotFound("unknown dataset: " + payload->name);
+      }
+      out = *src;
+    }
+    out.set_name(sink->name);
+    outputs.insert_or_assign(sink->name, std::move(out));
+  }
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outputs;
+}
+
+Result<const gdm::Dataset*> QueryRunner::Evaluate(
+    const PlanNode::Ptr& node, std::map<const PlanNode*, gdm::Dataset>* memo) {
+  auto it = memo->find(node.get());
+  if (it != memo->end()) {
+    ++stats_.cache_hits;
+    return &it->second;
+  }
+  if (node->kind == OpKind::kSource) {
+    const gdm::Dataset* src = FindDataset(node->name);
+    if (src == nullptr) {
+      return Status::NotFound("unknown dataset: " + node->name);
+    }
+    return src;
+  }
+  // MATERIALIZE is a sink marker with no data semantics: pass the child
+  // through so large results are never copied just to be renamed.
+  if (node->kind == OpKind::kMaterialize) {
+    return Evaluate(node->children[0], memo);
+  }
+  std::vector<const gdm::Dataset*> inputs;
+  inputs.reserve(node->children.size());
+  for (const auto& child : node->children) {
+    GDMS_ASSIGN_OR_RETURN(const gdm::Dataset* in, Evaluate(child, memo));
+    inputs.push_back(in);
+  }
+  GDMS_ASSIGN_OR_RETURN(gdm::Dataset out, executor_->Execute(*node, inputs));
+  ++stats_.operators_evaluated;
+  auto [pos, inserted] = memo->emplace(node.get(), std::move(out));
+  (void)inserted;
+  return &pos->second;
+}
+
+}  // namespace gdms::core

@@ -1,0 +1,74 @@
+#ifndef GDMS_CORE_RUNNER_H_
+#define GDMS_CORE_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/executor.h"
+#include "core/optimizer.h"
+#include "core/parser.h"
+#include "core/plan.h"
+#include "gdm/dataset.h"
+
+namespace gdms::core {
+
+/// Per-query execution statistics.
+struct RunStats {
+  size_t operators_evaluated = 0;  ///< nodes executed (memoization excluded)
+  size_t cache_hits = 0;           ///< nodes served from the memo table
+  OptimizerStats optimizer;
+  double wall_seconds = 0;
+};
+
+/// \brief End-to-end GMQL query runner.
+///
+/// Owns a registry of named source datasets, compiles GMQL text (or accepts
+/// prebuilt Programs), optionally optimizes, and evaluates the DAG bottom-up
+/// with per-node memoization through a pluggable Executor. Results are the
+/// materialized datasets keyed by output name.
+class QueryRunner {
+ public:
+  QueryRunner();
+  /// Uses a caller-provided executor (e.g. a parallel engine); the executor
+  /// must outlive the runner.
+  explicit QueryRunner(Executor* executor);
+
+  /// Registers a source dataset under its name (replacing any previous one).
+  void RegisterDataset(gdm::Dataset dataset);
+
+  /// Access to a registered dataset; nullptr if absent.
+  const gdm::Dataset* FindDataset(const std::string& name) const;
+
+  /// Names of all registered datasets.
+  std::vector<std::string> DatasetNames() const;
+
+  void set_optimize(bool on) { optimize_ = on; }
+  bool optimize() const { return optimize_; }
+
+  const RunStats& last_stats() const { return stats_; }
+
+  /// Parses, optimizes and runs a GMQL program; returns the materialized
+  /// datasets by output name.
+  Result<std::map<std::string, gdm::Dataset>> Run(const std::string& gmql_text);
+
+  /// Runs a prebuilt program (it is copied; optimization happens on the
+  /// copy when enabled).
+  Result<std::map<std::string, gdm::Dataset>> RunProgram(Program program);
+
+ private:
+  Result<const gdm::Dataset*> Evaluate(
+      const PlanNode::Ptr& node,
+      std::map<const PlanNode*, gdm::Dataset>* memo);
+
+  std::unique_ptr<Executor> owned_executor_;
+  Executor* executor_;
+  std::map<std::string, gdm::Dataset> sources_;
+  bool optimize_ = true;
+  RunStats stats_;
+};
+
+}  // namespace gdms::core
+
+#endif  // GDMS_CORE_RUNNER_H_

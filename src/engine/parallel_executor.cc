@@ -1,0 +1,583 @@
+#include "engine/parallel_executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "engine/shuffle.h"
+#include "interval/accumulation.h"
+#include "interval/sweep.h"
+
+namespace gdms::engine {
+
+namespace {
+
+using core::AggAccumulator;
+using core::AggregateSpec;
+using core::OpKind;
+using core::Operators;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Value;
+
+/// Overlap sweep over single-chromosome slices (both sorted by left).
+/// `window` > 0 turns it into a distance-window sweep.
+template <typename Sink>
+void SliceSweep(const std::vector<GenomicRegion>& refs, size_t rb, size_t re,
+                const std::vector<GenomicRegion>& exps, size_t eb, size_t ee,
+                int64_t window, Sink&& sink) {
+  size_t j = eb;
+  std::vector<size_t> active;
+  for (size_t i = rb; i < re; ++i) {
+    const GenomicRegion& r = refs[i];
+    while (j < ee && exps[j].left < r.right + window) {
+      active.push_back(j);
+      ++j;
+    }
+    size_t keep = 0;
+    for (size_t a : active) {
+      if (exps[a].right > r.left - window) active[keep++] = a;
+    }
+    active.resize(keep);
+    for (size_t a : active) {
+      if (exps[a].left < r.right + window && exps[a].right > r.left - window) {
+        sink(i, a);
+      }
+    }
+  }
+}
+
+/// Max region length per chromosome of a sorted region list.
+std::map<int32_t, int64_t> MaxLenByChrom(
+    const std::vector<GenomicRegion>& regions) {
+  std::map<int32_t, int64_t> out;
+  for (const auto& r : regions) {
+    auto& m = out[r.chrom];
+    m = std::max(m, r.length());
+  }
+  return out;
+}
+
+uint64_t SliceBytes(const std::vector<GenomicRegion>& regions, size_t begin,
+                    size_t end, std::string* buffer) {
+  size_t before = buffer->size();
+  RegionCodec::Encode(regions, begin, end, buffer);
+  return buffer->size() - before;
+}
+
+}  // namespace
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMaterialized:
+      return "materialized";
+    case BackendKind::kPipelined:
+      return "pipelined";
+  }
+  return "?";
+}
+
+ParallelExecutor::ParallelExecutor(EngineOptions options)
+    : options_(options), pool_(options.threads) {}
+
+std::vector<ParallelExecutor::Partition> ParallelExecutor::MakePartitions(
+    const std::vector<GenomicRegion>& refs,
+    const std::vector<GenomicRegion>& exps, int64_t slack) const {
+  std::vector<Partition> out;
+  if (refs.empty()) return out;
+  auto max_len = MaxLenByChrom(exps);
+  size_t i = 0;
+  while (i < refs.size()) {
+    size_t begin = i;
+    int32_t chrom = refs[i].chrom;
+    int64_t span_start = refs[i].left;
+    int64_t max_right = refs[i].right;
+    ++i;
+    while (i < refs.size() && refs[i].chrom == chrom &&
+           refs[i].left < span_start + options_.bin_size) {
+      max_right = std::max(max_right, refs[i].right);
+      ++i;
+    }
+    // Matching exp range: regions whose span (widened by slack) can reach
+    // any ref in [begin, i). Exps are sorted by (chrom, left); use the
+    // chromosome's max exp length to bound how far left to reach.
+    int64_t reach = slack;
+    auto ml = max_len.find(chrom);
+    int64_t exp_len = ml == max_len.end() ? 0 : ml->second;
+    int64_t lo_pos = span_start - reach - exp_len;
+    int64_t hi_pos = max_right + reach;
+    auto lower = std::lower_bound(
+        exps.begin(), exps.end(), std::make_pair(chrom, lo_pos),
+        [](const GenomicRegion& r, const std::pair<int32_t, int64_t>& key) {
+          if (r.chrom != key.first) return r.chrom < key.first;
+          return r.left < key.second;
+        });
+    auto upper = std::lower_bound(
+        exps.begin(), exps.end(), std::make_pair(chrom, hi_pos),
+        [](const GenomicRegion& r, const std::pair<int32_t, int64_t>& key) {
+          if (r.chrom != key.first) return r.chrom < key.first;
+          return r.left < key.second;
+        });
+    out.push_back({begin, i, static_cast<size_t>(lower - exps.begin()),
+                   static_cast<size_t>(upper - exps.begin())});
+  }
+  return out;
+}
+
+Result<gdm::Dataset> ParallelExecutor::Execute(
+    const core::PlanNode& node, const std::vector<const Dataset*>& inputs) {
+  switch (node.kind) {
+    case OpKind::kSelect:
+      return ParallelSelect(node.select, *inputs[0]);
+    case OpKind::kMap:
+      return ParallelMap(node.map, *inputs[0], *inputs[1]);
+    case OpKind::kJoin:
+      return ParallelJoin(node.join, *inputs[0], *inputs[1]);
+    case OpKind::kCover:
+      return ParallelCover(node.cover, *inputs[0]);
+    case OpKind::kDifference:
+      return ParallelDifference(node.difference, *inputs[0], *inputs[1]);
+    default:
+      return fallback_.Execute(node, inputs);
+  }
+}
+
+Result<gdm::Dataset> ParallelExecutor::ParallelSelect(
+    const core::SelectParams& params, const Dataset& in) {
+  Dataset out("SELECT", in.schema());
+  core::RegionPredicate::Ptr pred = params.region->Clone();
+  GDMS_RETURN_NOT_OK(pred->Bind(in.schema()));
+  // Metadata pass is cheap and sequential ("meta-first" evaluation).
+  std::vector<const Sample*> kept;
+  for (const auto& s : in.samples()) {
+    if (params.meta->Eval(s.metadata)) kept.push_back(&s);
+  }
+  std::vector<Sample> results(kept.size());
+  pool_.ParallelFor(kept.size(), [&](size_t si) {
+    trace_.tasks.fetch_add(1);
+    const Sample& s = *kept[si];
+    Sample ns(s.id);
+    ns.metadata = s.metadata;
+    ns.regions.reserve(s.regions.size());
+    for (const auto& r : s.regions) {
+      if (pred->Eval(r)) ns.regions.push_back(r);
+    }
+    results[si] = std::move(ns);
+  });
+  for (auto& s : results) out.AddSample(std::move(s));
+  return out;
+}
+
+Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
+    const core::DifferenceParams& params, const Dataset& left,
+    const Dataset& right) {
+  Dataset out("DIFFERENCE", left.schema());
+  std::vector<Sample> results(left.num_samples());
+  pool_.ParallelFor(left.num_samples(), [&](size_t si) {
+    trace_.tasks.fetch_add(1);
+    const Sample& ls = left.sample(si);
+    std::vector<GenomicRegion> negatives;
+    for (const auto& rs : right.samples()) {
+      if (Operators::JoinbyMatch(params.joinby, ls.metadata, rs.metadata)) {
+        negatives.insert(negatives.end(), rs.regions.begin(),
+                         rs.regions.end());
+      }
+    }
+    Sample ns(ls.id);
+    ns.metadata = ls.metadata;
+    if (negatives.empty()) {
+      ns.regions = ls.regions;
+    } else {
+      gdm::SortRegions(&negatives);
+      auto flags = interval::ExistsOverlap(ls.regions, negatives);
+      for (size_t i = 0; i < ls.regions.size(); ++i) {
+        if (!flags[i]) ns.regions.push_back(ls.regions[i]);
+      }
+    }
+    results[si] = std::move(ns);
+  });
+  for (auto& s : results) out.AddSample(std::move(s));
+  return out;
+}
+
+Result<gdm::Dataset> ParallelExecutor::ParallelMap(
+    const core::MapParams& params, const Dataset& ref, const Dataset& exp) {
+  auto specs = Operators::EffectiveMapAggregates(params);
+  GDMS_ASSIGN_OR_RETURN(std::vector<size_t> agg_inputs,
+                        core::ResolveAggInputs(specs, exp.schema()));
+  GDMS_ASSIGN_OR_RETURN(RegionSchema schema,
+                        Operators::MapOutputSchema(params, ref.schema()));
+  Dataset out("MAP", schema);
+
+  struct PairTask {
+    const Sample* ref;
+    const Sample* exp;
+  };
+  std::vector<PairTask> pairs;
+  for (const auto& rs : ref.samples()) {
+    for (const auto& es : exp.samples()) {
+      if (Operators::JoinbyMatch(params.joinby, rs.metadata, es.metadata)) {
+        pairs.push_back({&rs, &es});
+      }
+    }
+  }
+  std::vector<Sample> results(pairs.size());
+
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const Sample& rs = *pairs[p].ref;
+    const Sample& es = *pairs[p].exp;
+    Sample ns = Operators::DerivedSample("MAP", rs, es, false);
+    auto partitions = MakePartitions(rs.regions, es.regions, 0);
+    trace_.partitions.fetch_add(partitions.size());
+
+    // agg_values[ri] = finished aggregate values for ref region ri; rows are
+    // disjoint across partitions.
+    std::vector<std::vector<Value>> agg_values(rs.regions.size());
+
+    auto compute = [&](const Partition& part,
+                       const std::vector<GenomicRegion>& refs, size_t rb,
+                       size_t re, const std::vector<GenomicRegion>& exps,
+                       size_t eb, size_t ee) {
+      std::vector<std::vector<AggAccumulator>> accs(re - rb);
+      for (auto& row : accs) {
+        row.reserve(specs.size());
+        for (const auto& spec : specs) row.emplace_back(spec.func);
+      }
+      SliceSweep(refs, rb, re, exps, eb, ee, 0, [&](size_t i, size_t a) {
+        if (!refs[i].Overlaps(exps[a])) return;
+        auto& row = accs[i - rb];
+        for (size_t x = 0; x < specs.size(); ++x) {
+          if (agg_inputs[x] == SIZE_MAX) {
+            row[x].AddRegion();
+          } else {
+            row[x].Add(exps[a].values[agg_inputs[x]]);
+          }
+        }
+      });
+      for (size_t i = 0; i < accs.size(); ++i) {
+        std::vector<Value> vals;
+        vals.reserve(specs.size());
+        for (auto& acc : accs[i]) vals.push_back(acc.Finish());
+        agg_values[part.ref_begin + i] = std::move(vals);
+      }
+    };
+
+    if (options_.backend == BackendKind::kMaterialized) {
+      // Stage 1: serialize every partition (the shuffle write).
+      std::vector<std::string> ref_buffers(partitions.size());
+      std::vector<std::string> exp_buffers(partitions.size());
+      pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+        trace_.tasks.fetch_add(1);
+        const Partition& part = partitions[pi];
+        trace_.shuffle_bytes.fetch_add(SliceBytes(
+            rs.regions, part.ref_begin, part.ref_end, &ref_buffers[pi]));
+        trace_.shuffle_bytes.fetch_add(SliceBytes(
+            es.regions, part.exp_begin, part.exp_end, &exp_buffers[pi]));
+      });
+      trace_.stage_barriers.fetch_add(1);
+      // Stage 2: deserialize (the shuffle read) and compute.
+      Status failure = Status::OK();
+      std::mutex failure_mu;
+      pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+        trace_.tasks.fetch_add(1);
+        const Partition& part = partitions[pi];
+        auto refs = RegionCodec::Decode(ref_buffers[pi]);
+        auto exps = RegionCodec::Decode(exp_buffers[pi]);
+        if (!refs.ok() || !exps.ok()) {
+          std::lock_guard<std::mutex> lk(failure_mu);
+          failure = refs.ok() ? exps.status() : refs.status();
+          return;
+        }
+        const auto& rv = refs.value();
+        const auto& ev = exps.value();
+        Partition local = part;
+        compute(local, rv, 0, rv.size(), ev, 0, ev.size());
+      });
+      GDMS_RETURN_NOT_OK(failure);
+    } else {
+      // Pipelined: one pass, zero-copy slice views.
+      pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+        trace_.tasks.fetch_add(1);
+        const Partition& part = partitions[pi];
+        compute(part, rs.regions, part.ref_begin, part.ref_end, es.regions,
+                part.exp_begin, part.exp_end);
+      });
+    }
+
+    ns.regions.reserve(rs.regions.size());
+    for (size_t ri = 0; ri < rs.regions.size(); ++ri) {
+      GenomicRegion nr = rs.regions[ri];
+      if (agg_values[ri].empty()) {
+        // Ref region fell into a partition with no exps; finish empty accs.
+        for (const auto& spec : specs) {
+          nr.values.push_back(AggAccumulator(spec.func).Finish());
+        }
+      } else {
+        for (auto& v : agg_values[ri]) nr.values.push_back(std::move(v));
+      }
+      ns.regions.push_back(std::move(nr));
+    }
+    results[p] = std::move(ns);
+  }
+  for (auto& s : results) out.AddSample(std::move(s));
+  return out;
+}
+
+Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
+    const core::JoinParams& params, const Dataset& left,
+    const Dataset& right) {
+  if (!params.predicate.has_upper && params.predicate.md_k == 0) {
+    return Status::InvalidArgument(
+        "genometric JOIN requires an upper distance bound (DLE/DLT) or MD(k)");
+  }
+  Dataset out("JOIN",
+              Operators::JoinOutputSchema(left.schema(), right.schema()));
+  struct PairTask {
+    const Sample* l;
+    const Sample* r;
+  };
+  std::vector<PairTask> pairs;
+  for (const auto& ls : left.samples()) {
+    for (const auto& rsamp : right.samples()) {
+      if (Operators::JoinbyMatch(params.joinby, ls.metadata, rsamp.metadata)) {
+        pairs.push_back({&ls, &rsamp});
+      }
+    }
+  }
+  std::vector<Sample> results(pairs.size());
+
+  if (params.predicate.md_k > 0) {
+    // MD(k) crosses partition boundaries; parallelize over pairs only.
+    pool_.ParallelFor(pairs.size(), [&](size_t p) {
+      trace_.tasks.fetch_add(1);
+      results[p] = Operators::JoinPair(params, *pairs[p].l, *pairs[p].r);
+    });
+  } else {
+    int64_t window = std::max<int64_t>(0, params.predicate.max_dist) + 1;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const Sample& ls = *pairs[p].l;
+      const Sample& rsamp = *pairs[p].r;
+      Sample ns = Operators::DerivedSample("JOIN", ls, rsamp, true);
+      auto partitions = MakePartitions(ls.regions, rsamp.regions, window);
+      trace_.partitions.fetch_add(partitions.size());
+      std::vector<std::vector<GenomicRegion>> chunk_out(partitions.size());
+
+      if (options_.backend == BackendKind::kMaterialized) {
+        std::vector<std::string> lbuf(partitions.size());
+        std::vector<std::string> rbuf(partitions.size());
+        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+          trace_.tasks.fetch_add(1);
+          const Partition& part = partitions[pi];
+          trace_.shuffle_bytes.fetch_add(
+              SliceBytes(ls.regions, part.ref_begin, part.ref_end, &lbuf[pi]));
+          trace_.shuffle_bytes.fetch_add(SliceBytes(
+              rsamp.regions, part.exp_begin, part.exp_end, &rbuf[pi]));
+        });
+        trace_.stage_barriers.fetch_add(1);
+        Status failure = Status::OK();
+        std::mutex failure_mu;
+        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+          trace_.tasks.fetch_add(1);
+          auto lr = RegionCodec::Decode(lbuf[pi]);
+          auto rr = RegionCodec::Decode(rbuf[pi]);
+          if (!lr.ok() || !rr.ok()) {
+            std::lock_guard<std::mutex> lk(failure_mu);
+            failure = lr.ok() ? rr.status() : lr.status();
+            return;
+          }
+          const auto& lv = lr.value();
+          const auto& rv = rr.value();
+          SliceSweep(lv, 0, lv.size(), rv, 0, rv.size(), window,
+                     [&](size_t i, size_t a) {
+                       Operators::JoinEmit(params, lv[i], rv[a],
+                                           &chunk_out[pi]);
+                     });
+        });
+        GDMS_RETURN_NOT_OK(failure);
+      } else {
+        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+          trace_.tasks.fetch_add(1);
+          const Partition& part = partitions[pi];
+          SliceSweep(ls.regions, part.ref_begin, part.ref_end, rsamp.regions,
+                     part.exp_begin, part.exp_end, window,
+                     [&](size_t i, size_t a) {
+                       Operators::JoinEmit(params, ls.regions[i],
+                                           rsamp.regions[a], &chunk_out[pi]);
+                     });
+        });
+      }
+      for (auto& chunk : chunk_out) {
+        ns.regions.insert(ns.regions.end(),
+                          std::make_move_iterator(chunk.begin()),
+                          std::make_move_iterator(chunk.end()));
+      }
+      ns.SortNow();
+      results[p] = std::move(ns);
+    }
+  }
+  for (auto& s : results) out.AddSample(std::move(s));
+  return out;
+}
+
+Result<gdm::Dataset> ParallelExecutor::ParallelCover(
+    const core::CoverParams& params, const Dataset& in) {
+  GDMS_ASSIGN_OR_RETURN(std::vector<size_t> agg_inputs,
+                        core::ResolveAggInputs(params.aggregates, in.schema()));
+  RegionSchema schema;
+  bool with_acc = params.variant == core::CoverVariant::kHistogram ||
+                  params.variant == core::CoverVariant::kSummit;
+  if (with_acc) (void)schema.AddAttr("acc_index", gdm::AttrType::kInt);
+  for (const auto& spec : params.aggregates) {
+    std::string name = spec.output_name;
+    int suffix = 1;
+    while (schema.Contains(name)) {
+      name = spec.output_name + "_" + std::to_string(suffix++);
+    }
+    (void)schema.AddAttr(name, core::AggOutputType(spec.func));
+  }
+  Dataset out(core::CoverVariantName(params.variant), schema);
+
+  std::map<std::string, std::vector<const Sample*>> groups;
+  for (const auto& s : in.samples()) {
+    std::string key =
+        params.groupby.empty() ? "" : s.metadata.FirstValue(params.groupby);
+    groups[key].push_back(&s);
+  }
+
+  for (const auto& [key, members] : groups) {
+    // Pool and sort member regions.
+    std::vector<GenomicRegion> pooled;
+    size_t total = 0;
+    for (const auto* m : members) total += m->regions.size();
+    pooled.reserve(total);
+    for (const auto* m : members) {
+      pooled.insert(pooled.end(), m->regions.begin(), m->regions.end());
+    }
+    gdm::SortRegions(&pooled);
+
+    // Chromosome segments of the pooled regions.
+    struct Segment {
+      size_t begin;
+      size_t end;
+    };
+    std::vector<Segment> segments;
+    size_t i = 0;
+    while (i < pooled.size()) {
+      size_t j = i;
+      while (j < pooled.size() && pooled[j].chrom == pooled[i].chrom) ++j;
+      segments.push_back({i, j});
+      i = j;
+    }
+    trace_.partitions.fetch_add(segments.size());
+
+    // Per-segment accumulation profiles (optionally through the shuffle
+    // codec for the materialized backend).
+    std::vector<std::vector<interval::AccSegment>> profiles(segments.size());
+    std::vector<std::vector<GenomicRegion>> seg_inputs(segments.size());
+    Status failure = Status::OK();
+    std::mutex failure_mu;
+    pool_.ParallelFor(segments.size(), [&](size_t si) {
+      trace_.tasks.fetch_add(1);
+      const Segment& seg = segments[si];
+      if (options_.backend == BackendKind::kMaterialized) {
+        std::string buf;
+        trace_.shuffle_bytes.fetch_add(
+            SliceBytes(pooled, seg.begin, seg.end, &buf));
+        auto decoded = RegionCodec::Decode(buf);
+        if (!decoded.ok()) {
+          std::lock_guard<std::mutex> lk(failure_mu);
+          failure = decoded.status();
+          return;
+        }
+        seg_inputs[si] = std::move(decoded).value();
+      } else {
+        seg_inputs[si].assign(pooled.begin() + seg.begin,
+                              pooled.begin() + seg.end);
+      }
+      profiles[si] = interval::AccumulationProfile(seg_inputs[si]);
+    });
+    GDMS_RETURN_NOT_OK(failure);
+    if (options_.backend == BackendKind::kMaterialized) {
+      trace_.stage_barriers.fetch_add(1);
+    }
+
+    // Resolve ANY/ALL against the global maximum accumulation.
+    int64_t global_max = 0;
+    for (const auto& prof : profiles) {
+      global_max = std::max(global_max, interval::MaxAccumulation(prof));
+    }
+    interval::CoverBounds bounds{params.min_acc, params.max_acc};
+    if (bounds.min_acc == interval::CoverBounds::kAll) bounds.min_acc = global_max;
+    if (bounds.max_acc == interval::CoverBounds::kAll) bounds.max_acc = global_max;
+    if (bounds.min_acc == interval::CoverBounds::kAny) bounds.min_acc = 1;
+
+    // Per-segment variant computation + aggregates.
+    std::vector<std::vector<GenomicRegion>> seg_regions(segments.size());
+    std::vector<std::vector<int64_t>> seg_counts(segments.size());
+    std::vector<std::vector<std::vector<Value>>> seg_aggs(segments.size());
+    pool_.ParallelFor(segments.size(), [&](size_t si) {
+      trace_.tasks.fetch_add(1);
+      const auto& profile = profiles[si];
+      std::vector<GenomicRegion> regions;
+      std::vector<int64_t> counts;
+      switch (params.variant) {
+        case core::CoverVariant::kCover:
+          regions = interval::Cover(profile, bounds);
+          break;
+        case core::CoverVariant::kFlat:
+          regions = interval::Flat(profile, bounds, seg_inputs[si]);
+          break;
+        case core::CoverVariant::kHistogram:
+          regions = interval::Histogram(profile, bounds, &counts);
+          break;
+        case core::CoverVariant::kSummit:
+          regions = interval::Summit(profile, bounds, &counts);
+          break;
+      }
+      if (!params.aggregates.empty()) {
+        std::vector<std::vector<AggAccumulator>> accs(regions.size());
+        for (auto& row : accs) {
+          row.reserve(params.aggregates.size());
+          for (const auto& spec : params.aggregates) {
+            row.emplace_back(spec.func);
+          }
+        }
+        interval::OverlapJoin(regions, seg_inputs[si], [&](size_t oi, size_t ii) {
+          auto& row = accs[oi];
+          for (size_t a = 0; a < params.aggregates.size(); ++a) {
+            if (agg_inputs[a] == SIZE_MAX) {
+              row[a].AddRegion();
+            } else {
+              row[a].Add(seg_inputs[si][ii].values[agg_inputs[a]]);
+            }
+          }
+        });
+        seg_aggs[si].resize(regions.size());
+        for (size_t oi = 0; oi < regions.size(); ++oi) {
+          for (auto& acc : accs[oi]) seg_aggs[si][oi].push_back(acc.Finish());
+        }
+      }
+      seg_regions[si] = std::move(regions);
+      seg_counts[si] = std::move(counts);
+    });
+
+    Sample ns = Operators::DerivedGroupSample(
+        core::CoverVariantName(params.variant), members);
+    if (!params.groupby.empty()) ns.metadata.Add(params.groupby, key);
+    for (size_t si = 0; si < segments.size(); ++si) {
+      for (size_t oi = 0; oi < seg_regions[si].size(); ++oi) {
+        GenomicRegion nr = seg_regions[si][oi];
+        if (with_acc) nr.values.push_back(Value(seg_counts[si][oi]));
+        if (!params.aggregates.empty()) {
+          for (auto& v : seg_aggs[si][oi]) nr.values.push_back(std::move(v));
+        }
+        ns.regions.push_back(std::move(nr));
+      }
+    }
+    out.AddSample(std::move(ns));
+  }
+  return out;
+}
+
+}  // namespace gdms::engine

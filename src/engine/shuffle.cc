@@ -1,0 +1,131 @@
+#include "engine/shuffle.h"
+
+#include <cstring>
+
+namespace gdms::engine {
+
+namespace {
+
+using gdm::GenomicRegion;
+using gdm::Value;
+
+void PutRaw(const void* data, size_t n, std::string* out) {
+  out->append(reinterpret_cast<const char*>(data), n);
+}
+
+template <typename T>
+void Put(T v, std::string* out) {
+  PutRaw(&v, sizeof(T), out);
+}
+
+template <typename T>
+bool Get(const std::string& buf, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(v, buf.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void RegionCodec::Encode(const std::vector<GenomicRegion>& regions,
+                         size_t begin, size_t end, std::string* out) {
+  for (size_t i = begin; i < end; ++i) {
+    const GenomicRegion& r = regions[i];
+    Put<int32_t>(r.chrom, out);
+    Put<int64_t>(r.left, out);
+    Put<int64_t>(r.right, out);
+    Put<uint8_t>(static_cast<uint8_t>(r.strand), out);
+    Put<uint32_t>(static_cast<uint32_t>(r.values.size()), out);
+    for (const Value& v : r.values) {
+      Put<uint8_t>(static_cast<uint8_t>(v.type()), out);
+      switch (v.type()) {
+        case gdm::AttrType::kNull:
+          break;
+        case gdm::AttrType::kInt:
+          Put<int64_t>(v.AsInt(), out);
+          break;
+        case gdm::AttrType::kDouble:
+          Put<double>(v.AsDouble(), out);
+          break;
+        case gdm::AttrType::kBool:
+          Put<uint8_t>(v.AsBool() ? 1 : 0, out);
+          break;
+        case gdm::AttrType::kString: {
+          const std::string& s = v.AsString();
+          Put<uint32_t>(static_cast<uint32_t>(s.size()), out);
+          PutRaw(s.data(), s.size(), out);
+          break;
+        }
+      }
+    }
+  }
+}
+
+Result<std::vector<gdm::GenomicRegion>> RegionCodec::Decode(
+    const std::string& buffer) {
+  std::vector<GenomicRegion> out;
+  size_t pos = 0;
+  while (pos < buffer.size()) {
+    GenomicRegion r;
+    uint8_t strand = 0;
+    uint32_t arity = 0;
+    if (!Get(buffer, &pos, &r.chrom) || !Get(buffer, &pos, &r.left) ||
+        !Get(buffer, &pos, &r.right) || !Get(buffer, &pos, &strand) ||
+        !Get(buffer, &pos, &arity)) {
+      return Status::ParseError("truncated shuffle buffer (header)");
+    }
+    r.strand = static_cast<gdm::Strand>(strand);
+    r.values.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) {
+      uint8_t tag = 0;
+      if (!Get(buffer, &pos, &tag)) {
+        return Status::ParseError("truncated shuffle buffer (value tag)");
+      }
+      switch (static_cast<gdm::AttrType>(tag)) {
+        case gdm::AttrType::kNull:
+          r.values.push_back(Value::Null());
+          break;
+        case gdm::AttrType::kInt: {
+          int64_t v = 0;
+          if (!Get(buffer, &pos, &v)) {
+            return Status::ParseError("truncated shuffle buffer (int)");
+          }
+          r.values.push_back(Value(v));
+          break;
+        }
+        case gdm::AttrType::kDouble: {
+          double v = 0;
+          if (!Get(buffer, &pos, &v)) {
+            return Status::ParseError("truncated shuffle buffer (double)");
+          }
+          r.values.push_back(Value(v));
+          break;
+        }
+        case gdm::AttrType::kBool: {
+          uint8_t v = 0;
+          if (!Get(buffer, &pos, &v)) {
+            return Status::ParseError("truncated shuffle buffer (bool)");
+          }
+          r.values.push_back(Value(v != 0));
+          break;
+        }
+        case gdm::AttrType::kString: {
+          uint32_t len = 0;
+          if (!Get(buffer, &pos, &len) || pos + len > buffer.size()) {
+            return Status::ParseError("truncated shuffle buffer (string)");
+          }
+          r.values.push_back(Value(buffer.substr(pos, len)));
+          pos += len;
+          break;
+        }
+        default:
+          return Status::ParseError("bad value tag in shuffle buffer");
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace gdms::engine

@@ -1,0 +1,32 @@
+#ifndef GDMS_ENGINE_SHUFFLE_H_
+#define GDMS_ENGINE_SHUFFLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/region.h"
+
+namespace gdms::engine {
+
+/// \brief Binary region codec used by the materialized (Spark-like) backend.
+///
+/// Spark-style stage boundaries serialize partitions to shuffle storage and
+/// deserialize them in the next stage; this codec reproduces that cost
+/// honestly in-process. The pipelined (Flink-like) backend never calls it —
+/// that asymmetry is exactly what experiment E6 measures.
+class RegionCodec {
+ public:
+  /// Appends the encoding of `regions[begin, end)` to `out`.
+  static void Encode(const std::vector<gdm::GenomicRegion>& regions,
+                     size_t begin, size_t end, std::string* out);
+
+  /// Decodes an entire buffer produced by Encode.
+  static Result<std::vector<gdm::GenomicRegion>> Decode(
+      const std::string& buffer);
+};
+
+}  // namespace gdms::engine
+
+#endif  // GDMS_ENGINE_SHUFFLE_H_

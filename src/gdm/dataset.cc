@@ -1,0 +1,116 @@
+#include "gdm/dataset.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace gdms::gdm {
+
+uint64_t Dataset::TotalRegions() const {
+  uint64_t total = 0;
+  for (const auto& s : samples_) total += s.regions.size();
+  return total;
+}
+
+uint64_t Dataset::TotalMetadata() const {
+  uint64_t total = 0;
+  for (const auto& s : samples_) total += s.metadata.size();
+  return total;
+}
+
+Status Dataset::Validate() const {
+  std::unordered_set<SampleId> seen;
+  for (const auto& s : samples_) {
+    if (!seen.insert(s.id).second) {
+      return Status::InvalidArgument("duplicate sample id " +
+                                     std::to_string(s.id) + " in dataset " +
+                                     name_);
+    }
+    for (const auto& r : s.regions) {
+      if (r.left > r.right) {
+        return Status::InvalidArgument("region with left > right in sample " +
+                                       std::to_string(s.id) + ": " +
+                                       r.CoordString());
+      }
+      if (r.values.size() != schema_.size()) {
+        return Status::SchemaMismatch(
+            "region has " + std::to_string(r.values.size()) +
+            " values, schema has " + std::to_string(schema_.size()) +
+            " attributes (dataset " + name_ + ")");
+      }
+      for (size_t i = 0; i < r.values.size(); ++i) {
+        const Value& v = r.values[i];
+        if (v.is_null()) continue;
+        if (v.type() != schema_.attr(i).type) {
+          return Status::TypeError("attribute " + schema_.attr(i).name +
+                                   " expects " +
+                                   AttrTypeName(schema_.attr(i).type) +
+                                   " but region carries " +
+                                   AttrTypeName(v.type()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Dataset::EstimateBytes() const {
+  // Text-serialization estimate: fixed part ~ 40 bytes per region, each value
+  // rendered plus a tab, each metadata entry attr+value+id.
+  uint64_t total = 0;
+  for (const auto& s : samples_) {
+    for (const auto& r : s.regions) {
+      total += 40;
+      for (const auto& v : r.values) total += v.ToString().size() + 1;
+    }
+    for (const auto& e : s.metadata.entries()) {
+      total += e.attr.size() + e.value.size() + 22;
+    }
+  }
+  return total;
+}
+
+const Sample* Dataset::FindSample(SampleId id) const {
+  for (const auto& s : samples_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::string Dataset::Describe(size_t max_samples, size_t max_regions) const {
+  std::string out = "Dataset " + name_ + " [" + schema_.ToString() + "]  (" +
+                    std::to_string(samples_.size()) + " samples, " +
+                    std::to_string(TotalRegions()) + " regions)\n";
+  size_t shown = 0;
+  for (const auto& s : samples_) {
+    if (shown++ >= max_samples) {
+      out += "  ...\n";
+      break;
+    }
+    out += "  sample " + std::to_string(s.id) + " (" +
+           std::to_string(s.regions.size()) + " regions)\n";
+    size_t rn = 0;
+    for (const auto& r : s.regions) {
+      if (rn++ >= max_regions) {
+        out += "    ...\n";
+        break;
+      }
+      out += "    " + std::to_string(s.id) + "\t" + r.ToString() + "\n";
+    }
+    for (const auto& e : s.metadata.entries()) {
+      out += "    meta " + std::to_string(s.id) + "\t" + e.attr + "\t" +
+             e.value + "\n";
+    }
+  }
+  return out;
+}
+
+SampleId DeriveSampleId(const std::string& op_tag,
+                        const std::vector<SampleId>& parents) {
+  uint64_t h = Fnv1a64(op_tag);
+  for (SampleId p : parents) h = HashCombine(h, Mix64(p));
+  // Keep derived ids out of the small-integer space used by source samples.
+  return h | (1ULL << 63);
+}
+
+}  // namespace gdms::gdm

@@ -1,0 +1,101 @@
+#ifndef GDMS_GDM_DATASET_H_
+#define GDMS_GDM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/metadata.h"
+#include "gdm/region.h"
+#include "gdm/schema.h"
+
+namespace gdms::gdm {
+
+/// Sample identifier. Source samples get small ids; derived samples get
+/// content-hashed ids so provenance is reproducible (paper, Section 2:
+/// "tracing provenance ... is a unique aspect of our approach").
+using SampleId = uint64_t;
+
+/// \brief One biological sample: an id, its regions, and its metadata.
+///
+/// The sample id is the many-to-many connection between regions and metadata
+/// (Figure 2). Regions are kept coordinate-sorted by convention; operations
+/// that construct samples call SortNow() (or produce sorted output directly).
+struct Sample {
+  SampleId id = 0;
+  Metadata metadata;
+  std::vector<GenomicRegion> regions;
+
+  Sample() = default;
+  explicit Sample(SampleId sample_id) : id(sample_id) {}
+
+  size_t num_regions() const { return regions.size(); }
+
+  void SortNow() { SortRegions(&regions); }
+  bool IsSorted() const { return RegionsSorted(regions); }
+};
+
+/// \brief A named dataset: samples sharing one region schema.
+///
+/// The GDM constraint (Section 2): "data samples can be included into a named
+/// dataset when their genomic regions have the same schema". Validate()
+/// enforces it structurally (value arity and types).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, RegionSchema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const RegionSchema& schema() const { return schema_; }
+  RegionSchema* mutable_schema() { return &schema_; }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::vector<Sample>* mutable_samples() { return &samples_; }
+
+  size_t num_samples() const { return samples_.size(); }
+  const Sample& sample(size_t i) const { return samples_[i]; }
+  Sample* mutable_sample(size_t i) { return &samples_[i]; }
+
+  void AddSample(Sample sample) { samples_.push_back(std::move(sample)); }
+
+  /// Total number of regions across samples.
+  uint64_t TotalRegions() const;
+
+  /// Total number of metadata entries across samples.
+  uint64_t TotalMetadata() const;
+
+  /// Checks the GDM constraint: every region of every sample has exactly
+  /// schema().size() values whose types match the schema (NULL always
+  /// matches), region coordinates are valid (left <= right), and sample ids
+  /// are unique within the dataset.
+  Status Validate() const;
+
+  /// Estimated serialized size in bytes (used by the federated protocol's
+  /// size estimates and by the E1 experiment's "29 GB" figure).
+  uint64_t EstimateBytes() const;
+
+  /// Finds a sample by id; nullptr if absent.
+  const Sample* FindSample(SampleId id) const;
+
+  /// Renders the first `max_samples` samples / `max_regions` regions per
+  /// sample, Figure 2 style (region table + metadata triples).
+  std::string Describe(size_t max_samples = 2, size_t max_regions = 5) const;
+
+ private:
+  std::string name_;
+  RegionSchema schema_;
+  std::vector<Sample> samples_;
+};
+
+/// Derives a reproducible sample id from an operation tag and parent ids,
+/// e.g. DeriveSampleId("MAP", {ref_id, exp_id}).
+SampleId DeriveSampleId(const std::string& op_tag,
+                        const std::vector<SampleId>& parents);
+
+}  // namespace gdms::gdm
+
+#endif  // GDMS_GDM_DATASET_H_

@@ -1,0 +1,75 @@
+#include "gdm/metadata.h"
+
+#include <algorithm>
+
+namespace gdms::gdm {
+
+void Metadata::Add(const std::string& attr, const std::string& value) {
+  MetaEntry e{attr, value};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), e);
+  if (it != entries_.end() && *it == e) return;
+  entries_.insert(it, std::move(e));
+}
+
+void Metadata::RemoveAttr(const std::string& attr) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const MetaEntry& e) { return e.attr == attr; }),
+                 entries_.end());
+}
+
+std::vector<std::string> Metadata::ValuesOf(const std::string& attr) const {
+  std::vector<std::string> out;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), MetaEntry{attr, ""});
+  for (; it != entries_.end() && it->attr == attr; ++it) out.push_back(it->value);
+  return out;
+}
+
+std::string Metadata::FirstValue(const std::string& attr) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), MetaEntry{attr, ""});
+  if (it != entries_.end() && it->attr == attr) return it->value;
+  return "";
+}
+
+bool Metadata::Has(const std::string& attr) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), MetaEntry{attr, ""});
+  return it != entries_.end() && it->attr == attr;
+}
+
+bool Metadata::HasPair(const std::string& attr, const std::string& value) const {
+  MetaEntry e{attr, value};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), e);
+  return it != entries_.end() && *it == e;
+}
+
+Metadata Metadata::Union(const Metadata& a, const Metadata& b) {
+  Metadata out;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+  std::merge(a.entries_.begin(), a.entries_.end(), b.entries_.begin(),
+             b.entries_.end(), std::back_inserter(out.entries_));
+  out.entries_.erase(std::unique(out.entries_.begin(), out.entries_.end()),
+                     out.entries_.end());
+  return out;
+}
+
+Metadata Metadata::WithPrefix(const std::string& prefix) const {
+  Metadata out;
+  out.entries_.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    out.entries_.push_back({prefix + e.attr, e.value});
+  }
+  std::sort(out.entries_.begin(), out.entries_.end());
+  return out;
+}
+
+std::vector<std::string> Metadata::AttributeNames() const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (out.empty() || out.back() != e.attr) out.push_back(e.attr);
+  }
+  return out;
+}
+
+}  // namespace gdms::gdm

@@ -1,0 +1,73 @@
+#ifndef GDMS_GDM_METADATA_H_
+#define GDMS_GDM_METADATA_H_
+
+#include <string>
+#include <vector>
+
+namespace gdms::gdm {
+
+/// One metadata attribute-value pair. With the owning sample's id these form
+/// the (id, attribute, value) triples of the paper's Figure 2.
+struct MetaEntry {
+  std::string attr;
+  std::string value;
+
+  bool operator==(const MetaEntry& other) const {
+    return attr == other.attr && value == other.value;
+  }
+  bool operator<(const MetaEntry& other) const {
+    if (attr != other.attr) return attr < other.attr;
+    return value < other.value;
+  }
+};
+
+/// \brief Semi-structured metadata of one sample.
+///
+/// Arbitrary attribute-value pairs; an attribute may repeat with multiple
+/// values (biologists "are very liberal" — the model imposes no schema).
+/// Entries are kept sorted for deterministic output and fast lookup.
+class Metadata {
+ public:
+  Metadata() = default;
+
+  /// Adds a pair (duplicates are kept once).
+  void Add(const std::string& attr, const std::string& value);
+
+  /// Removes all values of `attr`.
+  void RemoveAttr(const std::string& attr);
+
+  /// All values of `attr`, in sorted order.
+  std::vector<std::string> ValuesOf(const std::string& attr) const;
+
+  /// First value of `attr`, or "" if absent.
+  std::string FirstValue(const std::string& attr) const;
+
+  bool Has(const std::string& attr) const;
+  bool HasPair(const std::string& attr, const std::string& value) const;
+
+  const std::vector<MetaEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Union of two metadata sets (GMQL binary operations merge the metadata
+  /// of contributing samples).
+  static Metadata Union(const Metadata& a, const Metadata& b);
+
+  /// Copy with every attribute name prefixed (used by JOIN/MAP to keep the
+  /// two operands' metadata distinguishable, e.g. "left.cell").
+  Metadata WithPrefix(const std::string& prefix) const;
+
+  /// Distinct attribute names.
+  std::vector<std::string> AttributeNames() const;
+
+  bool operator==(const Metadata& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<MetaEntry> entries_;
+};
+
+}  // namespace gdms::gdm
+
+#endif  // GDMS_GDM_METADATA_H_

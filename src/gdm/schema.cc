@@ -1,0 +1,70 @@
+#include "gdm/schema.h"
+
+namespace gdms::gdm {
+
+const std::vector<std::string>& RegionSchema::FixedAttributeNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "id", "chr", "left", "right", "strand"};
+  return *kNames;
+}
+
+std::optional<size_t> RegionSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status RegionSchema::AddAttr(const std::string& name, AttrType type) {
+  if (Contains(name)) {
+    return Status::AlreadyExists("schema already has attribute: " + name);
+  }
+  for (const auto& fixed : FixedAttributeNames()) {
+    if (fixed == name) {
+      return Status::InvalidArgument("attribute name is reserved (fixed): " + name);
+    }
+  }
+  attrs_.push_back({name, type});
+  return Status::OK();
+}
+
+RegionSchema RegionSchema::Merge(const RegionSchema& left,
+                                 const RegionSchema& right,
+                                 const std::string& right_prefix) {
+  RegionSchema out = left;
+  for (const auto& attr : right.attrs_) {
+    auto idx = out.IndexOf(attr.name);
+    if (idx.has_value()) {
+      if (out.attrs_[*idx].type == attr.type) continue;  // shared attribute
+      out.attrs_.push_back({right_prefix + attr.name, attr.type});
+    } else {
+      out.attrs_.push_back(attr);
+    }
+  }
+  return out;
+}
+
+RegionSchema RegionSchema::Concat(const RegionSchema& left,
+                                  const RegionSchema& right,
+                                  const std::string& right_prefix) {
+  RegionSchema out = left;
+  for (const auto& attr : right.attrs_) {
+    std::string name = attr.name;
+    while (out.Contains(name)) name = right_prefix + name;
+    out.attrs_.push_back({name, attr.type});
+  }
+  return out;
+}
+
+std::string RegionSchema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ":";
+    out += AttrTypeName(attrs_[i].type);
+  }
+  return out;
+}
+
+}  // namespace gdms::gdm

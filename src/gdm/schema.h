@@ -1,0 +1,80 @@
+#ifndef GDMS_GDM_SCHEMA_H_
+#define GDMS_GDM_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/value.h"
+
+namespace gdms::gdm {
+
+/// One attribute in the variable part of a region schema.
+struct AttrDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+
+  bool operator==(const AttrDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Schema of the variable part of a dataset's regions.
+///
+/// Per the paper (Section 2, Figure 2) every region has five fixed
+/// attributes — sample id, chromosome, left, right, strand — followed by a
+/// dataset-specific variable part produced by the calling process (e.g.
+/// P_VALUE for ChIP-seq peaks). RegionSchema describes that variable part.
+class RegionSchema {
+ public:
+  RegionSchema() = default;
+  explicit RegionSchema(std::vector<AttrDef> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Names of the five fixed attributes, in order.
+  static const std::vector<std::string>& FixedAttributeNames();
+
+  const std::vector<AttrDef>& attrs() const { return attrs_; }
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+
+  const AttrDef& attr(size_t i) const { return attrs_[i]; }
+
+  /// Index of attribute `name` in the variable part, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// Appends an attribute; fails on duplicate name.
+  Status AddAttr(const std::string& name, AttrType type);
+
+  /// \brief Schema merging (the paper's interoperability mechanism).
+  ///
+  /// Fixed attributes are shared; variable attributes are concatenated.
+  /// A name collision with identical type keeps a single attribute (values
+  /// are aligned); a collision with differing types renames the right-side
+  /// attribute with `right_prefix`.
+  static RegionSchema Merge(const RegionSchema& left, const RegionSchema& right,
+                            const std::string& right_prefix = "right_");
+
+  /// \brief Join-style concatenation: every right attribute is appended,
+  /// renaming any collision with `right_prefix` regardless of type.
+  static RegionSchema Concat(const RegionSchema& left, const RegionSchema& right,
+                             const std::string& right_prefix = "right_");
+
+  /// "name:TYPE, name:TYPE" rendering.
+  std::string ToString() const;
+
+  bool operator==(const RegionSchema& other) const {
+    return attrs_ == other.attrs_;
+  }
+
+ private:
+  std::vector<AttrDef> attrs_;
+};
+
+}  // namespace gdms::gdm
+
+#endif  // GDMS_GDM_SCHEMA_H_

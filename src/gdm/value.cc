@@ -1,0 +1,119 @@
+#include "gdm/value.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace gdms::gdm {
+
+const char* AttrTypeName(AttrType t) {
+  switch (t) {
+    case AttrType::kNull:
+      return "NULL";
+    case AttrType::kInt:
+      return "INT";
+    case AttrType::kDouble:
+      return "DOUBLE";
+    case AttrType::kString:
+      return "STRING";
+    case AttrType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+Result<AttrType> ParseAttrType(const std::string& name) {
+  std::string up;
+  up.reserve(name.size());
+  for (char c : name) up.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  if (up == "INT" || up == "INTEGER" || up == "LONG") return AttrType::kInt;
+  if (up == "DOUBLE" || up == "FLOAT" || up == "REAL") return AttrType::kDouble;
+  if (up == "STRING" || up == "CHAR" || up == "TEXT") return AttrType::kString;
+  if (up == "BOOL" || up == "BOOLEAN") return AttrType::kBool;
+  if (up == "NULL") return AttrType::kNull;
+  return Status::ParseError("unknown attribute type: " + name);
+}
+
+AttrType Value::type() const {
+  if (is_null()) return AttrType::kNull;
+  if (is_int()) return AttrType::kInt;
+  if (is_double()) return AttrType::kDouble;
+  if (is_string()) return AttrType::kString;
+  return AttrType::kBool;
+}
+
+Result<double> Value::ToNumeric() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDouble();
+  if (is_bool()) return AsBool() ? 1.0 : 0.0;
+  return Status::TypeError("value is not numeric: " + ToString());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return ".";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+    return buf;
+  }
+  if (is_bool()) return AsBool() ? "true" : "false";
+  return AsString();
+}
+
+Result<Value> Value::Parse(const std::string& text, AttrType t) {
+  if (text == ".") return Value::Null();
+  switch (t) {
+    case AttrType::kNull:
+      return Value::Null();
+    case AttrType::kInt: {
+      GDMS_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Value(v);
+    }
+    case AttrType::kDouble: {
+      GDMS_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      return Value(v);
+    }
+    case AttrType::kString:
+      return Value(text);
+    case AttrType::kBool: {
+      std::string low = ToLower(text);
+      if (low == "true" || low == "1") return Value(true);
+      if (low == "false" || low == "0") return Value(false);
+      return Status::ParseError("invalid bool: " + text);
+    }
+  }
+  return Status::Internal("unreachable AttrType");
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs first.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  // Cross-numeric comparison.
+  auto numeric = [](const Value& v) {
+    return v.is_int() || v.is_double() || v.is_bool();
+  };
+  if (numeric(*this) && numeric(other)) {
+    double a = ToNumeric().ValueOrDie();
+    double b = other.ToNumeric().ValueOrDie();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  // Mixed string/numeric: order by type tag for a stable total order.
+  int ta = static_cast<int>(type());
+  int tb = static_cast<int>(other.type());
+  return ta < tb ? -1 : (ta > tb ? 1 : 0);
+}
+
+}  // namespace gdms::gdm

@@ -1,0 +1,84 @@
+#ifndef GDMS_GDM_VALUE_H_
+#define GDMS_GDM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace gdms::gdm {
+
+/// Type of a region attribute in the variable part of a GDM schema.
+enum class AttrType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kBool,
+};
+
+/// Name of an AttrType ("INT", "DOUBLE", ...).
+const char* AttrTypeName(AttrType t);
+
+/// Parses an AttrType name (case-insensitive).
+Result<AttrType> ParseAttrType(const std::string& name);
+
+/// \brief A dynamically typed attribute value.
+///
+/// GDM region attributes beyond the fixed five are typed by the dataset
+/// schema; Value carries one such attribute. NULL values arise from schema
+/// merging (paper, Section 2): when two datasets with different schemas are
+/// combined, attributes missing on one side become NULL.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+
+  AttrType type() const;
+
+  /// Accessors; calling the wrong one is a programming error (asserts).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: ints and doubles convert, bools are 0/1; NULL and strings
+  /// yield an error.
+  Result<double> ToNumeric() const;
+
+  /// Renders for output files and messages; NULL renders as ".".
+  std::string ToString() const;
+
+  /// Parses `text` as a value of type `t` ("." parses to NULL for any type).
+  static Result<Value> Parse(const std::string& text, AttrType t);
+
+  /// SQL-style three-way comparison used by predicates and sorting: NULLs
+  /// sort first and compare equal to each other; numeric types compare by
+  /// value across int/double.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> data_;
+};
+
+}  // namespace gdms::gdm
+
+#endif  // GDMS_GDM_VALUE_H_

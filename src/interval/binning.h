@@ -1,0 +1,62 @@
+#ifndef GDMS_INTERVAL_BINNING_H_
+#define GDMS_INTERVAL_BINNING_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/hash.h"
+#include "gdm/region.h"
+
+namespace gdms::interval {
+
+/// \brief Fixed-width genomic binning.
+///
+/// The parallel executors partition work by (chromosome, bin); a region is
+/// assigned to every bin it overlaps, and binary operations claim a pair in
+/// the bin containing max(left_a, left_b) so each pair is produced exactly
+/// once across partitions (the standard replica-elimination rule of binned
+/// genomic joins).
+class Binning {
+ public:
+  explicit Binning(int64_t bin_size) : bin_size_(bin_size) {}
+
+  int64_t bin_size() const { return bin_size_; }
+
+  /// Bin holding position `pos`.
+  int64_t BinOf(int64_t pos) const { return pos / bin_size_; }
+
+  /// [first, last] bins a region spans; `slack` widens the span (used for
+  /// distance joins where matches may sit `slack` bases away).
+  std::pair<int64_t, int64_t> BinSpan(const gdm::GenomicRegion& r,
+                                      int64_t slack = 0) const {
+    int64_t first = BinOf(r.left - slack < 0 ? 0 : r.left - slack);
+    int64_t right = r.right + slack;
+    // right is exclusive; a region ending exactly on a boundary does not
+    // enter the next bin.
+    int64_t last = BinOf(right > 0 ? right - 1 : 0);
+    return {first, last};
+  }
+
+  /// True if bin `bin` owns the pair (a, b): the pair is claimed by the bin
+  /// containing max(a.left, b.left).
+  bool OwnsPair(int64_t bin, const gdm::GenomicRegion& a,
+                const gdm::GenomicRegion& b) const {
+    int64_t anchor = a.left > b.left ? a.left : b.left;
+    return BinOf(anchor) == bin;
+  }
+
+  /// Stable partition id for (chrom, bin) across `num_partitions` workers.
+  static size_t PartitionOf(int32_t chrom, int64_t bin,
+                            size_t num_partitions) {
+    uint64_t h = HashCombine(Mix64(static_cast<uint64_t>(chrom)),
+                             Mix64(static_cast<uint64_t>(bin)));
+    return static_cast<size_t>(h % num_partitions);
+  }
+
+ private:
+  int64_t bin_size_;
+};
+
+}  // namespace gdms::interval
+
+#endif  // GDMS_INTERVAL_BINNING_H_

@@ -1,0 +1,194 @@
+#include "interval/sweep.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gdms::interval {
+
+namespace {
+
+using gdm::GenomicRegion;
+
+/// Iterates maximal runs of equal chromosome in a sorted region list.
+/// Returns pairs of [begin, end) index ranges keyed by chrom id.
+struct ChromSegments {
+  explicit ChromSegments(const std::vector<GenomicRegion>& regions) {
+    size_t i = 0;
+    while (i < regions.size()) {
+      size_t j = i;
+      while (j < regions.size() && regions[j].chrom == regions[i].chrom) ++j;
+      segments.push_back({regions[i].chrom, i, j});
+      i = j;
+    }
+  }
+
+  struct Segment {
+    int32_t chrom;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Segment> segments;
+
+  const Segment* Find(int32_t chrom) const {
+    for (const auto& s : segments) {
+      if (s.chrom == chrom) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Core windowed sweep shared by OverlapJoin and DistanceJoin: for each ref,
+/// considers exps whose left end is < ref.right + window and whose right end
+/// is > ref.left - window, then defers to `test`.
+void WindowSweep(const std::vector<GenomicRegion>& refs,
+                 const std::vector<GenomicRegion>& exps, int64_t window,
+                 const std::function<void(size_t, size_t)>& test) {
+  ChromSegments ref_segs(refs);
+  ChromSegments exp_segs(exps);
+  for (const auto& rs : ref_segs.segments) {
+    const auto* es = exp_segs.Find(rs.chrom);
+    if (es == nullptr) continue;
+    size_t j = es->begin;
+    std::vector<size_t> active;
+    for (size_t i = rs.begin; i < rs.end; ++i) {
+      const GenomicRegion& r = refs[i];
+      while (j < es->end && exps[j].left < r.right + window) {
+        active.push_back(j);
+        ++j;
+      }
+      // Prune exps that ended before the sweep line; ref.left is
+      // non-decreasing so they cannot match later refs either.
+      size_t keep = 0;
+      for (size_t a : active) {
+        if (exps[a].right > r.left - window) active[keep++] = a;
+      }
+      active.resize(keep);
+      for (size_t a : active) {
+        // Window admission is necessary but not sufficient (later refs may
+        // have smaller right ends); re-test admission before the predicate.
+        if (exps[a].left < r.right + window && exps[a].right > r.left - window) {
+          test(i, a);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void OverlapJoin(const std::vector<GenomicRegion>& refs,
+                 const std::vector<GenomicRegion>& exps, const PairSink& sink) {
+  WindowSweep(refs, exps, 0, [&](size_t i, size_t a) {
+    if (refs[i].Overlaps(exps[a])) sink(i, a);
+  });
+}
+
+void DistanceJoin(const std::vector<GenomicRegion>& refs,
+                  const std::vector<GenomicRegion>& exps, int64_t min_dist,
+                  int64_t max_dist, const PairSink& sink) {
+  int64_t window = std::max<int64_t>(0, max_dist) + 1;
+  WindowSweep(refs, exps, window, [&](size_t i, size_t a) {
+    int64_t d = refs[i].DistanceTo(exps[a]);
+    if (d >= min_dist && d <= max_dist) sink(i, a);
+  });
+}
+
+void NearestK(const std::vector<GenomicRegion>& refs,
+              const std::vector<GenomicRegion>& exps, size_t k,
+              const PairSink& sink) {
+  if (k == 0) return;
+  ChromSegments ref_segs(refs);
+  ChromSegments exp_segs(exps);
+  for (const auto& rs : ref_segs.segments) {
+    const auto* es = exp_segs.Find(rs.chrom);
+    if (es == nullptr) continue;
+    // Max exp length on this chromosome bounds how far beyond a position an
+    // overlapping region's left end can be.
+    int64_t max_len = 0;
+    for (size_t j = es->begin; j < es->end; ++j) {
+      max_len = std::max(max_len, exps[j].length());
+    }
+    for (size_t i = rs.begin; i < rs.end; ++i) {
+      const GenomicRegion& r = refs[i];
+      // Binary search for the first exp with left >= r.left.
+      size_t lo = es->begin, hi = es->end;
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (exps[mid].left < r.left) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      // Expand a window around the insertion point until it certainly holds
+      // the k nearest. Any region with left outside [wlo, whi] is farther
+      // than `radius` (using max_len to bound right ends), so once k
+      // candidates lie within `radius` — or the window spans the whole
+      // chromosome segment — the k nearest are among the candidates.
+      std::vector<std::pair<int64_t, size_t>> cand;  // (distance, index)
+      int64_t radius = 1024;
+      while (true) {
+        cand.clear();
+        int64_t wlo = r.left - radius - max_len;
+        int64_t whi = r.right + radius;
+        for (size_t j = lo; j-- > es->begin;) {  // scan left of insertion
+          if (exps[j].left < wlo) break;
+          cand.push_back({r.DistanceTo(exps[j]), j});
+        }
+        for (size_t j = lo; j < es->end; ++j) {  // scan right of insertion
+          if (exps[j].left > whi) break;
+          cand.push_back({r.DistanceTo(exps[j]), j});
+        }
+        size_t within = 0;
+        for (const auto& c : cand) {
+          if (c.first <= radius) ++within;
+        }
+        bool window_covers_all = exps[es->begin].left >= wlo &&
+                                 exps[es->end - 1].left <= whi;
+        if (within >= k || window_covers_all) break;
+        radius *= 4;
+      }
+      std::sort(cand.begin(), cand.end());
+      size_t take = std::min(k, cand.size());
+      for (size_t t = 0; t < take; ++t) sink(i, cand[t].second);
+    }
+  }
+}
+
+std::vector<char> ExistsOverlap(const std::vector<GenomicRegion>& refs,
+                                const std::vector<GenomicRegion>& exps) {
+  std::vector<char> flags(refs.size(), 0);
+  OverlapJoin(refs, exps, [&](size_t i, size_t) { flags[i] = 1; });
+  return flags;
+}
+
+std::vector<GenomicRegion> MergeTouching(
+    const std::vector<GenomicRegion>& regions) {
+  std::vector<GenomicRegion> out;
+  for (const auto& r : regions) {
+    if (!out.empty() && out.back().chrom == r.chrom &&
+        r.left <= out.back().right) {
+      out.back().right = std::max(out.back().right, r.right);
+    } else {
+      out.emplace_back(r.chrom, r.left, r.right, gdm::Strand::kNone);
+    }
+  }
+  return out;
+}
+
+gdm::GenomicRegion IntersectCoords(const GenomicRegion& a,
+                                   const GenomicRegion& b) {
+  GenomicRegion out(a.chrom, std::max(a.left, b.left),
+                    std::min(a.right, b.right));
+  out.strand = (a.strand == b.strand) ? a.strand : gdm::Strand::kNone;
+  return out;
+}
+
+gdm::GenomicRegion SpanCoords(const GenomicRegion& a, const GenomicRegion& b) {
+  GenomicRegion out(a.chrom, std::min(a.left, b.left),
+                    std::max(a.right, b.right));
+  out.strand = (a.strand == b.strand) ? a.strand : gdm::Strand::kNone;
+  return out;
+}
+
+}  // namespace gdms::interval

@@ -1,0 +1,68 @@
+#ifndef GDMS_INTERVAL_SWEEP_H_
+#define GDMS_INTERVAL_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gdm/region.h"
+
+namespace gdms::interval {
+
+/// Callback receiving (ref_index, exp_index) for each matched pair.
+using PairSink = std::function<void(size_t, size_t)>;
+
+/// \brief Reports every overlapping (ref, exp) pair between two
+/// coordinate-sorted region lists.
+///
+/// Linear-ish sweep with an active list; both inputs MUST be sorted by
+/// (chrom, left, right) — the canonical sample order. Complexity is
+/// O(n + m + pairs) for bounded-length regions.
+void OverlapJoin(const std::vector<gdm::GenomicRegion>& refs,
+                 const std::vector<gdm::GenomicRegion>& exps,
+                 const PairSink& sink);
+
+/// \brief Reports (ref, exp) pairs whose genometric distance lies in
+/// [min_dist, max_dist] (see GenomicRegion::DistanceTo; overlaps have
+/// negative distance).
+///
+/// `max_dist` must be >= 0 for non-overlapping matches to be found; the
+/// sweep window is sized by max_dist. Both inputs must be sorted.
+void DistanceJoin(const std::vector<gdm::GenomicRegion>& refs,
+                  const std::vector<gdm::GenomicRegion>& exps,
+                  int64_t min_dist, int64_t max_dist, const PairSink& sink);
+
+/// \brief For each ref region, reports its k nearest exp regions by
+/// genometric distance (ties broken by coordinate order). Regions on other
+/// chromosomes are never matched.
+///
+/// Both inputs must be sorted.
+void NearestK(const std::vector<gdm::GenomicRegion>& refs,
+              const std::vector<gdm::GenomicRegion>& exps, size_t k,
+              const PairSink& sink);
+
+/// \brief Marks refs that overlap at least one exp region.
+///
+/// Returns a vector of flags parallel to `refs`. Used by DIFFERENCE (drop
+/// flagged) and by SELECT-with-region-intersection style filters.
+std::vector<char> ExistsOverlap(const std::vector<gdm::GenomicRegion>& refs,
+                                const std::vector<gdm::GenomicRegion>& exps);
+
+/// \brief Merges overlapping or touching regions of a sorted list into
+/// maximal disjoint regions (strand-insensitive). Values are dropped.
+std::vector<gdm::GenomicRegion> MergeTouching(
+    const std::vector<gdm::GenomicRegion>& regions);
+
+/// \brief Intersects each overlapping pair and returns the intersection
+/// coordinates, i.e. the INT output option of a genometric join.
+gdm::GenomicRegion IntersectCoords(const gdm::GenomicRegion& a,
+                                   const gdm::GenomicRegion& b);
+
+/// \brief Smallest region spanning both a and b (the CAT / contig output
+/// option of a genometric join); requires same chromosome.
+gdm::GenomicRegion SpanCoords(const gdm::GenomicRegion& a,
+                              const gdm::GenomicRegion& b);
+
+}  // namespace gdms::interval
+
+#endif  // GDMS_INTERVAL_SWEEP_H_

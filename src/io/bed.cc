@@ -1,0 +1,168 @@
+#include "io/bed.h"
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace gdms::io {
+
+namespace {
+
+using gdm::AttrType;
+using gdm::GenomicRegion;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+bool IsSkippableLine(const std::string& line) {
+  auto t = Trim(line);
+  return t.empty() || t[0] == '#' || StartsWith(t, "track") ||
+         StartsWith(t, "browser");
+}
+
+Result<GenomicRegion> ParseFixed(const std::vector<std::string>& f) {
+  GDMS_ASSIGN_OR_RETURN(int64_t left, ParseInt64(f[1]));
+  GDMS_ASSIGN_OR_RETURN(int64_t right, ParseInt64(f[2]));
+  if (left < 0 || right < left) {
+    return Status::ParseError("invalid BED interval: " + f[1] + "-" + f[2]);
+  }
+  GenomicRegion r(gdm::InternChrom(f[0]), left, right);
+  if (f.size() >= 6 && !f[5].empty()) r.strand = gdm::StrandFromChar(f[5][0]);
+  return r;
+}
+
+}  // namespace
+
+gdm::RegionSchema BedSchema(int columns) {
+  RegionSchema s;
+  if (columns >= 4) (void)s.AddAttr("name", AttrType::kString);
+  if (columns >= 5) (void)s.AddAttr("score", AttrType::kDouble);
+  return s;
+}
+
+gdm::RegionSchema NarrowPeakSchema() {
+  RegionSchema s = BedSchema(5);
+  (void)s.AddAttr("signal_value", AttrType::kDouble);
+  (void)s.AddAttr("p_value", AttrType::kDouble);
+  (void)s.AddAttr("q_value", AttrType::kDouble);
+  (void)s.AddAttr("peak", AttrType::kInt);
+  return s;
+}
+
+Result<gdm::Sample> ReadBedSample(std::istream& in, gdm::SampleId id) {
+  Sample sample(id);
+  std::string line;
+  int columns = -1;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsSkippableLine(line)) continue;
+    auto fields = Split(std::string(Trim(line)), '\t');
+    if (fields.size() == 1) fields = SplitWhitespace(line);
+    if (fields.size() < 3) {
+      return Status::ParseError("BED line " + std::to_string(line_no) +
+                                " has fewer than 3 columns");
+    }
+    if (columns < 0) columns = static_cast<int>(fields.size());
+    if (static_cast<int>(fields.size()) != columns) {
+      return Status::ParseError("BED line " + std::to_string(line_no) +
+                                " has inconsistent column count");
+    }
+    GDMS_ASSIGN_OR_RETURN(GenomicRegion r, ParseFixed(fields));
+    if (columns >= 4) r.values.push_back(Value(fields[3]));
+    if (columns >= 5) {
+      GDMS_ASSIGN_OR_RETURN(Value score,
+                            Value::Parse(fields[4], AttrType::kDouble));
+      r.values.push_back(std::move(score));
+    }
+    sample.regions.push_back(std::move(r));
+  }
+  sample.SortNow();
+  return sample;
+}
+
+namespace {
+
+/// Shared narrowPeak/broadPeak row parser; `columns` is 10 or 9.
+Result<gdm::Sample> ReadEncodePeakSample(std::istream& in, gdm::SampleId id,
+                                         size_t columns, const char* format) {
+  Sample sample(id);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsSkippableLine(line)) continue;
+    auto fields = Split(std::string(Trim(line)), '\t');
+    if (fields.size() != columns) {
+      return Status::ParseError(std::string(format) + " line " +
+                                std::to_string(line_no) + " must have " +
+                                std::to_string(columns) + " columns, got " +
+                                std::to_string(fields.size()));
+    }
+    GDMS_ASSIGN_OR_RETURN(GenomicRegion r, ParseFixed(fields));
+    r.values.push_back(Value(fields[3]));
+    GDMS_ASSIGN_OR_RETURN(Value score, Value::Parse(fields[4], AttrType::kDouble));
+    r.values.push_back(std::move(score));
+    GDMS_ASSIGN_OR_RETURN(Value signal, Value::Parse(fields[6], AttrType::kDouble));
+    r.values.push_back(std::move(signal));
+    GDMS_ASSIGN_OR_RETURN(Value pval, Value::Parse(fields[7], AttrType::kDouble));
+    r.values.push_back(std::move(pval));
+    GDMS_ASSIGN_OR_RETURN(Value qval, Value::Parse(fields[8], AttrType::kDouble));
+    r.values.push_back(std::move(qval));
+    if (columns == 10) {
+      GDMS_ASSIGN_OR_RETURN(Value peak, Value::Parse(fields[9], AttrType::kInt));
+      r.values.push_back(std::move(peak));
+    }
+    sample.regions.push_back(std::move(r));
+  }
+  sample.SortNow();
+  return sample;
+}
+
+}  // namespace
+
+gdm::RegionSchema BroadPeakSchema() {
+  RegionSchema s = BedSchema(5);
+  (void)s.AddAttr("signal_value", AttrType::kDouble);
+  (void)s.AddAttr("p_value", AttrType::kDouble);
+  (void)s.AddAttr("q_value", AttrType::kDouble);
+  return s;
+}
+
+Result<gdm::Sample> ReadNarrowPeakSample(std::istream& in, gdm::SampleId id) {
+  return ReadEncodePeakSample(in, id, 10, "narrowPeak");
+}
+
+Result<gdm::Sample> ReadBroadPeakSample(std::istream& in, gdm::SampleId id) {
+  return ReadEncodePeakSample(in, id, 9, "broadPeak");
+}
+
+void WriteBedSample(const gdm::Sample& sample, const gdm::RegionSchema& schema,
+                    std::ostream& out) {
+  for (const auto& r : sample.regions) {
+    out << gdm::ChromName(r.chrom) << '\t' << r.left << '\t' << r.right;
+    // BED requires name and score before strand; fill placeholders when the
+    // schema lacks them but the region is stranded.
+    auto name_idx = schema.IndexOf("name");
+    auto score_idx = schema.IndexOf("score");
+    bool need_strand = r.strand != gdm::Strand::kNone;
+    if (name_idx || score_idx || need_strand) {
+      out << '\t'
+          << (name_idx ? r.values[*name_idx].ToString() : std::string("."));
+      out << '\t'
+          << (score_idx ? r.values[*score_idx].ToString() : std::string("0"));
+      out << '\t' << gdm::StrandChar(r.strand);
+    }
+    // Remaining variable attributes append after the BED6 block.
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (name_idx && i == *name_idx) continue;
+      if (score_idx && i == *score_idx) continue;
+      out << '\t' << r.values[i].ToString();
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace gdms::io

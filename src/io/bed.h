@@ -1,0 +1,50 @@
+#ifndef GDMS_IO_BED_H_
+#define GDMS_IO_BED_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// \brief BED family readers.
+///
+/// GDM's purpose (paper, Section 2) is to mediate "technology-driven
+/// formats" behind one model; the BED reader maps the ubiquitous
+/// tab-separated track format onto GDM regions. Coordinates are 0-based
+/// half-open, exactly GDM's convention.
+
+/// Schema produced for a BED file with `columns` columns (3..6):
+/// 4+ adds name:STRING, 5+ adds score:DOUBLE (column 6, strand, is fixed).
+gdm::RegionSchema BedSchema(int columns);
+
+/// Schema of the ENCODE narrowPeak format (BED6 + signal_value:DOUBLE,
+/// p_value:DOUBLE, q_value:DOUBLE, peak:INT).
+gdm::RegionSchema NarrowPeakSchema();
+
+/// Schema of the ENCODE broadPeak format (narrowPeak without the peak
+/// column).
+gdm::RegionSchema BroadPeakSchema();
+
+/// Reads one BED sample. Lines beginning with '#', "track" or "browser"
+/// are skipped. Column count is taken from the first data line and must be
+/// consistent. Output regions are coordinate-sorted.
+Result<gdm::Sample> ReadBedSample(std::istream& in, gdm::SampleId id);
+
+/// Reads one narrowPeak sample (exactly 10 columns).
+Result<gdm::Sample> ReadNarrowPeakSample(std::istream& in, gdm::SampleId id);
+
+/// Reads one broadPeak sample (exactly 9 columns).
+Result<gdm::Sample> ReadBroadPeakSample(std::istream& in, gdm::SampleId id);
+
+/// Number of variable columns the BED sample carries (0..2), recoverable
+/// from the sample's region arity; needed to pick the write layout.
+void WriteBedSample(const gdm::Sample& sample, const gdm::RegionSchema& schema,
+                    std::ostream& out);
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_BED_H_

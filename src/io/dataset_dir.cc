@@ -1,0 +1,154 @@
+#include "io/dataset_dir.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace gdms::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Value;
+
+std::string RegionFileName(gdm::SampleId id) {
+  return "S_" + std::to_string(id) + ".regions.tsv";
+}
+
+std::string MetaFileName(gdm::SampleId id) {
+  return "S_" + std::to_string(id) + ".meta.tsv";
+}
+
+}  // namespace
+
+Status SaveDatasetDir(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + dir + ": " + ec.message());
+  }
+  {
+    std::ofstream schema_out(fs::path(dir) / "schema.txt");
+    if (!schema_out) return Status::IoError("cannot write schema.txt in " + dir);
+    schema_out << dataset.name() << '\n';
+    bool first = true;
+    for (const auto& attr : dataset.schema().attrs()) {
+      if (!first) schema_out << '\t';
+      first = false;
+      schema_out << attr.name << ':' << AttrTypeName(attr.type);
+    }
+    schema_out << '\n';
+  }
+  for (const auto& s : dataset.samples()) {
+    std::ofstream regions_out(fs::path(dir) / RegionFileName(s.id));
+    if (!regions_out) {
+      return Status::IoError("cannot write regions for sample " +
+                             std::to_string(s.id));
+    }
+    for (const auto& r : s.regions) {
+      regions_out << gdm::ChromName(r.chrom) << '\t' << r.left << '\t'
+                  << r.right << '\t' << gdm::StrandChar(r.strand);
+      for (const auto& v : r.values) regions_out << '\t' << v.ToString();
+      regions_out << '\n';
+    }
+    std::ofstream meta_out(fs::path(dir) / MetaFileName(s.id));
+    if (!meta_out) {
+      return Status::IoError("cannot write metadata for sample " +
+                             std::to_string(s.id));
+    }
+    for (const auto& e : s.metadata.entries()) {
+      meta_out << e.attr << '\t' << e.value << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Result<gdm::Dataset> LoadDatasetDir(const std::string& dir) {
+  std::ifstream schema_in(fs::path(dir) / "schema.txt");
+  if (!schema_in) {
+    return Status::IoError("missing schema.txt in " + dir);
+  }
+  std::string name;
+  if (!std::getline(schema_in, name)) {
+    return Status::ParseError("schema.txt is empty in " + dir);
+  }
+  RegionSchema schema;
+  std::string schema_line;
+  if (std::getline(schema_in, schema_line) && !Trim(schema_line).empty()) {
+    for (const auto& field : Split(schema_line, '\t')) {
+      auto parts = Split(field, ':');
+      if (parts.size() != 2) {
+        return Status::ParseError("bad schema attribute: " + field);
+      }
+      GDMS_ASSIGN_OR_RETURN(AttrType type, gdm::ParseAttrType(parts[1]));
+      GDMS_RETURN_NOT_OK(schema.AddAttr(parts[0], type));
+    }
+  }
+  Dataset ds(std::string(Trim(name)), schema);
+
+  // Collect sample ids from region files, sorted for determinism.
+  std::vector<std::pair<gdm::SampleId, fs::path>> region_files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string file = entry.path().filename().string();
+    if (!StartsWith(file, "S_") || !EndsWith(file, ".regions.tsv")) continue;
+    std::string id_text = file.substr(2, file.size() - 2 - 12);
+    GDMS_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(id_text));
+    region_files.push_back({id, entry.path()});
+  }
+  if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
+  std::sort(region_files.begin(), region_files.end());
+
+  for (const auto& [id, path] : region_files) {
+    Sample sample(id);
+    std::ifstream regions_in(path);
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(regions_in, line)) {
+      ++line_no;
+      if (Trim(line).empty()) continue;
+      auto fields = Split(line, '\t');
+      if (fields.size() != 4 + schema.size()) {
+        return Status::ParseError(path.string() + " line " +
+                                  std::to_string(line_no) +
+                                  " does not match schema arity");
+      }
+      GDMS_ASSIGN_OR_RETURN(int64_t left, ParseInt64(fields[1]));
+      GDMS_ASSIGN_OR_RETURN(int64_t right, ParseInt64(fields[2]));
+      GenomicRegion r(gdm::InternChrom(fields[0]), left, right);
+      if (!fields[3].empty()) r.strand = gdm::StrandFromChar(fields[3][0]);
+      for (size_t i = 0; i < schema.size(); ++i) {
+        GDMS_ASSIGN_OR_RETURN(Value v,
+                              Value::Parse(fields[4 + i], schema.attr(i).type));
+        r.values.push_back(std::move(v));
+      }
+      sample.regions.push_back(std::move(r));
+    }
+    sample.SortNow();
+    std::ifstream meta_in(fs::path(dir) / MetaFileName(id));
+    if (meta_in) {
+      while (std::getline(meta_in, line)) {
+        if (Trim(line).empty()) continue;
+        auto tab = line.find('\t');
+        if (tab == std::string::npos) {
+          return Status::ParseError("meta line without tab for sample " +
+                                    std::to_string(id));
+        }
+        sample.metadata.Add(line.substr(0, tab), line.substr(tab + 1));
+      }
+    }
+    ds.AddSample(std::move(sample));
+  }
+  GDMS_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace gdms::io

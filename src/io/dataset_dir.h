@@ -1,0 +1,30 @@
+#ifndef GDMS_IO_DATASET_DIR_H_
+#define GDMS_IO_DATASET_DIR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// \brief The on-disk repository layout: one directory per dataset.
+///
+/// Mirrors the layout of real GMQL repositories, where each sample is a
+/// region file accompanied by a `.meta` file of attribute-value pairs:
+///
+///     <dir>/schema.txt            name + tab-separated attr:TYPE list
+///     <dir>/S_<id>.regions.tsv    chrom left right strand v1 v2 ...
+///     <dir>/S_<id>.meta.tsv       attribute <tab> value
+///
+/// SaveDatasetDir creates the directory (parents included) and replaces any
+/// previous content for the same sample ids; LoadDatasetDir reads every
+/// S_*.regions.tsv it finds and validates the result against the schema.
+
+Status SaveDatasetDir(const gdm::Dataset& dataset, const std::string& dir);
+
+Result<gdm::Dataset> LoadDatasetDir(const std::string& dir);
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_DATASET_DIR_H_

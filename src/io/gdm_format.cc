@@ -1,0 +1,140 @@
+#include "io/gdm_format.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace gdms::io {
+
+namespace {
+using gdm::AttrDef;
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Value;
+}  // namespace
+
+void WriteGdm(const gdm::Dataset& dataset, std::ostream& out) {
+  out << "#GDMS v1\n";
+  out << "#NAME " << dataset.name() << '\n';
+  out << "#SCHEMA";
+  for (const auto& a : dataset.schema().attrs()) {
+    out << '\t' << a.name << ':' << AttrTypeName(a.type);
+  }
+  out << '\n';
+  for (const auto& s : dataset.samples()) {
+    out << "#SAMPLE " << s.id << '\n';
+    for (const auto& e : s.metadata.entries()) {
+      out << "#META " << e.attr << '\t' << e.value << '\n';
+    }
+    out << "#REGIONS " << s.regions.size() << '\n';
+    for (const auto& r : s.regions) {
+      out << gdm::ChromName(r.chrom) << '\t' << r.left << '\t' << r.right
+          << '\t' << gdm::StrandChar(r.strand);
+      for (const auto& v : r.values) out << '\t' << v.ToString();
+      out << '\n';
+    }
+  }
+}
+
+std::string WriteGdmString(const gdm::Dataset& dataset) {
+  std::ostringstream oss;
+  WriteGdm(dataset, oss);
+  return oss.str();
+}
+
+Result<gdm::Dataset> ReadGdm(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != "#GDMS v1") {
+    return Status::ParseError("missing #GDMS v1 magic");
+  }
+  Dataset ds;
+  Sample* current = nullptr;
+  size_t pending_regions = 0;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (pending_regions > 0) {
+      auto fields = Split(line, '\t');
+      if (fields.size() < 4) {
+        return Status::ParseError("region line " + std::to_string(line_no) +
+                                  " has fewer than 4 columns");
+      }
+      if (fields.size() != 4 + ds.schema().size()) {
+        return Status::ParseError("region line " + std::to_string(line_no) +
+                                  " does not match schema arity");
+      }
+      GDMS_ASSIGN_OR_RETURN(int64_t left, ParseInt64(fields[1]));
+      GDMS_ASSIGN_OR_RETURN(int64_t right, ParseInt64(fields[2]));
+      GenomicRegion r(gdm::InternChrom(fields[0]), left, right);
+      if (!fields[3].empty()) r.strand = gdm::StrandFromChar(fields[3][0]);
+      for (size_t i = 0; i < ds.schema().size(); ++i) {
+        GDMS_ASSIGN_OR_RETURN(
+            Value v, Value::Parse(fields[4 + i], ds.schema().attr(i).type));
+        r.values.push_back(std::move(v));
+      }
+      current->regions.push_back(std::move(r));
+      --pending_regions;
+      continue;
+    }
+    if (StartsWith(line, "#NAME ")) {
+      ds.set_name(std::string(Trim(line.substr(6))));
+    } else if (StartsWith(line, "#SCHEMA")) {
+      RegionSchema schema;
+      auto fields = Split(line, '\t');
+      for (size_t i = 1; i < fields.size(); ++i) {
+        auto parts = Split(fields[i], ':');
+        if (parts.size() != 2) {
+          return Status::ParseError("bad schema attr: " + fields[i]);
+        }
+        GDMS_ASSIGN_OR_RETURN(AttrType t, gdm::ParseAttrType(parts[1]));
+        GDMS_RETURN_NOT_OK(schema.AddAttr(parts[0], t));
+      }
+      *ds.mutable_schema() = std::move(schema);
+    } else if (StartsWith(line, "#SAMPLE ")) {
+      GDMS_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(line.substr(8)));
+      ds.AddSample(Sample(static_cast<gdm::SampleId>(id)));
+      current = &ds.mutable_samples()->back();
+    } else if (StartsWith(line, "#META ")) {
+      if (current == nullptr) {
+        return Status::ParseError("#META before any #SAMPLE at line " +
+                                  std::to_string(line_no));
+      }
+      auto rest = line.substr(6);
+      auto tab = rest.find('\t');
+      if (tab == std::string::npos) {
+        return Status::ParseError("#META without tab at line " +
+                                  std::to_string(line_no));
+      }
+      current->metadata.Add(rest.substr(0, tab), rest.substr(tab + 1));
+    } else if (StartsWith(line, "#REGIONS ")) {
+      if (current == nullptr) {
+        return Status::ParseError("#REGIONS before any #SAMPLE at line " +
+                                  std::to_string(line_no));
+      }
+      GDMS_ASSIGN_OR_RETURN(int64_t count, ParseInt64(line.substr(9)));
+      if (count < 0) return Status::ParseError("negative region count");
+      pending_regions = static_cast<size_t>(count);
+      current->regions.reserve(pending_regions);
+    } else {
+      return Status::ParseError("unrecognized line " + std::to_string(line_no) +
+                                ": " + line.substr(0, 40));
+    }
+  }
+  if (pending_regions > 0) {
+    return Status::ParseError("stream ended mid region table");
+  }
+  for (auto& s : *ds.mutable_samples()) s.SortNow();
+  GDMS_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+Result<gdm::Dataset> ReadGdmString(const std::string& text) {
+  std::istringstream iss(text);
+  return ReadGdm(iss);
+}
+
+}  // namespace gdms::io

@@ -1,0 +1,44 @@
+#ifndef GDMS_IO_GDM_FORMAT_H_
+#define GDMS_IO_GDM_FORMAT_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// \brief The native GDM text interchange format.
+///
+/// One stream carries a whole dataset — name, region schema, and per sample
+/// its metadata triples and region table:
+///
+///     #GDMS v1
+///     #NAME <dataset name>
+///     #SCHEMA attr:TYPE <tab> attr:TYPE ...
+///     #SAMPLE <id>
+///     #META <attr> <tab> <value>
+///     #REGIONS <count>
+///     <chrom> <left> <right> <strand> <v1> <v2> ...
+///
+/// This is the wire format of the federated protocol (Section 4.4) — its
+/// byte length is what the protocol's transfer accounting measures — and the
+/// durable format of the repository catalog.
+
+/// Serializes a dataset to the stream.
+void WriteGdm(const gdm::Dataset& dataset, std::ostream& out);
+
+/// Serializes to a string (convenience for the protocol layer).
+std::string WriteGdmString(const gdm::Dataset& dataset);
+
+/// Parses a dataset from the stream.
+Result<gdm::Dataset> ReadGdm(std::istream& in);
+
+/// Parses from a string.
+Result<gdm::Dataset> ReadGdmString(const std::string& text);
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_GDM_FORMAT_H_

@@ -1,0 +1,130 @@
+#include "io/gtf.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace gdms::io {
+
+namespace {
+
+using gdm::AttrType;
+using gdm::GenomicRegion;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Value;
+
+/// Parses `gene_id "X"; tx "Y";` into a key->value map.
+std::map<std::string, std::string> ParseAttrColumn(const std::string& col) {
+  std::map<std::string, std::string> out;
+  size_t i = 0;
+  while (i < col.size()) {
+    while (i < col.size() && (col[i] == ' ' || col[i] == ';')) ++i;
+    size_t key_start = i;
+    while (i < col.size() && col[i] != ' ' && col[i] != ';') ++i;
+    if (i >= col.size() || key_start == i) break;
+    std::string key = col.substr(key_start, i - key_start);
+    while (i < col.size() && col[i] == ' ') ++i;
+    std::string value;
+    if (i < col.size() && col[i] == '"') {
+      ++i;
+      size_t val_start = i;
+      while (i < col.size() && col[i] != '"') ++i;
+      value = col.substr(val_start, i - val_start);
+      if (i < col.size()) ++i;  // closing quote
+    } else {
+      size_t val_start = i;
+      while (i < col.size() && col[i] != ';') ++i;
+      value = std::string(Trim(col.substr(val_start, i - val_start)));
+    }
+    out.emplace(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+}  // namespace
+
+gdm::RegionSchema GtfSchema(const std::vector<std::string>& attr_keys) {
+  RegionSchema s;
+  (void)s.AddAttr("source", AttrType::kString);
+  (void)s.AddAttr("feature", AttrType::kString);
+  (void)s.AddAttr("score", AttrType::kDouble);
+  (void)s.AddAttr("frame", AttrType::kString);
+  for (const auto& k : attr_keys) (void)s.AddAttr(k, AttrType::kString);
+  return s;
+}
+
+Result<gdm::Sample> ReadGtfSample(std::istream& in, gdm::SampleId id,
+                                  const std::vector<std::string>& attr_keys) {
+  Sample sample(id);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = Split(std::string(trimmed), '\t');
+    if (fields.size() < 8) {
+      return Status::ParseError("GTF line " + std::to_string(line_no) +
+                                " has fewer than 8 columns");
+    }
+    GDMS_ASSIGN_OR_RETURN(int64_t start1, ParseInt64(fields[3]));
+    GDMS_ASSIGN_OR_RETURN(int64_t end1, ParseInt64(fields[4]));
+    if (start1 < 1 || end1 < start1) {
+      return Status::ParseError("GTF line " + std::to_string(line_no) +
+                                " has invalid coordinates");
+    }
+    GenomicRegion r(gdm::InternChrom(fields[0]), start1 - 1, end1);
+    if (!fields[6].empty()) r.strand = gdm::StrandFromChar(fields[6][0]);
+    r.values.push_back(Value(fields[1]));
+    r.values.push_back(Value(fields[2]));
+    if (fields[5] == ".") {
+      r.values.push_back(Value::Null());
+    } else {
+      GDMS_ASSIGN_OR_RETURN(Value score,
+                            Value::Parse(fields[5], AttrType::kDouble));
+      r.values.push_back(std::move(score));
+    }
+    r.values.push_back(fields[7] == "." ? Value::Null() : Value(fields[7]));
+    auto attrs = fields.size() >= 9 ? ParseAttrColumn(fields[8])
+                                    : std::map<std::string, std::string>{};
+    for (const auto& key : attr_keys) {
+      auto it = attrs.find(key);
+      r.values.push_back(it == attrs.end() ? Value::Null() : Value(it->second));
+    }
+    sample.regions.push_back(std::move(r));
+  }
+  sample.SortNow();
+  return sample;
+}
+
+void WriteGtfSample(const gdm::Sample& sample, const gdm::RegionSchema& schema,
+                    std::ostream& out) {
+  auto source_idx = schema.IndexOf("source");
+  auto feature_idx = schema.IndexOf("feature");
+  auto score_idx = schema.IndexOf("score");
+  auto frame_idx = schema.IndexOf("frame");
+  for (const auto& r : sample.regions) {
+    auto field = [&](std::optional<size_t> idx, const char* fallback) {
+      if (!idx || r.values[*idx].is_null()) return std::string(fallback);
+      return r.values[*idx].ToString();
+    };
+    out << gdm::ChromName(r.chrom) << '\t' << field(source_idx, "gdms") << '\t'
+        << field(feature_idx, "region") << '\t' << (r.left + 1) << '\t'
+        << r.right << '\t' << field(score_idx, ".") << '\t'
+        << gdm::StrandChar(r.strand) << '\t' << field(frame_idx, ".") << '\t';
+    bool first = true;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if ((source_idx && i == *source_idx) || (feature_idx && i == *feature_idx) ||
+          (score_idx && i == *score_idx) || (frame_idx && i == *frame_idx)) {
+        continue;
+      }
+      if (!first) out << ' ';
+      first = false;
+      out << schema.attr(i).name << " \"" << r.values[i].ToString() << "\";";
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace gdms::io

@@ -1,0 +1,32 @@
+#ifndef GDMS_IO_GTF_H_
+#define GDMS_IO_GTF_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// Schema produced by the GTF reader: source, feature, score, frame plus the
+/// attribute keys requested at read time (all STRING except score:DOUBLE).
+gdm::RegionSchema GtfSchema(const std::vector<std::string>& attr_keys);
+
+/// \brief Reads one GTF/GFF2 sample.
+///
+/// GTF is 1-based closed; regions convert to GDM's 0-based half-open. The
+/// 9th column's `key "value";` attributes are exploded: each name in
+/// `attr_keys` becomes a STRING region attribute (NULL when absent).
+Result<gdm::Sample> ReadGtfSample(std::istream& in, gdm::SampleId id,
+                                  const std::vector<std::string>& attr_keys);
+
+/// Writes a sample as GTF, mapping schema attrs back: `source`, `feature`,
+/// `score`, `frame` fill their columns (defaults when missing); every other
+/// attribute lands in column 9.
+void WriteGtfSample(const gdm::Sample& sample, const gdm::RegionSchema& schema,
+                    std::ostream& out);
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_GTF_H_

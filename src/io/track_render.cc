@@ -1,0 +1,90 @@
+#include "io/track_render.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gdms::io {
+
+void TrackRenderer::AddTrack(const std::string& label,
+                             const std::vector<gdm::GenomicRegion>& regions,
+                             char glyph) {
+  tracks_.push_back({label, &regions, glyph});
+}
+
+Result<std::string> TrackRenderer::Render() const {
+  if (window_.right <= window_.left || window_.width == 0) {
+    return Status::InvalidArgument("empty rendering window");
+  }
+  double span = static_cast<double>(window_.right - window_.left);
+  double bases_per_col = span / static_cast<double>(window_.width);
+
+  size_t label_width = 8;
+  for (const auto& t : tracks_) {
+    label_width = std::max(label_width, t.label.size() + 1);
+  }
+
+  std::string out;
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s:%lld-%lld (%.1f kb, %.0f bp/col)\n",
+                  gdm::ChromName(window_.chrom).c_str(),
+                  static_cast<long long>(window_.left),
+                  static_cast<long long>(window_.right), span / 1000.0,
+                  bases_per_col);
+    out += buf;
+  }
+  // Ruler: a tick every ~width/4 columns.
+  {
+    std::string ruler(window_.width, ' ');
+    std::string label(label_width, ' ');
+    label.replace(0, 5, "ruler");
+    size_t tick_every = std::max<size_t>(10, window_.width / 4);
+    for (size_t col = 0; col < window_.width; col += tick_every) {
+      int64_t pos = window_.left +
+                    static_cast<int64_t>(static_cast<double>(col) * bases_per_col);
+      std::string mark = "|" + std::to_string(pos);
+      for (size_t i = 0; i < mark.size() && col + i < window_.width; ++i) {
+        ruler[col + i] = mark[i];
+      }
+    }
+    out += label + ruler + "\n";
+  }
+
+  for (const auto& track : tracks_) {
+    std::vector<int> depth(window_.width, 0);
+    std::vector<char> strand_glyph(window_.width, 0);
+    for (const auto& r : *track.regions) {
+      if (r.chrom != window_.chrom) continue;
+      if (r.right <= window_.left || r.left >= window_.right) continue;
+      int64_t lo = std::max(r.left, window_.left);
+      int64_t hi = std::min(r.right, window_.right);
+      size_t c0 = static_cast<size_t>(
+          static_cast<double>(lo - window_.left) / bases_per_col);
+      size_t c1 = static_cast<size_t>(
+          static_cast<double>(hi - window_.left - 1) / bases_per_col);
+      c1 = std::min(c1, window_.width - 1);
+      char sg = r.strand == gdm::Strand::kPlus
+                    ? '>'
+                    : (r.strand == gdm::Strand::kMinus ? '<' : 0);
+      for (size_t c = c0; c <= c1; ++c) {
+        ++depth[c];
+        if (sg != 0) strand_glyph[c] = sg;
+      }
+    }
+    std::string row(window_.width, '.');
+    for (size_t c = 0; c < window_.width; ++c) {
+      if (depth[c] == 0) continue;
+      if (depth[c] == 1) {
+        row[c] = strand_glyph[c] != 0 ? strand_glyph[c] : track.glyph;
+      } else {
+        row[c] = depth[c] < 10 ? static_cast<char>('0' + depth[c]) : '+';
+      }
+    }
+    std::string label(label_width, ' ');
+    label.replace(0, std::min(track.label.size(), label_width), track.label);
+    out += label + row + "\n";
+  }
+  return out;
+}
+
+}  // namespace gdms::io

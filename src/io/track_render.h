@@ -1,0 +1,61 @@
+#ifndef GDMS_IO_TRACK_RENDER_H_
+#define GDMS_IO_TRACK_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// A genomic viewing window.
+struct TrackWindow {
+  int32_t chrom = 0;
+  int64_t left = 0;
+  int64_t right = 0;
+  /// Character columns the window maps onto.
+  size_t width = 80;
+};
+
+/// One named track to draw.
+struct Track {
+  std::string label;
+  const std::vector<gdm::GenomicRegion>* regions = nullptr;
+  /// Glyph for covered columns; overlap depth 2-9 is drawn as the digit.
+  char glyph = '=';
+};
+
+/// \brief Text genome-browser rendering.
+///
+/// Section 4.3 has results "visualize[d] on genome browsers"; this renders
+/// region tracks for a window as fixed-width text — one row per track, a
+/// coordinate ruler on top:
+///
+///     chr1:10000-20000 (10.0 kb, 125 bp/col)
+///     ruler     |10000      |12500      |15000      |17500
+///     peaks     ..===..2222=====...........====...........
+///     genes     ....<<<<<<<<<<<<..............>>>>>>>......
+///
+/// Stranded regions draw as '>' / '<'; overlaps deepen to digits.
+class TrackRenderer {
+ public:
+  explicit TrackRenderer(TrackWindow window) : window_(window) {}
+
+  /// Adds a track; `regions` must stay alive until Render and must be
+  /// coordinate-sorted.
+  void AddTrack(const std::string& label,
+                const std::vector<gdm::GenomicRegion>& regions,
+                char glyph = '=');
+
+  /// Renders all tracks. Fails on an empty or inverted window.
+  Result<std::string> Render() const;
+
+ private:
+  TrackWindow window_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_TRACK_RENDER_H_

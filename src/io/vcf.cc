@@ -1,0 +1,63 @@
+#include "io/vcf.h"
+
+#include "common/string_util.h"
+
+namespace gdms::io {
+
+namespace {
+using gdm::AttrType;
+using gdm::GenomicRegion;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Value;
+}  // namespace
+
+gdm::RegionSchema VcfSchema() {
+  RegionSchema s;
+  (void)s.AddAttr("var_id", AttrType::kString);
+  (void)s.AddAttr("ref", AttrType::kString);
+  (void)s.AddAttr("alt", AttrType::kString);
+  (void)s.AddAttr("qual", AttrType::kDouble);
+  (void)s.AddAttr("filter", AttrType::kString);
+  (void)s.AddAttr("info", AttrType::kString);
+  return s;
+}
+
+Result<gdm::Sample> ReadVcfSample(std::istream& in, gdm::SampleId id) {
+  Sample sample(id);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = Split(std::string(trimmed), '\t');
+    if (fields.size() < 8) {
+      return Status::ParseError("VCF line " + std::to_string(line_no) +
+                                " has fewer than 8 columns");
+    }
+    GDMS_ASSIGN_OR_RETURN(int64_t pos1, ParseInt64(fields[1]));
+    if (pos1 < 1) {
+      return Status::ParseError("VCF line " + std::to_string(line_no) +
+                                " has POS < 1");
+    }
+    int64_t ref_len = fields[3] == "." ? 1 : static_cast<int64_t>(fields[3].size());
+    GenomicRegion r(gdm::InternChrom(fields[0]), pos1 - 1, pos1 - 1 + ref_len);
+    r.values.push_back(fields[2] == "." ? Value::Null() : Value(fields[2]));
+    r.values.push_back(Value(fields[3]));
+    r.values.push_back(Value(fields[4]));
+    if (fields[5] == ".") {
+      r.values.push_back(Value::Null());
+    } else {
+      GDMS_ASSIGN_OR_RETURN(Value qual, Value::Parse(fields[5], AttrType::kDouble));
+      r.values.push_back(std::move(qual));
+    }
+    r.values.push_back(fields[6] == "." ? Value::Null() : Value(fields[6]));
+    r.values.push_back(fields[7] == "." ? Value::Null() : Value(fields[7]));
+    sample.regions.push_back(std::move(r));
+  }
+  sample.SortNow();
+  return sample;
+}
+
+}  // namespace gdms::io

@@ -1,0 +1,24 @@
+#ifndef GDMS_IO_VCF_H_
+#define GDMS_IO_VCF_H_
+
+#include <istream>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// Schema produced by the VCF reader: id, ref, alt, qual, filter, info
+/// (qual:DOUBLE, others STRING). Mutations/variants are the "DNA features"
+/// the paper's tertiary analysis integrates.
+gdm::RegionSchema VcfSchema();
+
+/// \brief Reads one VCF sample (site-level; genotype columns are ignored).
+///
+/// VCF POS is 1-based; a variant becomes the 0-based half-open region
+/// [POS-1, POS-1+len(REF)). '##' headers and the '#CHROM' line are skipped.
+Result<gdm::Sample> ReadVcfSample(std::istream& in, gdm::SampleId id);
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_VCF_H_

@@ -1,0 +1,103 @@
+#include "repo/catalog.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "io/dataset_dir.h"
+
+namespace gdms::repo {
+
+std::string DatasetInfo::ToString() const {
+  std::string out = name + " [" + schema + "] samples=" +
+                    std::to_string(num_samples) +
+                    " regions=" + std::to_string(num_regions) +
+                    " bytes=" + std::to_string(estimated_bytes);
+  for (const auto& [attr, values] : metadata_summary) {
+    out += "\n  " + attr + ":";
+    for (const auto& v : values) out += " " + v;
+  }
+  return out;
+}
+
+void Catalog::Put(gdm::Dataset dataset) {
+  std::string name = dataset.name();
+  datasets_.insert_or_assign(std::move(name), std::move(dataset));
+}
+
+const gdm::Dataset* Catalog::Get(const std::string& name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::Remove(const std::string& name) {
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("no dataset named " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) out.push_back(name);
+  return out;
+}
+
+Result<DatasetInfo> Catalog::Info(const std::string& name) const {
+  const gdm::Dataset* ds = Get(name);
+  if (ds == nullptr) return Status::NotFound("no dataset named " + name);
+  DatasetInfo info;
+  info.name = ds->name();
+  info.schema = ds->schema().ToString();
+  info.num_samples = ds->num_samples();
+  info.num_regions = ds->TotalRegions();
+  info.estimated_bytes = ds->EstimateBytes();
+  // Collect distinct attribute names and a few example values.
+  std::map<std::string, std::set<std::string>> attrs;
+  for (const auto& s : ds->samples()) {
+    for (const auto& e : s.metadata.entries()) {
+      auto& vals = attrs[e.attr];
+      if (vals.size() < 8) vals.insert(e.value);
+    }
+  }
+  for (const auto& [attr, vals] : attrs) {
+    info.metadata_summary.push_back(
+        {attr, std::vector<std::string>(vals.begin(), vals.end())});
+  }
+  return info;
+}
+
+Status Catalog::SaveTo(const std::string& dir) const {
+  for (const auto& [name, ds] : datasets_) {
+    GDMS_RETURN_NOT_OK(io::SaveDatasetDir(
+        ds, (std::filesystem::path(dir) / name).string()));
+  }
+  return Status::OK();
+}
+
+Status Catalog::LoadFrom(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_directory()) continue;
+    if (!std::filesystem::exists(entry.path() / "schema.txt")) continue;
+    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds,
+                          io::LoadDatasetDir(entry.path().string()));
+    Put(std::move(ds));
+  }
+  if (ec) {
+    return Status::IoError("cannot list " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::vector<DatasetInfo> Catalog::AllInfo() const {
+  std::vector<DatasetInfo> out;
+  for (const auto& [name, ds] : datasets_) {
+    auto info = Info(name);
+    if (info.ok()) out.push_back(std::move(info).value());
+  }
+  return out;
+}
+
+}  // namespace gdms::repo

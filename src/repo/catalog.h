@@ -1,0 +1,66 @@
+#ifndef GDMS_REPO_CATALOG_H_
+#define GDMS_REPO_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::repo {
+
+/// Summary of a catalogued dataset, as exchanged by the federated protocol's
+/// "requesting information about remote datasets" step (paper, Section 4.4):
+/// metadata for locating data of interest, region schema for formalizing
+/// queries, and sizes for planning transfers.
+struct DatasetInfo {
+  std::string name;
+  std::string schema;          ///< RegionSchema::ToString()
+  uint64_t num_samples = 0;
+  uint64_t num_regions = 0;
+  uint64_t estimated_bytes = 0;
+  /// Distinct metadata attribute names with up to 8 example values each.
+  std::vector<std::pair<std::string, std::vector<std::string>>> metadata_summary;
+
+  std::string ToString() const;
+};
+
+/// \brief Named dataset store of one repository node.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Adds or replaces a dataset.
+  void Put(gdm::Dataset dataset);
+
+  /// Looks up a dataset; nullptr if absent.
+  const gdm::Dataset* Get(const std::string& name) const;
+
+  Status Remove(const std::string& name);
+
+  std::vector<std::string> Names() const;
+  size_t size() const { return datasets_.size(); }
+
+  /// Builds the protocol summary for one dataset.
+  Result<DatasetInfo> Info(const std::string& name) const;
+
+  /// Summaries for every dataset.
+  std::vector<DatasetInfo> AllInfo() const;
+
+  /// Persists every dataset under `dir/<name>/` in the repository layout
+  /// (io::SaveDatasetDir). Existing dataset directories are overwritten.
+  Status SaveTo(const std::string& dir) const;
+
+  /// Loads every dataset directory found under `dir` into the catalog
+  /// (existing entries with the same name are replaced). Non-dataset
+  /// entries are skipped; a malformed dataset directory is an error.
+  Status LoadFrom(const std::string& dir);
+
+ private:
+  std::map<std::string, gdm::Dataset> datasets_;
+};
+
+}  // namespace gdms::repo
+
+#endif  // GDMS_REPO_CATALOG_H_

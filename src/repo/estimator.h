@@ -1,0 +1,44 @@
+#ifndef GDMS_REPO_ESTIMATOR_H_
+#define GDMS_REPO_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+
+#include "core/plan.h"
+#include "repo/catalog.h"
+
+namespace gdms::repo {
+
+/// Estimated output cardinality of a plan (sub)tree.
+struct Estimate {
+  double samples = 0;
+  double regions = 0;
+  double bytes = 0;
+};
+
+/// \brief Heuristic cardinality estimator over the logical plan.
+///
+/// Backs the federated protocol's "obtain data about its compilation ...
+/// including estimates of the data sizes of results" step (paper,
+/// Section 4.4). Uses only catalog statistics — never touches region data —
+/// so a remote node can answer a CompileRequest cheaply.
+///
+/// Heuristics (documented so results are interpretable, not tuned):
+///   SELECT keeps 50% of samples per meta predicate and 50% of regions per
+///   region predicate; MAP yields ref_regions x (ref_samples x exp_samples)
+///   pairs; JOIN yields ~1 match per left region per right sample within
+///   the window; COVER compresses to ~25% of pooled regions; UNION adds;
+///   DIFFERENCE keeps 50% of left.
+class Estimator {
+ public:
+  explicit Estimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<Estimate> EstimatePlan(const core::PlanNode& node) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace gdms::repo
+
+#endif  // GDMS_REPO_ESTIMATOR_H_

@@ -1,0 +1,223 @@
+#include "repo/federation.h"
+
+#include <algorithm>
+
+#include "core/parser.h"
+#include "io/gdm_format.h"
+
+namespace gdms::repo {
+
+FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {}
+
+std::string FederatedNode::HandleInfo() const {
+  std::string out = "NODE " + name_ + "\n";
+  for (const auto& info : catalog_.AllInfo()) {
+    out += info.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+CompileInfo FederatedNode::HandleCompile(const std::string& gmql) const {
+  CompileInfo info;
+  auto program = core::Parser::Parse(gmql);
+  if (!program.ok()) {
+    info.ok = false;
+    info.error = program.status().ToString();
+    return info;
+  }
+  info.ok = true;
+  Estimator estimator(&catalog_);
+  for (const auto& sink : program.value().sinks) {
+    auto estimate = estimator.EstimatePlan(*sink);
+    if (!estimate.ok()) {
+      // Unknown dataset etc. -- still a compile-level diagnosis.
+      info.ok = false;
+      info.error = estimate.status().ToString();
+      return info;
+    }
+    info.estimated_regions += estimate.value().regions;
+    info.estimated_bytes += estimate.value().bytes;
+  }
+  return info;
+}
+
+uint64_t FederatedNode::staged_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, payload] : staged_) total += payload.size();
+  return total;
+}
+
+Result<std::string> FederatedNode::HandleExecute(const std::string& gmql) {
+  core::QueryRunner runner;
+  for (const auto& name : catalog_.Names()) {
+    runner.RegisterDataset(*catalog_.Get(name));
+  }
+  GDMS_ASSIGN_OR_RETURN(auto results, runner.Run(gmql));
+  std::string payload;
+  for (const auto& [name, ds] : results) {
+    payload += io::WriteGdmString(ds);
+  }
+  if (max_staged_bytes_ > 0 &&
+      staged_bytes() + payload.size() > max_staged_bytes_) {
+    return Status::ResourceExhausted(
+        "staging area full on node " + name_ + " (" +
+        std::to_string(staged_bytes()) + " + " +
+        std::to_string(payload.size()) + " > " +
+        std::to_string(max_staged_bytes_) + " bytes); fetch and release "
+        "pending results first");
+  }
+  std::string query_id =
+      name_ + "-q" + std::to_string(next_query_++);
+  staged_.emplace(query_id, std::move(payload));
+  return query_id;
+}
+
+Result<FetchResult> FederatedNode::HandleFetch(const std::string& query_id,
+                                               size_t index) {
+  auto it = staged_.find(query_id);
+  if (it == staged_.end()) {
+    return Status::NotFound("no staged result for query " + query_id);
+  }
+  const std::string& payload = it->second;
+  size_t begin = index * chunk_bytes_;
+  if (begin >= payload.size() && !(payload.empty() && index == 0)) {
+    return Status::InvalidArgument("chunk index past end of staged result");
+  }
+  FetchResult out;
+  size_t end = std::min(payload.size(), begin + chunk_bytes_);
+  out.payload = payload.substr(begin, end - begin);
+  out.has_more = end < payload.size();
+  return out;
+}
+
+Result<std::string> FederatedNode::HandleDatasetDownload(
+    const std::string& name) const {
+  const gdm::Dataset* ds = catalog_.Get(name);
+  if (ds == nullptr) return Status::NotFound("no dataset named " + name);
+  return io::WriteGdmString(*ds);
+}
+
+void FederatedNode::ReleaseStaged(const std::string& query_id) {
+  staged_.erase(query_id);
+}
+
+void Coordinator::AddNode(FederatedNode* node) {
+  nodes_[node->name()] = node;
+}
+
+FederatedNode* Coordinator::FindNode(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+/// Splits a concatenation of GDM documents back into datasets.
+Result<std::map<std::string, gdm::Dataset>> ParseConcatenated(
+    const std::string& payload) {
+  std::map<std::string, gdm::Dataset> out;
+  size_t pos = 0;
+  const std::string magic = "#GDMS v1\n";
+  while (pos < payload.size()) {
+    size_t next = payload.find(magic, pos + 1);
+    std::string doc = payload.substr(pos, next == std::string::npos
+                                              ? std::string::npos
+                                              : next - pos);
+    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds, io::ReadGdmString(doc));
+    std::string name = ds.name();
+    out.insert_or_assign(name, std::move(ds));
+    if (next == std::string::npos) break;
+    pos = next;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
+    const std::string& node_name, const std::string& gmql) {
+  FederatedNode* node = FindNode(node_name);
+  if (node == nullptr) return Status::NotFound("unknown node " + node_name);
+
+  // COMPILE round-trip: the query text travels once, the estimate returns.
+  ++counters_.requests;
+  counters_.bytes_sent += gmql.size() + 16;
+  CompileInfo compile = node->HandleCompile(gmql);
+  counters_.bytes_received += 64;  // fixed-size estimate record
+  if (!compile.ok) {
+    return Status::InvalidArgument("remote compile failed: " + compile.error);
+  }
+
+  // EXECUTE.
+  ++counters_.requests;
+  counters_.bytes_sent += gmql.size() + 16;
+  GDMS_ASSIGN_OR_RETURN(std::string query_id, node->HandleExecute(gmql));
+  counters_.bytes_received += query_id.size();
+
+  // Staged FETCH loop (deferred retrieval, controlled communication load).
+  std::string payload;
+  size_t index = 0;
+  while (true) {
+    ++counters_.requests;
+    counters_.bytes_sent += query_id.size() + 24;
+    GDMS_ASSIGN_OR_RETURN(FetchResult chunk, node->HandleFetch(query_id, index));
+    counters_.bytes_received += chunk.payload.size();
+    payload += chunk.payload;
+    if (!chunk.has_more) break;
+    ++index;
+  }
+  node->ReleaseStaged(query_id);
+  if (payload.empty()) return std::map<std::string, gdm::Dataset>{};
+  return ParseConcatenated(payload);
+}
+
+Result<std::map<std::string, gdm::Dataset>> Coordinator::RunEverywhere(
+    const std::string& gmql) {
+  std::map<std::string, gdm::Dataset> merged;
+  size_t answered = 0;
+  std::string last_error = "no nodes registered";
+  for (auto& [node_name, node] : nodes_) {
+    // Probe with COMPILE first: nodes lacking the datasets are skipped
+    // without execution cost.
+    ++counters_.requests;
+    counters_.bytes_sent += gmql.size() + 16;
+    CompileInfo compile = node->HandleCompile(gmql);
+    counters_.bytes_received += 64;
+    if (!compile.ok) {
+      last_error = node_name + ": " + compile.error;
+      continue;
+    }
+    GDMS_ASSIGN_OR_RETURN(auto results, RunRemote(node_name, gmql));
+    for (auto& [output, ds] : results) {
+      std::string key = output + "@" + node_name;
+      ds.set_name(key);
+      merged.insert_or_assign(std::move(key), std::move(ds));
+    }
+    ++answered;
+  }
+  if (answered == 0) {
+    return Status::NotFound("no node could answer the query: " + last_error);
+  }
+  return merged;
+}
+
+Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
+    const std::string& node_name, const std::vector<std::string>& datasets,
+    const std::string& gmql) {
+  FederatedNode* node = FindNode(node_name);
+  if (node == nullptr) return Status::NotFound("unknown node " + node_name);
+  core::QueryRunner runner;
+  for (const auto& name : datasets) {
+    ++counters_.requests;
+    counters_.bytes_sent += name.size() + 16;
+    GDMS_ASSIGN_OR_RETURN(std::string payload,
+                          node->HandleDatasetDownload(name));
+    counters_.bytes_received += payload.size();
+    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds, io::ReadGdmString(payload));
+    runner.RegisterDataset(std::move(ds));
+  }
+  return runner.Run(gmql);
+}
+
+}  // namespace gdms::repo

@@ -1,0 +1,141 @@
+#ifndef GDMS_REPO_FEDERATION_H_
+#define GDMS_REPO_FEDERATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/runner.h"
+#include "repo/catalog.h"
+#include "repo/estimator.h"
+
+namespace gdms::repo {
+
+/// \brief The federated query protocol of Section 4.4, in-process.
+///
+/// "Queries move from a requesting node to a remote node, are locally
+/// executed, and results are communicated back ... transferring only query
+/// results which are usually small in size." Every protocol message is a
+/// serialized string so byte accounting is honest; the coordinator compares
+/// query shipping against full data shipping (experiment E8).
+
+/// Protocol interactions supported by a node:
+///   INFO            — dataset summaries (metadata + schemas)
+///   COMPILE <gmql>  — parse/validate + result-size estimate
+///   EXECUTE <gmql>  — run and stage results under a query id
+///   FETCH <id> <i>  — retrieve staged chunk i (deferred result retrieval)
+///   DATASET <name>  — full dataset download (the anti-pattern E8 measures)
+struct ProtocolCounters {
+  uint64_t requests = 0;
+  uint64_t bytes_sent = 0;      ///< coordinator -> node
+  uint64_t bytes_received = 0;  ///< node -> coordinator
+};
+
+/// One staged query result chunk.
+struct FetchResult {
+  std::string payload;
+  bool has_more = false;
+};
+
+/// Compilation outcome with cardinality estimates.
+struct CompileInfo {
+  bool ok = false;
+  std::string error;
+  double estimated_regions = 0;
+  double estimated_bytes = 0;
+};
+
+/// \brief A repository node: catalog + local GMQL engine + staging area.
+class FederatedNode {
+ public:
+  explicit FederatedNode(std::string name);
+
+  const std::string& name() const { return name_; }
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Staged-chunk size (bytes) for deferred retrieval.
+  void set_chunk_bytes(size_t n) { chunk_bytes_ = n; }
+
+  /// Staging budget: EXECUTE fails with ResourceExhausted once the sum of
+  /// staged (not yet released) results would exceed this. 0 = unlimited.
+  /// The paper's "limited amount of staging at the sites hosting the
+  /// services" — requesters must fetch and release before submitting more.
+  void set_max_staged_bytes(uint64_t n) { max_staged_bytes_ = n; }
+  uint64_t staged_bytes() const;
+
+  // -- protocol handlers; each takes/returns serialized payloads --
+
+  /// INFO: returns the rendered DatasetInfo list.
+  std::string HandleInfo() const;
+
+  /// COMPILE: parses the query and estimates result sizes.
+  CompileInfo HandleCompile(const std::string& gmql) const;
+
+  /// EXECUTE: runs the query, stages serialized results, returns a query id.
+  Result<std::string> HandleExecute(const std::string& gmql);
+
+  /// FETCH: returns chunk `index` of the staged result.
+  Result<FetchResult> HandleFetch(const std::string& query_id, size_t index);
+
+  /// DATASET: full serialized dataset (data shipping).
+  Result<std::string> HandleDatasetDownload(const std::string& name) const;
+
+  /// Number of currently staged results (for staging-resource control).
+  size_t staged_count() const { return staged_.size(); }
+
+  /// Drops a staged result once the requester is done.
+  void ReleaseStaged(const std::string& query_id);
+
+ private:
+  std::string name_;
+  Catalog catalog_;
+  size_t chunk_bytes_ = 1 << 20;
+  uint64_t max_staged_bytes_ = 0;
+  std::map<std::string, std::string> staged_;  // query id -> serialized result
+  uint64_t next_query_ = 1;
+};
+
+/// \brief The requesting side: ships queries (or fetches data) and accounts
+/// for every byte crossing the simulated wire.
+class Coordinator {
+ public:
+  Coordinator() = default;
+
+  /// Registers a node; the coordinator does not own it.
+  void AddNode(FederatedNode* node);
+
+  FederatedNode* FindNode(const std::string& name);
+
+  /// Query shipping: COMPILE on the remote node, then EXECUTE, then staged
+  /// FETCHes; returns the materialized datasets. Bytes are accounted in
+  /// counters().
+  Result<std::map<std::string, gdm::Dataset>> RunRemote(
+      const std::string& node_name, const std::string& gmql);
+
+  /// Data shipping baseline: downloads every dataset named in `datasets`
+  /// from the node, then runs the query locally.
+  Result<std::map<std::string, gdm::Dataset>> RunWithDataShipping(
+      const std::string& node_name, const std::vector<std::string>& datasets,
+      const std::string& gmql);
+
+  /// Broadcast: ships the query to every node whose catalog can compile it
+  /// (nodes lacking the referenced datasets are skipped), then unions the
+  /// per-node results under "<output>@<node>" keys. Errors only when no
+  /// node could answer.
+  Result<std::map<std::string, gdm::Dataset>> RunEverywhere(
+      const std::string& gmql);
+
+  const ProtocolCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = ProtocolCounters{}; }
+
+ private:
+  std::map<std::string, FederatedNode*> nodes_;
+  ProtocolCounters counters_;
+};
+
+}  // namespace gdms::repo
+
+#endif  // GDMS_REPO_FEDERATION_H_

@@ -1,0 +1,146 @@
+#include "search/internet_of_genomes.h"
+
+#include <algorithm>
+
+#include "io/gdm_format.h"
+
+namespace gdms::search::iog {
+
+std::string Host::Publish(gdm::Dataset dataset, gdm::Metadata metadata,
+                          bool is_public) {
+  PublishedDataset entry;
+  entry.url = "gdm://" + name_ + "/" + dataset.name();
+  entry.metadata = std::move(metadata);
+  entry.dataset = std::move(dataset);
+  entry.is_public = is_public;
+  std::string url = entry.url;
+  published_.push_back(std::move(entry));
+  return url;
+}
+
+std::vector<std::pair<std::string, gdm::Metadata>> Host::ListPublic() const {
+  std::vector<std::pair<std::string, gdm::Metadata>> out;
+  for (const auto& e : published_) {
+    if (e.is_public) out.push_back({e.url, e.metadata});
+  }
+  return out;
+}
+
+Result<std::string> Host::Download(const std::string& url,
+                                   uint64_t* bytes_out) const {
+  for (const auto& e : published_) {
+    if (e.url == url) {
+      std::string payload = io::WriteGdmString(e.dataset);
+      if (bytes_out != nullptr) *bytes_out += payload.size();
+      return payload;
+    }
+  }
+  return Status::NotFound("no published dataset at " + url);
+}
+
+void SearchService::AddHost(const Host* host) { hosts_.push_back(host); }
+
+Result<CrawlStats> SearchService::Crawl(uint64_t cache_budget_bytes) {
+  CrawlStats stats;
+  entries_.clear();
+  for (const Host* host : hosts_) {
+    ++stats.hosts_visited;
+    for (const auto& [url, metadata] : host->ListPublic()) {
+      Entry entry;
+      entry.url = url;
+      entry.host = host->name();
+      entry.metadata = metadata;
+      entry.terms = ontology_.Annotate(metadata);
+      for (const auto& e : metadata.entries()) {
+        stats.metadata_bytes += e.attr.size() + e.value.size();
+      }
+      // Non-intrusive caching: fetch the dataset only when it fits the
+      // per-dataset budget.
+      if (cache_budget_bytes > 0 && cache_.find(url) == cache_.end()) {
+        uint64_t bytes = 0;
+        auto payload = host->Download(url, &bytes);
+        if (payload.ok() && bytes <= cache_budget_bytes) {
+          stats.dataset_bytes += bytes;
+          cache_.emplace(url, std::move(payload).value());
+          ++stats.datasets_cached;
+        }
+      }
+      entries_.push_back(std::move(entry));
+      ++stats.entries_indexed;
+    }
+  }
+  return stats;
+}
+
+std::vector<Snippet> SearchService::Search(const std::string& query,
+                                           size_t limit) const {
+  auto tokens = TokenizeMeta(query);
+  // Expand each query token through the ontology: a token naming a term (or
+  // synonym) matches every descendant annotation.
+  std::vector<std::set<std::string>> expanded;
+  for (const auto& tok : tokens) {
+    std::set<std::string> terms;
+    std::string resolved = ontology_.Resolve(tok);
+    if (!resolved.empty()) {
+      terms = ontology_.Descendants(resolved);
+    }
+    terms.insert(tok);
+    expanded.push_back(std::move(terms));
+  }
+  std::vector<Snippet> out;
+  for (const auto& entry : entries_) {
+    double score = 0;
+    // Flat term matching: each query token scores by ontology-term hits
+    // plus raw text hits in metadata values.
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      bool term_hit = false;
+      for (const auto& term : expanded[t]) {
+        if (entry.terms.count(term)) {
+          term_hit = true;
+          break;
+        }
+      }
+      if (term_hit) score += 2.0;
+      for (const auto& e : entry.metadata.entries()) {
+        auto words = TokenizeMeta(e.value);
+        if (std::find(words.begin(), words.end(), tokens[t]) != words.end()) {
+          score += 1.0;
+          break;
+        }
+      }
+    }
+    if (score > 0) {
+      Snippet snippet;
+      snippet.url = entry.url;
+      snippet.host = entry.host;
+      snippet.score = score;
+      snippet.cached = cache_.count(entry.url) > 0;
+      out.push_back(std::move(snippet));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Snippet& a, const Snippet& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.url < b.url;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+Result<gdm::Dataset> SearchService::FetchDataset(const std::string& url,
+                                                 uint64_t* bytes_transferred) {
+  auto cached = cache_.find(url);
+  if (cached != cache_.end()) {
+    return io::ReadGdmString(cached->second);  // local copy, no transfer
+  }
+  for (const Host* host : hosts_) {
+    uint64_t bytes = 0;
+    auto payload = host->Download(url, &bytes);
+    if (payload.ok()) {
+      if (bytes_transferred != nullptr) *bytes_transferred += bytes;
+      return io::ReadGdmString(payload.value());
+    }
+  }
+  return Status::NotFound("no host serves " + url);
+}
+
+}  // namespace gdms::search::iog

@@ -1,0 +1,120 @@
+#ifndef GDMS_SEARCH_INTERNET_OF_GENOMES_H_
+#define GDMS_SEARCH_INTERNET_OF_GENOMES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+#include "search/metadata_index.h"
+#include "search/ontology.h"
+
+namespace gdms::search::iog {
+
+/// \brief The "Internet of Genomes" simulation (paper, Section 4.5).
+///
+/// Research hosts publish links to genomic data with metadata following a
+/// simple publishing protocol; a third-party crawler periodically visits
+/// hosts, downloads metadata (and optionally datasets), and feeds a search
+/// service that answers queries with snippets indicating whether each
+/// dataset is already cached in the service's repository.
+
+/// One published entry on a host: a stable URL, searchable metadata, and
+/// the dataset behind the link.
+struct PublishedDataset {
+  std::string url;
+  gdm::Metadata metadata;
+  gdm::Dataset dataset;
+  bool is_public = true;  ///< visible to crawlers
+};
+
+/// \brief A research-center host exposing published links.
+class Host {
+ public:
+  explicit Host(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Publishes a dataset; the URL is derived from host and dataset name.
+  /// Returns the URL.
+  std::string Publish(gdm::Dataset dataset, gdm::Metadata metadata,
+                      bool is_public = true);
+
+  /// Crawl entry point: URLs + metadata of public entries (the cheap part
+  /// of the protocol; no region data moves).
+  std::vector<std::pair<std::string, gdm::Metadata>> ListPublic() const;
+
+  /// Download of one dataset by URL (the expensive part). Counts bytes.
+  Result<std::string> Download(const std::string& url,
+                               uint64_t* bytes_out) const;
+
+  size_t num_published() const { return published_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<PublishedDataset> published_;
+};
+
+/// One search-result snippet.
+struct Snippet {
+  std::string url;
+  std::string host;
+  double score = 0;
+  bool cached = false;  ///< dataset already stored at the search service
+};
+
+/// Crawl/caching statistics.
+struct CrawlStats {
+  size_t hosts_visited = 0;
+  size_t entries_indexed = 0;
+  size_t datasets_cached = 0;
+  uint64_t metadata_bytes = 0;
+  uint64_t dataset_bytes = 0;
+};
+
+/// \brief Crawler + index + snippet search, in one service.
+class SearchService {
+ public:
+  SearchService() : ontology_(Ontology::BuiltinBio()) {}
+
+  /// Registers a host for crawling (not owned).
+  void AddHost(const Host* host);
+
+  /// Visits every host, indexes public metadata; datasets whose serialized
+  /// size is at most `cache_budget_bytes` (per dataset) are downloaded and
+  /// cached. Returns crawl statistics.
+  Result<CrawlStats> Crawl(uint64_t cache_budget_bytes = 0);
+
+  /// Keyword search over crawled metadata (ontology-expanded: query terms
+  /// match any synonym/descendant annotation). Returns ranked snippets.
+  std::vector<Snippet> Search(const std::string& query,
+                              size_t limit = 20) const;
+
+  /// Asynchronous-download simulation: fetches a dataset by URL from its
+  /// host (cached copies are served locally at zero transfer cost).
+  /// `bytes_transferred` reports the wire cost.
+  Result<gdm::Dataset> FetchDataset(const std::string& url,
+                                    uint64_t* bytes_transferred);
+
+  size_t num_indexed() const { return entries_.size(); }
+  size_t num_cached() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    std::string url;
+    std::string host;
+    gdm::Metadata metadata;
+    std::set<std::string> terms;  ///< ontology annotation (with closure)
+  };
+
+  std::vector<const Host*> hosts_;
+  std::vector<Entry> entries_;
+  std::map<std::string, std::string> cache_;  // url -> serialized dataset
+  Ontology ontology_;
+};
+
+}  // namespace gdms::search::iog
+
+#endif  // GDMS_SEARCH_INTERNET_OF_GENOMES_H_

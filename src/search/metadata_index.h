@@ -1,0 +1,92 @@
+#ifndef GDMS_SEARCH_METADATA_INDEX_H_
+#define GDMS_SEARCH_METADATA_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gdm/dataset.h"
+
+namespace gdms::search {
+
+/// Identifies one sample of one catalogued dataset.
+struct SampleRef {
+  std::string dataset;
+  gdm::SampleId sample = 0;
+
+  bool operator==(const SampleRef& other) const {
+    return dataset == other.dataset && sample == other.sample;
+  }
+  bool operator<(const SampleRef& other) const {
+    if (dataset != other.dataset) return dataset < other.dataset;
+    return sample < other.sample;
+  }
+};
+
+/// One ranked search hit.
+struct SearchHit {
+  SampleRef ref;
+  double score = 0;
+};
+
+/// Precision/recall of a result list against a relevant set.
+struct PrEval {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// \brief Inverted index over sample metadata for keyword search.
+///
+/// The "metadata search" service of Section 4.5: locate relevant samples
+/// within very large bodies using keyword queries, evaluated with the
+/// classical measures of precision and recall. Documents are samples; terms
+/// are lower-cased metadata values and attribute names; ranking is TF-IDF
+/// with cosine-style length normalization.
+class MetadataIndex {
+ public:
+  MetadataIndex() = default;
+
+  /// Indexes every sample of the dataset.
+  void AddDataset(const gdm::Dataset& dataset);
+
+  /// Number of indexed samples.
+  size_t num_documents() const { return docs_.size(); }
+  /// Number of distinct terms.
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Ranked keyword search; multiple keywords are OR-combined with TF-IDF
+  /// scoring. Returns up to `limit` hits, best first.
+  std::vector<SearchHit> Search(const std::string& query,
+                                size_t limit = 50) const;
+
+  /// Exact attribute=value lookup (no ranking).
+  std::vector<SampleRef> Lookup(const std::string& attr,
+                                const std::string& value) const;
+
+  /// Evaluates a result list: precision = |hits n relevant| / |hits|,
+  /// recall = ... / |relevant|.
+  static PrEval Evaluate(const std::vector<SearchHit>& hits,
+                         const std::vector<SampleRef>& relevant);
+
+ private:
+  struct Posting {
+    uint32_t doc = 0;
+    uint32_t tf = 0;
+  };
+
+  void IndexTerm(const std::string& term, uint32_t doc);
+
+  std::vector<SampleRef> docs_;
+  std::vector<double> doc_norm_;  // term count per doc, for normalization
+  std::map<std::string, std::vector<Posting>> postings_;
+  std::map<std::pair<std::string, std::string>, std::vector<uint32_t>> pairs_;
+};
+
+/// Tokenizes metadata text: lower-cases and splits on non-alphanumerics.
+std::vector<std::string> TokenizeMeta(const std::string& text);
+
+}  // namespace gdms::search
+
+#endif  // GDMS_SEARCH_METADATA_INDEX_H_

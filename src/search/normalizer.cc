@@ -1,0 +1,33 @@
+#include "search/normalizer.h"
+
+namespace gdms::search {
+
+NormalizeStats MetadataNormalizer::Normalize(gdm::Dataset* dataset,
+                                             bool materialize_closure) const {
+  NormalizeStats stats;
+  for (auto& sample : *dataset->mutable_samples()) {
+    ++stats.samples;
+    gdm::Metadata normalized;
+    for (const auto& entry : sample.metadata.entries()) {
+      std::string term = ontology_->Resolve(entry.value);
+      if (term.empty()) {
+        normalized.Add(entry.attr, entry.value);
+        continue;
+      }
+      if (term != entry.value) ++stats.values_rewritten;
+      normalized.Add(entry.attr, term);
+      if (materialize_closure) {
+        for (const auto& ancestor : ontology_->Closure(term)) {
+          if (!normalized.HasPair("_term", ancestor)) {
+            normalized.Add("_term", ancestor);
+            ++stats.terms_added;
+          }
+        }
+      }
+    }
+    sample.metadata = std::move(normalized);
+  }
+  return stats;
+}
+
+}  // namespace gdms::search

@@ -1,0 +1,44 @@
+#ifndef GDMS_SEARCH_NORMALIZER_H_
+#define GDMS_SEARCH_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "gdm/dataset.h"
+#include "search/ontology.h"
+
+namespace gdms::search {
+
+/// What one normalization pass did.
+struct NormalizeStats {
+  size_t samples = 0;
+  size_t values_rewritten = 0;   ///< raw values replaced by canonical terms
+  size_t terms_added = 0;        ///< closure terms materialized as metadata
+};
+
+/// \brief Ontology-driven metadata normalization.
+///
+/// Section 4.3: "All the processed datasets available in the above data
+/// sources will be provided of compatible metadata." Consortia spell the
+/// same concept differently ("ChIP-seq", "ChipSeq", "chip_seq"); the
+/// normalizer rewrites every metadata value that the ontology can resolve
+/// to its canonical term, and optionally materializes the semantic closure
+/// under the `_term` attribute so cross-repository joinby/selection works
+/// on compatible vocabulary.
+class MetadataNormalizer {
+ public:
+  explicit MetadataNormalizer(const Ontology* ontology)
+      : ontology_(ontology) {}
+
+  /// Rewrites resolvable values in place; with `materialize_closure`, adds
+  /// one `_term` entry per closure term of every resolved value.
+  NormalizeStats Normalize(gdm::Dataset* dataset,
+                           bool materialize_closure = true) const;
+
+ private:
+  const Ontology* ontology_;
+};
+
+}  // namespace gdms::search
+
+#endif  // GDMS_SEARCH_NORMALIZER_H_

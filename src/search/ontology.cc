@@ -1,0 +1,139 @@
+#include "search/ontology.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace gdms::search {
+
+void Ontology::AddTerm(const std::string& term) {
+  parents_.try_emplace(ToLower(term));
+  children_.try_emplace(ToLower(term));
+}
+
+bool Ontology::ReachesAncestor(const std::string& from,
+                               const std::string& target) const {
+  if (from == target) return true;
+  auto it = parents_.find(from);
+  if (it == parents_.end()) return false;
+  for (const auto& p : it->second) {
+    if (ReachesAncestor(p, target)) return true;
+  }
+  return false;
+}
+
+Status Ontology::AddIsA(const std::string& child, const std::string& parent) {
+  std::string c = ToLower(child);
+  std::string p = ToLower(parent);
+  if (c == p || ReachesAncestor(p, c)) {
+    return Status::InvalidArgument("is-a edge would create a cycle: " + c +
+                                   " -> " + p);
+  }
+  AddTerm(c);
+  AddTerm(p);
+  parents_[c].insert(p);
+  children_[p].insert(c);
+  return Status::OK();
+}
+
+void Ontology::AddSynonym(const std::string& raw_value,
+                          const std::string& term) {
+  AddTerm(term);
+  synonyms_[ToLower(raw_value)] = ToLower(term);
+}
+
+bool Ontology::HasTerm(const std::string& term) const {
+  return parents_.count(ToLower(term)) > 0;
+}
+
+std::string Ontology::Resolve(const std::string& raw_value) const {
+  std::string low = ToLower(raw_value);
+  auto it = synonyms_.find(low);
+  if (it != synonyms_.end()) return it->second;
+  if (parents_.count(low)) return low;
+  return "";
+}
+
+std::set<std::string> Ontology::Closure(const std::string& term) const {
+  std::set<std::string> out;
+  std::vector<std::string> stack = {ToLower(term)};
+  while (!stack.empty()) {
+    std::string t = std::move(stack.back());
+    stack.pop_back();
+    if (!parents_.count(t) || !out.insert(t).second) continue;
+    for (const auto& p : parents_.at(t)) stack.push_back(p);
+  }
+  return out;
+}
+
+std::set<std::string> Ontology::Descendants(const std::string& term) const {
+  std::set<std::string> out;
+  std::vector<std::string> stack = {ToLower(term)};
+  while (!stack.empty()) {
+    std::string t = std::move(stack.back());
+    stack.pop_back();
+    if (!children_.count(t) || !out.insert(t).second) continue;
+    for (const auto& c : children_.at(t)) stack.push_back(c);
+  }
+  return out;
+}
+
+std::set<std::string> Ontology::Annotate(const gdm::Metadata& metadata) const {
+  std::set<std::string> out;
+  for (const auto& e : metadata.entries()) {
+    std::string term = Resolve(e.value);
+    if (term.empty()) continue;
+    auto closure = Closure(term);
+    out.insert(closure.begin(), closure.end());
+  }
+  return out;
+}
+
+Ontology Ontology::BuiltinBio() {
+  Ontology o;
+  // Assays.
+  (void)o.AddIsA("chip_seq", "sequencing_assay");
+  (void)o.AddIsA("dnase_seq", "sequencing_assay");
+  (void)o.AddIsA("rna_seq", "sequencing_assay");
+  (void)o.AddIsA("chia_pet", "sequencing_assay");
+  (void)o.AddIsA("wgs", "sequencing_assay");
+  o.AddSynonym("ChipSeq", "chip_seq");
+  o.AddSynonym("DnaSeq", "wgs");
+  o.AddSynonym("ChiaPet", "chia_pet");
+  o.AddSynonym("Expression", "rna_seq");
+  o.AddSynonym("Mutation", "wgs");
+  // Cell lines.
+  (void)o.AddIsA("cancer_cell_line", "cell_line");
+  (void)o.AddIsA("normal_cell_line", "cell_line");
+  (void)o.AddIsA("k562", "cancer_cell_line");
+  (void)o.AddIsA("hela_s3", "cancer_cell_line");
+  (void)o.AddIsA("hepg2", "cancer_cell_line");
+  (void)o.AddIsA("gm12878", "normal_cell_line");
+  (void)o.AddIsA("imr90", "normal_cell_line");
+  o.AddSynonym("K562", "k562");
+  o.AddSynonym("HeLa-S3", "hela_s3");
+  o.AddSynonym("HepG2", "hepg2");
+  o.AddSynonym("GM12878", "gm12878");
+  o.AddSynonym("IMR90", "imr90");
+  // Targets.
+  (void)o.AddIsA("ctcf", "transcription_factor");
+  (void)o.AddIsA("polr2a", "transcription_factor");
+  (void)o.AddIsA("ep300", "transcription_factor");
+  (void)o.AddIsA("h3k27ac", "histone_mark");
+  (void)o.AddIsA("h3k4me1", "histone_mark");
+  (void)o.AddIsA("h3k4me3", "histone_mark");
+  (void)o.AddIsA("transcription_factor", "protein_target");
+  (void)o.AddIsA("histone_mark", "protein_target");
+  o.AddSynonym("CTCF", "ctcf");
+  o.AddSynonym("POLR2A", "polr2a");
+  o.AddSynonym("EP300", "ep300");
+  o.AddSynonym("H3K27ac", "h3k27ac");
+  o.AddSynonym("H3K4me1", "h3k4me1");
+  o.AddSynonym("H3K4me3", "h3k4me3");
+  // Conditions.
+  (void)o.AddIsA("cancer", "disease");
+  o.AddSynonym("oncogene_induced", "cancer");
+  return o;
+}
+
+}  // namespace gdms::search

@@ -1,0 +1,67 @@
+#ifndef GDMS_SEARCH_ONTOLOGY_H_
+#define GDMS_SEARCH_ONTOLOGY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/metadata.h"
+
+namespace gdms::search {
+
+/// \brief A small biomedical is-a ontology with semantic closure.
+///
+/// Stand-in for UMLS (paper, Section 4.3): metadata values are annotated
+/// with ontology terms; the *semantic closure* adds every ancestor term, so
+/// a query for "cancer cell line" also matches samples annotated "K562".
+/// Term ids are lower-case strings; each term may carry synonyms that map
+/// raw metadata values onto it.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Adds a term (idempotent).
+  void AddTerm(const std::string& term);
+
+  /// Declares `child` is-a `parent` (both added if absent). Cycles are
+  /// rejected.
+  Status AddIsA(const std::string& child, const std::string& parent);
+
+  /// Maps a raw metadata value (case-insensitive) onto a term.
+  void AddSynonym(const std::string& raw_value, const std::string& term);
+
+  bool HasTerm(const std::string& term) const;
+  size_t num_terms() const { return parents_.size(); }
+
+  /// The term a raw value maps to ("" if unmapped). Falls back to the value
+  /// itself when it names a term directly.
+  std::string Resolve(const std::string& raw_value) const;
+
+  /// All ancestors of a term including itself (the semantic closure).
+  std::set<std::string> Closure(const std::string& term) const;
+
+  /// All descendants of a term including itself (used for query expansion:
+  /// searching "cancer_cell_line" must match samples annotated "k562").
+  std::set<std::string> Descendants(const std::string& term) const;
+
+  /// Annotates sample metadata: resolves every value, expands closures and
+  /// returns the full term set.
+  std::set<std::string> Annotate(const gdm::Metadata& metadata) const;
+
+  /// \brief The built-in demonstration ontology: assay types, cell lines,
+  /// tissues and conditions found in the synthetic workloads.
+  static Ontology BuiltinBio();
+
+ private:
+  bool ReachesAncestor(const std::string& from, const std::string& target) const;
+
+  std::map<std::string, std::set<std::string>> parents_;
+  std::map<std::string, std::set<std::string>> children_;
+  std::map<std::string, std::string> synonyms_;
+};
+
+}  // namespace gdms::search
+
+#endif  // GDMS_SEARCH_ONTOLOGY_H_

@@ -1,0 +1,103 @@
+#include "search/region_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "interval/sweep.h"
+
+namespace gdms::search {
+
+namespace {
+using gdm::GenomicRegion;
+}  // namespace
+
+RegionSearch::RegionSearch(std::vector<GenomicRegion> reference)
+    : reference_(std::move(reference)) {
+  gdm::SortRegions(&reference_);
+  index_ = interval::IntervalIndex(reference_);
+}
+
+Result<std::vector<RegionHit>> RegionSearch::TopK(
+    const gdm::Dataset& dataset, const std::vector<FeatureWeight>& weights,
+    size_t k) const {
+  // Resolve attribute indexes up front.
+  std::vector<size_t> attr_index(weights.size(), SIZE_MAX);
+  for (size_t w = 0; w < weights.size(); ++w) {
+    if (weights[w].feature == RegionFeature::kAttrValue) {
+      auto idx = dataset.schema().IndexOf(weights[w].attr);
+      if (!idx.has_value()) {
+        return Status::InvalidArgument("feature attribute not in schema: " +
+                                       weights[w].attr);
+      }
+      attr_index[w] = *idx;
+    }
+  }
+
+  // Pass 1: compute raw features.
+  std::vector<RegionHit> hits;
+  for (const auto& s : dataset.samples()) {
+    for (const auto& r : s.regions) {
+      RegionHit hit;
+      hit.sample = s.id;
+      hit.region = r;
+      hit.features.reserve(weights.size());
+      for (size_t w = 0; w < weights.size(); ++w) {
+        double v = 0;
+        switch (weights[w].feature) {
+          case RegionFeature::kLength:
+            v = static_cast<double>(r.length());
+            break;
+          case RegionFeature::kAttrValue: {
+            const auto& value = r.values[attr_index[w]];
+            auto num = value.ToNumeric();
+            v = num.ok() ? num.value() : 0.0;
+            break;
+          }
+          case RegionFeature::kOverlapCount:
+            v = static_cast<double>(
+                index_.CountOverlaps(r.chrom, r.left, r.right));
+            break;
+          case RegionFeature::kDistanceToRef: {
+            // Nearest reference distance via a single-element NearestK.
+            std::vector<GenomicRegion> one = {r};
+            int64_t best = std::numeric_limits<int64_t>::max();
+            interval::NearestK(one, reference_, 1, [&](size_t, size_t j) {
+              best = r.DistanceTo(reference_[j]);
+            });
+            v = best == std::numeric_limits<int64_t>::max()
+                    ? 1e12
+                    : static_cast<double>(best);
+            break;
+          }
+        }
+        hit.features.push_back(v);
+      }
+      hits.push_back(std::move(hit));
+    }
+  }
+  if (hits.empty()) return hits;
+
+  // Pass 2: min-max scale each feature, then weighted sum.
+  for (size_t w = 0; w < weights.size(); ++w) {
+    double lo = hits[0].features[w];
+    double hi = lo;
+    for (const auto& h : hits) {
+      lo = std::min(lo, h.features[w]);
+      hi = std::max(hi, h.features[w]);
+    }
+    double span = hi - lo;
+    for (auto& h : hits) {
+      double scaled = span > 0 ? (h.features[w] - lo) / span : 0.0;
+      h.score += weights[w].weight * scaled;
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const RegionHit& a, const RegionHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.region.CoordLess(b.region);
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace gdms::search

@@ -1,0 +1,66 @@
+#ifndef GDMS_SEARCH_REGION_SEARCH_H_
+#define GDMS_SEARCH_REGION_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+#include "interval/interval_tree.h"
+
+namespace gdms::search {
+
+/// One computable region feature.
+enum class RegionFeature {
+  kLength,         ///< region length in bases
+  kAttrValue,      ///< numeric value of a named attribute
+  kOverlapCount,   ///< overlaps with a caller-provided reference track
+  kDistanceToRef,  ///< genometric distance to nearest reference region
+};
+
+/// A weighted feature term of the ranking score.
+struct FeatureWeight {
+  RegionFeature feature = RegionFeature::kLength;
+  double weight = 1.0;
+  /// For kAttrValue: the schema attribute to read.
+  std::string attr;
+};
+
+/// A ranked region hit.
+struct RegionHit {
+  gdm::SampleId sample = 0;
+  gdm::GenomicRegion region;
+  double score = 0;
+  std::vector<double> features;  ///< in FeatureWeight order
+};
+
+/// \brief Feature-based region search (paper, Section 4.5).
+///
+/// "The user selects interesting regions, then provides information about
+/// the features of interest, then those features are computed, and finally
+/// regions are ordered based on their computed features" — search and
+/// feature evaluation intertwined. The reference track (for overlap and
+/// distance features) is indexed once; candidate features are computed on
+/// demand, only for regions that pass the candidate filter.
+class RegionSearch {
+ public:
+  /// `reference` anchors overlap/distance features; may be empty.
+  explicit RegionSearch(std::vector<gdm::GenomicRegion> reference);
+
+  /// Scores every region of every sample of `dataset` with the weighted
+  /// feature sum (features are z-scaled by their observed min/max so weights
+  /// are comparable) and returns the top `k`.
+  Result<std::vector<RegionHit>> TopK(const gdm::Dataset& dataset,
+                                      const std::vector<FeatureWeight>& weights,
+                                      size_t k) const;
+
+  size_t reference_size() const { return reference_.size(); }
+
+ private:
+  std::vector<gdm::GenomicRegion> reference_;
+  interval::IntervalIndex index_;
+};
+
+}  // namespace gdms::search
+
+#endif  // GDMS_SEARCH_REGION_SEARCH_H_

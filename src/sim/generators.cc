@@ -1,0 +1,505 @@
+#include "sim/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gdms::sim {
+
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+using gdm::GenomicRegion;
+using gdm::Metadata;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+/// Draws a genome position, returning (chromosome index, position).
+std::pair<size_t, int64_t> RandomPosition(const GenomeAssembly& genome,
+                                          Rng* rng) {
+  // Chromosomes weighted by length.
+  int64_t total = genome.TotalLength();
+  int64_t pick = rng->Uniform(0, total - 1);
+  for (size_t c = 0; c < genome.num_chromosomes(); ++c) {
+    if (pick < genome.chrom_length(c)) return {c, pick};
+    pick -= genome.chrom_length(c);
+  }
+  return {genome.num_chromosomes() - 1,
+          genome.chrom_length(genome.num_chromosomes() - 1) / 2};
+}
+
+/// Shared hotspot machinery: fixed genomic positions that attract events.
+std::vector<std::pair<size_t, int64_t>> MakeHotspots(
+    const GenomeAssembly& genome, size_t count, Rng* rng) {
+  std::vector<std::pair<size_t, int64_t>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(RandomPosition(genome, rng));
+  return out;
+}
+
+GenomicRegion ClampedRegion(const GenomeAssembly& genome, size_t chrom_index,
+                            int64_t center, int64_t length, Strand strand) {
+  int64_t chrom_len = genome.chrom_length(chrom_index);
+  if (length < 1) length = 1;
+  int64_t left = center - length / 2;
+  if (left < 0) left = 0;
+  int64_t right = left + length;
+  if (right > chrom_len) {
+    right = chrom_len;
+    left = std::max<int64_t>(0, right - length);
+  }
+  return GenomicRegion(genome.chrom_id(chrom_index), left, right, strand);
+}
+
+}  // namespace
+
+GeneCatalog GenerateGenes(const GenomeAssembly& genome, size_t num_genes,
+                          uint64_t seed) {
+  Rng rng(Mix64(seed) ^ 0x67656e65ULL);
+  GeneCatalog catalog;
+  catalog.genes.reserve(num_genes);
+  // Distribute genes across chromosomes proportionally to length, walking
+  // each chromosome with exponential gaps sized to fit the quota.
+  int64_t total = genome.TotalLength();
+  size_t gene_counter = 0;
+  for (size_t c = 0; c < genome.num_chromosomes(); ++c) {
+    int64_t chrom_len = genome.chrom_length(c);
+    size_t quota = static_cast<size_t>(
+        static_cast<double>(num_genes) * static_cast<double>(chrom_len) /
+        static_cast<double>(total));
+    if (quota == 0) continue;
+    double mean_stride = static_cast<double>(chrom_len) / (quota + 1);
+    int64_t pos = static_cast<int64_t>(rng.Exponential(1.0 / (mean_stride / 2)));
+    for (size_t g = 0; g < quota && pos < chrom_len - 1000; ++g) {
+      int64_t gene_len =
+          1000 + static_cast<int64_t>(rng.Exponential(1.0 / 30000.0));
+      gene_len = std::min<int64_t>(gene_len, 500000);
+      int64_t right = std::min(pos + gene_len, chrom_len);
+      Strand strand = rng.Bernoulli(0.5) ? Strand::kPlus : Strand::kMinus;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "GENE%06zu", gene_counter++);
+      catalog.genes.push_back(
+          {genome.chrom_id(c), pos, right, strand, std::string(buf)});
+      pos = right + static_cast<int64_t>(rng.Exponential(1.0 / mean_stride));
+    }
+  }
+  return catalog;
+}
+
+gdm::Dataset GeneratePeakDataset(const GenomeAssembly& genome,
+                                 const PeakDatasetOptions& options,
+                                 uint64_t seed, const std::string& name) {
+  RegionSchema schema;
+  (void)schema.AddAttr("name", AttrType::kString);
+  (void)schema.AddAttr("score", AttrType::kDouble);
+  (void)schema.AddAttr("signal", AttrType::kDouble);
+  (void)schema.AddAttr("p_value", AttrType::kDouble);
+  Dataset ds(name, schema);
+
+  Rng hotspot_rng(Mix64(seed) ^ 0x686f74ULL);
+  auto hotspots = MakeHotspots(genome, options.num_hotspots, &hotspot_rng);
+
+  static const char* kKaryotypes[] = {"normal", "cancer"};
+  static const char* kSex[] = {"male", "female"};
+  static const char* kLabs[] = {"broad", "uw", "stanford", "polimi"};
+
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    Rng rng(HashCombine(Mix64(seed), s + 1));
+    Sample sample(static_cast<gdm::SampleId>(s + 1));
+    const std::string& antibody =
+        options.antibodies[s % options.antibodies.size()];
+    sample.metadata.Add("dataType", options.data_type);
+    sample.metadata.Add("antibody", antibody);
+    sample.metadata.Add("cell",
+                        options.cells[rng.Next() % options.cells.size()]);
+    sample.metadata.Add("karyotype", kKaryotypes[rng.Next() % 2]);
+    sample.metadata.Add("sex", kSex[rng.Next() % 2]);
+    sample.metadata.Add("lab", kLabs[rng.Next() % 4]);
+    sample.metadata.Add("sample_name", name + "_" + std::to_string(s + 1));
+
+    // Antibody-specific hotspot subset: samples with the same antibody
+    // co-localize more than samples with different ones.
+    size_t ab_index = s % options.antibodies.size();
+    sample.regions.reserve(options.peaks_per_sample);
+    for (size_t p = 0; p < options.peaks_per_sample; ++p) {
+      int64_t len = static_cast<int64_t>(
+          rng.Normal(static_cast<double>(options.peak_len_mean),
+                     static_cast<double>(options.peak_len_sd)));
+      if (len < 50) len = 50;
+      size_t chrom_index;
+      int64_t center;
+      if (!hotspots.empty() && rng.Bernoulli(options.hotspot_fraction)) {
+        // Zipf-weighted hotspot choice within the antibody's stratum.
+        size_t stratum = hotspots.size() / options.antibodies.size();
+        if (stratum == 0) stratum = hotspots.size();
+        size_t base = (ab_index * stratum) % hotspots.size();
+        size_t hs = (base + static_cast<size_t>(
+                                rng.Zipf(static_cast<int64_t>(stratum), 1.2))) %
+                    hotspots.size();
+        chrom_index = hotspots[hs].first;
+        center = hotspots[hs].second +
+                 static_cast<int64_t>(rng.Normal(0.0, 300.0));
+        if (center < 0) center = 0;
+      } else {
+        auto pos = RandomPosition(genome, &rng);
+        chrom_index = pos.first;
+        center = pos.second;
+      }
+      GenomicRegion r =
+          ClampedRegion(genome, chrom_index, center, len, Strand::kNone);
+      double signal = std::abs(rng.Normal(8.0, 4.0)) + 0.1;
+      double p_value = std::exp(-signal);  // stronger peaks are more
+                                           // significant
+      char peak_name[48];
+      std::snprintf(peak_name, sizeof(peak_name), "peak_%zu_%zu", s + 1, p);
+      r.values.push_back(Value(std::string(peak_name)));
+      r.values.push_back(Value(std::min(1000.0, signal * 100.0)));
+      r.values.push_back(Value(signal));
+      r.values.push_back(Value(p_value));
+      sample.regions.push_back(std::move(r));
+    }
+    sample.SortNow();
+    ds.AddSample(std::move(sample));
+  }
+  return ds;
+}
+
+gdm::Dataset GenerateAnnotations(const GenomeAssembly& genome,
+                                 const GeneCatalog& catalog,
+                                 const AnnotationOptions& options,
+                                 uint64_t seed, const std::string& name) {
+  RegionSchema schema;
+  (void)schema.AddAttr("name", AttrType::kString);
+  (void)schema.AddAttr("ann_type", AttrType::kString);
+  Dataset ds(name, schema);
+
+  Sample genes(1);
+  genes.metadata.Add("annType", "gene");
+  genes.metadata.Add("provider", "UCSC-like");
+  Sample promoters(2);
+  promoters.metadata.Add("annType", "promoter");
+  promoters.metadata.Add("provider", "UCSC-like");
+  for (const auto& g : catalog.genes) {
+    GenomicRegion gr(g.chrom, g.left, g.right, g.strand);
+    gr.values.push_back(Value(g.id));
+    gr.values.push_back(Value("gene"));
+    genes.regions.push_back(std::move(gr));
+
+    int64_t tss = g.Tss();
+    int64_t pl, pr;
+    if (g.strand == Strand::kMinus) {
+      pl = tss - options.promoter_downstream;
+      pr = tss + options.promoter_upstream;
+    } else {
+      pl = tss - options.promoter_upstream;
+      pr = tss + options.promoter_downstream;
+    }
+    if (pl < 0) pl = 0;
+    GenomicRegion pr_region(g.chrom, pl, pr, g.strand);
+    pr_region.values.push_back(Value(g.id + "_prom"));
+    pr_region.values.push_back(Value("promoter"));
+    promoters.regions.push_back(std::move(pr_region));
+  }
+  genes.SortNow();
+  promoters.SortNow();
+
+  Sample enhancers(3);
+  enhancers.metadata.Add("annType", "enhancer");
+  enhancers.metadata.Add("provider", "UCSC-like");
+  Rng rng(Mix64(seed) ^ 0x656e68ULL);
+  for (size_t e = 0; e < options.num_enhancers; ++e) {
+    auto pos = RandomPosition(genome, &rng);
+    int64_t len = std::max<int64_t>(
+        100, static_cast<int64_t>(
+                 rng.Normal(static_cast<double>(options.enhancer_len_mean),
+                            options.enhancer_len_mean / 3.0)));
+    GenomicRegion r = ClampedRegion(genome, pos.first, pos.second, len,
+                                    Strand::kNone);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ENH%06zu", e);
+    r.values.push_back(Value(std::string(buf)));
+    r.values.push_back(Value("enhancer"));
+    enhancers.regions.push_back(std::move(r));
+  }
+  enhancers.SortNow();
+
+  ds.AddSample(std::move(genes));
+  ds.AddSample(std::move(promoters));
+  ds.AddSample(std::move(enhancers));
+  return ds;
+}
+
+gdm::Dataset GenerateMutations(const GenomeAssembly& genome,
+                               const MutationOptions& options, uint64_t seed,
+                               const std::string& name) {
+  RegionSchema schema;
+  (void)schema.AddAttr("mut_type", AttrType::kString);
+  (void)schema.AddAttr("vaf", AttrType::kDouble);
+  Dataset ds(name, schema);
+
+  // Fragile sites are shared with GenerateBreakpoints for the same seed, so
+  // the Section 3 correlation is present in the synthetic data by design.
+  Rng fragile_rng(Mix64(seed) ^ 0x66726167ULL);
+  auto fragile = MakeHotspots(genome, options.num_fragile_sites, &fragile_rng);
+
+  static const char* kMutTypes[] = {"SNV", "INS", "DEL"};
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    Rng rng(HashCombine(Mix64(seed ^ 0x6d7574ULL), s + 1));
+    Sample sample(static_cast<gdm::SampleId>(s + 1));
+    const std::string& condition =
+        options.conditions[s % options.conditions.size()];
+    sample.metadata.Add("dataType", "Mutation");
+    sample.metadata.Add("condition", condition);
+    sample.metadata.Add("patient", "P" + std::to_string(s / 2 + 1));
+    // Oncogene induction concentrates mutations in fragile sites harder.
+    double frag = options.fragile_fraction;
+    if (condition == "oncogene_induced") frag = std::min(1.0, frag * 1.5);
+    for (size_t m = 0; m < options.mutations_per_sample; ++m) {
+      size_t chrom_index;
+      int64_t center;
+      if (!fragile.empty() && rng.Bernoulli(frag)) {
+        size_t fs = static_cast<size_t>(
+            rng.Zipf(static_cast<int64_t>(fragile.size()), 1.1));
+        chrom_index = fragile[fs].first;
+        center = fragile[fs].second +
+                 static_cast<int64_t>(rng.Normal(0.0, 5000.0));
+        if (center < 0) center = 0;
+      } else {
+        auto pos = RandomPosition(genome, &rng);
+        chrom_index = pos.first;
+        center = pos.second;
+      }
+      const char* mt = kMutTypes[rng.Next() % 3];
+      int64_t len = (mt[0] == 'S') ? 1 : rng.Uniform(1, 30);
+      GenomicRegion r =
+          ClampedRegion(genome, chrom_index, center, len, Strand::kNone);
+      r.values.push_back(Value(std::string(mt)));
+      r.values.push_back(Value(0.05 + 0.95 * rng.UniformDouble()));
+      sample.regions.push_back(std::move(r));
+    }
+    sample.SortNow();
+    ds.AddSample(std::move(sample));
+  }
+  return ds;
+}
+
+gdm::Dataset GenerateBreakpoints(const GenomeAssembly& genome,
+                                 const BreakpointOptions& options,
+                                 uint64_t seed, const std::string& name) {
+  RegionSchema schema;
+  (void)schema.AddAttr("score", AttrType::kDouble);
+  Dataset ds(name, schema);
+
+  Rng fragile_rng(Mix64(seed) ^ 0x66726167ULL);  // same tag as mutations
+  auto fragile = MakeHotspots(genome, options.num_fragile_sites, &fragile_rng);
+
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    Rng rng(HashCombine(Mix64(seed ^ 0x62726bULL), s + 1));
+    Sample sample(static_cast<gdm::SampleId>(s + 1));
+    const std::string& condition =
+        options.conditions[s % options.conditions.size()];
+    sample.metadata.Add("dataType", "BreakPoint");
+    sample.metadata.Add("condition", condition);
+    double frag = options.fragile_fraction;
+    size_t breaks = options.breaks_per_sample;
+    if (condition == "oncogene_induced") {
+      breaks = breaks * 2;  // induction produces abnormal break counts
+    }
+    for (size_t b = 0; b < breaks; ++b) {
+      size_t chrom_index;
+      int64_t center;
+      if (!fragile.empty() && rng.Bernoulli(frag)) {
+        size_t fs = static_cast<size_t>(
+            rng.Zipf(static_cast<int64_t>(fragile.size()), 1.1));
+        chrom_index = fragile[fs].first;
+        center = fragile[fs].second +
+                 static_cast<int64_t>(rng.Normal(0.0, 2000.0));
+        if (center < 0) center = 0;
+      } else {
+        auto pos = RandomPosition(genome, &rng);
+        chrom_index = pos.first;
+        center = pos.second;
+      }
+      GenomicRegion r = ClampedRegion(genome, chrom_index, center,
+                                      rng.Uniform(50, 400), Strand::kNone);
+      r.values.push_back(Value(std::abs(rng.Normal(5.0, 2.0))));
+      sample.regions.push_back(std::move(r));
+    }
+    sample.SortNow();
+    ds.AddSample(std::move(sample));
+  }
+  return ds;
+}
+
+gdm::Dataset GenerateReplicationTiming(const GenomeAssembly& genome,
+                                       const ReplicationOptions& options,
+                                       uint64_t seed, const std::string& name) {
+  RegionSchema schema;
+  (void)schema.AddAttr("rt_value", AttrType::kDouble);
+  Dataset ds(name, schema);
+
+  // Domain boundaries are shared across conditions; only values shift.
+  struct Domain {
+    int32_t chrom;
+    int64_t left;
+    int64_t right;
+    double base_value;
+    bool shifted;
+  };
+  std::vector<Domain> domains;
+  Rng dom_rng(Mix64(seed) ^ 0x646f6dULL);
+  for (size_t c = 0; c < genome.num_chromosomes(); ++c) {
+    int64_t pos = 0;
+    int64_t chrom_len = genome.chrom_length(c);
+    while (pos < chrom_len) {
+      int64_t len = std::max<int64_t>(
+          100000,
+          static_cast<int64_t>(dom_rng.Exponential(
+              1.0 / static_cast<double>(options.domain_len_mean))));
+      int64_t right = std::min(pos + len, chrom_len);
+      domains.push_back({genome.chrom_id(c), pos, right,
+                         dom_rng.Normal(0.0, 1.0),
+                         dom_rng.Bernoulli(options.shift_fraction)});
+      pos = right;
+    }
+  }
+
+  for (size_t s = 0; s < options.conditions.size(); ++s) {
+    Rng rng(HashCombine(Mix64(seed ^ 0x7274ULL), s + 1));
+    Sample sample(static_cast<gdm::SampleId>(s + 1));
+    sample.metadata.Add("dataType", "ReplicationTiming");
+    sample.metadata.Add("condition", options.conditions[s]);
+    bool induced = options.conditions[s] != "control";
+    for (const auto& d : domains) {
+      double value = d.base_value + rng.Normal(0.0, 0.1);
+      if (induced && d.shifted) value -= 1.5;  // induction delays timing
+      GenomicRegion r(d.chrom, d.left, d.right, Strand::kNone);
+      r.values.push_back(Value(value));
+      sample.regions.push_back(std::move(r));
+    }
+    sample.SortNow();
+    ds.AddSample(std::move(sample));
+  }
+  return ds;
+}
+
+gdm::Dataset GenerateExpression(const GenomeAssembly& genome,
+                                const GeneCatalog& catalog,
+                                const ExpressionOptions& options,
+                                uint64_t seed, const std::string& name) {
+  (void)genome;
+  RegionSchema schema;
+  (void)schema.AddAttr("gene", AttrType::kString);
+  (void)schema.AddAttr("fpkm", AttrType::kDouble);
+  Dataset ds(name, schema);
+
+  // Per-gene baseline and differential flags shared across conditions.
+  Rng base_rng(Mix64(seed) ^ 0x65787072ULL);
+  std::vector<double> baseline(catalog.genes.size());
+  std::vector<char> diff(catalog.genes.size());
+  for (size_t g = 0; g < catalog.genes.size(); ++g) {
+    baseline[g] = std::exp(base_rng.Normal(2.0, 1.5));
+    diff[g] = base_rng.Bernoulli(options.diff_fraction) ? 1 : 0;
+  }
+
+  for (size_t s = 0; s < options.conditions.size(); ++s) {
+    Rng rng(HashCombine(Mix64(seed ^ 0x65787072ULL), s + 1));
+    Sample sample(static_cast<gdm::SampleId>(s + 1));
+    sample.metadata.Add("dataType", "Expression");
+    sample.metadata.Add("condition", options.conditions[s]);
+    bool induced = options.conditions[s] != "control";
+    for (size_t g = 0; g < catalog.genes.size(); ++g) {
+      const Gene& gene = catalog.genes[g];
+      double fpkm = baseline[g] * std::exp(rng.Normal(0.0, 0.2));
+      if (induced && diff[g]) {
+        // Half the differential genes go up, half down.
+        double fc = std::pow(2.0, options.diff_log2fc);
+        fpkm = (g % 2 == 0) ? fpkm * fc : fpkm / fc;
+      }
+      GenomicRegion r(gene.chrom, gene.left, gene.right, gene.strand);
+      r.values.push_back(Value(gene.id));
+      r.values.push_back(Value(fpkm));
+      sample.regions.push_back(std::move(r));
+    }
+    sample.SortNow();
+    ds.AddSample(std::move(sample));
+  }
+  return ds;
+}
+
+gdm::Dataset GenerateCtcfLoops(const GenomeAssembly& genome,
+                               const CtcfLoopOptions& options, uint64_t seed,
+                               const std::string& name) {
+  RegionSchema schema;
+  (void)schema.AddAttr("loop_id", AttrType::kString);
+  (void)schema.AddAttr("score", AttrType::kDouble);
+  Dataset ds(name, schema);
+
+  Rng rng(Mix64(seed) ^ 0x6c6f6f70ULL);
+  Sample sample(1);
+  sample.metadata.Add("dataType", "ChiaPet");
+  sample.metadata.Add("factor", "CTCF");
+  for (size_t l = 0; l < options.num_loops; ++l) {
+    auto pos = RandomPosition(genome, &rng);
+    int64_t len = std::min<int64_t>(
+        options.loop_len_max,
+        std::max<int64_t>(10000,
+                          static_cast<int64_t>(rng.Exponential(
+                              1.0 / static_cast<double>(options.loop_len_mean)))));
+    GenomicRegion r =
+        ClampedRegion(genome, pos.first, pos.second + len / 2, len,
+                      Strand::kNone);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "LOOP%06zu", l);
+    r.values.push_back(Value(std::string(buf)));
+    r.values.push_back(Value(std::abs(rng.Normal(10.0, 5.0))));
+    sample.regions.push_back(std::move(r));
+  }
+  sample.SortNow();
+  ds.AddSample(std::move(sample));
+  return ds;
+}
+
+gdm::Dataset GenerateCtcfAnchors(const GenomeAssembly& genome,
+                                 const CtcfLoopOptions& options, uint64_t seed,
+                                 const std::string& name) {
+  // Re-derive the loops deterministically, then emit their anchor peaks.
+  Dataset loops = GenerateCtcfLoops(genome, options, seed, "tmp");
+  RegionSchema schema;
+  (void)schema.AddAttr("name", AttrType::kString);
+  (void)schema.AddAttr("score", AttrType::kDouble);
+  (void)schema.AddAttr("signal", AttrType::kDouble);
+  (void)schema.AddAttr("p_value", AttrType::kDouble);
+  Dataset ds(name, schema);
+  Sample sample(1);
+  sample.metadata.Add("dataType", "ChipSeq");
+  sample.metadata.Add("antibody", "CTCF");
+  Rng rng(Mix64(seed) ^ 0x616e6368ULL);
+  size_t i = 0;
+  for (const auto& loop : loops.sample(0).regions) {
+    for (int side = 0; side < 2; ++side) {
+      int64_t center = (side == 0) ? loop.left : loop.right;
+      GenomicRegion r(loop.chrom, std::max<int64_t>(0, center - options.anchor_len / 2),
+                      center + options.anchor_len / 2, Strand::kNone);
+      double signal = std::abs(rng.Normal(12.0, 3.0));
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "ctcf_%zu_%d", i, side);
+      r.values.push_back(Value(std::string(buf)));
+      r.values.push_back(Value(std::min(1000.0, signal * 100.0)));
+      r.values.push_back(Value(signal));
+      r.values.push_back(Value(std::exp(-signal)));
+      sample.regions.push_back(std::move(r));
+    }
+    ++i;
+  }
+  sample.SortNow();
+  ds.AddSample(std::move(sample));
+  return ds;
+}
+
+}  // namespace gdms::sim

@@ -1,0 +1,177 @@
+#ifndef GDMS_SIM_GENERATORS_H_
+#define GDMS_SIM_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gdm/dataset.h"
+
+namespace gdms::sim {
+
+/// \brief Synthetic workload generators.
+///
+/// Stand-ins for the repositories the paper evaluates against (ENCODE, TCGA,
+/// UCSC annotations; see DESIGN.md "Substitutions"). All generators are
+/// deterministic in (options, seed) so every experiment is reproducible.
+
+/// One gene of the synthetic gene catalog.
+struct Gene {
+  int32_t chrom;
+  int64_t left;
+  int64_t right;
+  gdm::Strand strand;
+  std::string id;
+
+  /// Transcription start site (strand-aware: right end for '-').
+  int64_t Tss() const {
+    return strand == gdm::Strand::kMinus ? right : left;
+  }
+};
+
+/// \brief The shared gene catalog: genes placed along an assembly with
+/// exponential inter-gene gaps. Annotations, expression and replication
+/// datasets all derive from one catalog so joins across them are meaningful.
+struct GeneCatalog {
+  std::vector<Gene> genes;
+};
+
+GeneCatalog GenerateGenes(const gdm::GenomeAssembly& genome, size_t num_genes,
+                          uint64_t seed);
+
+/// Options for ENCODE-like ChIP-seq peak datasets.
+struct PeakDatasetOptions {
+  size_t num_samples = 16;
+  size_t peaks_per_sample = 10000;
+  int64_t peak_len_mean = 400;
+  int64_t peak_len_sd = 120;
+  /// Fraction of peaks drawn near shared hotspots instead of uniformly;
+  /// hotspots give samples realistic co-localization.
+  double hotspot_fraction = 0.6;
+  size_t num_hotspots = 2000;
+  /// Metadata vocabularies (cycled/sampled per sample).
+  std::vector<std::string> antibodies = {"CTCF", "POLR2A", "H3K27ac",
+                                         "H3K4me1", "H3K4me3", "EP300"};
+  std::vector<std::string> cells = {"HeLa-S3", "K562", "GM12878", "HepG2",
+                                    "IMR90"};
+  /// Value of the dataType metadata attribute (the Section 2 query selects
+  /// dataType == 'ChipSeq').
+  std::string data_type = "ChipSeq";
+};
+
+/// Schema: name:STRING, score:DOUBLE, signal:DOUBLE, p_value:DOUBLE.
+/// Metadata per sample: dataType, antibody, cell, karyotype, sex, lab.
+gdm::Dataset GeneratePeakDataset(const gdm::GenomeAssembly& genome,
+                                 const PeakDatasetOptions& options,
+                                 uint64_t seed,
+                                 const std::string& name = "ENCODE");
+
+/// Options for the UCSC-like annotation dataset.
+struct AnnotationOptions {
+  /// Promoter window around the TSS (upstream, downstream).
+  int64_t promoter_upstream = 2000;
+  int64_t promoter_downstream = 200;
+  size_t num_enhancers = 5000;
+  int64_t enhancer_len_mean = 600;
+};
+
+/// One dataset with three samples — genes, promoters, enhancers — each
+/// tagged with metadata annType (the Section 2 query selects
+/// annType == 'promoter'). Schema: name:STRING, ann_type:STRING.
+gdm::Dataset GenerateAnnotations(const gdm::GenomeAssembly& genome,
+                                 const GeneCatalog& catalog,
+                                 const AnnotationOptions& options,
+                                 uint64_t seed,
+                                 const std::string& name = "ANNOTATIONS");
+
+/// Options for TCGA-like mutation datasets.
+struct MutationOptions {
+  size_t num_samples = 8;
+  size_t mutations_per_sample = 20000;
+  /// Fraction of mutations concentrated in fragile sites (shared with the
+  /// breakpoint generator when the same seed is used — the Section 3
+  /// correlation study needs mutations to co-locate with breaks).
+  double fragile_fraction = 0.5;
+  size_t num_fragile_sites = 300;
+  std::vector<std::string> conditions = {"control", "oncogene_induced"};
+};
+
+/// Schema: mut_type:STRING, vaf:DOUBLE. Metadata: dataType=Mutation,
+/// condition, patient.
+gdm::Dataset GenerateMutations(const gdm::GenomeAssembly& genome,
+                               const MutationOptions& options, uint64_t seed,
+                               const std::string& name = "MUTATIONS");
+
+/// Options for DNA break-point datasets (Section 3, problem 1).
+struct BreakpointOptions {
+  size_t num_samples = 4;
+  size_t breaks_per_sample = 5000;
+  double fragile_fraction = 0.7;
+  size_t num_fragile_sites = 300;
+  std::vector<std::string> conditions = {"control", "oncogene_induced"};
+};
+
+/// Schema: score:DOUBLE. Metadata: dataType=BreakPoint, condition.
+gdm::Dataset GenerateBreakpoints(const gdm::GenomeAssembly& genome,
+                                 const BreakpointOptions& options,
+                                 uint64_t seed,
+                                 const std::string& name = "BREAKS");
+
+/// Options for replication-timing domain datasets.
+struct ReplicationOptions {
+  int64_t domain_len_mean = 1000000;
+  std::vector<std::string> conditions = {"control", "oncogene_induced"};
+  /// Fraction of domains whose timing shifts between conditions.
+  double shift_fraction = 0.15;
+};
+
+/// One sample per condition; domains tile each chromosome. Schema:
+/// rt_value:DOUBLE (positive early, negative late). Metadata:
+/// dataType=ReplicationTiming, condition.
+gdm::Dataset GenerateReplicationTiming(const gdm::GenomeAssembly& genome,
+                                       const ReplicationOptions& options,
+                                       uint64_t seed,
+                                       const std::string& name = "REPTIME");
+
+/// Options for gene-expression datasets over a gene catalog.
+struct ExpressionOptions {
+  std::vector<std::string> conditions = {"control", "oncogene_induced"};
+  /// Fraction of genes differentially expressed between conditions.
+  double diff_fraction = 0.1;
+  double diff_log2fc = 2.0;
+};
+
+/// One sample per condition; one region per gene. Schema: gene:STRING,
+/// fpkm:DOUBLE. Metadata: dataType=Expression, condition.
+gdm::Dataset GenerateExpression(const gdm::GenomeAssembly& genome,
+                                const GeneCatalog& catalog,
+                                const ExpressionOptions& options,
+                                uint64_t seed,
+                                const std::string& name = "EXPRESSION");
+
+/// Options for CTCF-loop datasets (Figure 3).
+struct CtcfLoopOptions {
+  size_t num_loops = 3000;
+  int64_t loop_len_mean = 200000;
+  int64_t loop_len_max = 1000000;
+  int64_t anchor_len = 400;
+};
+
+/// Two samples: "loops" (regions spanning anchor to anchor; schema
+/// loop_id:STRING, score:DOUBLE) — loops are "short CTCF loops" enclosing
+/// enhancer/promoter pairs — and the anchors as CTCF peaks are produced by
+/// GenerateCtcfAnchors below.
+gdm::Dataset GenerateCtcfLoops(const gdm::GenomeAssembly& genome,
+                               const CtcfLoopOptions& options, uint64_t seed,
+                               const std::string& name = "CTCF_LOOPS");
+
+/// The two anchor peaks of every loop generated with the same options+seed.
+/// Schema: name:STRING, score:DOUBLE, signal:DOUBLE, p_value:DOUBLE
+/// (peak-compatible). Metadata: dataType=ChipSeq, antibody=CTCF.
+gdm::Dataset GenerateCtcfAnchors(const gdm::GenomeAssembly& genome,
+                                 const CtcfLoopOptions& options, uint64_t seed,
+                                 const std::string& name = "CTCF_PEAKS");
+
+}  // namespace gdms::sim
+
+#endif  // GDMS_SIM_GENERATORS_H_

@@ -1,0 +1,154 @@
+// Direct unit tests of the aggregate machinery (MAP/EXTEND/GROUP/COVER all
+// share it): every function's definition, NULL handling, and input
+// resolution.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+
+namespace gdms::core {
+namespace {
+
+using gdm::AttrType;
+using gdm::Value;
+
+Value RunAgg(AggFunc func, const std::vector<Value>& inputs) {
+  AggAccumulator acc(func);
+  for (const auto& v : inputs) acc.Add(v);
+  return acc.Finish();
+}
+
+TEST(AggFuncTest, NamesRoundTrip) {
+  for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                    AggFunc::kMin, AggFunc::kMax, AggFunc::kMedian,
+                    AggFunc::kStd, AggFunc::kBag}) {
+    EXPECT_EQ(ParseAggFunc(AggFuncName(f)).ValueOrDie(), f);
+  }
+  EXPECT_EQ(ParseAggFunc("mean").ValueOrDie(), AggFunc::kAvg);
+  EXPECT_EQ(ParseAggFunc("stddev").ValueOrDie(), AggFunc::kStd);
+  EXPECT_FALSE(ParseAggFunc("mode").ok());
+}
+
+TEST(AggFuncTest, OutputTypes) {
+  EXPECT_EQ(AggOutputType(AggFunc::kCount), AttrType::kInt);
+  EXPECT_EQ(AggOutputType(AggFunc::kBag), AttrType::kString);
+  EXPECT_EQ(AggOutputType(AggFunc::kAvg), AttrType::kDouble);
+  EXPECT_EQ(AggOutputType(AggFunc::kStd), AttrType::kDouble);
+}
+
+TEST(AccumulatorTest, CountCountsEverythingIncludingNulls) {
+  EXPECT_EQ(RunAgg(AggFunc::kCount, {Value(1.0), Value::Null(), Value("x")}).AsInt(),
+            3);
+  EXPECT_EQ(RunAgg(AggFunc::kCount, {}).AsInt(), 0);
+  // AddRegion path (COUNT without attribute resolution).
+  AggAccumulator acc(AggFunc::kCount);
+  acc.AddRegion();
+  acc.AddRegion();
+  EXPECT_EQ(acc.Finish().AsInt(), 2);
+}
+
+TEST(AccumulatorTest, SumAvgSkipNulls) {
+  std::vector<Value> values = {Value(1.0), Value::Null(), Value(3.0)};
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kSum, values).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kAvg, values).AsDouble(), 2.0);
+  // All-NULL input yields NULL, not zero.
+  EXPECT_TRUE(RunAgg(AggFunc::kSum, {Value::Null()}).is_null());
+  EXPECT_TRUE(RunAgg(AggFunc::kAvg, {}).is_null());
+}
+
+TEST(AccumulatorTest, MinMaxTrackExtremes) {
+  std::vector<Value> values = {Value(5.0), Value(-2.0), Value(3.0)};
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMin, values).AsDouble(), -2.0);
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMax, values).AsDouble(), 5.0);
+  // Single value.
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMin, {Value(7.0)}).AsDouble(), 7.0);
+  // Ints convert.
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMax, {Value(int64_t{9}), Value(2.5)}).AsDouble(),
+                   9.0);
+}
+
+TEST(AccumulatorTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(
+      RunAgg(AggFunc::kMedian, {Value(3.0), Value(1.0), Value(2.0)}).AsDouble(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      RunAgg(AggFunc::kMedian, {Value(4.0), Value(1.0), Value(2.0), Value(3.0)})
+          .AsDouble(),
+      2.5);
+  EXPECT_TRUE(RunAgg(AggFunc::kMedian, {}).is_null());
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMedian, {Value(5.0)}).AsDouble(), 5.0);
+}
+
+TEST(AccumulatorTest, StdIsSampleStddev) {
+  // Values 2, 4, 4, 4, 5, 5, 7, 9: sample stddev = sqrt(32/7).
+  std::vector<Value> values;
+  for (double v : {2, 4, 4, 4, 5, 5, 7, 9}) values.push_back(Value(v));
+  EXPECT_NEAR(RunAgg(AggFunc::kStd, values).AsDouble(), std::sqrt(32.0 / 7.0),
+              1e-12);
+  // N < 2 degenerates to 0 (or NULL when empty).
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kStd, {Value(3.0)}).AsDouble(), 0.0);
+  EXPECT_TRUE(RunAgg(AggFunc::kStd, {}).is_null());
+}
+
+TEST(AccumulatorTest, BagSortsAndDeduplicates) {
+  EXPECT_EQ(RunAgg(AggFunc::kBag, {Value("b"), Value("a"), Value("b")}).AsString(),
+            "a b");
+  // Numeric values render through ToString.
+  EXPECT_EQ(RunAgg(AggFunc::kBag, {Value(int64_t{2}), Value(int64_t{10})}).AsString(),
+            "10 2");  // lexicographic over rendered strings
+  EXPECT_TRUE(RunAgg(AggFunc::kBag, {Value::Null()}).is_null());
+}
+
+TEST(AccumulatorTest, NumericAggsIgnoreNonNumericStrings) {
+  // A string fed into SUM is skipped rather than corrupting the total.
+  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kSum, {Value(1.0), Value("oops")}).AsDouble(),
+                   1.0);
+}
+
+TEST(ResolveAggInputsTest, ResolvesAndValidates) {
+  gdm::RegionSchema schema;
+  ASSERT_TRUE(schema.AddAttr("score", AttrType::kDouble).ok());
+  std::vector<AggregateSpec> specs = {{"n", AggFunc::kCount, ""},
+                                      {"s", AggFunc::kSum, "score"}};
+  auto inputs = ResolveAggInputs(specs, schema).ValueOrDie();
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0], SIZE_MAX);  // COUNT needs no attribute
+  EXPECT_EQ(inputs[1], 0u);
+  specs.push_back({"x", AggFunc::kMax, "ghost"});
+  EXPECT_FALSE(ResolveAggInputs(specs, schema).ok());
+}
+
+TEST(EvaluateAggregatesTest, SelectsRegionSubset) {
+  gdm::RegionSchema schema;
+  ASSERT_TRUE(schema.AddAttr("v", AttrType::kDouble).ok());
+  std::vector<gdm::GenomicRegion> regions;
+  for (int i = 0; i < 5; ++i) {
+    gdm::GenomicRegion r(gdm::InternChrom("chr1"), i * 10, i * 10 + 5);
+    r.values.push_back(Value(static_cast<double>(i)));
+    regions.push_back(std::move(r));
+  }
+  std::vector<AggregateSpec> specs = {{"n", AggFunc::kCount, ""},
+                                      {"s", AggFunc::kSum, "v"}};
+  auto inputs = ResolveAggInputs(specs, schema).ValueOrDie();
+  // Only regions 1 and 3 selected.
+  auto out = EvaluateAggregates(specs, inputs, regions, {1, 3});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(out[1].AsDouble(), 4.0);
+  // Empty selection.
+  auto empty = EvaluateAggregates(specs, inputs, regions, {});
+  EXPECT_EQ(empty[0].AsInt(), 0);
+  EXPECT_TRUE(empty[1].is_null());
+}
+
+TEST(AggregateSpecTest, ToStringRendering) {
+  AggregateSpec spec{"avg_p", AggFunc::kAvg, "p_value"};
+  EXPECT_EQ(spec.ToString(), "avg_p AS AVG(p_value)");
+  AggregateSpec count{"n", AggFunc::kCount, ""};
+  EXPECT_EQ(count.ToString(), "n AS COUNT");
+}
+
+}  // namespace
+}  // namespace gdms::core

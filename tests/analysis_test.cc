@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "analysis/genome_space.h"
+#include "analysis/latent.h"
+#include "analysis/network.h"
+#include "analysis/phenotype.h"
+#include "core/runner.h"
+#include "sim/generators.h"
+
+namespace gdms::analysis {
+namespace {
+
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+
+/// Builds a real MAP result over synthetic data.
+Dataset MapResult() {
+  auto genome = GenomeAssembly::HumanLike(3, 20000000);
+  core::QueryRunner runner;
+  sim::PeakDatasetOptions opt;
+  opt.num_samples = 6;
+  opt.peaks_per_sample = 400;
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, opt, 77));
+  auto catalog = sim::GenerateGenes(genome, 120, 77);
+  runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 77));
+  auto results = runner.Run(
+      "GENES = SELECT(annType == 'gene') ANNOTATIONS;\n"
+      "GS = MAP(n AS COUNT) GENES ENCODE;\nMATERIALIZE GS;\n");
+  return results.ValueOrDie().at("GS");
+}
+
+TEST(GenomeSpaceTest, BuildsFromMapResult) {
+  Dataset map_result = MapResult();
+  GenomeSpace space = GenomeSpace::FromMapResult(map_result, "n").ValueOrDie();
+  EXPECT_EQ(space.num_experiments(), 6u);
+  EXPECT_EQ(space.num_regions(), map_result.sample(0).regions.size());
+  // Cell values equal the MAP counts.
+  size_t n_idx = *map_result.schema().IndexOf("n");
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_DOUBLE_EQ(space.at(r, e),
+                       static_cast<double>(
+                           map_result.sample(e).regions[r].values[n_idx].AsInt()));
+    }
+  }
+  auto corner = space.RenderCorner(3, 3);
+  EXPECT_NE(corner.find("region"), std::string::npos);
+}
+
+TEST(GenomeSpaceTest, RejectsUnknownAttrAndMisalignment) {
+  Dataset map_result = MapResult();
+  EXPECT_FALSE(GenomeSpace::FromMapResult(map_result, "ghost").ok());
+  Dataset broken = map_result;
+  broken.mutable_sample(1)->regions.pop_back();
+  EXPECT_FALSE(GenomeSpace::FromMapResult(broken, "n").ok());
+}
+
+TEST(RowSimilarityTest, KnownValues) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {2, 4, 6};
+  EXPECT_NEAR(RowSimilarity(a, b, SimilarityKind::kPearson), 1.0, 1e-9);
+  EXPECT_NEAR(RowSimilarity(a, b, SimilarityKind::kCosine), 1.0, 1e-9);
+  std::vector<double> c = {3, 2, 1};
+  EXPECT_NEAR(RowSimilarity(a, c, SimilarityKind::kPearson), -1.0, 1e-9);
+  std::vector<double> d = {1, 0, 1};
+  std::vector<double> e = {1, 1, 0};
+  EXPECT_NEAR(RowSimilarity(d, e, SimilarityKind::kJaccard), 1.0 / 3, 1e-9);
+  // Constant rows have zero Pearson similarity (no variance).
+  std::vector<double> f = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(RowSimilarity(f, a, SimilarityKind::kPearson), 0.0);
+}
+
+TEST(GeneNetworkTest, ThresholdControlsEdgeCount) {
+  GenomeSpace space = GenomeSpace::FromMapResult(MapResult(), "n").ValueOrDie();
+  GeneNetwork loose =
+      GeneNetwork::FromGenomeSpace(space, SimilarityKind::kJaccard, 0.05);
+  GeneNetwork strict =
+      GeneNetwork::FromGenomeSpace(space, SimilarityKind::kJaccard, 0.9);
+  EXPECT_GE(loose.edges().size(), strict.edges().size());
+  EXPECT_EQ(loose.num_nodes(), space.num_regions());
+}
+
+TEST(GeneNetworkTest, StatsAndTopEdges) {
+  GenomeSpace space = GenomeSpace::FromMapResult(MapResult(), "n").ValueOrDie();
+  GeneNetwork net =
+      GeneNetwork::FromGenomeSpace(space, SimilarityKind::kJaccard, 0.3);
+  NetworkStats stats = net.Stats();
+  EXPECT_EQ(stats.nodes, net.num_nodes());
+  EXPECT_EQ(stats.edges, net.edges().size());
+  EXPECT_LE(stats.largest_component, stats.nodes);
+  EXPECT_GE(stats.connected_components, 1u);
+  auto top = net.TopEdges(5);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].weight, top[i].weight);
+  }
+  auto deg = net.Degrees();
+  size_t total = 0;
+  for (size_t d : deg) total += d;
+  EXPECT_EQ(total, 2 * net.edges().size());
+}
+
+TEST(KMeansTest, PartitionsRows) {
+  GenomeSpace space = GenomeSpace::FromMapResult(MapResult(), "n").ValueOrDie();
+  ClusteringResult r = KMeans(space, 4, 123);
+  ASSERT_EQ(r.assignment.size(), space.num_regions());
+  EXPECT_LE(r.centroids.size(), 4u);
+  for (uint32_t a : r.assignment) {
+    EXPECT_LT(a, r.centroids.size());
+  }
+  EXPECT_GE(r.inertia, 0.0);
+  // Deterministic in the seed.
+  ClusteringResult r2 = KMeans(space, 4, 123);
+  EXPECT_EQ(r.assignment, r2.assignment);
+  // More clusters never increase inertia (same seed family).
+  ClusteringResult r8 = KMeans(space, 8, 123);
+  EXPECT_LE(r8.inertia, r.inertia + 1e-9);
+}
+
+TEST(KMeansTest, DegenerateInputs) {
+  GenomeSpace empty;
+  ClusteringResult r = KMeans(empty, 3, 1);
+  EXPECT_TRUE(r.assignment.empty());
+}
+
+// ---------------------------------------------------------------- latent ---
+
+/// A genome space with an exact rank-2 structure for SVD validation.
+GenomeSpace RankTwoSpace() {
+  // Build via a synthetic MAP-like dataset: 8 regions x 6 experiments,
+  // cells = 3*u1[r]*v1[e] + 1*u2[r]*v2[e] rounded to ints so counts stay
+  // plausible. We construct the dataset directly.
+  gdm::RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("n", gdm::AttrType::kDouble).ok());
+  Dataset ds("GS", schema);
+  const double u1[] = {1, 2, 3, 4, 0, 1, 2, 1};
+  const double u2[] = {1, 0, 1, 0, 2, 0, 1, 0};
+  const double v1[] = {1, 0.5, 2, 1, 0.5, 1.5};
+  const double v2[] = {0.5, 2, 0, 1, 1, 0.5};
+  for (size_t e = 0; e < 6; ++e) {
+    gdm::Sample s(e + 1);
+    s.metadata.Add("sample_name", "exp" + std::to_string(e));
+    for (size_t r = 0; r < 8; ++r) {
+      gdm::GenomicRegion region(gdm::InternChrom("chr1"),
+                                static_cast<int64_t>(r) * 1000,
+                                static_cast<int64_t>(r) * 1000 + 500);
+      region.values.push_back(
+          gdm::Value(3.0 * u1[r] * v1[e] + 1.0 * u2[r] * v2[e]));
+      s.regions.push_back(std::move(region));
+    }
+    ds.AddSample(std::move(s));
+  }
+  return GenomeSpace::FromMapResult(ds, "n").ValueOrDie();
+}
+
+TEST(LatentTest, RecoversExactLowRank) {
+  GenomeSpace space = RankTwoSpace();
+  LatentModel model = TruncatedSvd(space, 2, 7).ValueOrDie();
+  ASSERT_EQ(model.rank, 2u);
+  EXPECT_GE(model.singular_values[0], model.singular_values[1]);
+  // Rank-2 reconstruction of a rank-2 matrix is (numerically) exact.
+  EXPECT_LT(ReconstructionError(space, model), 1e-6);
+}
+
+TEST(LatentTest, ErrorDecreasesWithRank) {
+  GenomeSpace space = GenomeSpace::FromMapResult(MapResult(), "n").ValueOrDie();
+  double prev = 1e300;
+  for (size_t k : {1, 2, 4}) {
+    LatentModel model = TruncatedSvd(space, k, 7).ValueOrDie();
+    double err = ReconstructionError(space, model);
+    EXPECT_LE(err, prev + 1e-9) << "rank " << k;
+    prev = err;
+  }
+}
+
+TEST(LatentTest, FactorsAreUnitNorm) {
+  GenomeSpace space = RankTwoSpace();
+  LatentModel model = TruncatedSvd(space, 2, 7).ValueOrDie();
+  for (size_t k = 0; k < model.rank; ++k) {
+    double nu = 0;
+    for (double x : model.region_factors[k]) nu += x * x;
+    double nv = 0;
+    for (double x : model.experiment_factors[k]) nv += x * x;
+    EXPECT_NEAR(nu, 1.0, 1e-9);
+    EXPECT_NEAR(nv, 1.0, 1e-9);
+  }
+}
+
+TEST(LatentTest, DegenerateInputs) {
+  GenomeSpace empty;
+  EXPECT_FALSE(TruncatedSvd(empty, 2, 1).ok());
+  GenomeSpace space = RankTwoSpace();
+  EXPECT_FALSE(TruncatedSvd(space, 0, 1).ok());
+  // Requested rank above matrix rank truncates gracefully.
+  LatentModel model = TruncatedSvd(space, 6, 1).ValueOrDie();
+  EXPECT_LE(model.rank, 6u);
+}
+
+// ------------------------------------------------------------- phenotype ---
+
+TEST(PointBiserialTest, KnownValues) {
+  // Perfect separation: group 1 all high, group 0 all low.
+  std::vector<double> values = {10, 10, 0, 0};
+  std::vector<char> group = {1, 1, 0, 0};
+  EXPECT_NEAR(PointBiserial(values, group), 1.0, 1e-12);
+  std::vector<char> inverted = {0, 0, 1, 1};
+  EXPECT_NEAR(PointBiserial(values, inverted), -1.0, 1e-12);
+  // Constant values carry no signal.
+  std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(PointBiserial(flat, group), 0.0);
+  // Degenerate group.
+  std::vector<char> all_one = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(PointBiserial(values, all_one), 0.0);
+}
+
+TEST(PhenotypeTest, RecoversPlantedAssociation) {
+  // Build a MAP-like dataset where region 0 is high exactly in 'cancer'
+  // samples; other regions are noise-free constants.
+  gdm::RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("n", gdm::AttrType::kDouble).ok());
+  Dataset ds("GS", schema);
+  for (size_t e = 0; e < 8; ++e) {
+    gdm::Sample s(e + 1);
+    bool cancer = e % 2 == 0;
+    s.metadata.Add("karyotype", cancer ? "cancer" : "normal");
+    for (size_t r = 0; r < 5; ++r) {
+      gdm::GenomicRegion region(gdm::InternChrom("chr1"),
+                                static_cast<int64_t>(r) * 1000,
+                                static_cast<int64_t>(r) * 1000 + 500);
+      double value = (r == 0) ? (cancer ? 9.0 : 1.0) : 3.0 + r;
+      region.values.push_back(gdm::Value(value));
+      s.regions.push_back(std::move(region));
+    }
+    ds.AddSample(std::move(s));
+  }
+  GenomeSpace space = GenomeSpace::FromMapResult(ds, "n").ValueOrDie();
+  auto assocs =
+      PhenotypeCorrelation(space, ds, "karyotype", "cancer").ValueOrDie();
+  ASSERT_EQ(assocs.size(), 5u);
+  EXPECT_EQ(assocs[0].region, 0u);
+  EXPECT_NEAR(assocs[0].correlation, 1.0, 1e-9);
+  for (size_t i = 1; i < assocs.size(); ++i) {
+    EXPECT_NEAR(assocs[i].correlation, 0.0, 1e-9);
+  }
+}
+
+TEST(PhenotypeTest, RejectsDegeneratePhenotype) {
+  Dataset mapped = MapResult();
+  GenomeSpace space = GenomeSpace::FromMapResult(mapped, "n").ValueOrDie();
+  EXPECT_FALSE(
+      PhenotypeCorrelation(space, mapped, "nonexistent", "x").ok());
+}
+
+}  // namespace
+}  // namespace gdms::analysis

@@ -1,0 +1,195 @@
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace gdms {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::ParseError("x"); };
+  auto outer = [&]() -> Result<int> {
+    GDMS_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(outer().status().code(), StatusCode::kParseError);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a\t\tb", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a   b \t c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n"), "");
+}
+
+TEST(StringUtilTest, JoinAndCase) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("chr12", "chr"));
+  EXPECT_TRUE(EndsWith("x.bed", ".bed"));
+  EXPECT_FALSE(EndsWith("bed", "x.bed"));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("123").ValueOrDie(), 123);
+  EXPECT_EQ(ParseInt64(" -5 ").ValueOrDie(), -5);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").ValueOrDie(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-3").ValueOrDie(), 1e-3);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringUtilTest, HumanBytesAndThousands) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(WithThousands(83899526), "83,899,526");
+  EXPECT_EQ(WithThousands(7), "7");
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalRoughMoments) {
+  Rng rng(3);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(4);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Zipf(100, 1.2);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    counts[v]++;
+  }
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  int calls = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gdms

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/parser.h"
+#include "core/runner.h"
+#include "gdm/dataset.h"
+#include "sim/generators.h"
+
+namespace gdms::core {
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+Dataset TinyEncode() {
+  RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("p_value", AttrType::kDouble).ok());
+  Dataset ds("ENCODE", schema);
+  int32_t c1 = InternChrom("chr1");
+  Sample s1(1);
+  s1.metadata.Add("dataType", "ChipSeq");
+  s1.metadata.Add("antibody", "CTCF");
+  s1.regions = {{c1, 100, 300, Strand::kNone, {Value(1e-5)}},
+                {c1, 1000, 1300, Strand::kNone, {Value(1e-6)}}};
+  Sample s2(2);
+  s2.metadata.Add("dataType", "ChipSeq");
+  s2.metadata.Add("antibody", "POLR2A");
+  s2.regions = {{c1, 150, 250, Strand::kNone, {Value(1e-3)}}};
+  Sample s3(3);
+  s3.metadata.Add("dataType", "DnaSeq");
+  s3.regions = {{c1, 0, 5000, Strand::kNone, {Value(0.5)}}};
+  for (auto* s : {&s1, &s2, &s3}) s->SortNow();
+  ds.AddSample(std::move(s1));
+  ds.AddSample(std::move(s2));
+  ds.AddSample(std::move(s3));
+  return ds;
+}
+
+Dataset TinyAnnotations() {
+  RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("name", AttrType::kString).ok());
+  Dataset ds("ANNOTATIONS", schema);
+  int32_t c1 = InternChrom("chr1");
+  Sample proms(11);
+  proms.metadata.Add("annType", "promoter");
+  proms.regions = {{c1, 50, 350, Strand::kNone, {Value("p1")}},
+                   {c1, 900, 1100, Strand::kNone, {Value("p2")}}};
+  Sample genes(12);
+  genes.metadata.Add("annType", "gene");
+  genes.regions = {{c1, 350, 900, Strand::kPlus, {Value("g1")}}};
+  proms.SortNow();
+  genes.SortNow();
+  ds.AddSample(std::move(proms));
+  ds.AddSample(std::move(genes));
+  return ds;
+}
+
+QueryRunner MakeRunner() {
+  QueryRunner runner;
+  runner.RegisterDataset(TinyEncode());
+  runner.RegisterDataset(TinyAnnotations());
+  return runner;
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(ParserTest, Section2QueryParses) {
+  auto program = Parser::Parse(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;\n"
+      "MATERIALIZE RESULT;\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().sinks.size(), 1u);
+  const auto& sink = *program.value().sinks[0];
+  EXPECT_EQ(sink.kind, OpKind::kMaterialize);
+  EXPECT_EQ(sink.name, "RESULT");
+  EXPECT_EQ(sink.children[0]->kind, OpKind::kMap);
+}
+
+TEST(ParserTest, ImplicitMaterializeOfLastVariable) {
+  auto program =
+      Parser::Parse("X = SELECT(a == 'b') D;").ValueOrDie();
+  ASSERT_EQ(program.sinks.size(), 1u);
+  EXPECT_EQ(program.sinks[0]->name, "X");
+}
+
+TEST(ParserTest, CommentsAndCaseInsensitiveKeywords) {
+  auto program = Parser::Parse(
+      "# full pipeline\n"
+      "x = select(a == 'b') D;  # trailing\n"
+      "materialize x;\n");
+  EXPECT_TRUE(program.ok());
+}
+
+TEST(ParserTest, RegionPredicateClause) {
+  auto program = Parser::Parse(
+      "X = SELECT(dataType == 'ChipSeq'; region: p_value <= 0.001 AND chr == "
+      "'chr1') ENCODE;").ValueOrDie();
+  const auto& sel = program.sinks[0]->children[0];
+  EXPECT_EQ(sel->kind, OpKind::kSelect);
+  EXPECT_NE(sel->select.region->ToString(), "true");
+}
+
+TEST(ParserTest, RegionOnlySelect) {
+  auto program =
+      Parser::Parse("X = SELECT(region: left >= 1000) ENCODE;").ValueOrDie();
+  EXPECT_EQ(program.sinks[0]->children[0]->select.meta->ToString(), "true");
+}
+
+TEST(ParserTest, JoinGrammar) {
+  auto program = Parser::Parse(
+      "X = JOIN(DLE(10000) AND DGE(100) AND UP; LEFT; joinby: cell) A B;")
+      .ValueOrDie();
+  const auto& j = program.sinks[0]->children[0];
+  ASSERT_EQ(j->kind, OpKind::kJoin);
+  EXPECT_EQ(j->join.predicate.max_dist, 10000);
+  EXPECT_EQ(j->join.predicate.min_dist, 100);
+  EXPECT_TRUE(j->join.predicate.upstream);
+  EXPECT_EQ(j->join.output, JoinOutput::kLeft);
+  ASSERT_EQ(j->join.joinby.size(), 1u);
+}
+
+TEST(ParserTest, JoinMdAndStrictAtoms) {
+  auto program =
+      Parser::Parse("X = JOIN(MD(3) AND DLT(500) AND DGT(0); INT) A B;")
+          .ValueOrDie();
+  const auto& j = program.sinks[0]->children[0];
+  EXPECT_EQ(j->join.predicate.md_k, 3);
+  EXPECT_EQ(j->join.predicate.max_dist, 499);  // DLT exclusive
+  EXPECT_EQ(j->join.predicate.min_dist, 1);    // DGT exclusive
+  EXPECT_EQ(j->join.output, JoinOutput::kIntersection);
+}
+
+TEST(ParserTest, CoverBounds) {
+  auto program =
+      Parser::Parse("X = COVER(2, ANY) D; Y = HISTOGRAM(1, ALL) D; "
+                    "MATERIALIZE X; MATERIALIZE Y;")
+          .ValueOrDie();
+  ASSERT_EQ(program.sinks.size(), 2u);
+  EXPECT_EQ(program.sinks[0]->children[0]->cover.min_acc, 2);
+  EXPECT_EQ(program.sinks[0]->children[0]->cover.max_acc, -1);
+  EXPECT_EQ(program.sinks[1]->children[0]->cover.variant,
+            CoverVariant::kHistogram);
+  EXPECT_EQ(program.sinks[1]->children[0]->cover.max_acc, -2);
+}
+
+TEST(ParserTest, ProjectGrammar) {
+  auto program = Parser::Parse(
+      "X = PROJECT(p_value; reg_len AS right - left, half AS p_value / 2) "
+      "ENCODE;").ValueOrDie();
+  const auto& p = program.sinks[0]->children[0];
+  ASSERT_EQ(p->kind, OpKind::kProject);
+  ASSERT_EQ(p->project.keep_attrs.size(), 1u);
+  ASSERT_EQ(p->project.new_attrs.size(), 2u);
+}
+
+TEST(ParserTest, ProjectMetaClause) {
+  auto program =
+      Parser::Parse("X = PROJECT(*; meta: cell, antibody) ENCODE;").ValueOrDie();
+  const auto& p = program.sinks[0]->children[0];
+  EXPECT_FALSE(p->project.meta_all);
+  ASSERT_EQ(p->project.keep_meta.size(), 2u);
+  EXPECT_EQ(p->project.keep_meta[1], "antibody");
+}
+
+TEST(ParserTest, OrderRegionClause) {
+  auto program = Parser::Parse(
+      "X = ORDER(quality DESC; TOP 3; region: p_value; TOP 10) D;");
+  EXPECT_FALSE(program.ok());  // region TOP belongs inside the clause
+  auto good = Parser::Parse(
+      "X = ORDER(quality DESC; TOP 3; region: p_value TOP 10) D;").ValueOrDie();
+  const auto& o = good.sinks[0]->children[0];
+  EXPECT_EQ(o->order.top, 3u);
+  EXPECT_EQ(o->order.region_attr, "p_value");
+  EXPECT_EQ(o->order.region_top, 10u);
+  EXPECT_FALSE(o->order.region_descending);
+}
+
+TEST(RunnerTest, ProjectMetaClauseFiltersMetadata) {
+  QueryRunner runner = MakeRunner();
+  auto results = runner.Run(
+      "X = PROJECT(*; meta: antibody) ENCODE;\nMATERIALIZE X;\n").ValueOrDie();
+  const Dataset& x = results.at("X");
+  for (const auto& s : x.samples()) {
+    for (const auto& e : s.metadata.entries()) {
+      EXPECT_EQ(e.attr, "antibody");
+    }
+  }
+  // Sample 1 and 2 carry antibody; sample 3 (DnaSeq) does not.
+  EXPECT_FALSE(x.sample(0).metadata.empty());
+}
+
+TEST(RunnerTest, OrderRegionTopKeepsBestRegions) {
+  QueryRunner runner = MakeRunner();
+  auto results = runner.Run(
+      "X = ORDER(dataType; region: p_value TOP 1) ENCODE;\n"
+      "MATERIALIZE X;\n").ValueOrDie();
+  const Dataset& x = results.at("X");
+  ASSERT_EQ(x.num_samples(), 3u);
+  size_t pv = *x.schema().IndexOf("p_value");
+  // Each sample keeps exactly its single smallest-p region.
+  for (const auto& s : x.samples()) {
+    ASSERT_LE(s.regions.size(), 1u);
+  }
+  // Sample 1's regions had p-values 1e-5 and 1e-6; the kept one is 1e-6.
+  const auto* s1 = x.FindSample(1);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_EQ(s1->regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(s1->regions[0].values[pv].AsDouble(), 1e-6);
+}
+
+TEST(ParserTest, ExtendOrderGroupMergeUnionDifference) {
+  auto program = Parser::Parse(
+      "A = EXTEND(n AS COUNT, m AS MAX(p_value)) ENCODE;\n"
+      "B = ORDER(n DESC; TOP 5) A;\n"
+      "C = GROUP(antibody; total AS SUM(p_value)) B;\n"
+      "D = MERGE(groupby: cell) C;\n"
+      "E = UNION() D A;\n"
+      "F = DIFFERENCE(joinby: cell) E A;\n"
+      "MATERIALIZE F;\n").ValueOrDie();
+  EXPECT_EQ(program.sinks.size(), 1u);
+  const PlanNode* n = program.sinks[0].get();
+  EXPECT_EQ(n->children[0]->kind, OpKind::kDifference);
+}
+
+TEST(ParserTest, VariableReuseSharesSubtree) {
+  auto program = Parser::Parse(
+      "X = SELECT(a == 'b') D;\n"
+      "Y = MAP() X E;\n"
+      "Z = MAP() X F;\n"
+      "MATERIALIZE Y; MATERIALIZE Z;\n").ValueOrDie();
+  EXPECT_EQ(program.sinks[0]->children[0]->children[0].get(),
+            program.sinks[1]->children[0]->children[0].get());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parser::Parse("X = BOGUS() D;").ok());
+  EXPECT_FALSE(Parser::Parse("X = SELECT(a == 'b') D").ok());  // no ';'
+  EXPECT_FALSE(Parser::Parse("MATERIALIZE NOWHERE;").ok());
+  // A lower-bound-only join parses fine; it is rejected at execution time.
+  EXPECT_TRUE(Parser::Parse("X = JOIN(DGE(5); LEFT) A B;").ok());
+  EXPECT_FALSE(Parser::Parse("X = MAP(n AS SUM) A B;").ok());  // SUM needs attr
+  EXPECT_FALSE(Parser::Parse("X = COVER(2) D;").ok());         // missing max
+  EXPECT_FALSE(Parser::Parse("X = SELECT(a == ) D;").ok());
+  EXPECT_FALSE(Parser::Parse("X = SELECT(a == 'unterminated) D;").ok());
+}
+
+// ------------------------------------------------------------- optimizer --
+
+TEST(OptimizerTest, FusesConsecutiveSelects) {
+  auto program = Parser::Parse(
+      "A = SELECT(x == '1') D;\n"
+      "B = SELECT(y == '2') A;\n"
+      "MATERIALIZE B;\n").ValueOrDie();
+  auto stats = Optimizer::Optimize(&program);
+  EXPECT_EQ(stats.selects_fused, 1u);
+  const auto& sel = program.sinks[0]->children[0];
+  EXPECT_EQ(sel->kind, OpKind::kSelect);
+  EXPECT_EQ(sel->children[0]->kind, OpKind::kSource);
+}
+
+TEST(OptimizerTest, TripleSelectFusionKeepsAllPredicates) {
+  // Regression: fusing three stacked SELECTs once resurrected a stale memo
+  // entry (freed node address reuse) and dropped the outermost predicate.
+  auto program = Parser::Parse(
+      "A = SELECT(x == '1') D;\n"
+      "B = SELECT(y == '2') A;\n"
+      "C = SELECT(region: left > 5) B;\n"
+      "MATERIALIZE C;\n").ValueOrDie();
+  auto stats = Optimizer::Optimize(&program);
+  EXPECT_EQ(stats.selects_fused, 2u);
+  const auto& fused = program.sinks[0]->children[0];
+  ASSERT_EQ(fused->kind, OpKind::kSelect);
+  EXPECT_EQ(fused->children[0]->kind, OpKind::kSource);
+  std::string sig = fused->Signature();
+  EXPECT_NE(sig.find("x == '1'"), std::string::npos);
+  EXPECT_NE(sig.find("y == '2'"), std::string::npos);
+  EXPECT_NE(sig.find("left > 5"), std::string::npos);
+}
+
+TEST(OptimizerTest, PushesMetaSelectThroughUnion) {
+  auto program = Parser::Parse(
+      "U = UNION() A B;\n"
+      "S = SELECT(x == '1') U;\n"
+      "MATERIALIZE S;\n").ValueOrDie();
+  auto stats = Optimizer::Optimize(&program);
+  EXPECT_EQ(stats.selects_pushed_through_union, 1u);
+  const auto& u = program.sinks[0]->children[0];
+  EXPECT_EQ(u->kind, OpKind::kUnion);
+  EXPECT_EQ(u->children[0]->kind, OpKind::kSelect);
+}
+
+TEST(OptimizerTest, RegionSelectNotPushed) {
+  auto program = Parser::Parse(
+      "U = UNION() A B;\n"
+      "S = SELECT(region: left > 5) U;\n"
+      "MATERIALIZE S;\n").ValueOrDie();
+  auto stats = Optimizer::Optimize(&program);
+  EXPECT_EQ(stats.selects_pushed_through_union, 0u);
+}
+
+TEST(OptimizerTest, CseCollapsesIdenticalSubplans) {
+  auto program = Parser::Parse(
+      "A = SELECT(x == '1') D;\n"
+      "B = SELECT(x == '1') D;\n"
+      "M = MAP() A E;\n"
+      "N = MAP() B E;\n"
+      "MATERIALIZE M; MATERIALIZE N;\n").ValueOrDie();
+  auto stats = Optimizer::Optimize(&program);
+  EXPECT_GE(stats.nodes_deduplicated, 1u);
+  EXPECT_EQ(program.sinks[0]->children[0]->children[0].get(),
+            program.sinks[1]->children[0]->children[0].get());
+}
+
+// ---------------------------------------------------------------- runner --
+
+TEST(RunnerTest, Section2QueryEndToEnd) {
+  QueryRunner runner = MakeRunner();
+  auto results = runner.Run(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;\n"
+      "MATERIALIZE RESULT;\n").ValueOrDie();
+  ASSERT_EQ(results.size(), 1u);
+  const Dataset& result = results.at("RESULT");
+  // 1 promoter sample x 2 ChipSeq samples.
+  ASSERT_EQ(result.num_samples(), 2u);
+  ASSERT_TRUE(result.schema().Contains("peak_count"));
+  size_t pc = *result.schema().IndexOf("peak_count");
+  // Sample vs CTCF (regions 100-300, 1000-1300): p1 (50-350) count 1,
+  // p2 (900-1100) count 1. Vs POLR2A (150-250): p1 count 1, p2 count 0.
+  const auto& s1 = result.sample(0);
+  ASSERT_EQ(s1.regions.size(), 2u);
+  EXPECT_EQ(s1.regions[0].values[pc + 0].AsInt() +
+                s1.regions[1].values[pc].AsInt(),
+            2);
+  const auto& s2 = result.sample(1);
+  EXPECT_EQ(s2.regions[0].values[pc].AsInt() + s2.regions[1].values[pc].AsInt(),
+            1);
+  EXPECT_TRUE(result.Validate().ok());
+}
+
+TEST(RunnerTest, UnknownDatasetErrors) {
+  QueryRunner runner = MakeRunner();
+  auto r = runner.Run("X = SELECT(a == 'b') GHOST;");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunnerTest, MemoizationCountsCacheHits) {
+  QueryRunner runner = MakeRunner();
+  runner.set_optimize(true);
+  auto results = runner.Run(
+      "A = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "X = MAP() A A;\n"
+      "MATERIALIZE X;\n").ValueOrDie();
+  (void)results;
+  // The optimizer collapses the two A references; the second evaluation is
+  // a cache hit.
+  EXPECT_GE(runner.last_stats().cache_hits, 1u);
+}
+
+TEST(RunnerTest, OptimizeOffStillCorrect) {
+  QueryRunner on = MakeRunner();
+  QueryRunner off = MakeRunner();
+  off.set_optimize(false);
+  const char* query =
+      "A = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "B = SELECT(antibody == 'CTCF') A;\n"
+      "MATERIALIZE B;\n";
+  Dataset a = on.Run(query).ValueOrDie().at("B");
+  Dataset b = off.Run(query).ValueOrDie().at("B");
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  ASSERT_EQ(a.num_samples(), 1u);
+  EXPECT_EQ(a.TotalRegions(), b.TotalRegions());
+}
+
+TEST(RunnerTest, MultipleSinks) {
+  QueryRunner runner = MakeRunner();
+  auto results = runner.Run(
+      "A = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "C = COVER(1, ANY) A;\n"
+      "MATERIALIZE A; MATERIALIZE C;\n").ValueOrDie();
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results.count("A"));
+  EXPECT_TRUE(results.count("C"));
+}
+
+TEST(RunnerTest, MaterializeInto) {
+  QueryRunner runner = MakeRunner();
+  auto results = runner.Run(
+      "A = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "MATERIALIZE A INTO chipseq_only;\n").ValueOrDie();
+  EXPECT_TRUE(results.count("chipseq_only"));
+  EXPECT_EQ(results.at("chipseq_only").name(), "chipseq_only");
+}
+
+TEST(RunnerTest, FullPipelineOnSyntheticData) {
+  // End-to-end over generator output: select, cover, map, order.
+  auto genome = gdm::GenomeAssembly::HumanLike(4, 50000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 6;
+  popt.peaks_per_sample = 500;
+  QueryRunner runner;
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, 42));
+  auto catalog = sim::GenerateGenes(genome, 300, 42);
+  runner.RegisterDataset(
+      sim::GenerateAnnotations(genome, catalog, {}, 42));
+  auto results = runner.Run(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "CONSENSUS = COVER(2, ANY) PEAKS;\n"
+      "MAPPED = MAP(n AS COUNT, avg_sig AS AVG(signal)) PROMS PEAKS;\n"
+      "RANKED = ORDER(antibody; TOP 3) MAPPED;\n"
+      "MATERIALIZE CONSENSUS; MATERIALIZE RANKED;\n").ValueOrDie();
+  const Dataset& consensus = results.at("CONSENSUS");
+  ASSERT_EQ(consensus.num_samples(), 1u);
+  EXPECT_GT(consensus.sample(0).regions.size(), 0u);
+  const Dataset& ranked = results.at("RANKED");
+  EXPECT_EQ(ranked.num_samples(), 3u);
+  EXPECT_TRUE(ranked.Validate().ok());
+  EXPECT_TRUE(consensus.Validate().ok());
+}
+
+}  // namespace
+}  // namespace gdms::core

@@ -1,0 +1,522 @@
+#include <gtest/gtest.h>
+
+#include "core/operators.h"
+#include "gdm/dataset.h"
+
+namespace gdms::core {
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+/// Two-sample peak dataset used across operator tests.
+Dataset Peaks() {
+  RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("p_value", AttrType::kDouble).ok());
+  Dataset ds("PEAKS", schema);
+  int32_t c1 = InternChrom("chr1");
+  int32_t c2 = InternChrom("chr2");
+  Sample s1(1);
+  s1.metadata.Add("antibody", "CTCF");
+  s1.metadata.Add("karyotype", "cancer");
+  s1.regions = {{c1, 100, 300, Strand::kPlus, {Value(0.00001)}},
+                {c1, 500, 800, Strand::kMinus, {Value(0.0002)}},
+                {c2, 100, 250, Strand::kPlus, {Value(0.000003)}}};
+  Sample s2(2);
+  s2.metadata.Add("antibody", "POLR2A");
+  s2.metadata.Add("sex", "female");
+  s2.regions = {{c1, 150, 350, Strand::kNone, {Value(0.005)}},
+                {c1, 700, 900, Strand::kNone, {Value(0.02)}},
+                {c2, 300, 500, Strand::kNone, {Value(0.01)}},
+                {c2, 450, 600, Strand::kNone, {Value(0.001)}}};
+  s1.SortNow();
+  s2.SortNow();
+  ds.AddSample(std::move(s1));
+  ds.AddSample(std::move(s2));
+  EXPECT_TRUE(ds.Validate().ok());
+  return ds;
+}
+
+/// Single-sample reference regions (promoter-like).
+Dataset Refs() {
+  RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("name", AttrType::kString).ok());
+  Dataset ds("REFS", schema);
+  int32_t c1 = InternChrom("chr1");
+  int32_t c2 = InternChrom("chr2");
+  Sample s(10);
+  s.metadata.Add("annType", "promoter");
+  s.regions = {{c1, 0, 200, Strand::kNone, {Value("r1")}},
+               {c1, 600, 1000, Strand::kNone, {Value("r2")}},
+               {c2, 0, 1000, Strand::kNone, {Value("r3")}}};
+  s.SortNow();
+  ds.AddSample(std::move(s));
+  return ds;
+}
+
+TEST(SelectTest, MetaPredicateFiltersSamples) {
+  SelectParams params;
+  params.meta = MetaPredicate::Compare("antibody", CmpOp::kEq, "CTCF");
+  Dataset out = Operators::Select(params, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).id, 1u);
+  EXPECT_EQ(out.sample(0).regions.size(), 3u);
+}
+
+TEST(SelectTest, RegionPredicateFiltersRegions) {
+  SelectParams params;
+  params.region =
+      RegionPredicate::Compare("p_value", CmpOp::kLe, Value(0.001));
+  Dataset out = Operators::Select(params, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 2u);
+  EXPECT_EQ(out.sample(0).regions.size(), 3u);  // all of sample 1
+  EXPECT_EQ(out.sample(1).regions.size(), 1u);  // only the 0.001 region
+}
+
+TEST(SelectTest, FixedAttributePredicates) {
+  SelectParams params;
+  params.region = RegionPredicate::And(
+      RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr1")),
+      RegionPredicate::Compare("left", CmpOp::kGe, Value(int64_t{400})));
+  Dataset out = Operators::Select(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.sample(0).regions.size(), 1u);  // chr1:500-800
+  EXPECT_EQ(out.sample(1).regions.size(), 1u);  // chr1:700-900
+}
+
+TEST(SelectTest, StrandPredicate) {
+  SelectParams params;
+  params.region = RegionPredicate::Compare("strand", CmpOp::kEq, Value("+"));
+  Dataset out = Operators::Select(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.sample(0).regions.size(), 2u);
+  EXPECT_EQ(out.sample(1).regions.size(), 0u);
+}
+
+TEST(SelectTest, UnknownAttributeErrors) {
+  SelectParams params;
+  params.region = RegionPredicate::Compare("nope", CmpOp::kEq, Value(1.0));
+  EXPECT_FALSE(Operators::Select(params, Peaks()).ok());
+}
+
+TEST(SelectTest, MetaAndOrNot) {
+  SelectParams params;
+  params.meta = MetaPredicate::Or(
+      MetaPredicate::Compare("karyotype", CmpOp::kEq, "cancer"),
+      MetaPredicate::Compare("sex", CmpOp::kEq, "female"));
+  EXPECT_EQ(Operators::Select(params, Peaks()).ValueOrDie().num_samples(), 2u);
+  params.meta = MetaPredicate::Not(MetaPredicate::Exists("sex"));
+  Dataset out = Operators::Select(params, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).id, 1u);
+}
+
+TEST(ProjectTest, KeepSubsetOfAttrs) {
+  ProjectParams params;
+  params.keep_attrs = {};  // drop the only variable attribute
+  Dataset out = Operators::Project(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.schema().size(), 0u);
+  EXPECT_TRUE(out.sample(0).regions[0].values.empty());
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(ProjectTest, NewAttrFromExpression) {
+  ProjectParams params;
+  params.keep_all = true;
+  params.new_attrs.push_back(
+      {"reg_len", RegionExpr::Attr("len")});
+  params.new_attrs.push_back(
+      {"score10", RegionExpr::Binary('*', RegionExpr::Attr("p_value"),
+                                     RegionExpr::Constant(Value(10.0)))});
+  Dataset out = Operators::Project(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.schema().size(), 3u);
+  const auto& r = out.sample(0).regions[0];
+  EXPECT_EQ(r.values[1].AsInt(), r.right - r.left);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(ProjectTest, UnknownKeepErrors) {
+  ProjectParams params;
+  params.keep_attrs = {"ghost"};
+  EXPECT_FALSE(Operators::Project(params, Peaks()).ok());
+}
+
+TEST(ProjectTest, DivisionByZeroYieldsNull) {
+  ProjectParams params;
+  params.new_attrs.push_back(
+      {"bad", RegionExpr::Binary('/', RegionExpr::Attr("p_value"),
+                                 RegionExpr::Constant(Value(0.0)))});
+  Dataset out = Operators::Project(params, Peaks()).ValueOrDie();
+  EXPECT_TRUE(out.sample(0).regions[0].values[0].is_null());
+}
+
+TEST(ExtendTest, AggregatesBecomeMetadata) {
+  ExtendParams params;
+  params.aggregates = {{"region_count", AggFunc::kCount, ""},
+                       {"min_p", AggFunc::kMin, "p_value"}};
+  Dataset out = Operators::Extend(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.sample(0).metadata.FirstValue("region_count"), "3");
+  EXPECT_EQ(out.sample(1).metadata.FirstValue("region_count"), "4");
+  EXPECT_EQ(out.sample(0).metadata.FirstValue("min_p"), "3e-06");
+}
+
+TEST(ExtendTest, UnknownAttrErrors) {
+  ExtendParams params;
+  params.aggregates = {{"x", AggFunc::kSum, "ghost"}};
+  EXPECT_FALSE(Operators::Extend(params, Peaks()).ok());
+}
+
+TEST(MergeTest, AllSamplesBecomeOne) {
+  Dataset out = Operators::Merge(MergeParams{}, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).regions.size(), 7u);
+  EXPECT_TRUE(out.sample(0).IsSorted());
+  // Metadata union of both samples plus provenance.
+  EXPECT_TRUE(out.sample(0).metadata.HasPair("antibody", "CTCF"));
+  EXPECT_TRUE(out.sample(0).metadata.HasPair("antibody", "POLR2A"));
+  EXPECT_TRUE(out.sample(0).metadata.Has("_provenance"));
+}
+
+TEST(MergeTest, GroupbySplitsByMetaValue) {
+  MergeParams params;
+  params.groupby = "antibody";
+  Dataset out = Operators::Merge(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.num_samples(), 2u);
+}
+
+TEST(GroupTest, GroupsByAttributeWithAggregates) {
+  GroupParams params;
+  params.meta_attr = "antibody";
+  params.aggregates = {{"n", AggFunc::kCount, ""}};
+  Dataset out = Operators::Group(params, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 2u);
+  // Each group holds one original sample here.
+  EXPECT_EQ(out.sample(0).metadata.FirstValue("n"),
+            std::to_string(out.sample(0).regions.size()));
+}
+
+TEST(GroupTest, RequiresAttribute) {
+  EXPECT_FALSE(Operators::Group(GroupParams{}, Peaks()).ok());
+}
+
+TEST(GroupTest, DeduplicatesIdenticalRegions) {
+  Dataset ds = Peaks();
+  // Make both samples share one identical region and the same group key.
+  ds.mutable_sample(0)->metadata.RemoveAttr("antibody");
+  ds.mutable_sample(1)->metadata.RemoveAttr("antibody");
+  ds.mutable_sample(0)->metadata.Add("antibody", "X");
+  ds.mutable_sample(1)->metadata.Add("antibody", "X");
+  GenomicRegion shared(InternChrom("chr1"), 42, 43, Strand::kNone,
+                       {Value(1.0)});
+  ds.mutable_sample(0)->regions.push_back(shared);
+  ds.mutable_sample(1)->regions.push_back(shared);
+  ds.mutable_sample(0)->SortNow();
+  ds.mutable_sample(1)->SortNow();
+  GroupParams params;
+  params.meta_attr = "antibody";
+  Dataset out = Operators::Group(params, ds).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).regions.size(), 8u);  // 3 + 4 + shared once
+}
+
+TEST(OrderTest, SortsByNumericMetaAndRanks) {
+  Dataset ds = Peaks();
+  ds.mutable_sample(0)->metadata.Add("quality", "7.5");
+  ds.mutable_sample(1)->metadata.Add("quality", "12");
+  OrderParams params;
+  params.meta_attr = "quality";
+  params.descending = true;
+  Dataset out = Operators::Order(params, ds).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 2u);
+  EXPECT_EQ(out.sample(0).id, 2u);  // 12 > 7.5 numerically
+  EXPECT_EQ(out.sample(0).metadata.FirstValue("_rank"), "1");
+}
+
+TEST(OrderTest, TopLimitsAndMissingSortLast) {
+  Dataset ds = Peaks();
+  ds.mutable_sample(0)->metadata.Add("quality", "5");
+  OrderParams params;
+  params.meta_attr = "quality";
+  params.top = 1;
+  Dataset out = Operators::Order(params, ds).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).id, 1u);  // sample 2 lacks quality -> last
+}
+
+TEST(UnionTest, MergesSchemasAndRemapsValues) {
+  Dataset peaks = Peaks();
+  Dataset refs = Refs();
+  Dataset out = Operators::Union(peaks, refs).ValueOrDie();
+  EXPECT_EQ(out.num_samples(), 3u);
+  // Merged schema: p_value (left) + name (right).
+  EXPECT_EQ(out.schema().size(), 2u);
+  ASSERT_TRUE(out.schema().Contains("p_value"));
+  ASSERT_TRUE(out.schema().Contains("name"));
+  EXPECT_TRUE(out.Validate().ok());
+  // Left samples: name is NULL; right samples: p_value is NULL.
+  EXPECT_TRUE(out.sample(0).regions[0].values[1].is_null());
+  EXPECT_TRUE(out.sample(2).regions[0].values[0].is_null());
+  EXPECT_EQ(out.sample(2).regions[0].values[1].AsString(), "r1");
+}
+
+TEST(UnionTest, SharedAttributeAligns) {
+  Dataset a = Refs();
+  Dataset b = Refs();
+  Dataset out = Operators::Union(a, b).ValueOrDie();
+  EXPECT_EQ(out.schema().size(), 1u);  // name shared, not duplicated
+  EXPECT_EQ(out.num_samples(), 2u);
+  EXPECT_EQ(out.sample(1).regions[0].values[0].AsString(), "r1");
+}
+
+TEST(DifferenceTest, RemovesIntersectingRegions) {
+  Dataset out =
+      Operators::Difference(DifferenceParams{}, Refs(), Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  // r1 chr1:0-200 intersects peaks; r2 chr1:600-1000 intersects; r3
+  // chr2:0-1000 intersects. All removed.
+  EXPECT_EQ(out.sample(0).regions.size(), 0u);
+}
+
+TEST(DifferenceTest, KeepsNonIntersecting) {
+  Dataset refs = Refs();
+  // Shift r2 into a gap.
+  refs.mutable_sample(0)->regions[1] =
+      GenomicRegion(InternChrom("chr1"), 400, 450, Strand::kNone,
+                    {Value("r2")});
+  refs.mutable_sample(0)->SortNow();
+  Dataset out =
+      Operators::Difference(DifferenceParams{}, refs, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.sample(0).regions.size(), 1u);
+  EXPECT_EQ(out.sample(0).regions[0].values[0].AsString(), "r2");
+}
+
+TEST(DifferenceTest, JoinbyRestrictsSubtrahend) {
+  Dataset refs = Refs();
+  refs.mutable_sample(0)->metadata.Add("antibody", "CTCF");
+  DifferenceParams params;
+  params.joinby = {"antibody"};
+  // Only sample 1 (CTCF) of PEAKS participates; its regions cover r1 but a
+  // gap remains at chr2 300-500 etc. r3 chr2:0-1000 still intersects sample1
+  // chr2 region. r2 chr1:600-1000 intersects chr1:500-800. r1 intersects.
+  Dataset out = Operators::Difference(params, refs, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.sample(0).regions.size(), 0u);
+  // With a non-matching joinby value nothing is subtracted.
+  refs.mutable_sample(0)->metadata.RemoveAttr("antibody");
+  refs.mutable_sample(0)->metadata.Add("antibody", "NONE");
+  out = Operators::Difference(params, refs, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.sample(0).regions.size(), 3u);
+}
+
+TEST(MapTest, DefaultCountPerRefRegion) {
+  Dataset out = Operators::Map(MapParams{}, Refs(), Peaks()).ValueOrDie();
+  // One output sample per (ref, exp) pair = 1 x 2.
+  ASSERT_EQ(out.num_samples(), 2u);
+  ASSERT_TRUE(out.schema().Contains("count"));
+  // Sample for exp 1 (CTCF): r1 overlaps chr1:100-300 -> 1;
+  // r2 (600-1000) overlaps 500-800 -> 1; r3 overlaps chr2:100-250 -> 1.
+  const auto& s1 = out.sample(0);
+  ASSERT_EQ(s1.regions.size(), 3u);
+  EXPECT_EQ(s1.regions[0].values[1].AsInt(), 1);
+  EXPECT_EQ(s1.regions[1].values[1].AsInt(), 1);
+  EXPECT_EQ(s1.regions[2].values[1].AsInt(), 1);
+  // Sample for exp 2: r1 overlaps 150-350 -> 1; r2 overlaps 700-900 -> 1;
+  // r3 overlaps chr2 300-500 and 450-600 -> 2.
+  const auto& s2 = out.sample(1);
+  EXPECT_EQ(s2.regions[0].values[1].AsInt(), 1);
+  EXPECT_EQ(s2.regions[1].values[1].AsInt(), 1);
+  EXPECT_EQ(s2.regions[2].values[1].AsInt(), 2);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(MapTest, CustomAggregates) {
+  MapParams params;
+  params.aggregates = {{"n", AggFunc::kCount, ""},
+                       {"avg_p", AggFunc::kAvg, "p_value"},
+                       {"max_p", AggFunc::kMax, "p_value"}};
+  Dataset out = Operators::Map(params, Refs(), Peaks()).ValueOrDie();
+  const auto& s2 = out.sample(1);
+  // r3 maps peaks 0.01 and 0.001 of sample 2.
+  EXPECT_EQ(s2.regions[2].values[1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(s2.regions[2].values[2].AsDouble(), (0.01 + 0.001) / 2);
+  EXPECT_DOUBLE_EQ(s2.regions[2].values[3].AsDouble(), 0.01);
+}
+
+TEST(MapTest, EmptyRefRegionsGetZeroCountAndNullAvg) {
+  Dataset refs = Refs();
+  refs.mutable_sample(0)->regions = {
+      GenomicRegion(InternChrom("chr1"), 5000, 6000, Strand::kNone,
+                    {Value("far")})};
+  MapParams params;
+  params.aggregates = {{"n", AggFunc::kCount, ""},
+                       {"avg_p", AggFunc::kAvg, "p_value"}};
+  Dataset out = Operators::Map(params, refs, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.sample(0).regions[0].values[1].AsInt(), 0);
+  EXPECT_TRUE(out.sample(0).regions[0].values[2].is_null());
+}
+
+TEST(MapTest, MetadataUnionAndProvenance) {
+  Dataset out = Operators::Map(MapParams{}, Refs(), Peaks()).ValueOrDie();
+  const auto& meta = out.sample(0).metadata;
+  EXPECT_TRUE(meta.HasPair("annType", "promoter"));
+  EXPECT_TRUE(meta.HasPair("antibody", "CTCF"));
+  EXPECT_TRUE(meta.Has("_provenance"));
+}
+
+TEST(MapTest, JoinbyFiltersPairs) {
+  Dataset refs = Refs();
+  refs.mutable_sample(0)->metadata.Add("antibody", "CTCF");
+  MapParams params;
+  params.joinby = {"antibody"};
+  Dataset out = Operators::Map(params, refs, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.num_samples(), 1u);
+}
+
+TEST(JoinTest, RequiresUpperBoundOrMd) {
+  JoinParams params;  // no DLE/MD
+  EXPECT_FALSE(Operators::Join(params, Refs(), Peaks()).ok());
+}
+
+TEST(JoinTest, DistanceWindowLeftOutput) {
+  JoinParams params;
+  params.predicate.max_dist = 250;
+  params.predicate.has_upper = true;
+  params.predicate.min_dist = 1;  // strictly non-overlapping
+  Dataset out = Operators::Join(params, Refs(), Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 2u);
+  // Schema is ref concat exp.
+  EXPECT_EQ(out.schema().size(), 2u);
+  // vs sample 1 every pair either overlaps (d < 1) or is 300 away: 0 pairs.
+  // vs sample 2 exactly one pair is in [1, 250]: ref chr1:600-1000 against
+  // peak chr1:150-350 at distance 250; the LEFT output keeps ref coords.
+  EXPECT_EQ(out.sample(0).regions.size(), 0u);
+  ASSERT_EQ(out.sample(1).regions.size(), 1u);
+  EXPECT_EQ(out.sample(1).regions[0].left, 600);
+  EXPECT_EQ(out.sample(1).regions[0].right, 1000);
+}
+
+TEST(JoinTest, OverlapWindowIntersectionOutput) {
+  JoinParams params;
+  params.predicate.max_dist = 0;
+  params.predicate.has_upper = true;
+  params.output = JoinOutput::kIntersection;
+  Dataset out = Operators::Join(params, Refs(), Peaks()).ValueOrDie();
+  // Intersections only for overlapping pairs.
+  const auto& s1 = out.sample(0);
+  ASSERT_EQ(s1.regions.size(), 3u);
+  EXPECT_EQ(s1.regions[0].left, 100);   // r1 n chr1:100-300
+  EXPECT_EQ(s1.regions[0].right, 200);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(JoinTest, ContigOutputSpans) {
+  JoinParams params;
+  params.predicate.max_dist = 1000;
+  params.predicate.has_upper = true;
+  params.output = JoinOutput::kContig;
+  Dataset out = Operators::Join(params, Refs(), Peaks()).ValueOrDie();
+  for (const auto& s : out.samples()) {
+    for (const auto& r : s.regions) {
+      EXPECT_LE(r.left, r.right);
+    }
+  }
+}
+
+TEST(JoinTest, MdNearest) {
+  JoinParams params;
+  params.predicate.md_k = 1;
+  Dataset out = Operators::Join(params, Refs(), Peaks()).ValueOrDie();
+  // Each ref region joins exactly its nearest exp region per exp sample.
+  EXPECT_EQ(out.sample(0).regions.size(), 3u);
+  EXPECT_EQ(out.sample(1).regions.size(), 3u);
+}
+
+TEST(JoinTest, UpstreamFilter) {
+  // Right regions must end before the (unstranded = plus-like) ref start.
+  JoinParams params;
+  params.predicate.max_dist = 100000;
+  params.predicate.has_upper = true;
+  params.predicate.upstream = true;
+  Dataset out = Operators::Join(params, Refs(), Peaks()).ValueOrDie();
+  for (const auto& s : out.samples()) {
+    for (const auto& r : s.regions) {
+      (void)r;
+    }
+  }
+  // r2 (chr1:600-1000): upstream exps end <= 600: chr1:100-300 (s1),
+  // chr1:500-800 overlaps so no; s2: 150-350 yes.
+  ASSERT_GE(out.num_samples(), 2u);
+  size_t upstream_pairs = out.sample(0).regions.size();
+  EXPECT_EQ(upstream_pairs, 1u);  // only 100-300 upstream of r2 in s1
+}
+
+TEST(CoverTest, CoverCountsAcrossSamples) {
+  CoverParams params;
+  params.min_acc = 2;
+  params.max_acc = -1;  // ANY
+  Dataset out = Operators::Cover(params, Peaks()).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  // Overlaps between the two samples: chr1 150-300, chr1 700-800,
+  // chr2 450-500 (the two chr2 regions of sample 2 overlap each other).
+  ASSERT_EQ(out.sample(0).regions.size(), 3u);
+  EXPECT_EQ(out.sample(0).regions[0].left, 150);
+  EXPECT_EQ(out.sample(0).regions[0].right, 300);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(CoverTest, HistogramCarriesAccIndex) {
+  CoverParams params;
+  params.variant = CoverVariant::kHistogram;
+  params.min_acc = 1;
+  params.max_acc = -1;
+  Dataset out = Operators::Cover(params, Peaks()).ValueOrDie();
+  ASSERT_TRUE(out.schema().Contains("acc_index"));
+  int64_t max_acc = 0;
+  for (const auto& r : out.sample(0).regions) {
+    max_acc = std::max(max_acc, r.values[0].AsInt());
+  }
+  EXPECT_EQ(max_acc, 2);
+}
+
+TEST(CoverTest, AggregatesOverContributingRegions) {
+  CoverParams params;
+  params.min_acc = 2;
+  params.max_acc = -1;
+  params.aggregates = {{"n_inputs", AggFunc::kCount, ""},
+                       {"avg_p", AggFunc::kAvg, "p_value"}};
+  Dataset out = Operators::Cover(params, Peaks()).ValueOrDie();
+  const auto& r0 = out.sample(0).regions[0];  // chr1:150-300
+  EXPECT_EQ(r0.values[0].AsInt(), 2);         // two contributing peaks
+  EXPECT_NEAR(r0.values[1].AsDouble(), (0.00001 + 0.005) / 2, 1e-12);
+}
+
+TEST(CoverTest, GroupbyProducesPerValueSamples) {
+  CoverParams params;
+  params.min_acc = 1;
+  params.max_acc = -1;
+  params.groupby = "antibody";
+  Dataset out = Operators::Cover(params, Peaks()).ValueOrDie();
+  EXPECT_EQ(out.num_samples(), 2u);
+}
+
+TEST(CoverTest, SummitAndFlatVariants) {
+  CoverParams params;
+  params.variant = CoverVariant::kSummit;
+  params.min_acc = 1;
+  params.max_acc = -1;
+  Dataset summit = Operators::Cover(params, Peaks()).ValueOrDie();
+  EXPECT_GT(summit.sample(0).regions.size(), 0u);
+  params.variant = CoverVariant::kFlat;
+  params.min_acc = 2;
+  Dataset flat = Operators::Cover(params, Peaks()).ValueOrDie();
+  // FLAT extends the chr1:150-300 cover to the full span of contributors.
+  ASSERT_GE(flat.sample(0).regions.size(), 1u);
+  EXPECT_EQ(flat.sample(0).regions[0].left, 100);
+  EXPECT_EQ(flat.sample(0).regions[0].right, 350);
+}
+
+}  // namespace
+}  // namespace gdms::core

@@ -1,0 +1,205 @@
+// Degenerate-input behavior of every operator and both engines: empty
+// datasets, empty samples, zero-length regions, single-region inputs.
+// Nothing here may crash; results must be well-formed (Validate()) and
+// follow documented semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/operators.h"
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+
+namespace gdms::core {
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+RegionSchema OneAttrSchema() {
+  RegionSchema s;
+  EXPECT_TRUE(s.AddAttr("v", AttrType::kDouble).ok());
+  return s;
+}
+
+Dataset EmptyDataset(const char* name) { return Dataset(name, OneAttrSchema()); }
+
+Dataset EmptySampleDataset(const char* name) {
+  Dataset ds(name, OneAttrSchema());
+  Sample s(1);
+  s.metadata.Add("cell", "K562");
+  ds.AddSample(std::move(s));
+  return ds;
+}
+
+Dataset OneRegionDataset(const char* name, int64_t left = 100,
+                         int64_t right = 200) {
+  Dataset ds(name, OneAttrSchema());
+  Sample s(1);
+  s.metadata.Add("cell", "K562");
+  s.regions.push_back(
+      {InternChrom("chr1"), left, right, Strand::kNone, {Value(1.5)}});
+  ds.AddSample(std::move(s));
+  return ds;
+}
+
+TEST(EdgeCaseTest, UnaryOperatorsOnEmptyDataset) {
+  Dataset empty = EmptyDataset("E");
+  SelectParams select;
+  select.meta = MetaPredicate::Compare("x", CmpOp::kEq, "y");
+  EXPECT_EQ(Operators::Select(select, empty).ValueOrDie().num_samples(), 0u);
+  ProjectParams project;
+  project.keep_all = true;
+  EXPECT_EQ(Operators::Project(project, empty).ValueOrDie().num_samples(), 0u);
+  ExtendParams extend;
+  extend.aggregates = {{"n", AggFunc::kCount, ""}};
+  EXPECT_EQ(Operators::Extend(extend, empty).ValueOrDie().num_samples(), 0u);
+  // MERGE of an empty dataset produces one empty group (by definition the
+  // single all-samples group over zero samples).
+  Dataset merged = Operators::Merge(MergeParams{}, empty).ValueOrDie();
+  EXPECT_LE(merged.num_samples(), 1u);
+  CoverParams cover;
+  cover.min_acc = 1;
+  cover.max_acc = -1;
+  Dataset covered = Operators::Cover(cover, empty).ValueOrDie();
+  EXPECT_EQ(covered.TotalRegions(), 0u);
+  OrderParams order;
+  order.meta_attr = "cell";
+  EXPECT_EQ(Operators::Order(order, empty).ValueOrDie().num_samples(), 0u);
+}
+
+TEST(EdgeCaseTest, BinaryOperatorsWithEmptySides) {
+  Dataset empty = EmptyDataset("E");
+  Dataset one = OneRegionDataset("O");
+  // UNION with an empty side keeps the other side's content.
+  EXPECT_EQ(Operators::Union(empty, one).ValueOrDie().TotalRegions(), 1u);
+  EXPECT_EQ(Operators::Union(one, empty).ValueOrDie().TotalRegions(), 1u);
+  // DIFFERENCE against nothing keeps everything.
+  EXPECT_EQ(Operators::Difference(DifferenceParams{}, one, empty)
+                .ValueOrDie()
+                .TotalRegions(),
+            1u);
+  // MAP of empty refs over data: no output samples (no ref samples).
+  EXPECT_EQ(Operators::Map(MapParams{}, empty, one).ValueOrDie().num_samples(),
+            0u);
+  // MAP over an empty experiment side: no pairs either.
+  EXPECT_EQ(Operators::Map(MapParams{}, one, empty).ValueOrDie().num_samples(),
+            0u);
+  JoinParams join;
+  join.predicate.max_dist = 100;
+  join.predicate.has_upper = true;
+  EXPECT_EQ(Operators::Join(join, one, empty).ValueOrDie().num_samples(), 0u);
+}
+
+TEST(EdgeCaseTest, EmptySamplesFlowThrough) {
+  Dataset es = EmptySampleDataset("ES");
+  Dataset one = OneRegionDataset("O");
+  // MAP with an empty ref sample yields an output sample with no regions.
+  Dataset mapped = Operators::Map(MapParams{}, es, one).ValueOrDie();
+  ASSERT_EQ(mapped.num_samples(), 1u);
+  EXPECT_EQ(mapped.sample(0).regions.size(), 0u);
+  EXPECT_TRUE(mapped.Validate().ok());
+  // EXTEND on an empty sample: COUNT is 0, AVG is NULL -> ".".
+  ExtendParams extend;
+  extend.aggregates = {{"n", AggFunc::kCount, ""}, {"a", AggFunc::kAvg, "v"}};
+  Dataset extended = Operators::Extend(extend, es).ValueOrDie();
+  EXPECT_EQ(extended.sample(0).metadata.FirstValue("n"), "0");
+  EXPECT_EQ(extended.sample(0).metadata.FirstValue("a"), ".");
+}
+
+TEST(EdgeCaseTest, ZeroLengthRegions) {
+  // Zero-length (point) regions — e.g. insertion sites — are valid (left ==
+  // right). Like bedtools, a point strictly inside an interval counts as
+  // intersecting it; but a point covers no bases, so accumulation (COVER)
+  // ignores it.
+  Dataset ds(OneRegionDataset("Z", 50, 50));
+  EXPECT_TRUE(ds.Validate().ok());
+  Dataset one = OneRegionDataset("O", 0, 100);
+  Dataset mapped = Operators::Map(MapParams{}, one, ds).ValueOrDie();
+  size_t count_idx = *mapped.schema().IndexOf("count");
+  EXPECT_EQ(mapped.sample(0).regions[0].values[count_idx].AsInt(), 1);
+  CoverParams cover;
+  cover.min_acc = 1;
+  cover.max_acc = -1;
+  EXPECT_EQ(Operators::Cover(cover, ds).ValueOrDie().TotalRegions(), 0u);
+}
+
+TEST(EdgeCaseTest, ParallelEngineHandlesEmptyInputs) {
+  for (auto backend :
+       {engine::BackendKind::kPipelined, engine::BackendKind::kMaterialized}) {
+    engine::EngineOptions options;
+    options.backend = backend;
+    options.threads = 2;
+    engine::ParallelExecutor executor(options);
+    QueryRunner runner(&executor);
+    runner.RegisterDataset(EmptyDataset("E"));
+    runner.RegisterDataset(EmptySampleDataset("ES"));
+    runner.RegisterDataset(OneRegionDataset("O"));
+    auto results = runner.Run(
+        "A = SELECT(cell == 'K562') E;\n"
+        "B = MAP() ES O;\n"
+        "C = COVER(1, ANY) ES;\n"
+        "D = JOIN(DLE(10); LEFT) O E;\n"
+        "F = DIFFERENCE() O ES;\n"
+        "MATERIALIZE A; MATERIALIZE B; MATERIALIZE C; MATERIALIZE D;\n"
+        "MATERIALIZE F;\n");
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    for (const auto& [name, ds] : results.value()) {
+      EXPECT_TRUE(ds.Validate().ok()) << name;
+    }
+    EXPECT_EQ(results.value().at("F").TotalRegions(), 1u);
+  }
+}
+
+TEST(EdgeCaseTest, GroupAndMergeSingletons) {
+  Dataset one = OneRegionDataset("O");
+  GroupParams group;
+  group.meta_attr = "cell";
+  Dataset grouped = Operators::Group(group, one).ValueOrDie();
+  ASSERT_EQ(grouped.num_samples(), 1u);
+  EXPECT_EQ(grouped.sample(0).regions.size(), 1u);
+  Dataset merged = Operators::Merge(MergeParams{}, one).ValueOrDie();
+  ASSERT_EQ(merged.num_samples(), 1u);
+  EXPECT_NE(merged.sample(0).id, one.sample(0).id);  // derived id
+}
+
+TEST(EdgeCaseTest, SelfMapAndSelfJoin) {
+  Dataset one = OneRegionDataset("O");
+  Dataset self_map = Operators::Map(MapParams{}, one, one).ValueOrDie();
+  size_t count_idx = *self_map.schema().IndexOf("count");
+  EXPECT_EQ(self_map.sample(0).regions[0].values[count_idx].AsInt(), 1);
+  JoinParams join;
+  join.predicate.max_dist = 0;
+  join.predicate.has_upper = true;
+  Dataset self_join = Operators::Join(join, one, one).ValueOrDie();
+  EXPECT_EQ(self_join.TotalRegions(), 1u);  // the region pairs with itself
+}
+
+TEST(EdgeCaseTest, HugeCoordinatesSurvive) {
+  // Coordinates near the top of the int64 range must not overflow the
+  // distance/window math.
+  const int64_t big = int64_t{1} << 55;
+  Dataset a("A", OneAttrSchema());
+  Sample sa(1);
+  sa.regions.push_back(
+      {InternChrom("chrBig"), big, big + 100, Strand::kNone, {Value(1.0)}});
+  a.AddSample(std::move(sa));
+  Dataset b("B", OneAttrSchema());
+  Sample sb(1);
+  sb.regions.push_back({InternChrom("chrBig"), big + 200, big + 300,
+                        Strand::kNone, {Value(2.0)}});
+  b.AddSample(std::move(sb));
+  JoinParams join;
+  join.predicate.max_dist = 150;
+  join.predicate.has_upper = true;
+  Dataset joined = Operators::Join(join, a, b).ValueOrDie();
+  EXPECT_EQ(joined.TotalRegions(), 1u);
+}
+
+}  // namespace
+}  // namespace gdms::core

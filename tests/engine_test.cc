@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+#include "engine/shuffle.h"
+#include "sim/generators.h"
+
+namespace gdms::engine {
+namespace {
+
+using core::QueryRunner;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::Sample;
+using gdm::Value;
+
+// ---------------------------------------------------------------- codec ---
+
+TEST(RegionCodecTest, RoundTripAllValueTypes) {
+  std::vector<GenomicRegion> rs;
+  GenomicRegion r(InternChrom("chr1"), 100, 200, gdm::Strand::kMinus);
+  r.values = {Value(int64_t{7}), Value(2.5), Value("hello"), Value(true),
+              Value::Null()};
+  rs.push_back(r);
+  rs.emplace_back(InternChrom("chr2"), 0, 1, gdm::Strand::kNone);
+  std::string buf;
+  RegionCodec::Encode(rs, 0, rs.size(), &buf);
+  auto back = RegionCodec::Decode(buf).ValueOrDie();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].chrom, rs[0].chrom);
+  EXPECT_EQ(back[0].strand, gdm::Strand::kMinus);
+  ASSERT_EQ(back[0].values.size(), 5u);
+  EXPECT_EQ(back[0].values[0].AsInt(), 7);
+  EXPECT_DOUBLE_EQ(back[0].values[1].AsDouble(), 2.5);
+  EXPECT_EQ(back[0].values[2].AsString(), "hello");
+  EXPECT_TRUE(back[0].values[3].AsBool());
+  EXPECT_TRUE(back[0].values[4].is_null());
+}
+
+TEST(RegionCodecTest, RejectsTruncated) {
+  std::vector<GenomicRegion> rs = {GenomicRegion(InternChrom("chr1"), 0, 5)};
+  std::string buf;
+  RegionCodec::Encode(rs, 0, 1, &buf);
+  buf.resize(buf.size() - 1);
+  EXPECT_FALSE(RegionCodec::Decode(buf).ok());
+}
+
+TEST(RegionCodecTest, SliceEncoding) {
+  std::vector<GenomicRegion> rs;
+  for (int i = 0; i < 10; ++i) {
+    rs.emplace_back(InternChrom("chr1"), i * 10, i * 10 + 5);
+  }
+  std::string buf;
+  RegionCodec::Encode(rs, 3, 7, &buf);
+  auto back = RegionCodec::Decode(buf).ValueOrDie();
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_EQ(back[0].left, 30);
+}
+
+// ------------------------------------------------- engine vs reference ----
+
+/// Structural dataset equality ignoring sample order within the dataset.
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.schema().ToString(), b.schema().ToString());
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  for (const auto& sa : a.samples()) {
+    const Sample* sb = b.FindSample(sa.id);
+    ASSERT_NE(sb, nullptr) << "missing sample " << sa.id;
+    EXPECT_EQ(sa.metadata.entries().size(), sb->metadata.entries().size());
+    EXPECT_TRUE(sa.metadata == sb->metadata);
+    ASSERT_EQ(sa.regions.size(), sb->regions.size()) << "sample " << sa.id;
+    for (size_t i = 0; i < sa.regions.size(); ++i) {
+      const auto& ra = sa.regions[i];
+      const auto& rb = sb->regions[i];
+      EXPECT_EQ(ra.chrom, rb.chrom);
+      EXPECT_EQ(ra.left, rb.left);
+      EXPECT_EQ(ra.right, rb.right);
+      EXPECT_EQ(ra.strand, rb.strand);
+      ASSERT_EQ(ra.values.size(), rb.values.size());
+      for (size_t v = 0; v < ra.values.size(); ++v) {
+        EXPECT_EQ(ra.values[v].Compare(rb.values[v]), 0)
+            << "sample " << sa.id << " region " << i << " value " << v << ": "
+            << ra.values[v].ToString() << " vs " << rb.values[v].ToString();
+      }
+    }
+  }
+}
+
+struct EngineCase {
+  BackendKind backend;
+  size_t threads;
+  int64_t bin_size;
+};
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  static QueryRunner MakeRunner(core::Executor* executor) {
+    QueryRunner runner = executor ? QueryRunner(executor) : QueryRunner();
+    auto genome = gdm::GenomeAssembly::HumanLike(5, 30000000);
+    sim::PeakDatasetOptions popt;
+    popt.num_samples = 5;
+    popt.peaks_per_sample = 800;
+    runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, 99));
+    auto catalog = sim::GenerateGenes(genome, 200, 99);
+    runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 99));
+    return runner;
+  }
+
+  void CheckQuery(const char* query) {
+    EngineCase c = GetParam();
+    EngineOptions options;
+    options.backend = c.backend;
+    options.threads = c.threads;
+    options.bin_size = c.bin_size;
+    ParallelExecutor parallel(options);
+    QueryRunner ref_runner = MakeRunner(nullptr);
+    QueryRunner par_runner = MakeRunner(&parallel);
+    auto ref = ref_runner.Run(query).ValueOrDie();
+    auto par = par_runner.Run(query).ValueOrDie();
+    ASSERT_EQ(ref.size(), par.size());
+    for (const auto& [name, ds] : ref) {
+      ExpectDatasetsEqual(ds, par.at(name));
+    }
+  }
+};
+
+TEST_P(EngineEquivalenceTest, SelectMatchesReference) {
+  CheckQuery(
+      "X = SELECT(dataType == 'ChipSeq'; region: signal >= 8 AND chr == "
+      "'chr2') ENCODE;\nMATERIALIZE X;\n");
+}
+
+TEST_P(EngineEquivalenceTest, MapMatchesReference) {
+  CheckQuery(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "R = MAP(n AS COUNT, s AS SUM(signal), m AS MAX(p_value)) PROMS ENCODE;\n"
+      "MATERIALIZE R;\n");
+}
+
+TEST_P(EngineEquivalenceTest, JoinDistanceMatchesReference) {
+  CheckQuery(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "J = JOIN(DLE(50000) AND DGE(1); CAT) PROMS ENCODE;\n"
+      "MATERIALIZE J;\n");
+}
+
+TEST_P(EngineEquivalenceTest, JoinMdMatchesReference) {
+  CheckQuery(
+      "GENES = SELECT(annType == 'gene') ANNOTATIONS;\n"
+      "J = JOIN(MD(2) AND DLE(1000000); INT) GENES ENCODE;\n"
+      "MATERIALIZE J;\n");
+}
+
+TEST_P(EngineEquivalenceTest, DifferenceMatchesReference) {
+  CheckQuery(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "D = DIFFERENCE() PROMS ENCODE;\n"
+      "MATERIALIZE D;\n");
+}
+
+TEST_P(EngineEquivalenceTest, CoverMatchesReference) {
+  CheckQuery(
+      "P = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "C = COVER(2, ANY; n AS COUNT, avg AS AVG(signal)) P;\n"
+      "MATERIALIZE C;\n");
+}
+
+TEST_P(EngineEquivalenceTest, HistogramAllMatchesReference) {
+  CheckQuery(
+      "P = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "H = HISTOGRAM(1, ALL) P;\n"
+      "MATERIALIZE H;\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EngineEquivalenceTest,
+    ::testing::Values(
+        EngineCase{BackendKind::kPipelined, 4, 5000000},
+        EngineCase{BackendKind::kMaterialized, 4, 5000000},
+        EngineCase{BackendKind::kPipelined, 1, 5000000},
+        EngineCase{BackendKind::kPipelined, 8, 500000},   // many partitions
+        EngineCase{BackendKind::kMaterialized, 2, 1000000}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return std::string(BackendKindName(info.param.backend)) + "_t" +
+             std::to_string(info.param.threads) + "_b" +
+             std::to_string(info.param.bin_size);
+    });
+
+TEST(EngineTraceTest, MaterializedCountsShuffleBytes) {
+  EngineOptions options;
+  options.backend = BackendKind::kMaterialized;
+  options.threads = 2;
+  ParallelExecutor executor(options);
+  QueryRunner runner(&executor);
+  auto genome = gdm::GenomeAssembly::HumanLike(3, 10000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 2;
+  popt.peaks_per_sample = 300;
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, 5));
+  auto catalog = sim::GenerateGenes(genome, 100, 5);
+  runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 5));
+  auto r = runner.Run(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "R = MAP() PROMS ENCODE;\nMATERIALIZE R;\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(executor.trace().shuffle_bytes.load(), 0u);
+  EXPECT_GT(executor.trace().stage_barriers.load(), 0u);
+  EXPECT_GT(executor.trace().tasks.load(), 0u);
+}
+
+TEST(EngineTraceTest, PipelinedMovesNoShuffleBytes) {
+  EngineOptions options;
+  options.backend = BackendKind::kPipelined;
+  options.threads = 2;
+  ParallelExecutor executor(options);
+  QueryRunner runner(&executor);
+  auto genome = gdm::GenomeAssembly::HumanLike(3, 10000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 2;
+  popt.peaks_per_sample = 300;
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, 5));
+  auto catalog = sim::GenerateGenes(genome, 100, 5);
+  runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 5));
+  auto r = runner.Run(
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "R = MAP() PROMS ENCODE;\nMATERIALIZE R;\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(executor.trace().shuffle_bytes.load(), 0u);
+  EXPECT_EQ(executor.trace().stage_barriers.load(), 0u);
+}
+
+TEST(EngineTest, JoinWithoutUpperBoundRejected) {
+  ParallelExecutor executor;
+  QueryRunner runner(&executor);
+  gdm::RegionSchema schema;
+  runner.RegisterDataset(gdm::Dataset("A", schema));
+  runner.RegisterDataset(gdm::Dataset("B", schema));
+  auto r = runner.Run("X = JOIN(DGE(5); LEFT) A B;");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace gdms::engine

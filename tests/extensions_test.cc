@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "analysis/enrichment.h"
+#include "common/rng.h"
+#include "core/operators.h"
+#include "core/runner.h"
+#include "io/track_render.h"
+#include "sim/generators.h"
+
+namespace gdms {
+namespace {
+
+using core::Operators;
+using core::SemijoinParams;
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+Dataset TwoSampleDataset(const char* name) {
+  RegionSchema schema;
+  Dataset ds(name, schema);
+  Sample s1(1);
+  s1.metadata.Add("cell", "K562");
+  s1.metadata.Add("antibody", "CTCF");
+  s1.regions = {{InternChrom("chr1"), 10, 20, Strand::kNone, {}}};
+  Sample s2(2);
+  s2.metadata.Add("cell", "HeLa");
+  s2.metadata.Add("antibody", "CTCF");
+  s2.regions = {{InternChrom("chr1"), 30, 40, Strand::kNone, {}}};
+  ds.AddSample(std::move(s1));
+  ds.AddSample(std::move(s2));
+  return ds;
+}
+
+// ------------------------------------------------------------- semijoin ---
+
+TEST(SemijoinTest, KeepsMatchingSamples) {
+  Dataset left = TwoSampleDataset("L");
+  Dataset right("R", RegionSchema{});
+  Sample r1(1);
+  r1.metadata.Add("cell", "K562");
+  right.AddSample(std::move(r1));
+  SemijoinParams params;
+  params.attrs = {"cell"};
+  Dataset out = Operators::Semijoin(params, left, right).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).id, 1u);
+  // Regions and metadata pass through untouched.
+  EXPECT_EQ(out.sample(0).regions.size(), 1u);
+  EXPECT_TRUE(out.sample(0).metadata.HasPair("antibody", "CTCF"));
+}
+
+TEST(SemijoinTest, NegatedKeepsNonMatching) {
+  Dataset left = TwoSampleDataset("L");
+  Dataset right("R", RegionSchema{});
+  Sample r1(1);
+  r1.metadata.Add("cell", "K562");
+  right.AddSample(std::move(r1));
+  SemijoinParams params;
+  params.attrs = {"cell"};
+  params.negated = true;
+  Dataset out = Operators::Semijoin(params, left, right).ValueOrDie();
+  ASSERT_EQ(out.num_samples(), 1u);
+  EXPECT_EQ(out.sample(0).id, 2u);
+}
+
+TEST(SemijoinTest, AllAttrsMustMatch) {
+  Dataset left = TwoSampleDataset("L");
+  Dataset right("R", RegionSchema{});
+  Sample r1(1);
+  r1.metadata.Add("cell", "K562");
+  r1.metadata.Add("antibody", "POLR2A");  // antibody differs
+  right.AddSample(std::move(r1));
+  SemijoinParams params;
+  params.attrs = {"cell", "antibody"};
+  Dataset out = Operators::Semijoin(params, left, right).ValueOrDie();
+  EXPECT_EQ(out.num_samples(), 0u);
+}
+
+TEST(SemijoinTest, RequiresAttributes) {
+  Dataset left = TwoSampleDataset("L");
+  Dataset right = TwoSampleDataset("R");
+  EXPECT_FALSE(Operators::Semijoin(SemijoinParams{}, left, right).ok());
+}
+
+TEST(SemijoinTest, ParsesAndRunsEndToEnd) {
+  core::QueryRunner runner;
+  runner.RegisterDataset(TwoSampleDataset("A"));
+  Dataset pilot("PILOT", RegionSchema{});
+  Sample p(1);
+  p.metadata.Add("cell", "HeLa");
+  pilot.AddSample(std::move(p));
+  runner.RegisterDataset(std::move(pilot));
+  auto results =
+      runner.Run("X = SEMIJOIN(cell) A PILOT;\nMATERIALIZE X;\n").ValueOrDie();
+  ASSERT_EQ(results.at("X").num_samples(), 1u);
+  EXPECT_EQ(results.at("X").sample(0).id, 2u);
+  auto negated =
+      runner.Run("X = SEMIJOIN(cell; NOT) A PILOT;\nMATERIALIZE X;\n")
+          .ValueOrDie();
+  ASSERT_EQ(negated.at("X").num_samples(), 1u);
+  EXPECT_EQ(negated.at("X").sample(0).id, 1u);
+}
+
+// ----------------------------------------------------------- enrichment ---
+
+TEST(BinomialTailTest, KnownValues) {
+  using analysis::BinomialUpperTail;
+  // P(X >= 0) = 1 always.
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(0, 10, 0.3), 1.0);
+  // P(X >= 1) = 1 - (1-p)^n.
+  EXPECT_NEAR(BinomialUpperTail(1, 10, 0.3), 1.0 - std::pow(0.7, 10), 1e-12);
+  // P(X >= n) = p^n.
+  EXPECT_NEAR(BinomialUpperTail(10, 10, 0.3), std::pow(0.3, 10), 1e-15);
+  // Symmetric fair coin: P(X >= 6 of 10) known = 0.376953125.
+  EXPECT_NEAR(BinomialUpperTail(6, 10, 0.5), 0.376953125, 1e-12);
+  // Degenerate probabilities.
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(3, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(11, 10, 0.5), 0.0);
+}
+
+TEST(BinomialTailTest, LargeNStable) {
+  double p = analysis::BinomialUpperTail(600, 100000, 0.005);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-3);  // 600 observed vs 500 expected is significant
+}
+
+TEST(EnrichmentTest, DetectsPlantedOverlap) {
+  // Annotation covers 1% of a 10 Mb genome; query regions placed INSIDE it.
+  std::vector<GenomicRegion> annotation;
+  for (int i = 0; i < 10; ++i) {
+    annotation.emplace_back(InternChrom("chr1"), i * 1000000, i * 1000000 + 10000);
+  }
+  std::vector<GenomicRegion> query;
+  for (int i = 0; i < 50; ++i) {
+    query.emplace_back(InternChrom("chr1"), (i % 10) * 1000000 + 100 + i,
+                       (i % 10) * 1000000 + 200 + i);
+  }
+  gdm::SortRegions(&query);
+  auto result =
+      analysis::BinomialEnrichment(query, annotation, 10000000).ValueOrDie();
+  EXPECT_EQ(result.hits, 50u);
+  EXPECT_NEAR(result.coverage_fraction, 0.01, 1e-9);
+  EXPECT_GT(result.fold_enrichment, 50.0);
+  EXPECT_LT(result.p_value, 1e-20);
+  EXPECT_GT(result.log10_p, 20.0);
+}
+
+TEST(EnrichmentTest, NegativeControlNotSignificant) {
+  // Random-ish uniform query vs 10% annotation: hits near expectation.
+  Rng rng(5);
+  std::vector<GenomicRegion> annotation;
+  for (int i = 0; i < 10; ++i) {
+    annotation.emplace_back(InternChrom("chr1"), i * 1000000,
+                            i * 1000000 + 100000);
+  }
+  std::vector<GenomicRegion> query;
+  for (int i = 0; i < 300; ++i) {
+    int64_t pos = rng.Uniform(0, 9999000);
+    query.emplace_back(InternChrom("chr1"), pos, pos + 100);
+  }
+  gdm::SortRegions(&query);
+  auto result =
+      analysis::BinomialEnrichment(query, annotation, 10000000).ValueOrDie();
+  EXPECT_NEAR(result.fold_enrichment, 1.0, 0.35);
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(EnrichmentTest, OverlappingAnnotationFlattened) {
+  std::vector<GenomicRegion> annotation = {
+      {InternChrom("chr1"), 0, 1000, Strand::kNone, {}},
+      {InternChrom("chr1"), 500, 1500, Strand::kNone, {}}};
+  std::vector<GenomicRegion> query = {
+      {InternChrom("chr1"), 100, 200, Strand::kNone, {}}};
+  auto result =
+      analysis::BinomialEnrichment(query, annotation, 15000).ValueOrDie();
+  EXPECT_NEAR(result.coverage_fraction, 1500.0 / 15000.0, 1e-12);
+}
+
+TEST(EnrichmentTest, RejectsBadGenomeSize) {
+  EXPECT_FALSE(analysis::BinomialEnrichment({}, {}, 0).ok());
+}
+
+// ---------------------------------------------------------- track render --
+
+TEST(TrackRenderTest, RendersRegionsInWindow) {
+  std::vector<GenomicRegion> regions = {
+      {InternChrom("chr1"), 100, 200, Strand::kNone, {}},
+      {InternChrom("chr1"), 150, 300, Strand::kNone, {}},
+      {InternChrom("chr2"), 100, 200, Strand::kNone, {}},  // other chrom
+  };
+  io::TrackWindow window{InternChrom("chr1"), 0, 400, 40};
+  io::TrackRenderer renderer(window);
+  renderer.AddTrack("peaks", regions);
+  std::string out = renderer.Render().ValueOrDie();
+  EXPECT_NE(out.find("chr1:0-400"), std::string::npos);
+  EXPECT_NE(out.find("peaks"), std::string::npos);
+  EXPECT_NE(out.find("="), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);  // depth-2 columns
+}
+
+TEST(TrackRenderTest, StrandGlyphs) {
+  std::vector<GenomicRegion> regions = {
+      {InternChrom("chr1"), 0, 100, Strand::kPlus, {}},
+      {InternChrom("chr1"), 200, 300, Strand::kMinus, {}}};
+  io::TrackWindow window{InternChrom("chr1"), 0, 400, 40};
+  io::TrackRenderer renderer(window);
+  renderer.AddTrack("genes", regions);
+  std::string out = renderer.Render().ValueOrDie();
+  EXPECT_NE(out.find(">"), std::string::npos);
+  EXPECT_NE(out.find("<"), std::string::npos);
+}
+
+TEST(TrackRenderTest, EmptyWindowRejected) {
+  io::TrackRenderer renderer({InternChrom("chr1"), 100, 100, 40});
+  EXPECT_FALSE(renderer.Render().ok());
+  io::TrackRenderer zero_width({InternChrom("chr1"), 0, 100, 0});
+  EXPECT_FALSE(zero_width.Render().ok());
+}
+
+TEST(TrackRenderTest, RegionsOutsideWindowIgnored) {
+  std::vector<GenomicRegion> regions = {
+      {InternChrom("chr1"), 1000, 2000, Strand::kNone, {}}};
+  io::TrackWindow window{InternChrom("chr1"), 0, 400, 40};
+  io::TrackRenderer renderer(window);
+  renderer.AddTrack("t", regions);
+  std::string out = renderer.Render().ValueOrDie();
+  // Row is all dots.
+  EXPECT_EQ(out.find('='), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdms

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "gdm/dataset.h"
+#include "gdm/metadata.h"
+#include "gdm/region.h"
+#include "gdm/schema.h"
+#include "gdm/value.h"
+
+namespace gdms::gdm {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), AttrType::kNull);
+  EXPECT_EQ(v.ToString(), ".");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+}
+
+TEST(ValueTest, NumericConversion) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).ToNumeric().ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric().ValueOrDie(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumeric().ValueOrDie(), 1.0);
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+  EXPECT_FALSE(Value().ToNumeric().ok());
+}
+
+TEST(ValueTest, ParseRoundTrip) {
+  EXPECT_EQ(Value::Parse("42", AttrType::kInt).ValueOrDie().AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Parse("0.25", AttrType::kDouble).ValueOrDie().AsDouble(),
+                   0.25);
+  EXPECT_EQ(Value::Parse("hi", AttrType::kString).ValueOrDie().AsString(), "hi");
+  EXPECT_TRUE(Value::Parse("true", AttrType::kBool).ValueOrDie().AsBool());
+  EXPECT_TRUE(Value::Parse(".", AttrType::kInt).ValueOrDie().is_null());
+  EXPECT_FALSE(Value::Parse("zz", AttrType::kInt).ok());
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, NullsSortFirstAndEqual) {
+  EXPECT_EQ(Value().Compare(Value()), 0);
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_GT(Value("a").Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+}
+
+TEST(AttrTypeTest, ParseNames) {
+  EXPECT_EQ(ParseAttrType("INT").ValueOrDie(), AttrType::kInt);
+  EXPECT_EQ(ParseAttrType("double").ValueOrDie(), AttrType::kDouble);
+  EXPECT_EQ(ParseAttrType("String").ValueOrDie(), AttrType::kString);
+  EXPECT_EQ(ParseAttrType("BOOLEAN").ValueOrDie(), AttrType::kBool);
+  EXPECT_FALSE(ParseAttrType("blob").ok());
+}
+
+TEST(SchemaTest, FixedAttributesAreFive) {
+  EXPECT_EQ(RegionSchema::FixedAttributeNames().size(), 5u);
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  RegionSchema s;
+  ASSERT_TRUE(s.AddAttr("p_value", AttrType::kDouble).ok());
+  EXPECT_TRUE(s.Contains("p_value"));
+  EXPECT_EQ(*s.IndexOf("p_value"), 0u);
+  EXPECT_FALSE(s.IndexOf("other").has_value());
+  EXPECT_FALSE(s.AddAttr("p_value", AttrType::kInt).ok());  // duplicate
+  EXPECT_FALSE(s.AddAttr("chr", AttrType::kString).ok());   // reserved
+}
+
+TEST(SchemaTest, MergeSharesSameTypedAttrs) {
+  RegionSchema a;
+  ASSERT_TRUE(a.AddAttr("score", AttrType::kDouble).ok());
+  RegionSchema b;
+  ASSERT_TRUE(b.AddAttr("score", AttrType::kDouble).ok());
+  ASSERT_TRUE(b.AddAttr("extra", AttrType::kString).ok());
+  RegionSchema m = RegionSchema::Merge(a, b);
+  EXPECT_EQ(m.size(), 2u);  // score shared, extra appended
+  EXPECT_TRUE(m.Contains("extra"));
+}
+
+TEST(SchemaTest, MergeRenamesTypeConflicts) {
+  RegionSchema a;
+  ASSERT_TRUE(a.AddAttr("score", AttrType::kDouble).ok());
+  RegionSchema b;
+  ASSERT_TRUE(b.AddAttr("score", AttrType::kString).ok());
+  RegionSchema m = RegionSchema::Merge(a, b);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.Contains("right_score"));
+}
+
+TEST(SchemaTest, ConcatAlwaysAppends) {
+  RegionSchema a;
+  ASSERT_TRUE(a.AddAttr("x", AttrType::kDouble).ok());
+  RegionSchema b;
+  ASSERT_TRUE(b.AddAttr("x", AttrType::kDouble).ok());
+  RegionSchema c = RegionSchema::Concat(a, b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.Contains("right_x"));
+}
+
+TEST(RegionTest, ChromInterning) {
+  int32_t a = InternChrom("chrTestA");
+  int32_t b = InternChrom("chrTestB");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(InternChrom("chrTestA"), a);
+  EXPECT_EQ(ChromName(a), "chrTestA");
+}
+
+TEST(RegionTest, OverlapHalfOpen) {
+  int32_t c = InternChrom("chr1");
+  GenomicRegion a(c, 100, 200);
+  GenomicRegion b(c, 200, 300);
+  EXPECT_FALSE(a.Overlaps(b));  // touching, half-open
+  GenomicRegion d(c, 199, 300);
+  EXPECT_TRUE(a.Overlaps(d));
+  GenomicRegion e(InternChrom("chr2"), 100, 200);
+  EXPECT_FALSE(a.Overlaps(e));
+}
+
+TEST(RegionTest, GenometricDistance) {
+  int32_t c = InternChrom("chr1");
+  GenomicRegion a(c, 100, 200);
+  EXPECT_EQ(a.DistanceTo(GenomicRegion(c, 300, 400)), 100);
+  EXPECT_EQ(a.DistanceTo(GenomicRegion(c, 200, 400)), 0);   // adjacent
+  EXPECT_EQ(a.DistanceTo(GenomicRegion(c, 150, 400)), -50); // overlap
+  EXPECT_EQ(a.DistanceTo(GenomicRegion(c, 0, 40)), 60);
+  GenomicRegion other(InternChrom("chr2"), 100, 200);
+  EXPECT_EQ(a.DistanceTo(other), INT64_MAX);
+  // Symmetry.
+  GenomicRegion b(c, 300, 400);
+  EXPECT_EQ(a.DistanceTo(b), b.DistanceTo(a));
+}
+
+TEST(RegionTest, SortAndSortedCheck) {
+  int32_t c1 = InternChrom("chr1");
+  int32_t c2 = InternChrom("chr2");
+  std::vector<GenomicRegion> rs = {
+      {c2, 10, 20}, {c1, 50, 60}, {c1, 5, 100}, {c1, 5, 20}};
+  EXPECT_FALSE(RegionsSorted(rs));
+  SortRegions(&rs);
+  EXPECT_TRUE(RegionsSorted(rs));
+  EXPECT_EQ(rs[0].left, 5);
+  EXPECT_EQ(rs[0].right, 20);  // shorter first on ties
+}
+
+TEST(RegionTest, StrandChars) {
+  EXPECT_EQ(StrandChar(Strand::kPlus), '+');
+  EXPECT_EQ(StrandFromChar('-'), Strand::kMinus);
+  EXPECT_EQ(StrandFromChar('?'), Strand::kNone);
+}
+
+TEST(GenomeAssemblyTest, HumanLikeShape) {
+  GenomeAssembly g = GenomeAssembly::HumanLike(22, 240000000);
+  EXPECT_EQ(g.num_chromosomes(), 22u);
+  EXPECT_GT(g.chrom_length(0), g.chrom_length(21));
+  EXPECT_GT(g.TotalLength(), 0);
+  EXPECT_EQ(g.LengthOf(g.chrom_id(3)), g.chrom_length(3));
+  EXPECT_EQ(g.LengthOf(-999), 0);
+}
+
+TEST(MetadataTest, AddLookupMultivalue) {
+  Metadata m;
+  m.Add("antibody", "CTCF");
+  m.Add("antibody", "POLR2A");
+  m.Add("antibody", "CTCF");  // duplicate ignored
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.Has("antibody"));
+  EXPECT_TRUE(m.HasPair("antibody", "CTCF"));
+  EXPECT_FALSE(m.HasPair("antibody", "EP300"));
+  auto vals = m.ValuesOf("antibody");
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_EQ(vals[0], "CTCF");
+}
+
+TEST(MetadataTest, UnionMergesSorted) {
+  Metadata a;
+  a.Add("cell", "K562");
+  Metadata b;
+  b.Add("cell", "K562");
+  b.Add("sex", "female");
+  Metadata u = Metadata::Union(a, b);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_TRUE(u.HasPair("sex", "female"));
+}
+
+TEST(MetadataTest, PrefixAndRemove) {
+  Metadata m;
+  m.Add("cell", "K562");
+  Metadata p = m.WithPrefix("left.");
+  EXPECT_TRUE(p.HasPair("left.cell", "K562"));
+  m.Add("cell", "HeLa");
+  m.RemoveAttr("cell");
+  EXPECT_FALSE(m.Has("cell"));
+}
+
+TEST(MetadataTest, AttributeNamesDistinct) {
+  Metadata m;
+  m.Add("a", "1");
+  m.Add("a", "2");
+  m.Add("b", "3");
+  auto names = m.AttributeNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+}
+
+Dataset Fig2Dataset() {
+  // The PEAKS dataset of Figure 2: two samples, P_VALUE variable attribute.
+  RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("p_value", AttrType::kDouble).ok());
+  Dataset ds("PEAKS", schema);
+  int32_t c1 = InternChrom("chr1");
+  int32_t c2 = InternChrom("chr2");
+  Sample s1(1);
+  s1.metadata.Add("antibody_target", "CTCF");
+  s1.metadata.Add("karyotype", "cancer");
+  s1.regions = {{c1, 100, 300, Strand::kPlus, {Value(1e-5)}},
+                {c1, 500, 800, Strand::kMinus, {Value(2e-4)}},
+                {c2, 100, 250, Strand::kPlus, {Value(3e-6)}}};
+  Sample s2(2);
+  s2.metadata.Add("sex", "female");
+  s2.regions = {{c1, 150, 350, Strand::kNone, {Value(5e-3)}},
+                {c2, 300, 500, Strand::kNone, {Value(1e-2)}}};
+  s1.SortNow();
+  s2.SortNow();
+  ds.AddSample(std::move(s1));
+  ds.AddSample(std::move(s2));
+  return ds;
+}
+
+TEST(DatasetTest, Fig2Validates) {
+  Dataset ds = Fig2Dataset();
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.num_samples(), 2u);
+  EXPECT_EQ(ds.TotalRegions(), 5u);
+  EXPECT_EQ(ds.TotalMetadata(), 3u);
+  EXPECT_NE(ds.FindSample(1), nullptr);
+  EXPECT_EQ(ds.FindSample(99), nullptr);
+}
+
+TEST(DatasetTest, ValidateRejectsDuplicateIds) {
+  Dataset ds = Fig2Dataset();
+  ds.mutable_sample(1)->id = 1;
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsArityMismatch) {
+  Dataset ds = Fig2Dataset();
+  ds.mutable_sample(0)->regions[0].values.clear();
+  auto st = ds.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kSchemaMismatch);
+}
+
+TEST(DatasetTest, ValidateRejectsTypeMismatch) {
+  Dataset ds = Fig2Dataset();
+  ds.mutable_sample(0)->regions[0].values[0] = Value("oops");
+  auto st = ds.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST(DatasetTest, ValidateAcceptsNulls) {
+  Dataset ds = Fig2Dataset();
+  ds.mutable_sample(0)->regions[0].values[0] = Value::Null();
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsInvertedCoords) {
+  Dataset ds = Fig2Dataset();
+  ds.mutable_sample(0)->regions[0].left = 1000;
+  ds.mutable_sample(0)->regions[0].right = 10;
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, EstimateBytesPositive) {
+  Dataset ds = Fig2Dataset();
+  EXPECT_GT(ds.EstimateBytes(), 100u);
+}
+
+TEST(DatasetTest, DescribeMentionsSchemaAndMeta) {
+  Dataset ds = Fig2Dataset();
+  std::string d = ds.Describe();
+  EXPECT_NE(d.find("p_value:DOUBLE"), std::string::npos);
+  EXPECT_NE(d.find("karyotype"), std::string::npos);
+}
+
+TEST(DeriveSampleIdTest, DeterministicAndTagged) {
+  SampleId a = DeriveSampleId("MAP", {1, 2});
+  EXPECT_EQ(a, DeriveSampleId("MAP", {1, 2}));
+  EXPECT_NE(a, DeriveSampleId("MAP", {2, 1}));
+  EXPECT_NE(a, DeriveSampleId("JOIN", {1, 2}));
+  EXPECT_NE(a & (1ULL << 63), 0u);  // derived-id bit set
+}
+
+}  // namespace
+}  // namespace gdms::gdm

@@ -1,0 +1,204 @@
+// End-to-end integration: synthetic workloads -> GMQL across every operator
+// -> serialization -> federation -> search -> analysis, with cross-layer
+// consistency assertions. This is the "downstream user" scenario: one test
+// driving the whole public API the way the examples do, with checks.
+
+#include <gtest/gtest.h>
+
+#include "analysis/enrichment.h"
+#include "analysis/genome_space.h"
+#include "analysis/network.h"
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+#include "io/gdm_format.h"
+#include "repo/federation.h"
+#include "search/internet_of_genomes.h"
+#include "search/metadata_index.h"
+#include "sim/generators.h"
+
+namespace gdms {
+namespace {
+
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    genome_ = GenomeAssembly::HumanLike(6, 40000000);
+    sim::PeakDatasetOptions popt;
+    popt.num_samples = 6;
+    popt.peaks_per_sample = 1200;
+    encode_ = sim::GeneratePeakDataset(genome_, popt, 99);
+    catalog_ = sim::GenerateGenes(genome_, 400, 99);
+    annotations_ = sim::GenerateAnnotations(genome_, catalog_, {}, 99);
+  }
+
+  GenomeAssembly genome_;
+  Dataset encode_;
+  sim::GeneCatalog catalog_;
+  Dataset annotations_;
+};
+
+TEST_F(IntegrationTest, EveryOperatorInOnePipeline) {
+  core::QueryRunner runner;
+  runner.RegisterDataset(encode_);
+  runner.RegisterDataset(annotations_);
+  auto results = runner.Run(
+      // All unary operators.
+      "PEAKS = SELECT(dataType == 'ChipSeq'; region: signal >= 2) ENCODE;\n"
+      "SLIM = PROJECT(signal, p_value; reg_len AS right - left; meta: "
+      "antibody, cell) PEAKS;\n"
+      "RICH = EXTEND(n AS COUNT, top AS MAX(signal)) SLIM;\n"
+      "RANKED = ORDER(top DESC; TOP 4; region: signal DESC TOP 200) RICH;\n"
+      "BYCELL = GROUP(cell; total AS SUM(signal)) RANKED;\n"
+      "ONE = MERGE() BYCELL;\n"
+      // Binary operators.
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "GENES = SELECT(annType == 'gene') ANNOTATIONS;\n"
+      "BOTH = UNION() PROMS GENES;\n"
+      "CLEAN = DIFFERENCE() PROMS ONE;\n"
+      "NEAR = JOIN(DLE(10000) AND MD(2); CAT) PROMS ONE;\n"
+      "COUNTS = MAP(n AS COUNT, avg AS AVG(signal)) PROMS RANKED;\n"
+      "CONS = HISTOGRAM(1, ALL) RANKED;\n"
+      "MATERIALIZE ONE; MATERIALIZE BOTH; MATERIALIZE CLEAN;\n"
+      "MATERIALIZE NEAR; MATERIALIZE COUNTS; MATERIALIZE CONS;\n");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (const auto& [name, ds] : results.value()) {
+    EXPECT_TRUE(ds.Validate().ok()) << name;
+  }
+  const auto& r = results.value();
+  EXPECT_EQ(r.at("ONE").num_samples(), 1u);
+  EXPECT_EQ(r.at("BOTH").num_samples(), 2u);
+  // RANKED kept 4 samples of <= 200 regions each.
+  EXPECT_LE(r.at("COUNTS").num_samples(), 4u);
+  // CLEAN (promoters minus merged peaks) has fewer regions than PROMS.
+  EXPECT_LT(r.at("CLEAN").TotalRegions(), catalog_.genes.size());
+  EXPECT_GT(r.at("CONS").TotalRegions(), 0u);
+}
+
+TEST_F(IntegrationTest, ParallelAndSequentialAgreeOnThePipeline) {
+  const char* query =
+      "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "COUNTS = MAP(n AS COUNT) PROMS PEAKS;\n"
+      "CONS = COVER(2, ANY) PEAKS;\n"
+      "MATERIALIZE COUNTS; MATERIALIZE CONS;\n";
+  core::QueryRunner seq;
+  seq.RegisterDataset(encode_);
+  seq.RegisterDataset(annotations_);
+  auto a = seq.Run(query).ValueOrDie();
+  engine::EngineOptions options;
+  options.threads = 4;
+  engine::ParallelExecutor executor(options);
+  core::QueryRunner par(&executor);
+  par.RegisterDataset(encode_);
+  par.RegisterDataset(annotations_);
+  auto b = par.Run(query).ValueOrDie();
+  for (const auto& [name, ds] : a) {
+    EXPECT_EQ(b.at(name).TotalRegions(), ds.TotalRegions()) << name;
+    EXPECT_EQ(b.at(name).num_samples(), ds.num_samples()) << name;
+  }
+}
+
+TEST_F(IntegrationTest, FederationServesTheSameAnswerAsLocal) {
+  const char* query =
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "COUNTS = MAP(n AS COUNT) PROMS ENCODE;\n"
+      "MATERIALIZE COUNTS;\n";
+  core::QueryRunner local;
+  local.RegisterDataset(encode_);
+  local.RegisterDataset(annotations_);
+  Dataset local_result = local.Run(query).ValueOrDie().at("COUNTS");
+
+  repo::FederatedNode node("node");
+  node.catalog()->Put(encode_);
+  node.catalog()->Put(annotations_);
+  node.set_chunk_bytes(4096);  // many FETCH round trips
+  repo::Coordinator coordinator;
+  coordinator.AddNode(&node);
+  Dataset remote_result =
+      coordinator.RunRemote("node", query).ValueOrDie().at("COUNTS");
+
+  ASSERT_EQ(remote_result.num_samples(), local_result.num_samples());
+  EXPECT_EQ(remote_result.TotalRegions(), local_result.TotalRegions());
+  // Spot-check a value survived serialization + staging + reassembly.
+  size_t n_idx = *local_result.schema().IndexOf("n");
+  const auto& ls = local_result.sample(0);
+  const auto* rs = remote_result.FindSample(ls.id);
+  ASSERT_NE(rs, nullptr);
+  for (size_t i = 0; i < ls.regions.size(); i += 37) {
+    EXPECT_EQ(rs->regions[i].values[n_idx].AsInt(),
+              ls.regions[i].values[n_idx].AsInt());
+  }
+}
+
+TEST_F(IntegrationTest, SearchFindsWhatTheQueryUsed) {
+  search::MetadataIndex index;
+  index.AddDataset(encode_);
+  // Every sample selected by the GMQL metadata predicate is findable.
+  core::QueryRunner runner;
+  runner.RegisterDataset(encode_);
+  Dataset ctcf =
+      runner.Run("X = SELECT(antibody == 'CTCF') ENCODE;\nMATERIALIZE X;\n")
+          .ValueOrDie()
+          .at("X");
+  auto hits = index.Search("CTCF", 100);
+  std::set<gdm::SampleId> found;
+  for (const auto& h : hits) found.insert(h.ref.sample);
+  for (const auto& s : ctcf.samples()) {
+    EXPECT_TRUE(found.count(s.id)) << s.id;
+  }
+}
+
+TEST_F(IntegrationTest, GenomeSpaceNetworkAndEnrichmentFromOneMap) {
+  core::QueryRunner runner;
+  runner.RegisterDataset(encode_);
+  runner.RegisterDataset(annotations_);
+  Dataset mapped = runner
+                       .Run("GENES = SELECT(annType == 'gene') ANNOTATIONS;\n"
+                            "GS = MAP(n AS COUNT) GENES ENCODE;\n"
+                            "MATERIALIZE GS;\n")
+                       .ValueOrDie()
+                       .at("GS");
+  auto space = analysis::GenomeSpace::FromMapResult(mapped, "n").ValueOrDie();
+  EXPECT_EQ(space.num_experiments(), encode_.num_samples());
+  auto net = analysis::GeneNetwork::FromGenomeSpace(
+      space, analysis::SimilarityKind::kJaccard, 0.5);
+  auto stats = net.Stats();
+  EXPECT_EQ(stats.nodes, space.num_regions());
+  // Enrichment of peaks in genes is a meaningful, finite statistic.
+  auto enrichment = analysis::BinomialEnrichment(
+                        encode_.sample(0).regions,
+                        annotations_.sample(0).regions, genome_.TotalLength())
+                        .ValueOrDie();
+  EXPECT_GT(enrichment.coverage_fraction, 0.0);
+  EXPECT_LE(enrichment.p_value, 1.0);
+  EXPECT_GE(enrichment.p_value, 0.0);
+}
+
+TEST_F(IntegrationTest, InternetOfGenomesServesQueryableDatasets) {
+  search::iog::Host host("lab.example.org");
+  gdm::Metadata meta;
+  meta.Add("dataType", "ChipSeq");
+  meta.Add("cell", "K562");
+  std::string url = host.Publish(encode_, meta);
+  search::iog::SearchService service;
+  service.AddHost(&host);
+  ASSERT_TRUE(service.Crawl().ok());
+  auto snippets = service.Search("ChipSeq");
+  ASSERT_FALSE(snippets.empty());
+  uint64_t bytes = 0;
+  Dataset fetched = service.FetchDataset(url, &bytes).ValueOrDie();
+  EXPECT_GT(bytes, 0u);
+  // The fetched dataset is immediately queryable.
+  core::QueryRunner runner;
+  runner.RegisterDataset(std::move(fetched));
+  auto result = runner.Run(
+      "X = SELECT(antibody == 'CTCF') ENCODE;\nMATERIALIZE X;\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().at("X").num_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace gdms

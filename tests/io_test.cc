@@ -1,0 +1,306 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "gdm/dataset.h"
+#include "io/bed.h"
+#include "io/dataset_dir.h"
+#include "io/gdm_format.h"
+#include "io/gtf.h"
+#include "io/vcf.h"
+
+namespace gdms::io {
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::InternChrom;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+TEST(BedTest, ReadsBed3) {
+  std::istringstream in("chr1\t100\t200\nchr2\t0\t50\n");
+  Sample s = ReadBedSample(in, 7).ValueOrDie();
+  ASSERT_EQ(s.regions.size(), 2u);
+  EXPECT_EQ(s.id, 7u);
+  EXPECT_EQ(s.regions[0].chrom, InternChrom("chr1"));
+  EXPECT_EQ(s.regions[0].left, 100);
+  EXPECT_EQ(s.regions[0].right, 200);
+  EXPECT_TRUE(s.regions[0].values.empty());
+  EXPECT_TRUE(s.IsSorted());
+}
+
+TEST(BedTest, ReadsBed6WithStrandAndSkipsHeaders) {
+  std::istringstream in(
+      "# a comment\n"
+      "track name=test\n"
+      "browser position chr1\n"
+      "chr1\t10\t20\tpeak1\t3.5\t+\n"
+      "chr1\t30\t40\tpeak2\t4.5\t-\n");
+  Sample s = ReadBedSample(in, 1).ValueOrDie();
+  ASSERT_EQ(s.regions.size(), 2u);
+  EXPECT_EQ(s.regions[0].strand, Strand::kPlus);
+  EXPECT_EQ(s.regions[1].strand, Strand::kMinus);
+  EXPECT_EQ(s.regions[0].values[0].AsString(), "peak1");
+  EXPECT_DOUBLE_EQ(s.regions[0].values[1].AsDouble(), 3.5);
+}
+
+TEST(BedTest, RejectsMalformed) {
+  std::istringstream bad_cols("chr1\t100\n");
+  EXPECT_FALSE(ReadBedSample(bad_cols, 1).ok());
+  std::istringstream inconsistent("chr1\t1\t2\nchr1\t1\t2\tname\n");
+  EXPECT_FALSE(ReadBedSample(inconsistent, 1).ok());
+  std::istringstream inverted("chr1\t200\t100\n");
+  EXPECT_FALSE(ReadBedSample(inverted, 1).ok());
+}
+
+TEST(BedTest, SchemaForColumns) {
+  EXPECT_EQ(BedSchema(3).size(), 0u);
+  EXPECT_EQ(BedSchema(4).size(), 1u);
+  EXPECT_EQ(BedSchema(6).size(), 2u);
+  EXPECT_EQ(NarrowPeakSchema().size(), 6u);
+}
+
+TEST(BedTest, NarrowPeakRoundTrip) {
+  std::istringstream in(
+      "chr1\t100\t600\tpeak_a\t850\t.\t12.5\t5.2\t3.1\t250\n");
+  Sample s = ReadNarrowPeakSample(in, 3).ValueOrDie();
+  ASSERT_EQ(s.regions.size(), 1u);
+  const auto& r = s.regions[0];
+  ASSERT_EQ(r.values.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.values[2].AsDouble(), 12.5);  // signal_value
+  EXPECT_EQ(r.values[5].AsInt(), 250);             // peak
+}
+
+TEST(BedTest, BroadPeakRoundTrip) {
+  std::istringstream in("chr2\t50\t900\tbroad_a\t300\t+\t6.5\t4.2\t2.1\n");
+  Sample s = ReadBroadPeakSample(in, 4).ValueOrDie();
+  ASSERT_EQ(s.regions.size(), 1u);
+  EXPECT_EQ(s.regions[0].strand, Strand::kPlus);
+  ASSERT_EQ(s.regions[0].values.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.regions[0].values[2].AsDouble(), 6.5);
+  EXPECT_EQ(BroadPeakSchema().size(), 5u);
+  // 10-column input is rejected.
+  std::istringstream ten("chr2\t50\t900\ta\t300\t+\t6.5\t4.2\t2.1\t30\n");
+  EXPECT_FALSE(ReadBroadPeakSample(ten, 1).ok());
+}
+
+TEST(BedTest, NarrowPeakRejectsWrongColumnCount) {
+  std::istringstream in("chr1\t100\t600\tp\t850\t.\t12.5\t5.2\t3.1\n");
+  EXPECT_FALSE(ReadNarrowPeakSample(in, 1).ok());
+}
+
+TEST(BedTest, WriteBedRoundTrips) {
+  std::istringstream in("chr1\t10\t20\tx\t1.5\t+\n");
+  Sample s = ReadBedSample(in, 1).ValueOrDie();
+  std::ostringstream out;
+  WriteBedSample(s, BedSchema(6), out);
+  std::istringstream back(out.str());
+  Sample s2 = ReadBedSample(back, 1).ValueOrDie();
+  ASSERT_EQ(s2.regions.size(), 1u);
+  EXPECT_EQ(s2.regions[0].left, 10);
+  EXPECT_EQ(s2.regions[0].strand, Strand::kPlus);
+  EXPECT_EQ(s2.regions[0].values[0].AsString(), "x");
+}
+
+TEST(GtfTest, ReadsAndConvertsCoordinates) {
+  std::istringstream in(
+      "# header\n"
+      "chr1\thavana\tgene\t1\t1000\t.\t+\t.\tgene_id \"G1\"; gene_name \"FOO\";\n"
+      "chr1\thavana\texon\t51\t200\t0.5\t-\t0\tgene_id \"G1\";\n");
+  Sample s = ReadGtfSample(in, 1, {"gene_id", "gene_name"}).ValueOrDie();
+  ASSERT_EQ(s.regions.size(), 2u);
+  // 1-based closed [1,1000] -> 0-based half-open [0,1000).
+  EXPECT_EQ(s.regions[0].left, 0);
+  EXPECT_EQ(s.regions[0].right, 1000);
+  EXPECT_EQ(s.regions[0].values[4].AsString(), "G1");   // gene_id
+  EXPECT_EQ(s.regions[0].values[5].AsString(), "FOO");  // gene_name
+  // Missing attribute -> NULL.
+  EXPECT_TRUE(s.regions[1].values[5].is_null());
+  EXPECT_DOUBLE_EQ(s.regions[1].values[2].AsDouble(), 0.5);
+}
+
+TEST(GtfTest, SchemaLayout) {
+  auto schema = GtfSchema({"gene_id"});
+  EXPECT_EQ(schema.size(), 5u);
+  EXPECT_EQ(*schema.IndexOf("gene_id"), 4u);
+  EXPECT_EQ(schema.attr(2).type, AttrType::kDouble);  // score
+}
+
+TEST(GtfTest, RejectsBadCoordinates) {
+  std::istringstream in("chr1\tx\tgene\t0\t100\t.\t+\t.\t\n");
+  EXPECT_FALSE(ReadGtfSample(in, 1, {}).ok());
+}
+
+TEST(GtfTest, WriteRoundTrips) {
+  std::istringstream in(
+      "chr2\tsrc\tgene\t101\t300\t2.5\t-\t.\tgene_id \"G9\";\n");
+  Sample s = ReadGtfSample(in, 1, {"gene_id"}).ValueOrDie();
+  std::ostringstream out;
+  WriteGtfSample(s, GtfSchema({"gene_id"}), out);
+  std::istringstream back(out.str());
+  Sample s2 = ReadGtfSample(back, 1, {"gene_id"}).ValueOrDie();
+  ASSERT_EQ(s2.regions.size(), 1u);
+  EXPECT_EQ(s2.regions[0].left, 100);
+  EXPECT_EQ(s2.regions[0].right, 300);
+  EXPECT_EQ(s2.regions[0].values[4].AsString(), "G9");
+}
+
+TEST(VcfTest, ReadsSitesSkippingHeaders) {
+  std::istringstream in(
+      "##fileformat=VCFv4.2\n"
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
+      "chr1\t101\trs1\tA\tT\t50\tPASS\tDP=10\n"
+      "chr1\t201\t.\tACG\tA\t.\t.\t.\n");
+  Sample s = ReadVcfSample(in, 1).ValueOrDie();
+  ASSERT_EQ(s.regions.size(), 2u);
+  EXPECT_EQ(s.regions[0].left, 100);  // POS 101 -> 0-based 100
+  EXPECT_EQ(s.regions[0].right, 101); // SNV spans len(REF)=1
+  EXPECT_EQ(s.regions[1].right - s.regions[1].left, 3);  // deletion REF=ACG
+  EXPECT_EQ(s.regions[0].values[0].AsString(), "rs1");
+  EXPECT_TRUE(s.regions[1].values[0].is_null());
+  EXPECT_DOUBLE_EQ(s.regions[0].values[3].AsDouble(), 50.0);
+}
+
+TEST(VcfTest, RejectsBadPos) {
+  std::istringstream in("chr1\t0\t.\tA\tT\t.\t.\t.\n");
+  EXPECT_FALSE(ReadVcfSample(in, 1).ok());
+  std::istringstream narrow("chr1\t10\t.\tA\n");
+  EXPECT_FALSE(ReadVcfSample(narrow, 1).ok());
+}
+
+Dataset SmallDataset() {
+  RegionSchema schema;
+  EXPECT_TRUE(schema.AddAttr("p_value", AttrType::kDouble).ok());
+  EXPECT_TRUE(schema.AddAttr("label", AttrType::kString).ok());
+  Dataset ds("PEAKS", schema);
+  Sample s1(1);
+  s1.metadata.Add("antibody", "CTCF");
+  s1.metadata.Add("cell", "K562");
+  s1.regions.push_back({InternChrom("chr1"), 10, 20, Strand::kPlus,
+                        {Value(0.001), Value("a")}});
+  s1.regions.push_back({InternChrom("chr2"), 5, 30, Strand::kNone,
+                        {Value::Null(), Value("b")}});
+  Sample s2(2);
+  s2.metadata.Add("cell", "HeLa");
+  s2.regions.push_back({InternChrom("chr1"), 100, 200, Strand::kMinus,
+                        {Value(0.5), Value::Null()}});
+  ds.AddSample(std::move(s1));
+  ds.AddSample(std::move(s2));
+  return ds;
+}
+
+TEST(GdmFormatTest, RoundTripPreservesEverything) {
+  Dataset ds = SmallDataset();
+  std::string text = WriteGdmString(ds);
+  Dataset back = ReadGdmString(text).ValueOrDie();
+  EXPECT_EQ(back.name(), "PEAKS");
+  EXPECT_EQ(back.schema(), ds.schema());
+  ASSERT_EQ(back.num_samples(), 2u);
+  EXPECT_EQ(back.sample(0).id, 1u);
+  EXPECT_EQ(back.sample(0).metadata, ds.sample(0).metadata);
+  ASSERT_EQ(back.sample(0).regions.size(), 2u);
+  EXPECT_EQ(back.sample(0).regions[0].left, ds.sample(0).regions[0].left);
+  EXPECT_TRUE(back.sample(0).regions[1].values[0].is_null());
+  EXPECT_EQ(back.sample(1).regions[0].strand, Strand::kMinus);
+}
+
+TEST(GdmFormatTest, SecondRoundTripIsIdentical) {
+  Dataset ds = SmallDataset();
+  std::string once = WriteGdmString(ds);
+  std::string twice = WriteGdmString(ReadGdmString(once).ValueOrDie());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(GdmFormatTest, RejectsMissingMagic) {
+  EXPECT_FALSE(ReadGdmString("#NAME x\n").ok());
+}
+
+TEST(GdmFormatTest, RejectsTruncatedRegions) {
+  Dataset ds = SmallDataset();
+  std::string text = WriteGdmString(ds);
+  text.resize(text.size() - 20);
+  EXPECT_FALSE(ReadGdmString(text).ok());
+}
+
+TEST(GdmFormatTest, RejectsArityMismatch) {
+  std::string text =
+      "#GDMS v1\n#NAME X\n#SCHEMA\tv:INT\n#SAMPLE 1\n#REGIONS 1\n"
+      "chr1\t0\t10\t*\t1\t2\n";
+  EXPECT_FALSE(ReadGdmString(text).ok());
+}
+
+TEST(GdmFormatTest, EmptyDatasetRoundTrips) {
+  Dataset ds("EMPTY", RegionSchema{});
+  Dataset back = ReadGdmString(WriteGdmString(ds)).ValueOrDie();
+  EXPECT_EQ(back.name(), "EMPTY");
+  EXPECT_EQ(back.num_samples(), 0u);
+}
+
+class DatasetDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gdms_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetDirTest, SaveLoadRoundTrip) {
+  Dataset ds = SmallDataset();
+  ASSERT_TRUE(SaveDatasetDir(ds, dir_.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "schema.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "S_1.regions.tsv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "S_1.meta.tsv"));
+  Dataset back = LoadDatasetDir(dir_.string()).ValueOrDie();
+  EXPECT_EQ(back.name(), ds.name());
+  EXPECT_EQ(back.schema(), ds.schema());
+  ASSERT_EQ(back.num_samples(), ds.num_samples());
+  for (const auto& s : ds.samples()) {
+    const auto* bs = back.FindSample(s.id);
+    ASSERT_NE(bs, nullptr);
+    EXPECT_EQ(bs->metadata, s.metadata);
+    ASSERT_EQ(bs->regions.size(), s.regions.size());
+    for (size_t i = 0; i < s.regions.size(); ++i) {
+      EXPECT_EQ(bs->regions[i].left, s.regions[i].left);
+      EXPECT_EQ(bs->regions[i].values[1].Compare(s.regions[i].values[1]), 0);
+    }
+  }
+}
+
+TEST_F(DatasetDirTest, LoadMissingDirErrors) {
+  EXPECT_FALSE(LoadDatasetDir((dir_ / "nope").string()).ok());
+}
+
+TEST_F(DatasetDirTest, CorruptRegionFileRejected) {
+  Dataset ds = SmallDataset();
+  ASSERT_TRUE(SaveDatasetDir(ds, dir_.string()).ok());
+  std::ofstream corrupt(dir_ / "S_1.regions.tsv", std::ios::app);
+  corrupt << "chr1\t5\n";  // wrong arity
+  corrupt.close();
+  EXPECT_FALSE(LoadDatasetDir(dir_.string()).ok());
+}
+
+TEST_F(DatasetDirTest, EmptySchemaDataset) {
+  Dataset ds("BARE", RegionSchema{});
+  gdm::Sample s(7);
+  s.regions.push_back({InternChrom("chr1"), 1, 2, Strand::kNone, {}});
+  ds.AddSample(std::move(s));
+  ASSERT_TRUE(SaveDatasetDir(ds, dir_.string()).ok());
+  Dataset back = LoadDatasetDir(dir_.string()).ValueOrDie();
+  EXPECT_EQ(back.name(), "BARE");
+  EXPECT_EQ(back.TotalRegions(), 1u);
+}
+
+}  // namespace
+}  // namespace gdms::io

@@ -1,0 +1,203 @@
+// Direct unit tests of the predicate and expression trees used by SELECT
+// and PROJECT: comparison semantics, composition, binding, and cloning.
+
+#include <gtest/gtest.h>
+
+#include "core/predicates.h"
+
+namespace gdms::core {
+namespace {
+
+using gdm::AttrType;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::Metadata;
+using gdm::RegionSchema;
+using gdm::Strand;
+using gdm::Value;
+
+// -------------------------------------------------------- MetaPredicate ---
+
+TEST(MetaPredicateTest, NumericAwareComparison) {
+  Metadata meta;
+  meta.Add("quality", "9");
+  // "9" vs "10": numeric comparison says 9 < 10 (string would say "9" > "10").
+  EXPECT_TRUE(MetaPredicate::Compare("quality", CmpOp::kLt, "10")->Eval(meta));
+  EXPECT_FALSE(MetaPredicate::Compare("quality", CmpOp::kGt, "10")->Eval(meta));
+  // Non-numeric falls back to string ordering.
+  Metadata text;
+  text.Add("cell", "K562");
+  EXPECT_TRUE(MetaPredicate::Compare("cell", CmpOp::kGt, "A549")->Eval(text));
+}
+
+TEST(MetaPredicateTest, MultiValuedAnySemantics) {
+  Metadata meta;
+  meta.Add("antibody", "CTCF");
+  meta.Add("antibody", "POLR2A");
+  // Equality holds if ANY value matches.
+  EXPECT_TRUE(MetaPredicate::Compare("antibody", CmpOp::kEq, "POLR2A")->Eval(meta));
+  // != also holds if ANY value differs -- the GMQL existential reading.
+  EXPECT_TRUE(MetaPredicate::Compare("antibody", CmpOp::kNe, "CTCF")->Eval(meta));
+  // Missing attribute: no value satisfies anything.
+  EXPECT_FALSE(MetaPredicate::Compare("ghost", CmpOp::kEq, "x")->Eval(meta));
+  EXPECT_FALSE(MetaPredicate::Compare("ghost", CmpOp::kNe, "x")->Eval(meta));
+}
+
+TEST(MetaPredicateTest, Composition) {
+  Metadata meta;
+  meta.Add("a", "1");
+  meta.Add("b", "2");
+  auto a1 = MetaPredicate::Compare("a", CmpOp::kEq, "1");
+  auto b3 = MetaPredicate::Compare("b", CmpOp::kEq, "3");
+  EXPECT_FALSE(MetaPredicate::And(a1, b3)->Eval(meta));
+  EXPECT_TRUE(MetaPredicate::Or(a1, b3)->Eval(meta));
+  EXPECT_TRUE(MetaPredicate::Not(b3)->Eval(meta));
+  EXPECT_TRUE(MetaPredicate::Exists("b")->Eval(meta));
+  EXPECT_FALSE(MetaPredicate::Exists("c")->Eval(meta));
+  EXPECT_TRUE(MetaPredicate::True()->Eval(meta));
+}
+
+TEST(MetaPredicateTest, CanonicalRendering) {
+  auto p = MetaPredicate::And(MetaPredicate::Compare("a", CmpOp::kLe, "5"),
+                              MetaPredicate::Not(MetaPredicate::Exists("b")));
+  EXPECT_EQ(p->ToString(), "(a <= '5' AND NOT exists(b))");
+}
+
+// ------------------------------------------------------ RegionPredicate ---
+
+RegionSchema ScoreSchema() {
+  RegionSchema s;
+  EXPECT_TRUE(s.AddAttr("score", AttrType::kDouble).ok());
+  EXPECT_TRUE(s.AddAttr("tag", AttrType::kString).ok());
+  return s;
+}
+
+GenomicRegion TestRegion() {
+  GenomicRegion r(InternChrom("chr2"), 100, 250, Strand::kMinus);
+  r.values = {Value(7.5), Value("enhancer")};
+  return r;
+}
+
+TEST(RegionPredicateTest, FixedAttributes) {
+  RegionSchema schema = ScoreSchema();
+  GenomicRegion r = TestRegion();
+  auto check = [&](RegionPredicate::Ptr p) {
+    EXPECT_TRUE(p->Bind(schema).ok());
+    return p->Eval(r);
+  };
+  EXPECT_TRUE(check(RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr2"))));
+  EXPECT_FALSE(check(RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr1"))));
+  EXPECT_TRUE(check(RegionPredicate::Compare("left", CmpOp::kGe, Value(int64_t{100}))));
+  EXPECT_TRUE(check(RegionPredicate::Compare("right", CmpOp::kLt, Value(int64_t{251}))));
+  EXPECT_TRUE(check(RegionPredicate::Compare("strand", CmpOp::kEq, Value("-"))));
+  // Aliases start/stop.
+  EXPECT_TRUE(check(RegionPredicate::Compare("start", CmpOp::kEq, Value(int64_t{100}))));
+  EXPECT_TRUE(check(RegionPredicate::Compare("stop", CmpOp::kEq, Value(int64_t{250}))));
+}
+
+TEST(RegionPredicateTest, VariableAttributesAndNulls) {
+  RegionSchema schema = ScoreSchema();
+  GenomicRegion r = TestRegion();
+  auto p = RegionPredicate::Compare("score", CmpOp::kGt, Value(5.0));
+  ASSERT_TRUE(p->Bind(schema).ok());
+  EXPECT_TRUE(p->Eval(r));
+  // NULL attribute makes every comparison false (SQL semantics).
+  r.values[0] = Value::Null();
+  EXPECT_FALSE(p->Eval(r));
+  auto ne = RegionPredicate::Compare("score", CmpOp::kNe, Value(5.0));
+  ASSERT_TRUE(ne->Bind(schema).ok());
+  EXPECT_FALSE(ne->Eval(r));
+}
+
+TEST(RegionPredicateTest, BindFailsOnUnknownAttr) {
+  auto p = RegionPredicate::Compare("ghost", CmpOp::kEq, Value(1.0));
+  EXPECT_FALSE(p->Bind(ScoreSchema()).ok());
+}
+
+TEST(RegionPredicateTest, CloneIsolatesBindingState) {
+  // Two schemas place "score" at different indexes; clones bound to each
+  // must evaluate against their own schema.
+  RegionSchema schema_a;
+  ASSERT_TRUE(schema_a.AddAttr("score", AttrType::kDouble).ok());
+  RegionSchema schema_b;
+  ASSERT_TRUE(schema_b.AddAttr("other", AttrType::kString).ok());
+  ASSERT_TRUE(schema_b.AddAttr("score", AttrType::kDouble).ok());
+  auto base = RegionPredicate::Compare("score", CmpOp::kGt, Value(5.0));
+  auto clone_a = base->Clone();
+  auto clone_b = base->Clone();
+  ASSERT_TRUE(clone_a->Bind(schema_a).ok());
+  ASSERT_TRUE(clone_b->Bind(schema_b).ok());
+  GenomicRegion ra(InternChrom("chr1"), 0, 1);
+  ra.values = {Value(9.0)};
+  GenomicRegion rb(InternChrom("chr1"), 0, 1);
+  rb.values = {Value("x"), Value(9.0)};
+  EXPECT_TRUE(clone_a->Eval(ra));
+  EXPECT_TRUE(clone_b->Eval(rb));
+}
+
+TEST(RegionPredicateTest, BooleanComposition) {
+  RegionSchema schema = ScoreSchema();
+  GenomicRegion r = TestRegion();
+  auto p = RegionPredicate::And(
+      RegionPredicate::Compare("score", CmpOp::kGt, Value(5.0)),
+      RegionPredicate::Not(
+          RegionPredicate::Compare("tag", CmpOp::kEq, Value("promoter"))));
+  ASSERT_TRUE(p->Bind(schema).ok());
+  EXPECT_TRUE(p->Eval(r));
+  auto q = RegionPredicate::Or(
+      RegionPredicate::Compare("score", CmpOp::kLt, Value(0.0)),
+      RegionPredicate::Compare("tag", CmpOp::kEq, Value("enhancer")));
+  ASSERT_TRUE(q->Bind(schema).ok());
+  EXPECT_TRUE(q->Eval(r));
+}
+
+// ------------------------------------------------------------ RegionExpr --
+
+TEST(RegionExprTest, DerivedAttributes) {
+  RegionSchema schema = ScoreSchema();
+  GenomicRegion r = TestRegion();
+  auto eval = [&](RegionExpr::Ptr e) {
+    EXPECT_TRUE(e->Bind(schema).ok());
+    return e->Eval(r);
+  };
+  EXPECT_EQ(eval(RegionExpr::Attr("left")).AsInt(), 100);
+  EXPECT_EQ(eval(RegionExpr::Attr("right")).AsInt(), 250);
+  EXPECT_EQ(eval(RegionExpr::Attr("len")).AsInt(), 150);
+  EXPECT_EQ(eval(RegionExpr::Attr("strand")).AsString(), "-");
+  EXPECT_EQ(eval(RegionExpr::Attr("chr")).AsString(), "chr2");
+  EXPECT_DOUBLE_EQ(eval(RegionExpr::Attr("score")).AsDouble(), 7.5);
+}
+
+TEST(RegionExprTest, ArithmeticAndTypes) {
+  RegionSchema schema = ScoreSchema();
+  GenomicRegion r = TestRegion();
+  auto mid = RegionExpr::Binary(
+      '/',
+      RegionExpr::Binary('+', RegionExpr::Attr("left"),
+                         RegionExpr::Attr("right")),
+      RegionExpr::Constant(Value(2.0)));
+  ASSERT_TRUE(mid->Bind(schema).ok());
+  EXPECT_DOUBLE_EQ(mid->Eval(r).AsDouble(), 175.0);
+  EXPECT_EQ(mid->OutputType(schema), AttrType::kDouble);
+  EXPECT_EQ(RegionExpr::Attr("len")->OutputType(schema), AttrType::kInt);
+  EXPECT_EQ(RegionExpr::Attr("score")->OutputType(schema), AttrType::kDouble);
+  // Arithmetic over a string operand yields NULL, not a crash.
+  auto bad = RegionExpr::Binary('*', RegionExpr::Attr("tag"),
+                                RegionExpr::Constant(Value(2.0)));
+  ASSERT_TRUE(bad->Bind(schema).ok());
+  EXPECT_TRUE(bad->Eval(r).is_null());
+}
+
+TEST(RegionExprTest, CloneThenBindIndependently) {
+  auto base = RegionExpr::Binary('-', RegionExpr::Attr("right"),
+                                 RegionExpr::Attr("left"));
+  auto clone = base->Clone();
+  RegionSchema schema = ScoreSchema();
+  ASSERT_TRUE(clone->Bind(schema).ok());
+  GenomicRegion r = TestRegion();
+  EXPECT_DOUBLE_EQ(clone->Eval(r).AsDouble(), 150.0);
+  EXPECT_EQ(clone->ToString(), "(right - left)");
+}
+
+}  // namespace
+}  // namespace gdms::core

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include <filesystem>
+#include <unistd.h>
+
+#include "repo/catalog.h"
+#include "repo/estimator.h"
+#include "repo/federation.h"
+#include "sim/generators.h"
+
+namespace gdms::repo {
+namespace {
+
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+
+Dataset SmallPeaks(uint64_t seed = 1) {
+  sim::PeakDatasetOptions opt;
+  opt.num_samples = 3;
+  opt.peaks_per_sample = 150;
+  return sim::GeneratePeakDataset(GenomeAssembly::HumanLike(3, 20000000), opt,
+                                  seed);
+}
+
+Dataset SmallAnnotations(uint64_t seed = 1) {
+  auto genome = GenomeAssembly::HumanLike(3, 20000000);
+  auto catalog = sim::GenerateGenes(genome, 100, seed);
+  return sim::GenerateAnnotations(genome, catalog, {}, seed);
+}
+
+TEST(CatalogTest, PutGetRemove) {
+  Catalog catalog;
+  catalog.Put(SmallPeaks());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_NE(catalog.Get("ENCODE"), nullptr);
+  EXPECT_EQ(catalog.Get("NOPE"), nullptr);
+  EXPECT_TRUE(catalog.Remove("ENCODE").ok());
+  EXPECT_FALSE(catalog.Remove("ENCODE").ok());
+}
+
+TEST(CatalogTest, InfoSummarizesMetadata) {
+  Catalog catalog;
+  catalog.Put(SmallPeaks());
+  DatasetInfo info = catalog.Info("ENCODE").ValueOrDie();
+  EXPECT_EQ(info.num_samples, 3u);
+  EXPECT_EQ(info.num_regions, 450u);
+  EXPECT_GT(info.estimated_bytes, 0u);
+  bool has_antibody = false;
+  for (const auto& [attr, values] : info.metadata_summary) {
+    if (attr == "antibody") has_antibody = true;
+  }
+  EXPECT_TRUE(has_antibody);
+  EXPECT_NE(info.ToString().find("ENCODE"), std::string::npos);
+}
+
+TEST(CatalogTest, SaveLoadRoundTripsRepository) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("gdms_catalog_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  Catalog catalog;
+  catalog.Put(SmallPeaks());
+  catalog.Put(SmallAnnotations());
+  ASSERT_TRUE(catalog.SaveTo(dir.string()).ok());
+  EXPECT_TRUE(fs::exists(dir / "ENCODE" / "schema.txt"));
+  Catalog loaded;
+  ASSERT_TRUE(loaded.LoadFrom(dir.string()).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  ASSERT_NE(loaded.Get("ENCODE"), nullptr);
+  EXPECT_EQ(loaded.Get("ENCODE")->TotalRegions(),
+            catalog.Get("ENCODE")->TotalRegions());
+  EXPECT_EQ(loaded.Get("ANNOTATIONS")->num_samples(), 3u);
+  fs::remove_all(dir);
+  // Loading a missing directory is an error surfaced via the iterator.
+  Catalog empty;
+  EXPECT_FALSE(empty.LoadFrom((dir / "nope").string()).ok());
+}
+
+TEST(EstimatorTest, SourceAndSelect) {
+  Catalog catalog;
+  catalog.Put(SmallPeaks());
+  Estimator est(&catalog);
+  auto program =
+      core::Parser::Parse("X = SELECT(antibody == 'CTCF') ENCODE;")
+          .ValueOrDie();
+  Estimate e = est.EstimatePlan(*program.sinks[0]).ValueOrDie();
+  EXPECT_DOUBLE_EQ(e.samples, 1.5);   // 3 x 0.5
+  EXPECT_DOUBLE_EQ(e.regions, 225.0); // 450 x 0.5
+  EXPECT_GT(e.bytes, 0);
+}
+
+TEST(EstimatorTest, MapMultipliesPairs) {
+  Catalog catalog;
+  catalog.Put(SmallPeaks());
+  catalog.Put(SmallAnnotations());
+  Estimator est(&catalog);
+  auto program =
+      core::Parser::Parse("X = MAP() ANNOTATIONS ENCODE;").ValueOrDie();
+  Estimate e = est.EstimatePlan(*program.sinks[0]).ValueOrDie();
+  // 3 annotation samples x 3 encode samples = 9 output samples.
+  EXPECT_DOUBLE_EQ(e.samples, 9.0);
+  EXPECT_GT(e.regions, 0);
+}
+
+TEST(EstimatorTest, UnknownDatasetErrors) {
+  Catalog catalog;
+  Estimator est(&catalog);
+  auto program = core::Parser::Parse("X = SELECT(a == 'b') NOPE;").ValueOrDie();
+  EXPECT_FALSE(est.EstimatePlan(*program.sinks[0]).ok());
+}
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    node_ = std::make_unique<FederatedNode>("milan");
+    node_->catalog()->Put(SmallPeaks());
+    node_->catalog()->Put(SmallAnnotations());
+    coordinator_.AddNode(node_.get());
+  }
+
+  std::unique_ptr<FederatedNode> node_;
+  Coordinator coordinator_;
+};
+
+TEST_F(FederationTest, InfoListsDatasets) {
+  std::string info = node_->HandleInfo();
+  EXPECT_NE(info.find("ENCODE"), std::string::npos);
+  EXPECT_NE(info.find("ANNOTATIONS"), std::string::npos);
+}
+
+TEST_F(FederationTest, CompileEstimatesOrFails) {
+  CompileInfo good = node_->HandleCompile(
+      "X = SELECT(dataType == 'ChipSeq') ENCODE;");
+  EXPECT_TRUE(good.ok);
+  EXPECT_GT(good.estimated_regions, 0);
+  CompileInfo bad = node_->HandleCompile("X = SELECT(");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  CompileInfo missing = node_->HandleCompile("X = SELECT(a == 'b') NOPE;");
+  EXPECT_FALSE(missing.ok);
+}
+
+TEST_F(FederationTest, ExecuteAndStagedFetch) {
+  node_->set_chunk_bytes(512);  // force multiple chunks
+  std::string qid = node_->HandleExecute(
+      "X = SELECT(dataType == 'ChipSeq') ENCODE;\nMATERIALIZE X;\n")
+      .ValueOrDie();
+  EXPECT_EQ(node_->staged_count(), 1u);
+  size_t chunks = 0;
+  size_t index = 0;
+  while (true) {
+    FetchResult chunk = node_->HandleFetch(qid, index).ValueOrDie();
+    ++chunks;
+    if (!chunk.has_more) break;
+    ++index;
+  }
+  EXPECT_GT(chunks, 1u);
+  node_->ReleaseStaged(qid);
+  EXPECT_EQ(node_->staged_count(), 0u);
+  EXPECT_FALSE(node_->HandleFetch(qid, 0).ok());
+}
+
+TEST_F(FederationTest, QueryShippingReturnsCorrectResult) {
+  auto results = coordinator_.RunRemote(
+      "milan",
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "R = MAP(n AS COUNT) PROMS ENCODE;\nMATERIALIZE R;\n").ValueOrDie();
+  ASSERT_EQ(results.size(), 1u);
+  const Dataset& r = results.at("R");
+  EXPECT_EQ(r.num_samples(), 3u);  // 1 promoter sample x 3 peaks samples
+  EXPECT_TRUE(r.schema().Contains("n"));
+  EXPECT_GT(coordinator_.counters().bytes_received, 0u);
+}
+
+TEST_F(FederationTest, QueryShippingMovesFewerBytesThanDataShipping) {
+  const char* query =
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "R = MAP(n AS COUNT) PROMS ENCODE;\n"
+      "S = ORDER(antibody; TOP 1) R;\nMATERIALIZE S;\n";
+  coordinator_.ResetCounters();
+  auto remote = coordinator_.RunRemote("milan", query).ValueOrDie();
+  uint64_t query_shipping = coordinator_.counters().bytes_received +
+                            coordinator_.counters().bytes_sent;
+  coordinator_.ResetCounters();
+  auto local = coordinator_
+                   .RunWithDataShipping("milan", {"ANNOTATIONS", "ENCODE"},
+                                        query)
+                   .ValueOrDie();
+  uint64_t data_shipping = coordinator_.counters().bytes_received +
+                           coordinator_.counters().bytes_sent;
+  EXPECT_LT(query_shipping, data_shipping);
+  // Same answer both ways.
+  ASSERT_EQ(remote.size(), local.size());
+  EXPECT_EQ(remote.at("S").TotalRegions(), local.at("S").TotalRegions());
+  EXPECT_EQ(remote.at("S").num_samples(), local.at("S").num_samples());
+}
+
+TEST_F(FederationTest, StagingBudgetEnforced) {
+  node_->set_max_staged_bytes(64);  // far below any result payload
+  auto r = node_->HandleExecute(
+      "X = SELECT(dataType == 'ChipSeq') ENCODE;\nMATERIALIZE X;\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(node_->staged_count(), 0u);
+  // Raising the budget unblocks execution; releasing frees the space.
+  node_->set_max_staged_bytes(100 << 20);
+  std::string qid = node_->HandleExecute(
+      "X = SELECT(dataType == 'ChipSeq') ENCODE;\nMATERIALIZE X;\n")
+      .ValueOrDie();
+  EXPECT_GT(node_->staged_bytes(), 0u);
+  node_->ReleaseStaged(qid);
+  EXPECT_EQ(node_->staged_bytes(), 0u);
+}
+
+TEST_F(FederationTest, RunEverywhereMergesPerNodeResults) {
+  // Second node with only mutation data; the ENCODE query is answerable on
+  // milan only, the mutation query on boston only.
+  FederatedNode boston("boston");
+  sim::MutationOptions mopt;
+  mopt.num_samples = 2;
+  mopt.mutations_per_sample = 100;
+  boston.catalog()->Put(sim::GenerateMutations(
+      GenomeAssembly::HumanLike(3, 20000000), mopt, 2));
+  coordinator_.AddNode(&boston);
+
+  auto encode_everywhere = coordinator_.RunEverywhere(
+      "X = SELECT(dataType == 'ChipSeq') ENCODE;\nMATERIALIZE X;\n")
+      .ValueOrDie();
+  ASSERT_EQ(encode_everywhere.size(), 1u);
+  EXPECT_TRUE(encode_everywhere.count("X@milan"));
+
+  auto mutations_everywhere = coordinator_.RunEverywhere(
+      "X = SELECT(dataType == 'Mutation') MUTATIONS;\nMATERIALIZE X;\n")
+      .ValueOrDie();
+  ASSERT_EQ(mutations_everywhere.size(), 1u);
+  EXPECT_TRUE(mutations_everywhere.count("X@boston"));
+
+  auto nowhere = coordinator_.RunEverywhere(
+      "X = SELECT(a == 'b') GHOST;\nMATERIALIZE X;\n");
+  EXPECT_FALSE(nowhere.ok());
+}
+
+TEST_F(FederationTest, UnknownNodeOrDatasetErrors) {
+  EXPECT_FALSE(coordinator_.RunRemote("rome", "X = SELECT(a == 'b') D;").ok());
+  EXPECT_FALSE(
+      coordinator_.RunWithDataShipping("milan", {"GHOST"}, "X = MERGE() GHOST;")
+          .ok());
+}
+
+TEST_F(FederationTest, RemoteCompileErrorSurfaces) {
+  auto r = coordinator_.RunRemote("milan", "X = SELECT(a == 'b') GHOST;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("remote compile failed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdms::repo

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "search/internet_of_genomes.h"
+#include "core/operators.h"
+#include "search/metadata_index.h"
+#include "search/normalizer.h"
+#include "search/ontology.h"
+#include "search/region_search.h"
+#include "sim/generators.h"
+
+namespace gdms::search {
+namespace {
+
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+
+Dataset Peaks(uint64_t seed = 1) {
+  sim::PeakDatasetOptions opt;
+  opt.num_samples = 6;
+  opt.peaks_per_sample = 100;
+  return sim::GeneratePeakDataset(GenomeAssembly::HumanLike(3, 20000000), opt,
+                                  seed);
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  auto toks = TokenizeMeta("ChIP-Seq of CTCF (rep.2)");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0], "chip");
+  EXPECT_EQ(toks[1], "seq");
+  EXPECT_EQ(toks[3], "ctcf");
+  EXPECT_EQ(toks[4], "rep");
+  EXPECT_EQ(toks[5], "2");
+  // Underscores are word characters (ontology term ids stay whole).
+  auto terms = TokenizeMeta("cancer_cell_line");
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], "cancer_cell_line");
+}
+
+TEST(MetadataIndexTest, IndexesAndSearches) {
+  MetadataIndex index;
+  index.AddDataset(Peaks());
+  EXPECT_EQ(index.num_documents(), 6u);
+  EXPECT_GT(index.num_terms(), 5u);
+  auto hits = index.Search("CTCF");
+  ASSERT_FALSE(hits.empty());
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.ref.dataset, "ENCODE");
+    EXPECT_GT(h.score, 0.0);
+  }
+}
+
+TEST(MetadataIndexTest, ScoresRareTermsHigher) {
+  MetadataIndex index;
+  Dataset ds = Peaks();
+  ds.mutable_sample(0)->metadata.Add("note", "unique_marker_xyz");
+  index.AddDataset(ds);
+  auto hits = index.Search("unique_marker_xyz ChipSeq");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].ref.sample, ds.sample(0).id);
+}
+
+TEST(MetadataIndexTest, ExactLookup) {
+  MetadataIndex index;
+  index.AddDataset(Peaks());
+  auto refs = index.Lookup("dataType", "ChipSeq");
+  EXPECT_EQ(refs.size(), 6u);
+  EXPECT_TRUE(index.Lookup("dataType", "RnaSeq").empty());
+}
+
+TEST(MetadataIndexTest, PrecisionRecallEvaluation) {
+  std::vector<SearchHit> hits = {{{"D", 1}, 1.0}, {{"D", 2}, 0.9}};
+  std::vector<SampleRef> relevant = {{"D", 1}, {"D", 3}};
+  PrEval eval = MetadataIndex::Evaluate(hits, relevant);
+  EXPECT_DOUBLE_EQ(eval.precision, 0.5);
+  EXPECT_DOUBLE_EQ(eval.recall, 0.5);
+  EXPECT_DOUBLE_EQ(eval.f1, 0.5);
+  PrEval empty = MetadataIndex::Evaluate({}, {});
+  EXPECT_DOUBLE_EQ(empty.f1, 1.0);
+}
+
+TEST(OntologyTest, IsAClosure) {
+  Ontology o;
+  ASSERT_TRUE(o.AddIsA("k562", "cancer_cell_line").ok());
+  ASSERT_TRUE(o.AddIsA("cancer_cell_line", "cell_line").ok());
+  auto closure = o.Closure("k562");
+  EXPECT_EQ(closure.size(), 3u);
+  EXPECT_TRUE(closure.count("cell_line"));
+  auto desc = o.Descendants("cell_line");
+  EXPECT_TRUE(desc.count("k562"));
+}
+
+TEST(OntologyTest, RejectsCycles) {
+  Ontology o;
+  ASSERT_TRUE(o.AddIsA("a", "b").ok());
+  ASSERT_TRUE(o.AddIsA("b", "c").ok());
+  EXPECT_FALSE(o.AddIsA("c", "a").ok());
+  EXPECT_FALSE(o.AddIsA("a", "a").ok());
+}
+
+TEST(OntologyTest, SynonymsResolve) {
+  Ontology o = Ontology::BuiltinBio();
+  EXPECT_EQ(o.Resolve("K562"), "k562");
+  EXPECT_EQ(o.Resolve("ChipSeq"), "chip_seq");
+  EXPECT_EQ(o.Resolve("unknown-thing"), "");
+  EXPECT_EQ(o.Resolve("ctcf"), "ctcf");  // direct term name
+}
+
+TEST(OntologyTest, AnnotateExpandsMetadata) {
+  Ontology o = Ontology::BuiltinBio();
+  gdm::Metadata meta;
+  meta.Add("cell", "K562");
+  meta.Add("dataType", "ChipSeq");
+  auto terms = o.Annotate(meta);
+  EXPECT_TRUE(terms.count("k562"));
+  EXPECT_TRUE(terms.count("cancer_cell_line"));
+  EXPECT_TRUE(terms.count("cell_line"));
+  EXPECT_TRUE(terms.count("sequencing_assay"));
+}
+
+TEST(RegionSearchTest, RanksBySignal) {
+  Dataset ds = Peaks();
+  RegionSearch search({});
+  std::vector<FeatureWeight> weights = {
+      {RegionFeature::kAttrValue, 1.0, "signal"}};
+  auto hits = search.TopK(ds, weights, 10).ValueOrDie();
+  ASSERT_EQ(hits.size(), 10u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+  // The top hit has the global max signal.
+  size_t sig = *ds.schema().IndexOf("signal");
+  double max_signal = 0;
+  for (const auto& s : ds.samples()) {
+    for (const auto& r : s.regions) {
+      max_signal = std::max(max_signal, r.values[sig].AsDouble());
+    }
+  }
+  EXPECT_DOUBLE_EQ(hits[0].region.values[sig].AsDouble(), max_signal);
+}
+
+TEST(RegionSearchTest, OverlapFeatureUsesReference) {
+  Dataset ds = Peaks();
+  // Reference = sample 0's own regions; its regions overlap themselves.
+  RegionSearch search(ds.sample(0).regions);
+  EXPECT_EQ(search.reference_size(), ds.sample(0).regions.size());
+  std::vector<FeatureWeight> weights = {
+      {RegionFeature::kOverlapCount, 1.0, ""}};
+  auto hits = search.TopK(ds, weights, 5).ValueOrDie();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_GE(hits[0].features[0], 1.0);
+}
+
+TEST(RegionSearchTest, UnknownAttrErrors) {
+  Dataset ds = Peaks();
+  RegionSearch search({});
+  std::vector<FeatureWeight> weights = {
+      {RegionFeature::kAttrValue, 1.0, "ghost"}};
+  EXPECT_FALSE(search.TopK(ds, weights, 5).ok());
+}
+
+TEST(NormalizerTest, RewritesSynonymsAndMaterializesClosure) {
+  Ontology ontology = Ontology::BuiltinBio();
+  Dataset ds = Peaks();
+  MetadataNormalizer normalizer(&ontology);
+  NormalizeStats stats = normalizer.Normalize(&ds);
+  EXPECT_EQ(stats.samples, ds.num_samples());
+  EXPECT_GT(stats.values_rewritten, 0u);
+  EXPECT_GT(stats.terms_added, 0u);
+  for (const auto& s : ds.samples()) {
+    // "ChipSeq" became the canonical term.
+    EXPECT_EQ(s.metadata.FirstValue("dataType"), "chip_seq");
+    // Closure terms materialized under _term.
+    EXPECT_TRUE(s.metadata.HasPair("_term", "sequencing_assay"));
+    EXPECT_TRUE(s.metadata.HasPair("_term", "chip_seq"));
+  }
+}
+
+TEST(NormalizerTest, EnablesCrossRepositoryJoinby) {
+  // Two datasets spelling the assay differently become joinable after
+  // normalization (the Section 4.3 "compatible metadata" goal).
+  Ontology ontology = Ontology::BuiltinBio();
+  Dataset a = Peaks(1);
+  Dataset b = Peaks(2);
+  b.mutable_sample(0)->metadata.RemoveAttr("dataType");
+  b.mutable_sample(0)->metadata.Add("dataType", "ChiaPet");  // different assay
+  MetadataNormalizer normalizer(&ontology);
+  normalizer.Normalize(&a);
+  normalizer.Normalize(&b);
+  // Every a-sample matches b-samples on _term sequencing_assay.
+  EXPECT_TRUE(core::Operators::JoinbyMatch({"_term"}, a.sample(0).metadata,
+                                           b.sample(0).metadata));
+  // But on dataType, the ChiaPet sample no longer matches.
+  EXPECT_FALSE(core::Operators::JoinbyMatch({"dataType"}, a.sample(0).metadata,
+                                            b.sample(0).metadata));
+}
+
+TEST(NormalizerTest, UnresolvableValuesPassThrough) {
+  Ontology ontology = Ontology::BuiltinBio();
+  Dataset ds("D", gdm::RegionSchema{});
+  gdm::Sample s(1);
+  s.metadata.Add("note", "some free text");
+  ds.AddSample(std::move(s));
+  MetadataNormalizer normalizer(&ontology);
+  NormalizeStats stats = normalizer.Normalize(&ds);
+  EXPECT_EQ(stats.values_rewritten, 0u);
+  EXPECT_TRUE(ds.sample(0).metadata.HasPair("note", "some free text"));
+}
+
+class IogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    host1_ = std::make_unique<iog::Host>("polimi");
+    host2_ = std::make_unique<iog::Host>("broad");
+    gdm::Metadata m1;
+    m1.Add("dataType", "ChipSeq");
+    m1.Add("cell", "K562");
+    url1_ = host1_->Publish(Peaks(1), m1);
+    gdm::Metadata m2;
+    m2.Add("dataType", "ChipSeq");
+    m2.Add("cell", "GM12878");
+    url2_ = host2_->Publish(Peaks(2), m2);
+    gdm::Metadata secret;
+    secret.Add("dataType", "ChipSeq");
+    host2_->Publish(Peaks(3), secret, /*is_public=*/false);
+    service_.AddHost(host1_.get());
+    service_.AddHost(host2_.get());
+  }
+
+  std::unique_ptr<iog::Host> host1_;
+  std::unique_ptr<iog::Host> host2_;
+  std::string url1_;
+  std::string url2_;
+  iog::SearchService service_;
+};
+
+TEST_F(IogTest, CrawlIndexesOnlyPublicEntries) {
+  auto stats = service_.Crawl().ValueOrDie();
+  EXPECT_EQ(stats.hosts_visited, 2u);
+  EXPECT_EQ(stats.entries_indexed, 2u);  // private entry skipped
+  EXPECT_EQ(stats.datasets_cached, 0u);  // no cache budget
+  EXPECT_GT(stats.metadata_bytes, 0u);
+  EXPECT_EQ(service_.num_indexed(), 2u);
+}
+
+TEST_F(IogTest, CrawlWithBudgetCachesDatasets) {
+  auto stats = service_.Crawl(100 << 20).ValueOrDie();
+  EXPECT_EQ(stats.datasets_cached, 2u);
+  EXPECT_GT(stats.dataset_bytes, 0u);
+  EXPECT_EQ(service_.num_cached(), 2u);
+}
+
+TEST_F(IogTest, SearchReturnsSnippetsWithCacheFlag) {
+  (void)service_.Crawl().ValueOrDie();
+  auto snippets = service_.Search("K562");
+  ASSERT_EQ(snippets.size(), 1u);
+  EXPECT_EQ(snippets[0].url, url1_);
+  EXPECT_EQ(snippets[0].host, "polimi");
+  EXPECT_FALSE(snippets[0].cached);
+  (void)service_.Crawl(100 << 20).ValueOrDie();
+  snippets = service_.Search("K562");
+  ASSERT_EQ(snippets.size(), 1u);
+  EXPECT_TRUE(snippets[0].cached);
+}
+
+TEST_F(IogTest, OntologyExpandedSearch) {
+  (void)service_.Crawl().ValueOrDie();
+  // "cancer_cell_line" should match the K562 entry via the ontology even
+  // though the string never appears in its metadata.
+  auto snippets = service_.Search("cancer_cell_line");
+  ASSERT_EQ(snippets.size(), 1u);
+  EXPECT_EQ(snippets[0].url, url1_);
+  // "cell_line" matches both.
+  EXPECT_EQ(service_.Search("cell_line").size(), 2u);
+}
+
+TEST_F(IogTest, FetchCountsTransfersAndServesCacheFree) {
+  (void)service_.Crawl().ValueOrDie();
+  uint64_t bytes = 0;
+  Dataset ds = service_.FetchDataset(url1_, &bytes).ValueOrDie();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(ds.num_samples(), 6u);
+  // After a caching crawl the same fetch is free.
+  (void)service_.Crawl(100 << 20).ValueOrDie();
+  uint64_t bytes2 = 0;
+  (void)service_.FetchDataset(url1_, &bytes2).ValueOrDie();
+  EXPECT_EQ(bytes2, 0u);
+  // Unknown URL errors.
+  EXPECT_FALSE(service_.FetchDataset("gdm://nowhere/x", &bytes).ok());
+}
+
+}  // namespace
+}  // namespace gdms::search

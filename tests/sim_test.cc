@@ -1,0 +1,233 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "interval/sweep.h"
+#include "sim/generators.h"
+
+namespace gdms::sim {
+namespace {
+
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+
+GenomeAssembly TestGenome() { return GenomeAssembly::HumanLike(5, 40000000); }
+
+TEST(GenerateGenesTest, DeterministicAndOrdered) {
+  auto g = TestGenome();
+  GeneCatalog a = GenerateGenes(g, 500, 7);
+  GeneCatalog b = GenerateGenes(g, 500, 7);
+  ASSERT_EQ(a.genes.size(), b.genes.size());
+  EXPECT_GT(a.genes.size(), 400u);  // quota rounding loses a few
+  for (size_t i = 0; i < a.genes.size(); ++i) {
+    EXPECT_EQ(a.genes[i].id, b.genes[i].id);
+    EXPECT_EQ(a.genes[i].left, b.genes[i].left);
+    EXPECT_LT(a.genes[i].left, a.genes[i].right);
+  }
+  GeneCatalog c = GenerateGenes(g, 500, 8);
+  EXPECT_NE(a.genes[0].left, c.genes[0].left);  // seed matters
+}
+
+TEST(GenerateGenesTest, TssRespectsStrand) {
+  Gene plus{0, 100, 200, gdm::Strand::kPlus, "g"};
+  Gene minus{0, 100, 200, gdm::Strand::kMinus, "g"};
+  EXPECT_EQ(plus.Tss(), 100);
+  EXPECT_EQ(minus.Tss(), 200);
+}
+
+TEST(PeakDatasetTest, ShapeAndMetadata) {
+  PeakDatasetOptions opt;
+  opt.num_samples = 4;
+  opt.peaks_per_sample = 200;
+  Dataset ds = GeneratePeakDataset(TestGenome(), opt, 11);
+  EXPECT_EQ(ds.name(), "ENCODE");
+  ASSERT_EQ(ds.num_samples(), 4u);
+  EXPECT_TRUE(ds.Validate().ok());
+  for (const auto& s : ds.samples()) {
+    EXPECT_EQ(s.regions.size(), 200u);
+    EXPECT_TRUE(s.IsSorted());
+    EXPECT_EQ(s.metadata.FirstValue("dataType"), "ChipSeq");
+    EXPECT_FALSE(s.metadata.FirstValue("antibody").empty());
+  }
+  // Deterministic.
+  Dataset ds2 = GeneratePeakDataset(TestGenome(), opt, 11);
+  EXPECT_EQ(ds2.sample(0).regions[0].left, ds.sample(0).regions[0].left);
+}
+
+TEST(PeakDatasetTest, HotspotsCreateCrossSampleOverlap) {
+  PeakDatasetOptions clustered;
+  clustered.num_samples = 2;
+  clustered.peaks_per_sample = 1500;
+  clustered.hotspot_fraction = 0.95;
+  clustered.num_hotspots = 50;
+  clustered.antibodies = {"CTCF"};  // same stratum for both samples
+  PeakDatasetOptions uniform = clustered;
+  uniform.hotspot_fraction = 0.0;
+  auto genome = TestGenome();
+  Dataset c = GeneratePeakDataset(genome, clustered, 3);
+  Dataset u = GeneratePeakDataset(genome, uniform, 3);
+  auto overlaps = [](const Dataset& ds) {
+    size_t n = 0;
+    interval::OverlapJoin(ds.sample(0).regions, ds.sample(1).regions,
+                          [&](size_t, size_t) { ++n; });
+    return n;
+  };
+  EXPECT_GT(overlaps(c), 4 * overlaps(u) + 10);
+}
+
+TEST(AnnotationTest, ThreeSamplesWithTypes) {
+  auto genome = TestGenome();
+  auto catalog = GenerateGenes(genome, 300, 5);
+  Dataset ds = GenerateAnnotations(genome, catalog, {}, 5);
+  ASSERT_EQ(ds.num_samples(), 3u);
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.sample(0).metadata.FirstValue("annType"), "gene");
+  EXPECT_EQ(ds.sample(1).metadata.FirstValue("annType"), "promoter");
+  EXPECT_EQ(ds.sample(2).metadata.FirstValue("annType"), "enhancer");
+  EXPECT_EQ(ds.sample(0).regions.size(), catalog.genes.size());
+  EXPECT_EQ(ds.sample(1).regions.size(), catalog.genes.size());
+}
+
+TEST(AnnotationTest, PromoterSpansTss) {
+  auto genome = TestGenome();
+  auto catalog = GenerateGenes(genome, 100, 5);
+  AnnotationOptions opt;
+  Dataset ds = GenerateAnnotations(genome, catalog, opt, 5);
+  // Promoter regions are sorted, genes are in catalog order; match by name.
+  std::map<std::string, const gdm::GenomicRegion*> promoters;
+  size_t name_idx = *ds.schema().IndexOf("name");
+  for (const auto& r : ds.sample(1).regions) {
+    promoters[r.values[name_idx].AsString()] = &r;
+  }
+  for (const auto& g : catalog.genes) {
+    auto it = promoters.find(g.id + "_prom");
+    ASSERT_NE(it, promoters.end());
+    const auto* p = it->second;
+    EXPECT_LE(p->left, g.Tss());
+    EXPECT_GE(p->right, g.Tss());
+    EXPECT_LE(p->right - p->left,
+              opt.promoter_upstream + opt.promoter_downstream);
+  }
+}
+
+TEST(MutationTest, ConditionsAndTypes) {
+  MutationOptions opt;
+  opt.num_samples = 4;
+  opt.mutations_per_sample = 300;
+  Dataset ds = GenerateMutations(TestGenome(), opt, 9);
+  ASSERT_EQ(ds.num_samples(), 4u);
+  EXPECT_TRUE(ds.Validate().ok());
+  std::set<std::string> conditions;
+  for (const auto& s : ds.samples()) {
+    conditions.insert(s.metadata.FirstValue("condition"));
+  }
+  EXPECT_EQ(conditions.size(), 2u);
+}
+
+TEST(BreakpointTest, InductionDoublesBreaks) {
+  BreakpointOptions opt;
+  opt.num_samples = 2;
+  opt.breaks_per_sample = 400;
+  Dataset ds = GenerateBreakpoints(TestGenome(), opt, 13);
+  ASSERT_EQ(ds.num_samples(), 2u);
+  const auto& control = ds.sample(0);
+  const auto& induced = ds.sample(1);
+  EXPECT_EQ(control.metadata.FirstValue("condition"), "control");
+  EXPECT_EQ(induced.regions.size(), 2 * control.regions.size());
+}
+
+TEST(BreakpointMutationTest, SharedFragileSitesColocalize) {
+  // Same seed -> same fragile sites -> breaks and mutations co-locate far
+  // more than breaks vs a different-seed mutation set.
+  auto genome = TestGenome();
+  BreakpointOptions bopt;
+  bopt.num_samples = 1;
+  bopt.breaks_per_sample = 2000;
+  MutationOptions mopt;
+  mopt.num_samples = 1;
+  mopt.mutations_per_sample = 2000;
+  Dataset breaks = GenerateBreakpoints(genome, bopt, 21);
+  Dataset muts_same = GenerateMutations(genome, mopt, 21);
+  Dataset muts_other = GenerateMutations(genome, mopt, 22);
+  auto near_count = [&](const Dataset& m) {
+    size_t n = 0;
+    interval::DistanceJoin(breaks.sample(0).regions, m.sample(0).regions,
+                           INT64_MIN / 4, 10000,
+                           [&](size_t, size_t) { ++n; });
+    return n;
+  };
+  EXPECT_GT(near_count(muts_same), 2 * near_count(muts_other));
+}
+
+TEST(ReplicationTest, DomainsTileAndShift) {
+  ReplicationOptions opt;
+  Dataset ds = GenerateReplicationTiming(TestGenome(), opt, 31);
+  ASSERT_EQ(ds.num_samples(), 2u);
+  EXPECT_TRUE(ds.Validate().ok());
+  const auto& control = ds.sample(0);
+  const auto& induced = ds.sample(1);
+  ASSERT_EQ(control.regions.size(), induced.regions.size());
+  // Domains tile each chromosome: consecutive same-chrom regions touch.
+  for (size_t i = 1; i < control.regions.size(); ++i) {
+    if (control.regions[i].chrom == control.regions[i - 1].chrom) {
+      EXPECT_EQ(control.regions[i].left, control.regions[i - 1].right);
+    }
+  }
+  // A visible fraction of domains shifted down by ~1.5.
+  size_t shifted = 0;
+  for (size_t i = 0; i < control.regions.size(); ++i) {
+    double d = induced.regions[i].values[0].AsDouble() -
+               control.regions[i].values[0].AsDouble();
+    if (d < -1.0) ++shifted;
+  }
+  double frac = static_cast<double>(shifted) / control.regions.size();
+  EXPECT_NEAR(frac, opt.shift_fraction, 0.08);
+}
+
+TEST(ExpressionTest, DifferentialGenes) {
+  auto genome = TestGenome();
+  auto catalog = GenerateGenes(genome, 400, 17);
+  ExpressionOptions opt;
+  Dataset ds = GenerateExpression(genome, catalog, opt, 17);
+  ASSERT_EQ(ds.num_samples(), 2u);
+  const auto& control = ds.sample(0);
+  const auto& induced = ds.sample(1);
+  ASSERT_EQ(control.regions.size(), catalog.genes.size());
+  size_t gene_idx = *ds.schema().IndexOf("gene");
+  size_t fpkm_idx = *ds.schema().IndexOf("fpkm");
+  // Region order identical (same coords), so compare positionally.
+  size_t differential = 0;
+  for (size_t i = 0; i < control.regions.size(); ++i) {
+    ASSERT_EQ(control.regions[i].values[gene_idx].AsString(),
+              induced.regions[i].values[gene_idx].AsString());
+    double fc = induced.regions[i].values[fpkm_idx].AsDouble() /
+                control.regions[i].values[fpkm_idx].AsDouble();
+    if (fc > 2.0 || fc < 0.5) ++differential;
+  }
+  double frac = static_cast<double>(differential) / control.regions.size();
+  EXPECT_NEAR(frac, opt.diff_fraction, 0.06);
+}
+
+TEST(CtcfTest, LoopsAndAnchorsAgree) {
+  CtcfLoopOptions opt;
+  opt.num_loops = 200;
+  auto genome = TestGenome();
+  Dataset loops = GenerateCtcfLoops(genome, opt, 23);
+  Dataset anchors = GenerateCtcfAnchors(genome, opt, 23);
+  ASSERT_EQ(loops.num_samples(), 1u);
+  EXPECT_EQ(loops.sample(0).regions.size(), opt.num_loops);
+  EXPECT_EQ(anchors.sample(0).regions.size(), 2 * opt.num_loops);
+  EXPECT_TRUE(loops.Validate().ok());
+  EXPECT_TRUE(anchors.Validate().ok());
+  for (const auto& r : loops.sample(0).regions) {
+    EXPECT_LE(r.length(), opt.loop_len_max);
+  }
+  // Every loop overlaps at least two anchors (its own ends).
+  size_t total_overlaps = 0;
+  interval::OverlapJoin(loops.sample(0).regions, anchors.sample(0).regions,
+                        [&](size_t, size_t) { ++total_overlaps; });
+  EXPECT_GE(total_overlaps, 2 * opt.num_loops);
+}
+
+}  // namespace
+}  // namespace gdms::sim

@@ -1,0 +1,281 @@
+// gdms_shell — batch GMQL runner over files.
+//
+// Loads datasets from BED / narrowPeak / GTF / VCF / native-GDM files, runs
+// a GMQL program (from a file, the command line, or stdin), prints result
+// summaries and optionally writes each materialized dataset back out in the
+// native GDM format.
+//
+// Usage:
+//   gdms_shell [--load NAME=FILE]... [--query FILE | --exec GMQL]
+//              [--out DIR] [--parallel [THREADS]] [--no-optimize]
+//              [--show CHR:LEFT-RIGHT] [--demo]
+//
+// Examples:
+//   gdms_shell --load PEAKS=peaks.narrowPeak --load GENES=genes.gtf \
+//              --exec "R = MAP(n AS COUNT) GENES PEAKS; MATERIALIZE R;" \
+//              --out results/
+//   gdms_shell --demo --exec "C = COVER(2, ANY) ENCODE; MATERIALIZE C;" \
+//              --show chr1:0-2000000
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+#include "io/bed.h"
+#include "io/gdm_format.h"
+#include "io/gtf.h"
+#include "io/track_render.h"
+#include "io/vcf.h"
+#include "repo/catalog.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT: tool brevity
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "gdms_shell: %s\n", message.c_str());
+  return 1;
+}
+
+Result<gdm::Dataset> LoadFile(const std::string& name,
+                              const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  if (EndsWith(path, ".gdm")) {
+    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds, io::ReadGdm(in));
+    ds.set_name(name);
+    return ds;
+  }
+  gdm::RegionSchema schema;
+  gdm::Sample sample(1);
+  if (EndsWith(path, ".narrowPeak") || EndsWith(path, ".narrowpeak")) {
+    GDMS_ASSIGN_OR_RETURN(sample, io::ReadNarrowPeakSample(in, 1));
+    schema = io::NarrowPeakSchema();
+  } else if (EndsWith(path, ".broadPeak") || EndsWith(path, ".broadpeak")) {
+    GDMS_ASSIGN_OR_RETURN(sample, io::ReadBroadPeakSample(in, 1));
+    schema = io::BroadPeakSchema();
+  } else if (EndsWith(path, ".gtf") || EndsWith(path, ".gff")) {
+    GDMS_ASSIGN_OR_RETURN(sample,
+                          io::ReadGtfSample(in, 1, {"gene_id", "gene_name"}));
+    schema = io::GtfSchema({"gene_id", "gene_name"});
+  } else if (EndsWith(path, ".vcf")) {
+    GDMS_ASSIGN_OR_RETURN(sample, io::ReadVcfSample(in, 1));
+    schema = io::VcfSchema();
+  } else if (EndsWith(path, ".bed")) {
+    GDMS_ASSIGN_OR_RETURN(sample, io::ReadBedSample(in, 1));
+    int columns = 3 + static_cast<int>(
+                          sample.regions.empty() ? 0
+                                                 : sample.regions[0].values.size());
+    schema = io::BedSchema(columns >= 5 ? 5 : columns);
+  } else {
+    return Status::InvalidArgument(
+        "unrecognized extension (want .bed/.narrowPeak/.gtf/.vcf/.gdm): " +
+        path);
+  }
+  sample.metadata.Add("source_file", path);
+  gdm::Dataset ds(name, schema);
+  ds.AddSample(std::move(sample));
+  GDMS_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+void LoadDemo(core::QueryRunner* runner) {
+  auto genome = gdm::GenomeAssembly::HumanLike(6, 50000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 6;
+  popt.peaks_per_sample = 2000;
+  runner->RegisterDataset(sim::GeneratePeakDataset(genome, popt, 1));
+  auto catalog = sim::GenerateGenes(genome, 500, 1);
+  runner->RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 1));
+}
+
+/// Parses "chr1:0-2000000".
+Result<io::TrackWindow> ParseWindow(const std::string& spec) {
+  auto colon = spec.find(':');
+  auto dash = spec.find('-', colon == std::string::npos ? 0 : colon);
+  if (colon == std::string::npos || dash == std::string::npos) {
+    return Status::InvalidArgument("window must be CHR:LEFT-RIGHT: " + spec);
+  }
+  io::TrackWindow window;
+  window.chrom = gdm::InternChrom(spec.substr(0, colon));
+  GDMS_ASSIGN_OR_RETURN(window.left,
+                        ParseInt64(spec.substr(colon + 1, dash - colon - 1)));
+  GDMS_ASSIGN_OR_RETURN(window.right, ParseInt64(spec.substr(dash + 1)));
+  window.width = 100;
+  return window;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> loads;
+  std::string query_file;
+  std::string exec_text;
+  std::string out_dir;
+  std::string repo_dir;
+  std::string save_repo_dir;
+  std::string show_window;
+  bool parallel = false;
+  size_t threads = 0;
+  bool optimize = true;
+  bool demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--load") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--load needs NAME=FILE");
+      std::string spec = v;
+      auto eq = spec.find('=');
+      if (eq == std::string::npos) return Fail("--load needs NAME=FILE");
+      loads.push_back({spec.substr(0, eq), spec.substr(eq + 1)});
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--query needs a file");
+      query_file = v;
+    } else if (arg == "--exec") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--exec needs GMQL text");
+      exec_text = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--out needs a directory");
+      out_dir = v;
+    } else if (arg == "--repo") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--repo needs a directory");
+      repo_dir = v;
+    } else if (arg == "--save-repo") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--save-repo needs a directory");
+      save_repo_dir = v;
+    } else if (arg == "--show") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--show needs CHR:LEFT-RIGHT");
+      show_window = v;
+    } else if (arg == "--parallel") {
+      parallel = true;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        threads = static_cast<size_t>(std::atoi(argv[++i]));
+      }
+    } else if (arg == "--no-optimize") {
+      optimize = false;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "usage: gdms_shell [--repo DIR] [--load NAME=FILE]... [--query FILE | --exec "
+          "GMQL]\n"
+          "                  [--out DIR] [--parallel [N]] [--no-optimize]\n"
+          "                  [--show CHR:LEFT-RIGHT] [--demo]");
+      return 0;
+    } else {
+      return Fail("unknown argument " + arg + " (try --help)");
+    }
+  }
+
+  std::unique_ptr<engine::ParallelExecutor> executor;
+  std::unique_ptr<core::QueryRunner> runner;
+  if (parallel) {
+    engine::EngineOptions options;
+    options.threads = threads;
+    executor = std::make_unique<engine::ParallelExecutor>(options);
+    runner = std::make_unique<core::QueryRunner>(executor.get());
+  } else {
+    runner = std::make_unique<core::QueryRunner>();
+  }
+  runner->set_optimize(optimize);
+
+  if (demo) LoadDemo(runner.get());
+  if (!repo_dir.empty()) {
+    repo::Catalog catalog;
+    Status st = catalog.LoadFrom(repo_dir);
+    if (!st.ok()) return Fail(st.ToString());
+    for (const auto& name : catalog.Names()) {
+      std::printf("loaded %s from repository (%llu regions)\n", name.c_str(),
+                  static_cast<unsigned long long>(
+                      catalog.Get(name)->TotalRegions()));
+      runner->RegisterDataset(*catalog.Get(name));
+    }
+  }
+  for (const auto& [name, path] : loads) {
+    auto ds = LoadFile(name, path);
+    if (!ds.ok()) return Fail(ds.status().ToString());
+    std::printf("loaded %s: %zu samples, %llu regions [%s]\n", name.c_str(),
+                ds.value().num_samples(),
+                static_cast<unsigned long long>(ds.value().TotalRegions()),
+                ds.value().schema().ToString().c_str());
+    runner->RegisterDataset(std::move(ds).ValueOrDie());
+  }
+  if (runner->DatasetNames().empty()) {
+    return Fail("no datasets loaded (use --load or --demo)");
+  }
+
+  std::string gmql = exec_text;
+  if (gmql.empty() && !query_file.empty()) {
+    std::ifstream in(query_file);
+    if (!in) return Fail("cannot open query file " + query_file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    gmql = buf.str();
+  }
+  if (gmql.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    gmql = buf.str();
+  }
+  if (Trim(gmql).empty()) return Fail("empty query (use --exec or --query)");
+
+  auto results = runner->Run(gmql);
+  if (!results.ok()) return Fail(results.status().ToString());
+
+  for (const auto& [name, ds] : results.value()) {
+    std::printf("%s: %zu samples, %llu regions, ~%s [%s]\n", name.c_str(),
+                ds.num_samples(),
+                static_cast<unsigned long long>(ds.TotalRegions()),
+                HumanBytes(ds.EstimateBytes()).c_str(),
+                ds.schema().ToString().c_str());
+    if (!out_dir.empty()) {
+      std::string path = out_dir + "/" + name + ".gdm";
+      std::ofstream out(path);
+      if (!out) return Fail("cannot write " + path);
+      io::WriteGdm(ds, out);
+      std::printf("  wrote %s\n", path.c_str());
+    }
+    if (!show_window.empty()) {
+      auto window = ParseWindow(show_window);
+      if (!window.ok()) return Fail(window.status().ToString());
+      io::TrackRenderer renderer(window.value());
+      for (const auto& s : ds.samples()) {
+        renderer.AddTrack(name + "/" + std::to_string(s.id), s.regions);
+      }
+      auto rendered = renderer.Render();
+      if (rendered.ok()) std::fputs(rendered.value().c_str(), stdout);
+    }
+  }
+  if (!save_repo_dir.empty()) {
+    repo::Catalog catalog;
+    for (const auto& [name, ds] : results.value()) catalog.Put(ds);
+    Status st = catalog.SaveTo(save_repo_dir);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("saved %zu datasets to repository %s\n",
+                results.value().size(), save_repo_dir.c_str());
+  }
+  std::printf("done: %zu operators, %zu memo hits, %.3f s\n",
+              runner->last_stats().operators_evaluated,
+              runner->last_stats().cache_hits,
+              runner->last_stats().wall_seconds);
+  return 0;
+}
