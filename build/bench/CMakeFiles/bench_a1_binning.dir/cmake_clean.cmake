@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_binning.dir/bench_a1_binning.cc.o"
+  "CMakeFiles/bench_a1_binning.dir/bench_a1_binning.cc.o.d"
+  "bench_a1_binning"
+  "bench_a1_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_internet_of_genomes.dir/bench_e10_internet_of_genomes.cc.o"
+  "CMakeFiles/bench_e10_internet_of_genomes.dir/bench_e10_internet_of_genomes.cc.o.d"
+  "bench_e10_internet_of_genomes"
+  "bench_e10_internet_of_genomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_internet_of_genomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_gdm_model.dir/bench_e2_gdm_model.cc.o"
+  "CMakeFiles/bench_e2_gdm_model.dir/bench_e2_gdm_model.cc.o.d"
+  "bench_e2_gdm_model"
+  "bench_e2_gdm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_gdm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_ctcf_enhancers.dir/bench_e3_ctcf_enhancers.cc.o"
+  "CMakeFiles/bench_e3_ctcf_enhancers.dir/bench_e3_ctcf_enhancers.cc.o.d"
+  "bench_e3_ctcf_enhancers"
+  "bench_e3_ctcf_enhancers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_ctcf_enhancers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e4_genome_space.cc" "bench/CMakeFiles/bench_e4_genome_space.dir/bench_e4_genome_space.cc.o" "gcc" "bench/CMakeFiles/bench_e4_genome_space.dir/bench_e4_genome_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gdms_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gdms_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/repo/CMakeFiles/gdms_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/gdms_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gdms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gdms_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gdms_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_mutation_correlation.dir/bench_e5_mutation_correlation.cc.o"
+  "CMakeFiles/bench_e5_mutation_correlation.dir/bench_e5_mutation_correlation.cc.o.d"
+  "bench_e5_mutation_correlation"
+  "bench_e5_mutation_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_mutation_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_backends.dir/bench_e6_backends.cc.o"
+  "CMakeFiles/bench_e6_backends.dir/bench_e6_backends.cc.o.d"
+  "bench_e6_backends"
+  "bench_e6_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_federation.dir/bench_e8_federation.cc.o"
+  "CMakeFiles/bench_e8_federation.dir/bench_e8_federation.cc.o.d"
+  "bench_e8_federation"
+  "bench_e8_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

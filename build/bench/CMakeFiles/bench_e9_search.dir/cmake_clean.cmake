@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_search.dir/bench_e9_search.cc.o"
+  "CMakeFiles/bench_e9_search.dir/bench_e9_search.cc.o.d"
+  "bench_e9_search"
+  "bench_e9_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

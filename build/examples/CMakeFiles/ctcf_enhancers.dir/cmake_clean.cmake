@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcf_enhancers.dir/ctcf_enhancers.cpp.o"
+  "CMakeFiles/ctcf_enhancers.dir/ctcf_enhancers.cpp.o.d"
+  "ctcf_enhancers"
+  "ctcf_enhancers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcf_enhancers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

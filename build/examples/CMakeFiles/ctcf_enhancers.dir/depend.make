@@ -1,0 +1,2 @@
+# Empty dependencies file for ctcf_enhancers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_demo.dir/federated_demo.cpp.o"
+  "CMakeFiles/federated_demo.dir/federated_demo.cpp.o.d"
+  "federated_demo"
+  "federated_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

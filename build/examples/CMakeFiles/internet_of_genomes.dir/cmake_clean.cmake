@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_of_genomes.dir/internet_of_genomes.cpp.o"
+  "CMakeFiles/internet_of_genomes.dir/internet_of_genomes.cpp.o.d"
+  "internet_of_genomes"
+  "internet_of_genomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_of_genomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutation_correlation.dir/mutation_correlation.cpp.o"
+  "CMakeFiles/mutation_correlation.dir/mutation_correlation.cpp.o.d"
+  "mutation_correlation"
+  "mutation_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutation_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

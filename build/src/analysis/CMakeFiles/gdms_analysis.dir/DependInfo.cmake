@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cc" "src/analysis/CMakeFiles/gdms_analysis.dir/clustering.cc.o" "gcc" "src/analysis/CMakeFiles/gdms_analysis.dir/clustering.cc.o.d"
+  "/root/repo/src/analysis/enrichment.cc" "src/analysis/CMakeFiles/gdms_analysis.dir/enrichment.cc.o" "gcc" "src/analysis/CMakeFiles/gdms_analysis.dir/enrichment.cc.o.d"
+  "/root/repo/src/analysis/genome_space.cc" "src/analysis/CMakeFiles/gdms_analysis.dir/genome_space.cc.o" "gcc" "src/analysis/CMakeFiles/gdms_analysis.dir/genome_space.cc.o.d"
+  "/root/repo/src/analysis/latent.cc" "src/analysis/CMakeFiles/gdms_analysis.dir/latent.cc.o" "gcc" "src/analysis/CMakeFiles/gdms_analysis.dir/latent.cc.o.d"
+  "/root/repo/src/analysis/network.cc" "src/analysis/CMakeFiles/gdms_analysis.dir/network.cc.o" "gcc" "src/analysis/CMakeFiles/gdms_analysis.dir/network.cc.o.d"
+  "/root/repo/src/analysis/phenotype.cc" "src/analysis/CMakeFiles/gdms_analysis.dir/phenotype.cc.o" "gcc" "src/analysis/CMakeFiles/gdms_analysis.dir/phenotype.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gdms_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

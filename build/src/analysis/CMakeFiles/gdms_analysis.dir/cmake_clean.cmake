@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_analysis.dir/clustering.cc.o"
+  "CMakeFiles/gdms_analysis.dir/clustering.cc.o.d"
+  "CMakeFiles/gdms_analysis.dir/enrichment.cc.o"
+  "CMakeFiles/gdms_analysis.dir/enrichment.cc.o.d"
+  "CMakeFiles/gdms_analysis.dir/genome_space.cc.o"
+  "CMakeFiles/gdms_analysis.dir/genome_space.cc.o.d"
+  "CMakeFiles/gdms_analysis.dir/latent.cc.o"
+  "CMakeFiles/gdms_analysis.dir/latent.cc.o.d"
+  "CMakeFiles/gdms_analysis.dir/network.cc.o"
+  "CMakeFiles/gdms_analysis.dir/network.cc.o.d"
+  "CMakeFiles/gdms_analysis.dir/phenotype.cc.o"
+  "CMakeFiles/gdms_analysis.dir/phenotype.cc.o.d"
+  "libgdms_analysis.a"
+  "libgdms_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

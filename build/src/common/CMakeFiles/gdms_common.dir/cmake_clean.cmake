@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_common.dir/status.cc.o"
+  "CMakeFiles/gdms_common.dir/status.cc.o.d"
+  "CMakeFiles/gdms_common.dir/string_util.cc.o"
+  "CMakeFiles/gdms_common.dir/string_util.cc.o.d"
+  "CMakeFiles/gdms_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gdms_common.dir/thread_pool.cc.o.d"
+  "libgdms_common.a"
+  "libgdms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregates.cc" "src/core/CMakeFiles/gdms_core.dir/aggregates.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/aggregates.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/gdms_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/gdms_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/gdms_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/core/CMakeFiles/gdms_core.dir/parser.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/parser.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/gdms_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/predicates.cc" "src/core/CMakeFiles/gdms_core.dir/predicates.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/predicates.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/gdms_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/gdms_core.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gdms_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

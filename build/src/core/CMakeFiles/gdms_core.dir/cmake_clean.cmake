@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_core.dir/aggregates.cc.o"
+  "CMakeFiles/gdms_core.dir/aggregates.cc.o.d"
+  "CMakeFiles/gdms_core.dir/executor.cc.o"
+  "CMakeFiles/gdms_core.dir/executor.cc.o.d"
+  "CMakeFiles/gdms_core.dir/operators.cc.o"
+  "CMakeFiles/gdms_core.dir/operators.cc.o.d"
+  "CMakeFiles/gdms_core.dir/optimizer.cc.o"
+  "CMakeFiles/gdms_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/gdms_core.dir/parser.cc.o"
+  "CMakeFiles/gdms_core.dir/parser.cc.o.d"
+  "CMakeFiles/gdms_core.dir/plan.cc.o"
+  "CMakeFiles/gdms_core.dir/plan.cc.o.d"
+  "CMakeFiles/gdms_core.dir/predicates.cc.o"
+  "CMakeFiles/gdms_core.dir/predicates.cc.o.d"
+  "CMakeFiles/gdms_core.dir/runner.cc.o"
+  "CMakeFiles/gdms_core.dir/runner.cc.o.d"
+  "libgdms_core.a"
+  "libgdms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/parallel_executor.cc" "src/engine/CMakeFiles/gdms_engine.dir/parallel_executor.cc.o" "gcc" "src/engine/CMakeFiles/gdms_engine.dir/parallel_executor.cc.o.d"
+  "/root/repo/src/engine/shuffle.cc" "src/engine/CMakeFiles/gdms_engine.dir/shuffle.cc.o" "gcc" "src/engine/CMakeFiles/gdms_engine.dir/shuffle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gdms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gdms_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_engine.dir/parallel_executor.cc.o"
+  "CMakeFiles/gdms_engine.dir/parallel_executor.cc.o.d"
+  "CMakeFiles/gdms_engine.dir/shuffle.cc.o"
+  "CMakeFiles/gdms_engine.dir/shuffle.cc.o.d"
+  "libgdms_engine.a"
+  "libgdms_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

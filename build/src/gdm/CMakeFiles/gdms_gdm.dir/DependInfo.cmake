@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdm/dataset.cc" "src/gdm/CMakeFiles/gdms_gdm.dir/dataset.cc.o" "gcc" "src/gdm/CMakeFiles/gdms_gdm.dir/dataset.cc.o.d"
+  "/root/repo/src/gdm/metadata.cc" "src/gdm/CMakeFiles/gdms_gdm.dir/metadata.cc.o" "gcc" "src/gdm/CMakeFiles/gdms_gdm.dir/metadata.cc.o.d"
+  "/root/repo/src/gdm/region.cc" "src/gdm/CMakeFiles/gdms_gdm.dir/region.cc.o" "gcc" "src/gdm/CMakeFiles/gdms_gdm.dir/region.cc.o.d"
+  "/root/repo/src/gdm/schema.cc" "src/gdm/CMakeFiles/gdms_gdm.dir/schema.cc.o" "gcc" "src/gdm/CMakeFiles/gdms_gdm.dir/schema.cc.o.d"
+  "/root/repo/src/gdm/value.cc" "src/gdm/CMakeFiles/gdms_gdm.dir/value.cc.o" "gcc" "src/gdm/CMakeFiles/gdms_gdm.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_gdm.dir/dataset.cc.o"
+  "CMakeFiles/gdms_gdm.dir/dataset.cc.o.d"
+  "CMakeFiles/gdms_gdm.dir/metadata.cc.o"
+  "CMakeFiles/gdms_gdm.dir/metadata.cc.o.d"
+  "CMakeFiles/gdms_gdm.dir/region.cc.o"
+  "CMakeFiles/gdms_gdm.dir/region.cc.o.d"
+  "CMakeFiles/gdms_gdm.dir/schema.cc.o"
+  "CMakeFiles/gdms_gdm.dir/schema.cc.o.d"
+  "CMakeFiles/gdms_gdm.dir/value.cc.o"
+  "CMakeFiles/gdms_gdm.dir/value.cc.o.d"
+  "libgdms_gdm.a"
+  "libgdms_gdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_gdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

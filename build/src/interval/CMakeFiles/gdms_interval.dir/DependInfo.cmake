@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/accumulation.cc" "src/interval/CMakeFiles/gdms_interval.dir/accumulation.cc.o" "gcc" "src/interval/CMakeFiles/gdms_interval.dir/accumulation.cc.o.d"
+  "/root/repo/src/interval/interval_tree.cc" "src/interval/CMakeFiles/gdms_interval.dir/interval_tree.cc.o" "gcc" "src/interval/CMakeFiles/gdms_interval.dir/interval_tree.cc.o.d"
+  "/root/repo/src/interval/sweep.cc" "src/interval/CMakeFiles/gdms_interval.dir/sweep.cc.o" "gcc" "src/interval/CMakeFiles/gdms_interval.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_interval.dir/accumulation.cc.o"
+  "CMakeFiles/gdms_interval.dir/accumulation.cc.o.d"
+  "CMakeFiles/gdms_interval.dir/interval_tree.cc.o"
+  "CMakeFiles/gdms_interval.dir/interval_tree.cc.o.d"
+  "CMakeFiles/gdms_interval.dir/sweep.cc.o"
+  "CMakeFiles/gdms_interval.dir/sweep.cc.o.d"
+  "libgdms_interval.a"
+  "libgdms_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

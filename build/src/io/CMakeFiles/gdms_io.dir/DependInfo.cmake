@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bed.cc" "src/io/CMakeFiles/gdms_io.dir/bed.cc.o" "gcc" "src/io/CMakeFiles/gdms_io.dir/bed.cc.o.d"
+  "/root/repo/src/io/dataset_dir.cc" "src/io/CMakeFiles/gdms_io.dir/dataset_dir.cc.o" "gcc" "src/io/CMakeFiles/gdms_io.dir/dataset_dir.cc.o.d"
+  "/root/repo/src/io/gdm_format.cc" "src/io/CMakeFiles/gdms_io.dir/gdm_format.cc.o" "gcc" "src/io/CMakeFiles/gdms_io.dir/gdm_format.cc.o.d"
+  "/root/repo/src/io/gtf.cc" "src/io/CMakeFiles/gdms_io.dir/gtf.cc.o" "gcc" "src/io/CMakeFiles/gdms_io.dir/gtf.cc.o.d"
+  "/root/repo/src/io/track_render.cc" "src/io/CMakeFiles/gdms_io.dir/track_render.cc.o" "gcc" "src/io/CMakeFiles/gdms_io.dir/track_render.cc.o.d"
+  "/root/repo/src/io/vcf.cc" "src/io/CMakeFiles/gdms_io.dir/vcf.cc.o" "gcc" "src/io/CMakeFiles/gdms_io.dir/vcf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_io.dir/bed.cc.o"
+  "CMakeFiles/gdms_io.dir/bed.cc.o.d"
+  "CMakeFiles/gdms_io.dir/dataset_dir.cc.o"
+  "CMakeFiles/gdms_io.dir/dataset_dir.cc.o.d"
+  "CMakeFiles/gdms_io.dir/gdm_format.cc.o"
+  "CMakeFiles/gdms_io.dir/gdm_format.cc.o.d"
+  "CMakeFiles/gdms_io.dir/gtf.cc.o"
+  "CMakeFiles/gdms_io.dir/gtf.cc.o.d"
+  "CMakeFiles/gdms_io.dir/track_render.cc.o"
+  "CMakeFiles/gdms_io.dir/track_render.cc.o.d"
+  "CMakeFiles/gdms_io.dir/vcf.cc.o"
+  "CMakeFiles/gdms_io.dir/vcf.cc.o.d"
+  "libgdms_io.a"
+  "libgdms_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repo/catalog.cc" "src/repo/CMakeFiles/gdms_repo.dir/catalog.cc.o" "gcc" "src/repo/CMakeFiles/gdms_repo.dir/catalog.cc.o.d"
+  "/root/repo/src/repo/estimator.cc" "src/repo/CMakeFiles/gdms_repo.dir/estimator.cc.o" "gcc" "src/repo/CMakeFiles/gdms_repo.dir/estimator.cc.o.d"
+  "/root/repo/src/repo/federation.cc" "src/repo/CMakeFiles/gdms_repo.dir/federation.cc.o" "gcc" "src/repo/CMakeFiles/gdms_repo.dir/federation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gdms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gdms_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gdms_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_repo.dir/catalog.cc.o"
+  "CMakeFiles/gdms_repo.dir/catalog.cc.o.d"
+  "CMakeFiles/gdms_repo.dir/estimator.cc.o"
+  "CMakeFiles/gdms_repo.dir/estimator.cc.o.d"
+  "CMakeFiles/gdms_repo.dir/federation.cc.o"
+  "CMakeFiles/gdms_repo.dir/federation.cc.o.d"
+  "libgdms_repo.a"
+  "libgdms_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/internet_of_genomes.cc" "src/search/CMakeFiles/gdms_search.dir/internet_of_genomes.cc.o" "gcc" "src/search/CMakeFiles/gdms_search.dir/internet_of_genomes.cc.o.d"
+  "/root/repo/src/search/metadata_index.cc" "src/search/CMakeFiles/gdms_search.dir/metadata_index.cc.o" "gcc" "src/search/CMakeFiles/gdms_search.dir/metadata_index.cc.o.d"
+  "/root/repo/src/search/normalizer.cc" "src/search/CMakeFiles/gdms_search.dir/normalizer.cc.o" "gcc" "src/search/CMakeFiles/gdms_search.dir/normalizer.cc.o.d"
+  "/root/repo/src/search/ontology.cc" "src/search/CMakeFiles/gdms_search.dir/ontology.cc.o" "gcc" "src/search/CMakeFiles/gdms_search.dir/ontology.cc.o.d"
+  "/root/repo/src/search/region_search.cc" "src/search/CMakeFiles/gdms_search.dir/region_search.cc.o" "gcc" "src/search/CMakeFiles/gdms_search.dir/region_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdm/CMakeFiles/gdms_gdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gdms_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gdms_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_search.dir/internet_of_genomes.cc.o"
+  "CMakeFiles/gdms_search.dir/internet_of_genomes.cc.o.d"
+  "CMakeFiles/gdms_search.dir/metadata_index.cc.o"
+  "CMakeFiles/gdms_search.dir/metadata_index.cc.o.d"
+  "CMakeFiles/gdms_search.dir/normalizer.cc.o"
+  "CMakeFiles/gdms_search.dir/normalizer.cc.o.d"
+  "CMakeFiles/gdms_search.dir/ontology.cc.o"
+  "CMakeFiles/gdms_search.dir/ontology.cc.o.d"
+  "CMakeFiles/gdms_search.dir/region_search.cc.o"
+  "CMakeFiles/gdms_search.dir/region_search.cc.o.d"
+  "libgdms_search.a"
+  "libgdms_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

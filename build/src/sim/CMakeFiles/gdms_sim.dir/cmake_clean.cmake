@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_sim.dir/generators.cc.o"
+  "CMakeFiles/gdms_sim.dir/generators.cc.o.d"
+  "libgdms_sim.a"
+  "libgdms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

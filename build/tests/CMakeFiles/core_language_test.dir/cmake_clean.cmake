@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_language_test.dir/core_language_test.cc.o"
+  "CMakeFiles/core_language_test.dir/core_language_test.cc.o.d"
+  "core_language_test"
+  "core_language_test.pdb"
+  "core_language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

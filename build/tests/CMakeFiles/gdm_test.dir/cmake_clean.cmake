@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdm_test.dir/gdm_test.cc.o"
+  "CMakeFiles/gdm_test.dir/gdm_test.cc.o.d"
+  "gdm_test"
+  "gdm_test.pdb"
+  "gdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdms_shell.dir/gdms_shell.cc.o"
+  "CMakeFiles/gdms_shell.dir/gdms_shell.cc.o.d"
+  "gdms_shell"
+  "gdms_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdms_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
