@@ -62,7 +62,7 @@ ScaledRun RunAtScale(size_t num_samples, size_t peaks_per_sample,
   return run;
 }
 
-void PrintTable() {
+void PrintTable(bench::BenchJson* json) {
   bench::Header("E1: the Section 2 MAP query at increasing scale",
                 "Section 2 measured query: 2,423 samples / 83,899,526 peaks "
                 "/ 131,780 promoters -> 29 GB");
@@ -82,6 +82,15 @@ void PrintTable() {
   double last_bytes_per_unit = 0;
   for (const auto& s : scales) {
     ScaledRun run = RunAtScale(s.samples, s.peaks, s.genes);
+    bench::JsonObject& row = json->NewRun();
+    row.Add("samples", static_cast<uint64_t>(run.samples));
+    row.Add("peaks_per_sample", static_cast<uint64_t>(s.peaks));
+    row.Add("genes", static_cast<uint64_t>(s.genes));
+    row.Add("promoters", run.promoters);
+    row.Add("result_samples", static_cast<uint64_t>(run.result_samples));
+    row.Add("result_regions", run.result_regions);
+    row.Add("result_bytes", run.result_bytes);
+    row.Add("wall_seconds", run.seconds);
     std::printf("%8zu %12s %10s %10zu %14s %12s %8.2f\n", run.samples,
                 WithThousands(run.peaks).c_str(),
                 WithThousands(run.promoters).c_str(), run.result_samples,
@@ -106,6 +115,8 @@ void PrintTable() {
       "result regions -> ~%s (paper reports 29 GB)",
       131780.0, 2423, WithThousands(static_cast<uint64_t>(paper_regions)).c_str(),
       HumanBytes(static_cast<uint64_t>(paper_bytes)).c_str());
+  json->top().Add("extrapolated_paper_bytes",
+                  static_cast<uint64_t>(paper_bytes));
 }
 
 void BM_Section2Query(benchmark::State& state) {
@@ -120,7 +131,11 @@ BENCHMARK(BM_Section2Query)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  if (json_path.empty()) json_path = "BENCH_E1.json";
+  bench::BenchJson json("E1 section2 map query");
+  PrintTable(&json);
+  json.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

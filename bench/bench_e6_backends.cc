@@ -77,15 +77,33 @@ BackendRun RunOn(engine::BackendKind backend, const char* gmql) {
   return out;
 }
 
-void PrintTable() {
+void PrintTable(bench::BenchJson* json) {
   bench::Header("E6: materialized (Spark-like) vs pipelined (Flink-like)",
                 "Section 4.2 / ref [10]: early comparison of Flink and Spark "
                 "on three genomic queries");
+  json->top().Add("samples", 8);
+  json->top().Add("peaks_per_sample", 25000);
+  json->top().Add("genes", 3000);
+  json->top().Add("threads", 4);
+  json->top().Add("bin_size", 2000000);
+  auto record = [&](const char* query, const char* backend,
+                    const BackendRun& run) {
+    bench::JsonObject& row = json->NewRun();
+    row.Add("query", query);
+    row.Add("backend", backend);
+    row.Add("wall_seconds", run.seconds);
+    row.Add("shuffle_bytes", run.shuffle_bytes);
+    row.Add("tasks", run.tasks);
+    row.Add("stage_barriers", run.barriers);
+    row.Add("result_regions", run.result_regions);
+  };
   std::printf("%-10s %-14s %10s %14s %8s %8s %14s\n", "query", "backend",
               "sec", "shuffle", "tasks", "barriers", "result_regions");
   for (const auto& q : kQueries) {
     BackendRun mat = RunOn(engine::BackendKind::kMaterialized, q.gmql);
     BackendRun pipe = RunOn(engine::BackendKind::kPipelined, q.gmql);
+    record(q.name, "materialized", mat);
+    record(q.name, "pipelined", pipe);
     std::printf("%-10s %-14s %10.3f %14s %8llu %8llu %14s\n", q.name,
                 "materialized", mat.seconds,
                 HumanBytes(mat.shuffle_bytes).c_str(),
@@ -125,7 +143,11 @@ BENCHMARK(BM_Backend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  if (json_path.empty()) json_path = "BENCH_E6.json";
+  bench::BenchJson json("E6 materialized vs pipelined backends");
+  PrintTable(&json);
+  json.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

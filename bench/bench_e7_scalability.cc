@@ -1,8 +1,15 @@
-// E7 — Section 4.2: parallel scalability on the binned executor.
+// E7 — Section 4.2: parallel scalability of the binned executor, and the
+// flat task graph vs the seed per-pair scheduler.
 //
-// Runs the Section 2 MAP query with 1..N worker threads and reports the
-// speedup series. Shape: near-linear speedup while partitions outnumber
-// workers, flattening at the partition/merge limits (Amdahl).
+// The paper-scale workload shape is MANY samples against one reference
+// (Section 2: 2,423 ENCODE samples), so the dominant parallelism axis is
+// the sample pair, not the partitions within one pair. The seed scheduler
+// looped pairs sequentially (one ParallelFor per pair: a sync point per
+// pair, plus an O(|exp|) partitioner rescan per pair); the flat scheduler
+// emits ONE task list spanning every pair x partition and reuses cached
+// per-sample chromosome indexes. This bench runs the Section 2 MAP query on
+// a many-samples dataset under both schedulers across thread counts and
+// reports the per-thread-count speedup.
 
 #include <thread>
 
@@ -19,82 +26,178 @@ using namespace gdms;  // NOLINT
 using bench::Timer;
 
 const char* kQuery =
-    "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
-    "R = MAP(n AS COUNT, s AS SUM(signal)) PROMS ENCODE;\n"
+    "R = MAP(n AS COUNT, s AS SUM(signal)) PANELS ENCODE;\n"
     "MATERIALIZE R;\n";
 
-void RegisterData(core::QueryRunner* runner) {
-  auto genome = gdm::GenomeAssembly::HumanLike(16, 140000000);
-  sim::PeakDatasetOptions popt;
-  popt.num_samples = 8;
-  popt.peaks_per_sample = 40000;
-  runner->RegisterDataset(sim::GeneratePeakDataset(genome, popt, 7));
-  auto catalog = sim::GenerateGenes(genome, 5000, 7);
-  runner->RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 7));
+// Many experiment samples mapped against several reference panels, the
+// paper-scale workload shape (Section 2 averages ~35k peaks per ENCODE
+// sample over a 22+2-chromosome genome). Every exp sample takes part in
+// kRefPanels pairs, so the seed scheduler rescans each exp sample's regions
+// kRefPanels times (MaxLenByChrom's std::map accumulation) and re-chunks
+// every ref panel once per pair; the flat scheduler builds one cached
+// ChromIndex per exp sample and one chunk list per panel.
+constexpr size_t kRefPanels = 8;
+constexpr size_t kPanelRegions = 400;
+constexpr size_t kSamples = 96;
+constexpr size_t kPeaksPerSample = 25000;
+constexpr int64_t kBinSize = 10000000;
+
+/// Generated once; each run copies out of the masters so dataset synthesis
+/// stays off the clock and every run starts with cold chromosome indexes.
+const gdm::GenomeAssembly& Genome() {
+  static gdm::GenomeAssembly genome =
+      gdm::GenomeAssembly::HumanLike(22, 80000000);
+  return genome;
 }
 
-double RunWithThreads(size_t threads, uint64_t* partitions) {
+void RegisterData(core::QueryRunner* runner) {
+  static const gdm::Dataset panels = [] {
+    sim::PeakDatasetOptions popt;
+    popt.num_samples = kRefPanels;
+    popt.peaks_per_sample = kPanelRegions;
+    gdm::Dataset ds = sim::GeneratePeakDataset(Genome(), popt, 13);
+    ds.set_name("PANELS");
+    return ds;
+  }();
+  static const gdm::Dataset peaks = [] {
+    sim::PeakDatasetOptions popt;
+    popt.num_samples = kSamples;
+    popt.peaks_per_sample = kPeaksPerSample;
+    return sim::GeneratePeakDataset(Genome(), popt, 7);
+  }();
+  runner->RegisterDataset(panels);
+  runner->RegisterDataset(peaks);
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t tasks = 0;
+  uint64_t partitions = 0;
+};
+
+RunResult RunOnce(size_t threads, engine::SchedulingMode scheduling) {
   engine::EngineOptions options;
   options.threads = threads;
-  options.bin_size = 4000000;
+  options.bin_size = kBinSize;
   options.backend = engine::BackendKind::kPipelined;
+  options.scheduling = scheduling;
   engine::ParallelExecutor executor(options);
   core::QueryRunner runner(&executor);
   RegisterData(&runner);
   Timer timer;
   auto results = runner.Run(kQuery);
-  double seconds = timer.Seconds();
+  RunResult out;
+  out.seconds = timer.Seconds();
   results.ValueOrDie();
-  if (partitions != nullptr) {
-    *partitions = executor.trace().partitions.load();
-  }
-  return seconds;
+  out.tasks = executor.trace().tasks.load();
+  out.partitions = executor.trace().partitions.load();
+  return out;
 }
 
-void PrintTable() {
-  bench::Header("E7: thread scalability of the parallel executor",
-                "Section 4.2: computational efficiency via parallel "
-                "computing on clusters and clouds");
+/// Best of `reps` runs: min wall time is the standard noise filter on a
+/// shared/oversubscribed host.
+RunResult RunWith(size_t threads, engine::SchedulingMode scheduling,
+                  int reps = 3) {
+  RunResult best = RunOnce(threads, scheduling);
+  for (int i = 1; i < reps; ++i) {
+    RunResult r = RunOnce(threads, scheduling);
+    if (r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+void PrintTable(bench::BenchJson* json) {
+  bench::Header(
+      "E7: flat (pair x partition) task graph vs seed per-pair scheduler",
+      "Section 4.2: computational efficiency via parallel computing on "
+      "clusters and clouds");
   size_t hw = std::thread::hardware_concurrency();
   std::printf("hardware threads: %zu\n", hw);
-  std::printf("%10s %10s %10s %12s\n", "threads", "sec", "speedup",
-              "partitions");
-  double baseline = 0;
+  std::printf(
+      "workload: MAP of %zu ref panels x %zu exp samples (%zu pairs), "
+      "%zu peaks/sample\n",
+      kRefPanels, kSamples, kRefPanels * kSamples, kPeaksPerSample);
+  json->top().Add("ref_panels", static_cast<uint64_t>(kRefPanels));
+  json->top().Add("panel_regions", static_cast<uint64_t>(kPanelRegions));
+  json->top().Add("samples", static_cast<uint64_t>(kSamples));
+  json->top().Add("peaks_per_sample", static_cast<uint64_t>(kPeaksPerSample));
+  json->top().Add("bin_size", kBinSize);
+  json->top().Add("hardware_threads", static_cast<uint64_t>(hw));
+
+  // Warm the allocator and page cache so the first measured config is not
+  // penalized.
+  (void)RunWith(1, engine::SchedulingMode::kFlat, 1);
+
+  std::printf("%8s %12s %12s %9s %10s %12s\n", "threads", "per-pair(s)",
+              "flat(s)", "speedup", "tasks", "partitions");
+  double flat_base = 0;
+  double best_speedup = 0;
+  double last_speedup = 0;
   for (size_t threads : {1, 2, 4, 8}) {
-    if (threads > 2 * hw && hw > 0) break;
-    uint64_t partitions = 0;
-    double seconds = RunWithThreads(threads, &partitions);
-    if (threads == 1) baseline = seconds;
-    std::printf("%10zu %10.3f %9.2fx %12llu\n", threads, seconds,
-                baseline > 0 ? baseline / seconds : 1.0,
-                static_cast<unsigned long long>(partitions));
+    RunResult seed = RunWith(threads, engine::SchedulingMode::kPerPair);
+    RunResult flat = RunWith(threads, engine::SchedulingMode::kFlat);
+    double speedup = flat.seconds > 0 ? seed.seconds / flat.seconds : 0;
+    best_speedup = std::max(best_speedup, speedup);
+    last_speedup = speedup;
+    if (threads == 1) flat_base = flat.seconds;
+    std::printf("%8zu %12.3f %12.3f %8.2fx %10llu %12llu\n", threads,
+                seed.seconds, flat.seconds, speedup,
+                static_cast<unsigned long long>(flat.tasks),
+                static_cast<unsigned long long>(flat.partitions));
+    for (auto mode : {engine::SchedulingMode::kPerPair,
+                      engine::SchedulingMode::kFlat}) {
+      const RunResult& r =
+          mode == engine::SchedulingMode::kPerPair ? seed : flat;
+      bench::JsonObject& row = json->NewRun();
+      row.Add("threads", static_cast<uint64_t>(threads));
+      row.Add("scheduling", engine::SchedulingModeName(mode));
+      row.Add("wall_seconds", r.seconds);
+      row.Add("tasks", r.tasks);
+      row.Add("partitions", r.partitions);
+    }
+  }
+  json->top().Add("speedup_at_max_threads", last_speedup);
+  if (flat_base > 0) {
+    bench::Note(
+        "flat-vs-seed speedup holds the per-pair sync points and the "
+        "per-pair O(|exp|)\npartitioner rescans constant (they are paid once "
+        "per distinct sample, not once\nper pair); on multi-core hosts the "
+        "flat list additionally parallelizes across\npairs, the dominant "
+        "axis of the paper's 2,423-sample workload.");
   }
   if (hw <= 1) {
     bench::Note(
-        "NOTE: this host exposes a single hardware thread, so measured "
-        "speedup cannot\nexceed ~1x (extra workers only add scheduling "
-        "overhead). On a multi-core host\nthe series climbs toward the "
-        "worker count while partitions outnumber workers.");
-  } else {
-    bench::Note(
-        "shape check: speedup approaches the thread count while (chromosome, "
-        "bin)\npartitions outnumber workers, then flattens — the cluster "
-        "parallelism the paper\nrelies on, modeled in-process.");
+        "NOTE: this host exposes a single hardware thread; thread-count "
+        "scaling cannot\nexceed ~1x here, so the flat-vs-seed ratio above is "
+        "pure scheduling+indexing\nsavings. On a multi-core host the gap "
+        "widens with the thread count.");
   }
 }
 
 void BM_MapScaling(benchmark::State& state) {
+  auto scheduling = state.range(1) == 0 ? engine::SchedulingMode::kPerPair
+                                        : engine::SchedulingMode::kFlat;
   for (auto _ : state) {
-    double seconds = RunWithThreads(static_cast<size_t>(state.range(0)), nullptr);
-    benchmark::DoNotOptimize(seconds);
+    RunResult r = RunOnce(static_cast<size_t>(state.range(0)), scheduling);
+    benchmark::DoNotOptimize(r.seconds);
   }
+  state.SetLabel(engine::SchedulingModeName(scheduling));
 }
-BENCHMARK(BM_MapScaling)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapScaling)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  if (json_path.empty()) json_path = "BENCH_E7.json";
+  bench::BenchJson json("E7 scheduler scalability");
+  PrintTable(&json);
+  json.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,8 +8,12 @@
 
 #include <chrono>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gdms::bench {
 
@@ -41,6 +45,112 @@ inline void Note(const char* fmt, ...) {
   std::vprintf(fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// One flat JSON object, rendered in insertion order.
+class JsonObject {
+ public:
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<int64_t>(value));
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Machine-readable bench report: top-level fields (workload parameters)
+/// plus a "runs" array of per-configuration measurements. Written when the
+/// bench was invoked with `--json <path>`.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& experiment) {
+    top_.Add("experiment", experiment);
+  }
+
+  JsonObject& top() { return top_; }
+  JsonObject& NewRun() {
+    runs_.emplace_back();
+    return runs_.back();
+  }
+
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return false;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string top = top_.Render();
+    top.pop_back();  // re-open the object to append the runs array
+    std::fprintf(f, "%s, \"runs\": [", top.c_str());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      std::fprintf(f, "%s%s", i > 0 ? ", " : "", runs_[i].Render().c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  JsonObject top_;
+  std::vector<JsonObject> runs_;
+};
+
+/// Extracts `--json <path>` (or `--json=<path>`) from argv, removing it so
+/// benchmark::Initialize does not reject the unknown flag. Returns the path,
+/// or an empty string when the flag is absent.
+inline std::string JsonPathFromArgs(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return path;
 }
 
 }  // namespace gdms::bench

@@ -1,6 +1,8 @@
 #ifndef GDMS_COMMON_STATUS_H_
 #define GDMS_COMMON_STATUS_H_
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -90,6 +92,40 @@ class Status {
  private:
   StatusCode code_;
   std::string msg_;
+};
+
+/// \brief First-error capture for parallel task groups.
+///
+/// Tasks report failures with Capture(); the first non-OK status wins and
+/// later ones are dropped (std::call_once), unlike a mutex-guarded
+/// "last error wins" slot where the surviving status depends on scheduling.
+/// failed() is a cheap atomic read usable as an early-out inside tasks.
+class FirstError {
+ public:
+  FirstError() = default;
+  FirstError(const FirstError&) = delete;
+  FirstError& operator=(const FirstError&) = delete;
+
+  /// Records `status` if it is the first non-OK one; OK statuses are ignored.
+  void Capture(Status status) {
+    if (status.ok()) return;
+    std::call_once(once_, [&] {
+      status_ = std::move(status);
+      failed_.store(true, std::memory_order_release);
+    });
+  }
+
+  /// True once any task has captured a failure.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// The first captured failure, or OK. Safe to call concurrently with
+  /// Capture: the status is only read behind the release/acquire flag.
+  Status status() const { return failed() ? status_ : Status::OK(); }
+
+ private:
+  std::once_flag once_;
+  std::atomic<bool> failed_{false};
+  Status status_;
 };
 
 /// \brief Either a value of type T or an error Status.

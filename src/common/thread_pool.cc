@@ -38,6 +38,42 @@ void ThreadPool::WaitIdle() {
   cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
 }
 
+namespace {
+
+/// Shared state of one ParallelFor batch. Helper tasks hold it by
+/// shared_ptr, so a helper that only gets scheduled after the batch has
+/// finished (its caller drained the cursor alone) finds an exhausted cursor
+/// and exits without touching freed caller stack.
+struct ParallelForBatch {
+  std::function<void(size_t)> fn;
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> completed{0};
+  size_t n = 0;
+  size_t grain = 1;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Claims chunks until the cursor is exhausted; returns items completed.
+  size_t Drain() {
+    size_t local = 0;
+    while (true) {
+      size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) fn(i);
+      local += end - begin;
+    }
+    if (local > 0 &&
+        completed.fetch_add(local, std::memory_order_acq_rel) + local == n) {
+      std::lock_guard<std::mutex> lk(mu);
+      cv.notify_all();
+    }
+    return local;
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   size_t threads = workers_.size();
@@ -45,31 +81,28 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Chunked dynamic scheduling: a shared atomic cursor, one task per worker.
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
-  size_t grain = std::max<size_t>(1, n / (threads * 8));
-  size_t tasks = std::min(threads, (n + grain - 1) / grain);
-  auto remaining = std::make_shared<std::atomic<size_t>>(tasks);
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  bool done = false;
-  for (size_t t = 0; t < tasks; ++t) {
-    Submit([&, cursor, remaining, grain, n] {
-      while (true) {
-        size_t begin = cursor->fetch_add(grain);
-        if (begin >= n) break;
-        size_t end = std::min(n, begin + grain);
-        for (size_t i = begin; i < end; ++i) fn(i);
-      }
-      if (remaining->fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lk(done_mu);
-        done = true;
-        done_cv.notify_all();
-      }
+  // Chunked dynamic scheduling over a shared atomic cursor. The caller
+  // participates in draining the cursor, which makes the batch
+  // nesting-safe: completion never depends on the queued helper tasks
+  // actually running, so a ParallelFor issued from inside a worker (or
+  // while every worker is blocked in another batch) still finishes — the
+  // calling thread can always complete every item by itself.
+  auto batch = std::make_shared<ParallelForBatch>();
+  batch->fn = fn;
+  batch->n = n;
+  batch->grain = std::max<size_t>(1, n / (threads * 8));
+  size_t helpers =
+      std::min(threads, (n + batch->grain - 1) / batch->grain);
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([batch] { batch->Drain(); });
+  }
+  batch->Drain();
+  if (batch->completed.load(std::memory_order_acquire) < n) {
+    std::unique_lock<std::mutex> lk(batch->mu);
+    batch->cv.wait(lk, [&] {
+      return batch->completed.load(std::memory_order_acquire) == n;
     });
   }
-  std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -34,7 +34,10 @@ class ThreadPool {
   void WaitIdle();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Grain size is chosen automatically; fn must be thread-safe.
+  /// Grain size is chosen automatically; fn must be thread-safe. The calling
+  /// thread participates in the work, so the call is safe to nest (a
+  /// ParallelFor issued from inside a worker cannot deadlock the pool: the
+  /// caller can always drain the whole batch itself).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }

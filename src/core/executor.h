@@ -9,6 +9,17 @@
 
 namespace gdms::core {
 
+/// Scheduling counters an executor may expose to the runner; the runner
+/// snapshots them into RunStats after every program so callers (benches,
+/// the shell) can report task/partition/shuffle figures without knowing the
+/// concrete engine.
+struct ExecutorStats {
+  uint64_t tasks = 0;           ///< worker tasks executed
+  uint64_t partitions = 0;      ///< genomic partitions scheduled
+  uint64_t shuffle_bytes = 0;   ///< bytes through the shuffle codec
+  uint64_t stage_barriers = 0;  ///< global stage barriers
+};
+
 /// \brief Strategy interface for evaluating one plan node.
 ///
 /// The runner walks the DAG and hands each non-source node, with its already
@@ -24,6 +35,11 @@ class Executor {
 
   virtual Result<gdm::Dataset> Execute(
       const PlanNode& node, const std::vector<const gdm::Dataset*>& inputs) = 0;
+
+  /// Scheduling counters accumulated since the last ResetStats; the
+  /// sequential reference executor reports zeros.
+  virtual ExecutorStats stats() const { return {}; }
+  virtual void ResetStats() {}
 };
 
 /// Sequential reference executor.

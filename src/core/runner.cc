@@ -37,6 +37,7 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
     Program program) {
   auto start = std::chrono::steady_clock::now();
   stats_ = RunStats{};
+  executor_->ResetStats();
   if (optimize_) {
     stats_.optimizer = Optimizer::Optimize(&program);
   }
@@ -80,6 +81,7 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
     out.set_name(sink->name);
     outputs.insert_or_assign(sink->name, std::move(out));
   }
+  stats_.executor = executor_->stats();
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -19,6 +19,9 @@ struct RunStats {
   size_t operators_evaluated = 0;  ///< nodes executed (memoization excluded)
   size_t cache_hits = 0;           ///< nodes served from the memo table
   OptimizerStats optimizer;
+  /// Executor scheduling counters for this program (tasks, partitions,
+  /// shuffle bytes, stage barriers); zeros under the reference executor.
+  ExecutorStats executor;
   double wall_seconds = 0;
 };
 

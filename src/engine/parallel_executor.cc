@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "engine/shuffle.h"
 #include "interval/accumulation.h"
@@ -15,11 +16,14 @@ using core::AggAccumulator;
 using core::AggregateSpec;
 using core::OpKind;
 using core::Operators;
+using gdm::ChromIndex;
 using gdm::Dataset;
 using gdm::GenomicRegion;
 using gdm::RegionSchema;
 using gdm::Sample;
 using gdm::Value;
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 
 /// Overlap sweep over single-chromosome slices (both sorted by left).
 /// `window` > 0 turns it into a distance-window sweep.
@@ -48,7 +52,9 @@ void SliceSweep(const std::vector<GenomicRegion>& refs, size_t rb, size_t re,
   }
 }
 
-/// Max region length per chromosome of a sorted region list.
+/// Max region length per chromosome of a sorted region list. Only the seed
+/// (kPerPair) partitioner uses this O(|exp|)-per-pair rescan; the flat
+/// scheduler reads the same figures from the sample's cached ChromIndex.
 std::map<int32_t, int64_t> MaxLenByChrom(
     const std::vector<GenomicRegion>& regions) {
   std::map<int32_t, int64_t> out;
@@ -66,6 +72,27 @@ uint64_t SliceBytes(const std::vector<GenomicRegion>& regions, size_t begin,
   return buffer->size() - before;
 }
 
+/// Ref-side bin chunks, computed once per distinct ref sample and shared by
+/// every pair that reuses the sample (the dominant case: one reference
+/// against thousands of experiment samples).
+class RefChunkCache {
+ public:
+  explicit RefChunkCache(int64_t bin_size) : bin_size_(bin_size) {}
+
+  const std::vector<RefChunk>& ChunksFor(const Sample& sample) {
+    auto it = cache_.find(&sample);
+    if (it == cache_.end()) {
+      it = cache_.emplace(&sample, MakeRefChunks(sample.regions, bin_size_))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  int64_t bin_size_;
+  std::unordered_map<const Sample*, std::vector<RefChunk>> cache_;
+};
+
 }  // namespace
 
 const char* BackendKindName(BackendKind kind) {
@@ -74,6 +101,16 @@ const char* BackendKindName(BackendKind kind) {
       return "materialized";
     case BackendKind::kPipelined:
       return "pipelined";
+  }
+  return "?";
+}
+
+const char* SchedulingModeName(SchedulingMode mode) {
+  switch (mode) {
+    case SchedulingMode::kFlat:
+      return "flat";
+    case SchedulingMode::kPerPair:
+      return "per-pair";
   }
   return "?";
 }
@@ -155,7 +192,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelSelect(
   }
   std::vector<Sample> results(kept.size());
   pool_.ParallelFor(kept.size(), [&](size_t si) {
-    trace_.tasks.fetch_add(1);
+    trace_.tasks.fetch_add(1, kRelaxed);
     const Sample& s = *kept[si];
     Sample ns(s.id);
     ns.metadata = s.metadata;
@@ -173,27 +210,105 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
     const core::DifferenceParams& params, const Dataset& left,
     const Dataset& right) {
   Dataset out("DIFFERENCE", left.schema());
-  std::vector<Sample> results(left.num_samples());
-  pool_.ParallelFor(left.num_samples(), [&](size_t si) {
-    trace_.tasks.fetch_add(1);
-    const Sample& ls = left.sample(si);
+
+  if (options_.scheduling == SchedulingMode::kPerPair) {
+    // Seed scheduler: one task per left sample, right side rescanned with
+    // the O(S^2) joinby loop and negatives re-sorted whole per sample.
+    std::vector<Sample> results(left.num_samples());
+    pool_.ParallelFor(left.num_samples(), [&](size_t si) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      const Sample& ls = left.sample(si);
+      std::vector<GenomicRegion> negatives;
+      for (const auto& rs : right.samples()) {
+        if (Operators::JoinbyMatch(params.joinby, ls.metadata, rs.metadata)) {
+          negatives.insert(negatives.end(), rs.regions.begin(),
+                           rs.regions.end());
+        }
+      }
+      Sample ns(ls.id);
+      ns.metadata = ls.metadata;
+      if (negatives.empty()) {
+        ns.regions = ls.regions;
+      } else {
+        gdm::SortRegions(&negatives);
+        auto flags = interval::ExistsOverlap(ls.regions, negatives);
+        for (size_t i = 0; i < ls.regions.size(); ++i) {
+          if (!flags[i]) ns.regions.push_back(ls.regions[i]);
+        }
+      }
+      results[si] = std::move(ns);
+    });
+    for (auto& s : results) out.AddSample(std::move(s));
+    return out;
+  }
+
+  // Flat scheduler: tasks span (left sample x chromosome). Negatives are
+  // gathered per chromosome through each matched right sample's cached
+  // index, so only same-chromosome slices are merged and sorted — overlap
+  // never crosses chromosomes, so per-chromosome difference equals the
+  // whole-sample difference.
+  auto pair_idx = MatchJoinbyPairs(left, right, params.joinby);
+  std::vector<std::vector<const Sample*>> matched(left.num_samples());
+  for (const auto& [l, r] : pair_idx) matched[l].push_back(&right.sample(r));
+
+  // Chromosome indexes are built lazily and non-thread-safely; touch every
+  // involved sample's index here, before fanning out.
+  for (const auto& s : left.samples()) (void)s.chrom_index();
+  for (const auto& s : right.samples()) (void)s.chrom_index();
+
+  struct DiffTask {
+    size_t sample;
+    int32_t chrom;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<DiffTask> tasks;
+  std::vector<std::pair<size_t, size_t>> task_range(left.num_samples());
+  for (size_t si = 0; si < left.num_samples(); ++si) {
+    task_range[si].first = tasks.size();
+    for (const auto& slice : left.sample(si).chrom_index().slices()) {
+      tasks.push_back({si, slice.chrom, slice.begin, slice.end});
+    }
+    task_range[si].second = tasks.size();
+  }
+  trace_.partitions.fetch_add(tasks.size(), kRelaxed);
+
+  std::vector<std::vector<GenomicRegion>> kept(tasks.size());
+  pool_.ParallelFor(tasks.size(), [&](size_t ti) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    const DiffTask& t = tasks[ti];
+    const Sample& ls = left.sample(t.sample);
     std::vector<GenomicRegion> negatives;
-    for (const auto& rs : right.samples()) {
-      if (Operators::JoinbyMatch(params.joinby, ls.metadata, rs.metadata)) {
-        negatives.insert(negatives.end(), rs.regions.begin(),
-                         rs.regions.end());
+    for (const Sample* rs : matched[t.sample]) {
+      const ChromIndex::Slice* slice = rs->chrom_index().FindSlice(t.chrom);
+      if (slice != nullptr) {
+        negatives.insert(negatives.end(), rs->regions.begin() + slice->begin,
+                         rs->regions.begin() + slice->end);
       }
     }
+    std::vector<GenomicRegion> refs(ls.regions.begin() + t.begin,
+                                    ls.regions.begin() + t.end);
+    if (negatives.empty()) {
+      kept[ti] = std::move(refs);
+      return;
+    }
+    gdm::SortRegions(&negatives);
+    auto flags = interval::ExistsOverlap(refs, negatives);
+    for (size_t i = 0; i < refs.size(); ++i) {
+      if (!flags[i]) kept[ti].push_back(std::move(refs[i]));
+    }
+  });
+
+  std::vector<Sample> results(left.num_samples());
+  pool_.ParallelFor(left.num_samples(), [&](size_t si) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    const Sample& ls = left.sample(si);
     Sample ns(ls.id);
     ns.metadata = ls.metadata;
-    if (negatives.empty()) {
-      ns.regions = ls.regions;
-    } else {
-      gdm::SortRegions(&negatives);
-      auto flags = interval::ExistsOverlap(ls.regions, negatives);
-      for (size_t i = 0; i < ls.regions.size(); ++i) {
-        if (!flags[i]) ns.regions.push_back(ls.regions[i]);
-      }
+    for (size_t ti = task_range[si].first; ti < task_range[si].second; ++ti) {
+      ns.regions.insert(ns.regions.end(),
+                        std::make_move_iterator(kept[ti].begin()),
+                        std::make_move_iterator(kept[ti].end()));
     }
     results[si] = std::move(ns);
   });
@@ -210,101 +325,46 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
                         Operators::MapOutputSchema(params, ref.schema()));
   Dataset out("MAP", schema);
 
-  struct PairTask {
-    const Sample* ref;
-    const Sample* exp;
+  auto pair_idx = MatchJoinbyPairs(ref, exp, params.joinby);
+  std::vector<Sample> results(pair_idx.size());
+
+  // Runs one partition's aggregation, writing finished values into the
+  // pair's agg_values rows (rows are disjoint across partitions). `rb` is 0
+  // with `part.ref_begin` as the output offset when refs were rehydrated
+  // from the shuffle codec.
+  auto compute = [&](std::vector<std::vector<Value>>& agg_values,
+                     const Partition& part,
+                     const std::vector<GenomicRegion>& refs, size_t rb,
+                     size_t re, const std::vector<GenomicRegion>& exps,
+                     size_t eb, size_t ee) {
+    std::vector<std::vector<AggAccumulator>> accs(re - rb);
+    for (auto& row : accs) {
+      row.reserve(specs.size());
+      for (const auto& spec : specs) row.emplace_back(spec.func);
+    }
+    SliceSweep(refs, rb, re, exps, eb, ee, 0, [&](size_t i, size_t a) {
+      if (!refs[i].Overlaps(exps[a])) return;
+      auto& row = accs[i - rb];
+      for (size_t x = 0; x < specs.size(); ++x) {
+        if (agg_inputs[x] == SIZE_MAX) {
+          row[x].AddRegion();
+        } else {
+          row[x].Add(exps[a].values[agg_inputs[x]]);
+        }
+      }
+    });
+    for (size_t i = 0; i < accs.size(); ++i) {
+      std::vector<Value> vals;
+      vals.reserve(specs.size());
+      for (auto& acc : accs[i]) vals.push_back(acc.Finish());
+      agg_values[part.ref_begin + i] = std::move(vals);
+    }
   };
-  std::vector<PairTask> pairs;
-  for (const auto& rs : ref.samples()) {
-    for (const auto& es : exp.samples()) {
-      if (Operators::JoinbyMatch(params.joinby, rs.metadata, es.metadata)) {
-        pairs.push_back({&rs, &es});
-      }
-    }
-  }
-  std::vector<Sample> results(pairs.size());
 
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    const Sample& rs = *pairs[p].ref;
-    const Sample& es = *pairs[p].exp;
+  // Builds the output sample for one pair from its finished agg rows.
+  auto assemble = [&](const Sample& rs, const Sample& es,
+                      std::vector<std::vector<Value>>& agg_values) {
     Sample ns = Operators::DerivedSample("MAP", rs, es, false);
-    auto partitions = MakePartitions(rs.regions, es.regions, 0);
-    trace_.partitions.fetch_add(partitions.size());
-
-    // agg_values[ri] = finished aggregate values for ref region ri; rows are
-    // disjoint across partitions.
-    std::vector<std::vector<Value>> agg_values(rs.regions.size());
-
-    auto compute = [&](const Partition& part,
-                       const std::vector<GenomicRegion>& refs, size_t rb,
-                       size_t re, const std::vector<GenomicRegion>& exps,
-                       size_t eb, size_t ee) {
-      std::vector<std::vector<AggAccumulator>> accs(re - rb);
-      for (auto& row : accs) {
-        row.reserve(specs.size());
-        for (const auto& spec : specs) row.emplace_back(spec.func);
-      }
-      SliceSweep(refs, rb, re, exps, eb, ee, 0, [&](size_t i, size_t a) {
-        if (!refs[i].Overlaps(exps[a])) return;
-        auto& row = accs[i - rb];
-        for (size_t x = 0; x < specs.size(); ++x) {
-          if (agg_inputs[x] == SIZE_MAX) {
-            row[x].AddRegion();
-          } else {
-            row[x].Add(exps[a].values[agg_inputs[x]]);
-          }
-        }
-      });
-      for (size_t i = 0; i < accs.size(); ++i) {
-        std::vector<Value> vals;
-        vals.reserve(specs.size());
-        for (auto& acc : accs[i]) vals.push_back(acc.Finish());
-        agg_values[part.ref_begin + i] = std::move(vals);
-      }
-    };
-
-    if (options_.backend == BackendKind::kMaterialized) {
-      // Stage 1: serialize every partition (the shuffle write).
-      std::vector<std::string> ref_buffers(partitions.size());
-      std::vector<std::string> exp_buffers(partitions.size());
-      pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-        trace_.tasks.fetch_add(1);
-        const Partition& part = partitions[pi];
-        trace_.shuffle_bytes.fetch_add(SliceBytes(
-            rs.regions, part.ref_begin, part.ref_end, &ref_buffers[pi]));
-        trace_.shuffle_bytes.fetch_add(SliceBytes(
-            es.regions, part.exp_begin, part.exp_end, &exp_buffers[pi]));
-      });
-      trace_.stage_barriers.fetch_add(1);
-      // Stage 2: deserialize (the shuffle read) and compute.
-      Status failure = Status::OK();
-      std::mutex failure_mu;
-      pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-        trace_.tasks.fetch_add(1);
-        const Partition& part = partitions[pi];
-        auto refs = RegionCodec::Decode(ref_buffers[pi]);
-        auto exps = RegionCodec::Decode(exp_buffers[pi]);
-        if (!refs.ok() || !exps.ok()) {
-          std::lock_guard<std::mutex> lk(failure_mu);
-          failure = refs.ok() ? exps.status() : refs.status();
-          return;
-        }
-        const auto& rv = refs.value();
-        const auto& ev = exps.value();
-        Partition local = part;
-        compute(local, rv, 0, rv.size(), ev, 0, ev.size());
-      });
-      GDMS_RETURN_NOT_OK(failure);
-    } else {
-      // Pipelined: one pass, zero-copy slice views.
-      pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-        trace_.tasks.fetch_add(1);
-        const Partition& part = partitions[pi];
-        compute(part, rs.regions, part.ref_begin, part.ref_end, es.regions,
-                part.exp_begin, part.exp_end);
-      });
-    }
-
     ns.regions.reserve(rs.regions.size());
     for (size_t ri = 0; ri < rs.regions.size(); ++ri) {
       GenomicRegion nr = rs.regions[ri];
@@ -318,8 +378,145 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
       }
       ns.regions.push_back(std::move(nr));
     }
-    results[p] = std::move(ns);
+    return ns;
+  };
+
+  if (options_.scheduling == SchedulingMode::kPerPair) {
+    // Seed scheduler: sequential outer loop, one ParallelFor per pair (a
+    // stage barrier per pair for the materialized backend).
+    for (size_t p = 0; p < pair_idx.size(); ++p) {
+      const Sample& rs = ref.sample(pair_idx[p].first);
+      const Sample& es = exp.sample(pair_idx[p].second);
+      auto partitions = MakePartitions(rs.regions, es.regions, 0);
+      trace_.partitions.fetch_add(partitions.size(), kRelaxed);
+      std::vector<std::vector<Value>> agg_values(rs.regions.size());
+
+      if (options_.backend == BackendKind::kMaterialized) {
+        std::vector<std::string> ref_buffers(partitions.size());
+        std::vector<std::string> exp_buffers(partitions.size());
+        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+          trace_.tasks.fetch_add(1, kRelaxed);
+          const Partition& part = partitions[pi];
+          trace_.shuffle_bytes.fetch_add(
+              SliceBytes(rs.regions, part.ref_begin, part.ref_end,
+                         &ref_buffers[pi]),
+              kRelaxed);
+          trace_.shuffle_bytes.fetch_add(
+              SliceBytes(es.regions, part.exp_begin, part.exp_end,
+                         &exp_buffers[pi]),
+              kRelaxed);
+        });
+        trace_.stage_barriers.fetch_add(1, kRelaxed);
+        FirstError errors;
+        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+          trace_.tasks.fetch_add(1, kRelaxed);
+          if (errors.failed()) return;
+          auto refs = RegionCodec::Decode(ref_buffers[pi]);
+          auto exps = RegionCodec::Decode(exp_buffers[pi]);
+          if (!refs.ok() || !exps.ok()) {
+            errors.Capture(refs.ok() ? exps.status() : refs.status());
+            return;
+          }
+          const auto& rv = refs.value();
+          const auto& ev = exps.value();
+          compute(agg_values, partitions[pi], rv, 0, rv.size(), ev, 0,
+                  ev.size());
+        });
+        GDMS_RETURN_NOT_OK(errors.status());
+      } else {
+        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
+          trace_.tasks.fetch_add(1, kRelaxed);
+          const Partition& part = partitions[pi];
+          compute(agg_values, part, rs.regions, part.ref_begin, part.ref_end,
+                  es.regions, part.exp_begin, part.exp_end);
+        });
+      }
+      results[p] = assemble(rs, es, agg_values);
+    }
+    for (auto& s : results) out.AddSample(std::move(s));
+    return out;
   }
+
+  // Flat scheduler: ONE task list spanning every pair x partition. Ref
+  // chunks are computed once per distinct ref sample; exp ranges come from
+  // the exp sample's cached ChromIndex (built here, on the calling thread).
+  struct PairState {
+    const Sample* rs;
+    const Sample* es;
+    size_t part_begin;
+    size_t part_end;
+    std::vector<std::vector<Value>> agg_values;
+  };
+  std::vector<PairState> pairs;
+  pairs.reserve(pair_idx.size());
+  std::vector<Partition> parts;
+  std::vector<size_t> owner;  // parts[i] belongs to pairs[owner[i]]
+  RefChunkCache chunks(options_.bin_size);
+  for (const auto& [l, r] : pair_idx) {
+    PairState ps;
+    ps.rs = &ref.sample(l);
+    ps.es = &exp.sample(r);
+    auto bound = BindPartitions(chunks.ChunksFor(*ps.rs), ps.es->regions,
+                                ps.es->chrom_index(), 0);
+    ps.part_begin = parts.size();
+    parts.insert(parts.end(), bound.begin(), bound.end());
+    ps.part_end = parts.size();
+    owner.resize(parts.size(), pairs.size());
+    ps.agg_values.resize(ps.rs->regions.size());
+    pairs.push_back(std::move(ps));
+  }
+  trace_.partitions.fetch_add(parts.size(), kRelaxed);
+
+  if (options_.backend == BackendKind::kMaterialized) {
+    // Stage 1: serialize every partition of every pair (the shuffle write);
+    // ONE global barrier; stage 2: deserialize and compute.
+    std::vector<std::string> ref_buffers(parts.size());
+    std::vector<std::string> exp_buffers(parts.size());
+    pool_.ParallelFor(parts.size(), [&](size_t pi) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      const PairState& ps = pairs[owner[pi]];
+      const Partition& part = parts[pi];
+      trace_.shuffle_bytes.fetch_add(
+          SliceBytes(ps.rs->regions, part.ref_begin, part.ref_end,
+                     &ref_buffers[pi]),
+          kRelaxed);
+      trace_.shuffle_bytes.fetch_add(
+          SliceBytes(ps.es->regions, part.exp_begin, part.exp_end,
+                     &exp_buffers[pi]),
+          kRelaxed);
+    });
+    trace_.stage_barriers.fetch_add(1, kRelaxed);
+    FirstError errors;
+    pool_.ParallelFor(parts.size(), [&](size_t pi) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      if (errors.failed()) return;
+      auto refs = RegionCodec::Decode(ref_buffers[pi]);
+      auto exps = RegionCodec::Decode(exp_buffers[pi]);
+      if (!refs.ok() || !exps.ok()) {
+        errors.Capture(refs.ok() ? exps.status() : refs.status());
+        return;
+      }
+      const auto& rv = refs.value();
+      const auto& ev = exps.value();
+      compute(pairs[owner[pi]].agg_values, parts[pi], rv, 0, rv.size(), ev, 0,
+              ev.size());
+    });
+    GDMS_RETURN_NOT_OK(errors.status());
+  } else {
+    pool_.ParallelFor(parts.size(), [&](size_t pi) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      PairState& ps = pairs[owner[pi]];
+      const Partition& part = parts[pi];
+      compute(ps.agg_values, part, ps.rs->regions, part.ref_begin,
+              part.ref_end, ps.es->regions, part.exp_begin, part.exp_end);
+    });
+  }
+
+  pool_.ParallelFor(pairs.size(), [&](size_t p) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    PairState& ps = pairs[p];
+    results[p] = assemble(*ps.rs, *ps.es, ps.agg_values);
+  });
   for (auto& s : results) out.AddSample(std::move(s));
   return out;
 }
@@ -333,57 +530,54 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
   }
   Dataset out("JOIN",
               Operators::JoinOutputSchema(left.schema(), right.schema()));
-  struct PairTask {
-    const Sample* l;
-    const Sample* r;
-  };
-  std::vector<PairTask> pairs;
-  for (const auto& ls : left.samples()) {
-    for (const auto& rsamp : right.samples()) {
-      if (Operators::JoinbyMatch(params.joinby, ls.metadata, rsamp.metadata)) {
-        pairs.push_back({&ls, &rsamp});
-      }
-    }
-  }
-  std::vector<Sample> results(pairs.size());
+  auto pair_idx = MatchJoinbyPairs(left, right, params.joinby);
+  std::vector<Sample> results(pair_idx.size());
 
   if (params.predicate.md_k > 0) {
     // MD(k) crosses partition boundaries; parallelize over pairs only.
-    pool_.ParallelFor(pairs.size(), [&](size_t p) {
-      trace_.tasks.fetch_add(1);
-      results[p] = Operators::JoinPair(params, *pairs[p].l, *pairs[p].r);
+    pool_.ParallelFor(pair_idx.size(), [&](size_t p) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      results[p] = Operators::JoinPair(params, left.sample(pair_idx[p].first),
+                                       right.sample(pair_idx[p].second));
     });
-  } else {
-    int64_t window = std::max<int64_t>(0, params.predicate.max_dist) + 1;
-    for (size_t p = 0; p < pairs.size(); ++p) {
-      const Sample& ls = *pairs[p].l;
-      const Sample& rsamp = *pairs[p].r;
+    for (auto& s : results) out.AddSample(std::move(s));
+    return out;
+  }
+
+  int64_t window = std::max<int64_t>(0, params.predicate.max_dist) + 1;
+
+  if (options_.scheduling == SchedulingMode::kPerPair) {
+    for (size_t p = 0; p < pair_idx.size(); ++p) {
+      const Sample& ls = left.sample(pair_idx[p].first);
+      const Sample& rsamp = right.sample(pair_idx[p].second);
       Sample ns = Operators::DerivedSample("JOIN", ls, rsamp, true);
       auto partitions = MakePartitions(ls.regions, rsamp.regions, window);
-      trace_.partitions.fetch_add(partitions.size());
+      trace_.partitions.fetch_add(partitions.size(), kRelaxed);
       std::vector<std::vector<GenomicRegion>> chunk_out(partitions.size());
 
       if (options_.backend == BackendKind::kMaterialized) {
         std::vector<std::string> lbuf(partitions.size());
         std::vector<std::string> rbuf(partitions.size());
         pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1);
+          trace_.tasks.fetch_add(1, kRelaxed);
           const Partition& part = partitions[pi];
           trace_.shuffle_bytes.fetch_add(
-              SliceBytes(ls.regions, part.ref_begin, part.ref_end, &lbuf[pi]));
-          trace_.shuffle_bytes.fetch_add(SliceBytes(
-              rsamp.regions, part.exp_begin, part.exp_end, &rbuf[pi]));
+              SliceBytes(ls.regions, part.ref_begin, part.ref_end, &lbuf[pi]),
+              kRelaxed);
+          trace_.shuffle_bytes.fetch_add(
+              SliceBytes(rsamp.regions, part.exp_begin, part.exp_end,
+                         &rbuf[pi]),
+              kRelaxed);
         });
-        trace_.stage_barriers.fetch_add(1);
-        Status failure = Status::OK();
-        std::mutex failure_mu;
+        trace_.stage_barriers.fetch_add(1, kRelaxed);
+        FirstError errors;
         pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1);
+          trace_.tasks.fetch_add(1, kRelaxed);
+          if (errors.failed()) return;
           auto lr = RegionCodec::Decode(lbuf[pi]);
           auto rr = RegionCodec::Decode(rbuf[pi]);
           if (!lr.ok() || !rr.ok()) {
-            std::lock_guard<std::mutex> lk(failure_mu);
-            failure = lr.ok() ? rr.status() : lr.status();
+            errors.Capture(lr.ok() ? rr.status() : lr.status());
             return;
           }
           const auto& lv = lr.value();
@@ -394,10 +588,10 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
                                            &chunk_out[pi]);
                      });
         });
-        GDMS_RETURN_NOT_OK(failure);
+        GDMS_RETURN_NOT_OK(errors.status());
       } else {
         pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1);
+          trace_.tasks.fetch_add(1, kRelaxed);
           const Partition& part = partitions[pi];
           SliceSweep(ls.regions, part.ref_begin, part.ref_end, rsamp.regions,
                      part.exp_begin, part.exp_end, window,
@@ -415,7 +609,97 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
       ns.SortNow();
       results[p] = std::move(ns);
     }
+    for (auto& s : results) out.AddSample(std::move(s));
+    return out;
   }
+
+  // Flat scheduler: one task list over all pairs x partitions, then a
+  // parallel per-pair assembly (concatenate + sort).
+  struct PairState {
+    const Sample* ls;
+    const Sample* rs;
+    size_t part_begin;
+    size_t part_end;
+  };
+  std::vector<PairState> pairs;
+  pairs.reserve(pair_idx.size());
+  std::vector<Partition> parts;
+  std::vector<size_t> owner;
+  RefChunkCache chunks(options_.bin_size);
+  for (const auto& [l, r] : pair_idx) {
+    PairState ps;
+    ps.ls = &left.sample(l);
+    ps.rs = &right.sample(r);
+    auto bound = BindPartitions(chunks.ChunksFor(*ps.ls), ps.rs->regions,
+                                ps.rs->chrom_index(), window);
+    ps.part_begin = parts.size();
+    parts.insert(parts.end(), bound.begin(), bound.end());
+    ps.part_end = parts.size();
+    owner.resize(parts.size(), pairs.size());
+    pairs.push_back(ps);
+  }
+  trace_.partitions.fetch_add(parts.size(), kRelaxed);
+
+  std::vector<std::vector<GenomicRegion>> chunk_out(parts.size());
+  if (options_.backend == BackendKind::kMaterialized) {
+    std::vector<std::string> lbuf(parts.size());
+    std::vector<std::string> rbuf(parts.size());
+    pool_.ParallelFor(parts.size(), [&](size_t pi) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      const PairState& ps = pairs[owner[pi]];
+      const Partition& part = parts[pi];
+      trace_.shuffle_bytes.fetch_add(
+          SliceBytes(ps.ls->regions, part.ref_begin, part.ref_end, &lbuf[pi]),
+          kRelaxed);
+      trace_.shuffle_bytes.fetch_add(
+          SliceBytes(ps.rs->regions, part.exp_begin, part.exp_end, &rbuf[pi]),
+          kRelaxed);
+    });
+    trace_.stage_barriers.fetch_add(1, kRelaxed);
+    FirstError errors;
+    pool_.ParallelFor(parts.size(), [&](size_t pi) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      if (errors.failed()) return;
+      auto lr = RegionCodec::Decode(lbuf[pi]);
+      auto rr = RegionCodec::Decode(rbuf[pi]);
+      if (!lr.ok() || !rr.ok()) {
+        errors.Capture(lr.ok() ? rr.status() : lr.status());
+        return;
+      }
+      const auto& lv = lr.value();
+      const auto& rv = rr.value();
+      SliceSweep(lv, 0, lv.size(), rv, 0, rv.size(), window,
+                 [&](size_t i, size_t a) {
+                   Operators::JoinEmit(params, lv[i], rv[a], &chunk_out[pi]);
+                 });
+    });
+    GDMS_RETURN_NOT_OK(errors.status());
+  } else {
+    pool_.ParallelFor(parts.size(), [&](size_t pi) {
+      trace_.tasks.fetch_add(1, kRelaxed);
+      const PairState& ps = pairs[owner[pi]];
+      const Partition& part = parts[pi];
+      SliceSweep(ps.ls->regions, part.ref_begin, part.ref_end, ps.rs->regions,
+                 part.exp_begin, part.exp_end, window,
+                 [&](size_t i, size_t a) {
+                   Operators::JoinEmit(params, ps.ls->regions[i],
+                                       ps.rs->regions[a], &chunk_out[pi]);
+                 });
+    });
+  }
+
+  pool_.ParallelFor(pairs.size(), [&](size_t p) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    const PairState& ps = pairs[p];
+    Sample ns = Operators::DerivedSample("JOIN", *ps.ls, *ps.rs, true);
+    for (size_t pi = ps.part_begin; pi < ps.part_end; ++pi) {
+      ns.regions.insert(ns.regions.end(),
+                        std::make_move_iterator(chunk_out[pi].begin()),
+                        std::make_move_iterator(chunk_out[pi].end()));
+    }
+    ns.SortNow();
+    results[p] = std::move(ns);
+  });
   for (auto& s : results) out.AddSample(std::move(s));
   return out;
 }
@@ -438,145 +722,239 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
   }
   Dataset out(core::CoverVariantName(params.variant), schema);
 
-  std::map<std::string, std::vector<const Sample*>> groups;
+  std::map<std::string, std::vector<const Sample*>> group_map;
   for (const auto& s : in.samples()) {
     std::string key =
         params.groupby.empty() ? "" : s.metadata.FirstValue(params.groupby);
-    groups[key].push_back(&s);
+    group_map[key].push_back(&s);
   }
 
-  for (const auto& [key, members] : groups) {
-    // Pool and sort member regions.
+  struct Seg {
+    size_t begin;
+    size_t end;
+  };
+  struct GroupWork {
+    std::string key;
+    std::vector<const Sample*> members;
     std::vector<GenomicRegion> pooled;
-    size_t total = 0;
-    for (const auto* m : members) total += m->regions.size();
-    pooled.reserve(total);
-    for (const auto* m : members) {
-      pooled.insert(pooled.end(), m->regions.begin(), m->regions.end());
-    }
-    gdm::SortRegions(&pooled);
+    std::vector<Seg> segs;
+    size_t seg_offset = 0;  // first segment in the flat per-segment arrays
+    interval::CoverBounds bounds{0, 0};
+  };
+  std::vector<GroupWork> groups;
+  groups.reserve(group_map.size());
+  for (auto& [key, members] : group_map) {
+    GroupWork g;
+    g.key = key;
+    g.members = std::move(members);
+    groups.push_back(std::move(g));
+  }
 
-    // Chromosome segments of the pooled regions.
-    struct Segment {
-      size_t begin;
-      size_t end;
-    };
-    std::vector<Segment> segments;
+  // Pool and sort member regions, then find the chromosome segments of the
+  // pooled list. Under the flat scheduler this runs per-group in parallel.
+  auto pool_group = [](GroupWork* g) {
+    size_t total = 0;
+    for (const auto* m : g->members) total += m->regions.size();
+    g->pooled.reserve(total);
+    for (const auto* m : g->members) {
+      g->pooled.insert(g->pooled.end(), m->regions.begin(),
+                       m->regions.end());
+    }
+    gdm::SortRegions(&g->pooled);
     size_t i = 0;
-    while (i < pooled.size()) {
+    while (i < g->pooled.size()) {
       size_t j = i;
-      while (j < pooled.size() && pooled[j].chrom == pooled[i].chrom) ++j;
-      segments.push_back({i, j});
+      while (j < g->pooled.size() &&
+             g->pooled[j].chrom == g->pooled[i].chrom) {
+        ++j;
+      }
+      g->segs.push_back({i, j});
       i = j;
     }
-    trace_.partitions.fetch_add(segments.size());
+  };
 
-    // Per-segment accumulation profiles (optionally through the shuffle
-    // codec for the materialized backend).
-    std::vector<std::vector<interval::AccSegment>> profiles(segments.size());
-    std::vector<std::vector<GenomicRegion>> seg_inputs(segments.size());
-    Status failure = Status::OK();
-    std::mutex failure_mu;
-    pool_.ParallelFor(segments.size(), [&](size_t si) {
-      trace_.tasks.fetch_add(1);
-      const Segment& seg = segments[si];
-      if (options_.backend == BackendKind::kMaterialized) {
-        std::string buf;
-        trace_.shuffle_bytes.fetch_add(
-            SliceBytes(pooled, seg.begin, seg.end, &buf));
-        auto decoded = RegionCodec::Decode(buf);
-        if (!decoded.ok()) {
-          std::lock_guard<std::mutex> lk(failure_mu);
-          failure = decoded.status();
-          return;
-        }
-        seg_inputs[si] = std::move(decoded).value();
-      } else {
-        seg_inputs[si].assign(pooled.begin() + seg.begin,
-                              pooled.begin() + seg.end);
-      }
-      profiles[si] = interval::AccumulationProfile(seg_inputs[si]);
-    });
-    GDMS_RETURN_NOT_OK(failure);
+  // Phase bodies shared by both schedulers; all flat arrays are indexed by
+  // g.seg_offset + local segment index.
+  struct SegState {
+    std::vector<interval::AccSegment> profile;
+    std::vector<GenomicRegion> inputs;
+    std::vector<GenomicRegion> regions;
+    std::vector<int64_t> counts;
+    std::vector<std::vector<Value>> aggs;
+  };
+
+  // Accumulation profile of one segment, optionally through the shuffle
+  // codec for the materialized backend.
+  auto profile_segment = [&](const GroupWork& g, size_t si, SegState* state,
+                             FirstError* errors) {
+    const Seg& seg = g.segs[si];
     if (options_.backend == BackendKind::kMaterialized) {
-      trace_.stage_barriers.fetch_add(1);
+      std::string buf;
+      trace_.shuffle_bytes.fetch_add(
+          SliceBytes(g.pooled, seg.begin, seg.end, &buf), kRelaxed);
+      auto decoded = RegionCodec::Decode(buf);
+      if (!decoded.ok()) {
+        errors->Capture(decoded.status());
+        return;
+      }
+      state->inputs = std::move(decoded).value();
+    } else {
+      state->inputs.assign(g.pooled.begin() + seg.begin,
+                           g.pooled.begin() + seg.end);
     }
+    state->profile = interval::AccumulationProfile(state->inputs);
+  };
 
-    // Resolve ANY/ALL against the global maximum accumulation.
+  // Resolves ANY/ALL against the group's global maximum accumulation.
+  auto resolve_bounds = [&](GroupWork* g, const std::vector<SegState>& states) {
     int64_t global_max = 0;
-    for (const auto& prof : profiles) {
-      global_max = std::max(global_max, interval::MaxAccumulation(prof));
+    for (size_t si = 0; si < g->segs.size(); ++si) {
+      global_max = std::max(
+          global_max,
+          interval::MaxAccumulation(states[g->seg_offset + si].profile));
     }
     interval::CoverBounds bounds{params.min_acc, params.max_acc};
-    if (bounds.min_acc == interval::CoverBounds::kAll) bounds.min_acc = global_max;
-    if (bounds.max_acc == interval::CoverBounds::kAll) bounds.max_acc = global_max;
+    if (bounds.min_acc == interval::CoverBounds::kAll) {
+      bounds.min_acc = global_max;
+    }
+    if (bounds.max_acc == interval::CoverBounds::kAll) {
+      bounds.max_acc = global_max;
+    }
     if (bounds.min_acc == interval::CoverBounds::kAny) bounds.min_acc = 1;
+    g->bounds = bounds;
+  };
 
-    // Per-segment variant computation + aggregates.
-    std::vector<std::vector<GenomicRegion>> seg_regions(segments.size());
-    std::vector<std::vector<int64_t>> seg_counts(segments.size());
-    std::vector<std::vector<std::vector<Value>>> seg_aggs(segments.size());
-    pool_.ParallelFor(segments.size(), [&](size_t si) {
-      trace_.tasks.fetch_add(1);
-      const auto& profile = profiles[si];
-      std::vector<GenomicRegion> regions;
-      std::vector<int64_t> counts;
-      switch (params.variant) {
-        case core::CoverVariant::kCover:
-          regions = interval::Cover(profile, bounds);
-          break;
-        case core::CoverVariant::kFlat:
-          regions = interval::Flat(profile, bounds, seg_inputs[si]);
-          break;
-        case core::CoverVariant::kHistogram:
-          regions = interval::Histogram(profile, bounds, &counts);
-          break;
-        case core::CoverVariant::kSummit:
-          regions = interval::Summit(profile, bounds, &counts);
-          break;
-      }
-      if (!params.aggregates.empty()) {
-        std::vector<std::vector<AggAccumulator>> accs(regions.size());
-        for (auto& row : accs) {
-          row.reserve(params.aggregates.size());
-          for (const auto& spec : params.aggregates) {
-            row.emplace_back(spec.func);
-          }
-        }
-        interval::OverlapJoin(regions, seg_inputs[si], [&](size_t oi, size_t ii) {
-          auto& row = accs[oi];
-          for (size_t a = 0; a < params.aggregates.size(); ++a) {
-            if (agg_inputs[a] == SIZE_MAX) {
-              row[a].AddRegion();
-            } else {
-              row[a].Add(seg_inputs[si][ii].values[agg_inputs[a]]);
-            }
-          }
-        });
-        seg_aggs[si].resize(regions.size());
-        for (size_t oi = 0; oi < regions.size(); ++oi) {
-          for (auto& acc : accs[oi]) seg_aggs[si][oi].push_back(acc.Finish());
+  // Variant computation + aggregates of one segment.
+  auto compute_segment = [&](const GroupWork& g, SegState* state) {
+    std::vector<GenomicRegion> regions;
+    std::vector<int64_t> counts;
+    switch (params.variant) {
+      case core::CoverVariant::kCover:
+        regions = interval::Cover(state->profile, g.bounds);
+        break;
+      case core::CoverVariant::kFlat:
+        regions = interval::Flat(state->profile, g.bounds, state->inputs);
+        break;
+      case core::CoverVariant::kHistogram:
+        regions = interval::Histogram(state->profile, g.bounds, &counts);
+        break;
+      case core::CoverVariant::kSummit:
+        regions = interval::Summit(state->profile, g.bounds, &counts);
+        break;
+    }
+    if (!params.aggregates.empty()) {
+      std::vector<std::vector<AggAccumulator>> accs(regions.size());
+      for (auto& row : accs) {
+        row.reserve(params.aggregates.size());
+        for (const auto& spec : params.aggregates) {
+          row.emplace_back(spec.func);
         }
       }
-      seg_regions[si] = std::move(regions);
-      seg_counts[si] = std::move(counts);
-    });
+      interval::OverlapJoin(regions, state->inputs, [&](size_t oi, size_t ii) {
+        auto& row = accs[oi];
+        for (size_t a = 0; a < params.aggregates.size(); ++a) {
+          if (agg_inputs[a] == SIZE_MAX) {
+            row[a].AddRegion();
+          } else {
+            row[a].Add(state->inputs[ii].values[agg_inputs[a]]);
+          }
+        }
+      });
+      state->aggs.resize(regions.size());
+      for (size_t oi = 0; oi < regions.size(); ++oi) {
+        for (auto& acc : accs[oi]) state->aggs[oi].push_back(acc.Finish());
+      }
+    }
+    state->regions = std::move(regions);
+    state->counts = std::move(counts);
+  };
 
+  // Builds the group's output sample from its finished segments.
+  auto assemble = [&](const GroupWork& g, std::vector<SegState>& states) {
     Sample ns = Operators::DerivedGroupSample(
-        core::CoverVariantName(params.variant), members);
-    if (!params.groupby.empty()) ns.metadata.Add(params.groupby, key);
-    for (size_t si = 0; si < segments.size(); ++si) {
-      for (size_t oi = 0; oi < seg_regions[si].size(); ++oi) {
-        GenomicRegion nr = seg_regions[si][oi];
-        if (with_acc) nr.values.push_back(Value(seg_counts[si][oi]));
+        core::CoverVariantName(params.variant), g.members);
+    if (!params.groupby.empty()) ns.metadata.Add(params.groupby, g.key);
+    for (size_t si = 0; si < g.segs.size(); ++si) {
+      SegState& state = states[g.seg_offset + si];
+      for (size_t oi = 0; oi < state.regions.size(); ++oi) {
+        GenomicRegion nr = state.regions[oi];
+        if (with_acc) nr.values.push_back(Value(state.counts[oi]));
         if (!params.aggregates.empty()) {
-          for (auto& v : seg_aggs[si][oi]) nr.values.push_back(std::move(v));
+          for (auto& v : state.aggs[oi]) nr.values.push_back(std::move(v));
         }
         ns.regions.push_back(std::move(nr));
       }
     }
-    out.AddSample(std::move(ns));
+    return ns;
+  };
+
+  if (options_.scheduling == SchedulingMode::kPerPair) {
+    // Seed scheduler: sequential loop over groups, segment parallelism
+    // within each group only (a stage barrier per group when materialized).
+    for (auto& g : groups) {
+      pool_group(&g);
+      trace_.partitions.fetch_add(g.segs.size(), kRelaxed);
+      std::vector<SegState> states(g.segs.size());
+      FirstError errors;
+      pool_.ParallelFor(g.segs.size(), [&](size_t si) {
+        trace_.tasks.fetch_add(1, kRelaxed);
+        profile_segment(g, si, &states[si], &errors);
+      });
+      GDMS_RETURN_NOT_OK(errors.status());
+      if (options_.backend == BackendKind::kMaterialized) {
+        trace_.stage_barriers.fetch_add(1, kRelaxed);
+      }
+      resolve_bounds(&g, states);
+      pool_.ParallelFor(g.segs.size(), [&](size_t si) {
+        trace_.tasks.fetch_add(1, kRelaxed);
+        compute_segment(g, &states[si]);
+      });
+      out.AddSample(assemble(g, states));
+    }
+    return out;
   }
+
+  // Flat scheduler: pool every group in parallel, then run ONE task list
+  // over all (group x segment) pairs per phase.
+  pool_.ParallelFor(groups.size(), [&](size_t gi) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    pool_group(&groups[gi]);
+  });
+  size_t total_segs = 0;
+  std::vector<size_t> seg_group;  // flat segment -> owning group
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    groups[gi].seg_offset = total_segs;
+    total_segs += groups[gi].segs.size();
+    seg_group.resize(total_segs, gi);
+  }
+  trace_.partitions.fetch_add(total_segs, kRelaxed);
+
+  std::vector<SegState> states(total_segs);
+  FirstError errors;
+  pool_.ParallelFor(total_segs, [&](size_t fi) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    if (errors.failed()) return;
+    const GroupWork& g = groups[seg_group[fi]];
+    profile_segment(g, fi - g.seg_offset, &states[fi], &errors);
+  });
+  GDMS_RETURN_NOT_OK(errors.status());
+  if (options_.backend == BackendKind::kMaterialized) {
+    trace_.stage_barriers.fetch_add(1, kRelaxed);
+  }
+
+  for (auto& g : groups) resolve_bounds(&g, states);
+
+  pool_.ParallelFor(total_segs, [&](size_t fi) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    compute_segment(groups[seg_group[fi]], &states[fi]);
+  });
+
+  std::vector<Sample> results(groups.size());
+  pool_.ParallelFor(groups.size(), [&](size_t gi) {
+    trace_.tasks.fetch_add(1, kRelaxed);
+    results[gi] = assemble(groups[gi], states);
+  });
+  for (auto& s : results) out.AddSample(std::move(s));
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/operators.h"
+#include "engine/task_graph.h"
 
 namespace gdms::engine {
 
@@ -25,16 +26,33 @@ enum class BackendKind {
 
 const char* BackendKindName(BackendKind kind);
 
+/// Task-graph shape of the data-parallel operators.
+enum class SchedulingMode {
+  /// One flat task list spanning ALL sample pairs/groups x genomic
+  /// partitions, run through a single ParallelFor (one barrier per stage
+  /// for the materialized backend). The pair axis — dominant at paper scale
+  /// (Section 2: 2,423 samples) — parallelizes fully.
+  kFlat,
+  /// The seed scheduler: a sequential outer loop over sample pairs with a
+  /// ParallelFor per pair. Kept for before/after benchmarking (E7).
+  kPerPair,
+};
+
+const char* SchedulingModeName(SchedulingMode mode);
+
 struct EngineOptions {
   /// Worker threads; 0 = hardware concurrency.
   size_t threads = 0;
   /// Genomic bin width for range-partitioning within a chromosome.
   int64_t bin_size = 5000000;
   BackendKind backend = BackendKind::kPipelined;
+  SchedulingMode scheduling = SchedulingMode::kFlat;
 };
 
 /// Accumulated execution accounting (reset per Execute call chain via
-/// ResetTrace).
+/// ResetTrace). Counters are incremented with relaxed atomics: they are
+/// independent tallies read after the pool has quiesced, so no ordering is
+/// required.
 struct EngineTrace {
   std::atomic<uint64_t> tasks{0};
   std::atomic<uint64_t> partitions{0};
@@ -42,20 +60,21 @@ struct EngineTrace {
   std::atomic<uint64_t> stage_barriers{0};
 
   void Reset() {
-    tasks = 0;
-    partitions = 0;
-    shuffle_bytes = 0;
-    stage_barriers = 0;
+    tasks.store(0, std::memory_order_relaxed);
+    partitions.store(0, std::memory_order_relaxed);
+    shuffle_bytes.store(0, std::memory_order_relaxed);
+    stage_barriers.store(0, std::memory_order_relaxed);
   }
 };
 
 /// \brief Data-parallel GMQL executor over a thread pool.
 ///
-/// SELECT, MAP, JOIN and COVER are parallelized by (sample-pair x genomic
-/// partition); every other operator delegates to the sequential reference
-/// implementation (they are metadata-bound and cheap). Results are
-/// sample-for-sample equal to the ReferenceExecutor — the engine tests
-/// assert exactly that.
+/// SELECT, MAP, JOIN, DIFFERENCE and COVER are parallelized by
+/// (sample-pair x genomic partition); every other operator delegates to the
+/// sequential reference implementation (they are metadata-bound and cheap).
+/// Under SchedulingMode::kFlat the full pair x partition cross product is
+/// one flat task list. Results are sample-for-sample equal to the
+/// ReferenceExecutor — the engine tests assert exactly that.
 class ParallelExecutor : public core::Executor {
  public:
   explicit ParallelExecutor(EngineOptions options = {});
@@ -67,18 +86,22 @@ class ParallelExecutor : public core::Executor {
   const EngineTrace& trace() const { return trace_; }
   void ResetTrace() { trace_.Reset(); }
 
+  core::ExecutorStats stats() const override {
+    return {trace_.tasks.load(std::memory_order_relaxed),
+            trace_.partitions.load(std::memory_order_relaxed),
+            trace_.shuffle_bytes.load(std::memory_order_relaxed),
+            trace_.stage_barriers.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() override { trace_.Reset(); }
+
   const EngineOptions& options() const { return options_; }
 
  private:
-  struct Partition {
-    size_t ref_begin;
-    size_t ref_end;
-    size_t exp_begin;
-    size_t exp_end;
-  };
+  using Partition = TaskPartition;
 
-  /// Splits a sorted ref list into contiguous (chrom, bin-range) chunks and
-  /// attaches the matching exp range widened by `slack`.
+  /// The seed partitioner (SchedulingMode::kPerPair): splits a sorted ref
+  /// list into (chrom, bin-range) chunks and attaches the matching exp
+  /// range widened by `slack`, rescanning exps for max lengths every call.
   std::vector<Partition> MakePartitions(
       const std::vector<gdm::GenomicRegion>& refs,
       const std::vector<gdm::GenomicRegion>& exps, int64_t slack) const;

@@ -1,0 +1,58 @@
+#include "gdm/chrom_index.h"
+
+#include <algorithm>
+
+namespace gdms::gdm {
+
+ChromIndex ChromIndex::Build(const std::vector<GenomicRegion>& regions) {
+  ChromIndex index;
+  index.data_ = regions.data();
+  index.size_ = regions.size();
+  size_t i = 0;
+  while (i < regions.size()) {
+    Slice slice;
+    slice.chrom = regions[i].chrom;
+    slice.begin = i;
+    while (i < regions.size() && regions[i].chrom == slice.chrom) {
+      slice.max_len = std::max(slice.max_len, regions[i].length());
+      ++i;
+    }
+    slice.end = i;
+    index.slices_.push_back(slice);
+  }
+  return index;
+}
+
+const ChromIndex::Slice* ChromIndex::FindSlice(int32_t chrom) const {
+  auto it = std::lower_bound(
+      slices_.begin(), slices_.end(), chrom,
+      [](const Slice& s, int32_t c) { return s.chrom < c; });
+  if (it == slices_.end() || it->chrom != chrom) return nullptr;
+  return &*it;
+}
+
+int64_t ChromIndex::MaxLen(int32_t chrom) const {
+  const Slice* s = FindSlice(chrom);
+  return s == nullptr ? 0 : s->max_len;
+}
+
+size_t ChromIndex::LowerBoundLeft(const std::vector<GenomicRegion>& regions,
+                                  int32_t chrom, int64_t pos) const {
+  const Slice* s = FindSlice(chrom);
+  if (s == nullptr) {
+    // Insertion point of the absent chromosome: start of the first slice
+    // with a larger chromosome id.
+    auto it = std::lower_bound(
+        slices_.begin(), slices_.end(), chrom,
+        [](const Slice& sl, int32_t c) { return sl.chrom < c; });
+    return it == slices_.end() ? regions.size() : it->begin;
+  }
+  auto first = regions.begin() + s->begin;
+  auto last = regions.begin() + s->end;
+  auto it = std::lower_bound(
+      first, last, pos,
+      [](const GenomicRegion& r, int64_t p) { return r.left < p; });
+  return static_cast<size_t>(it - regions.begin());
+}
+
+}  // namespace gdms::gdm

@@ -1,0 +1,66 @@
+#ifndef GDMS_GDM_CHROM_INDEX_H_
+#define GDMS_GDM_CHROM_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gdm/region.h"
+
+namespace gdms::gdm {
+
+/// \brief Per-chromosome index over one coordinate-sorted region list.
+///
+/// One contiguous [begin, end) slice per chromosome plus the chromosome's
+/// maximum region length. Built in one O(n) pass and cached on the owning
+/// Sample (Sample::chrom_index()), it replaces the per-use O(n) rescans the
+/// engine's partitioner used to pay for every sample pair: chromosome slice
+/// lookup and max-length queries become O(log #chroms), and position lookups
+/// become O(log) within one chromosome slice.
+class ChromIndex {
+ public:
+  struct Slice {
+    int32_t chrom = 0;
+    size_t begin = 0;  ///< first region of the chromosome
+    size_t end = 0;    ///< one past the last region of the chromosome
+    int64_t max_len = 0;  ///< max region length within the slice
+  };
+
+  ChromIndex() = default;
+
+  /// Builds the index over `regions`, which must be coordinate-sorted (the
+  /// dataset convention; see Sample::SortNow).
+  static ChromIndex Build(const std::vector<GenomicRegion>& regions);
+
+  /// The chromosome's slice, or nullptr when the chromosome is absent.
+  const Slice* FindSlice(int32_t chrom) const;
+
+  /// Max region length on `chrom`; 0 when the chromosome is absent.
+  int64_t MaxLen(int32_t chrom) const;
+
+  /// First index within the chromosome's slice whose region.left >= pos;
+  /// the slice's end when all regions start before pos (or the chromosome is
+  /// absent, in which case begin == end == the insertion point is
+  /// meaningless and size() of regions is returned). `regions` must be the
+  /// vector the index was built over.
+  size_t LowerBoundLeft(const std::vector<GenomicRegion>& regions,
+                        int32_t chrom, int64_t pos) const;
+
+  const std::vector<Slice>& slices() const { return slices_; }
+
+  /// True when the index still describes `regions` storage-wise: same vector
+  /// data pointer and size. In-place coordinate mutation is NOT detected —
+  /// mutators must call Sample::InvalidateChromIndex() (SortNow does).
+  bool ValidFor(const std::vector<GenomicRegion>& regions) const {
+    return data_ == regions.data() && size_ == regions.size();
+  }
+
+ private:
+  std::vector<Slice> slices_;  // ordered by chrom (input is sorted)
+  const GenomicRegion* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gdms::gdm
+
+#endif  // GDMS_GDM_CHROM_INDEX_H_

@@ -6,6 +6,15 @@
 
 namespace gdms::gdm {
 
+const ChromIndex& Sample::chrom_index() const {
+  if (chrom_index_cache_ == nullptr ||
+      !chrom_index_cache_->ValidFor(regions)) {
+    chrom_index_cache_ =
+        std::make_shared<const ChromIndex>(ChromIndex::Build(regions));
+  }
+  return *chrom_index_cache_;
+}
+
 uint64_t Dataset::TotalRegions() const {
   uint64_t total = 0;
   for (const auto& s : samples_) total += s.regions.size();

@@ -2,10 +2,12 @@
 #define GDMS_GDM_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "gdm/chrom_index.h"
 #include "gdm/metadata.h"
 #include "gdm/region.h"
 #include "gdm/schema.h"
@@ -32,8 +34,26 @@ struct Sample {
 
   size_t num_regions() const { return regions.size(); }
 
-  void SortNow() { SortRegions(&regions); }
+  void SortNow() {
+    SortRegions(&regions);
+    InvalidateChromIndex();
+  }
   bool IsSorted() const { return RegionsSorted(regions); }
+
+  /// The cached per-chromosome index over `regions` (see gdm/chrom_index.h),
+  /// built lazily on first use. The cache self-invalidates when the region
+  /// vector's storage or size changes (append, copy, reassignment); after
+  /// IN-PLACE coordinate mutation callers must call InvalidateChromIndex()
+  /// (SortNow does so). Lazy building is not thread-safe: code that shares a
+  /// sample across threads must touch the index once beforehand — the
+  /// parallel engine pre-builds indexes before fanning out.
+  const ChromIndex& chrom_index() const;
+
+  /// Drops the cached chromosome index; the next chrom_index() rebuilds it.
+  void InvalidateChromIndex() const { chrom_index_cache_.reset(); }
+
+ private:
+  mutable std::shared_ptr<const ChromIndex> chrom_index_cache_;
 };
 
 /// \brief A named dataset: samples sharing one region schema.

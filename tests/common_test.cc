@@ -191,5 +191,48 @@ TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // With more outer items than workers, every worker can be inside an outer
+  // body when the inner ParallelFor starts; completion must not depend on a
+  // queued helper task ever running (the caller drains its own batch).
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  pool.ParallelFor(16, [&](size_t i) {
+    pool.ParallelFor(16, [&](size_t j) { hits[i * 16 + j].fetch_add(1); });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForManyMoreItemsThanThreads) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(10000, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), uint64_t{10000} * 9999 / 2);
+}
+
+TEST(FirstErrorTest, KeepsFirstFailureOnly) {
+  FirstError err;
+  EXPECT_FALSE(err.failed());
+  EXPECT_TRUE(err.status().ok());
+  err.Capture(Status::OK());
+  EXPECT_FALSE(err.failed());
+  err.Capture(Status::InvalidArgument("first"));
+  err.Capture(Status::Internal("second"));
+  EXPECT_TRUE(err.failed());
+  EXPECT_EQ(err.status().message(), "first");
+}
+
+TEST(FirstErrorTest, ConcurrentCaptureIsSingleWinner) {
+  ThreadPool pool(4);
+  FirstError err;
+  pool.ParallelFor(200, [&](size_t i) {
+    err.Capture(Status::Internal("e" + std::to_string(i)));
+  });
+  EXPECT_TRUE(err.failed());
+  // Exactly one of the captured statuses won; all racers see a failure.
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(err.status().message().rfind("e", 0), 0u);
+}
+
 }  // namespace
 }  // namespace gdms

@@ -91,7 +91,14 @@ struct EngineCase {
   BackendKind backend;
   size_t threads;
   int64_t bin_size;
+  SchedulingMode scheduling = SchedulingMode::kFlat;
 };
+
+std::string EngineCaseName(const EngineCase& c) {
+  return std::string(BackendKindName(c.backend)) + "_t" +
+         std::to_string(c.threads) + "_b" + std::to_string(c.bin_size) +
+         (c.scheduling == SchedulingMode::kFlat ? "_flat" : "_perpair");
+}
 
 class EngineEquivalenceTest : public ::testing::TestWithParam<EngineCase> {
  protected:
@@ -113,6 +120,7 @@ class EngineEquivalenceTest : public ::testing::TestWithParam<EngineCase> {
     options.backend = c.backend;
     options.threads = c.threads;
     options.bin_size = c.bin_size;
+    options.scheduling = c.scheduling;
     ParallelExecutor parallel(options);
     QueryRunner ref_runner = MakeRunner(nullptr);
     QueryRunner par_runner = MakeRunner(&parallel);
@@ -180,12 +188,182 @@ INSTANTIATE_TEST_SUITE_P(
         EngineCase{BackendKind::kMaterialized, 4, 5000000},
         EngineCase{BackendKind::kPipelined, 1, 5000000},
         EngineCase{BackendKind::kPipelined, 8, 500000},   // many partitions
-        EngineCase{BackendKind::kMaterialized, 2, 1000000}),
+        EngineCase{BackendKind::kMaterialized, 2, 1000000},
+        // The seed scheduler stays the before/after baseline for E7; keep
+        // it equal to the reference on both backends.
+        EngineCase{BackendKind::kPipelined, 4, 5000000, SchedulingMode::kPerPair},
+        EngineCase{BackendKind::kMaterialized, 4, 5000000,
+                   SchedulingMode::kPerPair}),
     [](const ::testing::TestParamInfo<EngineCase>& info) {
-      return std::string(BackendKindName(info.param.backend)) + "_t" +
-             std::to_string(info.param.threads) + "_b" +
-             std::to_string(info.param.bin_size);
+      return EngineCaseName(info.param);
     });
+
+// ------------------------------------------------- skewed-input sweeps ----
+
+/// Same equivalence contract as above, but over inputs crafted to stress
+/// the flat task graph: one giant sample among tiny ones (task-length skew),
+/// empty samples (zero-partition pairs), and single-chromosome datasets
+/// (no chromosome-level slicing to hide behind).
+class EngineSkewTest : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  static void AddSample(Dataset* ds, gdm::SampleId id, int32_t chroms,
+                        size_t regions, int64_t spacing, uint64_t seed,
+                        const std::string& kind) {
+    Sample s(id);
+    s.metadata.Add("dataType", "ChipSeq");
+    s.metadata.Add("kind", kind);
+    uint64_t state = seed * 2654435761u + 1;
+    for (size_t i = 0; i < regions; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      int32_t chrom = InternChrom("chr" + std::to_string(1 + (state >> 33) %
+                                                                 chroms));
+      int64_t left = static_cast<int64_t>((state >> 17) % 97) * spacing +
+                     static_cast<int64_t>(i) * spacing;
+      int64_t len = 50 + static_cast<int64_t>(state % 2000);
+      GenomicRegion r(chrom, left, left + len);
+      r.values.push_back(Value(static_cast<double>(state % 100)));
+      s.regions.push_back(r);
+    }
+    s.SortNow();
+    ds->AddSample(std::move(s));
+  }
+
+  static QueryRunner MakeRunner(core::Executor* executor, int32_t chroms) {
+    QueryRunner runner = executor ? QueryRunner(executor) : QueryRunner();
+    gdm::RegionSchema schema;
+    (void)schema.AddAttr("signal", gdm::AttrType::kDouble);
+    Dataset peaks("ENCODE", schema);
+    // One giant sample among tiny ones, plus empty samples.
+    AddSample(&peaks, 1, chroms, 4000, 400, 11, "giant");
+    for (gdm::SampleId i = 0; i < 4; ++i) {
+      AddSample(&peaks, 2 + i, chroms, 20, 90000, 100 + i, "tiny");
+    }
+    peaks.AddSample(Sample(6));
+    Sample empty2(7);
+    empty2.metadata.Add("dataType", "ChipSeq");
+    peaks.AddSample(std::move(empty2));
+    runner.RegisterDataset(std::move(peaks));
+
+    Dataset anns("ANNOTATIONS", schema);
+    AddSample(&anns, 1, chroms, 300, 60000, 7, "ref");
+    runner.RegisterDataset(std::move(anns));
+    return runner;
+  }
+
+  void CheckQuery(const char* query, int32_t chroms) {
+    EngineCase c = GetParam();
+    EngineOptions options;
+    options.backend = c.backend;
+    options.threads = c.threads;
+    options.bin_size = c.bin_size;
+    options.scheduling = c.scheduling;
+    ParallelExecutor parallel(options);
+    QueryRunner ref_runner = MakeRunner(nullptr, chroms);
+    QueryRunner par_runner = MakeRunner(&parallel, chroms);
+    auto ref = ref_runner.Run(query).ValueOrDie();
+    auto par = par_runner.Run(query).ValueOrDie();
+    ASSERT_EQ(ref.size(), par.size());
+    for (const auto& [name, ds] : ref) {
+      ExpectDatasetsEqual(ds, par.at(name));
+    }
+  }
+};
+
+TEST_P(EngineSkewTest, MapSkewedMatchesReference) {
+  CheckQuery(
+      "R = MAP(n AS COUNT, s AS SUM(signal)) ANNOTATIONS ENCODE;\n"
+      "MATERIALIZE R;\n",
+      4);
+}
+
+TEST_P(EngineSkewTest, MapSingleChromosomeMatchesReference) {
+  CheckQuery(
+      "R = MAP(n AS COUNT) ANNOTATIONS ENCODE;\nMATERIALIZE R;\n", 1);
+}
+
+TEST_P(EngineSkewTest, JoinSkewedMatchesReference) {
+  CheckQuery(
+      "J = JOIN(DLE(100000); CAT) ANNOTATIONS ENCODE;\nMATERIALIZE J;\n", 4);
+}
+
+TEST_P(EngineSkewTest, DifferenceSkewedMatchesReference) {
+  CheckQuery("D = DIFFERENCE() ANNOTATIONS ENCODE;\nMATERIALIZE D;\n", 4);
+}
+
+TEST_P(EngineSkewTest, DifferenceJoinbyMatchesReference) {
+  CheckQuery(
+      "D = DIFFERENCE(joinby: kind) ENCODE ENCODE;\nMATERIALIZE D;\n", 4);
+}
+
+TEST_P(EngineSkewTest, CoverSkewedMatchesReference) {
+  CheckQuery("C = COVER(2, ANY) ENCODE;\nMATERIALIZE C;\n", 4);
+}
+
+TEST_P(EngineSkewTest, CoverGroupbySingleChromMatchesReference) {
+  CheckQuery("C = COVER(1, ALL; groupby: kind) ENCODE;\nMATERIALIZE C;\n", 1);
+}
+
+TEST_P(EngineSkewTest, MapJoinbyMatchesReference) {
+  CheckQuery(
+      "R = MAP(n AS COUNT; joinby: dataType) ENCODE ENCODE;\n"
+      "MATERIALIZE R;\n",
+      4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadSweep, EngineSkewTest,
+    ::testing::Values(
+        EngineCase{BackendKind::kPipelined, 1, 2000000},
+        EngineCase{BackendKind::kPipelined, 2, 2000000},
+        EngineCase{BackendKind::kPipelined, 8, 2000000},
+        EngineCase{BackendKind::kMaterialized, 1, 2000000},
+        EngineCase{BackendKind::kMaterialized, 2, 2000000},
+        EngineCase{BackendKind::kMaterialized, 8, 2000000},
+        EngineCase{BackendKind::kPipelined, 8, 300000},
+        EngineCase{BackendKind::kPipelined, 4, 2000000,
+                   SchedulingMode::kPerPair},
+        EngineCase{BackendKind::kMaterialized, 4, 2000000,
+                   SchedulingMode::kPerPair}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return EngineCaseName(info.param);
+    });
+
+// ---------------------------------------------------- joinby pair match ---
+
+TEST(TaskGraphTest, MatchJoinbyPairsEqualsNestedScan) {
+  gdm::RegionSchema schema;
+  Dataset left("L", schema);
+  Dataset right("R", schema);
+  auto add = [](Dataset* ds, gdm::SampleId id,
+                std::vector<std::pair<std::string, std::string>> meta) {
+    Sample s(id);
+    for (auto& [k, v] : meta) s.metadata.Add(k, v);
+    ds->AddSample(std::move(s));
+  };
+  add(&left, 10, {{"cell", "K562"}, {"tf", "CTCF"}});
+  add(&left, 11, {{"cell", "HeLa"}, {"tf", "CTCF"}, {"tf", "MYC"}});
+  add(&left, 12, {{"cell", "K562"}});  // missing tf
+  add(&left, 13, {});
+  add(&right, 20, {{"cell", "K562"}, {"tf", "MYC"}});
+  add(&right, 21, {{"cell", "HeLa"}, {"tf", "MYC"}});
+  add(&right, 22, {{"cell", "K562"}, {"tf", "CTCF"}});
+  add(&right, 23, {{"cell", "GM12878"}, {"tf", "CTCF"}});
+
+  for (const auto& joinby : std::vector<std::vector<std::string>>{
+           {}, {"cell"}, {"tf"}, {"cell", "tf"}, {"absent"}}) {
+    std::vector<std::pair<size_t, size_t>> expected;
+    for (size_t l = 0; l < left.num_samples(); ++l) {
+      for (size_t r = 0; r < right.num_samples(); ++r) {
+        if (core::Operators::JoinbyMatch(joinby, left.sample(l).metadata,
+                                         right.sample(r).metadata)) {
+          expected.emplace_back(l, r);
+        }
+      }
+    }
+    EXPECT_EQ(MatchJoinbyPairs(left, right, joinby), expected)
+        << "joinby size " << joinby.size();
+  }
+}
 
 TEST(EngineTraceTest, MaterializedCountsShuffleBytes) {
   EngineOptions options;

@@ -295,6 +295,60 @@ TEST(DatasetTest, DescribeMentionsSchemaAndMeta) {
   EXPECT_NE(d.find("karyotype"), std::string::npos);
 }
 
+TEST(ChromIndexTest, SlicesAndMaxLen) {
+  std::vector<GenomicRegion> rs;
+  rs.emplace_back(InternChrom("chr1"), 100, 200);
+  rs.emplace_back(InternChrom("chr1"), 150, 1150);
+  rs.emplace_back(InternChrom("chr1"), 300, 320);
+  rs.emplace_back(InternChrom("chr3"), 5, 10);
+  SortRegions(&rs);
+  ChromIndex idx = ChromIndex::Build(rs);
+  ASSERT_EQ(idx.slices().size(), 2u);
+  const ChromIndex::Slice* c1 = idx.FindSlice(InternChrom("chr1"));
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->begin, 0u);
+  EXPECT_EQ(c1->end, 3u);
+  EXPECT_EQ(c1->max_len, 1000);
+  EXPECT_EQ(idx.MaxLen(InternChrom("chr1")), 1000);
+  EXPECT_EQ(idx.MaxLen(InternChrom("chr2")), 0);
+  EXPECT_EQ(idx.FindSlice(InternChrom("chr2")), nullptr);
+  // Lower bound on left within a chromosome slice.
+  EXPECT_EQ(idx.LowerBoundLeft(rs, InternChrom("chr1"), 150), 1u);
+  EXPECT_EQ(idx.LowerBoundLeft(rs, InternChrom("chr1"), 151), 2u);
+  EXPECT_EQ(idx.LowerBoundLeft(rs, InternChrom("chr1"), 10000), 3u);
+  EXPECT_EQ(idx.LowerBoundLeft(rs, InternChrom("chr3"), 0), 3u);
+}
+
+TEST(ChromIndexTest, SampleCachesAndReuses) {
+  Sample s(1);
+  s.regions.emplace_back(InternChrom("chr1"), 10, 20);
+  s.regions.emplace_back(InternChrom("chr2"), 5, 105);
+  const ChromIndex& idx = s.chrom_index();
+  EXPECT_EQ(idx.MaxLen(InternChrom("chr2")), 100);
+  // Unchanged storage: same cached object.
+  EXPECT_EQ(&s.chrom_index(), &idx);
+}
+
+TEST(ChromIndexTest, InvalidatesAfterRegionMutation) {
+  Sample s(1);
+  for (int i = 0; i < 8; ++i) {
+    s.regions.emplace_back(InternChrom("chr1"), i * 100, i * 100 + 10);
+  }
+  EXPECT_EQ(s.chrom_index().MaxLen(InternChrom("chr1")), 10);
+  // Size change (append) is detected automatically.
+  s.regions.emplace_back(InternChrom("chr2"), 0, 500);
+  EXPECT_EQ(s.chrom_index().MaxLen(InternChrom("chr2")), 500);
+  // In-place coordinate mutation requires explicit invalidation; SortNow
+  // (the mutation path every operator uses) performs it.
+  s.regions[0].right = s.regions[0].left + 9000;
+  s.SortNow();
+  EXPECT_EQ(s.chrom_index().MaxLen(InternChrom("chr1")), 9000);
+  // Direct invalidation also works.
+  s.regions[1].right = s.regions[1].left + 20000;
+  s.InvalidateChromIndex();
+  EXPECT_EQ(s.chrom_index().MaxLen(InternChrom("chr1")), 20000);
+}
+
 TEST(DeriveSampleIdTest, DeterministicAndTagged) {
   SampleId a = DeriveSampleId("MAP", {1, 2});
   EXPECT_EQ(a, DeriveSampleId("MAP", {1, 2}));
