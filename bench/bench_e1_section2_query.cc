@@ -132,10 +132,13 @@ BENCHMARK(BM_Section2Query)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  bench::ObsFlags obs_flags;
+  obs_flags.ParseFromArgs(&argc, argv);
   if (json_path.empty()) json_path = "BENCH_E1.json";
   bench::BenchJson json("E1 section2 map query");
   PrintTable(&json);
   json.WriteTo(json_path);
+  obs_flags.Finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

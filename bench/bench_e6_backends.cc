@@ -144,10 +144,13 @@ BENCHMARK(BM_Backend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  bench::ObsFlags obs_flags;
+  obs_flags.ParseFromArgs(&argc, argv);
   if (json_path.empty()) json_path = "BENCH_E6.json";
   bench::BenchJson json("E6 materialized vs pipelined backends");
   PrintTable(&json);
   json.WriteTo(json_path);
+  obs_flags.Finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

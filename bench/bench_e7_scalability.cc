@@ -194,10 +194,13 @@ BENCHMARK(BM_MapScaling)
 
 int main(int argc, char** argv) {
   std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  bench::ObsFlags obs_flags;
+  obs_flags.ParseFromArgs(&argc, argv);
   if (json_path.empty()) json_path = "BENCH_E7.json";
   bench::BenchJson json("E7 scheduler scalability");
   PrintTable(&json);
   json.WriteTo(json_path);
+  obs_flags.Finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

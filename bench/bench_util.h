@@ -15,6 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
 namespace gdms::bench {
 
 /// Wall-clock stopwatch.
@@ -134,24 +138,74 @@ class BenchJson {
   std::vector<JsonObject> runs_;
 };
 
-/// Extracts `--json <path>` (or `--json=<path>`) from argv, removing it so
-/// benchmark::Initialize does not reject the unknown flag. Returns the path,
-/// or an empty string when the flag is absent.
-inline std::string JsonPathFromArgs(int* argc, char** argv) {
-  std::string path;
+/// Extracts `--<flag> <value>` (or `--<flag>=<value>`) from argv, removing it
+/// so benchmark::Initialize does not reject the unknown flag. Returns the
+/// value, or an empty string when the flag is absent.
+inline std::string FlagFromArgs(const char* flag, int* argc, char** argv) {
+  std::string spaced = std::string("--") + flag;
+  std::string joined = spaced + "=";
+  std::string value;
   int w = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
-      path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      path = argv[i] + 7;
+    if (spaced == argv[i] && i + 1 < *argc) {
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], joined.c_str(), joined.size()) == 0) {
+      value = argv[i] + joined.size();
     } else {
       argv[w++] = argv[i];
     }
   }
   *argc = w;
-  return path;
+  return value;
 }
+
+/// Extracts `--json <path>` (or `--json=<path>`) from argv. Returns the path,
+/// or an empty string when the flag is absent.
+inline std::string JsonPathFromArgs(int* argc, char** argv) {
+  return FlagFromArgs("json", argc, argv);
+}
+
+/// The shared observability flags of the experiment benches:
+///   --trace <path>    enable the span tracer; write a Chrome trace-event
+///                     JSON of every span the bench produced to <path>
+///   --metrics <path>  write the process metrics registry (counters,
+///                     gauges, histograms) as JSON to <path>
+/// Call ParseFromArgs before benchmark::Initialize and Finish after the
+/// paper-table section (profile JSONs land next to the BENCH_E*.json).
+class ObsFlags {
+ public:
+  void ParseFromArgs(int* argc, char** argv) {
+    trace_path_ = FlagFromArgs("trace", argc, argv);
+    metrics_path_ = FlagFromArgs("metrics", argc, argv);
+    if (!trace_path_.empty()) obs::Tracer::Global().set_enabled(true);
+  }
+
+  void Finish() const {
+    if (!trace_path_.empty()) {
+      obs::Profile profile(obs::Tracer::Global().TakeAll());
+      if (profile.WriteChromeTrace(trace_path_)) {
+        std::printf("wrote %s (%zu spans)\n", trace_path_.c_str(),
+                    profile.spans().size());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path_.c_str());
+        return;
+      }
+      std::string json = obs::MetricsRegistry::Global().RenderJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 }  // namespace gdms::bench
 

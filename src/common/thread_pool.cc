@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gdms {
 
@@ -93,8 +97,25 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   batch->grain = std::max<size_t>(1, n / (threads * 8));
   size_t helpers =
       std::min(threads, (n + batch->grain - 1) / batch->grain);
+  // Queue-wait telemetry (submit -> first helper execution) is profiling
+  // data: measured only while the span tracer is on, so the disabled path
+  // costs one relaxed load per batch.
+  const bool traced = obs::Tracer::Global().enabled();
+  auto submitted = std::chrono::steady_clock::now();
   for (size_t t = 0; t < helpers; ++t) {
-    Submit([batch] { batch->Drain(); });
+    if (traced) {
+      Submit([batch, submitted] {
+        static obs::Histogram* queue_wait =
+            obs::MetricsRegistry::Global().GetHistogram("pool.queue_wait_us");
+        queue_wait->Record(static_cast<uint64_t>(std::max<int64_t>(
+            0, std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - submitted)
+                   .count())));
+        batch->Drain();
+      });
+    } else {
+      Submit([batch] { batch->Drain(); });
+    }
   }
   batch->Drain();
   if (batch->completed.load(std::memory_order_acquire) < n) {

@@ -1,11 +1,16 @@
 #include "core/executor.h"
 
+#include <chrono>
+
 #include "core/operators.h"
+#include "obs/metrics.h"
 
 namespace gdms::core {
 
-Result<gdm::Dataset> ReferenceExecutor::Execute(
-    const PlanNode& node, const std::vector<const gdm::Dataset*>& inputs) {
+namespace {
+
+Result<gdm::Dataset> ExecuteOp(const PlanNode& node,
+                               const std::vector<const gdm::Dataset*>& inputs) {
   auto arity = [&](size_t n) -> Status {
     if (inputs.size() != n) {
       return Status::Internal(std::string(OpKindName(node.kind)) +
@@ -61,6 +66,26 @@ Result<gdm::Dataset> ReferenceExecutor::Execute(
     }
   }
   return Status::Internal("unreachable operator kind");
+}
+
+}  // namespace
+
+Result<gdm::Dataset> ReferenceExecutor::Execute(
+    const PlanNode& node, const std::vector<const gdm::Dataset*>& inputs) {
+  // Per-operator (not per-region) registry telemetry: a counter bump and a
+  // latency sample per plan node is noise next to the node's own work.
+  static obs::Counter* ops =
+      obs::MetricsRegistry::Global().GetCounter("executor.reference.ops");
+  static obs::Histogram* op_latency =
+      obs::MetricsRegistry::Global().GetHistogram("executor.op_us");
+  ops->Add();
+  auto start = std::chrono::steady_clock::now();
+  Result<gdm::Dataset> result = ExecuteOp(node, inputs);
+  op_latency->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return result;
 }
 
 }  // namespace gdms::core

@@ -2,7 +2,29 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gdms::core {
+
+namespace {
+
+/// Restores the tracer's cross-layer parent slot on scope exit, including
+/// early error returns.
+class ScopedParent {
+ public:
+  ScopedParent(obs::Tracer* tracer, uint64_t id)
+      : tracer_(tracer), prev_(tracer->ExchangeCurrentParent(id)) {}
+  ~ScopedParent() { tracer_->ExchangeCurrentParent(prev_); }
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  obs::Tracer* tracer_;
+  uint64_t prev_;
+};
+
+}  // namespace
 
 QueryRunner::QueryRunner()
     : owned_executor_(std::make_unique<ReferenceExecutor>()),
@@ -36,8 +58,13 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::Run(
 Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
     Program program) {
   auto start = std::chrono::steady_clock::now();
+  // RunStats (counters, memo figures, profile) are rebuilt from zero here
+  // and the executor's scheduling counters are re-based, so back-to-back
+  // Run() calls never leak telemetry into each other.
   stats_ = RunStats{};
   executor_->ResetStats();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::Span query_span = tracer.StartSpan("query", "query", 0);
   if (optimize_) {
     stats_.optimizer = Optimizer::Optimize(&program);
   }
@@ -47,7 +74,7 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   // extract results. A sink result is moved out of the memo when no other
   // sink shares its subtree — large results are not copied on the way out.
   for (const auto& sink : program.sinks) {
-    GDMS_RETURN_NOT_OK(Evaluate(sink, &memo).status());
+    GDMS_RETURN_NOT_OK(Evaluate(sink, &memo, query_span.id()).status());
   }
   for (size_t i = 0; i < program.sinks.size(); ++i) {
     const PlanNode::Ptr& sink = program.sinks[i];
@@ -82,14 +109,27 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
     outputs.insert_or_assign(sink->name, std::move(out));
   }
   stats_.executor = executor_->stats();
+  uint64_t query_span_id = query_span.id();
+  query_span.End();
+  if (query_span_id != 0) {
+    stats_.profile =
+        std::make_shared<obs::Profile>(tracer.Collect(query_span_id));
+  }
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("runner.queries");
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Global().GetHistogram("runner.query_us");
+  queries->Add();
+  latency->Record(static_cast<uint64_t>(stats_.wall_seconds * 1e6));
   return outputs;
 }
 
 Result<const gdm::Dataset*> QueryRunner::Evaluate(
-    const PlanNode::Ptr& node, std::map<const PlanNode*, gdm::Dataset>* memo) {
+    const PlanNode::Ptr& node, std::map<const PlanNode*, gdm::Dataset>* memo,
+    uint64_t parent_span) {
   auto it = memo->find(node.get());
   if (it != memo->end()) {
     ++stats_.cache_hits;
@@ -102,18 +142,48 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
     }
     return src;
   }
+  obs::Tracer& tracer = obs::Tracer::Global();
   // MATERIALIZE is a sink marker with no data semantics: pass the child
-  // through so large results are never copied just to be renamed.
+  // through so large results are never copied just to be renamed. It still
+  // gets a span so the profile tree is rooted at the named sink.
   if (node->kind == OpKind::kMaterialize) {
-    return Evaluate(node->children[0], memo);
+    obs::Span span = tracer.StartSpan("MATERIALIZE " + node->name, "operator",
+                                      parent_span);
+    return Evaluate(node->children[0], memo, span.id());
   }
+  obs::Span span =
+      tracer.StartSpan(OpKindName(node->kind), "operator", parent_span);
   std::vector<const gdm::Dataset*> inputs;
   inputs.reserve(node->children.size());
   for (const auto& child : node->children) {
-    GDMS_ASSIGN_OR_RETURN(const gdm::Dataset* in, Evaluate(child, memo));
+    GDMS_ASSIGN_OR_RETURN(const gdm::Dataset* in,
+                          Evaluate(child, memo, span.id()));
     inputs.push_back(in);
   }
-  GDMS_ASSIGN_OR_RETURN(gdm::Dataset out, executor_->Execute(*node, inputs));
+  // Publish this operator's span as the cross-layer parent: engine stage
+  // spans and federation hops emitted inside Execute nest under it.
+  ExecutorStats before = span.active() ? executor_->stats() : ExecutorStats{};
+  gdm::Dataset out;
+  {
+    ScopedParent scope(&tracer, span.id());
+    GDMS_ASSIGN_OR_RETURN(out, executor_->Execute(*node, inputs));
+  }
+  if (span.active()) {
+    ExecutorStats after = executor_->stats();
+    span.AddAttr("out_samples", static_cast<double>(out.num_samples()));
+    span.AddAttr("out_regions", static_cast<double>(out.TotalRegions()));
+    if (after.tasks > before.tasks) {
+      span.AddAttr("tasks", static_cast<double>(after.tasks - before.tasks));
+    }
+    if (after.partitions > before.partitions) {
+      span.AddAttr("partitions",
+                   static_cast<double>(after.partitions - before.partitions));
+    }
+    if (after.shuffle_bytes > before.shuffle_bytes) {
+      span.AddAttr("shuffle_bytes", static_cast<double>(after.shuffle_bytes -
+                                                        before.shuffle_bytes));
+    }
+  }
   ++stats_.operators_evaluated;
   auto [pos, inserted] = memo->emplace(node.get(), std::move(out));
   (void)inserted;

@@ -11,6 +11,7 @@
 #include "core/parser.h"
 #include "core/plan.h"
 #include "gdm/dataset.h"
+#include "obs/profile.h"
 
 namespace gdms::core {
 
@@ -23,6 +24,10 @@ struct RunStats {
   /// shuffle bytes, stage barriers); zeros under the reference executor.
   ExecutorStats executor;
   double wall_seconds = 0;
+  /// The query's span tree — one operator span per evaluated plan node with
+  /// engine stage / federation spans nested beneath. Only populated while
+  /// obs::Tracer::Global() is enabled; null otherwise.
+  std::shared_ptr<const obs::Profile> profile;
 };
 
 /// \brief End-to-end GMQL query runner.
@@ -63,7 +68,7 @@ class QueryRunner {
  private:
   Result<const gdm::Dataset*> Evaluate(
       const PlanNode::Ptr& node,
-      std::map<const PlanNode*, gdm::Dataset>* memo);
+      std::map<const PlanNode*, gdm::Dataset>* memo, uint64_t parent_span);
 
   std::unique_ptr<Executor> owned_executor_;
   Executor* executor_;

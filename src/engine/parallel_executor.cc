@@ -7,6 +7,8 @@
 #include "engine/shuffle.h"
 #include "interval/accumulation.h"
 #include "interval/sweep.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gdms::engine {
 
@@ -164,6 +166,60 @@ std::vector<ParallelExecutor::Partition> ParallelExecutor::MakePartitions(
 
 Result<gdm::Dataset> ParallelExecutor::Execute(
     const core::PlanNode& node, const std::vector<const Dataset*>& inputs) {
+  // Publish this operator's EngineTrace deltas into the process-wide
+  // registry (once per operator, not per task): the per-executor atomics
+  // stay the single hot-path increment site.
+  core::ExecutorStats before = stats();
+  Result<gdm::Dataset> result = ExecuteOp(node, inputs);
+  core::ExecutorStats after = stats();
+  static obs::Counter* tasks =
+      obs::MetricsRegistry::Global().GetCounter("engine.tasks");
+  static obs::Counter* partitions =
+      obs::MetricsRegistry::Global().GetCounter("engine.partitions");
+  static obs::Counter* shuffle_bytes =
+      obs::MetricsRegistry::Global().GetCounter("engine.shuffle_bytes");
+  static obs::Counter* stage_barriers =
+      obs::MetricsRegistry::Global().GetCounter("engine.stage_barriers");
+  tasks->Add(after.tasks - before.tasks);
+  partitions->Add(after.partitions - before.partitions);
+  shuffle_bytes->Add(after.shuffle_bytes - before.shuffle_bytes);
+  stage_barriers->Add(after.stage_barriers - before.stage_barriers);
+  return result;
+}
+
+void ParallelExecutor::RunStage(const char* name, size_t n,
+                                const std::function<void(size_t)>& fn) {
+  trace_.tasks.fetch_add(n, kRelaxed);
+  if (n == 0) return;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (!tracer.enabled()) {
+    pool_.ParallelFor(n, fn);
+    return;
+  }
+  obs::Span span = tracer.StartSpan(name, "stage", tracer.current_parent());
+  std::vector<int64_t> starts(n);
+  std::vector<int64_t> durations(n);
+  int64_t stage_start = tracer.NowNs();
+  pool_.ParallelFor(n, [&](size_t i) {
+    int64_t t0 = tracer.NowNs();
+    fn(i);
+    int64_t t1 = tracer.NowNs();
+    starts[i] = t0 - stage_start;
+    durations[i] = t1 - t0;
+  });
+  double wait_sum = 0;
+  for (int64_t s : starts) wait_sum += static_cast<double>(s);
+  obs::SkewStats skew = obs::ComputeSkew(std::move(durations));
+  span.AddAttr("tasks", static_cast<double>(n));
+  span.AddAttr("queue_wait_mean_us",
+               wait_sum / static_cast<double>(n) / 1e3);
+  span.AddAttr("part_min_us", static_cast<double>(skew.min_ns) / 1e3);
+  span.AddAttr("part_median_us", static_cast<double>(skew.median_ns) / 1e3);
+  span.AddAttr("part_max_us", static_cast<double>(skew.max_ns) / 1e3);
+}
+
+Result<gdm::Dataset> ParallelExecutor::ExecuteOp(
+    const core::PlanNode& node, const std::vector<const Dataset*>& inputs) {
   switch (node.kind) {
     case OpKind::kSelect:
       return ParallelSelect(node.select, *inputs[0]);
@@ -191,8 +247,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelSelect(
     if (params.meta->Eval(s.metadata)) kept.push_back(&s);
   }
   std::vector<Sample> results(kept.size());
-  pool_.ParallelFor(kept.size(), [&](size_t si) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("select:samples", kept.size(), [&](size_t si) {
     const Sample& s = *kept[si];
     Sample ns(s.id);
     ns.metadata = s.metadata;
@@ -215,8 +270,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
     // Seed scheduler: one task per left sample, right side rescanned with
     // the O(S^2) joinby loop and negatives re-sorted whole per sample.
     std::vector<Sample> results(left.num_samples());
-    pool_.ParallelFor(left.num_samples(), [&](size_t si) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("difference:samples", left.num_samples(), [&](size_t si) {
       const Sample& ls = left.sample(si);
       std::vector<GenomicRegion> negatives;
       for (const auto& rs : right.samples()) {
@@ -274,8 +328,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
   trace_.partitions.fetch_add(tasks.size(), kRelaxed);
 
   std::vector<std::vector<GenomicRegion>> kept(tasks.size());
-  pool_.ParallelFor(tasks.size(), [&](size_t ti) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("difference:partitions", tasks.size(), [&](size_t ti) {
     const DiffTask& t = tasks[ti];
     const Sample& ls = left.sample(t.sample);
     std::vector<GenomicRegion> negatives;
@@ -300,8 +353,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
   });
 
   std::vector<Sample> results(left.num_samples());
-  pool_.ParallelFor(left.num_samples(), [&](size_t si) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("difference:assemble", left.num_samples(), [&](size_t si) {
     const Sample& ls = left.sample(si);
     Sample ns(ls.id);
     ns.metadata = ls.metadata;
@@ -394,8 +446,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
       if (options_.backend == BackendKind::kMaterialized) {
         std::vector<std::string> ref_buffers(partitions.size());
         std::vector<std::string> exp_buffers(partitions.size());
-        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1, kRelaxed);
+        RunStage("map:shuffle-write", partitions.size(), [&](size_t pi) {
           const Partition& part = partitions[pi];
           trace_.shuffle_bytes.fetch_add(
               SliceBytes(rs.regions, part.ref_begin, part.ref_end,
@@ -408,8 +459,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
         });
         trace_.stage_barriers.fetch_add(1, kRelaxed);
         FirstError errors;
-        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1, kRelaxed);
+        RunStage("map:compute", partitions.size(), [&](size_t pi) {
           if (errors.failed()) return;
           auto refs = RegionCodec::Decode(ref_buffers[pi]);
           auto exps = RegionCodec::Decode(exp_buffers[pi]);
@@ -424,8 +474,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
         });
         GDMS_RETURN_NOT_OK(errors.status());
       } else {
-        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1, kRelaxed);
+        RunStage("map:compute", partitions.size(), [&](size_t pi) {
           const Partition& part = partitions[pi];
           compute(agg_values, part, rs.regions, part.ref_begin, part.ref_end,
                   es.regions, part.exp_begin, part.exp_end);
@@ -472,8 +521,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
     // ONE global barrier; stage 2: deserialize and compute.
     std::vector<std::string> ref_buffers(parts.size());
     std::vector<std::string> exp_buffers(parts.size());
-    pool_.ParallelFor(parts.size(), [&](size_t pi) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("map:shuffle-write", parts.size(), [&](size_t pi) {
       const PairState& ps = pairs[owner[pi]];
       const Partition& part = parts[pi];
       trace_.shuffle_bytes.fetch_add(
@@ -487,8 +535,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
     });
     trace_.stage_barriers.fetch_add(1, kRelaxed);
     FirstError errors;
-    pool_.ParallelFor(parts.size(), [&](size_t pi) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("map:compute", parts.size(), [&](size_t pi) {
       if (errors.failed()) return;
       auto refs = RegionCodec::Decode(ref_buffers[pi]);
       auto exps = RegionCodec::Decode(exp_buffers[pi]);
@@ -503,8 +550,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
     });
     GDMS_RETURN_NOT_OK(errors.status());
   } else {
-    pool_.ParallelFor(parts.size(), [&](size_t pi) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("map:compute", parts.size(), [&](size_t pi) {
       PairState& ps = pairs[owner[pi]];
       const Partition& part = parts[pi];
       compute(ps.agg_values, part, ps.rs->regions, part.ref_begin,
@@ -512,8 +558,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
     });
   }
 
-  pool_.ParallelFor(pairs.size(), [&](size_t p) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("map:assemble", pairs.size(), [&](size_t p) {
     PairState& ps = pairs[p];
     results[p] = assemble(*ps.rs, *ps.es, ps.agg_values);
   });
@@ -535,8 +580,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
 
   if (params.predicate.md_k > 0) {
     // MD(k) crosses partition boundaries; parallelize over pairs only.
-    pool_.ParallelFor(pair_idx.size(), [&](size_t p) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("join:md-pairs", pair_idx.size(), [&](size_t p) {
       results[p] = Operators::JoinPair(params, left.sample(pair_idx[p].first),
                                        right.sample(pair_idx[p].second));
     });
@@ -558,8 +602,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
       if (options_.backend == BackendKind::kMaterialized) {
         std::vector<std::string> lbuf(partitions.size());
         std::vector<std::string> rbuf(partitions.size());
-        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1, kRelaxed);
+        RunStage("join:shuffle-write", partitions.size(), [&](size_t pi) {
           const Partition& part = partitions[pi];
           trace_.shuffle_bytes.fetch_add(
               SliceBytes(ls.regions, part.ref_begin, part.ref_end, &lbuf[pi]),
@@ -571,8 +614,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
         });
         trace_.stage_barriers.fetch_add(1, kRelaxed);
         FirstError errors;
-        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1, kRelaxed);
+        RunStage("join:compute", partitions.size(), [&](size_t pi) {
           if (errors.failed()) return;
           auto lr = RegionCodec::Decode(lbuf[pi]);
           auto rr = RegionCodec::Decode(rbuf[pi]);
@@ -590,8 +632,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
         });
         GDMS_RETURN_NOT_OK(errors.status());
       } else {
-        pool_.ParallelFor(partitions.size(), [&](size_t pi) {
-          trace_.tasks.fetch_add(1, kRelaxed);
+        RunStage("join:compute", partitions.size(), [&](size_t pi) {
           const Partition& part = partitions[pi];
           SliceSweep(ls.regions, part.ref_begin, part.ref_end, rsamp.regions,
                      part.exp_begin, part.exp_end, window,
@@ -644,8 +685,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
   if (options_.backend == BackendKind::kMaterialized) {
     std::vector<std::string> lbuf(parts.size());
     std::vector<std::string> rbuf(parts.size());
-    pool_.ParallelFor(parts.size(), [&](size_t pi) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("join:shuffle-write", parts.size(), [&](size_t pi) {
       const PairState& ps = pairs[owner[pi]];
       const Partition& part = parts[pi];
       trace_.shuffle_bytes.fetch_add(
@@ -657,8 +697,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
     });
     trace_.stage_barriers.fetch_add(1, kRelaxed);
     FirstError errors;
-    pool_.ParallelFor(parts.size(), [&](size_t pi) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("join:compute", parts.size(), [&](size_t pi) {
       if (errors.failed()) return;
       auto lr = RegionCodec::Decode(lbuf[pi]);
       auto rr = RegionCodec::Decode(rbuf[pi]);
@@ -675,8 +714,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
     });
     GDMS_RETURN_NOT_OK(errors.status());
   } else {
-    pool_.ParallelFor(parts.size(), [&](size_t pi) {
-      trace_.tasks.fetch_add(1, kRelaxed);
+    RunStage("join:compute", parts.size(), [&](size_t pi) {
       const PairState& ps = pairs[owner[pi]];
       const Partition& part = parts[pi];
       SliceSweep(ps.ls->regions, part.ref_begin, part.ref_end, ps.rs->regions,
@@ -688,8 +726,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
     });
   }
 
-  pool_.ParallelFor(pairs.size(), [&](size_t p) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("join:assemble", pairs.size(), [&](size_t p) {
     const PairState& ps = pairs[p];
     Sample ns = Operators::DerivedSample("JOIN", *ps.ls, *ps.rs, true);
     for (size_t pi = ps.part_begin; pi < ps.part_end; ++pi) {
@@ -896,8 +933,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
       trace_.partitions.fetch_add(g.segs.size(), kRelaxed);
       std::vector<SegState> states(g.segs.size());
       FirstError errors;
-      pool_.ParallelFor(g.segs.size(), [&](size_t si) {
-        trace_.tasks.fetch_add(1, kRelaxed);
+      RunStage("cover:profile", g.segs.size(), [&](size_t si) {
         profile_segment(g, si, &states[si], &errors);
       });
       GDMS_RETURN_NOT_OK(errors.status());
@@ -905,8 +941,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
         trace_.stage_barriers.fetch_add(1, kRelaxed);
       }
       resolve_bounds(&g, states);
-      pool_.ParallelFor(g.segs.size(), [&](size_t si) {
-        trace_.tasks.fetch_add(1, kRelaxed);
+      RunStage("cover:compute", g.segs.size(), [&](size_t si) {
         compute_segment(g, &states[si]);
       });
       out.AddSample(assemble(g, states));
@@ -916,8 +951,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
 
   // Flat scheduler: pool every group in parallel, then run ONE task list
   // over all (group x segment) pairs per phase.
-  pool_.ParallelFor(groups.size(), [&](size_t gi) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("cover:pool", groups.size(), [&](size_t gi) {
     pool_group(&groups[gi]);
   });
   size_t total_segs = 0;
@@ -931,8 +965,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
 
   std::vector<SegState> states(total_segs);
   FirstError errors;
-  pool_.ParallelFor(total_segs, [&](size_t fi) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("cover:profile", total_segs, [&](size_t fi) {
     if (errors.failed()) return;
     const GroupWork& g = groups[seg_group[fi]];
     profile_segment(g, fi - g.seg_offset, &states[fi], &errors);
@@ -944,14 +977,12 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
 
   for (auto& g : groups) resolve_bounds(&g, states);
 
-  pool_.ParallelFor(total_segs, [&](size_t fi) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("cover:compute", total_segs, [&](size_t fi) {
     compute_segment(groups[seg_group[fi]], &states[fi]);
   });
 
   std::vector<Sample> results(groups.size());
-  pool_.ParallelFor(groups.size(), [&](size_t gi) {
-    trace_.tasks.fetch_add(1, kRelaxed);
+  RunStage("cover:assemble", groups.size(), [&](size_t gi) {
     results[gi] = assemble(groups[gi], states);
   });
   for (auto& s : results) out.AddSample(std::move(s));

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "common/status.h"
@@ -53,6 +54,12 @@ struct EngineOptions {
 /// ResetTrace). Counters are incremented with relaxed atomics: they are
 /// independent tallies read after the pool has quiesced, so no ordering is
 /// required.
+///
+/// EngineTrace is the executor-local shard of the process-wide telemetry:
+/// Execute() publishes each operator's counter deltas into the
+/// obs::MetricsRegistry ("engine.tasks" etc.), so registry readers see
+/// process totals while per-run readers (benches, RunStats) keep exact
+/// per-executor figures through stats()/ResetStats().
 struct EngineTrace {
   std::atomic<uint64_t> tasks{0};
   std::atomic<uint64_t> partitions{0};
@@ -98,6 +105,18 @@ class ParallelExecutor : public core::Executor {
 
  private:
   using Partition = TaskPartition;
+
+  /// Operator dispatch (the switch); Execute wraps it to publish counter
+  /// deltas into the metrics registry.
+  Result<gdm::Dataset> ExecuteOp(const core::PlanNode& node,
+                                 const std::vector<const gdm::Dataset*>& inputs);
+
+  /// Runs one parallel stage: counts `n` tasks into the trace and, when the
+  /// global tracer is enabled, wraps the loop in a "stage" span carrying
+  /// task count, mean queue wait, and per-partition min/median/max duration
+  /// (the skew figures). Disabled-tracer fast path is one relaxed load.
+  void RunStage(const char* name, size_t n,
+                const std::function<void(size_t)>& fn);
 
   /// The seed partitioner (SchedulingMode::kPerPair): splits a sorted ref
   /// list into (chrom, bin-range) chunks and attaches the matching exp

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/operators.h"
+#include "obs/metrics.h"
 
 namespace gdms::engine {
 
@@ -85,6 +86,9 @@ std::vector<RefChunk> MakeRefChunks(
     chunk.end = i;
     out.push_back(chunk);
   }
+  static obs::Counter* chunks =
+      obs::MetricsRegistry::Global().GetCounter("engine.ref_chunks");
+  chunks->Add(out.size());
   return out;
 }
 
@@ -111,6 +115,8 @@ std::vector<TaskPartition> BindPartitions(
 std::vector<std::pair<size_t, size_t>> MatchJoinbyPairs(
     const gdm::Dataset& left, const gdm::Dataset& right,
     const std::vector<std::string>& joinby) {
+  static obs::Counter* matched =
+      obs::MetricsRegistry::Global().GetCounter("engine.joinby_pairs");
   std::vector<std::pair<size_t, size_t>> pairs;
   if (joinby.empty()) {
     pairs.reserve(left.num_samples() * right.num_samples());
@@ -119,6 +125,7 @@ std::vector<std::pair<size_t, size_t>> MatchJoinbyPairs(
         pairs.emplace_back(l, r);
       }
     }
+    matched->Add(pairs.size());
     return pairs;
   }
 
@@ -174,6 +181,7 @@ std::vector<std::pair<size_t, size_t>> MatchJoinbyPairs(
     }
     for (size_t r : candidates) pairs.emplace_back(l, r);
   }
+  matched->Add(pairs.size());
   return pairs;
 }
 

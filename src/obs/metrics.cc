@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdms::obs {
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), then walk buckets.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Bucket b spans [lower, upper): interpolate by rank position.
+      double lower = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (b - 1));
+      double upper = b == 0 ? 1.0
+                    : b >= 63
+                        ? lower * 2.0
+                        : static_cast<double>(uint64_t{1} << b);
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+    seen += in_bucket;
+  }
+  return 0.0;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge != nullptr || e.histogram != nullptr) {
+    static Counter scratch;
+    return &scratch;
+  }
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  if (e.counter != nullptr || e.histogram != nullptr) {
+    static Gauge scratch;
+    return &scratch;
+  }
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  if (e.counter != nullptr || e.gauge != nullptr) {
+    static Histogram scratch;
+    return &scratch;
+  }
+  if (e.histogram == nullptr) e.histogram = std::make_unique<Histogram>();
+  return e.histogram.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      std::snprintf(buf, sizeof(buf), "counter   %-36s %" PRIu64 "\n",
+                    name.c_str(), e.counter->value());
+    } else if (e.gauge != nullptr) {
+      std::snprintf(buf, sizeof(buf), "gauge     %-36s %" PRId64 "\n",
+                    name.c_str(), e.gauge->value());
+    } else if (e.histogram != nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "histogram %-36s count=%" PRIu64 " mean=%.1f p50=%.0f "
+                    "p95=%.0f p99=%.0f\n",
+                    name.c_str(), e.histogram->count(), e.histogram->mean(),
+                    e.histogram->Quantile(0.5), e.histogram->Quantile(0.95),
+                    e.histogram->Quantile(0.99));
+    } else {
+      continue;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string counters, gauges, histograms;
+  char buf[256];
+  auto append = [](std::string* dst, const char* text) {
+    if (!dst->empty()) *dst += ", ";
+    *dst += text;
+  };
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64, name.c_str(),
+                    e.counter->value());
+      append(&counters, buf);
+    } else if (e.gauge != nullptr) {
+      std::snprintf(buf, sizeof(buf), "\"%s\": %" PRId64, name.c_str(),
+                    e.gauge->value());
+      append(&gauges, buf);
+    } else if (e.histogram != nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                    ", \"mean\": %.3f, \"p50\": %.1f, \"p95\": %.1f, "
+                    "\"p99\": %.1f}",
+                    name.c_str(), e.histogram->count(), e.histogram->sum(),
+                    e.histogram->mean(), e.histogram->Quantile(0.5),
+                    e.histogram->Quantile(0.95), e.histogram->Quantile(0.99));
+      append(&histograms, buf);
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter != nullptr) e.counter->Reset();
+    if (e.gauge != nullptr) e.gauge->Reset();
+    if (e.histogram != nullptr) e.histogram->Reset();
+  }
+}
+
+}  // namespace gdms::obs

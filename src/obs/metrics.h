@@ -1,0 +1,131 @@
+#ifndef GDMS_OBS_METRICS_H_
+#define GDMS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gdms::obs {
+
+/// \brief Process-wide telemetry primitives.
+///
+/// All instruments are updated with relaxed atomics: every metric is an
+/// independent tally read after the interesting work has quiesced (end of a
+/// query, end of a bench), so no cross-metric ordering is required and the
+/// hot-path cost is one uncontended atomic RMW. Instrument pointers handed
+/// out by the registry are stable for the registry's lifetime — call sites
+/// cache them in static locals and skip the name lookup thereafter.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram: 64 power-of-two buckets (bucket i holds
+/// values whose bit width is i, i.e. [2^(i-1), 2^i)), so any uint64 latency
+/// in any unit fits without configuration. Quantiles interpolate linearly
+/// within the chosen bucket — at most a 2x bucket-width error, which is the
+/// standard precision trade of fixed-bucket histograms (HdrHistogram-style).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value) {
+    size_t b = BucketOf(value);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+  /// Value at quantile q in [0, 1] (0.5 = p50), interpolated within the
+  /// bucket holding the q-th sample. 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+  static size_t BucketOf(uint64_t value) {
+    size_t width = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++width;
+    }
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Named instrument registry; one per process via Global().
+///
+/// Get* registers on first use and returns the same stable pointer for the
+/// same name afterwards. A name is bound to one instrument kind; requesting
+/// it as a different kind returns a detached scratch instrument (never
+/// nullptr) so call sites stay unconditional.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Human-readable dump, one instrument per line, sorted by name.
+  std::string RenderText() const;
+
+  /// JSON dump: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..}}}.
+  std::string RenderJson() const;
+
+  /// Zeroes every registered instrument (tests / per-bench isolation).
+  /// Pointers stay valid.
+  void ResetAll();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gdms::obs
+
+#endif  // GDMS_OBS_METRICS_H_

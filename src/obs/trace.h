@@ -1,0 +1,155 @@
+#ifndef GDMS_OBS_TRACE_H_
+#define GDMS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdms::obs {
+
+/// One finished span: a named, timed slice of a query with numeric
+/// attributes. Parent links form the profile tree (0 = root).
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  std::string name;      ///< e.g. "MAP", "map:compute", "site:node_a"
+  std::string category;  ///< "query" | "operator" | "stage" | "federation" | "search"
+  int64_t start_ns = 0;  ///< steady time since the tracer epoch
+  int64_t duration_ns = 0;
+  std::vector<std::pair<std::string, double>> attrs;
+};
+
+/// Per-partition duration spread of one parallel stage.
+struct SkewStats {
+  int64_t min_ns = 0;
+  int64_t median_ns = 0;
+  int64_t max_ns = 0;
+  double mean_ns = 0;
+};
+
+/// min/median/max/mean of a stage's per-task durations (the skew figures
+/// attached to stage spans). Zeros when empty.
+SkewStats ComputeSkew(std::vector<int64_t> durations_ns);
+
+class Tracer;
+
+/// \brief Movable handle for an in-flight span.
+///
+/// Inactive (all methods no-ops) when the tracer was disabled at StartSpan
+/// time, so call sites stay unconditional. The record is assembled locally
+/// and only touches the tracer (one mutex-guarded append) at End/destruction.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      rec_ = std::move(other.rec_);
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { End(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  /// 0 when inactive — safe to pass as a parent id.
+  uint64_t id() const { return active() ? rec_.id : 0; }
+
+  void AddAttr(const char* key, double value) {
+    if (active()) rec_.attrs.emplace_back(key, value);
+  }
+
+  /// Stamps the duration and hands the record to the tracer; idempotent.
+  void End();
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+};
+
+/// \brief Low-overhead span collector; one per process via Global().
+///
+/// Compiled-in but runtime-toggleable: when disabled (the default),
+/// StartSpan is a relaxed atomic load returning an inactive handle — the
+/// no-op fast path every instrumentation site rides. When enabled, finished
+/// spans accumulate (bounded) until a caller collects them.
+///
+/// Cross-layer parent linkage: the query runner publishes the span id of
+/// the operator currently executing (ExchangeCurrentParent); engine stages
+/// and federation hops attach their spans under it without any plumbing
+/// through the Executor interface. The runner evaluates one operator at a
+/// time, so a single slot suffices; worker threads only read it.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts a span under `parent` (0 = root). Inactive handle when disabled.
+  Span StartSpan(std::string name, const char* category, uint64_t parent);
+
+  /// Publishes `id` as the current cross-layer parent, returning the
+  /// previous value (restore it when the operator finishes).
+  uint64_t ExchangeCurrentParent(uint64_t id) {
+    return current_parent_.exchange(id, std::memory_order_relaxed);
+  }
+  uint64_t current_parent() const {
+    return current_parent_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer epoch.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Copies the finished spans reachable from `root_id` (inclusive),
+  /// leaving the buffer untouched — per-query collection under a
+  /// process-wide tracer.
+  std::vector<SpanRecord> Collect(uint64_t root_id) const;
+
+  /// Removes and returns every finished span (whole-process export).
+  std::vector<SpanRecord> TakeAll();
+
+  void Clear();
+  size_t pending() const;
+  /// Spans discarded because the buffer was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Buffer bound; beyond it spans are dropped and counted, not grown —
+  /// a long-lived process with tracing left on must not grow unbounded.
+  static constexpr size_t kMaxSpans = 1 << 20;
+
+ private:
+  friend class Span;
+  void Finish(SpanRecord rec);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> current_parent_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> done_;
+};
+
+}  // namespace gdms::obs
+
+#endif  // GDMS_OBS_TRACE_H_

@@ -4,8 +4,63 @@
 
 #include "core/parser.h"
 #include "io/gdm_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gdms::repo {
+
+namespace {
+
+/// RAII site-hop telemetry: a "federation" span (nested under whatever
+/// operator span is current) carrying the protocol-counter deltas of the
+/// enclosed interaction, plus process-wide registry totals and a per-hop
+/// latency histogram. Inert when tracing is disabled except for the
+/// registry counter updates.
+class HopScope {
+ public:
+  HopScope(std::string name, const ProtocolCounters* counters)
+      : counters_(counters),
+        before_(*counters),
+        start_ns_(obs::Tracer::Global().NowNs()),
+        span_(obs::Tracer::Global().StartSpan(
+            std::move(name), "federation",
+            obs::Tracer::Global().current_parent())) {}
+
+  ~HopScope() {
+    static obs::Counter* requests =
+        obs::MetricsRegistry::Global().GetCounter("federation.requests");
+    static obs::Counter* sent =
+        obs::MetricsRegistry::Global().GetCounter("federation.bytes_sent");
+    static obs::Counter* received =
+        obs::MetricsRegistry::Global().GetCounter("federation.bytes_received");
+    static obs::Histogram* hop_latency =
+        obs::MetricsRegistry::Global().GetHistogram("federation.hop_us");
+    uint64_t d_requests = counters_->requests - before_.requests;
+    uint64_t d_sent = counters_->bytes_sent - before_.bytes_sent;
+    uint64_t d_received = counters_->bytes_received - before_.bytes_received;
+    requests->Add(d_requests);
+    sent->Add(d_sent);
+    received->Add(d_received);
+    int64_t elapsed_ns = obs::Tracer::Global().NowNs() - start_ns_;
+    hop_latency->Record(static_cast<uint64_t>(elapsed_ns / 1000));
+    if (span_.active()) {
+      span_.AddAttr("requests", static_cast<double>(d_requests));
+      span_.AddAttr("bytes_sent", static_cast<double>(d_sent));
+      span_.AddAttr("bytes_received", static_cast<double>(d_received));
+    }
+  }
+
+  HopScope(const HopScope&) = delete;
+  HopScope& operator=(const HopScope&) = delete;
+
+ private:
+  const ProtocolCounters* counters_;
+  ProtocolCounters before_;
+  int64_t start_ns_;
+  obs::Span span_;
+};
+
+}  // namespace
 
 FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {}
 
@@ -139,6 +194,7 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
     const std::string& node_name, const std::string& gmql) {
   FederatedNode* node = FindNode(node_name);
   if (node == nullptr) return Status::NotFound("unknown node " + node_name);
+  HopScope hop("site:" + node_name, &counters_);
 
   // COMPILE round-trip: the query text travels once, the estimate returns.
   ++counters_.requests;
@@ -207,6 +263,7 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
     const std::string& gmql) {
   FederatedNode* node = FindNode(node_name);
   if (node == nullptr) return Status::NotFound("unknown node " + node_name);
+  HopScope hop("ship:" + node_name, &counters_);
   core::QueryRunner runner;
   for (const auto& name : datasets) {
     ++counters_.requests;

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gdms::search {
 
@@ -55,15 +57,29 @@ void MetadataIndex::AddDataset(const gdm::Dataset& dataset) {
     }
     doc_norm_.push_back(std::sqrt(static_cast<double>(std::max<size_t>(1, terms))));
   }
+  static obs::Counter* indexed =
+      obs::MetricsRegistry::Global().GetCounter("search.docs_indexed");
+  indexed->Add(dataset.num_samples());
 }
 
 std::vector<SearchHit> MetadataIndex::Search(const std::string& query,
                                              size_t limit) const {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("search.queries");
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Global().GetHistogram("search.query_us");
+  queries->Add();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  int64_t start_ns = tracer.NowNs();
+  obs::Span span =
+      tracer.StartSpan("search:" + query, "search", tracer.current_parent());
   std::unordered_map<uint32_t, double> scores;
   double n_docs = static_cast<double>(std::max<size_t>(1, docs_.size()));
+  size_t matched_terms = 0;
   for (const auto& term : TokenizeMeta(query)) {
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
+    ++matched_terms;
     double idf = std::log(1.0 + n_docs / static_cast<double>(it->second.size()));
     for (const auto& p : it->second) {
       scores[p.doc] += (1.0 + std::log(static_cast<double>(p.tf))) * idf /
@@ -80,6 +96,11 @@ std::vector<SearchHit> MetadataIndex::Search(const std::string& query,
     return a.ref < b.ref;
   });
   if (hits.size() > limit) hits.resize(limit);
+  latency->Record(static_cast<uint64_t>((tracer.NowNs() - start_ns) / 1000));
+  if (span.active()) {
+    span.AddAttr("terms", static_cast<double>(matched_terms));
+    span.AddAttr("hits", static_cast<double>(hits.size()));
+  }
   return hits;
 }
 

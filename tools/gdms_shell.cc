@@ -9,6 +9,11 @@
 //   gdms_shell [--load NAME=FILE]... [--query FILE | --exec GMQL]
 //              [--out DIR] [--parallel [THREADS]] [--no-optimize]
 //              [--show CHR:LEFT-RIGHT] [--demo]
+//              [--trace FILE.json] [--metrics]
+//
+// Prefixing the GMQL text with EXPLAIN ANALYZE turns on tracing for the run
+// and prints the per-operator profile tree (wall time, self time, task
+// counts, partition skew) after the result summaries.
 //
 // Examples:
 //   gdms_shell --load PEAKS=peaks.narrowPeak --load GENES=genes.gtf \
@@ -34,6 +39,9 @@
 #include "io/gtf.h"
 #include "io/track_render.h"
 #include "io/vcf.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "repo/catalog.h"
 #include "sim/generators.h"
 
@@ -98,6 +106,30 @@ void LoadDemo(core::QueryRunner* runner) {
   runner->RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 1));
 }
 
+/// Strips a leading case-insensitive "EXPLAIN ANALYZE" from the query text;
+/// returns whether it was present.
+bool StripExplainAnalyze(std::string* gmql) {
+  std::string text(Trim(*gmql));
+  const char* words[] = {"EXPLAIN", "ANALYZE"};
+  size_t pos = 0;
+  for (const char* word : words) {
+    size_t len = std::strlen(word);
+    if (text.size() < pos + len) return false;
+    for (size_t i = 0; i < len; ++i) {
+      if (std::toupper(static_cast<unsigned char>(text[pos + i])) != word[i]) {
+        return false;
+      }
+    }
+    pos += len;
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  *gmql = text.substr(pos);
+  return true;
+}
+
 /// Parses "chr1:0-2000000".
 Result<io::TrackWindow> ParseWindow(const std::string& spec) {
   auto colon = spec.find(':');
@@ -124,6 +156,8 @@ int main(int argc, char** argv) {
   std::string repo_dir;
   std::string save_repo_dir;
   std::string show_window;
+  std::string trace_path;
+  bool print_metrics = false;
   bool parallel = false;
   size_t threads = 0;
   bool optimize = true;
@@ -174,12 +208,20 @@ int main(int argc, char** argv) {
       optimize = false;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--trace needs an output file");
+      trace_path = v;
+    } else if (arg == "--metrics") {
+      print_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
           "usage: gdms_shell [--repo DIR] [--load NAME=FILE]... [--query FILE | --exec "
           "GMQL]\n"
           "                  [--out DIR] [--parallel [N]] [--no-optimize]\n"
-          "                  [--show CHR:LEFT-RIGHT] [--demo]");
+          "                  [--show CHR:LEFT-RIGHT] [--demo]\n"
+          "                  [--trace FILE.json] [--metrics]\n"
+          "       prefix the GMQL text with EXPLAIN ANALYZE for a profile tree");
       return 0;
     } else {
       return Fail("unknown argument " + arg + " (try --help)");
@@ -238,6 +280,14 @@ int main(int argc, char** argv) {
   }
   if (Trim(gmql).empty()) return Fail("empty query (use --exec or --query)");
 
+  bool explain = StripExplainAnalyze(&gmql);
+  if (Trim(gmql).empty()) {
+    return Fail("EXPLAIN ANALYZE needs a query to follow it");
+  }
+  if (explain || !trace_path.empty()) {
+    obs::Tracer::Global().set_enabled(true);
+  }
+
   auto results = runner->Run(gmql);
   if (!results.ok()) return Fail(results.status().ToString());
 
@@ -272,6 +322,23 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st.ToString());
     std::printf("saved %zu datasets to repository %s\n",
                 results.value().size(), save_repo_dir.c_str());
+  }
+  if (explain) {
+    const auto& profile = runner->last_stats().profile;
+    if (profile != nullptr) {
+      std::printf("\nEXPLAIN ANALYZE\n%s", profile->RenderTree().c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::Profile full(obs::Tracer::Global().TakeAll());
+    if (!full.WriteChromeTrace(trace_path)) {
+      return Fail("cannot write trace to " + trace_path);
+    }
+    std::printf("wrote trace to %s (%zu spans)\n", trace_path.c_str(),
+                full.spans().size());
+  }
+  if (print_metrics) {
+    std::fputs(obs::MetricsRegistry::Global().RenderText().c_str(), stdout);
   }
   std::printf("done: %zu operators, %zu memo hits, %.3f s\n",
               runner->last_stats().operators_evaluated,
