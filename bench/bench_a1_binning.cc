@@ -89,7 +89,10 @@ void BM_BinSize(benchmark::State& state) {
     benchmark::DoNotOptimize(run.result_regions);
   }
 }
-BENCHMARK(BM_BinSize)->Arg(1000000)->Arg(100000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BinSize)
+    ->Arg(1000000)
+    ->Arg(100000000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -74,7 +74,8 @@ void PrintTable() {
     size_t searches = 200;
     size_t total_snippets = 0;
     for (size_t q = 0; q < searches; ++q) {
-      total_snippets += service.Search(q % 2 ? "CTCF" : "cancer_cell_line").size();
+      total_snippets +=
+          service.Search(q % 2 ? "CTCF" : "cancer_cell_line").size();
     }
     double search_us = search_timer.Seconds() * 1e6 / searches;
     // First fetch goes over the wire.

@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "common/string_util.h"
 #include "core/runner.h"
+#include "engine/parallel_executor.h"
 #include "sim/generators.h"
 
 namespace {
@@ -113,10 +114,85 @@ void PrintTable(bench::BenchJson* json) {
   bench::Note(
       "extrapolation to paper scale: %.0f promoters x %d samples = %s "
       "result regions -> ~%s (paper reports 29 GB)",
-      131780.0, 2423, WithThousands(static_cast<uint64_t>(paper_regions)).c_str(),
+      131780.0, 2423,
+      WithThousands(static_cast<uint64_t>(paper_regions)).c_str(),
       HumanBytes(static_cast<uint64_t>(paper_bytes)).c_str());
   json->top().Add("extrapolated_paper_bytes",
                   static_cast<uint64_t>(paper_bytes));
+}
+
+// E1b — the Section 2 query extended with the enrichment filter, fused vs
+// --no-fusion on the parallel engine (8 threads, flat scheduler). The
+// MAP->SELECT chain fuses into one physical stage: the SELECT runs inside
+// MAP's per-pair assembly tasks and the intermediate MAP dataset is never
+// allocated.
+void FusionAB(bench::BenchJson* json) {
+  bench::Header("E1b: MAP->SELECT chain, fusion on vs off",
+                "8 threads, flat scheduler; best of 3 runs each");
+  auto genome = gdm::GenomeAssembly::HumanLike(22, 240000000 / 4);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 76;
+  popt.peaks_per_sample = 2048;
+  gdm::Dataset encode = sim::GeneratePeakDataset(genome, popt, 2016);
+  auto catalog = sim::GenerateGenes(genome, 4118, 2016);
+  gdm::Dataset annotations =
+      sim::GenerateAnnotations(genome, catalog, {}, 2016);
+  const char* query =
+      "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+      "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+      "RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;\n"
+      "ENRICHED = SELECT(region: peak_count >= 2) RESULT;\n"
+      "MATERIALIZE ENRICHED;\n";
+
+  struct FusionRun {
+    double seconds = 0;
+    size_t intermediates = 0;
+    size_t chains = 0;
+  };
+  auto run_one = [&](bool fusion) {
+    engine::EngineOptions options;
+    options.threads = 8;
+    engine::ParallelExecutor executor(options);
+    core::QueryRunner runner(&executor);
+    runner.set_fusion(fusion);
+    runner.RegisterDataset(encode);
+    runner.RegisterDataset(annotations);
+    FusionRun best;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer timer;
+      auto results = runner.Run(query);
+      double seconds = timer.Seconds();
+      (void)std::move(results).ValueOrDie();
+      if (rep == 0 || seconds < best.seconds) best.seconds = seconds;
+    }
+    best.intermediates = runner.last_stats().intermediate_datasets;
+    best.chains = runner.last_stats().fusion.chains_fused;
+    return best;
+  };
+
+  FusionRun off = run_one(false);
+  FusionRun on = run_one(true);
+  double speedup = off.seconds / on.seconds;
+  double intermediate_drop =
+      1.0 - static_cast<double>(on.intermediates) /
+                static_cast<double>(off.intermediates);
+  std::printf("%10s %10s %14s %8s\n", "fusion", "sec", "intermediates",
+              "chains");
+  std::printf("%10s %10.3f %14zu %8zu\n", "off", off.seconds,
+              off.intermediates, off.chains);
+  std::printf("%10s %10.3f %14zu %8zu\n", "on", on.seconds, on.intermediates,
+              on.chains);
+  bench::Note(
+      "fusion speedup %.2fx; intermediate datasets %zu -> %zu (-%.0f%%)",
+      speedup, off.intermediates, on.intermediates, intermediate_drop * 100);
+  json->top().Add("fusion_off_seconds", off.seconds);
+  json->top().Add("fusion_on_seconds", on.seconds);
+  json->top().Add("fusion_speedup", speedup);
+  json->top().Add("fusion_intermediates_off",
+                  static_cast<uint64_t>(off.intermediates));
+  json->top().Add("fusion_intermediates_on",
+                  static_cast<uint64_t>(on.intermediates));
+  json->top().Add("fusion_chains", static_cast<uint64_t>(on.chains));
 }
 
 void BM_Section2Query(benchmark::State& state) {
@@ -137,6 +213,7 @@ int main(int argc, char** argv) {
   if (json_path.empty()) json_path = "BENCH_E1.json";
   bench::BenchJson json("E1 section2 map query");
   PrintTable(&json);
+  FusionAB(&json);
   json.WriteTo(json_path);
   obs_flags.Finish();
   benchmark::Initialize(&argc, argv);

@@ -64,7 +64,8 @@ void PrintTable() {
                 "Figure 2: GDM schema and instances for NGS ChIP-Seq data");
   gdm::Dataset fig2 = Figure2();
   std::fputs(fig2.Describe(2, 5).c_str(), stdout);
-  bench::Note("GDM constraint validates: %s", fig2.Validate().ToString().c_str());
+  bench::Note("GDM constraint validates: %s",
+              fig2.Validate().ToString().c_str());
   std::string wire = io::WriteGdmString(fig2);
   auto back = io::ReadGdmString(wire);
   bench::Note("native-format round-trip: %s (%zu bytes)",
@@ -99,7 +100,10 @@ void BM_GdmFormatRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(ds.TotalRegions()));
 }
-BENCHMARK(BM_GdmFormatRoundTrip)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GdmFormatRoundTrip)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SortRegions(benchmark::State& state) {
   gdm::Dataset ds = BigDataset(1, static_cast<size_t>(state.range(0)));

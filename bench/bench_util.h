@@ -37,10 +37,10 @@ class Timer {
 };
 
 inline void Header(const char* experiment, const char* paper_artifact) {
-  std::printf("\n================================================================\n");
+  std::printf("\n==========================================================\n");
   std::printf("%s\n", experiment);
   std::printf("paper artifact: %s\n", paper_artifact);
-  std::printf("================================================================\n");
+  std::printf("==========================================================\n");
 }
 
 inline void Note(const char* fmt, ...) {

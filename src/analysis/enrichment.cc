@@ -49,13 +49,15 @@ Result<EnrichmentResult> BinomialEnrichment(
   int64_t covered = 0;
   for (const auto& r : flat) covered += r.length();
   out.coverage_fraction =
-      std::min(1.0, static_cast<double>(covered) / static_cast<double>(genome_bases));
+      std::min(1.0, static_cast<double>(covered) /
+                        static_cast<double>(genome_bases));
   // Count query regions with at least one overlap.
   auto flags = interval::ExistsOverlap(query, flat);
   for (char f : flags) {
     if (f) ++out.hits;
   }
-  out.expected_hits = static_cast<double>(out.query_regions) * out.coverage_fraction;
+  out.expected_hits =
+      static_cast<double>(out.query_regions) * out.coverage_fraction;
   out.fold_enrichment =
       out.expected_hits > 0
           ? static_cast<double>(out.hits) / out.expected_hits

@@ -12,9 +12,9 @@ namespace gdms::analysis {
 /// Result of a region-enrichment test.
 struct EnrichmentResult {
   size_t query_regions = 0;      ///< n
-  size_t hits = 0;               ///< k: query regions overlapping the annotation
+  size_t hits = 0;               ///< k: query regions hitting the annotation
   double expected_hits = 0;      ///< n * p
-  double coverage_fraction = 0;  ///< p: fraction of the genome the annotation covers
+  double coverage_fraction = 0;  ///< p: genome fraction the annotation covers
   double fold_enrichment = 0;    ///< k / (n * p)
   double p_value = 1.0;          ///< P(X >= k), X ~ Binomial(n, p)
   double log10_p = 0;            ///< -log10(p_value)

@@ -104,9 +104,10 @@ NetworkStats GeneNetwork::Stats() const {
     total += d;
     stats.max_degree = std::max(stats.max_degree, d);
   }
-  stats.avg_degree = num_nodes_ == 0
-                         ? 0
-                         : static_cast<double>(total) / static_cast<double>(num_nodes_);
+  stats.avg_degree =
+      num_nodes_ == 0
+          ? 0
+          : static_cast<double>(total) / static_cast<double>(num_nodes_);
   // Connected components by union-find.
   std::vector<uint32_t> parent(num_nodes_);
   std::iota(parent.begin(), parent.end(), 0);

@@ -8,7 +8,8 @@ namespace gdms {
 
 /// 64-bit FNV-1a hash of a byte string. Stable across platforms and runs;
 /// used for content-derived sample ids (provenance) and partitioning.
-inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 14695981039346656037ULL) {
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = 14695981039346656037ULL) {
   uint64_t h = seed;
   for (char c : data) {
     h ^= static_cast<uint8_t>(c);

@@ -50,7 +50,8 @@ class Rng {
     double u1 = UniformDouble();
     double u2 = UniformDouble();
     if (u1 < 1e-300) u1 = 1e-300;
-    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
     return mean + stddev * z;
   }
 

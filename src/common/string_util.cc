@@ -53,7 +53,9 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
@@ -73,7 +75,9 @@ Result<int64_t> ParseInt64(std::string_view s) {
   errno = 0;
   char* end = nullptr;
   long long v = std::strtoll(buf.c_str(), &end, 10);
-  if (errno == ERANGE) return Status::ParseError("integer out of range: " + buf);
+  if (errno == ERANGE) {
+    return Status::ParseError("integer out of range: " + buf);
+  }
   if (end != buf.c_str() + buf.size()) {
     return Status::ParseError("trailing characters in integer: " + buf);
   }

@@ -139,8 +139,8 @@ Result<std::vector<size_t>> ResolveAggInputs(
     }
     auto idx = schema.IndexOf(spec.input_attr);
     if (!idx.has_value()) {
-      return Status::InvalidArgument("aggregate input attribute not in schema: " +
-                                     spec.input_attr);
+      return Status::InvalidArgument(
+          "aggregate input attribute not in schema: " + spec.input_attr);
     }
     out.push_back(*idx);
   }

@@ -14,7 +14,8 @@ Result<gdm::Dataset> ExecuteOp(const PlanNode& node,
   auto arity = [&](size_t n) -> Status {
     if (inputs.size() != n) {
       return Status::Internal(std::string(OpKindName(node.kind)) +
-                              " expects " + std::to_string(n) + " inputs, got " +
+                              " expects " + std::to_string(n) +
+                              " inputs, got " +
                               std::to_string(inputs.size()));
     }
     return Status::OK();
@@ -58,6 +59,22 @@ Result<gdm::Dataset> ExecuteOp(const PlanNode& node,
     case OpKind::kCover:
       GDMS_RETURN_NOT_OK(arity(1));
       return Operators::Cover(node.cover, *inputs[0]);
+    case OpKind::kFused: {
+      // The reference executor has no notion of partitions to pipe through,
+      // so a fused chain runs stage by stage — semantically identical to the
+      // unfused plan (the fusion equivalence tests rely on exactly this).
+      if (node.fused_stages.empty()) {
+        return Status::Internal("fused node with no stages");
+      }
+      GDMS_ASSIGN_OR_RETURN(gdm::Dataset current,
+                            ExecuteOp(*node.fused_stages[0], inputs));
+      for (size_t i = 1; i < node.fused_stages.size(); ++i) {
+        std::vector<const gdm::Dataset*> stage_inputs = {&current};
+        GDMS_ASSIGN_OR_RETURN(
+            current, ExecuteOp(*node.fused_stages[i], stage_inputs));
+      }
+      return current;
+    }
     case OpKind::kMaterialize: {
       GDMS_RETURN_NOT_OK(arity(1));
       gdm::Dataset out = *inputs[0];

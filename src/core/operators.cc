@@ -89,7 +89,8 @@ std::vector<std::string> AppendAggAttrs(
 }
 
 /// Concatenated, sorted regions of several samples.
-std::vector<GenomicRegion> ConcatRegions(const std::vector<const Sample*>& samples) {
+std::vector<GenomicRegion> ConcatRegions(
+    const std::vector<const Sample*>& samples) {
   std::vector<GenomicRegion> out;
   size_t total = 0;
   for (const auto* s : samples) total += s->regions.size();

@@ -95,7 +95,8 @@ class Operators {
   /// N-ary variant used by MERGE / GROUP / COVER groups: unioned metadata of
   /// all members, content-hashed id, `_provenance` stamp. Regions empty.
   static gdm::Sample DerivedGroupSample(
-      const std::string& op_tag, const std::vector<const gdm::Sample*>& members);
+      const std::string& op_tag,
+      const std::vector<const gdm::Sample*>& members);
 
   /// Applies the genometric predicate and output option to one candidate
   /// region pair, appending the output region on success. Returns true when

@@ -104,4 +104,107 @@ OptimizerStats Optimizer::Optimize(Program* program) {
   return stats;
 }
 
+namespace {
+
+bool IsFusableProducer(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSelect:
+    case OpKind::kMap:
+    case OpKind::kJoin:
+    case OpKind::kDifference:
+    case OpKind::kCover:
+    case OpKind::kFused:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFusableConsumer(const PlanNode& node) {
+  return (node.kind == OpKind::kSelect || node.kind == OpKind::kProject ||
+          node.kind == OpKind::kExtend) &&
+         node.children.size() == 1;
+}
+
+/// Fusion rewriter: bottom-up over the (possibly shared) DAG with a memo so
+/// a shared subtree rewrites to one shared fused node.
+class FusionPass {
+ public:
+  FusionPass(FusionStats* stats,
+             std::unordered_map<const PlanNode*, size_t> consumers)
+      : stats_(stats), consumers_(std::move(consumers)) {}
+
+  PlanNode::Ptr Rewrite(const PlanNode::Ptr& node) {
+    pinned_.push_back(node);
+    auto it = rewritten_.find(node.get());
+    if (it != rewritten_.end()) return it->second;
+    PlanNode::Ptr result = node;
+    for (auto& child : result->children) {
+      child = Rewrite(child);
+    }
+    if (IsFusableConsumer(*result)) {
+      const PlanNode::Ptr& producer = result->children[0];
+      if (IsFusableProducer(producer->kind) &&
+          consumers_[producer.get()] == 1) {
+        std::vector<PlanNode::Ptr> stages;
+        if (producer->kind == OpKind::kFused) {
+          stages = producer->fused_stages;
+        } else {
+          stages.push_back(producer);
+          ++stats_->chains_fused;
+        }
+        stages.push_back(result);
+        PlanNode::Ptr fused = PlanNode::Fused(std::move(stages));
+        // The chain head's consumers become the fused node's, so a yet
+        // longer chain can keep growing on top of it.
+        consumers_[fused.get()] = consumers_[result.get()];
+        ++stats_->stages_fused;
+        rewritten_[node.get()] = fused;
+        return fused;
+      }
+    }
+    rewritten_[node.get()] = result;
+    return result;
+  }
+
+ private:
+  FusionStats* stats_;
+  std::unordered_map<const PlanNode*, size_t> consumers_;
+  std::vector<PlanNode::Ptr> pinned_;
+  std::unordered_map<const PlanNode*, PlanNode::Ptr> rewritten_;
+};
+
+}  // namespace
+
+FusionStats Optimizer::FusePerPartitionChains(Program* program) {
+  FusionStats stats;
+  // Count consumer EDGES per node (a node referenced by two parents — or
+  // twice by one — must be materialized once and shared, never fused).
+  std::unordered_map<const PlanNode*, size_t> consumers;
+  {
+    std::unordered_set<const PlanNode*> seen;
+    std::vector<const PlanNode*> stack;
+    for (const auto& s : program->sinks) {
+      // A sink payload is read out of the memo by name; count the sink
+      // itself as one consumer edge of its subtree root.
+      stack.push_back(s.get());
+      ++consumers[s.get()];
+    }
+    while (!stack.empty()) {
+      const PlanNode* n = stack.back();
+      stack.pop_back();
+      if (!seen.insert(n).second) continue;
+      for (const auto& c : n->children) {
+        ++consumers[c.get()];
+        stack.push_back(c.get());
+      }
+    }
+  }
+  FusionPass pass(&stats, std::move(consumers));
+  for (auto& sink : program->sinks) {
+    sink = pass.Rewrite(sink);
+  }
+  return stats;
+}
+
 }  // namespace gdms::core

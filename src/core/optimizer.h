@@ -14,6 +14,12 @@ struct OptimizerStats {
   size_t nodes_after = 0;
 };
 
+/// Statistics of the per-partition chain fusion pass.
+struct FusionStats {
+  size_t chains_fused = 0;  ///< kFused nodes created
+  size_t stages_fused = 0;  ///< consumer stages folded into a producer
+};
+
 /// \brief The logical optimizer.
 ///
 /// Rewrites applied (paper, Section 4.2 mentions a "logical optimizer"
@@ -32,6 +38,26 @@ class Optimizer {
  public:
   /// Optimizes the program in place; returns pass statistics.
   static OptimizerStats Optimize(Program* program);
+
+  /// \brief Physical rewrite: fuse adjacent per-partition stages.
+  ///
+  /// Collapses chains where a node's SINGLE consumer is a per-partition-
+  /// compatible unary operator into one kFused node, so the engine pipes
+  /// each partition's finished sample straight into the downstream kernel
+  /// instead of materializing an intermediate dataset between the two plan
+  /// nodes. Eligibility:
+  ///   - producer: SELECT, MAP, JOIN, DIFFERENCE or COVER (the engine's
+  ///     data-parallel operators), or an already-fused chain (chains grow);
+  ///   - consumer: unary SELECT, PROJECT or EXTEND — each transforms one
+  ///     finished sample independently, so it folds into the producer's
+  ///     per-sample assembly stage. MAP/JOIN as consumers are binary and
+  ///     re-partition their (sorted) input, so they stay unfused.
+  ///   - the producer has exactly one consumer edge (MATERIALIZE counts:
+  ///     a directly materialized result must exist as a dataset).
+  ///
+  /// Runs after Optimize (fusion sees the CSE'd DAG) and only when the
+  /// runner's ExecOptions keep fusion enabled (`--no-fusion` escape hatch).
+  static FusionStats FusePerPartitionChains(Program* program);
 };
 
 }  // namespace gdms::core

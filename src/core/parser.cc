@@ -53,7 +53,8 @@ class Lexer {
                 text_[pos_] == '_' || text_[pos_] == '.')) {
           ++pos_;
         }
-        out.push_back({TokKind::kIdent, text_.substr(start, pos_ - start), line_});
+        out.push_back(
+            {TokKind::kIdent, text_.substr(start, pos_ - start), line_});
         continue;
       }
       if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -70,7 +71,8 @@ class Lexer {
           if (text_[pos_] == '.') saw_dot = true;
           ++pos_;
         }
-        out.push_back({TokKind::kNumber, text_.substr(start, pos_ - start), line_});
+        out.push_back(
+            {TokKind::kNumber, text_.substr(start, pos_ - start), line_});
         continue;
       }
       if (c == '\'' || c == '"') {
@@ -82,7 +84,8 @@ class Lexer {
           return Status::ParseError("unterminated string at line " +
                                     std::to_string(line_));
         }
-        out.push_back({TokKind::kString, text_.substr(start, pos_ - start), line_});
+        out.push_back(
+            {TokKind::kString, text_.substr(start, pos_ - start), line_});
         ++pos_;
         continue;
       }
@@ -147,7 +150,8 @@ class ParserImpl {
     std::string last_var;
     while (!AtEnd()) {
       const Token& t = Peek();
-      if (t.kind == TokKind::kIdent && EqualsIgnoreCase(t.text, "MATERIALIZE")) {
+      if (t.kind == TokKind::kIdent &&
+          EqualsIgnoreCase(t.text, "MATERIALIZE")) {
         Advance();
         GDMS_ASSIGN_OR_RETURN(std::string var, ExpectIdent("variable name"));
         std::string out_name = var;
@@ -650,7 +654,8 @@ class ParserImpl {
           params.predicate.md_k = n;
         }
       } else {
-        return ErrorHere("expected genometric atom (DLE/DLT/DGE/DGT/MD/UP/DOWN)");
+        return ErrorHere(
+            "expected genometric atom (DLE/DLT/DGE/DGT/MD/UP/DOWN)");
       }
       if (!ConsumeIdent("AND")) break;
     }

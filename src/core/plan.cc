@@ -30,6 +30,8 @@ const char* OpKindName(OpKind kind) {
       return "MAP";
     case OpKind::kCover:
       return "COVER";
+    case OpKind::kFused:
+      return "FUSED";
     case OpKind::kMaterialize:
       return "MATERIALIZE";
   }
@@ -165,8 +167,21 @@ std::string PlanNode::Signature() const {
       out += CoverVariantName(cover.variant);
       out += " " + std::to_string(cover.min_acc) + "," +
              std::to_string(cover.max_acc);
-      if (!cover.aggregates.empty()) out += "; " + AggsToString(cover.aggregates);
+      if (!cover.aggregates.empty()) {
+        out += "; " + AggsToString(cover.aggregates);
+      }
       if (!cover.groupby.empty()) out += "; groupby: " + cover.groupby;
+      break;
+    case OpKind::kFused:
+      // Stage signatures carry the stage params; stage children (which point
+      // at the pre-fusion chain) are excluded — this node's own `children`
+      // rendering below covers the real inputs.
+      for (size_t i = 0; i < fused_stages.size(); ++i) {
+        if (i > 0) out += " | ";
+        PlanNode stage_copy = *fused_stages[i];
+        stage_copy.children.clear();
+        out += stage_copy.Signature();
+      }
       break;
     case OpKind::kMaterialize:
       out += name;
@@ -284,6 +299,23 @@ PlanNode::Ptr PlanNode::Cover(Ptr child, CoverParams params) {
   n->kind = OpKind::kCover;
   n->children = {std::move(child)};
   n->cover = std::move(params);
+  return n;
+}
+
+std::string PlanNode::FusedChainName() const {
+  std::string out;
+  for (size_t i = 0; i < fused_stages.size(); ++i) {
+    if (i > 0) out += "+";
+    out += OpKindName(fused_stages[i]->kind);
+  }
+  return out;
+}
+
+PlanNode::Ptr PlanNode::Fused(std::vector<Ptr> stages) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = OpKind::kFused;
+  n->children = stages[0]->children;
+  n->fused_stages = std::move(stages);
   return n;
 }
 

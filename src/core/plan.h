@@ -27,6 +27,7 @@ enum class OpKind {
   kJoin,
   kMap,
   kCover,
+  kFused,        ///< physical chain of per-partition-compatible operators
   kMaterialize,  ///< sink marker
 };
 
@@ -168,9 +169,22 @@ struct PlanNode {
   MapParams map;
   CoverParams cover;
 
+  /// kFused only: the logical operator chain this node evaluates without
+  /// materializing intermediate datasets. fused_stages[0] is the producer
+  /// (its params are read through that stage node; this node's `children`
+  /// are the producer's inputs) and every later stage is a unary consumer
+  /// (SELECT / PROJECT / EXTEND) applied to the previous stage's output.
+  /// Stage nodes are kept whole so executors that do not understand fusion
+  /// can evaluate the chain stage by stage with identical semantics.
+  std::vector<Ptr> fused_stages;
+
   /// Canonical rendering of the whole subtree; equal strings = equal plans
   /// (the CSE key).
   std::string Signature() const;
+
+  /// kFused only: "MAP+SELECT"-style listing of the chain's logical
+  /// operators, used by spans and EXPLAIN ANALYZE.
+  std::string FusedChainName() const;
 
   static Ptr Source(std::string dataset_name);
   static Ptr Select(Ptr child, SelectParams params);
@@ -185,6 +199,8 @@ struct PlanNode {
   static Ptr Join(Ptr left, Ptr right, JoinParams params);
   static Ptr Map(Ptr ref, Ptr exp, MapParams params);
   static Ptr Cover(Ptr child, CoverParams params);
+  /// Builds a fused chain node: children are stages[0]'s inputs.
+  static Ptr Fused(std::vector<Ptr> stages);
   static Ptr Materialize(Ptr child, std::string output_name);
 };
 

@@ -202,8 +202,8 @@ class RegionCompare final : public RegionPredicate {
   bool Eval(const gdm::GenomicRegion& r) const override {
     switch (field_) {
       case RegionField::kChr:
-        return ApplyCmp(r.chrom == chrom_id_ ? 0 : (r.chrom < chrom_id_ ? -1 : 1),
-                        op_);
+        return ApplyCmp(
+            r.chrom == chrom_id_ ? 0 : (r.chrom < chrom_id_ ? -1 : 1), op_);
       case RegionField::kLeft:
         return ApplyCmp(gdm::Value(r.left).Compare(value_), op_);
       case RegionField::kRight:
@@ -338,8 +338,8 @@ class ExprAttr final : public RegionExpr {
     } else {
       auto idx = schema.IndexOf(name_);
       if (!idx.has_value()) {
-        return Status::InvalidArgument("expression references unknown attribute: " +
-                                       name_);
+        return Status::InvalidArgument(
+            "expression references unknown attribute: " + name_);
       }
       kind_ = 0;
       index_ = *idx;

@@ -1,6 +1,7 @@
 #include "core/runner.h"
 
 #include <chrono>
+#include <set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -65,8 +66,11 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   executor_->ResetStats();
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::Span query_span = tracer.StartSpan("query", "query", 0);
-  if (optimize_) {
+  if (options_.optimize) {
     stats_.optimizer = Optimizer::Optimize(&program);
+  }
+  if (options_.fusion) {
+    stats_.fusion = Optimizer::FusePerPartitionChains(&program);
   }
   std::map<const PlanNode*, gdm::Dataset> memo;
   std::map<std::string, gdm::Dataset> outputs;
@@ -75,6 +79,20 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   // sink shares its subtree — large results are not copied on the way out.
   for (const auto& sink : program.sinks) {
     GDMS_RETURN_NOT_OK(Evaluate(sink, &memo, query_span.id()).status());
+  }
+  // Everything in the memo that is not about to be handed out as a sink
+  // payload was an intermediate dataset: materialized only to feed the next
+  // operator. Count before extraction erases the payload entries.
+  {
+    std::set<const PlanNode*> payloads;
+    for (const auto& sink : program.sinks) {
+      payloads.insert(sink->kind == OpKind::kMaterialize
+                          ? sink->children[0].get()
+                          : sink.get());
+    }
+    for (const auto& [node, ds] : memo) {
+      if (payloads.count(node) == 0) ++stats_.intermediate_datasets;
+    }
   }
   for (size_t i = 0; i < program.sinks.size(); ++i) {
     const PlanNode::Ptr& sink = program.sinks[i];
@@ -122,8 +140,15 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
       obs::MetricsRegistry::Global().GetCounter("runner.queries");
   static obs::Histogram* latency =
       obs::MetricsRegistry::Global().GetHistogram("runner.query_us");
+  static obs::Counter* intermediates =
+      obs::MetricsRegistry::Global().GetCounter(
+          "runner.intermediate_datasets");
+  static obs::Counter* fused_chains =
+      obs::MetricsRegistry::Global().GetCounter("runner.fused_chains");
   queries->Add();
   latency->Record(static_cast<uint64_t>(stats_.wall_seconds * 1e6));
+  intermediates->Add(stats_.intermediate_datasets);
+  fused_chains->Add(stats_.fusion.chains_fused);
   return outputs;
 }
 
@@ -151,8 +176,18 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
                                       parent_span);
     return Evaluate(node->children[0], memo, span.id());
   }
-  obs::Span span =
-      tracer.StartSpan(OpKindName(node->kind), "operator", parent_span);
+  // A fused node's span names every logical operator in the chain
+  // ("MAP+SELECT") and carries fused=true, so EXPLAIN ANALYZE stays truthful
+  // about which operators ran even though they share one physical stage.
+  obs::Span span = tracer.StartSpan(node->kind == OpKind::kFused
+                                        ? node->FusedChainName()
+                                        : OpKindName(node->kind),
+                                    "operator", parent_span);
+  if (node->kind == OpKind::kFused && span.active()) {
+    span.AddAttr("fused", 1);
+    span.AddAttr("fused_stages",
+                 static_cast<double>(node->fused_stages.size()));
+  }
   std::vector<const gdm::Dataset*> inputs;
   inputs.reserve(node->children.size());
   for (const auto& child : node->children) {

@@ -15,11 +15,27 @@
 
 namespace gdms::core {
 
+/// Knobs of one runner, settable per query batch. Mirrors the shell flags:
+/// --no-optimize clears `optimize`, --no-fusion clears `fusion`.
+struct ExecOptions {
+  bool optimize = true;
+  /// Fuse per-partition operator chains (MAP→SELECT, MAP→EXTEND,
+  /// SELECT→PROJECT, ...) into single physical nodes so no intermediate
+  /// dataset is materialized between them. Disable to A/B against the
+  /// unfused plan — results are identical either way.
+  bool fusion = true;
+};
+
 /// Per-query execution statistics.
 struct RunStats {
   size_t operators_evaluated = 0;  ///< nodes executed (memoization excluded)
   size_t cache_hits = 0;           ///< nodes served from the memo table
+  /// Operator-result datasets that were NOT a materialized output: the data
+  /// movement fusion exists to eliminate. Fused chains materialize one
+  /// dataset for the whole chain instead of one per logical operator.
+  size_t intermediate_datasets = 0;
   OptimizerStats optimizer;
+  FusionStats fusion;
   /// Executor scheduling counters for this program (tasks, partitions,
   /// shuffle bytes, stage barriers); zeros under the reference executor.
   ExecutorStats executor;
@@ -52,8 +68,14 @@ class QueryRunner {
   /// Names of all registered datasets.
   std::vector<std::string> DatasetNames() const;
 
-  void set_optimize(bool on) { optimize_ = on; }
-  bool optimize() const { return optimize_; }
+  void set_exec_options(ExecOptions options) { options_ = options; }
+  const ExecOptions& exec_options() const { return options_; }
+
+  void set_optimize(bool on) { options_.optimize = on; }
+  bool optimize() const { return options_.optimize; }
+
+  void set_fusion(bool on) { options_.fusion = on; }
+  bool fusion() const { return options_.fusion; }
 
   const RunStats& last_stats() const { return stats_; }
 
@@ -73,7 +95,7 @@ class QueryRunner {
   std::unique_ptr<Executor> owned_executor_;
   Executor* executor_;
   std::map<std::string, gdm::Dataset> sources_;
-  bool optimize_ = true;
+  ExecOptions options_;
   RunStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/fused.h"
 #include "engine/shuffle.h"
 #include "interval/accumulation.h"
 #include "interval/sweep.h"
@@ -16,6 +17,7 @@ namespace {
 
 using core::AggAccumulator;
 using core::AggregateSpec;
+using core::FusedTail;
 using core::OpKind;
 using core::Operators;
 using gdm::ChromIndex;
@@ -231,14 +233,60 @@ Result<gdm::Dataset> ParallelExecutor::ExecuteOp(
       return ParallelCover(node.cover, *inputs[0]);
     case OpKind::kDifference:
       return ParallelDifference(node.difference, *inputs[0], *inputs[1]);
+    case OpKind::kFused:
+      return ExecuteFused(node, inputs);
     default:
       return fallback_.Execute(node, inputs);
   }
 }
 
+Result<gdm::Dataset> ParallelExecutor::ExecuteFused(
+    const core::PlanNode& node, const std::vector<const Dataset*>& inputs) {
+  if (node.fused_stages.empty()) {
+    return Status::Internal("fused node with no stages");
+  }
+  const core::PlanNode& producer = *node.fused_stages[0];
+  if (options_.scheduling == SchedulingMode::kFlat) {
+    static obs::Counter* fused_chains =
+        obs::MetricsRegistry::Global().GetCounter("engine.fused_chains");
+    fused_chains->Add();
+    switch (producer.kind) {
+      case OpKind::kSelect:
+        return ParallelSelect(producer.select, *inputs[0], &node);
+      case OpKind::kMap:
+        return ParallelMap(producer.map, *inputs[0], *inputs[1], &node);
+      case OpKind::kJoin:
+        return ParallelJoin(producer.join, *inputs[0], *inputs[1], &node);
+      case OpKind::kDifference:
+        return ParallelDifference(producer.difference, *inputs[0], *inputs[1],
+                                  &node);
+      case OpKind::kCover:
+        return ParallelCover(producer.cover, *inputs[0], &node);
+      default:
+        break;
+    }
+  }
+  // kPerPair baseline (the seed scheduler stays untouched for A/B runs):
+  // decompose the chain — producer through the parallel dispatch, consumer
+  // stages through the sequential fallback.
+  GDMS_ASSIGN_OR_RETURN(gdm::Dataset current, ExecuteOp(producer, inputs));
+  for (size_t i = 1; i < node.fused_stages.size(); ++i) {
+    std::vector<const Dataset*> stage_inputs = {&current};
+    GDMS_ASSIGN_OR_RETURN(
+        current, fallback_.Execute(*node.fused_stages[i], stage_inputs));
+  }
+  return current;
+}
+
 Result<gdm::Dataset> ParallelExecutor::ParallelSelect(
-    const core::SelectParams& params, const Dataset& in) {
-  Dataset out("SELECT", in.schema());
+    const core::SelectParams& params, const Dataset& in,
+    const core::PlanNode* fused) {
+  FusedTail tail;
+  if (fused != nullptr) {
+    GDMS_ASSIGN_OR_RETURN(tail, FusedTail::Bind(*fused, in.schema()));
+  }
+  Dataset out(fused != nullptr ? tail.output_name() : "SELECT",
+              fused != nullptr ? tail.output_schema() : in.schema());
   core::RegionPredicate::Ptr pred = params.region->Clone();
   GDMS_RETURN_NOT_OK(pred->Bind(in.schema()));
   // Metadata pass is cheap and sequential ("meta-first" evaluation).
@@ -247,6 +295,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelSelect(
     if (params.meta->Eval(s.metadata)) kept.push_back(&s);
   }
   std::vector<Sample> results(kept.size());
+  std::vector<char> emit(kept.size(), 1);
   RunStage("select:samples", kept.size(), [&](size_t si) {
     const Sample& s = *kept[si];
     Sample ns(s.id);
@@ -255,16 +304,24 @@ Result<gdm::Dataset> ParallelExecutor::ParallelSelect(
     for (const auto& r : s.regions) {
       if (pred->Eval(r)) ns.regions.push_back(r);
     }
+    if (fused != nullptr && !tail.ApplySample(&ns)) emit[si] = 0;
     results[si] = std::move(ns);
   });
-  for (auto& s : results) out.AddSample(std::move(s));
+  for (size_t si = 0; si < results.size(); ++si) {
+    if (emit[si]) out.AddSample(std::move(results[si]));
+  }
   return out;
 }
 
 Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
     const core::DifferenceParams& params, const Dataset& left,
-    const Dataset& right) {
-  Dataset out("DIFFERENCE", left.schema());
+    const Dataset& right, const core::PlanNode* fused) {
+  FusedTail tail;
+  if (fused != nullptr) {
+    GDMS_ASSIGN_OR_RETURN(tail, FusedTail::Bind(*fused, left.schema()));
+  }
+  Dataset out(fused != nullptr ? tail.output_name() : "DIFFERENCE",
+              fused != nullptr ? tail.output_schema() : left.schema());
 
   if (options_.scheduling == SchedulingMode::kPerPair) {
     // Seed scheduler: one task per left sample, right side rescanned with
@@ -353,6 +410,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
   });
 
   std::vector<Sample> results(left.num_samples());
+  std::vector<char> emit(left.num_samples(), 1);
   RunStage("difference:assemble", left.num_samples(), [&](size_t si) {
     const Sample& ls = left.sample(si);
     Sample ns(ls.id);
@@ -362,20 +420,29 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
                         std::make_move_iterator(kept[ti].begin()),
                         std::make_move_iterator(kept[ti].end()));
     }
+    if (fused != nullptr && !tail.ApplySample(&ns)) emit[si] = 0;
     results[si] = std::move(ns);
   });
-  for (auto& s : results) out.AddSample(std::move(s));
+  for (size_t si = 0; si < results.size(); ++si) {
+    if (emit[si]) out.AddSample(std::move(results[si]));
+  }
   return out;
 }
 
 Result<gdm::Dataset> ParallelExecutor::ParallelMap(
-    const core::MapParams& params, const Dataset& ref, const Dataset& exp) {
+    const core::MapParams& params, const Dataset& ref, const Dataset& exp,
+    const core::PlanNode* fused) {
   auto specs = Operators::EffectiveMapAggregates(params);
   GDMS_ASSIGN_OR_RETURN(std::vector<size_t> agg_inputs,
                         core::ResolveAggInputs(specs, exp.schema()));
   GDMS_ASSIGN_OR_RETURN(RegionSchema schema,
                         Operators::MapOutputSchema(params, ref.schema()));
-  Dataset out("MAP", schema);
+  FusedTail tail;
+  if (fused != nullptr) {
+    GDMS_ASSIGN_OR_RETURN(tail, FusedTail::Bind(*fused, schema));
+  }
+  Dataset out(fused != nullptr ? tail.output_name() : "MAP",
+              fused != nullptr ? tail.output_schema() : schema);
 
   auto pair_idx = MatchJoinbyPairs(ref, exp, params.joinby);
   std::vector<Sample> results(pair_idx.size());
@@ -558,33 +625,49 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
     });
   }
 
+  std::vector<char> emit(pairs.size(), 1);
   RunStage("map:assemble", pairs.size(), [&](size_t p) {
     PairState& ps = pairs[p];
-    results[p] = assemble(*ps.rs, *ps.es, ps.agg_values);
+    Sample ns = assemble(*ps.rs, *ps.es, ps.agg_values);
+    if (fused != nullptr && !tail.ApplySample(&ns)) emit[p] = 0;
+    results[p] = std::move(ns);
   });
-  for (auto& s : results) out.AddSample(std::move(s));
+  for (size_t p = 0; p < results.size(); ++p) {
+    if (emit[p]) out.AddSample(std::move(results[p]));
+  }
   return out;
 }
 
 Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
-    const core::JoinParams& params, const Dataset& left,
-    const Dataset& right) {
+    const core::JoinParams& params, const Dataset& left, const Dataset& right,
+    const core::PlanNode* fused) {
   if (!params.predicate.has_upper && params.predicate.md_k == 0) {
     return Status::InvalidArgument(
         "genometric JOIN requires an upper distance bound (DLE/DLT) or MD(k)");
   }
-  Dataset out("JOIN",
-              Operators::JoinOutputSchema(left.schema(), right.schema()));
+  RegionSchema schema =
+      Operators::JoinOutputSchema(left.schema(), right.schema());
+  FusedTail tail;
+  if (fused != nullptr) {
+    GDMS_ASSIGN_OR_RETURN(tail, FusedTail::Bind(*fused, schema));
+  }
+  Dataset out(fused != nullptr ? tail.output_name() : "JOIN",
+              fused != nullptr ? tail.output_schema() : schema);
   auto pair_idx = MatchJoinbyPairs(left, right, params.joinby);
   std::vector<Sample> results(pair_idx.size());
 
   if (params.predicate.md_k > 0) {
     // MD(k) crosses partition boundaries; parallelize over pairs only.
+    std::vector<char> emit(pair_idx.size(), 1);
     RunStage("join:md-pairs", pair_idx.size(), [&](size_t p) {
-      results[p] = Operators::JoinPair(params, left.sample(pair_idx[p].first),
-                                       right.sample(pair_idx[p].second));
+      Sample ns = Operators::JoinPair(params, left.sample(pair_idx[p].first),
+                                      right.sample(pair_idx[p].second));
+      if (fused != nullptr && !tail.ApplySample(&ns)) emit[p] = 0;
+      results[p] = std::move(ns);
     });
-    for (auto& s : results) out.AddSample(std::move(s));
+    for (size_t p = 0; p < results.size(); ++p) {
+      if (emit[p]) out.AddSample(std::move(results[p]));
+    }
     return out;
   }
 
@@ -726,6 +809,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
     });
   }
 
+  std::vector<char> emit(pairs.size(), 1);
   RunStage("join:assemble", pairs.size(), [&](size_t p) {
     const PairState& ps = pairs[p];
     Sample ns = Operators::DerivedSample("JOIN", *ps.ls, *ps.rs, true);
@@ -735,14 +819,18 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
                         std::make_move_iterator(chunk_out[pi].end()));
     }
     ns.SortNow();
+    if (fused != nullptr && !tail.ApplySample(&ns)) emit[p] = 0;
     results[p] = std::move(ns);
   });
-  for (auto& s : results) out.AddSample(std::move(s));
+  for (size_t p = 0; p < results.size(); ++p) {
+    if (emit[p]) out.AddSample(std::move(results[p]));
+  }
   return out;
 }
 
 Result<gdm::Dataset> ParallelExecutor::ParallelCover(
-    const core::CoverParams& params, const Dataset& in) {
+    const core::CoverParams& params, const Dataset& in,
+    const core::PlanNode* fused) {
   GDMS_ASSIGN_OR_RETURN(std::vector<size_t> agg_inputs,
                         core::ResolveAggInputs(params.aggregates, in.schema()));
   RegionSchema schema;
@@ -757,7 +845,14 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
     }
     (void)schema.AddAttr(name, core::AggOutputType(spec.func));
   }
-  Dataset out(core::CoverVariantName(params.variant), schema);
+  FusedTail tail;
+  if (fused != nullptr) {
+    GDMS_ASSIGN_OR_RETURN(tail, FusedTail::Bind(*fused, schema));
+  }
+  Dataset out(
+      fused != nullptr ? tail.output_name()
+                       : core::CoverVariantName(params.variant),
+      fused != nullptr ? tail.output_schema() : schema);
 
   std::map<std::string, std::vector<const Sample*>> group_map;
   for (const auto& s : in.samples()) {
@@ -982,10 +1077,15 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
   });
 
   std::vector<Sample> results(groups.size());
+  std::vector<char> emit(groups.size(), 1);
   RunStage("cover:assemble", groups.size(), [&](size_t gi) {
-    results[gi] = assemble(groups[gi], states);
+    Sample ns = assemble(groups[gi], states);
+    if (fused != nullptr && !tail.ApplySample(&ns)) emit[gi] = 0;
+    results[gi] = std::move(ns);
   });
-  for (auto& s : results) out.AddSample(std::move(s));
+  for (size_t gi = 0; gi < results.size(); ++gi) {
+    if (emit[gi]) out.AddSample(std::move(results[gi]));
+  }
   return out;
 }
 

@@ -80,7 +80,12 @@ struct EngineTrace {
 /// (sample-pair x genomic partition); every other operator delegates to the
 /// sequential reference implementation (they are metadata-bound and cheap).
 /// Under SchedulingMode::kFlat the full pair x partition cross product is
-/// one flat task list. Results are sample-for-sample equal to the
+/// one flat task list, and fused plan nodes (kFused) pipe each finished
+/// sample straight through the chain's consumer stages (SELECT / PROJECT /
+/// EXTEND) inside the producer's assembly tasks — the intermediate dataset
+/// between the logical operators is never allocated. Under kPerPair a fused
+/// node decomposes back into its stages (the seed scheduler stays an
+/// untouched baseline). Results are sample-for-sample equal to the
 /// ReferenceExecutor — the engine tests assert exactly that.
 class ParallelExecutor : public core::Executor {
  public:
@@ -108,8 +113,9 @@ class ParallelExecutor : public core::Executor {
 
   /// Operator dispatch (the switch); Execute wraps it to publish counter
   /// deltas into the metrics registry.
-  Result<gdm::Dataset> ExecuteOp(const core::PlanNode& node,
-                                 const std::vector<const gdm::Dataset*>& inputs);
+  Result<gdm::Dataset> ExecuteOp(
+      const core::PlanNode& node,
+      const std::vector<const gdm::Dataset*>& inputs);
 
   /// Runs one parallel stage: counts `n` tasks into the trace and, when the
   /// global tracer is enabled, wraps the loop in a "stage" span carrying
@@ -125,19 +131,34 @@ class ParallelExecutor : public core::Executor {
       const std::vector<gdm::GenomicRegion>& refs,
       const std::vector<gdm::GenomicRegion>& exps, int64_t slack) const;
 
+  /// Fused-chain dispatch: under kFlat the producer's Parallel* overload
+  /// runs with the chain's consumer stages bound as a FusedTail; under
+  /// kPerPair the chain decomposes into its stages (producer through the
+  /// parallel dispatch, consumers through the sequential fallback).
+  Result<gdm::Dataset> ExecuteFused(
+      const core::PlanNode& node,
+      const std::vector<const gdm::Dataset*>& inputs);
+
+  /// The `fused` parameter, when non-null, is the kFused plan node whose
+  /// tail stages must be applied to every finished output sample; each
+  /// operator binds the tail against its own output schema.
   Result<gdm::Dataset> ParallelSelect(const core::SelectParams& params,
-                                      const gdm::Dataset& in);
-  Result<gdm::Dataset> ParallelDifference(const core::DifferenceParams& params,
-                                          const gdm::Dataset& left,
-                                          const gdm::Dataset& right);
+                                      const gdm::Dataset& in,
+                                      const core::PlanNode* fused = nullptr);
+  Result<gdm::Dataset> ParallelDifference(
+      const core::DifferenceParams& params, const gdm::Dataset& left,
+      const gdm::Dataset& right, const core::PlanNode* fused = nullptr);
   Result<gdm::Dataset> ParallelMap(const core::MapParams& params,
                                    const gdm::Dataset& ref,
-                                   const gdm::Dataset& exp);
+                                   const gdm::Dataset& exp,
+                                   const core::PlanNode* fused = nullptr);
   Result<gdm::Dataset> ParallelJoin(const core::JoinParams& params,
                                     const gdm::Dataset& left,
-                                    const gdm::Dataset& right);
+                                    const gdm::Dataset& right,
+                                    const core::PlanNode* fused = nullptr);
   Result<gdm::Dataset> ParallelCover(const core::CoverParams& params,
-                                     const gdm::Dataset& in);
+                                     const gdm::Dataset& in,
+                                     const core::PlanNode* fused = nullptr);
 
   EngineOptions options_;
   ThreadPool pool_;

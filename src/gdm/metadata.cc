@@ -12,16 +12,19 @@ void Metadata::Add(const std::string& attr, const std::string& value) {
 }
 
 void Metadata::RemoveAttr(const std::string& attr) {
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const MetaEntry& e) { return e.attr == attr; }),
-                 entries_.end());
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [&](const MetaEntry& e) { return e.attr == attr; }),
+      entries_.end());
 }
 
 std::vector<std::string> Metadata::ValuesOf(const std::string& attr) const {
   std::vector<std::string> out;
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), MetaEntry{attr, ""});
-  for (; it != entries_.end() && it->attr == attr; ++it) out.push_back(it->value);
+  for (; it != entries_.end() && it->attr == attr; ++it) {
+    out.push_back(it->value);
+  }
   return out;
 }
 
@@ -38,7 +41,8 @@ bool Metadata::Has(const std::string& attr) const {
   return it != entries_.end() && it->attr == attr;
 }
 
-bool Metadata::HasPair(const std::string& attr, const std::string& value) const {
+bool Metadata::HasPair(const std::string& attr,
+                       const std::string& value) const {
   MetaEntry e{attr, value};
   auto it = std::lower_bound(entries_.begin(), entries_.end(), e);
   return it != entries_.end() && *it == e;

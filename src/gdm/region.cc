@@ -135,8 +135,10 @@ GenomeAssembly GenomeAssembly::HumanLike(int chroms, int64_t first_length) {
   for (int i = 0; i < chroms; ++i) {
     // Lengths taper from first_length down to ~20% of it, echoing the human
     // karyotype's decay from chr1 to chr22.
-    double frac = 1.0 - 0.8 * (static_cast<double>(i) / std::max(1, chroms - 1));
-    int64_t len = static_cast<int64_t>(static_cast<double>(first_length) * frac);
+    double frac =
+        1.0 - 0.8 * (static_cast<double>(i) / std::max(1, chroms - 1));
+    int64_t len =
+        static_cast<int64_t>(static_cast<double>(first_length) * frac);
     g.AddChromosome("chr" + std::to_string(i + 1), len);
   }
   return g;

@@ -67,7 +67,11 @@ struct GenomicRegion {
   GenomicRegion() = default;
   GenomicRegion(int32_t chrom_id, int64_t l, int64_t r,
                 Strand s = Strand::kNone, std::vector<Value> vals = {})
-      : chrom(chrom_id), left(l), right(r), strand(s), values(std::move(vals)) {}
+      : chrom(chrom_id),
+        left(l),
+        right(r),
+        strand(s),
+        values(std::move(vals)) {}
 
   int64_t length() const { return right - left; }
   int64_t center() const { return (left + right) / 2; }

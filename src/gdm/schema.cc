@@ -21,7 +21,8 @@ Status RegionSchema::AddAttr(const std::string& name, AttrType type) {
   }
   for (const auto& fixed : FixedAttributeNames()) {
     if (fixed == name) {
-      return Status::InvalidArgument("attribute name is reserved (fixed): " + name);
+      return Status::InvalidArgument("attribute name is reserved (fixed): " +
+                                     name);
     }
   }
   attrs_.push_back({name, type});

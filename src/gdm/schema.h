@@ -29,7 +29,8 @@ struct AttrDef {
 class RegionSchema {
  public:
   RegionSchema() = default;
-  explicit RegionSchema(std::vector<AttrDef> attrs) : attrs_(std::move(attrs)) {}
+  explicit RegionSchema(std::vector<AttrDef> attrs)
+      : attrs_(std::move(attrs)) {}
 
   /// Names of the five fixed attributes, in order.
   static const std::vector<std::string>& FixedAttributeNames();
@@ -61,7 +62,8 @@ class RegionSchema {
 
   /// \brief Join-style concatenation: every right attribute is appended,
   /// renaming any collision with `right_prefix` regardless of type.
-  static RegionSchema Concat(const RegionSchema& left, const RegionSchema& right,
+  static RegionSchema Concat(const RegionSchema& left,
+                             const RegionSchema& right,
                              const std::string& right_prefix = "right_");
 
   /// "name:TYPE, name:TYPE" rendering.

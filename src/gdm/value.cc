@@ -26,7 +26,10 @@ const char* AttrTypeName(AttrType t) {
 Result<AttrType> ParseAttrType(const std::string& name) {
   std::string up;
   up.reserve(name.size());
-  for (char c : name) up.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  for (char c : name) {
+    up.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
   if (up == "INT" || up == "INTEGER" || up == "LONG") return AttrType::kInt;
   if (up == "DOUBLE" || up == "FLOAT" || up == "REAL") return AttrType::kDouble;
   if (up == "STRING" || up == "CHAR" || up == "TEXT") return AttrType::kString;

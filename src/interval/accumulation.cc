@@ -121,8 +121,8 @@ std::vector<GenomicRegion> Summit(const std::vector<AccSegment>& profile,
         profile[i + 1].left == s.right) {
       next = profile[i + 1].count;
     }
-    if (s.count >= prev && s.count >= next && (s.count > prev || s.count > next ||
-                                               (prev == 0 && next == 0))) {
+    if (s.count >= prev && s.count >= next &&
+        (s.count > prev || s.count > next || (prev == 0 && next == 0))) {
       out.emplace_back(s.chrom, s.left, s.right, gdm::Strand::kNone);
       if (counts != nullptr) counts->push_back(s.count);
     }

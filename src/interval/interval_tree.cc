@@ -7,7 +7,8 @@ namespace gdms::interval {
 IntervalIndex::IntervalIndex(const std::vector<gdm::GenomicRegion>& regions) {
   entries_.reserve(regions.size());
   for (size_t i = 0; i < regions.size(); ++i) {
-    entries_.push_back({regions[i].left, regions[i].right, regions[i].right, i});
+    entries_.push_back(
+        {regions[i].left, regions[i].right, regions[i].right, i});
   }
   // Sort by (chrom, left): chrom comes from the original regions, so sort an
   // index permutation keyed by it.

@@ -66,7 +66,8 @@ void WindowSweep(const std::vector<GenomicRegion>& refs,
       for (size_t a : active) {
         // Window admission is necessary but not sufficient (later refs may
         // have smaller right ends); re-test admission before the predicate.
-        if (exps[a].left < r.right + window && exps[a].right > r.left - window) {
+        if (exps[a].left < r.right + window &&
+            exps[a].right > r.left - window) {
           test(i, a);
         }
       }

@@ -103,16 +103,21 @@ Result<gdm::Sample> ReadEncodePeakSample(std::istream& in, gdm::SampleId id,
     }
     GDMS_ASSIGN_OR_RETURN(GenomicRegion r, ParseFixed(fields));
     r.values.push_back(Value(fields[3]));
-    GDMS_ASSIGN_OR_RETURN(Value score, Value::Parse(fields[4], AttrType::kDouble));
+    GDMS_ASSIGN_OR_RETURN(Value score,
+                          Value::Parse(fields[4], AttrType::kDouble));
     r.values.push_back(std::move(score));
-    GDMS_ASSIGN_OR_RETURN(Value signal, Value::Parse(fields[6], AttrType::kDouble));
+    GDMS_ASSIGN_OR_RETURN(Value signal,
+                          Value::Parse(fields[6], AttrType::kDouble));
     r.values.push_back(std::move(signal));
-    GDMS_ASSIGN_OR_RETURN(Value pval, Value::Parse(fields[7], AttrType::kDouble));
+    GDMS_ASSIGN_OR_RETURN(Value pval,
+                          Value::Parse(fields[7], AttrType::kDouble));
     r.values.push_back(std::move(pval));
-    GDMS_ASSIGN_OR_RETURN(Value qval, Value::Parse(fields[8], AttrType::kDouble));
+    GDMS_ASSIGN_OR_RETURN(Value qval,
+                          Value::Parse(fields[8], AttrType::kDouble));
     r.values.push_back(std::move(qval));
     if (columns == 10) {
-      GDMS_ASSIGN_OR_RETURN(Value peak, Value::Parse(fields[9], AttrType::kInt));
+      GDMS_ASSIGN_OR_RETURN(Value peak,
+                            Value::Parse(fields[9], AttrType::kInt));
       r.values.push_back(std::move(peak));
     }
     sample.regions.push_back(std::move(r));

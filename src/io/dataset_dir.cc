@@ -37,7 +37,9 @@ Status SaveDatasetDir(const Dataset& dataset, const std::string& dir) {
   }
   {
     std::ofstream schema_out(fs::path(dir) / "schema.txt");
-    if (!schema_out) return Status::IoError("cannot write schema.txt in " + dir);
+    if (!schema_out) {
+      return Status::IoError("cannot write schema.txt in " + dir);
+    }
     schema_out << dataset.name() << '\n';
     bool first = true;
     for (const auto& attr : dataset.schema().attrs()) {

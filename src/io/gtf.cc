@@ -115,7 +115,8 @@ void WriteGtfSample(const gdm::Sample& sample, const gdm::RegionSchema& schema,
         << gdm::StrandChar(r.strand) << '\t' << field(frame_idx, ".") << '\t';
     bool first = true;
     for (size_t i = 0; i < schema.size(); ++i) {
-      if ((source_idx && i == *source_idx) || (feature_idx && i == *feature_idx) ||
+      if ((source_idx && i == *source_idx) ||
+          (feature_idx && i == *feature_idx) ||
           (score_idx && i == *score_idx) || (frame_idx && i == *frame_idx)) {
         continue;
       }

@@ -40,8 +40,9 @@ Result<std::string> TrackRenderer::Render() const {
     label.replace(0, 5, "ruler");
     size_t tick_every = std::max<size_t>(10, window_.width / 4);
     for (size_t col = 0; col < window_.width; col += tick_every) {
-      int64_t pos = window_.left +
-                    static_cast<int64_t>(static_cast<double>(col) * bases_per_col);
+      int64_t pos =
+          window_.left +
+          static_cast<int64_t>(static_cast<double>(col) * bases_per_col);
       std::string mark = "|" + std::to_string(pos);
       for (size_t i = 0; i < mark.size() && col + i < window_.width; ++i) {
         ruler[col + i] = mark[i];

@@ -41,7 +41,8 @@ Result<gdm::Sample> ReadVcfSample(std::istream& in, gdm::SampleId id) {
       return Status::ParseError("VCF line " + std::to_string(line_no) +
                                 " has POS < 1");
     }
-    int64_t ref_len = fields[3] == "." ? 1 : static_cast<int64_t>(fields[3].size());
+    int64_t ref_len =
+        fields[3] == "." ? 1 : static_cast<int64_t>(fields[3].size());
     GenomicRegion r(gdm::InternChrom(fields[0]), pos1 - 1, pos1 - 1 + ref_len);
     r.values.push_back(fields[2] == "." ? Value::Null() : Value(fields[2]));
     r.values.push_back(Value(fields[3]));
@@ -49,7 +50,8 @@ Result<gdm::Sample> ReadVcfSample(std::istream& in, gdm::SampleId id) {
     if (fields[5] == ".") {
       r.values.push_back(Value::Null());
     } else {
-      GDMS_ASSIGN_OR_RETURN(Value qual, Value::Parse(fields[5], AttrType::kDouble));
+      GDMS_ASSIGN_OR_RETURN(Value qual,
+                            Value::Parse(fields[5], AttrType::kDouble));
       r.values.push_back(std::move(qual));
     }
     r.values.push_back(fields[6] == "." ? Value::Null() : Value(fields[6]));

@@ -129,7 +129,8 @@ std::string Profile::RenderChromeTrace() const {
                   "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
                   "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": 1, "
                   "\"args\": {",
-                  JsonEscape(rec.name).c_str(), JsonEscape(rec.category).c_str(),
+                  JsonEscape(rec.name).c_str(),
+                  JsonEscape(rec.category).c_str(),
                   static_cast<double>(rec.start_ns) / 1e3,
                   static_cast<double>(rec.duration_ns) / 1e3);
     out += buf;

@@ -17,7 +17,8 @@ struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent = 0;
   std::string name;      ///< e.g. "MAP", "map:compute", "site:node_a"
-  std::string category;  ///< "query" | "operator" | "stage" | "federation" | "search"
+  /// "query" | "operator" | "stage" | "federation" | "search"
+  std::string category;
   int64_t start_ns = 0;  ///< steady time since the tracer epoch
   int64_t duration_ns = 0;
   std::vector<std::pair<std::string, double>> attrs;

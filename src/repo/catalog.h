@@ -21,7 +21,8 @@ struct DatasetInfo {
   uint64_t num_regions = 0;
   uint64_t estimated_bytes = 0;
   /// Distinct metadata attribute names with up to 8 example values each.
-  std::vector<std::pair<std::string, std::vector<std::string>>> metadata_summary;
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      metadata_summary;
 
   std::string ToString() const;
 };

@@ -90,6 +90,24 @@ Result<Estimate> Estimator::EstimatePlan(const core::PlanNode& node) const {
       out.samples = 1;
       out.regions = kids[0].regions * 0.25;
       break;
+    case OpKind::kFused: {
+      // The producer stage shares this node's children, so its estimate is
+      // the chain's base; consumer SELECT stages keep the usual selectivity
+      // haircut, PROJECT/EXTEND are size-preserving.
+      GDMS_ASSIGN_OR_RETURN(out, EstimatePlan(*node.fused_stages[0]));
+      for (size_t i = 1; i < node.fused_stages.size(); ++i) {
+        const core::PlanNode& stage = *node.fused_stages[i];
+        if (stage.kind != OpKind::kSelect) continue;
+        if (stage.select.meta->ToString() != "true") {
+          out.samples *= kMetaSelectivity;
+          out.regions *= kMetaSelectivity;
+        }
+        if (stage.select.region->ToString() != "true") {
+          out.regions *= kRegionSelectivity;
+        }
+      }
+      break;
+    }
     case OpKind::kMaterialize:
       out = kids[0];
       break;

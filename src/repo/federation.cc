@@ -217,7 +217,8 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
   while (true) {
     ++counters_.requests;
     counters_.bytes_sent += query_id.size() + 24;
-    GDMS_ASSIGN_OR_RETURN(FetchResult chunk, node->HandleFetch(query_id, index));
+    GDMS_ASSIGN_OR_RETURN(FetchResult chunk,
+                          node->HandleFetch(query_id, index));
     counters_.bytes_received += chunk.payload.size();
     payload += chunk.payload;
     if (!chunk.has_more) break;

@@ -55,7 +55,8 @@ void MetadataIndex::AddDataset(const gdm::Dataset& dataset) {
       }
       pairs_[{e.attr, e.value}].push_back(doc);
     }
-    doc_norm_.push_back(std::sqrt(static_cast<double>(std::max<size_t>(1, terms))));
+    doc_norm_.push_back(
+        std::sqrt(static_cast<double>(std::max<size_t>(1, terms))));
   }
   static obs::Counter* indexed =
       obs::MetricsRegistry::Global().GetCounter("search.docs_indexed");
@@ -80,7 +81,8 @@ std::vector<SearchHit> MetadataIndex::Search(const std::string& query,
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     ++matched_terms;
-    double idf = std::log(1.0 + n_docs / static_cast<double>(it->second.size()));
+    double idf =
+        std::log(1.0 + n_docs / static_cast<double>(it->second.size()));
     for (const auto& p : it->second) {
       scores[p.doc] += (1.0 + std::log(static_cast<double>(p.tf))) * idf /
                        doc_norm_[p.doc];
@@ -91,10 +93,11 @@ std::vector<SearchHit> MetadataIndex::Search(const std::string& query,
   for (const auto& [doc, score] : scores) {
     hits.push_back({docs_[doc], score});
   }
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.ref < b.ref;
-  });
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.ref < b.ref;
+            });
   if (hits.size() > limit) hits.resize(limit);
   latency->Record(static_cast<uint64_t>((tracer.NowNs() - start_ns) / 1000));
   if (span.active()) {
@@ -129,7 +132,8 @@ PrEval MetadataIndex::Evaluate(const std::vector<SearchHit>& hits,
   for (const auto& h : hits) {
     if (rel.count(h.ref)) ++correct;
   }
-  eval.precision = static_cast<double>(correct) / static_cast<double>(hits.size());
+  eval.precision =
+      static_cast<double>(correct) / static_cast<double>(hits.size());
   eval.recall = static_cast<double>(correct) / static_cast<double>(rel.size());
   if (eval.precision + eval.recall > 0) {
     eval.f1 = 2 * eval.precision * eval.recall / (eval.precision + eval.recall);

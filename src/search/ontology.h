@@ -55,7 +55,8 @@ class Ontology {
   static Ontology BuiltinBio();
 
  private:
-  bool ReachesAncestor(const std::string& from, const std::string& target) const;
+  bool ReachesAncestor(const std::string& from,
+                       const std::string& target) const;
 
   std::map<std::string, std::set<std::string>> parents_;
   std::map<std::string, std::set<std::string>> children_;

@@ -92,10 +92,11 @@ Result<std::vector<RegionHit>> RegionSearch::TopK(
       h.score += weights[w].weight * scaled;
     }
   }
-  std::sort(hits.begin(), hits.end(), [](const RegionHit& a, const RegionHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.region.CoordLess(b.region);
-  });
+  std::sort(hits.begin(), hits.end(),
+            [](const RegionHit& a, const RegionHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.region.CoordLess(b.region);
+            });
   if (hits.size() > k) hits.resize(k);
   return hits;
 }

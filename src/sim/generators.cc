@@ -74,7 +74,8 @@ GeneCatalog GenerateGenes(const GenomeAssembly& genome, size_t num_genes,
         static_cast<double>(total));
     if (quota == 0) continue;
     double mean_stride = static_cast<double>(chrom_len) / (quota + 1);
-    int64_t pos = static_cast<int64_t>(rng.Exponential(1.0 / (mean_stride / 2)));
+    int64_t pos =
+        static_cast<int64_t>(rng.Exponential(1.0 / (mean_stride / 2)));
     for (size_t g = 0; g < quota && pos < chrom_len - 1000; ++g) {
       int64_t gene_len =
           1000 + static_cast<int64_t>(rng.Exponential(1.0 / 30000.0));
@@ -448,9 +449,9 @@ gdm::Dataset GenerateCtcfLoops(const GenomeAssembly& genome,
     auto pos = RandomPosition(genome, &rng);
     int64_t len = std::min<int64_t>(
         options.loop_len_max,
-        std::max<int64_t>(10000,
-                          static_cast<int64_t>(rng.Exponential(
-                              1.0 / static_cast<double>(options.loop_len_mean)))));
+        std::max<int64_t>(
+            10000, static_cast<int64_t>(rng.Exponential(
+                       1.0 / static_cast<double>(options.loop_len_mean)))));
     GenomicRegion r =
         ClampedRegion(genome, pos.first, pos.second + len / 2, len,
                       Strand::kNone);
@@ -484,7 +485,8 @@ gdm::Dataset GenerateCtcfAnchors(const GenomeAssembly& genome,
   for (const auto& loop : loops.sample(0).regions) {
     for (int side = 0; side < 2; ++side) {
       int64_t center = (side == 0) ? loop.left : loop.right;
-      GenomicRegion r(loop.chrom, std::max<int64_t>(0, center - options.anchor_len / 2),
+      GenomicRegion r(loop.chrom,
+                      std::max<int64_t>(0, center - options.anchor_len / 2),
                       center + options.anchor_len / 2, Strand::kNone);
       double signal = std::abs(rng.Normal(12.0, 3.0));
       char buf[48];

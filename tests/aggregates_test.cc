@@ -39,8 +39,9 @@ TEST(AggFuncTest, OutputTypes) {
 }
 
 TEST(AccumulatorTest, CountCountsEverythingIncludingNulls) {
-  EXPECT_EQ(RunAgg(AggFunc::kCount, {Value(1.0), Value::Null(), Value("x")}).AsInt(),
-            3);
+  EXPECT_EQ(
+      RunAgg(AggFunc::kCount, {Value(1.0), Value::Null(), Value("x")}).AsInt(),
+      3);
   EXPECT_EQ(RunAgg(AggFunc::kCount, {}).AsInt(), 0);
   // AddRegion path (COUNT without attribute resolution).
   AggAccumulator acc(AggFunc::kCount);
@@ -65,8 +66,8 @@ TEST(AccumulatorTest, MinMaxTrackExtremes) {
   // Single value.
   EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMin, {Value(7.0)}).AsDouble(), 7.0);
   // Ints convert.
-  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kMax, {Value(int64_t{9}), Value(2.5)}).AsDouble(),
-                   9.0);
+  EXPECT_DOUBLE_EQ(
+      RunAgg(AggFunc::kMax, {Value(int64_t{9}), Value(2.5)}).AsDouble(), 9.0);
 }
 
 TEST(AccumulatorTest, MedianOddEven) {
@@ -93,18 +94,20 @@ TEST(AccumulatorTest, StdIsSampleStddev) {
 }
 
 TEST(AccumulatorTest, BagSortsAndDeduplicates) {
-  EXPECT_EQ(RunAgg(AggFunc::kBag, {Value("b"), Value("a"), Value("b")}).AsString(),
-            "a b");
+  EXPECT_EQ(
+      RunAgg(AggFunc::kBag, {Value("b"), Value("a"), Value("b")}).AsString(),
+      "a b");
   // Numeric values render through ToString.
-  EXPECT_EQ(RunAgg(AggFunc::kBag, {Value(int64_t{2}), Value(int64_t{10})}).AsString(),
+  EXPECT_EQ(RunAgg(AggFunc::kBag, {Value(int64_t{2}), Value(int64_t{10})})
+                .AsString(),
             "10 2");  // lexicographic over rendered strings
   EXPECT_TRUE(RunAgg(AggFunc::kBag, {Value::Null()}).is_null());
 }
 
 TEST(AccumulatorTest, NumericAggsIgnoreNonNumericStrings) {
   // A string fed into SUM is skipped rather than corrupting the total.
-  EXPECT_DOUBLE_EQ(RunAgg(AggFunc::kSum, {Value(1.0), Value("oops")}).AsDouble(),
-                   1.0);
+  EXPECT_DOUBLE_EQ(
+      RunAgg(AggFunc::kSum, {Value(1.0), Value("oops")}).AsDouble(), 1.0);
 }
 
 TEST(ResolveAggInputsTest, ResolvesAndValidates) {

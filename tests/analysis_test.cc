@@ -39,9 +39,10 @@ TEST(GenomeSpaceTest, BuildsFromMapResult) {
   size_t n_idx = *map_result.schema().IndexOf("n");
   for (size_t e = 0; e < 3; ++e) {
     for (size_t r = 0; r < 5; ++r) {
-      EXPECT_DOUBLE_EQ(space.at(r, e),
-                       static_cast<double>(
-                           map_result.sample(e).regions[r].values[n_idx].AsInt()));
+      EXPECT_DOUBLE_EQ(
+          space.at(r, e),
+          static_cast<double>(
+              map_result.sample(e).regions[r].values[n_idx].AsInt()));
     }
   }
   auto corner = space.RenderCorner(3, 3);

@@ -162,8 +162,8 @@ TEST(ParserTest, ProjectGrammar) {
 }
 
 TEST(ParserTest, ProjectMetaClause) {
-  auto program =
-      Parser::Parse("X = PROJECT(*; meta: cell, antibody) ENCODE;").ValueOrDie();
+  auto program = Parser::Parse("X = PROJECT(*; meta: cell, antibody) ENCODE;")
+                     .ValueOrDie();
   const auto& p = program.sinks[0]->children[0];
   EXPECT_FALSE(p->project.meta_all);
   ASSERT_EQ(p->project.keep_meta.size(), 2u);

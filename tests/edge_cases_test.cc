@@ -27,7 +27,9 @@ RegionSchema OneAttrSchema() {
   return s;
 }
 
-Dataset EmptyDataset(const char* name) { return Dataset(name, OneAttrSchema()); }
+Dataset EmptyDataset(const char* name) {
+  return Dataset(name, OneAttrSchema());
+}
 
 Dataset EmptySampleDataset(const char* name) {
   Dataset ds(name, OneAttrSchema());

@@ -191,7 +191,8 @@ INSTANTIATE_TEST_SUITE_P(
         EngineCase{BackendKind::kMaterialized, 2, 1000000},
         // The seed scheduler stays the before/after baseline for E7; keep
         // it equal to the reference on both backends.
-        EngineCase{BackendKind::kPipelined, 4, 5000000, SchedulingMode::kPerPair},
+        EngineCase{BackendKind::kPipelined, 4, 5000000,
+                   SchedulingMode::kPerPair},
         EngineCase{BackendKind::kMaterialized, 4, 5000000,
                    SchedulingMode::kPerPair}),
     [](const ::testing::TestParamInfo<EngineCase>& info) {

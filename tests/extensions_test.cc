@@ -135,7 +135,8 @@ TEST(EnrichmentTest, DetectsPlantedOverlap) {
   // Annotation covers 1% of a 10 Mb genome; query regions placed INSIDE it.
   std::vector<GenomicRegion> annotation;
   for (int i = 0; i < 10; ++i) {
-    annotation.emplace_back(InternChrom("chr1"), i * 1000000, i * 1000000 + 10000);
+    annotation.emplace_back(InternChrom("chr1"), i * 1000000,
+                            i * 1000000 + 10000);
   }
   std::vector<GenomicRegion> query;
   for (int i = 0; i < 50; ++i) {

@@ -33,9 +33,10 @@ TEST(ValueTest, NumericConversion) {
 
 TEST(ValueTest, ParseRoundTrip) {
   EXPECT_EQ(Value::Parse("42", AttrType::kInt).ValueOrDie().AsInt(), 42);
-  EXPECT_DOUBLE_EQ(Value::Parse("0.25", AttrType::kDouble).ValueOrDie().AsDouble(),
-                   0.25);
-  EXPECT_EQ(Value::Parse("hi", AttrType::kString).ValueOrDie().AsString(), "hi");
+  EXPECT_DOUBLE_EQ(
+      Value::Parse("0.25", AttrType::kDouble).ValueOrDie().AsDouble(), 0.25);
+  EXPECT_EQ(Value::Parse("hi", AttrType::kString).ValueOrDie().AsString(),
+            "hi");
   EXPECT_TRUE(Value::Parse("true", AttrType::kBool).ValueOrDie().AsBool());
   EXPECT_TRUE(Value::Parse(".", AttrType::kInt).ValueOrDie().is_null());
   EXPECT_FALSE(Value::Parse("zz", AttrType::kInt).ok());

@@ -87,8 +87,9 @@ TEST(DistanceJoinTest, WindowedPairs) {
                            {"chr1", 2000, 2100},    // dist 900
                            {"chr1", 1050, 1080}});  // overlap, dist -30
   std::vector<int64_t> dists;
-  DistanceJoin(refs, exps, 0, 100,
-               [&](size_t i, size_t j) { dists.push_back(refs[i].DistanceTo(exps[j])); });
+  DistanceJoin(refs, exps, 0, 100, [&](size_t i, size_t j) {
+    dists.push_back(refs[i].DistanceTo(exps[j]));
+  });
   ASSERT_EQ(dists.size(), 1u);
   EXPECT_EQ(dists[0], 50);
   // Negative min admits overlaps.

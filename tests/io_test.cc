@@ -112,7 +112,8 @@ TEST(BedTest, WriteBedRoundTrips) {
 TEST(GtfTest, ReadsAndConvertsCoordinates) {
   std::istringstream in(
       "# header\n"
-      "chr1\thavana\tgene\t1\t1000\t.\t+\t.\tgene_id \"G1\"; gene_name \"FOO\";\n"
+      "chr1\thavana\tgene\t1\t1000\t.\t+\t.\tgene_id \"G1\"; "
+      "gene_name \"FOO\";\n"
       "chr1\thavana\texon\t51\t200\t0.5\t-\t0\tgene_id \"G1\";\n");
   Sample s = ReadGtfSample(in, 1, {"gene_id", "gene_name"}).ValueOrDie();
   ASSERT_EQ(s.regions.size(), 2u);

@@ -26,7 +26,7 @@ TEST(ParserRobustnessTest, StructurallyBrokenStatements) {
   ExpectRejected("X = SELECT(a == 'b' D;");
   ExpectRejected("X = SELECT a == 'b') D;");
   ExpectRejected("X = SELECT(a == 'b') ;");
-  ExpectRejected("X = SELECT(a == 'b') D E F;");  // extra operand -> stray ident
+  ExpectRejected("X = SELECT(a == 'b') D E F;");  // stray extra operand
   ExpectRejected("X == SELECT(a == 'b') D;");
   ExpectRejected(";");
   ExpectRejected("X = ;");

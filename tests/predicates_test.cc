@@ -35,9 +35,11 @@ TEST(MetaPredicateTest, MultiValuedAnySemantics) {
   meta.Add("antibody", "CTCF");
   meta.Add("antibody", "POLR2A");
   // Equality holds if ANY value matches.
-  EXPECT_TRUE(MetaPredicate::Compare("antibody", CmpOp::kEq, "POLR2A")->Eval(meta));
+  EXPECT_TRUE(
+      MetaPredicate::Compare("antibody", CmpOp::kEq, "POLR2A")->Eval(meta));
   // != also holds if ANY value differs -- the GMQL existential reading.
-  EXPECT_TRUE(MetaPredicate::Compare("antibody", CmpOp::kNe, "CTCF")->Eval(meta));
+  EXPECT_TRUE(
+      MetaPredicate::Compare("antibody", CmpOp::kNe, "CTCF")->Eval(meta));
   // Missing attribute: no value satisfies anything.
   EXPECT_FALSE(MetaPredicate::Compare("ghost", CmpOp::kEq, "x")->Eval(meta));
   EXPECT_FALSE(MetaPredicate::Compare("ghost", CmpOp::kNe, "x")->Eval(meta));
@@ -85,14 +87,21 @@ TEST(RegionPredicateTest, FixedAttributes) {
     EXPECT_TRUE(p->Bind(schema).ok());
     return p->Eval(r);
   };
-  EXPECT_TRUE(check(RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr2"))));
-  EXPECT_FALSE(check(RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr1"))));
-  EXPECT_TRUE(check(RegionPredicate::Compare("left", CmpOp::kGe, Value(int64_t{100}))));
-  EXPECT_TRUE(check(RegionPredicate::Compare("right", CmpOp::kLt, Value(int64_t{251}))));
-  EXPECT_TRUE(check(RegionPredicate::Compare("strand", CmpOp::kEq, Value("-"))));
+  EXPECT_TRUE(
+      check(RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr2"))));
+  EXPECT_FALSE(
+      check(RegionPredicate::Compare("chr", CmpOp::kEq, Value("chr1"))));
+  EXPECT_TRUE(check(
+      RegionPredicate::Compare("left", CmpOp::kGe, Value(int64_t{100}))));
+  EXPECT_TRUE(check(
+      RegionPredicate::Compare("right", CmpOp::kLt, Value(int64_t{251}))));
+  EXPECT_TRUE(
+      check(RegionPredicate::Compare("strand", CmpOp::kEq, Value("-"))));
   // Aliases start/stop.
-  EXPECT_TRUE(check(RegionPredicate::Compare("start", CmpOp::kEq, Value(int64_t{100}))));
-  EXPECT_TRUE(check(RegionPredicate::Compare("stop", CmpOp::kEq, Value(int64_t{250}))));
+  EXPECT_TRUE(check(
+      RegionPredicate::Compare("start", CmpOp::kEq, Value(int64_t{100}))));
+  EXPECT_TRUE(check(
+      RegionPredicate::Compare("stop", CmpOp::kEq, Value(int64_t{250}))));
 }
 
 TEST(RegionPredicateTest, VariableAttributesAndNulls) {

@@ -50,9 +50,9 @@ Dataset RandomDataset(uint64_t seed, size_t samples, size_t regions,
                            left + rng.Uniform(1, 2000));
       region.strand = static_cast<Strand>(rng.Next() % 3);
       region.values.push_back(Value(rng.Normal(5.0, 2.0)));
-      region.values.push_back(rng.Bernoulli(0.2)
-                                  ? Value::Null()
-                                  : Value("t" + std::to_string(rng.Next() % 5)));
+      region.values.push_back(
+          rng.Bernoulli(0.2) ? Value::Null()
+                             : Value("t" + std::to_string(rng.Next() % 5)));
       sample.regions.push_back(std::move(region));
     }
     sample.SortNow();

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a bench_e1 JSON report against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Fails (exit 1) when:
+  * a scale row's wall_seconds regressed by more than the tolerance,
+  * the fusion speedup dropped below baseline * (1 - tolerance),
+  * fusion stopped eliminating intermediate datasets or chains
+    (these are exact counts, not timings — any increase is a bug),
+  * a scale row's result shape (result_regions) changed.
+
+Timing improvements and faster rows are reported but never fail the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def runs_by_samples(report):
+    return {run["samples"]: run for run in report.get("runs", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown before failing (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    tol = args.tolerance
+    failures = []
+    notes = []
+
+    base_runs = runs_by_samples(baseline)
+    cur_runs = runs_by_samples(current)
+    for samples, base in sorted(base_runs.items()):
+        cur = cur_runs.get(samples)
+        if cur is None:
+            failures.append(f"scale row samples={samples} missing from current report")
+            continue
+        if base.get("result_regions") != cur.get("result_regions"):
+            failures.append(
+                f"samples={samples}: result_regions changed "
+                f"{base.get('result_regions')} -> {cur.get('result_regions')}"
+            )
+        bw, cw = base["wall_seconds"], cur["wall_seconds"]
+        ratio = cw / bw
+        line = f"samples={samples}: wall {bw:.3f}s -> {cw:.3f}s ({ratio:.2f}x)"
+        if ratio > 1 + tol:
+            failures.append(line + f" exceeds +{tol:.0%} tolerance")
+        else:
+            notes.append(line)
+
+    for key in ("fusion_off_seconds", "fusion_on_seconds"):
+        if key in baseline and key in current:
+            ratio = current[key] / baseline[key]
+            line = f"{key}: {baseline[key]:.3f}s -> {current[key]:.3f}s ({ratio:.2f}x)"
+            if ratio > 1 + tol:
+                failures.append(line + f" exceeds +{tol:.0%} tolerance")
+            else:
+                notes.append(line)
+
+    if "fusion_speedup" in baseline and "fusion_speedup" in current:
+        bs, cs = baseline["fusion_speedup"], current["fusion_speedup"]
+        line = f"fusion_speedup: {bs:.2f}x -> {cs:.2f}x"
+        if cs < bs * (1 - tol):
+            failures.append(line + f" dropped more than {tol:.0%}")
+        else:
+            notes.append(line)
+
+    # Allocation counts are deterministic: any increase means fusion broke.
+    for key in ("fusion_intermediates_on", "fusion_intermediates_off"):
+        if key in baseline and key in current and current[key] > baseline[key]:
+            failures.append(f"{key}: {baseline[key]} -> {current[key]} (increase)")
+    if current.get("fusion_chains", 0) < baseline.get("fusion_chains", 0):
+        failures.append(
+            f"fusion_chains: {baseline['fusion_chains']} -> "
+            f"{current['fusion_chains']} (fusion stopped firing)"
+        )
+
+    for note in notes:
+        print(f"ok   {note}")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {tol:.0%} tolerance")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@
 // Usage:
 //   gdms_shell [--load NAME=FILE]... [--query FILE | --exec GMQL]
 //              [--out DIR] [--parallel [THREADS]] [--no-optimize]
-//              [--show CHR:LEFT-RIGHT] [--demo]
+//              [--no-fusion] [--show CHR:LEFT-RIGHT] [--demo]
 //              [--trace FILE.json] [--metrics]
 //
 // Prefixing the GMQL text with EXPLAIN ANALYZE turns on tracing for the run
@@ -80,9 +80,10 @@ Result<gdm::Dataset> LoadFile(const std::string& name,
     schema = io::VcfSchema();
   } else if (EndsWith(path, ".bed")) {
     GDMS_ASSIGN_OR_RETURN(sample, io::ReadBedSample(in, 1));
-    int columns = 3 + static_cast<int>(
-                          sample.regions.empty() ? 0
-                                                 : sample.regions[0].values.size());
+    int columns =
+        3 + static_cast<int>(sample.regions.empty()
+                                 ? 0
+                                 : sample.regions[0].values.size());
     schema = io::BedSchema(columns >= 5 ? 5 : columns);
   } else {
     return Status::InvalidArgument(
@@ -161,6 +162,7 @@ int main(int argc, char** argv) {
   bool parallel = false;
   size_t threads = 0;
   bool optimize = true;
+  bool fusion = true;
   bool demo = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -201,11 +203,14 @@ int main(int argc, char** argv) {
       show_window = v;
     } else if (arg == "--parallel") {
       parallel = true;
-      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+      if (i + 1 < argc &&
+          std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
         threads = static_cast<size_t>(std::atoi(argv[++i]));
       }
     } else if (arg == "--no-optimize") {
       optimize = false;
+    } else if (arg == "--no-fusion") {
+      fusion = false;
     } else if (arg == "--demo") {
       demo = true;
     } else if (arg == "--trace") {
@@ -216,12 +221,12 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
-          "usage: gdms_shell [--repo DIR] [--load NAME=FILE]... [--query FILE | --exec "
-          "GMQL]\n"
+          "usage: gdms_shell [--repo DIR] [--load NAME=FILE]...\n"
+          "                  [--query FILE | --exec GMQL]\n"
           "                  [--out DIR] [--parallel [N]] [--no-optimize]\n"
-          "                  [--show CHR:LEFT-RIGHT] [--demo]\n"
+          "                  [--no-fusion] [--show CHR:LEFT-RIGHT] [--demo]\n"
           "                  [--trace FILE.json] [--metrics]\n"
-          "       prefix the GMQL text with EXPLAIN ANALYZE for a profile tree");
+          "       prefix GMQL text with EXPLAIN ANALYZE for a profile tree");
       return 0;
     } else {
       return Fail("unknown argument " + arg + " (try --help)");
@@ -239,6 +244,7 @@ int main(int argc, char** argv) {
     runner = std::make_unique<core::QueryRunner>();
   }
   runner->set_optimize(optimize);
+  runner->set_fusion(fusion);
 
   if (demo) LoadDemo(runner.get());
   if (!repo_dir.empty()) {
