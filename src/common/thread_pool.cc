@@ -106,9 +106,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     if (traced) {
       Submit([batch, submitted] {
         static obs::Histogram* queue_wait =
-            obs::MetricsRegistry::Global().GetHistogram("pool.queue_wait_us");
+            obs::MetricsRegistry::Global().GetHistogram(
+                "gdms_engine_queue_wait_ns");
         queue_wait->Record(static_cast<uint64_t>(std::max<int64_t>(
-            0, std::chrono::duration_cast<std::chrono::microseconds>(
+            0, std::chrono::duration_cast<std::chrono::nanoseconds>(
                    std::chrono::steady_clock::now() - submitted)
                    .count())));
         batch->Drain();

@@ -91,10 +91,10 @@ Result<gdm::Dataset> ReferenceExecutor::Execute(
     const PlanNode& node, const std::vector<const gdm::Dataset*>& inputs) {
   // Per-operator (not per-region) registry telemetry: a counter bump and a
   // latency sample per plan node is noise next to the node's own work.
-  static obs::Counter* ops =
-      obs::MetricsRegistry::Global().GetCounter("executor.reference.ops");
+  static obs::Counter* ops = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_core_reference_ops_total");
   static obs::Histogram* op_latency =
-      obs::MetricsRegistry::Global().GetHistogram("executor.op_us");
+      obs::MetricsRegistry::Global().GetHistogram("gdms_core_op_latency_us");
   ops->Add();
   auto start = std::chrono::steady_clock::now();
   Result<gdm::Dataset> result = ExecuteOp(node, inputs);

@@ -25,6 +25,23 @@ class ScopedParent {
   uint64_t prev_;
 };
 
+/// The registry counters whose deltas RunStats attributes to one query.
+struct FedCounters {
+  obs::Counter* requests;
+  obs::Counter* shipped;
+  obs::Counter* received;
+
+  static const FedCounters& Get() {
+    static FedCounters c{
+        obs::MetricsRegistry::Global().GetCounter("gdms_fed_requests_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "gdms_fed_bytes_shipped_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "gdms_fed_bytes_received_total")};
+    return c;
+  }
+};
+
 }  // namespace
 
 QueryRunner::QueryRunner()
@@ -64,6 +81,10 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   // Run() calls never leak telemetry into each other.
   stats_ = RunStats{};
   executor_->ResetStats();
+  const FedCounters& fed = FedCounters::Get();
+  uint64_t fed_requests0 = fed.requests->value();
+  uint64_t fed_shipped0 = fed.shipped->value();
+  uint64_t fed_received0 = fed.received->value();
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::Span query_span = tracer.StartSpan("query", "query", 0);
   if (options_.optimize) {
@@ -127,6 +148,9 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
     outputs.insert_or_assign(sink->name, std::move(out));
   }
   stats_.executor = executor_->stats();
+  stats_.fed_requests = fed.requests->value() - fed_requests0;
+  stats_.fed_bytes_shipped = fed.shipped->value() - fed_shipped0;
+  stats_.fed_bytes_received = fed.received->value() - fed_received0;
   uint64_t query_span_id = query_span.id();
   query_span.End();
   if (query_span_id != 0) {
@@ -137,14 +161,15 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   static obs::Counter* queries =
-      obs::MetricsRegistry::Global().GetCounter("runner.queries");
-  static obs::Histogram* latency =
-      obs::MetricsRegistry::Global().GetHistogram("runner.query_us");
+      obs::MetricsRegistry::Global().GetCounter("gdms_runner_queries_total");
+  static obs::Histogram* latency = obs::MetricsRegistry::Global().GetHistogram(
+      "gdms_runner_query_latency_us");
   static obs::Counter* intermediates =
       obs::MetricsRegistry::Global().GetCounter(
-          "runner.intermediate_datasets");
+          "gdms_runner_intermediate_datasets_total");
   static obs::Counter* fused_chains =
-      obs::MetricsRegistry::Global().GetCounter("runner.fused_chains");
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_runner_fused_chains_total");
   queries->Add();
   latency->Record(static_cast<uint64_t>(stats_.wall_seconds * 1e6));
   intermediates->Add(stats_.intermediate_datasets);
@@ -223,6 +248,29 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
   auto [pos, inserted] = memo->emplace(node.get(), std::move(out));
   (void)inserted;
   return &pos->second;
+}
+
+obs::QueryLogEntry MakeQueryLogEntry(const std::string& query,
+                                     const RunStats& stats,
+                                     const std::string& error) {
+  obs::QueryLogEntry entry;
+  entry.query = query;
+  entry.ok = error.empty();
+  entry.error = error;
+  entry.wall_ms = stats.wall_seconds * 1e3;
+  entry.operators = stats.operators_evaluated;
+  entry.cache_hits = stats.cache_hits;
+  entry.intermediate_datasets = stats.intermediate_datasets;
+  entry.fused_chains = stats.fusion.chains_fused;
+  entry.tasks = stats.executor.tasks;
+  entry.partitions = stats.executor.partitions;
+  entry.shuffle_bytes = stats.executor.shuffle_bytes;
+  entry.stage_barriers = stats.executor.stage_barriers;
+  entry.fed_requests = stats.fed_requests;
+  entry.fed_bytes_shipped = stats.fed_bytes_shipped;
+  entry.fed_bytes_received = stats.fed_bytes_received;
+  entry.profile = stats.profile;
+  return entry;
 }
 
 }  // namespace gdms::core

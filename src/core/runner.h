@@ -12,6 +12,7 @@
 #include "core/plan.h"
 #include "gdm/dataset.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
 
 namespace gdms::core {
 
@@ -39,6 +40,13 @@ struct RunStats {
   /// Executor scheduling counters for this program (tasks, partitions,
   /// shuffle bytes, stage barriers); zeros under the reference executor.
   ExecutorStats executor;
+  /// Federation protocol activity observed while this query ran (deltas of
+  /// the process-wide gdms_fed_* counters): remote hops triggered by the
+  /// query show up here; zero for purely local execution. Attribution is
+  /// per-process, so concurrent runners would cross-attribute.
+  uint64_t fed_requests = 0;
+  uint64_t fed_bytes_shipped = 0;
+  uint64_t fed_bytes_received = 0;
   double wall_seconds = 0;
   /// The query's span tree — one operator span per evaluated plan node with
   /// engine stage / federation spans nested beneath. Only populated while
@@ -98,6 +106,13 @@ class QueryRunner {
   ExecOptions options_;
   RunStats stats_;
 };
+
+/// Builds a query-log entry from one finished Run(): stats figures, the
+/// attached profile (per-operator self-times, queue-wait/skew) and the
+/// federation deltas. `error` non-empty marks the entry failed.
+obs::QueryLogEntry MakeQueryLogEntry(const std::string& query,
+                                     const RunStats& stats,
+                                     const std::string& error = "");
 
 }  // namespace gdms::core
 

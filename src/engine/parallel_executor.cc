@@ -175,13 +175,15 @@ Result<gdm::Dataset> ParallelExecutor::Execute(
   Result<gdm::Dataset> result = ExecuteOp(node, inputs);
   core::ExecutorStats after = stats();
   static obs::Counter* tasks =
-      obs::MetricsRegistry::Global().GetCounter("engine.tasks");
+      obs::MetricsRegistry::Global().GetCounter("gdms_engine_tasks_total");
   static obs::Counter* partitions =
-      obs::MetricsRegistry::Global().GetCounter("engine.partitions");
+      obs::MetricsRegistry::Global().GetCounter("gdms_engine_partitions_total");
   static obs::Counter* shuffle_bytes =
-      obs::MetricsRegistry::Global().GetCounter("engine.shuffle_bytes");
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_engine_shuffle_bytes_total");
   static obs::Counter* stage_barriers =
-      obs::MetricsRegistry::Global().GetCounter("engine.stage_barriers");
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_engine_stage_barriers_total");
   tasks->Add(after.tasks - before.tasks);
   partitions->Add(after.partitions - before.partitions);
   shuffle_bytes->Add(after.shuffle_bytes - before.shuffle_bytes);
@@ -248,7 +250,8 @@ Result<gdm::Dataset> ParallelExecutor::ExecuteFused(
   const core::PlanNode& producer = *node.fused_stages[0];
   if (options_.scheduling == SchedulingMode::kFlat) {
     static obs::Counter* fused_chains =
-        obs::MetricsRegistry::Global().GetCounter("engine.fused_chains");
+        obs::MetricsRegistry::Global().GetCounter(
+            "gdms_engine_fused_chains_total");
     fused_chains->Add();
     switch (producer.kind) {
       case OpKind::kSelect:

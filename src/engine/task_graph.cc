@@ -87,7 +87,7 @@ std::vector<RefChunk> MakeRefChunks(
     out.push_back(chunk);
   }
   static obs::Counter* chunks =
-      obs::MetricsRegistry::Global().GetCounter("engine.ref_chunks");
+      obs::MetricsRegistry::Global().GetCounter("gdms_engine_ref_chunks_total");
   chunks->Add(out.size());
   return out;
 }
@@ -115,8 +115,8 @@ std::vector<TaskPartition> BindPartitions(
 std::vector<std::pair<size_t, size_t>> MatchJoinbyPairs(
     const gdm::Dataset& left, const gdm::Dataset& right,
     const std::vector<std::string>& joinby) {
-  static obs::Counter* matched =
-      obs::MetricsRegistry::Global().GetCounter("engine.joinby_pairs");
+  static obs::Counter* matched = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_engine_joinby_pairs_total");
   std::vector<std::pair<size_t, size_t>> pairs;
   if (joinby.empty()) {
     pairs.reserve(left.num_samples() * right.num_samples());

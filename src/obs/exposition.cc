@@ -1,0 +1,169 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gdms::obs {
+
+namespace {
+
+/// Splits "base{labels}" into its parts; labels empty when unlabeled.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; legacy dotted registry
+/// names become underscored.
+std::string SanitizeBase(const std::string& base) {
+  std::string out = base;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  // Integral values print without a trailing ".000000" so counter lines
+  // stay exact-integer comparable across scrapes.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  *out += buf;
+}
+
+void AppendTypeHeader(std::string* out, std::string* last_base,
+                      const std::string& base, const char* type) {
+  if (base == *last_base) return;
+  *last_base = base;
+  *out += "# TYPE " + base + " " + type + "\n";
+  const char* unit = MetricUnit(base);
+  if (*unit != '\0') *out += "# UNIT " + base + " " + unit + "\n";
+}
+
+}  // namespace
+
+std::string ExpositionLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderExposition(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  std::string last_base;
+  for (const MetricSnapshot& m : snapshot) {
+    std::string base, labels;
+    SplitLabels(m.name, &base, &labels);
+    base = SanitizeBase(base);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter: {
+        AppendTypeHeader(&out, &last_base, base, "counter");
+        out += base + labels + " ";
+        AppendDouble(&out, static_cast<double>(m.counter_value));
+        out += "\n";
+        break;
+      }
+      case MetricSnapshot::Kind::kGauge: {
+        AppendTypeHeader(&out, &last_base, base, "gauge");
+        out += base + labels + " ";
+        AppendDouble(&out, static_cast<double>(m.gauge_value));
+        out += "\n";
+        break;
+      }
+      case MetricSnapshot::Kind::kHistogram: {
+        AppendTypeHeader(&out, &last_base, base, "summary");
+        // Labeled histograms would need label-merged quantile sets; the
+        // codebase only labels gauges today, so quantile lines carry just
+        // the quantile label.
+        for (double q : {0.5, 0.95, 0.99}) {
+          char qbuf[16];
+          std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+          out += base + "{quantile=\"" + qbuf + "\"} ";
+          AppendDouble(&out, Histogram::QuantileFromBuckets(m.hist_buckets, q));
+          out += "\n";
+        }
+        out += base + "_sum ";
+        AppendDouble(&out, static_cast<double>(m.hist_sum));
+        out += "\n" + base + "_count ";
+        AppendDouble(&out, static_cast<double>(m.hist_count));
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderExposition(const MetricsRegistry& registry) {
+  return RenderExposition(registry.Snapshot());
+}
+
+bool WriteExpositionFile(const MetricsRegistry& registry,
+                         const std::string& path) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << RenderExposition(registry);
+    if (!out.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+ScrapedExposition ParseExposition(const std::string& text) {
+  ScrapedExposition out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <base> <type>" / "# UNIT <base> <unit>".
+      std::istringstream meta(line);
+      std::string hash, keyword, base, value;
+      if (meta >> hash >> keyword >> base >> value) {
+        if (keyword == "TYPE") out.types[base] = value;
+        if (keyword == "UNIT") out.units[base] = value;
+      }
+      continue;
+    }
+    // "<name>[{labels}] <value>"; the name may contain spaces only inside
+    // a label block, so split at the last space.
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    std::string name = line.substr(0, space);
+    char* end = nullptr;
+    double value = std::strtod(line.c_str() + space + 1, &end);
+    if (end == line.c_str() + space + 1) continue;
+    out.samples[name] = value;
+  }
+  return out;
+}
+
+}  // namespace gdms::obs

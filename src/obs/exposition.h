@@ -1,0 +1,61 @@
+#ifndef GDMS_OBS_EXPOSITION_H_
+#define GDMS_OBS_EXPOSITION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gdms::obs {
+
+/// \brief Prometheus-style text exposition of the metrics registry.
+///
+/// Format (one `# TYPE` line per base metric, labeled variants grouped):
+///
+///   # TYPE gdms_engine_tasks_total counter
+///   gdms_engine_tasks_total 1234
+///   # TYPE gdms_fed_staged_bytes gauge
+///   gdms_fed_staged_bytes{node="site_a"} 0
+///   gdms_fed_staged_bytes{node="site_b"} 4096
+///   # TYPE gdms_runner_query_latency_us summary
+///   gdms_runner_query_latency_us{quantile="0.5"} 133
+///   gdms_runner_query_latency_us{quantile="0.95"} 287
+///   gdms_runner_query_latency_us{quantile="0.99"} 301
+///   gdms_runner_query_latency_us_sum 1427
+///   gdms_runner_query_latency_us_count 9
+///
+/// Legacy dotted names are sanitized ('.' -> '_'); canonical names
+/// (gdms_<layer>_<name>[_<unit>][_total]) pass through untouched. Units are
+/// declared by the name suffix per MetricUnit() and echoed in a `# UNIT`
+/// comment when recognized.
+std::string RenderExposition(const std::vector<MetricSnapshot>& snapshot);
+
+/// Convenience: snapshot + render in one call.
+std::string RenderExposition(const MetricsRegistry& registry);
+
+/// Writes the exposition atomically (temp file + rename) so a concurrent
+/// scraper never reads a torn dump. Returns false on I/O error.
+bool WriteExpositionFile(const MetricsRegistry& registry,
+                         const std::string& path);
+
+/// One scraped sample line: full name (labels included) -> value.
+/// `# TYPE`/`# UNIT` comments are folded into `types` / `units` keyed by
+/// base name. What gdms_top --attach and the tests parse dumps back with.
+struct ScrapedExposition {
+  std::map<std::string, double> samples;
+  std::map<std::string, std::string> types;
+  std::map<std::string, std::string> units;
+};
+
+/// Parses exposition text (as produced by RenderExposition); unparseable
+/// lines are skipped, never fatal.
+ScrapedExposition ParseExposition(const std::string& text);
+
+/// Prometheus label-value escaping for names embedded as
+/// `name{label="<value>"}` registry keys: backslash, quote, newline.
+std::string ExpositionLabelValue(const std::string& value);
+
+}  // namespace gdms::obs
+
+#endif  // GDMS_OBS_EXPOSITION_H_

@@ -5,8 +5,76 @@
 
 namespace gdms::obs {
 
-double Histogram::Quantile(double q) const {
-  uint64_t total = count();
+namespace {
+
+/// Strips a trailing `{label="..."}` block, leaving the base metric name.
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+const char* MetricUnit(const std::string& name) {
+  std::string base = BaseName(name);
+  bool total = EndsWith(base, "_total");
+  if (total) base.resize(base.size() - 6);
+  if (EndsWith(base, "_ns")) return "ns";
+  if (EndsWith(base, "_us")) return "us";
+  if (EndsWith(base, "_ms")) return "ms";
+  if (EndsWith(base, "_seconds")) return "s";
+  // "bytes" also counts as the unit mid-name: the canonical federation
+  // counters (gdms_fed_bytes_shipped_total, ...) put the direction last.
+  if (EndsWith(base, "_bytes") ||
+      base.find("_bytes_") != std::string::npos) {
+    return "bytes";
+  }
+  if (total || EndsWith(base, "_count")) return "count";
+  return "";
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+double Histogram::QuantileFromBuckets(
+    const std::array<uint64_t, kBuckets>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
   if (total == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
@@ -14,7 +82,7 @@ double Histogram::Quantile(double q) const {
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
   uint64_t seen = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
-    uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    uint64_t in_bucket = buckets[b];
     if (in_bucket == 0) continue;
     if (seen + in_bucket >= rank) {
       // Bucket b spans [lower, upper): interpolate by rank position.
@@ -30,6 +98,10 @@ double Histogram::Quantile(double q) const {
     seen += in_bucket;
   }
   return 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromBuckets(SnapshotBuckets(), q);
 }
 
 void Histogram::Reset() {
@@ -76,22 +148,53 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return e.histogram.get();
 }
 
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot s;
+    s.name = name;
+    if (e.counter != nullptr) {
+      s.kind = MetricSnapshot::Kind::kCounter;
+      s.counter_value = e.counter->value();
+    } else if (e.gauge != nullptr) {
+      s.kind = MetricSnapshot::Kind::kGauge;
+      s.gauge_value = e.gauge->value();
+    } else if (e.histogram != nullptr) {
+      s.kind = MetricSnapshot::Kind::kHistogram;
+      s.hist_count = e.histogram->count();
+      s.hist_sum = e.histogram->sum();
+      s.hist_buckets = e.histogram->SnapshotBuckets();
+    } else {
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::string out;
-  char buf[256];
+  char buf[320];
+  auto unit_tag = [](const std::string& name) {
+    const char* unit = MetricUnit(name);
+    return *unit == '\0' ? std::string() : " [" + std::string(unit) + "]";
+  };
   for (const auto& [name, e] : entries_) {
+    std::string shown = name + unit_tag(name);
     if (e.counter != nullptr) {
-      std::snprintf(buf, sizeof(buf), "counter   %-36s %" PRIu64 "\n",
-                    name.c_str(), e.counter->value());
+      std::snprintf(buf, sizeof(buf), "counter   %-44s %" PRIu64 "\n",
+                    shown.c_str(), e.counter->value());
     } else if (e.gauge != nullptr) {
-      std::snprintf(buf, sizeof(buf), "gauge     %-36s %" PRId64 "\n",
-                    name.c_str(), e.gauge->value());
+      std::snprintf(buf, sizeof(buf), "gauge     %-44s %" PRId64 "\n",
+                    shown.c_str(), e.gauge->value());
     } else if (e.histogram != nullptr) {
       std::snprintf(buf, sizeof(buf),
-                    "histogram %-36s count=%" PRIu64 " mean=%.1f p50=%.0f "
+                    "histogram %-44s count=%" PRIu64 " mean=%.1f p50=%.0f "
                     "p95=%.0f p99=%.0f\n",
-                    name.c_str(), e.histogram->count(), e.histogram->mean(),
+                    shown.c_str(), e.histogram->count(), e.histogram->mean(),
                     e.histogram->Quantile(0.5), e.histogram->Quantile(0.95),
                     e.histogram->Quantile(0.99));
     } else {
@@ -105,18 +208,19 @@ std::string MetricsRegistry::RenderText() const {
 std::string MetricsRegistry::RenderJson() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::string counters, gauges, histograms;
-  char buf[256];
+  char buf[320];
   auto append = [](std::string* dst, const char* text) {
     if (!dst->empty()) *dst += ", ";
     *dst += text;
   };
   for (const auto& [name, e] : entries_) {
+    std::string escaped = JsonEscape(name);
     if (e.counter != nullptr) {
-      std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64, name.c_str(),
+      std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64, escaped.c_str(),
                     e.counter->value());
       append(&counters, buf);
     } else if (e.gauge != nullptr) {
-      std::snprintf(buf, sizeof(buf), "\"%s\": %" PRId64, name.c_str(),
+      std::snprintf(buf, sizeof(buf), "\"%s\": %" PRId64, escaped.c_str(),
                     e.gauge->value());
       append(&gauges, buf);
     } else if (e.histogram != nullptr) {
@@ -124,7 +228,7 @@ std::string MetricsRegistry::RenderJson() const {
                     "\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
                     ", \"mean\": %.3f, \"p50\": %.1f, \"p95\": %.1f, "
                     "\"p99\": %.1f}",
-                    name.c_str(), e.histogram->count(), e.histogram->sum(),
+                    escaped.c_str(), e.histogram->count(), e.histogram->sum(),
                     e.histogram->mean(), e.histogram->Quantile(0.5),
                     e.histogram->Quantile(0.95), e.histogram->Quantile(0.99));
       append(&histograms, buf);

@@ -1,6 +1,7 @@
 #ifndef GDMS_OBS_METRICS_H_
 #define GDMS_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -10,6 +11,23 @@
 #include <vector>
 
 namespace gdms::obs {
+
+/// Canonical metric naming: `gdms_<layer>_<name>[_<unit>][_total]` —
+/// counters end in `_total`, histograms and gauges carry their unit as the
+/// trailing suffix (`_ns`, `_us`, `_ms`, `_bytes`). A per-instance label may
+/// be embedded Prometheus-style in the registry key itself, e.g.
+/// `gdms_fed_staged_bytes{node="site_a"}`; renderers split the base name
+/// from the label block at the '{'.
+
+/// The unit a canonical metric name declares ("ns", "us", "ms", "bytes",
+/// "count" for `_total`/`_count` counters, "" when unrecognized). Labels
+/// and the `_total` suffix are stripped before matching.
+const char* MetricUnit(const std::string& name);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// metric names may embed label blocks with quotes, and query-log payloads
+/// embed arbitrary GMQL text.
+std::string JsonEscape(const std::string& text);
 
 /// \brief Process-wide telemetry primitives.
 ///
@@ -69,6 +87,21 @@ class Histogram {
   /// bucket holding the q-th sample. 0 when empty.
   double Quantile(double q) const;
 
+  /// Quantile over a caller-supplied bucket array (same power-of-two
+  /// layout). The sampler subtracts two bucket snapshots and reads windowed
+  /// quantiles from the delta through this.
+  static double QuantileFromBuckets(
+      const std::array<uint64_t, kBuckets>& buckets, double q);
+
+  /// Relaxed copy of the current bucket counts.
+  std::array<uint64_t, kBuckets> SnapshotBuckets() const {
+    std::array<uint64_t, kBuckets> out;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
   void Reset();
 
   static size_t BucketOf(uint64_t value) {
@@ -84,6 +117,20 @@ class Histogram {
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+};
+
+/// One instrument's state at a point in time; what Snapshot() hands the
+/// sampler and the exposition renderer. Exactly one of the kind-specific
+/// payloads is meaningful, selected by `kind`.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  uint64_t hist_count = 0;
+  uint64_t hist_sum = 0;
+  std::array<uint64_t, Histogram::kBuckets> hist_buckets = {};
 };
 
 /// \brief Named instrument registry; one per process via Global().
@@ -104,11 +151,19 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  /// Human-readable dump, one instrument per line, sorted by name.
+  /// Relaxed point-in-time copy of every instrument, sorted by name. The
+  /// mutex guards only the map structure; values are relaxed loads, so a
+  /// snapshot taken mid-workload is per-instrument consistent, not
+  /// cross-instrument.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Human-readable dump, one instrument per line, sorted by name, with
+  /// the declared unit (MetricUnit) bracketed after the name.
   std::string RenderText() const;
 
   /// JSON dump: {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..}}}.
+  /// Metric names are JSON-escaped (label blocks embed quotes).
   std::string RenderJson() const;
 
   /// Zeroes every registered instrument (tests / per-bench isolation).

@@ -1,0 +1,162 @@
+#include "obs/query_log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace gdms::obs {
+
+namespace {
+
+void AppendKV(std::string* out, const char* key, uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
+  *out += buf;
+}
+
+void AppendKV(std::string* out, const char* key, double v) {
+  char buf[96];
+  if (!std::isfinite(v)) v = 0;
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.3f", key, v);
+  *out += buf;
+}
+
+/// Stage-span aggregates: task-weighted mean queue wait, the worst
+/// partition time, and the worst max/median imbalance across stages.
+struct StageAggregates {
+  double queue_wait_mean_us = 0;
+  double part_max_us = 0;
+  double skew = 0;
+};
+
+StageAggregates AggregateStages(const Profile& profile) {
+  StageAggregates agg;
+  double wait_weighted = 0, tasks_total = 0;
+  for (const SpanRecord& rec : profile.spans()) {
+    if (rec.category != "stage") continue;
+    double tasks = 0, wait = 0, max_us = 0, median_us = 0;
+    for (const auto& [key, value] : rec.attrs) {
+      if (key == "tasks") tasks = value;
+      if (key == "queue_wait_mean_us") wait = value;
+      if (key == "part_max_us") max_us = value;
+      if (key == "part_median_us") median_us = value;
+    }
+    wait_weighted += wait * tasks;
+    tasks_total += tasks;
+    agg.part_max_us = std::max(agg.part_max_us, max_us);
+    if (median_us > 0) agg.skew = std::max(agg.skew, max_us / median_us);
+  }
+  if (tasks_total > 0) agg.queue_wait_mean_us = wait_weighted / tasks_total;
+  return agg;
+}
+
+}  // namespace
+
+QueryLog::QueryLog(QueryLogOptions options) : options_(std::move(options)) {
+  if (!options_.path.empty()) {
+    out_ = std::make_unique<std::ofstream>(options_.path, std::ios::app);
+    if (!out_->good()) {
+      std::fprintf(stderr, "query log: cannot open %s\n",
+                   options_.path.c_str());
+      out_.reset();
+    }
+  }
+}
+
+std::string QueryLog::FormatEntry(const QueryLogEntry& entry,
+                                  uint64_t seq) const {
+  std::string query = entry.query;
+  if (query.size() > options_.max_query_chars) {
+    query.resize(options_.max_query_chars);
+    query += "...";
+  }
+  int64_t ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  bool slow = entry.wall_ms >= options_.slow_ms;
+
+  std::string out = "{";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"ts_ms\":%" PRId64 ",\"seq\":%" PRIu64,
+                ts_ms, seq);
+  out += buf;
+  out += ",\"query\":\"" + JsonEscape(query) + "\"";
+  out += entry.ok ? ",\"ok\":true" : ",\"ok\":false";
+  if (!entry.ok) out += ",\"error\":\"" + JsonEscape(entry.error) + "\"";
+  out += ",";
+  AppendKV(&out, "wall_ms", entry.wall_ms);
+  out += ",";
+  AppendKV(&out, "operators", entry.operators);
+  out += ",";
+  AppendKV(&out, "cache_hits", entry.cache_hits);
+  out += ",";
+  AppendKV(&out, "intermediate_datasets", entry.intermediate_datasets);
+  out += ",";
+  AppendKV(&out, "fused_chains", entry.fused_chains);
+  out += ",";
+  AppendKV(&out, "tasks", entry.tasks);
+  out += ",";
+  AppendKV(&out, "partitions", entry.partitions);
+  out += ",";
+  AppendKV(&out, "shuffle_bytes", entry.shuffle_bytes);
+  out += ",";
+  AppendKV(&out, "stage_barriers", entry.stage_barriers);
+
+  StageAggregates agg;
+  if (entry.profile != nullptr) agg = AggregateStages(*entry.profile);
+  out += ",";
+  AppendKV(&out, "queue_wait_mean_us", agg.queue_wait_mean_us);
+  out += ",";
+  AppendKV(&out, "part_max_us", agg.part_max_us);
+  out += ",";
+  AppendKV(&out, "skew", agg.skew);
+
+  out += ",\"fed\":{";
+  AppendKV(&out, "requests", entry.fed_requests);
+  out += ",";
+  AppendKV(&out, "bytes_shipped", entry.fed_bytes_shipped);
+  out += ",";
+  AppendKV(&out, "bytes_received", entry.fed_bytes_received);
+  out += "}";
+
+  // Per-operator self-times, profile tree order (parents before children).
+  out += ",\"ops\":[";
+  if (entry.profile != nullptr) {
+    bool first = true;
+    for (const Profile::Node& node : entry.profile->nodes()) {
+      if (node.rec->category != "operator") continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"op\":\"" + JsonEscape(node.rec->name) + "\",";
+      AppendKV(&out, "total_ms",
+               static_cast<double>(node.rec->duration_ns) / 1e6);
+      out += ",";
+      AppendKV(&out, "self_ms", static_cast<double>(node.self_ns) / 1e6);
+      out += "}";
+    }
+  }
+  out += "]";
+
+  out += slow ? ",\"slow\":true" : ",\"slow\":false";
+  if (slow && entry.profile != nullptr) {
+    out += ",\"explain\":\"" + JsonEscape(entry.profile->RenderTree()) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void QueryLog::Record(const QueryLogEntry& entry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t seq = entries_ + 1;
+  std::string line = FormatEntry(entry, seq);
+  ++entries_;
+  if (entry.wall_ms >= options_.slow_ms) ++slow_entries_;
+  if (out_ == nullptr) return;
+  *out_ << line << "\n";
+  out_->flush();
+}
+
+}  // namespace gdms::obs

@@ -1,0 +1,151 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace gdms::obs {
+
+Sampler::Sampler(MetricsRegistry* registry) : registry_(registry) {}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Configure(SamplerOptions options) {
+  std::lock_guard<std::mutex> lk(ctl_mu_);
+  if (running_) return;
+  if (options.period_ms < 1) options.period_ms = 1;
+  if (options.window < 1) options.window = 1;
+  options_ = std::move(options);
+}
+
+void Sampler::Start(SamplerOptions options) {
+  Configure(std::move(options));
+  std::lock_guard<std::mutex> lk(ctl_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread(&Sampler::Loop, this);
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(ctl_mu_);
+  running_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard<std::mutex> lk(ctl_mu_);
+  return running_;
+}
+
+void Sampler::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(ctl_mu_);
+      cv_.wait_for(lk, std::chrono::milliseconds(options_.period_ms),
+                   [&] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    SampleOnce();
+    if (options_.on_tick) options_.on_tick(ticks());
+  }
+}
+
+void Sampler::SampleOnce() { SampleOnceAt(Tracer::Global().NowNs()); }
+
+TimeSeries* Sampler::Ensure(MetricState* state,
+                            std::unique_ptr<TimeSeries>* slot,
+                            const std::string& series_name) {
+  (void)state;
+  if (*slot == nullptr) {
+    *slot = std::make_unique<TimeSeries>(options_.capacity);
+    index_[series_name] = slot->get();
+  }
+  return slot->get();
+}
+
+void Sampler::SampleOnceAt(int64_t t_ns) {
+  std::vector<MetricSnapshot> snap = registry_->Snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const MetricSnapshot& m : snap) {
+    MetricState& st = states_[m.name];
+    st.kind = m.kind;
+    double dt_s = st.has_prev && t_ns > st.prev_t_ns
+                      ? static_cast<double>(t_ns - st.prev_t_ns) / 1e9
+                      : 0.0;
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter: {
+        Ensure(&st, &st.value, m.name)
+            ->Push(t_ns, static_cast<double>(m.counter_value));
+        // A registry ResetAll() between samples makes the counter go
+        // backwards; report a zero rate for that window instead of a
+        // huge negative spike.
+        double rate = dt_s > 0 && m.counter_value >= st.prev_counter
+                          ? static_cast<double>(m.counter_value -
+                                                st.prev_counter) /
+                                dt_s
+                          : 0.0;
+        Ensure(&st, &st.rate, m.name + ":rate")->Push(t_ns, rate);
+        st.prev_counter = m.counter_value;
+        break;
+      }
+      case MetricSnapshot::Kind::kGauge: {
+        Ensure(&st, &st.value, m.name)
+            ->Push(t_ns, static_cast<double>(m.gauge_value));
+        break;
+      }
+      case MetricSnapshot::Kind::kHistogram: {
+        double rate = dt_s > 0 && m.hist_count >= st.prev_hist_count
+                          ? static_cast<double>(m.hist_count -
+                                                st.prev_hist_count) /
+                                dt_s
+                          : 0.0;
+        Ensure(&st, &st.rate, m.name + ":rate")->Push(t_ns, rate);
+        st.prev_hist_count = m.hist_count;
+        st.bucket_history.push_back(m.hist_buckets);
+        while (st.bucket_history.size() > options_.window + 1) {
+          st.bucket_history.pop_front();
+        }
+        // Windowed distribution: the samples recorded between the oldest
+        // retained snapshot and now.
+        std::array<uint64_t, Histogram::kBuckets> delta = m.hist_buckets;
+        const auto& oldest = st.bucket_history.front();
+        for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+          delta[b] = delta[b] >= oldest[b] ? delta[b] - oldest[b] : 0;
+        }
+        Ensure(&st, &st.p50, m.name + ":p50")
+            ->Push(t_ns, Histogram::QuantileFromBuckets(delta, 0.5));
+        Ensure(&st, &st.p95, m.name + ":p95")
+            ->Push(t_ns, Histogram::QuantileFromBuckets(delta, 0.95));
+        Ensure(&st, &st.p99, m.name + ":p99")
+            ->Push(t_ns, Histogram::QuantileFromBuckets(delta, 0.99));
+        break;
+      }
+    }
+    st.prev_t_ns = t_ns;
+    st.has_prev = true;
+  }
+  ticks_.fetch_add(1);
+}
+
+const TimeSeries* Sampler::Find(const std::string& series) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(series);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Sampler::SeriesNames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [name, series] : index_) out.push_back(name);
+  return out;
+}
+
+}  // namespace gdms::obs

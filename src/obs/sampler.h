@@ -1,0 +1,129 @@
+#ifndef GDMS_OBS_SAMPLER_H_
+#define GDMS_OBS_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace gdms::obs {
+
+struct SamplerOptions {
+  /// Snapshot period. 100 ms keeps a 512-point series just under a minute
+  /// of history.
+  int64_t period_ms = 100;
+  /// Ring capacity of every derived series.
+  size_t capacity = TimeSeries::kDefaultCapacity;
+  /// Sliding window (in periods) for histogram quantiles: the p50/p95/p99
+  /// series are computed over the bucket deltas of the last `window`
+  /// samples, so they track the recent distribution instead of the
+  /// since-startup aggregate the registry itself reports.
+  size_t window = 10;
+  /// Invoked on the sampler thread after every snapshot (tick count is
+  /// 1-based). Serve mode uses this to dump the exposition periodically.
+  std::function<void(uint64_t)> on_tick;
+};
+
+/// \brief Background thread turning registry totals into time series.
+///
+/// Every period the sampler snapshots the registry and derives, per metric:
+///
+///   counter `X`    -> series `X` (absolute) and `X:rate` (per second)
+///   gauge `X`      -> series `X`
+///   histogram `X`  -> `X:rate` (samples/s) and `X:p50` / `X:p95` / `X:p99`
+///                     windowed quantiles over the last `window` periods
+///
+/// Series are created on first sight of a metric and live for the sampler's
+/// lifetime; Find() pointers stay valid across Stop()/Start(). Readers
+/// (exposition dumps, `gdms_top`) walk the lock-free TimeSeries rings
+/// concurrently with the sampler thread.
+class Sampler {
+ public:
+  explicit Sampler(MetricsRegistry* registry = &MetricsRegistry::Global());
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Sets the options without starting the thread — for callers driving
+  /// SampleOnce/SampleOnceAt manually (tests, synchronous dumps). No-op
+  /// while the thread runs.
+  void Configure(SamplerOptions options);
+
+  /// Starts the background thread; no-op if already running.
+  void Start(SamplerOptions options = {});
+
+  /// Stops and joins the thread; series and their data stay readable.
+  void Stop();
+
+  bool running() const;
+
+  /// One synchronous snapshot stamped with the current steady time —
+  /// callable without Start() (tests, final flush before an exposition
+  /// dump).
+  void SampleOnce();
+
+  /// One snapshot at an injected timestamp; deterministic rates for tests.
+  void SampleOnceAt(int64_t t_ns);
+
+  /// Snapshots taken so far.
+  uint64_t ticks() const { return ticks_.load(); }
+
+  /// Derived series by name (e.g. "gdms_engine_tasks_total:rate");
+  /// nullptr when the metric has not been seen yet.
+  const TimeSeries* Find(const std::string& series) const;
+
+  /// All derived series names, sorted.
+  std::vector<std::string> SeriesNames() const;
+
+ private:
+  struct MetricState {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    bool has_prev = false;
+    int64_t prev_t_ns = 0;
+    uint64_t prev_counter = 0;
+    uint64_t prev_hist_count = 0;
+    /// Oldest-first bucket snapshots, at most window+1 entries.
+    std::deque<std::array<uint64_t, Histogram::kBuckets>> bucket_history;
+    std::unique_ptr<TimeSeries> value;
+    std::unique_ptr<TimeSeries> rate;
+    std::unique_ptr<TimeSeries> p50;
+    std::unique_ptr<TimeSeries> p95;
+    std::unique_ptr<TimeSeries> p99;
+  };
+
+  void Loop();
+  TimeSeries* Ensure(MetricState* state, std::unique_ptr<TimeSeries>* slot,
+                     const std::string& series_name);
+
+  MetricsRegistry* registry_;
+  SamplerOptions options_;
+
+  /// Guards the states_/index_ map structure (TimeSeries payloads are
+  /// internally lock-free; readers hold no lock while walking them).
+  mutable std::mutex mu_;
+  std::map<std::string, MetricState> states_;
+  std::map<std::string, TimeSeries*> index_;
+
+  /// Thread lifecycle, separate from the data lock so a stuck reader can
+  /// never delay Stop() and the sleeping thread never blocks Find().
+  mutable std::mutex ctl_mu_;
+  std::thread thread_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::atomic<uint64_t> ticks_{0};
+};
+
+}  // namespace gdms::obs
+
+#endif  // GDMS_OBS_SAMPLER_H_

@@ -1,0 +1,42 @@
+#include "obs/timeseries.h"
+
+namespace gdms::obs {
+
+void TimeSeries::Push(int64_t t_ns, double value) {
+  uint64_t h = head_.load();
+  Slot& slot = slots_[h % capacity_];
+  slot.seq.store(2 * h + 1);  // odd: in progress
+  slot.t_ns.store(t_ns);
+  slot.value.store(value);
+  slot.seq.store(2 * (h + 1));  // even: stable, stamped with generation h
+  head_.store(h + 1);
+}
+
+std::vector<TimeSeries::Point> TimeSeries::Snapshot() const {
+  uint64_t h = head_.load();
+  uint64_t n = h < capacity_ ? h : capacity_;
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = h - n; i < h; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    Point p;
+    uint64_t before = slot.seq.load();
+    p.t_ns = slot.t_ns.load();
+    p.value = slot.value.load();
+    uint64_t after = slot.seq.load();
+    // Accept only if the slot was stable with write #i's stamp the whole
+    // time; otherwise the writer lapped us and this (oldest) point is gone.
+    if (before != after || before != 2 * (i + 1)) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double TimeSeries::last() const {
+  uint64_t h = head_.load();
+  if (h == 0) return 0;
+  const Slot& slot = slots_[(h - 1) % capacity_];
+  return slot.value.load();
+}
+
+}  // namespace gdms::obs

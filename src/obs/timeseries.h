@@ -1,0 +1,73 @@
+#ifndef GDMS_OBS_TIMESERIES_H_
+#define GDMS_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gdms::obs {
+
+/// \brief Fixed-capacity lock-free ring buffer of (timestamp, value) points.
+///
+/// Single writer (the sampler thread), any number of concurrent readers
+/// (the exposition dumper, `gdms_top`'s render loop) — no locks on either
+/// side. Each slot is a tiny seqlock: the writer marks the slot odd, stores
+/// the point, then marks it even with the generation number, so a reader
+/// that races a wrap-around detects the overwrite and drops that (oldest)
+/// point instead of returning a torn pair. The writer path runs once per
+/// sampler period per series, so sequentially-consistent atomics are used
+/// throughout for simplicity — this is cold code made safe, not a hot path.
+class TimeSeries {
+ public:
+  struct Point {
+    int64_t t_ns = 0;  ///< sampler timestamp (tracer epoch)
+    double value = 0;
+  };
+
+  explicit TimeSeries(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  /// Appends a point, overwriting the oldest once full. Single writer.
+  void Push(int64_t t_ns, double value);
+
+  /// Copies the stored points oldest-to-newest. Points being overwritten
+  /// concurrently are skipped (they are the oldest entries), so the result
+  /// is always a consistent suffix of the series.
+  std::vector<Point> Snapshot() const;
+
+  /// Most recent value; 0 before any push.
+  double last() const;
+
+  /// Total points ever pushed (monotonic, exceeds capacity after wrap).
+  uint64_t total_pushed() const { return head_.load(); }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const {
+    uint64_t h = head_.load();
+    return h < capacity_ ? static_cast<size_t>(h) : capacity_;
+  }
+
+  static constexpr size_t kDefaultCapacity = 512;
+
+ private:
+  struct Slot {
+    /// 2*(generation+1) when slot holds the point of write #generation;
+    /// odd while the writer is mid-store.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> t_ns{0};
+    std::atomic<double> value{0};
+  };
+
+  size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};  ///< next write index (== total pushed)
+};
+
+}  // namespace gdms::obs
+
+#endif  // GDMS_OBS_TIMESERIES_H_

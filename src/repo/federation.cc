@@ -4,6 +4,7 @@
 
 #include "core/parser.h"
 #include "io/gdm_format.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -13,9 +14,10 @@ namespace {
 
 /// RAII site-hop telemetry: a "federation" span (nested under whatever
 /// operator span is current) carrying the protocol-counter deltas of the
-/// enclosed interaction, plus process-wide registry totals and a per-hop
-/// latency histogram. Inert when tracing is disabled except for the
-/// registry counter updates.
+/// enclosed interaction, a hop counter, and a per-hop latency histogram.
+/// The byte/request registry totals themselves are mirrored at the
+/// Coordinator::Account increment sites, not here, so probes issued
+/// outside a hop (RunEverywhere's COMPILE scouting) are still counted.
 class HopScope {
  public:
   HopScope(std::string name, const ProtocolCounters* counters)
@@ -27,26 +29,22 @@ class HopScope {
             obs::Tracer::Global().current_parent())) {}
 
   ~HopScope() {
-    static obs::Counter* requests =
-        obs::MetricsRegistry::Global().GetCounter("federation.requests");
-    static obs::Counter* sent =
-        obs::MetricsRegistry::Global().GetCounter("federation.bytes_sent");
-    static obs::Counter* received =
-        obs::MetricsRegistry::Global().GetCounter("federation.bytes_received");
+    static obs::Counter* hops =
+        obs::MetricsRegistry::Global().GetCounter("gdms_fed_hops_total");
     static obs::Histogram* hop_latency =
-        obs::MetricsRegistry::Global().GetHistogram("federation.hop_us");
-    uint64_t d_requests = counters_->requests - before_.requests;
-    uint64_t d_sent = counters_->bytes_sent - before_.bytes_sent;
-    uint64_t d_received = counters_->bytes_received - before_.bytes_received;
-    requests->Add(d_requests);
-    sent->Add(d_sent);
-    received->Add(d_received);
+        obs::MetricsRegistry::Global().GetHistogram(
+            "gdms_fed_hop_latency_us");
+    hops->Add();
     int64_t elapsed_ns = obs::Tracer::Global().NowNs() - start_ns_;
     hop_latency->Record(static_cast<uint64_t>(elapsed_ns / 1000));
     if (span_.active()) {
-      span_.AddAttr("requests", static_cast<double>(d_requests));
-      span_.AddAttr("bytes_sent", static_cast<double>(d_sent));
-      span_.AddAttr("bytes_received", static_cast<double>(d_received));
+      span_.AddAttr("requests", static_cast<double>(counters_->requests -
+                                                    before_.requests));
+      span_.AddAttr("bytes_sent", static_cast<double>(counters_->bytes_sent -
+                                                      before_.bytes_sent));
+      span_.AddAttr("bytes_received",
+                    static_cast<double>(counters_->bytes_received -
+                                        before_.bytes_received));
     }
   }
 
@@ -62,7 +60,19 @@ class HopScope {
 
 }  // namespace
 
-FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {}
+FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {
+  std::string label = "{node=\"" + obs::ExpositionLabelValue(name_) + "\"}";
+  staged_bytes_gauge_ = obs::MetricsRegistry::Global().GetGauge(
+      "gdms_fed_staged_bytes" + label);
+  staged_results_gauge_ = obs::MetricsRegistry::Global().GetGauge(
+      "gdms_fed_staged_results" + label);
+  PublishStagingGauges();
+}
+
+void FederatedNode::PublishStagingGauges() const {
+  staged_bytes_gauge_->Set(static_cast<int64_t>(staged_bytes()));
+  staged_results_gauge_->Set(static_cast<int64_t>(staged_.size()));
+}
 
 std::string FederatedNode::HandleInfo() const {
   std::string out = "NODE " + name_ + "\n";
@@ -125,6 +135,7 @@ Result<std::string> FederatedNode::HandleExecute(const std::string& gmql) {
   std::string query_id =
       name_ + "-q" + std::to_string(next_query_++);
   staged_.emplace(query_id, std::move(payload));
+  PublishStagingGauges();
   return query_id;
 }
 
@@ -155,10 +166,32 @@ Result<std::string> FederatedNode::HandleDatasetDownload(
 
 void FederatedNode::ReleaseStaged(const std::string& query_id) {
   staged_.erase(query_id);
+  PublishStagingGauges();
 }
 
 void Coordinator::AddNode(FederatedNode* node) {
   nodes_[node->name()] = node;
+  static obs::Gauge* fed_nodes =
+      obs::MetricsRegistry::Global().GetGauge("gdms_fed_nodes");
+  fed_nodes->Set(static_cast<int64_t>(nodes_.size()));
+}
+
+void Coordinator::Account(uint64_t requests, uint64_t sent,
+                          uint64_t received) {
+  static obs::Counter* req_total =
+      obs::MetricsRegistry::Global().GetCounter("gdms_fed_requests_total");
+  static obs::Counter* shipped_total = obs::MetricsRegistry::Global()
+                                           .GetCounter(
+                                               "gdms_fed_bytes_shipped_total");
+  static obs::Counter* received_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_fed_bytes_received_total");
+  counters_.requests += requests;
+  counters_.bytes_sent += sent;
+  counters_.bytes_received += received;
+  if (requests > 0) req_total->Add(requests);
+  if (sent > 0) shipped_total->Add(sent);
+  if (received > 0) received_total->Add(received);
 }
 
 FederatedNode* Coordinator::FindNode(const std::string& name) {
@@ -197,29 +230,26 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
   HopScope hop("site:" + node_name, &counters_);
 
   // COMPILE round-trip: the query text travels once, the estimate returns.
-  ++counters_.requests;
-  counters_.bytes_sent += gmql.size() + 16;
+  Account(1, gmql.size() + 16, 0);
   CompileInfo compile = node->HandleCompile(gmql);
-  counters_.bytes_received += 64;  // fixed-size estimate record
+  Account(0, 0, 64);  // fixed-size estimate record
   if (!compile.ok) {
     return Status::InvalidArgument("remote compile failed: " + compile.error);
   }
 
   // EXECUTE.
-  ++counters_.requests;
-  counters_.bytes_sent += gmql.size() + 16;
+  Account(1, gmql.size() + 16, 0);
   GDMS_ASSIGN_OR_RETURN(std::string query_id, node->HandleExecute(gmql));
-  counters_.bytes_received += query_id.size();
+  Account(0, 0, query_id.size());
 
   // Staged FETCH loop (deferred retrieval, controlled communication load).
   std::string payload;
   size_t index = 0;
   while (true) {
-    ++counters_.requests;
-    counters_.bytes_sent += query_id.size() + 24;
+    Account(1, query_id.size() + 24, 0);
     GDMS_ASSIGN_OR_RETURN(FetchResult chunk,
                           node->HandleFetch(query_id, index));
-    counters_.bytes_received += chunk.payload.size();
+    Account(0, 0, chunk.payload.size());
     payload += chunk.payload;
     if (!chunk.has_more) break;
     ++index;
@@ -237,10 +267,9 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunEverywhere(
   for (auto& [node_name, node] : nodes_) {
     // Probe with COMPILE first: nodes lacking the datasets are skipped
     // without execution cost.
-    ++counters_.requests;
-    counters_.bytes_sent += gmql.size() + 16;
+    Account(1, gmql.size() + 16, 0);
     CompileInfo compile = node->HandleCompile(gmql);
-    counters_.bytes_received += 64;
+    Account(0, 0, 64);
     if (!compile.ok) {
       last_error = node_name + ": " + compile.error;
       continue;
@@ -267,11 +296,10 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
   HopScope hop("ship:" + node_name, &counters_);
   core::QueryRunner runner;
   for (const auto& name : datasets) {
-    ++counters_.requests;
-    counters_.bytes_sent += name.size() + 16;
+    Account(1, name.size() + 16, 0);
     GDMS_ASSIGN_OR_RETURN(std::string payload,
                           node->HandleDatasetDownload(name));
-    counters_.bytes_received += payload.size();
+    Account(0, 0, payload.size());
     GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds, io::ReadGdmString(payload));
     runner.RegisterDataset(std::move(ds));
   }

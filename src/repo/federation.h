@@ -11,6 +11,11 @@
 #include "repo/catalog.h"
 #include "repo/estimator.h"
 
+namespace gdms::obs {
+class Counter;
+class Gauge;
+}  // namespace gdms::obs
+
 namespace gdms::repo {
 
 /// \brief The federated query protocol of Section 4.4, in-process.
@@ -27,6 +32,12 @@ namespace gdms::repo {
 ///   EXECUTE <gmql>  — run and stage results under a query id
 ///   FETCH <id> <i>  — retrieve staged chunk i (deferred result retrieval)
 ///   DATASET <name>  — full dataset download (the anti-pattern E8 measures)
+///
+/// Per-coordinator totals; ResetCounters() re-bases them per experiment.
+/// Every increment is mirrored into the process-wide metrics registry
+/// (gdms_fed_requests_total, gdms_fed_bytes_shipped_total,
+/// gdms_fed_bytes_received_total), which is never reset by experiments —
+/// that is what the exposition and the sampler watch.
 struct ProtocolCounters {
   uint64_t requests = 0;
   uint64_t bytes_sent = 0;      ///< coordinator -> node
@@ -90,12 +101,20 @@ class FederatedNode {
   void ReleaseStaged(const std::string& query_id);
 
  private:
+  /// Pushes the current staging occupancy into this node's labeled
+  /// registry gauges (gdms_fed_staged_bytes{node="..."} /
+  /// gdms_fed_staged_results{node="..."}).
+  void PublishStagingGauges() const;
+
   std::string name_;
   Catalog catalog_;
   size_t chunk_bytes_ = 1 << 20;
   uint64_t max_staged_bytes_ = 0;
   std::map<std::string, std::string> staged_;  // query id -> serialized result
   uint64_t next_query_ = 1;
+  /// Live per-node staging gauges; registry-owned, fetched once.
+  obs::Gauge* staged_bytes_gauge_ = nullptr;
+  obs::Gauge* staged_results_gauge_ = nullptr;
 };
 
 /// \brief The requesting side: ships queries (or fetches data) and accounts
@@ -132,6 +151,11 @@ class Coordinator {
   void ResetCounters() { counters_ = ProtocolCounters{}; }
 
  private:
+  /// Single accounting chokepoint: bumps the per-coordinator struct and
+  /// mirrors the same deltas into the process-wide registry counters so
+  /// federation traffic is live in the exposition.
+  void Account(uint64_t requests, uint64_t sent, uint64_t received);
+
   std::map<std::string, FederatedNode*> nodes_;
   ProtocolCounters counters_;
 };

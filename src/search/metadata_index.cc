@@ -58,17 +58,17 @@ void MetadataIndex::AddDataset(const gdm::Dataset& dataset) {
     doc_norm_.push_back(
         std::sqrt(static_cast<double>(std::max<size_t>(1, terms))));
   }
-  static obs::Counter* indexed =
-      obs::MetricsRegistry::Global().GetCounter("search.docs_indexed");
+  static obs::Counter* indexed = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_search_docs_indexed_total");
   indexed->Add(dataset.num_samples());
 }
 
 std::vector<SearchHit> MetadataIndex::Search(const std::string& query,
                                              size_t limit) const {
   static obs::Counter* queries =
-      obs::MetricsRegistry::Global().GetCounter("search.queries");
-  static obs::Histogram* latency =
-      obs::MetricsRegistry::Global().GetHistogram("search.query_us");
+      obs::MetricsRegistry::Global().GetCounter("gdms_search_queries_total");
+  static obs::Histogram* latency = obs::MetricsRegistry::Global().GetHistogram(
+      "gdms_search_query_latency_us");
   queries->Add();
   obs::Tracer& tracer = obs::Tracer::Global();
   int64_t start_ns = tracer.NowNs();

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Validates GDMS telemetry artifacts produced by `gdms_shell --serve`.
+
+Checks two things CI cares about:
+
+  1. The Prometheus-style exposition file (--expo): every sample parses,
+     every metric declares a TYPE, counters follow the `_total` naming rule,
+     unit-suffixed names carry a matching `# UNIT` comment, and — when an
+     earlier scrape is supplied via --expo-early — counters and summary
+     `_count`/`_sum` series are monotonically non-decreasing between the
+     two scrapes.
+  2. The JSONL query log (--query-log): every line is valid JSON with the
+     full figure schema, `seq` increases strictly from 1, timestamps are
+     non-decreasing, and (with --expect-slow / --expect-fed) at least one
+     entry carries the embedded EXPLAIN ANALYZE escalation and at least one
+     shows federation traffic.
+
+Exit code 0 when every check passes, 1 otherwise (each failure printed).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+UNIT_SUFFIXES = {
+    "_ns": "ns",
+    "_us": "us",
+    "_ms": "ms",
+    "_seconds": "s",
+    "_bytes": "bytes",
+}
+
+REQUIRED_LOG_KEYS = [
+    "ts_ms", "seq", "query", "ok", "wall_ms", "operators", "cache_hits",
+    "intermediate_datasets", "fused_chains", "tasks", "partitions",
+    "shuffle_bytes", "stage_barriers", "fed", "slow",
+]
+
+SAMPLE_RE = re.compile(r"^(\S+(?:\{[^}]*\})?)\s+(-?[0-9.eE+-]+|[+-]?(?:inf|nan))$")
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def base_name(sample_name):
+    return sample_name.split("{", 1)[0]
+
+
+def expected_unit(base):
+    if base.endswith("_total"):
+        base = base[: -len("_total")]
+    for suffix, unit in UNIT_SUFFIXES.items():
+        if base.endswith(suffix):
+            return unit
+    if "_bytes_" in base:
+        return "bytes"
+    return None
+
+
+def parse_exposition(path):
+    """Returns (samples: name->float, types: base->type, units: base->unit)."""
+    samples, types, units = {}, {}, {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4:
+                    fail(f"{path}:{lineno}: malformed TYPE comment: {line}")
+                    continue
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("# UNIT "):
+                parts = line.split()
+                if len(parts) != 4:
+                    fail(f"{path}:{lineno}: malformed UNIT comment: {line}")
+                    continue
+                units[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+                continue
+            try:
+                samples[m.group(1)] = float(m.group(2))
+            except ValueError:
+                fail(f"{path}:{lineno}: bad value in: {line!r}")
+    return samples, types, units
+
+
+def summary_series_base(name):
+    """gdms_x_us_sum / _count / {quantile=...} -> gdms_x_us, else None."""
+    base = base_name(name)
+    if "{quantile=" in name:
+        return base
+    for suffix in ("_sum", "_count"):
+        if base.endswith(suffix):
+            return base[: -len(suffix)]
+    return None
+
+
+def check_exposition(path, early_path, expect_fed):
+    samples, types, units = parse_exposition(path)
+    if not samples:
+        fail(f"{path}: no samples scraped")
+        return
+    for name, value in samples.items():
+        base = base_name(name)
+        # Summary sub-series (_sum/_count/quantile lines) inherit the TYPE
+        # of their parent summary.
+        owner = summary_series_base(name)
+        declared = types.get(base) or (owner and types.get(owner))
+        if not declared:
+            fail(f"{path}: sample {name} has no # TYPE comment")
+            continue
+        if declared == "counter":
+            if not base.endswith("_total"):
+                fail(f"{path}: counter {base} does not end in _total")
+            if value < 0:
+                fail(f"{path}: counter {name} is negative ({value})")
+    for base, declared in types.items():
+        unit = expected_unit(base)
+        if unit is not None and units.get(base) != unit:
+            fail(
+                f"{path}: {base} should declare '# UNIT {base} {unit}', "
+                f"got {units.get(base)!r}"
+            )
+    if expect_fed:
+        for required in (
+            'gdms_fed_staged_bytes{node="site_a"}',
+            'gdms_fed_staged_bytes{node="site_b"}',
+            "gdms_fed_nodes",
+            "gdms_fed_requests_total",
+            "gdms_fed_bytes_shipped_total",
+        ):
+            if required not in samples:
+                fail(f"{path}: expected federation sample {required} missing")
+        if samples.get("gdms_fed_requests_total", 0) <= 0:
+            fail(f"{path}: gdms_fed_requests_total shows no traffic")
+    if early_path:
+        early_samples, _, _ = parse_exposition(early_path)
+        for name, early_value in early_samples.items():
+            base = base_name(name)
+            monotone = (
+                types.get(base) == "counter"
+                or base.endswith("_count")
+                or base.endswith("_sum")
+            )
+            if not monotone:
+                continue
+            late_value = samples.get(name)
+            if late_value is None:
+                fail(f"{path}: {name} present earlier but missing later")
+            elif late_value < early_value:
+                fail(
+                    f"{path}: {name} went backwards "
+                    f"({early_value} -> {late_value})"
+                )
+
+
+def check_query_log(path, expect_slow, expect_fed):
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: invalid JSON: {e}")
+                continue
+            for key in REQUIRED_LOG_KEYS:
+                if key not in entry:
+                    fail(f"{path}:{lineno}: missing key {key!r}")
+            entries.append(entry)
+    if not entries:
+        fail(f"{path}: empty query log")
+        return
+    prev_ts = None
+    for i, entry in enumerate(entries):
+        if entry.get("seq") != i + 1:
+            fail(f"{path}: entry {i}: seq {entry.get('seq')} != {i + 1}")
+        ts = entry.get("ts_ms", 0)
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"{path}: ts_ms went backwards ({prev_ts} -> {ts})")
+        prev_ts = ts
+        if entry.get("wall_ms", 0) < 0:
+            fail(f"{path}: entry seq={entry.get('seq')}: negative wall_ms")
+        fed = entry.get("fed", {})
+        if not isinstance(fed, dict) or not {
+            "requests", "bytes_shipped", "bytes_received"
+        } <= set(fed):
+            fail(f"{path}: entry seq={entry.get('seq')}: malformed fed block")
+        if not entry.get("ok", True) and not entry.get("error"):
+            fail(f"{path}: entry seq={entry.get('seq')}: failed but no error")
+    if expect_slow:
+        slow = [e for e in entries if e.get("slow")]
+        if not slow:
+            fail(f"{path}: no slow entries (expected escalation)")
+        elif not any("explain" in e for e in slow):
+            fail(f"{path}: no slow entry embeds an EXPLAIN ANALYZE capture")
+        else:
+            explained = next(e for e in slow if "explain" in e)
+            if "query" not in explained["explain"]:
+                fail(f"{path}: embedded explain lacks the query span root")
+    if expect_fed:
+        if not any(e.get("fed", {}).get("requests", 0) > 0 for e in entries):
+            fail(f"{path}: no entry shows federation requests")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--expo", help="exposition file (final scrape)")
+    parser.add_argument(
+        "--expo-early",
+        help="earlier scrape of the same process, for monotonicity checks",
+    )
+    parser.add_argument("--query-log", help="JSONL query log")
+    parser.add_argument(
+        "--expect-slow",
+        action="store_true",
+        help="require at least one slow entry with embedded EXPLAIN ANALYZE",
+    )
+    parser.add_argument(
+        "--expect-fed",
+        action="store_true",
+        help="require federation gauges/counters and per-query fed traffic",
+    )
+    args = parser.parse_args()
+    if not args.expo and not args.query_log:
+        parser.error("nothing to check: pass --expo and/or --query-log")
+    if args.expo:
+        check_exposition(args.expo, args.expo_early, args.expect_fed)
+    if args.query_log:
+        check_query_log(args.query_log, args.expect_slow, args.expect_fed)
+    if errors:
+        for message in errors:
+            print(f"FAIL: {message}", file=sys.stderr)
+        print(f"check_telemetry: {len(errors)} failure(s)", file=sys.stderr)
+        return 1
+    print("check_telemetry: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-// gdms_shell — batch GMQL runner over files.
+// gdms_shell — batch GMQL runner over files, and a long-running serve loop.
 //
 // Loads datasets from BED / narrowPeak / GTF / VCF / native-GDM files, runs
 // a GMQL program (from a file, the command line, or stdin), prints result
@@ -10,10 +10,22 @@
 //              [--out DIR] [--parallel [THREADS]] [--no-optimize]
 //              [--no-fusion] [--show CHR:LEFT-RIGHT] [--demo]
 //              [--trace FILE.json] [--metrics]
+//              [--serve] [--sample-ms N] [--query-log FILE]
+//              [--slow-ms X] [--expo FILE]
 //
 // Prefixing the GMQL text with EXPLAIN ANALYZE turns on tracing for the run
 // and prints the per-operator profile tree (wall time, self time, task
 // counts, partition skew) after the result summaries.
+//
+// --serve turns the shell into a long-running service loop reading commands
+// from stdin: GMQL lines are executed as queries; `.`-prefixed commands
+// control telemetry (`.help` lists them). While serving, a background
+// sampler snapshots the metrics registry every --sample-ms (default 100,
+// 0 disables) and, when --expo is given, rewrites the Prometheus-style
+// exposition file atomically on every tick so a scraper or `gdms_top
+// --attach` can poll it. --query-log appends one JSON line per query
+// (schema in README "Operating GDMS"); queries at or above --slow-ms
+// escalate their entry to a full embedded EXPLAIN ANALYZE capture.
 //
 // Examples:
 //   gdms_shell --load PEAKS=peaks.narrowPeak --load GENES=genes.gtf \
@@ -21,7 +33,10 @@
 //              --out results/
 //   gdms_shell --demo --exec "C = COVER(2, ANY) ENCODE; MATERIALIZE C;" \
 //              --show chr1:0-2000000
+//   gdms_shell --demo --parallel 4 --serve --sample-ms 100 \
+//              --expo expo.prom --query-log queries.jsonl --slow-ms 50
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +44,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -39,10 +55,14 @@
 #include "io/gtf.h"
 #include "io/track_render.h"
 #include "io/vcf.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "repo/catalog.h"
+#include "repo/federation.h"
 #include "sim/generators.h"
 
 namespace {
@@ -131,6 +151,260 @@ bool StripExplainAnalyze(std::string* gmql) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Serve mode
+// ---------------------------------------------------------------------------
+
+struct ServeConfig {
+  int64_t sample_ms = 100;  ///< sampler period; 0 disables the sampler
+  double slow_ms = 250.0;   ///< query-log slow threshold
+  std::string query_log_path;
+  std::string expo_path;
+};
+
+/// The long-running loop behind `gdms_shell --serve`: reads commands from
+/// stdin, executes GMQL queries against the shared runner, and keeps the
+/// telemetry pipeline (sampler, exposition file, query log) live throughout.
+class ServeSession {
+ public:
+  ServeSession(core::QueryRunner* runner, ServeConfig config)
+      : runner_(runner), config_(std::move(config)) {
+    if (!config_.query_log_path.empty()) {
+      obs::QueryLogOptions opt;
+      opt.path = config_.query_log_path;
+      opt.slow_ms = config_.slow_ms;
+      log_ = std::make_unique<obs::QueryLog>(opt);
+    }
+  }
+
+  int Loop() {
+    // Tracing stays on for the whole session: the query log needs profile
+    // trees for self-times and slow-query EXPLAIN capture. The span buffer
+    // is cleared after every query so a long-running serve never fills
+    // Tracer::kMaxSpans and silently stops capturing.
+    obs::Tracer::Global().set_enabled(true);
+    obs::Sampler sampler;
+    if (config_.sample_ms > 0) {
+      obs::SamplerOptions opt;
+      opt.period_ms = config_.sample_ms;
+      if (!config_.expo_path.empty()) {
+        std::string path = config_.expo_path;
+        opt.on_tick = [path](uint64_t) {
+          obs::WriteExpositionFile(obs::MetricsRegistry::Global(), path);
+        };
+      }
+      sampler.Start(opt);
+    }
+    std::printf(
+        "gdms_shell serving: sampler=%s expo=%s query-log=%s slow-ms=%.0f\n"
+        "type GMQL to run it, .help for commands, .quit or EOF to stop\n",
+        config_.sample_ms > 0
+            ? (std::to_string(config_.sample_ms) + "ms").c_str()
+            : "off",
+        config_.expo_path.empty() ? "-" : config_.expo_path.c_str(),
+        config_.query_log_path.empty() ? "-" : config_.query_log_path.c_str(),
+        config_.slow_ms);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string text(Trim(line));
+      if (text.empty() || text[0] == '#') continue;
+      if (text[0] == '.') {
+        if (!Dispatch(text)) break;
+      } else {
+        ExecQuery(text);
+      }
+    }
+    sampler.Stop();
+    if (config_.sample_ms > 0) sampler.SampleOnce();
+    if (!config_.expo_path.empty()) {
+      obs::WriteExpositionFile(obs::MetricsRegistry::Global(),
+                               config_.expo_path);
+    }
+    std::printf("served %llu queries (%llu failed, %llu slow)\n",
+                static_cast<unsigned long long>(queries_),
+                static_cast<unsigned long long>(failed_),
+                static_cast<unsigned long long>(slow_));
+    return 0;
+  }
+
+ private:
+  /// Handles a `.command` line; false means quit.
+  bool Dispatch(const std::string& text) {
+    auto space = text.find_first_of(" \t");
+    std::string cmd = text.substr(0, space);
+    std::string rest(
+        space == std::string::npos ? "" : Trim(text.substr(space + 1)));
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      std::puts(
+          "  <gmql>              run a query (EXPLAIN ANALYZE prefix works)\n"
+          "  .metrics [FILE]     dump exposition to stdout or FILE\n"
+          "  .fed <gmql>         run the query on an in-process 2-site "
+          "federation\n"
+          "  .repeat N <gmql>    run the query N times\n"
+          "  .sleep MS           pause (lets the sampler tick)\n"
+          "  .datasets           list registered datasets\n"
+          "  .quit               stop serving");
+      return true;
+    }
+    if (cmd == ".datasets") {
+      for (const auto& name : runner_->DatasetNames()) {
+        const gdm::Dataset* ds = runner_->FindDataset(name);
+        std::printf("  %s: %zu samples, %llu regions\n", name.c_str(),
+                    ds->num_samples(),
+                    static_cast<unsigned long long>(ds->TotalRegions()));
+      }
+      return true;
+    }
+    if (cmd == ".metrics") {
+      std::string expo =
+          obs::RenderExposition(obs::MetricsRegistry::Global());
+      if (rest.empty()) {
+        std::fputs(expo.c_str(), stdout);
+      } else if (obs::WriteExpositionFile(obs::MetricsRegistry::Global(),
+                                          rest)) {
+        std::printf("wrote exposition to %s\n", rest.c_str());
+      } else {
+        std::printf("error: cannot write %s\n", rest.c_str());
+      }
+      return true;
+    }
+    if (cmd == ".sleep") {
+      auto ms = ParseInt64(rest);
+      if (!ms.ok() || ms.value() < 0) {
+        std::puts("error: .sleep needs a millisecond count");
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms.value()));
+      return true;
+    }
+    if (cmd == ".repeat") {
+      auto space2 = rest.find_first_of(" \t");
+      auto count = ParseInt64(rest.substr(0, space2));
+      std::string gmql(
+          space2 == std::string::npos ? "" : Trim(rest.substr(space2 + 1)));
+      if (!count.ok() || count.value() <= 0 || gmql.empty()) {
+        std::puts("error: usage is .repeat N <gmql>");
+        return true;
+      }
+      for (int64_t i = 0; i < count.value(); ++i) ExecQuery(gmql);
+      return true;
+    }
+    if (cmd == ".fed") {
+      if (rest.empty()) {
+        std::puts("error: usage is .fed <gmql>");
+      } else {
+        ExecFederated(rest);
+      }
+      return true;
+    }
+    std::printf("error: unknown command %s (try .help)\n", cmd.c_str());
+    return true;
+  }
+
+  void ExecQuery(const std::string& gmql_in) {
+    std::string gmql = gmql_in;
+    bool explain = StripExplainAnalyze(&gmql);
+    auto start = std::chrono::steady_clock::now();
+    auto results = runner_->Run(gmql);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    ++queries_;
+    obs::QueryLogEntry entry;
+    if (results.ok()) {
+      entry = core::MakeQueryLogEntry(gmql, runner_->last_stats());
+      uint64_t regions = 0;
+      for (const auto& [name, ds] : results.value()) {
+        regions += ds.TotalRegions();
+      }
+      std::printf("[%llu] ok: %zu outputs, %llu regions, %.1f ms\n",
+                  static_cast<unsigned long long>(queries_),
+                  results.value().size(),
+                  static_cast<unsigned long long>(regions), entry.wall_ms);
+      if (explain && entry.profile != nullptr) {
+        std::printf("%s", entry.profile->RenderTree().c_str());
+      }
+    } else {
+      ++failed_;
+      entry = core::MakeQueryLogEntry(gmql, core::RunStats{},
+                                      results.status().ToString());
+      entry.wall_ms = wall_ms;
+      std::printf("[%llu] error: %s\n",
+                  static_cast<unsigned long long>(queries_),
+                  results.status().ToString().c_str());
+    }
+    if (entry.wall_ms >= config_.slow_ms) ++slow_;
+    if (log_ != nullptr) log_->Record(entry);
+    obs::Tracer::Global().Clear();
+  }
+
+  /// Runs the query over a lazily built in-process federation (two sites,
+  /// both holding every registered dataset) so federation counters, hops
+  /// and per-site staging gauges show real traffic in the exposition.
+  void ExecFederated(const std::string& gmql) {
+    EnsureFederation();
+    repo::ProtocolCounters before = coordinator_->counters();
+    auto start = std::chrono::steady_clock::now();
+    auto results = coordinator_->RunEverywhere(gmql);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    ++queries_;
+    obs::QueryLogEntry entry;
+    entry.query = ".fed " + gmql;
+    entry.wall_ms = wall_ms;
+    const repo::ProtocolCounters& after = coordinator_->counters();
+    entry.fed_requests = after.requests - before.requests;
+    entry.fed_bytes_shipped = after.bytes_sent - before.bytes_sent;
+    entry.fed_bytes_received = after.bytes_received - before.bytes_received;
+    if (results.ok()) {
+      std::printf(
+          "[%llu] ok (federated): %zu outputs, %llu requests, "
+          "%s shipped, %s received, %.1f ms\n",
+          static_cast<unsigned long long>(queries_), results.value().size(),
+          static_cast<unsigned long long>(entry.fed_requests),
+          HumanBytes(entry.fed_bytes_shipped).c_str(),
+          HumanBytes(entry.fed_bytes_received).c_str(), wall_ms);
+    } else {
+      ++failed_;
+      entry.ok = false;
+      entry.error = results.status().ToString();
+      std::printf("[%llu] error (federated): %s\n",
+                  static_cast<unsigned long long>(queries_),
+                  entry.error.c_str());
+    }
+    if (entry.wall_ms >= config_.slow_ms) ++slow_;
+    if (log_ != nullptr) log_->Record(entry);
+    obs::Tracer::Global().Clear();
+  }
+
+  void EnsureFederation() {
+    if (coordinator_ != nullptr) return;
+    site_a_ = std::make_unique<repo::FederatedNode>("site_a");
+    site_b_ = std::make_unique<repo::FederatedNode>("site_b");
+    for (const auto& name : runner_->DatasetNames()) {
+      site_a_->catalog()->Put(*runner_->FindDataset(name));
+      site_b_->catalog()->Put(*runner_->FindDataset(name));
+    }
+    coordinator_ = std::make_unique<repo::Coordinator>();
+    coordinator_->AddNode(site_a_.get());
+    coordinator_->AddNode(site_b_.get());
+    std::printf("federation up: 2 sites, %zu datasets each\n",
+                runner_->DatasetNames().size());
+  }
+
+  core::QueryRunner* runner_;
+  ServeConfig config_;
+  std::unique_ptr<obs::QueryLog> log_;
+  std::unique_ptr<repo::FederatedNode> site_a_;
+  std::unique_ptr<repo::FederatedNode> site_b_;
+  std::unique_ptr<repo::Coordinator> coordinator_;
+  uint64_t queries_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t slow_ = 0;
+};
+
 /// Parses "chr1:0-2000000".
 Result<io::TrackWindow> ParseWindow(const std::string& spec) {
   auto colon = spec.find(':');
@@ -164,6 +438,8 @@ int main(int argc, char** argv) {
   bool optimize = true;
   bool fusion = true;
   bool demo = false;
+  bool serve = false;
+  ServeConfig serve_config;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -219,6 +495,24 @@ int main(int argc, char** argv) {
       trace_path = v;
     } else if (arg == "--metrics") {
       print_metrics = true;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--sample-ms") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--sample-ms needs a period");
+      serve_config.sample_ms = std::atoll(v);
+    } else if (arg == "--query-log") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--query-log needs a file");
+      serve_config.query_log_path = v;
+    } else if (arg == "--slow-ms") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--slow-ms needs a threshold");
+      serve_config.slow_ms = std::atof(v);
+    } else if (arg == "--expo") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--expo needs a file");
+      serve_config.expo_path = v;
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
           "usage: gdms_shell [--repo DIR] [--load NAME=FILE]...\n"
@@ -226,7 +520,10 @@ int main(int argc, char** argv) {
           "                  [--out DIR] [--parallel [N]] [--no-optimize]\n"
           "                  [--no-fusion] [--show CHR:LEFT-RIGHT] [--demo]\n"
           "                  [--trace FILE.json] [--metrics]\n"
-          "       prefix GMQL text with EXPLAIN ANALYZE for a profile tree");
+          "                  [--serve] [--sample-ms N] [--expo FILE]\n"
+          "                  [--query-log FILE] [--slow-ms X]\n"
+          "       prefix GMQL text with EXPLAIN ANALYZE for a profile tree\n"
+          "       --serve reads commands from stdin; see .help");
       return 0;
     } else {
       return Fail("unknown argument " + arg + " (try --help)");
@@ -269,6 +566,11 @@ int main(int argc, char** argv) {
   }
   if (runner->DatasetNames().empty()) {
     return Fail("no datasets loaded (use --load or --demo)");
+  }
+
+  if (serve) {
+    ServeSession session(runner.get(), serve_config);
+    return session.Loop();
   }
 
   std::string gmql = exec_text;

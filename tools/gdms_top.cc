@@ -1,0 +1,424 @@
+// gdms_top — live terminal dashboard over the GDMS telemetry exposition.
+//
+// Two modes:
+//
+//   gdms_top --attach FILE [--period-ms N] [--ticks N] [--no-ansi]
+//     Polls a Prometheus-style exposition file (as written by
+//     `gdms_shell --serve --expo FILE`), derives rates from successive
+//     scrapes and renders per-layer counters, gauges and latency summaries
+//     with sparklines.
+//
+//   gdms_top --demo [--period-ms N] [--ticks N] [--no-ansi]
+//     Drives an in-process workload (parallel engine + a two-site
+//     federation over simulated ENCODE-like data) and renders the live
+//     metrics registry directly — a self-contained demonstration needing
+//     no second process.
+//
+// --ticks 0 (the default) runs until interrupted; a nonzero count renders
+// that many frames and exits, which is what CI and transcript capture use
+// together with --no-ansi (frames separated by a rule instead of clearing
+// the screen).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+#include "gdm/region.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "repo/federation.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace gdms;  // NOLINT: tool brevity
+
+struct Options {
+  bool demo = false;
+  std::string attach_path;
+  int64_t period_ms = 500;
+  uint64_t ticks = 0;  ///< 0 = run until interrupted
+  bool ansi = true;
+};
+
+// ---------------------------------------------------------------------------
+// Scrape history: successive exposition snapshots -> per-series rates
+// ---------------------------------------------------------------------------
+
+/// Rolling per-sample history across scrapes; rates are derived between
+/// consecutive snapshots of the same sample name (labels included).
+class History {
+ public:
+  static constexpr size_t kKeep = 64;
+
+  void Ingest(const obs::ScrapedExposition& scrape, int64_t t_ns) {
+    for (const auto& [name, value] : scrape.samples) {
+      auto& points = series_[name];
+      points.push_back({t_ns, value});
+      if (points.size() > kKeep) points.pop_front();
+    }
+  }
+
+  double Last(const std::string& name) const {
+    auto it = series_.find(name);
+    return it == series_.end() || it->second.empty() ? 0.0
+                                                     : it->second.back().value;
+  }
+
+  /// Per-second deltas between consecutive points; counter resets clamp
+  /// to zero instead of going negative.
+  std::vector<double> Rates(const std::string& name) const {
+    std::vector<double> out;
+    auto it = series_.find(name);
+    if (it == series_.end()) return out;
+    const auto& points = it->second;
+    for (size_t i = 1; i < points.size(); ++i) {
+      double dt = static_cast<double>(points[i].t_ns - points[i - 1].t_ns) /
+                  1e9;
+      double dv = points[i].value - points[i - 1].value;
+      out.push_back(dt > 0 && dv > 0 ? dv / dt : 0.0);
+    }
+    return out;
+  }
+
+  std::vector<double> Values(const std::string& name) const {
+    std::vector<double> out;
+    auto it = series_.find(name);
+    if (it == series_.end()) return out;
+    for (const auto& point : it->second) out.push_back(point.value);
+    return out;
+  }
+
+ private:
+  struct Point {
+    int64_t t_ns;
+    double value;
+  };
+  std::map<std::string, std::deque<Point>> series_;
+};
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Scales the last `width` values against their max onto ▁..█ (all-zero
+/// series render as a flat baseline).
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  size_t begin = values.size() > width ? values.size() - width : 0;
+  double max = 0;
+  for (size_t i = begin; i < values.size(); ++i) {
+    max = std::max(max, values[i]);
+  }
+  std::string out;
+  for (size_t i = begin; i < values.size(); ++i) {
+    int level =
+        max > 0 ? static_cast<int>(values[i] / max * 7.0 + 0.5) : 0;
+    out += kBars[std::min(7, std::max(0, level))];
+  }
+  return out;
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::fabs(v) >= 1e15 || (v != 0 && std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else if (v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+std::string BaseName(const std::string& sample_name) {
+  auto brace = sample_name.find('{');
+  return brace == std::string::npos ? sample_name
+                                    : sample_name.substr(0, brace);
+}
+
+/// Layer key for grouping: "engine" from gdms_engine_tasks_total.
+std::string LayerOf(const std::string& base) {
+  if (base.rfind("gdms_", 0) != 0) return "other";
+  auto next = base.find('_', 5);
+  return next == std::string::npos ? "other" : base.substr(5, next - 5);
+}
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+  *out += '\n';
+}
+
+std::string RenderFrame(const History& history,
+                        const obs::ScrapedExposition& scrape, uint64_t tick,
+                        double uptime_s) {
+  std::string out;
+  // Header: query throughput and latency at a glance.
+  {
+    double queries = history.Last("gdms_runner_queries_total");
+    auto qps = history.Rates("gdms_runner_queries_total");
+    double p50 =
+        history.Last("gdms_runner_query_latency_us{quantile=\"0.5\"}");
+    double p95 =
+        history.Last("gdms_runner_query_latency_us{quantile=\"0.95\"}");
+    double p99 =
+        history.Last("gdms_runner_query_latency_us{quantile=\"0.99\"}");
+    AppendLine(&out,
+               "gdms_top  tick %" PRIu64
+               "  up %.0fs | queries %s (%.1f/s) %s | latency us "
+               "p50 %s p95 %s p99 %s",
+               tick, uptime_s, FormatValue(queries).c_str(),
+               qps.empty() ? 0.0 : qps.back(), Sparkline(qps, 16).c_str(),
+               FormatValue(p50).c_str(), FormatValue(p95).c_str(),
+               FormatValue(p99).c_str());
+  }
+  // Group every scraped sample under its layer.
+  std::map<std::string, std::vector<std::string>> layer_lines;
+  for (const auto& [base, type] : scrape.types) {
+    std::string layer = LayerOf(base);
+    std::string line;
+    if (type == "counter") {
+      auto rates = history.Rates(base);
+      char buf[512];
+      std::snprintf(buf, sizeof(buf), "  %-38s %12s  %8.1f/s  %s",
+                    base.c_str(), FormatValue(history.Last(base)).c_str(),
+                    rates.empty() ? 0.0 : rates.back(),
+                    Sparkline(rates, 20).c_str());
+      layer_lines[layer].push_back(buf);
+    } else if (type == "gauge") {
+      // Gauges may be labeled (one sample per site); render each variant.
+      for (const auto& [name, value] : scrape.samples) {
+        if (BaseName(name) != base) continue;
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "  %-38s %12s  %10s  %s",
+                      name.c_str(), FormatValue(value).c_str(), "",
+                      Sparkline(history.Values(name), 20).c_str());
+        layer_lines[layer].push_back(buf);
+      }
+    } else if (type == "summary") {
+      double p50 = history.Last(base + "{quantile=\"0.5\"}");
+      double p95 = history.Last(base + "{quantile=\"0.95\"}");
+      double p99 = history.Last(base + "{quantile=\"0.99\"}");
+      auto rates = history.Rates(base + "_count");
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "  %-38s p50 %-8s p95 %-8s p99 %-8s %s", base.c_str(),
+                    FormatValue(p50).c_str(), FormatValue(p95).c_str(),
+                    FormatValue(p99).c_str(), Sparkline(rates, 12).c_str());
+      layer_lines[layer].push_back(buf);
+    }
+  }
+  // Stable layer order: the engine/runner hot path first, then federation,
+  // then everything else alphabetically.
+  std::vector<std::string> order = {"runner", "engine", "core", "fed",
+                                    "search"};
+  for (const auto& [layer, lines] : layer_lines) {
+    if (std::find(order.begin(), order.end(), layer) == order.end()) {
+      order.push_back(layer);
+    }
+  }
+  for (const auto& layer : order) {
+    auto it = layer_lines.find(layer);
+    if (it == layer_lines.end()) continue;
+    AppendLine(&out, "-- %s %s", layer.c_str(),
+               std::string(74 - std::min<size_t>(70, layer.size()), '-')
+                   .c_str());
+    for (const auto& line : it->second) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Demo workload
+// ---------------------------------------------------------------------------
+
+/// Background query mix for --demo: parallel-engine queries over simulated
+/// peak/annotation data with a federated broadcast every few iterations, so
+/// every dashboard section (engine, runner, fed) shows movement.
+class DemoWorkload {
+ public:
+  void Start() {
+    auto genome = gdm::GenomeAssembly::HumanLike(4, 20000000);
+    sim::PeakDatasetOptions popt;
+    popt.num_samples = 4;
+    popt.peaks_per_sample = 800;
+    gdm::Dataset peaks = sim::GeneratePeakDataset(genome, popt, 1);
+    peaks.set_name("ENCODE");
+    auto catalog = sim::GenerateGenes(genome, 200, 1);
+    gdm::Dataset genes = sim::GenerateAnnotations(genome, catalog, {}, 1);
+    genes.set_name("ANNOTATIONS");
+
+    engine::EngineOptions eopt;
+    eopt.threads = 2;
+    executor_ = std::make_unique<engine::ParallelExecutor>(eopt);
+    runner_ = std::make_unique<core::QueryRunner>(executor_.get());
+    runner_->RegisterDataset(peaks);
+    runner_->RegisterDataset(genes);
+
+    site_a_ = std::make_unique<repo::FederatedNode>("site_a");
+    site_b_ = std::make_unique<repo::FederatedNode>("site_b");
+    site_a_->catalog()->Put(peaks);
+    site_b_->catalog()->Put(peaks);
+    coordinator_ = std::make_unique<repo::Coordinator>();
+    coordinator_->AddNode(site_a_.get());
+    coordinator_->AddNode(site_b_.get());
+
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    const char* kQueries[] = {
+        "S = SELECT(dataType == 'ChipSeq'; region: signal >= 2) ENCODE; "
+        "MATERIALIZE S;",
+        "M = MAP(n AS COUNT) ANNOTATIONS ENCODE; MATERIALIZE M;",
+        "C = COVER(2, ANY) ENCODE; MATERIALIZE C;",
+    };
+    uint64_t i = 0;
+    while (!stop_.load()) {
+      if (i % 5 == 4) {
+        (void)coordinator_->RunEverywhere(
+            "F = SELECT(dataType == 'ChipSeq'; region: signal >= 3) ENCODE; "
+            "MATERIALIZE F;");
+      } else {
+        (void)runner_->Run(kQueries[i % 3]);
+      }
+      ++i;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+
+  std::unique_ptr<engine::ParallelExecutor> executor_;
+  std::unique_ptr<core::QueryRunner> runner_;
+  std::unique_ptr<repo::FederatedNode> site_a_;
+  std::unique_ptr<repo::FederatedNode> site_b_;
+  std::unique_ptr<repo::Coordinator> coordinator_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "gdms_top: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--demo") {
+      opts.demo = true;
+    } else if (arg == "--attach") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--attach needs an exposition file");
+      opts.attach_path = v;
+    } else if (arg == "--period-ms") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--period-ms needs a value");
+      opts.period_ms = std::atoll(v);
+    } else if (arg == "--ticks") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--ticks needs a count");
+      opts.ticks = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--no-ansi") {
+      opts.ansi = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "usage: gdms_top (--attach FILE | --demo)\n"
+          "               [--period-ms N] [--ticks N] [--no-ansi]\n"
+          "  --attach FILE  poll a gdms_shell --serve --expo file\n"
+          "  --demo         drive an in-process workload and watch it\n"
+          "  --ticks N      render N frames then exit (0 = forever)");
+      return 0;
+    } else {
+      return Fail("unknown argument " + arg + " (try --help)");
+    }
+  }
+  if (!opts.demo && opts.attach_path.empty()) {
+    return Fail("pick a mode: --attach FILE or --demo");
+  }
+  if (opts.demo && !opts.attach_path.empty()) {
+    return Fail("--demo and --attach are mutually exclusive");
+  }
+  if (opts.period_ms <= 0) return Fail("--period-ms must be positive");
+
+  DemoWorkload workload;
+  if (opts.demo) workload.Start();
+
+  History history;
+  auto start = std::chrono::steady_clock::now();
+  uint64_t waits_left = 20;  // attach mode: tolerate a late first dump
+  for (uint64_t tick = 1; opts.ticks == 0 || tick <= opts.ticks; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.period_ms));
+    std::string text;
+    if (opts.demo) {
+      text = obs::RenderExposition(obs::MetricsRegistry::Global());
+    } else {
+      std::ifstream in(opts.attach_path);
+      if (!in) {
+        if (--waits_left == 0) {
+          workload.Stop();
+          return Fail("no exposition at " + opts.attach_path);
+        }
+        std::printf("waiting for %s ...\n", opts.attach_path.c_str());
+        --tick;
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    auto now = std::chrono::steady_clock::now();
+    int64_t t_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+            .count();
+    obs::ScrapedExposition scrape = obs::ParseExposition(text);
+    history.Ingest(scrape, t_ns);
+    std::string frame = RenderFrame(
+        history, scrape, tick,
+        std::chrono::duration<double>(now - start).count());
+    if (opts.ansi) {
+      std::fputs("\x1b[H\x1b[2J", stdout);
+    } else if (tick > 1) {
+      std::puts("========");
+    }
+    std::fputs(frame.c_str(), stdout);
+    std::fflush(stdout);
+  }
+  if (opts.demo) workload.Stop();
+  return 0;
+}
