@@ -18,6 +18,8 @@
 #include "bench_util.h"
 #include "core/runner.h"
 #include "engine/parallel_executor.h"
+#include "io/gdm_format.h"
+#include "io/gdmz.h"
 #include "sim/generators.h"
 
 namespace {
@@ -75,14 +77,17 @@ struct RunResult {
   uint64_t partitions = 0;
 };
 
-RunResult RunOnce(size_t threads, engine::SchedulingMode scheduling) {
+RunResult RunOnce(size_t threads, engine::SchedulingMode scheduling,
+                  bool columnar = true) {
   engine::EngineOptions options;
   options.threads = threads;
   options.bin_size = kBinSize;
   options.backend = engine::BackendKind::kPipelined;
   options.scheduling = scheduling;
+  options.columnar = columnar;
   engine::ParallelExecutor executor(options);
   core::QueryRunner runner(&executor);
+  runner.set_columnar(columnar);
   RegisterData(&runner);
   Timer timer;
   auto results = runner.Run(kQuery);
@@ -97,13 +102,38 @@ RunResult RunOnce(size_t threads, engine::SchedulingMode scheduling) {
 /// Best of `reps` runs: min wall time is the standard noise filter on a
 /// shared/oversubscribed host.
 RunResult RunWith(size_t threads, engine::SchedulingMode scheduling,
-                  int reps = 3) {
-  RunResult best = RunOnce(threads, scheduling);
+                  int reps = 3, bool columnar = true) {
+  RunResult best = RunOnce(threads, scheduling, columnar);
   for (int i = 1; i < reps; ++i) {
-    RunResult r = RunOnce(threads, scheduling);
+    RunResult r = RunOnce(threads, scheduling, columnar);
     if (r.seconds < best.seconds) best = r;
   }
   return best;
+}
+
+/// Storage figures on the bench's experiment corpus: text vs .gdmz encoded
+/// sizes (the federation transfer figure) and the decoded in-memory
+/// footprint. Machine-independent, so the regression gate can check ratios
+/// without a host-speed fudge factor.
+void PrintStorageFigures(bench::BenchJson* json) {
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = kSamples;
+  popt.peaks_per_sample = kPeaksPerSample;
+  gdm::Dataset peaks = sim::GeneratePeakDataset(Genome(), popt, 7);
+  size_t text_bytes = io::WriteGdmString(peaks).size();
+  size_t gdmz_bytes = io::WriteGdmzString(peaks).size();
+  uint64_t resident = peaks.EstimateResidentBytes();
+  double ratio =
+      gdmz_bytes > 0 ? static_cast<double>(text_bytes) / gdmz_bytes : 0;
+  std::printf(
+      "storage: text %.1f MiB, .gdmz %.1f MiB (%.2fx smaller), resident "
+      "%.1f MiB\n",
+      text_bytes / 1048576.0, gdmz_bytes / 1048576.0, ratio,
+      resident / 1048576.0);
+  json->top().Add("text_bytes", static_cast<uint64_t>(text_bytes));
+  json->top().Add("gdmz_bytes", static_cast<uint64_t>(gdmz_bytes));
+  json->top().Add("size_ratio", ratio);
+  json->top().Add("bytes_resident", resident);
 }
 
 void PrintTable(bench::BenchJson* json) {
@@ -128,35 +158,50 @@ void PrintTable(bench::BenchJson* json) {
   // penalized.
   (void)RunWith(1, engine::SchedulingMode::kFlat, 1);
 
-  std::printf("%8s %12s %12s %9s %10s %12s\n", "threads", "per-pair(s)",
-              "flat(s)", "speedup", "tasks", "partitions");
+  std::printf("%8s %12s %12s %12s %9s %9s %10s\n", "threads", "per-pair(s)",
+              "flat-row(s)", "flat-col(s)", "sched-x", "col-x", "tasks");
   double flat_base = 0;
   double best_speedup = 0;
   double last_speedup = 0;
+  double last_columnar_speedup = 0;
   for (size_t threads : {1, 2, 4, 8}) {
     RunResult seed = RunWith(threads, engine::SchedulingMode::kPerPair);
+    RunResult flat_row = RunWith(threads, engine::SchedulingMode::kFlat, 3,
+                                 /*columnar=*/false);
     RunResult flat = RunWith(threads, engine::SchedulingMode::kFlat);
     double speedup = flat.seconds > 0 ? seed.seconds / flat.seconds : 0;
+    double columnar_speedup =
+        flat.seconds > 0 ? flat_row.seconds / flat.seconds : 0;
     best_speedup = std::max(best_speedup, speedup);
     last_speedup = speedup;
+    last_columnar_speedup = columnar_speedup;
     if (threads == 1) flat_base = flat.seconds;
-    std::printf("%8zu %12.3f %12.3f %8.2fx %10llu %12llu\n", threads,
-                seed.seconds, flat.seconds, speedup,
-                static_cast<unsigned long long>(flat.tasks),
-                static_cast<unsigned long long>(flat.partitions));
-    for (auto mode : {engine::SchedulingMode::kPerPair,
-                      engine::SchedulingMode::kFlat}) {
-      const RunResult& r =
-          mode == engine::SchedulingMode::kPerPair ? seed : flat;
+    std::printf("%8zu %12.3f %12.3f %12.3f %8.2fx %8.2fx %10llu\n", threads,
+                seed.seconds, flat_row.seconds, flat.seconds, speedup,
+                columnar_speedup,
+                static_cast<unsigned long long>(flat.tasks));
+    struct Row {
+      engine::SchedulingMode mode;
+      bool columnar;
+      const RunResult* r;
+    };
+    const Row rows[] = {
+        {engine::SchedulingMode::kPerPair, true, &seed},
+        {engine::SchedulingMode::kFlat, false, &flat_row},
+        {engine::SchedulingMode::kFlat, true, &flat},
+    };
+    for (const Row& row_spec : rows) {
       bench::JsonObject& row = json->NewRun();
       row.Add("threads", static_cast<uint64_t>(threads));
-      row.Add("scheduling", engine::SchedulingModeName(mode));
-      row.Add("wall_seconds", r.seconds);
-      row.Add("tasks", r.tasks);
-      row.Add("partitions", r.partitions);
+      row.Add("scheduling", engine::SchedulingModeName(row_spec.mode));
+      row.Add("columnar", row_spec.columnar ? 1 : 0);
+      row.Add("wall_seconds", row_spec.r->seconds);
+      row.Add("tasks", row_spec.r->tasks);
+      row.Add("partitions", row_spec.r->partitions);
     }
   }
   json->top().Add("speedup_at_max_threads", last_speedup);
+  json->top().Add("columnar_speedup_at_max_threads", last_columnar_speedup);
   if (flat_base > 0) {
     bench::Note(
         "flat-vs-seed speedup holds the per-pair sync points and the "
@@ -172,6 +217,13 @@ void PrintTable(bench::BenchJson* json) {
         "pure scheduling+indexing\nsavings. On a multi-core host the gap "
         "widens with the thread count.");
   }
+  bench::Note(
+      "col-x is the columnar batch-kernel speedup over the row-structured "
+      "flat\nscheduler at the same thread count: the MAP inner loop runs "
+      "over decoded\ncoordinate columns (CollectOverlaps + per-attribute "
+      "moment arrays) instead of\nper-region accumulator objects, and rows "
+      "are only rebuilt at assembly.");
+  PrintStorageFigures(json);
 }
 
 void BM_MapScaling(benchmark::State& state) {

@@ -40,6 +40,11 @@ class Executor {
   /// sequential reference executor reports zeros.
   virtual ExecutorStats stats() const { return {}; }
   virtual void ResetStats() {}
+
+  /// Columnar fast-path toggle (ExecOptions::columnar / --no-columnar).
+  /// Executors without a columnar path ignore the setter and report false.
+  virtual void set_columnar(bool /*on*/) {}
+  virtual bool columnar() const { return false; }
 };
 
 /// Sequential reference executor.

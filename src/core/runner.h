@@ -25,6 +25,11 @@ struct ExecOptions {
   /// dataset is materialized between them. Disable to A/B against the
   /// unfused plan — results are identical either way.
   bool fusion = true;
+  /// Columnar batch kernels over each sample's cached RegionColumns for
+  /// executors that support them (the parallel engine's flat pipelined MAP /
+  /// DIFFERENCE / COVER). Disable (--no-columnar) to A/B the row-structured
+  /// baseline — results are identical either way.
+  bool columnar = true;
 };
 
 /// Per-query execution statistics.
@@ -84,6 +89,9 @@ class QueryRunner {
 
   void set_fusion(bool on) { options_.fusion = on; }
   bool fusion() const { return options_.fusion; }
+
+  void set_columnar(bool on) { options_.columnar = on; }
+  bool columnar() const { return options_.columnar; }
 
   const RunStats& last_stats() const { return stats_; }
 

@@ -1,12 +1,14 @@
 #include "engine/parallel_executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
 #include "core/fused.h"
 #include "engine/shuffle.h"
 #include "interval/accumulation.h"
+#include "interval/batch.h"
 #include "interval/sweep.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,13 +18,16 @@ namespace gdms::engine {
 namespace {
 
 using core::AggAccumulator;
+using core::AggFunc;
 using core::AggregateSpec;
 using core::FusedTail;
 using core::OpKind;
 using core::Operators;
 using gdm::ChromIndex;
+using gdm::ColumnChunk;
 using gdm::Dataset;
 using gdm::GenomicRegion;
+using gdm::RegionColumns;
 using gdm::RegionSchema;
 using gdm::Sample;
 using gdm::Value;
@@ -96,6 +101,104 @@ class RefChunkCache {
   int64_t bin_size_;
   std::unordered_map<const Sample*, std::vector<RefChunk>> cache_;
 };
+
+/// True when every MAP aggregate is finishable from streaming moment sums
+/// (count / sum / sum-of-squares / min / max); kMedian and kBag need the
+/// full value multiset, so they keep the row path.
+bool ColumnarMapEligible(const std::vector<AggregateSpec>& specs) {
+  for (const auto& spec : specs) {
+    if (spec.func == AggFunc::kMedian || spec.func == AggFunc::kBag) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-(spec x ref-row) streaming moments of the columnar MAP kernel; the
+/// update and finish steps replay AggAccumulator::Add / ::Finish operation
+/// for operation, so results are bit-identical to the row path.
+struct SpecMoments {
+  std::vector<int64_t> nn;  // non-null matched values per ref row
+  std::vector<double> sum, sumsq, minv, maxv;
+
+  void Init(size_t rows) {
+    nn.assign(rows, 0);
+    sum.assign(rows, 0.0);
+    sumsq.assign(rows, 0.0);
+    minv.assign(rows, 0.0);
+    maxv.assign(rows, 0.0);
+  }
+
+  void Update(size_t ri, double x) {
+    int64_t n = ++nn[ri];
+    sum[ri] += x;
+    sumsq[ri] += x * x;
+    if (n == 1) {
+      minv[ri] = maxv[ri] = x;
+    } else {
+      minv[ri] = std::min(minv[ri], x);
+      maxv[ri] = std::max(maxv[ri], x);
+    }
+  }
+
+  /// AggAccumulator::Finish over the row's moments (`matches` stands in for
+  /// region_count_).
+  Value Finish(AggFunc func, size_t ri, int64_t matches) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value(matches);
+      case AggFunc::kSum:
+        return nn[ri] == 0 ? Value::Null() : Value(sum[ri]);
+      case AggFunc::kAvg:
+        return nn[ri] == 0
+                   ? Value::Null()
+                   : Value(sum[ri] / static_cast<double>(nn[ri]));
+      case AggFunc::kMin:
+        return nn[ri] == 0 ? Value::Null() : Value(minv[ri]);
+      case AggFunc::kMax:
+        return nn[ri] == 0 ? Value::Null() : Value(maxv[ri]);
+      case AggFunc::kStd: {
+        if (nn[ri] < 2) return nn[ri] == 0 ? Value::Null() : Value(0.0);
+        double n = static_cast<double>(nn[ri]);
+        double var = (sumsq[ri] - sum[ri] * sum[ri] / n) / (n - 1.0);
+        if (var < 0) var = 0;  // numeric noise
+        return Value(std::sqrt(var));
+      }
+      default:
+        return Value::Null();  // unreachable: gated by ColumnarMapEligible
+    }
+  }
+};
+
+/// Accumulates one partition's overlap matches into the pair's moments,
+/// fetching each matched aggregate input from the row store (late
+/// materialization: matches are sparse relative to the exp row count, so
+/// random value fetches beat building a dense value column first; only the
+/// scanned coordinates are columnar). Mirrors AggAccumulator::Add: NULLs
+/// are skipped entirely, string values count toward non-null but contribute
+/// no numerics (their moments stay at the zero initializer, exactly like
+/// the row accumulator's min_/max_/sum_).
+void AccumulateColumnarMatches(const std::vector<interval::MatchPair>& matches,
+                               const std::vector<GenomicRegion>& exp_regions,
+                               size_t attr_index, size_t ref_offset,
+                               size_t exp_offset, SpecMoments* m) {
+  for (const auto& mp : matches) {
+    const GenomicRegion& er = exp_regions[exp_offset + mp.exp];
+    if (attr_index >= er.values.size()) continue;
+    const Value& v = er.values[attr_index];
+    if (v.is_null()) continue;
+    size_t ri = ref_offset + mp.ref;
+    if (v.is_double()) {
+      m->Update(ri, v.AsDouble());
+    } else if (v.is_int()) {
+      m->Update(ri, static_cast<double>(v.AsInt()));
+    } else if (v.is_bool()) {
+      m->Update(ri, v.AsBool() ? 1.0 : 0.0);
+    } else {
+      ++m->nn[ri];  // non-numeric: ToNumeric fails after non_null_ counted
+    }
+  }
+}
 
 }  // namespace
 
@@ -172,6 +275,7 @@ Result<gdm::Dataset> ParallelExecutor::Execute(
   // registry (once per operator, not per task): the per-executor atomics
   // stay the single hot-path increment site.
   core::ExecutorStats before = stats();
+  uint64_t columnar_before = trace_.columnar_tasks.load(kRelaxed);
   Result<gdm::Dataset> result = ExecuteOp(node, inputs);
   core::ExecutorStats after = stats();
   static obs::Counter* tasks =
@@ -184,10 +288,14 @@ Result<gdm::Dataset> ParallelExecutor::Execute(
   static obs::Counter* stage_barriers =
       obs::MetricsRegistry::Global().GetCounter(
           "gdms_engine_stage_barriers_total");
+  static obs::Counter* columnar_tasks =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_engine_columnar_tasks_total");
   tasks->Add(after.tasks - before.tasks);
   partitions->Add(after.partitions - before.partitions);
   shuffle_bytes->Add(after.shuffle_bytes - before.shuffle_bytes);
   stage_barriers->Add(after.stage_barriers - before.stage_barriers);
+  columnar_tasks->Add(trace_.columnar_tasks.load(kRelaxed) - columnar_before);
   return result;
 }
 
@@ -365,10 +473,26 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
   std::vector<std::vector<const Sample*>> matched(left.num_samples());
   for (const auto& [l, r] : pair_idx) matched[l].push_back(&right.sample(r));
 
-  // Chromosome indexes are built lazily and non-thread-safely; touch every
-  // involved sample's index here, before fanning out.
-  for (const auto& s : left.samples()) (void)s.chrom_index();
-  for (const auto& s : right.samples()) (void)s.chrom_index();
+  // Columnar fast path: negatives are gathered as bare coordinate pairs out
+  // of each matched right sample's columns (no Value payload copies), and
+  // the exists-sweep runs over packed coordinate arrays. The caches build
+  // lazily and thread-safely; this stage only pre-builds them in parallel so
+  // overlapping tasks don't duplicate the work.
+  bool use_columnar = options_.columnar;
+  if (use_columnar) {
+    std::vector<std::pair<const Sample*, const Dataset*>> to_build;
+    to_build.reserve(left.num_samples());
+    for (const auto& s : left.samples()) to_build.emplace_back(&s, &left);
+    std::unordered_map<const Sample*, char> seen;
+    for (const auto& per_left : matched) {
+      for (const Sample* rs : per_left) {
+        if (seen.emplace(rs, 1).second) to_build.emplace_back(rs, &right);
+      }
+    }
+    RunStage("difference:columnarize", to_build.size(), [&](size_t i) {
+      (void)to_build[i].first->columns(to_build[i].second->schema());
+    });
+  }
 
   struct DiffTask {
     size_t sample;
@@ -380,8 +504,15 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
   std::vector<std::pair<size_t, size_t>> task_range(left.num_samples());
   for (size_t si = 0; si < left.num_samples(); ++si) {
     task_range[si].first = tasks.size();
-    for (const auto& slice : left.sample(si).chrom_index().slices()) {
-      tasks.push_back({si, slice.chrom, slice.begin, slice.end});
+    if (use_columnar) {
+      // The columns' chunk directory subsumes ChromIndex here.
+      for (const auto& c : left.sample(si).columns(left.schema()).chunks()) {
+        tasks.push_back({si, c.chrom, c.begin, c.end});
+      }
+    } else {
+      for (const auto& slice : left.sample(si).chrom_index().slices()) {
+        tasks.push_back({si, slice.chrom, slice.begin, slice.end});
+      }
     }
     task_range[si].second = tasks.size();
   }
@@ -391,6 +522,44 @@ Result<gdm::Dataset> ParallelExecutor::ParallelDifference(
   RunStage("difference:partitions", tasks.size(), [&](size_t ti) {
     const DiffTask& t = tasks[ti];
     const Sample& ls = left.sample(t.sample);
+    if (use_columnar) {
+      trace_.columnar_tasks.fetch_add(1, kRelaxed);
+      std::vector<std::pair<int64_t, int64_t>> negs;
+      for (const Sample* rs : matched[t.sample]) {
+        const RegionColumns& rc = rs->columns(right.schema());
+        const ColumnChunk* ch = rc.FindChunk(t.chrom);
+        if (ch == nullptr) continue;
+        negs.reserve(negs.size() + (ch->end - ch->begin));
+        for (size_t i = ch->begin; i < ch->end; ++i) {
+          negs.emplace_back(rc.left(i), rc.right(i));
+        }
+      }
+      size_t n = t.end - t.begin;
+      if (negs.empty()) {
+        kept[ti].assign(ls.regions.begin() + t.begin,
+                        ls.regions.begin() + t.end);
+        return;
+      }
+      std::sort(negs.begin(), negs.end());
+      std::vector<int64_t> neg_l(negs.size()), neg_r(negs.size());
+      for (size_t i = 0; i < negs.size(); ++i) {
+        neg_l[i] = negs[i].first;
+        neg_r[i] = negs[i].second;
+      }
+      interval::CoordView nview;
+      nview.l64 = neg_l.data();
+      nview.r64 = neg_r.data();
+      nview.size = negs.size();
+      const RegionColumns& lcols = ls.columns(left.schema());
+      interval::CoordView rview = interval::CoordView::Of(lcols, t.begin,
+                                                          t.end);
+      std::vector<char> flags(n, 0);
+      interval::ExistsOverlapInto(rview, nview, 0, &flags);
+      for (size_t i = 0; i < n; ++i) {
+        if (!flags[i]) kept[ti].push_back(ls.regions[t.begin + i]);
+      }
+      return;
+    }
     std::vector<GenomicRegion> negatives;
     for (const Sample* rs : matched[t.sample]) {
       const ChromIndex::Slice* slice = rs->chrom_index().FindSlice(t.chrom);
@@ -558,13 +727,28 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
 
   // Flat scheduler: ONE task list spanning every pair x partition. Ref
   // chunks are computed once per distinct ref sample; exp ranges come from
-  // the exp sample's cached ChromIndex (built here, on the calling thread).
+  // the exp sample's cached ChromIndex — or, on the columnar fast path, from
+  // the sample's RegionColumns chunk directory (built here, on the calling
+  // thread; both caches are also safe to build concurrently).
+  //
+  // Columnar fast path: the compute stage sweeps the packed coordinate
+  // columns (no Value payloads in the cache lines), buffers the match list,
+  // and folds each aggregate's input column over it into per-ref-row moment
+  // arrays; rows are only touched again at assembly. Match emission order
+  // equals the row sweep's, so double accumulation is bit-identical.
+  bool use_columnar = options_.columnar &&
+                      options_.backend == BackendKind::kPipelined &&
+                      ColumnarMapEligible(specs);
   struct PairState {
     const Sample* rs;
     const Sample* es;
+    const RegionColumns* rcols = nullptr;
+    const RegionColumns* ecols = nullptr;
     size_t part_begin;
     size_t part_end;
-    std::vector<std::vector<Value>> agg_values;
+    std::vector<std::vector<Value>> agg_values;  // row path
+    std::vector<int64_t> match_count;            // columnar path
+    std::vector<SpecMoments> moments;            // columnar path, per spec
   };
   std::vector<PairState> pairs;
   pairs.reserve(pair_idx.size());
@@ -575,13 +759,42 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
     PairState ps;
     ps.rs = &ref.sample(l);
     ps.es = &exp.sample(r);
-    auto bound = BindPartitions(chunks.ChunksFor(*ps.rs), ps.es->regions,
-                                ps.es->chrom_index(), 0);
+    std::vector<Partition> bound;
+    if (use_columnar) {
+      ps.rcols = &ps.rs->columns(ref.schema());
+      ps.ecols = &ps.es->columns(exp.schema());
+      // Chunk-aligned partitions: one task per ref chromosome present on
+      // both sides, straight from the chunk directories. This skips the bin
+      // partitioner (RefChunkCache scan + per-bin lower-bound searches)
+      // entirely and removes the duplicated exp boundary rows that bin
+      // slack re-scans; chromosomes with no exp rows contribute no task —
+      // their refs still assemble below with zero matches.
+      for (const ColumnChunk& rc : ps.rcols->chunks()) {
+        const ColumnChunk* ec = ps.ecols->FindChunk(rc.chrom);
+        if (ec == nullptr) continue;
+        Partition part;
+        part.ref_begin = rc.begin;
+        part.ref_end = rc.end;
+        part.exp_begin = ec->begin;
+        part.exp_end = ec->end;
+        bound.push_back(part);
+      }
+      ps.match_count.assign(ps.rs->regions.size(), 0);
+      ps.moments.resize(specs.size());
+      for (size_t x = 0; x < specs.size(); ++x) {
+        if (specs[x].func != AggFunc::kCount) {
+          ps.moments[x].Init(ps.rs->regions.size());
+        }
+      }
+    } else {
+      bound = BindPartitions(chunks.ChunksFor(*ps.rs), ps.es->regions,
+                             ps.es->chrom_index(), 0);
+      ps.agg_values.resize(ps.rs->regions.size());
+    }
     ps.part_begin = parts.size();
     parts.insert(parts.end(), bound.begin(), bound.end());
     ps.part_end = parts.size();
     owner.resize(parts.size(), pairs.size());
-    ps.agg_values.resize(ps.rs->regions.size());
     pairs.push_back(std::move(ps));
   }
   trace_.partitions.fetch_add(parts.size(), kRelaxed);
@@ -619,6 +832,31 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
               ev.size());
     });
     GDMS_RETURN_NOT_OK(errors.status());
+  } else if (use_columnar) {
+    RunStage("map:compute", parts.size(), [&](size_t pi) {
+      PairState& ps = pairs[owner[pi]];
+      const Partition& part = parts[pi];
+      trace_.columnar_tasks.fetch_add(1, kRelaxed);
+      interval::CoordView rview =
+          interval::CoordView::Of(*ps.rcols, part.ref_begin, part.ref_end);
+      interval::CoordView eview =
+          interval::CoordView::Of(*ps.ecols, part.exp_begin, part.exp_end);
+      std::vector<interval::MatchPair> matches;
+      interval::CollectOverlaps(rview, eview, &matches);
+      if (matches.empty()) return;
+      // Ref rows are disjoint across partitions, so the per-pair arrays
+      // need no synchronization.
+      for (const auto& mp : matches) {
+        ++ps.match_count[part.ref_begin + mp.ref];
+      }
+      for (size_t x = 0; x < specs.size(); ++x) {
+        if (specs[x].func == AggFunc::kCount) continue;
+        if (agg_inputs[x] == SIZE_MAX) continue;
+        AccumulateColumnarMatches(matches, ps.es->regions, agg_inputs[x],
+                                  part.ref_begin, part.exp_begin,
+                                  &ps.moments[x]);
+      }
+    });
   } else {
     RunStage("map:compute", parts.size(), [&](size_t pi) {
       PairState& ps = pairs[owner[pi]];
@@ -631,7 +869,25 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
   std::vector<char> emit(pairs.size(), 1);
   RunStage("map:assemble", pairs.size(), [&](size_t p) {
     PairState& ps = pairs[p];
-    Sample ns = assemble(*ps.rs, *ps.es, ps.agg_values);
+    Sample ns;
+    if (use_columnar) {
+      ns = Operators::DerivedSample("MAP", *ps.rs, *ps.es, false);
+      ns.regions.reserve(ps.rs->regions.size());
+      for (size_t ri = 0; ri < ps.rs->regions.size(); ++ri) {
+        const GenomicRegion& src = ps.rs->regions[ri];
+        GenomicRegion nr(src.chrom, src.left, src.right, src.strand);
+        nr.values.reserve(src.values.size() + specs.size());
+        nr.values.insert(nr.values.end(), src.values.begin(),
+                         src.values.end());
+        for (size_t x = 0; x < specs.size(); ++x) {
+          nr.values.push_back(
+              ps.moments[x].Finish(specs[x].func, ri, ps.match_count[ri]));
+        }
+        ns.regions.push_back(std::move(nr));
+      }
+    } else {
+      ns = assemble(*ps.rs, *ps.es, ps.agg_values);
+    }
     if (fused != nullptr && !tail.ApplySample(&ns)) emit[p] = 0;
     results[p] = std::move(ns);
   });
@@ -875,6 +1131,13 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
     std::vector<Seg> segs;
     size_t seg_offset = 0;  // first segment in the flat per-segment arrays
     interval::CoverBounds bounds{0, 0};
+    // Columnar pooling (flat pipelined, no aggregates): one entry per
+    // segment — the chromosome and its merged, sorted coordinate pairs,
+    // gathered from the members' columns without touching Value payloads.
+    // `segs` then holds placeholder ranges purely to keep the counts that
+    // drive the flat per-segment arrays.
+    std::vector<int32_t> seg_chroms;
+    std::vector<std::vector<int64_t>> seg_l, seg_r;
   };
   std::vector<GroupWork> groups;
   groups.reserve(group_map.size());
@@ -884,6 +1147,42 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
     g.members = std::move(members);
     groups.push_back(std::move(g));
   }
+
+  // Columnar pooling needs only the coordinate profile, so it is eligible
+  // exactly when no stage rematerializes rows: COVER/HISTOGRAM/SUMMIT with
+  // no aggregates (FLAT and aggregate rows read the pooled inputs back) and
+  // the pipelined backend (materialized ships row slices through the
+  // shuffle codec).
+  bool use_columnar = options_.columnar &&
+                      options_.backend == BackendKind::kPipelined &&
+                      params.variant != core::CoverVariant::kFlat &&
+                      params.aggregates.empty();
+
+  auto pool_group_columnar = [&](GroupWork* g) {
+    std::map<int32_t, std::vector<std::pair<int64_t, int64_t>>> by_chrom;
+    for (const auto* m : g->members) {
+      const RegionColumns& mc = m->columns(in.schema());
+      for (const auto& c : mc.chunks()) {
+        auto& coords = by_chrom[c.chrom];
+        coords.reserve(coords.size() + (c.end - c.begin));
+        for (size_t i = c.begin; i < c.end; ++i) {
+          coords.emplace_back(mc.left(i), mc.right(i));
+        }
+      }
+    }
+    for (auto& [chrom, coords] : by_chrom) {
+      std::sort(coords.begin(), coords.end());
+      std::vector<int64_t> l(coords.size()), r(coords.size());
+      for (size_t i = 0; i < coords.size(); ++i) {
+        l[i] = coords[i].first;
+        r[i] = coords[i].second;
+      }
+      g->seg_chroms.push_back(chrom);
+      g->seg_l.push_back(std::move(l));
+      g->seg_r.push_back(std::move(r));
+      g->segs.push_back({0, 0});  // placeholder; see GroupWork
+    }
+  };
 
   // Pool and sort member regions, then find the chromosome segments of the
   // pooled list. Under the flat scheduler this runs per-group in parallel.
@@ -1050,7 +1349,11 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
   // Flat scheduler: pool every group in parallel, then run ONE task list
   // over all (group x segment) pairs per phase.
   RunStage("cover:pool", groups.size(), [&](size_t gi) {
-    pool_group(&groups[gi]);
+    if (use_columnar) {
+      pool_group_columnar(&groups[gi]);
+    } else {
+      pool_group(&groups[gi]);
+    }
   });
   size_t total_segs = 0;
   std::vector<size_t> seg_group;  // flat segment -> owning group
@@ -1066,7 +1369,15 @@ Result<gdm::Dataset> ParallelExecutor::ParallelCover(
   RunStage("cover:profile", total_segs, [&](size_t fi) {
     if (errors.failed()) return;
     const GroupWork& g = groups[seg_group[fi]];
-    profile_segment(g, fi - g.seg_offset, &states[fi], &errors);
+    size_t si = fi - g.seg_offset;
+    if (use_columnar) {
+      trace_.columnar_tasks.fetch_add(1, kRelaxed);
+      interval::ProfileFromCoords(g.seg_chroms[si], g.seg_l[si].data(),
+                                  g.seg_r[si].data(), g.seg_l[si].size(),
+                                  &states[fi].profile);
+      return;
+    }
+    profile_segment(g, si, &states[fi], &errors);
   });
   GDMS_RETURN_NOT_OK(errors.status());
   if (options_.backend == BackendKind::kMaterialized) {

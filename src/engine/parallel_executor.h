@@ -48,6 +48,13 @@ struct EngineOptions {
   int64_t bin_size = 5000000;
   BackendKind backend = BackendKind::kPipelined;
   SchedulingMode scheduling = SchedulingMode::kFlat;
+  /// Columnar fast path: under the flat pipelined scheduler, MAP /
+  /// DIFFERENCE / COVER kernels sweep each sample's cached RegionColumns
+  /// (gdm/region_columns.h) instead of the row-structured region vectors,
+  /// restoring rows only at assembly. Results are identical to the row
+  /// path (the engine tests assert bit-exact equality); disable to A/B the
+  /// row baseline (shell flag --no-columnar).
+  bool columnar = true;
 };
 
 /// Accumulated execution accounting (reset per Execute call chain via
@@ -65,12 +72,17 @@ struct EngineTrace {
   std::atomic<uint64_t> partitions{0};
   std::atomic<uint64_t> shuffle_bytes{0};
   std::atomic<uint64_t> stage_barriers{0};
+  /// Compute tasks that ran through a columnar batch kernel instead of the
+  /// row sweep (EngineOptions::columnar; flat pipelined MAP / DIFFERENCE /
+  /// COVER only).
+  std::atomic<uint64_t> columnar_tasks{0};
 
   void Reset() {
     tasks.store(0, std::memory_order_relaxed);
     partitions.store(0, std::memory_order_relaxed);
     shuffle_bytes.store(0, std::memory_order_relaxed);
     stage_barriers.store(0, std::memory_order_relaxed);
+    columnar_tasks.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -105,6 +117,9 @@ class ParallelExecutor : public core::Executor {
             trace_.stage_barriers.load(std::memory_order_relaxed)};
   }
   void ResetStats() override { trace_.Reset(); }
+
+  void set_columnar(bool on) override { options_.columnar = on; }
+  bool columnar() const override { return options_.columnar; }
 
   const EngineOptions& options() const { return options_; }
 

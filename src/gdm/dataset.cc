@@ -7,12 +7,39 @@
 namespace gdms::gdm {
 
 const ChromIndex& Sample::chrom_index() const {
-  if (chrom_index_cache_ == nullptr ||
-      !chrom_index_cache_->ValidFor(regions)) {
-    chrom_index_cache_ =
-        std::make_shared<const ChromIndex>(ChromIndex::Build(regions));
+  auto cached = std::atomic_load_explicit(&chrom_index_cache_,
+                                          std::memory_order_acquire);
+  if (cached != nullptr && cached->ValidFor(regions)) return *cached;
+  auto built = std::make_shared<const ChromIndex>(ChromIndex::Build(regions));
+  // Publish atomically; if another thread won the race, adopt its index (the
+  // cache keeps it alive) and drop ours. ValidFor re-check covers a winner
+  // built against older storage.
+  if (std::atomic_compare_exchange_strong_explicit(
+          &chrom_index_cache_, &cached, built, std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    return *built;
   }
-  return *chrom_index_cache_;
+  if (cached != nullptr && cached->ValidFor(regions)) return *cached;
+  std::atomic_store_explicit(&chrom_index_cache_, built,
+                             std::memory_order_release);
+  return *built;
+}
+
+const RegionColumns& Sample::columns(const RegionSchema& schema) const {
+  auto cached =
+      std::atomic_load_explicit(&columns_cache_, std::memory_order_acquire);
+  if (cached != nullptr && cached->ValidFor(regions)) return *cached;
+  auto built = std::make_shared<const RegionColumns>(
+      RegionColumns::Build(regions, schema));
+  if (std::atomic_compare_exchange_strong_explicit(
+          &columns_cache_, &cached, built, std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    return *built;
+  }
+  if (cached != nullptr && cached->ValidFor(regions)) return *cached;
+  std::atomic_store_explicit(&columns_cache_, built,
+                             std::memory_order_release);
+  return *built;
 }
 
 uint64_t Dataset::TotalRegions() const {
@@ -74,6 +101,26 @@ uint64_t Dataset::EstimateBytes() const {
     }
     for (const auto& e : s.metadata.entries()) {
       total += e.attr.size() + e.value.size() + 22;
+    }
+  }
+  return total;
+}
+
+uint64_t Dataset::EstimateResidentBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : samples_) {
+    total += s.regions.capacity() * sizeof(GenomicRegion);
+    for (const auto& r : s.regions) {
+      total += r.values.capacity() * sizeof(Value);
+      for (const auto& v : r.values) {
+        // Strings beyond the SSO buffer own a heap block.
+        if (v.is_string() && v.AsString().size() > 15) {
+          total += v.AsString().capacity();
+        }
+      }
+    }
+    for (const auto& e : s.metadata.entries()) {
+      total += sizeof(e) + e.attr.capacity() + e.value.capacity();
     }
   }
   return total;

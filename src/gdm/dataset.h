@@ -1,6 +1,7 @@
 #ifndef GDMS_GDM_DATASET_H_
 #define GDMS_GDM_DATASET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "gdm/chrom_index.h"
 #include "gdm/metadata.h"
 #include "gdm/region.h"
+#include "gdm/region_columns.h"
 #include "gdm/schema.h"
 
 namespace gdms::gdm {
@@ -44,16 +46,39 @@ struct Sample {
   /// built lazily on first use. The cache self-invalidates when the region
   /// vector's storage or size changes (append, copy, reassignment); after
   /// IN-PLACE coordinate mutation callers must call InvalidateChromIndex()
-  /// (SortNow does so). Lazy building is not thread-safe: code that shares a
-  /// sample across threads must touch the index once beforehand — the
-  /// parallel engine pre-builds indexes before fanning out.
+  /// (SortNow does so). Lazy building is thread-safe: concurrent first
+  /// callers may each build an index, but publication is an atomic
+  /// compare-exchange, so every caller sees a fully built index and the
+  /// parallel engine can fan out over untouched samples directly. The
+  /// returned reference stays valid until the cache is invalidated —
+  /// invalidating while other threads read the sample is a (pre-existing)
+  /// caller contract violation.
   const ChromIndex& chrom_index() const;
 
-  /// Drops the cached chromosome index; the next chrom_index() rebuilds it.
-  void InvalidateChromIndex() const { chrom_index_cache_.reset(); }
+  /// The cached columnar (SoA) layout over `regions` (see
+  /// gdm/region_columns.h), built lazily against `schema` on first use with
+  /// the same invalidation and thread-safety contract as chrom_index(). The
+  /// caller must pass the owning dataset's schema every time; a schema
+  /// change without a region-storage change is not detected.
+  const RegionColumns& columns(const RegionSchema& schema) const;
+
+  /// Drops the cached chromosome index and columnar layout; the next
+  /// chrom_index()/columns() call rebuilds them.
+  void InvalidateChromIndex() const {
+    std::atomic_store_explicit(&chrom_index_cache_,
+                               std::shared_ptr<const ChromIndex>(),
+                               std::memory_order_release);
+    std::atomic_store_explicit(&columns_cache_,
+                               std::shared_ptr<const RegionColumns>(),
+                               std::memory_order_release);
+  }
 
  private:
+  // Lazily built caches, published with the std::atomic_* shared_ptr free
+  // functions so concurrent lazy builds race benignly (one winner, losers
+  // drop their copy).
   mutable std::shared_ptr<const ChromIndex> chrom_index_cache_;
+  mutable std::shared_ptr<const RegionColumns> columns_cache_;
 };
 
 /// \brief A named dataset: samples sharing one region schema.
@@ -97,6 +122,11 @@ class Dataset {
   /// Estimated serialized size in bytes (used by the federated protocol's
   /// size estimates and by the E1 experiment's "29 GB" figure).
   uint64_t EstimateBytes() const;
+
+  /// Estimated in-memory (resident) bytes of the row representation:
+  /// region structs, their Value payload vectors and string heap, metadata.
+  /// Caches (chrom index, columns) are not included.
+  uint64_t EstimateResidentBytes() const;
 
   /// Finds a sample by id; nullptr if absent.
   const Sample* FindSample(SampleId id) const;

@@ -1,0 +1,75 @@
+#ifndef GDMS_INTERVAL_BATCH_H_
+#define GDMS_INTERVAL_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gdm/region_columns.h"
+#include "interval/accumulation.h"
+
+namespace gdms::interval {
+
+/// \brief A borrowed view over one chromosome's sorted coordinate columns.
+///
+/// The batch kernels sweep these dense arrays instead of row-structured
+/// GenomicRegion vectors: no Value payloads in the cache lines, 4-byte
+/// elements in the common (narrow) case. Exactly one of the 32/64-bit
+/// pointer pairs is set; left(i)/right(i) widen on access.
+struct CoordView {
+  const int32_t* l32 = nullptr;
+  const int32_t* r32 = nullptr;
+  const int64_t* l64 = nullptr;
+  const int64_t* r64 = nullptr;
+  size_t size = 0;
+
+  bool narrow() const { return l32 != nullptr; }
+  int64_t left(size_t i) const { return narrow() ? l32[i] : l64[i]; }
+  int64_t right(size_t i) const { return narrow() ? r32[i] : r64[i]; }
+
+  /// View over rows [begin, end) of `cols` — typically one ColumnChunk's
+  /// range, since a view carries no chromosome ids of its own.
+  static CoordView Of(const gdm::RegionColumns& cols, size_t begin,
+                      size_t end);
+};
+
+/// One overlap match between a ref row and an exp row, as indices local to
+/// the two views (add the chunk offsets back to address the full columns).
+struct MatchPair {
+  uint32_t ref = 0;
+  uint32_t exp = 0;
+};
+
+/// \brief Batch overlap sweep: appends every overlapping (ref, exp) pair to
+/// `out` in the same order the row-based OverlapJoin reports them (refs
+/// ascending, active exps ascending per ref) so downstream accumulation is
+/// bit-identical to the row path.
+///
+/// Both views must cover a single chromosome and be sorted by (left, right).
+void CollectOverlaps(const CoordView& refs, const CoordView& exps,
+                     std::vector<MatchPair>* out);
+
+/// \brief Batch exists-overlap: sets flags[flag_offset + i] for each ref row
+/// i of the view that overlaps at least one exp row. Flags are never
+/// cleared, so one flag vector can accumulate across chromosome chunks.
+void ExistsOverlapInto(const CoordView& refs, const CoordView& exps,
+                       size_t flag_offset, std::vector<char>* flags);
+
+/// \brief Accumulation profile from sorted coordinate pairs of a single
+/// chromosome, appended to `out`. Identical output to AccumulationProfile
+/// over the equivalent rows (zero-length regions are skipped).
+void ProfileFromCoords(int32_t chrom, const int64_t* lefts,
+                       const int64_t* rights, size_t n,
+                       std::vector<AccSegment>* out);
+
+/// \brief Batch k-nearest: for each ref row of the view reports its k
+/// nearest exp rows by genometric distance (ties by coordinate order),
+/// matching the row-based NearestK. Indices passed to `sink` are local to
+/// the views.
+void NearestKView(const CoordView& refs, const CoordView& exps, size_t k,
+                  const std::function<void(size_t, size_t)>& sink);
+
+}  // namespace gdms::interval
+
+#endif  // GDMS_INTERVAL_BATCH_H_

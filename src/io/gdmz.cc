@@ -1,0 +1,1101 @@
+#include "io/gdmz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "gdm/region_columns.h"
+
+namespace gdms::io {
+
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::RegionColumns;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+// ---------------------------------------------------------------------------
+// Byte-level primitives
+// ---------------------------------------------------------------------------
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutByte(uint8_t b) { out_->push_back(static_cast<char>(b)); }
+
+  void PutFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) PutByte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) PutByte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutByte(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutByte(static_cast<uint8_t>(v));
+  }
+
+  void PutZigzag(int64_t v) { PutVarint(ZigzagEncode(v)); }
+
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    out_->append(s.data(), s.size());
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked sequential reader; every accessor reports failure instead
+/// of reading past the end, which is what makes corrupt-input rejection
+/// sanitizer-clean.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t GetByte() {
+    if (pos_ >= size_) return Fail();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetFixed32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(GetByte()) << (8 * i);
+    return v;
+  }
+
+  uint64_t GetFixed64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(GetByte()) << (8 * i);
+    return v;
+  }
+
+  uint64_t GetVarint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t b = GetByte();
+      if (!ok_) return 0;
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    Fail();
+    return 0;
+  }
+
+  int64_t GetZigzag() { return ZigzagDecode(GetVarint()); }
+
+  /// Returns a view of the next `n` bytes (empty view + failure when short).
+  std::string_view GetSpan(size_t n) {
+    if (n > remaining()) {
+      Fail();
+      return {};
+    }
+    std::string_view s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::string GetString() {
+    uint64_t n = GetVarint();
+    if (!ok_ || n > remaining()) {
+      Fail();
+      return {};
+    }
+    return std::string(GetSpan(static_cast<size_t>(n)));
+  }
+
+ private:
+  uint8_t Fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Decimal double encoding (6 significant digits, matching "%.6g")
+// ---------------------------------------------------------------------------
+
+/// Exponent sentinel marking an escaped raw 8-byte double.
+constexpr int64_t kRawEscapeExp = 1000;
+
+/// Splits Quantize6(v) into decimal mantissa (|m| <= 999999) and power-of-ten
+/// exponent; false when the value must be stored raw (non-finite, -0.0).
+bool DecimalSplit(double v, int64_t* mant, int64_t* exp) {
+  if (!std::isfinite(v)) return false;
+  if (v == 0.0) {
+    if (std::signbit(v)) return false;  // preserve -0.0 bit-exactly via raw
+    *mant = 0;
+    *exp = 0;
+    return true;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  int64_t m = 0;
+  int64_t frac_digits = 0;
+  int64_t e10 = 0;
+  bool neg = false, in_frac = false;
+  const char* p = buf;
+  if (*p == '-') {
+    neg = true;
+    ++p;
+  }
+  for (; *p != '\0'; ++p) {
+    char c = *p;
+    if (c >= '0' && c <= '9') {
+      m = m * 10 + (c - '0');
+      if (in_frac) ++frac_digits;
+    } else if (c == '.') {
+      in_frac = true;
+    } else if (c == 'e' || c == 'E') {
+      e10 = std::strtol(p + 1, nullptr, 10);
+      break;
+    } else {
+      return false;  // unexpected rendering (shouldn't happen for finite v)
+    }
+  }
+  int64_t e = e10 - frac_digits;
+  while (m != 0 && m % 10 == 0) {
+    m /= 10;
+    ++e;
+  }
+  *mant = neg ? -m : m;
+  *exp = (m == 0) ? 0 : e;
+  return true;
+}
+
+/// Reconstructs the double a decimal (mant, exp) pair denotes — identical to
+/// strtod of the "%.6g" text, i.e. the correctly rounded decimal value.
+double DecimalJoin(int64_t mant, int64_t exp) {
+  static const double kPow10[] = {1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+                                  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+                                  1e12, 1e13, 1e14, 1e15, 1e16, 1e17,
+                                  1e18, 1e19, 1e20, 1e21, 1e22};
+  // Mantissa (<= 999999) and |exp| <= 22 powers are exact in binary64, so a
+  // single multiply/divide performs the one correctly-rounded step.
+  if (exp >= 0 && exp <= 22) return static_cast<double>(mant) * kPow10[exp];
+  if (exp < 0 && exp >= -22) return static_cast<double>(mant) / kPow10[-exp];
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llde%lld", static_cast<long long>(mant),
+                static_cast<long long>(exp));
+  return std::strtod(buf, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Column encoders
+// ---------------------------------------------------------------------------
+
+/// Appends a length-prefixed sub-stream built by `fill`.
+template <typename Fn>
+void PutStream(ByteWriter* w, const Fn& fill) {
+  std::string tmp;
+  ByteWriter sub(&tmp);
+  fill(&sub);
+  w->PutVarint(tmp.size());
+  w->PutRaw(tmp.data(), tmp.size());
+}
+
+// ---------------------------------------------------------------------------
+// Packed integer streams
+// ---------------------------------------------------------------------------
+//
+// A generic container for a sequence of unsigned values (signed callers
+// zigzag first). The writer computes the exact size of three layouts and
+// emits the smallest, tagged with a mode byte:
+//   varint  one varint per value — mixed magnitudes
+//   rle     (run-length, value) varint pairs — long constant runs
+//   packed  fixed bit-width, LSB-first — narrow uniform ranges (decimal
+//           mantissas and exponents, dictionary codes)
+// The choice is per stream, so e.g. a saturated score column picks rle
+// while a noisy p-value column's exponents pick packed.
+
+constexpr uint8_t kIntStreamVarint = 0;
+constexpr uint8_t kIntStreamRle = 1;
+constexpr uint8_t kIntStreamPacked = 2;
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void PutIntStreamBody(ByteWriter* w, const std::vector<uint64_t>& vals) {
+  size_t varint_sz = 0;
+  uint64_t all_bits = 0;
+  for (uint64_t v : vals) {
+    varint_sz += VarintLen(v);
+    all_bits |= v;
+  }
+  size_t rle_sz = 0;
+  for (size_t i = 0; i < vals.size();) {
+    size_t run = i + 1;
+    while (run < vals.size() && vals[run] == vals[i]) ++run;
+    rle_sz += VarintLen(run - i) + VarintLen(vals[i]);
+    i = run;
+  }
+  int width = 64 - __builtin_clzll(all_bits | 1);
+  size_t packed_sz = 1 + (vals.size() * static_cast<size_t>(width) + 7) / 8;
+
+  if (rle_sz <= varint_sz && rle_sz <= packed_sz) {
+    w->PutByte(kIntStreamRle);
+    for (size_t i = 0; i < vals.size();) {
+      size_t run = i + 1;
+      while (run < vals.size() && vals[run] == vals[i]) ++run;
+      w->PutVarint(run - i);
+      w->PutVarint(vals[i]);
+      i = run;
+    }
+  } else if (packed_sz < varint_sz) {
+    w->PutByte(kIntStreamPacked);
+    w->PutByte(static_cast<uint8_t>(width));
+    std::vector<uint8_t> bytes((vals.size() * static_cast<size_t>(width) + 7) / 8,
+                               0);
+    size_t bit = 0;
+    for (uint64_t v : vals) {
+      for (int b = 0; b < width; ++b, ++bit) {
+        if ((v >> b) & 1) {
+          bytes[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+        }
+      }
+    }
+    w->PutRaw(bytes.data(), bytes.size());
+  } else {
+    w->PutByte(kIntStreamVarint);
+    for (uint64_t v : vals) w->PutVarint(v);
+  }
+}
+
+/// Reads a packed integer stream of exactly `count` values; the caller
+/// still owns the enclosing sub-stream and checks it was fully consumed.
+bool GetIntStreamBody(ByteReader* r, size_t count,
+                      std::vector<uint64_t>* out) {
+  uint8_t mode = r->GetByte();
+  if (!r->ok()) return false;
+  out->clear();
+  out->reserve(count);
+  switch (mode) {
+    case kIntStreamVarint:
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t v = r->GetVarint();
+        if (!r->ok()) return false;
+        out->push_back(v);
+      }
+      return true;
+    case kIntStreamRle:
+      while (out->size() < count) {
+        uint64_t run = r->GetVarint();
+        uint64_t v = r->GetVarint();
+        if (!r->ok() || run == 0 || run > count - out->size()) return false;
+        out->insert(out->end(), static_cast<size_t>(run), v);
+      }
+      return true;
+    case kIntStreamPacked: {
+      uint8_t width = r->GetByte();
+      if (!r->ok() || width == 0 || width > 64) return false;
+      size_t need = (count * static_cast<size_t>(width) + 7) / 8;
+      std::string_view bytes = r->GetSpan(need);
+      if (!r->ok()) return false;
+      size_t bit = 0;
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t v = 0;
+        for (int b = 0; b < width; ++b, ++bit) {
+          if ((static_cast<uint8_t>(bytes[bit >> 3]) >> (bit & 7)) & 1) {
+            v |= uint64_t{1} << b;
+          }
+        }
+        out->push_back(v);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<uint64_t> ZigzagAll(const std::vector<int64_t>& vals) {
+  std::vector<uint64_t> out;
+  out.reserve(vals.size());
+  for (int64_t v : vals) out.push_back(ZigzagEncode(v));
+  return out;
+}
+
+struct MetaDict {
+  std::unordered_map<std::string, uint32_t> index;
+  std::vector<const std::string*> entries;
+
+  uint32_t Intern(const std::string& s) {
+    auto [it, inserted] =
+        index.emplace(s, static_cast<uint32_t>(entries.size()));
+    if (inserted) entries.push_back(&it->first);
+    return it->second;
+  }
+};
+
+constexpr uint8_t kValidityAllValid = 0;
+constexpr uint8_t kValidityBitmap = 1;
+constexpr uint8_t kValidityAllNull = 2;
+
+constexpr uint8_t kStrandUniform = 0;
+constexpr uint8_t kStrandPacked = 1;
+
+constexpr uint8_t kDoubleDecimal = 0;  // only encoding emitted; raw escapes
+                                       // ride in the escape stream
+
+constexpr uint8_t kStringDict = 0;
+constexpr uint8_t kStringFront = 1;
+
+void EncodeValueColumn(ByteWriter* w, const gdm::ValueColumn& col) {
+  const size_t n = col.size();
+  w->PutByte(static_cast<uint8_t>(col.type()));
+  size_t non_null = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (col.IsValid(i)) ++non_null;
+  }
+  if (col.type() == AttrType::kNull || non_null == 0) {
+    w->PutByte(kValidityAllNull);
+    return;
+  }
+  if (non_null == n) {
+    w->PutByte(kValidityAllValid);
+  } else {
+    w->PutByte(kValidityBitmap);
+    PutStream(w, [&](ByteWriter* s) {
+      std::vector<uint8_t> bits((n + 7) / 8, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsValid(i)) bits[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+      }
+      s->PutRaw(bits.data(), bits.size());
+    });
+  }
+  switch (col.type()) {
+    case AttrType::kInt: {
+      std::vector<int64_t> vals;
+      vals.reserve(non_null);
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsValid(i)) vals.push_back(col.ints()[i]);
+      }
+      PutStream(w,
+                [&](ByteWriter* s) { PutIntStreamBody(s, ZigzagAll(vals)); });
+      break;
+    }
+    case AttrType::kBool:
+      PutStream(w, [&](ByteWriter* s) {
+        std::vector<uint8_t> bits((non_null + 7) / 8, 0);
+        size_t k = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (!col.IsValid(i)) continue;
+          if (col.bools()[i]) bits[k >> 3] |= static_cast<uint8_t>(1u << (k & 7));
+          ++k;
+        }
+        s->PutRaw(bits.data(), bits.size());
+      });
+      break;
+    case AttrType::kDouble: {
+      w->PutByte(kDoubleDecimal);
+      // Three parallel streams over the non-null values: run-length-encoded
+      // exponents, zigzag mantissas, and raw escapes for entries whose
+      // exponent is the sentinel.
+      std::vector<int64_t> mants, exps;
+      std::vector<double> escapes;
+      mants.reserve(non_null);
+      exps.reserve(non_null);
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsValid(i)) continue;
+        int64_t m = 0, e = 0;
+        if (DecimalSplit(col.doubles()[i], &m, &e)) {
+          mants.push_back(m);
+          exps.push_back(e);
+        } else {
+          mants.push_back(0);
+          exps.push_back(kRawEscapeExp);
+          escapes.push_back(col.doubles()[i]);
+        }
+      }
+      PutStream(w,
+                [&](ByteWriter* s) { PutIntStreamBody(s, ZigzagAll(exps)); });
+      PutStream(w,
+                [&](ByteWriter* s) { PutIntStreamBody(s, ZigzagAll(mants)); });
+      PutStream(w, [&](ByteWriter* s) {
+        for (double d : escapes) {
+          uint64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          s->PutFixed64(bits);
+        }
+      });
+      break;
+    }
+    case AttrType::kString: {
+      const size_t distinct = col.dict().size();
+      bool use_dict = distinct <= std::max<size_t>(16, non_null / 4);
+      w->PutByte(use_dict ? kStringDict : kStringFront);
+      if (use_dict) {
+        w->PutVarint(distinct);
+        for (const auto& s : col.dict()) w->PutString(s);
+        std::vector<uint64_t> codes;
+        codes.reserve(non_null);
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsValid(i)) codes.push_back(col.codes()[i]);
+        }
+        PutStream(w, [&](ByteWriter* s) { PutIntStreamBody(s, codes); });
+      } else {
+        // Front coding: each value stores the length of the prefix it shares
+        // with the previous non-null value plus its suffix. Sorted-ish
+        // generated names ("peak_3_17") share long prefixes.
+        PutStream(w, [&](ByteWriter* s) {
+          const std::string* prev = nullptr;
+          for (size_t i = 0; i < n; ++i) {
+            if (!col.IsValid(i)) continue;
+            const std::string& cur = col.dict()[col.codes()[i]];
+            size_t shared = 0;
+            if (prev != nullptr) {
+              size_t lim = std::min(prev->size(), cur.size());
+              while (shared < lim && (*prev)[shared] == cur[shared]) ++shared;
+            }
+            s->PutVarint(shared);
+            s->PutString(std::string_view(cur).substr(shared));
+            prev = &cur;
+          }
+        });
+      }
+      break;
+    }
+    case AttrType::kNull:
+      break;
+  }
+}
+
+void EncodeSampleBlob(ByteWriter* w, const Sample& sample,
+                      const RegionColumns& cols,
+                      const std::map<int32_t, uint32_t>& chrom_table) {
+  const size_t n = cols.size();
+  w->PutVarint(n);
+  w->PutVarint(cols.chunks().size());
+  for (const auto& c : cols.chunks()) {
+    w->PutVarint(chrom_table.at(c.chrom));
+    w->PutVarint(c.end - c.begin);
+    w->PutVarint(static_cast<uint64_t>(c.max_len));
+  }
+  w->PutByte(cols.narrow() ? 4 : 8);
+  // Left coordinates: per chunk, zigzag first value then plain varint deltas
+  // (sorted order makes in-chunk deltas non-negative).
+  PutStream(w, [&](ByteWriter* s) {
+    for (const auto& c : cols.chunks()) {
+      int64_t prev = 0;
+      for (size_t i = c.begin; i < c.end; ++i) {
+        int64_t l = cols.left(i);
+        if (i == c.begin) {
+          s->PutZigzag(l);
+        } else {
+          s->PutVarint(static_cast<uint64_t>(l - prev));
+        }
+        prev = l;
+      }
+    }
+  });
+  // Region lengths (right - left >= 0 by the GDM validity constraint).
+  PutStream(w, [&](ByteWriter* s) {
+    for (size_t i = 0; i < n; ++i) {
+      s->PutVarint(static_cast<uint64_t>(cols.right(i) - cols.left(i)));
+    }
+  });
+  // Strand column.
+  bool uniform = true;
+  for (size_t i = 1; i < n && uniform; ++i) {
+    uniform = cols.strands()[i] == cols.strands()[0];
+  }
+  if (uniform) {
+    w->PutByte(kStrandUniform);
+    w->PutByte(n == 0 ? static_cast<uint8_t>(Strand::kNone)
+                      : cols.strands()[0]);
+  } else {
+    w->PutByte(kStrandPacked);
+    PutStream(w, [&](ByteWriter* s) {
+      std::vector<uint8_t> packed((n + 3) / 4, 0);
+      for (size_t i = 0; i < n; ++i) {
+        packed[i >> 2] |= static_cast<uint8_t>((cols.strands()[i] & 3)
+                                               << ((i & 3) * 2));
+      }
+      s->PutRaw(packed.data(), packed.size());
+    });
+  }
+  for (size_t a = 0; a < cols.num_attrs(); ++a) {
+    EncodeValueColumn(w, cols.attr(a));
+  }
+  (void)sample;
+}
+
+// ---------------------------------------------------------------------------
+// Column decoders
+// ---------------------------------------------------------------------------
+
+struct DecodedColumn {
+  AttrType type = AttrType::kNull;
+  std::vector<Value> values;  // one per row (NULL included)
+};
+
+bool DecodeValueColumn(ByteReader* r, size_t n, AttrType schema_type,
+                       DecodedColumn* out) {
+  out->type = static_cast<AttrType>(r->GetByte());
+  if (!r->ok()) return false;
+  if (out->type != AttrType::kNull && out->type != schema_type) return false;
+  uint8_t validity_mode = r->GetByte();
+  if (!r->ok()) return false;
+  out->values.assign(n, Value::Null());
+  if (out->type == AttrType::kNull || validity_mode == kValidityAllNull) {
+    return validity_mode == kValidityAllNull || out->type == AttrType::kNull;
+  }
+  std::vector<char> valid(n, 1);
+  size_t non_null = n;
+  if (validity_mode == kValidityBitmap) {
+    uint64_t len = r->GetVarint();
+    std::string_view bits = r->GetSpan(static_cast<size_t>(len));
+    if (!r->ok() || bits.size() != (n + 7) / 8) return false;
+    non_null = 0;
+    for (size_t i = 0; i < n; ++i) {
+      valid[i] = (static_cast<uint8_t>(bits[i >> 3]) >> (i & 7)) & 1;
+      non_null += valid[i];
+    }
+  } else if (validity_mode != kValidityAllValid) {
+    return false;
+  }
+  switch (out->type) {
+    case AttrType::kInt: {
+      uint64_t len = r->GetVarint();
+      std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+      if (!r->ok()) return false;
+      ByteReader s(payload.data(), payload.size());
+      std::vector<uint64_t> vals;
+      if (!GetIntStreamBody(&s, non_null, &vals) || s.remaining() != 0) {
+        return false;
+      }
+      size_t k = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        out->values[i] = Value(ZigzagDecode(vals[k++]));
+      }
+      return true;
+    }
+    case AttrType::kBool: {
+      uint64_t len = r->GetVarint();
+      std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+      if (!r->ok() || payload.size() != (non_null + 7) / 8) return false;
+      size_t k = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        bool b = (static_cast<uint8_t>(payload[k >> 3]) >> (k & 7)) & 1;
+        out->values[i] = Value(b);
+        ++k;
+      }
+      return true;
+    }
+    case AttrType::kDouble: {
+      uint8_t enc = r->GetByte();
+      if (!r->ok() || enc != kDoubleDecimal) return false;
+      uint64_t elen = r->GetVarint();
+      std::string_view epayload = r->GetSpan(static_cast<size_t>(elen));
+      if (!r->ok()) return false;
+      std::vector<uint64_t> exps;
+      {
+        ByteReader s(epayload.data(), epayload.size());
+        if (!GetIntStreamBody(&s, non_null, &exps) || s.remaining() != 0) {
+          return false;
+        }
+      }
+      uint64_t mlen = r->GetVarint();
+      std::string_view mpayload = r->GetSpan(static_cast<size_t>(mlen));
+      if (!r->ok()) return false;
+      std::vector<uint64_t> mants;
+      {
+        ByteReader s(mpayload.data(), mpayload.size());
+        if (!GetIntStreamBody(&s, non_null, &mants) || s.remaining() != 0) {
+          return false;
+        }
+      }
+      uint64_t rlen = r->GetVarint();
+      std::string_view rpayload = r->GetSpan(static_cast<size_t>(rlen));
+      if (!r->ok()) return false;
+      ByteReader rs(rpayload.data(), rpayload.size());
+      size_t k = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        int64_t e = ZigzagDecode(exps[k]);
+        int64_t m = ZigzagDecode(mants[k]);
+        double v;
+        if (e == kRawEscapeExp) {
+          uint64_t bits = rs.GetFixed64();
+          if (!rs.ok()) return false;
+          std::memcpy(&v, &bits, sizeof(v));
+        } else {
+          if (std::llabs(m) > 999999999999LL || std::llabs(e) > 400) {
+            return false;  // out of the encoder's envelope: corrupt
+          }
+          v = DecimalJoin(m, e);
+        }
+        out->values[i] = Value(v);
+        ++k;
+      }
+      return rs.remaining() == 0;
+    }
+    case AttrType::kString: {
+      uint8_t enc = r->GetByte();
+      if (!r->ok()) return false;
+      if (enc == kStringDict) {
+        uint64_t distinct = r->GetVarint();
+        if (!r->ok() || distinct > non_null) return false;
+        std::vector<std::string> dict;
+        dict.reserve(static_cast<size_t>(distinct));
+        for (uint64_t d = 0; d < distinct; ++d) {
+          dict.push_back(r->GetString());
+          if (!r->ok()) return false;
+        }
+        uint64_t len = r->GetVarint();
+        std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+        if (!r->ok()) return false;
+        ByteReader s(payload.data(), payload.size());
+        std::vector<uint64_t> codes;
+        if (!GetIntStreamBody(&s, non_null, &codes) || s.remaining() != 0) {
+          return false;
+        }
+        size_t k = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (!valid[i]) continue;
+          uint64_t code = codes[k++];
+          if (code >= dict.size()) return false;
+          out->values[i] = Value(dict[static_cast<size_t>(code)]);
+        }
+        return true;
+      }
+      if (enc != kStringFront) return false;
+      uint64_t len = r->GetVarint();
+      std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+      if (!r->ok()) return false;
+      ByteReader s(payload.data(), payload.size());
+      std::string prev;
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        uint64_t shared = s.GetVarint();
+        if (!s.ok() || shared > prev.size()) return false;
+        std::string suffix = s.GetString();
+        if (!s.ok()) return false;
+        std::string cur = prev.substr(0, static_cast<size_t>(shared)) + suffix;
+        out->values[i] = Value(cur);
+        prev = std::move(cur);
+      }
+      return s.remaining() == 0;
+    }
+    case AttrType::kNull:
+      return true;
+  }
+  return false;
+}
+
+bool DecodeSampleBlob(ByteReader* r, const std::vector<int32_t>& chrom_ids,
+                      const gdm::RegionSchema& schema, Sample* sample) {
+  uint64_t n64 = r->GetVarint();
+  if (!r->ok() || n64 > (1ULL << 40)) return false;
+  const size_t n = static_cast<size_t>(n64);
+  uint64_t nchunks = r->GetVarint();
+  if (!r->ok() || nchunks > n64 + 1) return false;
+  struct Chunk {
+    int32_t chrom;
+    size_t count;
+  };
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<size_t>(nchunks));
+  uint64_t total = 0;
+  for (uint64_t c = 0; c < nchunks; ++c) {
+    uint64_t ct = r->GetVarint();
+    uint64_t count = r->GetVarint();
+    (void)r->GetVarint();  // max_len: derivable, stored for future readers
+    if (!r->ok() || ct >= chrom_ids.size() || count == 0) return false;
+    total += count;
+    if (total > n64) return false;
+    chunks.push_back({chrom_ids[static_cast<size_t>(ct)],
+                      static_cast<size_t>(count)});
+  }
+  if (total != n64) return false;
+  uint8_t width = r->GetByte();
+  if (!r->ok() || (width != 4 && width != 8)) return false;
+
+  std::vector<int64_t> lefts(n), rights(n);
+  {
+    uint64_t len = r->GetVarint();
+    std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+    if (!r->ok()) return false;
+    ByteReader s(payload.data(), payload.size());
+    size_t i = 0;
+    for (const auto& c : chunks) {
+      int64_t prev = 0;
+      for (size_t k = 0; k < c.count; ++k, ++i) {
+        int64_t l;
+        if (k == 0) {
+          l = s.GetZigzag();
+        } else {
+          uint64_t d = s.GetVarint();
+          if (d > (1ULL << 62)) return false;
+          l = prev + static_cast<int64_t>(d);
+        }
+        if (!s.ok()) return false;
+        lefts[i] = l;
+        prev = l;
+      }
+    }
+    if (s.remaining() != 0) return false;
+  }
+  {
+    uint64_t len = r->GetVarint();
+    std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+    if (!r->ok()) return false;
+    ByteReader s(payload.data(), payload.size());
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t d = s.GetVarint();
+      if (!s.ok() || d > (1ULL << 62)) return false;
+      rights[i] = lefts[i] + static_cast<int64_t>(d);
+    }
+    if (s.remaining() != 0) return false;
+  }
+
+  std::vector<uint8_t> strands(n, static_cast<uint8_t>(Strand::kNone));
+  uint8_t smode = r->GetByte();
+  if (!r->ok()) return false;
+  if (smode == kStrandUniform) {
+    uint8_t v = r->GetByte();
+    if (!r->ok() || v > 2) return false;
+    std::fill(strands.begin(), strands.end(), v);
+  } else if (smode == kStrandPacked) {
+    uint64_t len = r->GetVarint();
+    std::string_view payload = r->GetSpan(static_cast<size_t>(len));
+    if (!r->ok() || payload.size() != (n + 3) / 4) return false;
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t v =
+          (static_cast<uint8_t>(payload[i >> 2]) >> ((i & 3) * 2)) & 3;
+      if (v > 2) return false;
+      strands[i] = v;
+    }
+  } else {
+    return false;
+  }
+
+  std::vector<DecodedColumn> columns(schema.size());
+  for (size_t a = 0; a < schema.size(); ++a) {
+    if (!DecodeValueColumn(r, n, schema.attr(a).type, &columns[a])) {
+      return false;
+    }
+  }
+
+  sample->regions.resize(n);
+  size_t i = 0;
+  for (const auto& c : chunks) {
+    for (size_t k = 0; k < c.count; ++k, ++i) {
+      GenomicRegion& reg = sample->regions[i];
+      reg.chrom = c.chrom;
+      reg.left = lefts[i];
+      reg.right = rights[i];
+      reg.strand = static_cast<Strand>(strands[i]);
+      if (!columns.empty()) {
+        reg.values.reserve(columns.size());
+        for (auto& col : columns) {
+          reg.values.push_back(std::move(col.values[i]));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LooksLikeGdmz(std::string_view bytes) {
+  return bytes.size() >= sizeof(kGdmzMagic) &&
+         std::memcmp(bytes.data(), kGdmzMagic, sizeof(kGdmzMagic)) == 0;
+}
+
+Result<uint64_t> GdmzFramedSize(std::string_view bytes) {
+  if (bytes.size() < kGdmzHeaderSize || !LooksLikeGdmz(bytes)) {
+    return Status::ParseError("not a .gdmz document (missing GDMZ magic)");
+  }
+  ByteReader r(bytes.data(), bytes.size());
+  (void)r.GetSpan(4);
+  uint32_t version = r.GetFixed32();
+  uint64_t total = r.GetFixed64();
+  if (!r.ok() || version != kGdmzVersion) {
+    return Status::ParseError(".gdmz version mismatch");
+  }
+  if (total < kGdmzHeaderSize || total > bytes.size()) {
+    return Status::ParseError(".gdmz truncated: framed size " +
+                              std::to_string(total) + " exceeds buffer " +
+                              std::to_string(bytes.size()));
+  }
+  return total;
+}
+
+std::string WriteGdmzString(const gdm::Dataset& dataset) {
+  // Chromosome name table over every chrom id in the dataset, in first-use
+  // order; blobs reference table slots so ids stay process-local.
+  std::map<int32_t, uint32_t> chrom_table;
+  std::vector<int32_t> chrom_ids;
+  for (const auto& s : dataset.samples()) {
+    for (const auto& r : s.regions) {
+      if (chrom_table.emplace(r.chrom, static_cast<uint32_t>(chrom_ids.size()))
+              .second) {
+        chrom_ids.push_back(r.chrom);
+      }
+    }
+  }
+
+  // Body: one column blob per sample, 64-byte aligned.
+  std::string body;
+  ByteWriter body_writer(&body);
+  std::vector<std::pair<uint64_t, uint64_t>> blob_spans;  // offset, size
+  std::vector<GenomicRegion> scratch;
+  for (const auto& s : dataset.samples()) {
+    while ((kGdmzHeaderSize + body.size()) % 64 != 0) body_writer.PutByte(0);
+    uint64_t offset = kGdmzHeaderSize + body.size();
+    const std::vector<GenomicRegion>* regions = &s.regions;
+    if (!gdm::RegionsSorted(s.regions)) {
+      scratch = s.regions;
+      gdm::SortRegions(&scratch);
+      regions = &scratch;
+    }
+    RegionColumns cols = RegionColumns::Build(*regions, dataset.schema());
+    EncodeSampleBlob(&body_writer, s, cols, chrom_table);
+    blob_spans.push_back({offset, kGdmzHeaderSize + body.size() - offset});
+  }
+
+  // Directory.
+  std::string dir;
+  ByteWriter dw(&dir);
+  dw.PutString(dataset.name());
+  dw.PutVarint(dataset.schema().size());
+  for (const auto& a : dataset.schema().attrs()) {
+    dw.PutString(a.name);
+    dw.PutByte(static_cast<uint8_t>(a.type));
+  }
+  dw.PutVarint(chrom_ids.size());
+  for (int32_t id : chrom_ids) dw.PutString(gdm::ChromName(id));
+  MetaDict meta_dict;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> sample_meta;
+  sample_meta.reserve(dataset.num_samples());
+  for (const auto& s : dataset.samples()) {
+    auto& entries = sample_meta.emplace_back();
+    for (const auto& e : s.metadata.entries()) {
+      entries.push_back({meta_dict.Intern(e.attr), meta_dict.Intern(e.value)});
+    }
+  }
+  dw.PutVarint(meta_dict.entries.size());
+  for (const std::string* s : meta_dict.entries) dw.PutString(*s);
+  dw.PutVarint(dataset.num_samples());
+  for (size_t si = 0; si < dataset.num_samples(); ++si) {
+    dw.PutFixed64(dataset.sample(si).id);
+    dw.PutVarint(sample_meta[si].size());
+    for (const auto& [a, v] : sample_meta[si]) {
+      dw.PutVarint(a);
+      dw.PutVarint(v);
+    }
+    dw.PutVarint(blob_spans[si].first);
+    dw.PutVarint(blob_spans[si].second);
+  }
+
+  std::string out;
+  out.reserve(kGdmzHeaderSize + body.size() + dir.size());
+  ByteWriter hw(&out);
+  hw.PutRaw(kGdmzMagic, sizeof(kGdmzMagic));
+  hw.PutFixed32(kGdmzVersion);
+  hw.PutFixed64(kGdmzHeaderSize + body.size() + dir.size());  // total_size
+  hw.PutFixed64(kGdmzHeaderSize + body.size());               // dir_offset
+  hw.PutFixed64(dir.size());                                  // dir_size
+  out.append(body);
+  out.append(dir);
+  return out;
+}
+
+Status WriteGdmz(const gdm::Dataset& dataset, const std::string& path) {
+  std::string bytes = WriteGdmzString(dataset);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  if (!f) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<gdm::Dataset> ReadGdmzBytes(std::string_view bytes) {
+  GDMS_ASSIGN_OR_RETURN(uint64_t total, GdmzFramedSize(bytes));
+  ByteReader hr(bytes.data(), static_cast<size_t>(total));
+  (void)hr.GetSpan(4);
+  (void)hr.GetFixed32();
+  (void)hr.GetFixed64();
+  uint64_t dir_offset = hr.GetFixed64();
+  uint64_t dir_size = hr.GetFixed64();
+  if (!hr.ok() || dir_offset < kGdmzHeaderSize || dir_offset > total ||
+      dir_size > total - dir_offset) {
+    return Status::ParseError(".gdmz directory out of bounds");
+  }
+
+  ByteReader dr(bytes.data() + dir_offset, static_cast<size_t>(dir_size));
+  Dataset ds;
+  ds.set_name(dr.GetString());
+  uint64_t nattrs = dr.GetVarint();
+  if (!dr.ok() || nattrs > 4096) {
+    return Status::ParseError(".gdmz directory corrupt (schema)");
+  }
+  gdm::RegionSchema schema;
+  for (uint64_t a = 0; a < nattrs; ++a) {
+    std::string name = dr.GetString();
+    uint8_t type = dr.GetByte();
+    if (!dr.ok() || type > static_cast<uint8_t>(AttrType::kBool)) {
+      return Status::ParseError(".gdmz directory corrupt (attr type)");
+    }
+    GDMS_RETURN_NOT_OK(schema.AddAttr(name, static_cast<AttrType>(type)));
+  }
+  *ds.mutable_schema() = std::move(schema);
+
+  uint64_t nchroms = dr.GetVarint();
+  if (!dr.ok() || nchroms > (1 << 20)) {
+    return Status::ParseError(".gdmz directory corrupt (chrom table)");
+  }
+  std::vector<int32_t> chrom_ids;
+  chrom_ids.reserve(static_cast<size_t>(nchroms));
+  for (uint64_t c = 0; c < nchroms; ++c) {
+    std::string name = dr.GetString();
+    if (!dr.ok() || name.empty()) {
+      return Status::ParseError(".gdmz directory corrupt (chrom name)");
+    }
+    chrom_ids.push_back(gdm::InternChrom(name));
+  }
+
+  uint64_t ndict = dr.GetVarint();
+  if (!dr.ok() || ndict > (1ULL << 32)) {
+    return Status::ParseError(".gdmz directory corrupt (metadata dict)");
+  }
+  std::vector<std::string> meta_dict;
+  meta_dict.reserve(static_cast<size_t>(ndict));
+  for (uint64_t d = 0; d < ndict; ++d) {
+    meta_dict.push_back(dr.GetString());
+    if (!dr.ok()) {
+      return Status::ParseError(".gdmz directory corrupt (metadata dict)");
+    }
+  }
+
+  uint64_t nsamples = dr.GetVarint();
+  if (!dr.ok() || nsamples > (1ULL << 32)) {
+    return Status::ParseError(".gdmz directory corrupt (sample count)");
+  }
+  for (uint64_t si = 0; si < nsamples; ++si) {
+    Sample sample(static_cast<gdm::SampleId>(dr.GetFixed64()));
+    uint64_t nmeta = dr.GetVarint();
+    if (!dr.ok() || nmeta > (1ULL << 32)) {
+      return Status::ParseError(".gdmz directory corrupt (metadata count)");
+    }
+    for (uint64_t m = 0; m < nmeta; ++m) {
+      uint64_t a = dr.GetVarint();
+      uint64_t v = dr.GetVarint();
+      if (!dr.ok() || a >= meta_dict.size() || v >= meta_dict.size()) {
+        return Status::ParseError(".gdmz directory corrupt (metadata ref)");
+      }
+      sample.metadata.Add(meta_dict[static_cast<size_t>(a)],
+                          meta_dict[static_cast<size_t>(v)]);
+    }
+    uint64_t blob_offset = dr.GetVarint();
+    uint64_t blob_size = dr.GetVarint();
+    if (!dr.ok() || blob_offset < kGdmzHeaderSize || blob_offset > total ||
+        blob_size > total - blob_offset) {
+      return Status::ParseError(".gdmz sample blob out of bounds");
+    }
+    ByteReader br(bytes.data() + blob_offset,
+                  static_cast<size_t>(blob_size));
+    if (!DecodeSampleBlob(&br, chrom_ids, ds.schema(), &sample) || !br.ok()) {
+      return Status::ParseError(".gdmz sample blob corrupt (sample " +
+                                std::to_string(sample.id) + ")");
+    }
+    ds.AddSample(std::move(sample));
+  }
+
+  for (auto& s : *ds.mutable_samples()) s.SortNow();
+  GDMS_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+Result<gdm::Dataset> ReadGdmzString(const std::string& bytes) {
+  return ReadGdmzBytes(std::string_view(bytes));
+}
+
+Result<gdm::Dataset> OpenGdmz(const std::string& path) {
+#ifdef __unix__
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return Status::ParseError("not a .gdmz document (missing GDMZ magic)");
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        auto result =
+            ReadGdmzBytes(std::string_view(static_cast<char*>(map), size));
+        ::munmap(map, size);
+        ::close(fd);
+        return result;
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return ReadGdmzBytes(bytes);
+}
+
+}  // namespace gdms::io

@@ -1,0 +1,77 @@
+#ifndef GDMS_IO_GDMZ_H_
+#define GDMS_IO_GDMZ_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "gdm/dataset.h"
+
+namespace gdms::io {
+
+/// \brief The compressed columnar binary dataset format (".gdmz").
+///
+/// Layout (all integers little-endian; "varint" is LEB128, "zigzag" maps
+/// signed to unsigned before LEB128):
+///
+///     +------------------------------------------------------------+
+///     | header (32 B): magic "GDMZ" | u32 version | u64 total_size |
+///     |                u64 dir_offset | u64 dir_size               |
+///     +------------------------------------------------------------+
+///     | body: per-sample column blobs, 64-byte aligned             |
+///     +------------------------------------------------------------+
+///     | directory: dataset name, schema, chromosome name table,    |
+///     |   metadata string dictionary, per sample: id, metadata     |
+///     |   (attr/value dictionary indices), blob offset + size      |
+///     +------------------------------------------------------------+
+///
+/// Each sample blob stores the region columns of gdm/region_columns.h:
+/// the per-chromosome chunk directory (chrom table index, row count, max
+/// region length), then delta-varint left coordinates (delta within each
+/// chunk — sorted order makes them non-negative), varint region lengths,
+/// a strand column (uniform byte or 2-bit packed), and one value column
+/// per schema attribute. Value columns elide the validity bitmap when all
+/// rows are valid; INT values are zigzag varints, BOOL values bit-packed,
+/// STRING columns are dictionary- or shared-prefix(front)-coded by
+/// cardinality, and DOUBLE values use a 6-significant-digit decimal
+/// encoding (zigzag mantissa + run-length-encoded exponents) — exactly the
+/// fidelity of the "%.6g" text format, so a .gdmz round-trip equals a .gdm
+/// text round-trip bit for bit (non-finite and negative-zero doubles
+/// escape to raw 8-byte form).
+///
+/// total_size in the header frames the document, so concatenated .gdmz
+/// blobs (the federation wire format) can be split without scanning.
+
+inline constexpr char kGdmzMagic[4] = {'G', 'D', 'M', 'Z'};
+inline constexpr uint32_t kGdmzVersion = 1;
+inline constexpr size_t kGdmzHeaderSize = 32;
+
+/// True when `bytes` starts with the .gdmz magic.
+bool LooksLikeGdmz(std::string_view bytes);
+
+/// Total framed size of the .gdmz document starting at `bytes`, from the
+/// header (fails on short/foreign/corrupt input).
+Result<uint64_t> GdmzFramedSize(std::string_view bytes);
+
+/// Serializes `dataset` to the binary format.
+std::string WriteGdmzString(const gdm::Dataset& dataset);
+
+/// Writes `dataset` to `path`.
+Status WriteGdmz(const gdm::Dataset& dataset, const std::string& path);
+
+/// Parses a dataset from an in-memory .gdmz image. Every read is
+/// bounds-checked; truncated or corrupt input yields ParseError.
+Result<gdm::Dataset> ReadGdmzBytes(std::string_view bytes);
+
+/// Parses from a string (convenience for the protocol layer).
+Result<gdm::Dataset> ReadGdmzString(const std::string& bytes);
+
+/// Opens `path` via mmap (falling back to a buffered read when mapping is
+/// unavailable) and parses it — column payloads decode straight out of the
+/// page cache with no intermediate copy of the file image.
+Result<gdm::Dataset> OpenGdmz(const std::string& path);
+
+}  // namespace gdms::io
+
+#endif  // GDMS_IO_GDMZ_H_

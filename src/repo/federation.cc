@@ -4,6 +4,7 @@
 
 #include "core/parser.h"
 #include "io/gdm_format.h"
+#include "io/gdmz.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -119,9 +120,12 @@ Result<std::string> FederatedNode::HandleExecute(const std::string& gmql) {
     runner.RegisterDataset(*catalog_.Get(name));
   }
   GDMS_ASSIGN_OR_RETURN(auto results, runner.Run(gmql));
+  // Results travel in the compressed columnar wire format; the header's
+  // total_size field frames each document, so concatenation needs no
+  // delimiters (see ParseConcatenated).
   std::string payload;
   for (const auto& [name, ds] : results) {
-    payload += io::WriteGdmString(ds);
+    payload += io::WriteGdmzString(ds);
   }
   if (max_staged_bytes_ > 0 &&
       staged_bytes() + payload.size() > max_staged_bytes_) {
@@ -161,7 +165,7 @@ Result<std::string> FederatedNode::HandleDatasetDownload(
     const std::string& name) const {
   const gdm::Dataset* ds = catalog_.Get(name);
   if (ds == nullptr) return Status::NotFound("no dataset named " + name);
-  return io::WriteGdmString(*ds);
+  return io::WriteGdmzString(*ds);
 }
 
 void FederatedNode::ReleaseStaged(const std::string& query_id) {
@@ -201,13 +205,29 @@ FederatedNode* Coordinator::FindNode(const std::string& name) {
 
 namespace {
 
-/// Splits a concatenation of GDM documents back into datasets.
+/// Splits a concatenation of GDM documents back into datasets. Binary
+/// (.gdmz) documents are framed by the total_size field of their headers;
+/// legacy text payloads are still split on the text magic, so mixed-version
+/// federations interoperate.
 Result<std::map<std::string, gdm::Dataset>> ParseConcatenated(
     const std::string& payload) {
   std::map<std::string, gdm::Dataset> out;
   size_t pos = 0;
   const std::string magic = "#GDMS v1\n";
   while (pos < payload.size()) {
+    std::string_view rest(payload.data() + pos, payload.size() - pos);
+    if (io::LooksLikeGdmz(rest)) {
+      GDMS_ASSIGN_OR_RETURN(uint64_t framed, io::GdmzFramedSize(rest));
+      if (framed > rest.size()) {
+        return Status::ParseError("truncated .gdmz document in payload");
+      }
+      GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds,
+                            io::ReadGdmzBytes(rest.substr(0, framed)));
+      std::string name = ds.name();
+      out.insert_or_assign(std::move(name), std::move(ds));
+      pos += static_cast<size_t>(framed);
+      continue;
+    }
     size_t next = payload.find(magic, pos + 1);
     std::string doc = payload.substr(pos, next == std::string::npos
                                               ? std::string::npos
@@ -300,7 +320,10 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
     GDMS_ASSIGN_OR_RETURN(std::string payload,
                           node->HandleDatasetDownload(name));
     Account(0, 0, payload.size());
-    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds, io::ReadGdmString(payload));
+    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds,
+                          io::LooksLikeGdmz(payload)
+                              ? io::ReadGdmzString(payload)
+                              : io::ReadGdmString(payload));
     runner.RegisterDataset(std::move(ds));
   }
   return runner.Run(gmql);

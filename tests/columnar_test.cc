@@ -1,0 +1,406 @@
+// Columnar storage and batch-kernel tests: RegionColumns round-trips, the
+// batch sweeps against their row-based references (identical matches, same
+// emission order), engine-level columnar-vs-row equality, and the
+// thread-safety of the lazy per-sample caches (run under `ctest -L tsan`).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "core/runner.h"
+#include "engine/parallel_executor.h"
+#include "gdm/region_columns.h"
+#include "interval/accumulation.h"
+#include "interval/batch.h"
+#include "interval/sweep.h"
+#include "io/gdm_format.h"
+#include "sim/generators.h"
+
+namespace gdms {
+namespace {
+
+using gdm::AttrType;
+using gdm::Dataset;
+using gdm::GenomicRegion;
+using gdm::InternChrom;
+using gdm::RegionColumns;
+using gdm::RegionSchema;
+using gdm::Sample;
+using gdm::Strand;
+using gdm::Value;
+
+std::vector<GenomicRegion> RandomRegions(std::mt19937* rng, size_t n,
+                                         int chroms, int64_t span,
+                                         int64_t max_len) {
+  std::uniform_int_distribution<int> chrom_d(0, chroms - 1);
+  std::uniform_int_distribution<int64_t> left_d(0, span);
+  std::uniform_int_distribution<int64_t> len_d(0, max_len);
+  std::vector<GenomicRegion> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string chrom = "chr" + std::to_string(chrom_d(*rng) + 1);
+    int64_t left = left_d(*rng);
+    out.emplace_back(InternChrom(chrom), left, left + len_d(*rng));
+  }
+  gdm::SortRegions(&out);
+  return out;
+}
+
+interval::CoordView WholeView(const RegionColumns& cols) {
+  return interval::CoordView::Of(cols, 0, cols.size());
+}
+
+// ----------------------------------------------------------- RegionColumns
+
+TEST(RegionColumnsTest, RoundTripsAllValueTypes) {
+  RegionSchema schema;
+  ASSERT_TRUE(schema.AddAttr("i", AttrType::kInt).ok());
+  ASSERT_TRUE(schema.AddAttr("d", AttrType::kDouble).ok());
+  ASSERT_TRUE(schema.AddAttr("s", AttrType::kString).ok());
+  ASSERT_TRUE(schema.AddAttr("b", AttrType::kBool).ok());
+
+  std::vector<GenomicRegion> regions;
+  GenomicRegion a(InternChrom("chr1"), 10, 20, Strand::kPlus);
+  a.values = {Value(int64_t{42}), Value(2.5), Value("peak_a"), Value(true)};
+  GenomicRegion b(InternChrom("chr1"), 15, 30, Strand::kMinus);
+  b.values = {Value::Null(), Value(-1.25), Value::Null(), Value(false)};
+  GenomicRegion c(InternChrom("chr2"), 5, 5, Strand::kNone);
+  c.values = {Value(int64_t{-7}), Value::Null(), Value("peak_a"),
+              Value::Null()};
+  regions = {a, b, c};
+  gdm::SortRegions(&regions);
+
+  RegionColumns cols = RegionColumns::Build(regions, schema);
+  EXPECT_TRUE(cols.narrow());
+  EXPECT_EQ(cols.size(), 3u);
+  ASSERT_EQ(cols.chunks().size(), 2u);
+  EXPECT_EQ(cols.chunks()[0].chrom, InternChrom("chr1"));
+  EXPECT_EQ(cols.chunks()[0].end, 2u);
+  EXPECT_EQ(cols.MaxLen(InternChrom("chr1")), 15);
+  EXPECT_EQ(cols.MaxLen(InternChrom("chr2")), 0);
+  // The shared string interns once in the dictionary.
+  EXPECT_EQ(cols.attr(2).dict().size(), 1u);
+
+  std::vector<GenomicRegion> back = cols.ToRegions();
+  ASSERT_EQ(back.size(), regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_EQ(back[i].chrom, regions[i].chrom);
+    EXPECT_EQ(back[i].left, regions[i].left);
+    EXPECT_EQ(back[i].right, regions[i].right);
+    EXPECT_EQ(back[i].strand, regions[i].strand);
+    ASSERT_EQ(back[i].values.size(), regions[i].values.size());
+    for (size_t v = 0; v < regions[i].values.size(); ++v) {
+      EXPECT_EQ(back[i].values[v], regions[i].values[v])
+          << "row " << i << " attr " << v;
+    }
+  }
+}
+
+TEST(RegionColumnsTest, WideCoordinatesEscapeToInt64) {
+  RegionSchema schema;
+  std::vector<GenomicRegion> regions;
+  regions.emplace_back(InternChrom("chr1"), 100,
+                       int64_t{1} << 33);  // beyond int32
+  RegionColumns cols = RegionColumns::Build(regions, schema);
+  EXPECT_FALSE(cols.narrow());
+  EXPECT_EQ(cols.right(0), int64_t{1} << 33);
+  auto back = cols.ToRegions();
+  EXPECT_EQ(back[0].right, int64_t{1} << 33);
+}
+
+TEST(RegionColumnsTest, ChunkDirectoryMatchesChromIndex) {
+  std::mt19937 rng(7);
+  Sample s(1);
+  s.regions = RandomRegions(&rng, 500, 5, 1000000, 5000);
+  RegionSchema schema;
+  const RegionColumns& cols = s.columns(schema);
+  const auto& slices = s.chrom_index().slices();
+  ASSERT_EQ(cols.chunks().size(), slices.size());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_EQ(cols.chunks()[i].chrom, slices[i].chrom);
+    EXPECT_EQ(cols.chunks()[i].begin, slices[i].begin);
+    EXPECT_EQ(cols.chunks()[i].end, slices[i].end);
+    EXPECT_EQ(cols.chunks()[i].max_len, s.chrom_index().MaxLen(slices[i].chrom));
+  }
+}
+
+TEST(RegionColumnsTest, CacheInvalidatesOnMutation) {
+  Sample s(1);
+  s.regions.emplace_back(InternChrom("chr1"), 0, 10);
+  RegionSchema schema;
+  const RegionColumns* first = &s.columns(schema);
+  EXPECT_EQ(first, &s.columns(schema));  // cached
+  s.regions.emplace_back(InternChrom("chr1"), 5, 15);
+  s.SortNow();
+  const RegionColumns& rebuilt = s.columns(schema);
+  EXPECT_EQ(rebuilt.size(), 2u);
+}
+
+// ------------------------------------------------------------ batch kernels
+
+TEST(BatchKernelTest, CollectOverlapsMatchesRowJoinOrder) {
+  std::mt19937 rng(11);
+  for (int round = 0; round < 20; ++round) {
+    auto all_refs = RandomRegions(&rng, 200, 3, 100000, 3000);
+    auto all_exps = RandomRegions(&rng, 300, 3, 100000, 3000);
+    RegionSchema schema;
+    RegionColumns rcols = RegionColumns::Build(all_refs, schema);
+    RegionColumns ecols = RegionColumns::Build(all_exps, schema);
+
+    // Row reference, chunk by chromosome like the engine does.
+    for (const auto& rc : rcols.chunks()) {
+      const gdm::ColumnChunk* ec = ecols.FindChunk(rc.chrom);
+      size_t eb = ec == nullptr ? 0 : ec->begin;
+      size_t ee = ec == nullptr ? 0 : ec->end;
+      std::vector<GenomicRegion> refs(all_refs.begin() + rc.begin,
+                                      all_refs.begin() + rc.end);
+      std::vector<GenomicRegion> exps(all_exps.begin() + eb,
+                                      all_exps.begin() + ee);
+      std::vector<std::pair<size_t, size_t>> row_pairs;
+      interval::OverlapJoin(refs, exps, [&](size_t i, size_t a) {
+        row_pairs.emplace_back(i, a);
+      });
+
+      std::vector<interval::MatchPair> batch;
+      interval::CollectOverlaps(
+          interval::CoordView::Of(rcols, rc.begin, rc.end),
+          interval::CoordView::Of(ecols, eb, ee), &batch);
+      ASSERT_EQ(batch.size(), row_pairs.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(batch[i].ref, row_pairs[i].first);
+        EXPECT_EQ(batch[i].exp, row_pairs[i].second);
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, ExistsOverlapMatchesRowKernel) {
+  std::mt19937 rng(13);
+  for (int round = 0; round < 20; ++round) {
+    auto refs = RandomRegions(&rng, 150, 1, 50000, 2000);
+    auto exps = RandomRegions(&rng, 100, 1, 50000, 2000);
+    RegionSchema schema;
+    RegionColumns rcols = RegionColumns::Build(refs, schema);
+    RegionColumns ecols = RegionColumns::Build(exps, schema);
+    auto row_flags = interval::ExistsOverlap(refs, exps);
+    std::vector<char> batch_flags(refs.size(), 0);
+    interval::ExistsOverlapInto(WholeView(rcols), WholeView(ecols), 0,
+                                &batch_flags);
+    for (size_t i = 0; i < refs.size(); ++i) {
+      EXPECT_EQ(static_cast<bool>(batch_flags[i]),
+                static_cast<bool>(row_flags[i]))
+          << "ref " << i;
+    }
+  }
+}
+
+TEST(BatchKernelTest, ProfileFromCoordsMatchesRowProfile) {
+  std::mt19937 rng(17);
+  for (int round = 0; round < 20; ++round) {
+    auto regions = RandomRegions(&rng, 200, 1, 20000, 500);
+    auto row_profile = interval::AccumulationProfile(regions);
+    std::vector<int64_t> lefts, rights;
+    for (const auto& r : regions) {
+      lefts.push_back(r.left);
+      rights.push_back(r.right);
+    }
+    std::vector<interval::AccSegment> batch_profile;
+    interval::ProfileFromCoords(regions.empty() ? 0 : regions[0].chrom,
+                                lefts.data(), rights.data(), lefts.size(),
+                                &batch_profile);
+    ASSERT_EQ(batch_profile.size(), row_profile.size());
+    for (size_t i = 0; i < row_profile.size(); ++i) {
+      EXPECT_EQ(batch_profile[i].chrom, row_profile[i].chrom);
+      EXPECT_EQ(batch_profile[i].left, row_profile[i].left);
+      EXPECT_EQ(batch_profile[i].right, row_profile[i].right);
+      EXPECT_EQ(batch_profile[i].count, row_profile[i].count);
+    }
+  }
+}
+
+TEST(BatchKernelTest, NearestKViewMatchesRowKernel) {
+  std::mt19937 rng(19);
+  for (int round = 0; round < 10; ++round) {
+    auto refs = RandomRegions(&rng, 80, 1, 200000, 1000);
+    auto exps = RandomRegions(&rng, 120, 1, 200000, 1000);
+    RegionSchema schema;
+    RegionColumns rcols = RegionColumns::Build(refs, schema);
+    RegionColumns ecols = RegionColumns::Build(exps, schema);
+    for (size_t k : {1u, 3u}) {
+      std::vector<std::pair<size_t, size_t>> row_pairs, batch_pairs;
+      interval::NearestK(refs, exps, k, [&](size_t i, size_t a) {
+        row_pairs.emplace_back(i, a);
+      });
+      interval::NearestKView(WholeView(rcols), WholeView(ecols), k,
+                             [&](size_t i, size_t a) {
+                               batch_pairs.emplace_back(i, a);
+                             });
+      EXPECT_EQ(batch_pairs, row_pairs);
+    }
+  }
+}
+
+// --------------------------------------------------- engine equivalence ---
+
+/// Runs one GMQL program columnar and row-wise on the same sources and
+/// expects byte-identical text serializations of every output.
+void ExpectColumnarEquals(const std::string& gmql,
+                          const std::vector<Dataset>& sources,
+                          size_t threads = 3) {
+  std::map<std::string, std::string> texts[2];
+  for (int columnar = 0; columnar < 2; ++columnar) {
+    engine::EngineOptions opt;
+    opt.threads = threads;
+    engine::ParallelExecutor exec(opt);
+    core::QueryRunner runner(&exec);
+    runner.set_columnar(columnar == 1);
+    for (const auto& ds : sources) runner.RegisterDataset(ds);
+    auto results = runner.Run(gmql);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    for (const auto& [name, ds] : results.value()) {
+      texts[columnar][name] = io::WriteGdmString(ds);
+    }
+    if (columnar == 1) {
+      EXPECT_GT(exec.trace().columnar_tasks.load(), 0u)
+          << "columnar path not taken for: " << gmql;
+    }
+  }
+  EXPECT_EQ(texts[0], texts[1]) << gmql;
+}
+
+std::vector<Dataset> SimSources() {
+  auto genome = gdm::GenomeAssembly::HumanLike(4, 20000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 5;
+  popt.peaks_per_sample = 800;
+  std::vector<Dataset> out;
+  out.push_back(sim::GeneratePeakDataset(genome, popt, 3));
+  auto catalog = sim::GenerateGenes(genome, 200, 3);
+  out.push_back(sim::GenerateAnnotations(genome, catalog, {}, 3));
+  return out;
+}
+
+TEST(ColumnarEngineTest, MapEquivalence) {
+  ExpectColumnarEquals(
+      "R = MAP(n AS COUNT, avg_s AS AVG(signal), mx AS MAX(signal), "
+      "sd AS STD(signal), sm AS SUM(score), mn AS MIN(p_value), "
+      "nn AS COUNT(name)) ANNOTATIONS ENCODE; MATERIALIZE R;",
+      SimSources());
+}
+
+TEST(ColumnarEngineTest, MapStringAggregateEquivalence) {
+  // MIN/MAX over a STRING column: non-null counting without numerics.
+  ExpectColumnarEquals(
+      "R = MAP(m AS MIN(name), s AS SUM(name)) ANNOTATIONS ENCODE; "
+      "MATERIALIZE R;",
+      SimSources());
+}
+
+TEST(ColumnarEngineTest, DifferenceEquivalence) {
+  ExpectColumnarEquals(
+      "D = DIFFERENCE() ANNOTATIONS ENCODE; MATERIALIZE D;", SimSources());
+}
+
+TEST(ColumnarEngineTest, CoverVariantsEquivalence) {
+  ExpectColumnarEquals("C = COVER(2, ANY) ENCODE; MATERIALIZE C;",
+                       SimSources());
+  ExpectColumnarEquals("H = HISTOGRAM(1, ANY) ENCODE; MATERIALIZE H;",
+                       SimSources());
+  ExpectColumnarEquals("S = SUMMIT(2, 5) ENCODE; MATERIALIZE S;",
+                       SimSources());
+}
+
+TEST(ColumnarEngineTest, MedianFallsBackToRowPath) {
+  engine::EngineOptions opt;
+  opt.threads = 2;
+  engine::ParallelExecutor exec(opt);
+  core::QueryRunner runner(&exec);
+  for (const auto& ds : SimSources()) runner.RegisterDataset(ds);
+  auto results = runner.Run(
+      "R = MAP(md AS MEDIAN(signal)) ANNOTATIONS ENCODE; MATERIALIZE R;");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(exec.trace().columnar_tasks.load(), 0u);
+}
+
+TEST(ColumnarEngineTest, NullValuesEquivalence) {
+  // Hand-built exp dataset with NULL-heavy columns.
+  RegionSchema schema;
+  ASSERT_TRUE(schema.AddAttr("v", AttrType::kDouble).ok());
+  ASSERT_TRUE(schema.AddAttr("tag", AttrType::kString).ok());
+  Dataset exp("EXP", schema);
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> val(0, 100);
+  for (int s = 0; s < 3; ++s) {
+    Sample smp(s + 1);
+    smp.metadata.Add("k", "v");
+    auto regions = RandomRegions(&rng, 150, 2, 50000, 1500);
+    for (size_t i = 0; i < regions.size(); ++i) {
+      regions[i].values = {
+          i % 3 == 0 ? Value::Null() : Value(val(rng)),
+          i % 4 == 0 ? Value::Null() : Value("t" + std::to_string(i % 5))};
+    }
+    smp.regions = std::move(regions);
+    smp.SortNow();
+    exp.AddSample(std::move(smp));
+  }
+  ASSERT_TRUE(exp.Validate().ok());
+
+  RegionSchema ref_schema;
+  Dataset ref("REF", ref_schema);
+  Sample rs(1);
+  rs.metadata.Add("k", "v");
+  rs.regions = RandomRegions(&rng, 100, 2, 50000, 3000);
+  rs.SortNow();
+  ref.AddSample(std::move(rs));
+  ASSERT_TRUE(ref.Validate().ok());
+
+  ExpectColumnarEquals(
+      "R = MAP(n AS COUNT, a AS AVG(v), sd AS STD(v), nv AS COUNT(v), "
+      "nt AS COUNT(tag)) REF EXP; MATERIALIZE R;",
+      {ref, exp});
+}
+
+// ------------------------------------------------------- cache thread-safety
+
+// Exercises the lazy ChromIndex / RegionColumns publication under
+// concurrent first access (the regression the engine's pre-touch loops used
+// to paper over). Run under `ctest -L tsan` to verify with ThreadSanitizer.
+TEST(ColumnarCacheTest, ConcurrentLazyBuildIsSafe) {
+  std::mt19937 rng(29);
+  RegionSchema schema;
+  ASSERT_TRUE(schema.AddAttr("x", AttrType::kInt).ok());
+  for (int round = 0; round < 5; ++round) {
+    Sample s(1);
+    s.regions = RandomRegions(&rng, 400, 4, 500000, 2000);
+    for (auto& r : s.regions) r.values = {Value(int64_t{1})};
+    constexpr int kThreads = 8;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> workers;
+    std::vector<size_t> index_sizes(kThreads), column_sizes(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {
+        }
+        // Half the threads race the index, half the columns, all then read.
+        if (t % 2 == 0) {
+          index_sizes[t] = s.chrom_index().slices().size();
+          column_sizes[t] = s.columns(schema).size();
+        } else {
+          column_sizes[t] = s.columns(schema).size();
+          index_sizes[t] = s.chrom_index().slices().size();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(column_sizes[t], s.regions.size());
+      EXPECT_EQ(index_sizes[t], s.chrom_index().slices().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdms

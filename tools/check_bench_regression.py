@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a bench_e1 JSON report against the checked-in baseline.
+"""Compare a bench JSON report against the checked-in baseline.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.15]
 
-Fails (exit 1) when:
+The report schema is auto-detected from the `experiment` field:
+
+bench_e1 reports fail (exit 1) when:
   * a scale row's wall_seconds regressed by more than the tolerance,
   * the fusion speedup dropped below baseline * (1 - tolerance),
   * fusion stopped eliminating intermediate datasets or chains
     (these are exact counts, not timings — any increase is a bug),
   * a scale row's result shape (result_regions) changed.
+
+bench_e7 reports fail when:
+  * the columnar speedup at max threads falls below the 1.5x acceptance
+    floor or below baseline * (1 - tolerance),
+  * the .gdmz/.gdm size ratio falls below the 3x acceptance floor or the
+    encoded size grew beyond tolerance (both figures are byte counts of a
+    seeded corpus, so they are machine-independent),
+  * bytes_resident is missing or grew beyond tolerance,
+  * a (threads, scheduling, columnar) row's wall_seconds regressed beyond
+    the tolerance, or its task count changed (task counts are exact).
 
 Timing improvements and faster rows are reported but never fail the gate.
 """
@@ -17,6 +29,14 @@ Timing improvements and faster rows are reported but never fail the gate.
 import argparse
 import json
 import sys
+
+# Acceptance floors from the E7 columnar-storage work: the columnar fast
+# path must stay >= 1.5x over the row path at the max measured thread
+# count, and .gdmz must stay >= 3x smaller than the text format. These are
+# absolute (not relative-to-baseline) so a slow baseline can never mask a
+# real regression below the shipped figures.
+E7_MIN_COLUMNAR_SPEEDUP = 1.5
+E7_MIN_SIZE_RATIO = 3.0
 
 
 def load(path):
@@ -28,24 +48,7 @@ def runs_by_samples(report):
     return {run["samples"]: run for run in report.get("runs", [])}
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.15,
-        help="allowed fractional slowdown before failing (default 0.15)",
-    )
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    current = load(args.current)
-    tol = args.tolerance
-    failures = []
-    notes = []
-
+def check_e1(baseline, current, tol, failures, notes):
     base_runs = runs_by_samples(baseline)
     cur_runs = runs_by_samples(current)
     for samples, base in sorted(base_runs.items()):
@@ -92,6 +95,110 @@ def main():
             f"fusion_chains: {baseline['fusion_chains']} -> "
             f"{current['fusion_chains']} (fusion stopped firing)"
         )
+
+
+def e7_rows(report):
+    return {
+        (run["threads"], run["scheduling"], run.get("columnar", 1)): run
+        for run in report.get("runs", [])
+    }
+
+
+def check_e7(baseline, current, tol, failures, notes):
+    # Absolute acceptance floors first: these hold regardless of baseline.
+    speedup = current.get("columnar_speedup_at_max_threads")
+    if speedup is None:
+        failures.append("columnar_speedup_at_max_threads missing from report")
+    else:
+        line = f"columnar_speedup_at_max_threads: {speedup:.2f}x (floor {E7_MIN_COLUMNAR_SPEEDUP}x)"
+        if speedup < E7_MIN_COLUMNAR_SPEEDUP:
+            failures.append(line + " below acceptance floor")
+        else:
+            notes.append(line)
+        base_speedup = baseline.get("columnar_speedup_at_max_threads")
+        if base_speedup and speedup < base_speedup * (1 - tol):
+            failures.append(
+                f"columnar_speedup_at_max_threads: {base_speedup:.2f}x -> "
+                f"{speedup:.2f}x dropped more than {tol:.0%}"
+            )
+
+    ratio = current.get("size_ratio")
+    if ratio is None:
+        failures.append("size_ratio missing from report")
+    else:
+        line = f"size_ratio (text/.gdmz): {ratio:.2f}x (floor {E7_MIN_SIZE_RATIO}x)"
+        if ratio < E7_MIN_SIZE_RATIO:
+            failures.append(line + " below acceptance floor")
+        else:
+            notes.append(line)
+
+    # Byte figures are seeded-corpus counts — machine-independent, so drift
+    # means the encoder (or corpus) actually changed.
+    for key in ("gdmz_bytes", "bytes_resident"):
+        if key not in current:
+            failures.append(f"{key} missing from report")
+            continue
+        base = baseline.get(key)
+        if base is None:
+            notes.append(f"{key}: {current[key]} (no baseline figure)")
+            continue
+        growth = current[key] / base
+        line = f"{key}: {base} -> {current[key]} ({growth:.2f}x)"
+        if growth > 1 + tol:
+            failures.append(line + f" exceeds +{tol:.0%} tolerance")
+        else:
+            notes.append(line)
+
+    base_rows = e7_rows(baseline)
+    cur_rows = e7_rows(current)
+    for key, base in sorted(base_rows.items()):
+        cur = cur_rows.get(key)
+        threads, scheduling, columnar = key
+        label = f"threads={threads} {scheduling}{' columnar' if columnar else ''}"
+        if cur is None:
+            failures.append(f"row {label} missing from current report")
+            continue
+        if base.get("tasks") != cur.get("tasks"):
+            failures.append(
+                f"{label}: tasks changed {base.get('tasks')} -> {cur.get('tasks')}"
+            )
+        bw, cw = base["wall_seconds"], cur["wall_seconds"]
+        wall = cw / bw
+        line = f"{label}: wall {bw:.3f}s -> {cw:.3f}s ({wall:.2f}x)"
+        if wall > 1 + tol:
+            failures.append(line + f" exceeds +{tol:.0%} tolerance")
+        else:
+            notes.append(line)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown before failing (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    tol = args.tolerance
+    failures = []
+    notes = []
+
+    experiment = current.get("experiment", "")
+    if experiment != baseline.get("experiment", ""):
+        failures.append(
+            f"experiment mismatch: baseline {baseline.get('experiment')!r} "
+            f"vs current {experiment!r}"
+        )
+    elif experiment.startswith("E7"):
+        check_e7(baseline, current, tol, failures, notes)
+    else:
+        check_e1(baseline, current, tol, failures, notes)
 
     for note in notes:
         print(f"ok   {note}")

@@ -8,7 +8,8 @@
 // Usage:
 //   gdms_shell [--load NAME=FILE]... [--query FILE | --exec GMQL]
 //              [--out DIR] [--parallel [THREADS]] [--no-optimize]
-//              [--no-fusion] [--show CHR:LEFT-RIGHT] [--demo]
+//              [--no-fusion] [--no-columnar] [--show CHR:LEFT-RIGHT]
+//              [--demo] [--gdmz-selftest]
 //              [--trace FILE.json] [--metrics]
 //              [--serve] [--sample-ms N] [--query-log FILE]
 //              [--slow-ms X] [--expo FILE]
@@ -52,6 +53,7 @@
 #include "engine/parallel_executor.h"
 #include "io/bed.h"
 #include "io/gdm_format.h"
+#include "io/gdmz.h"
 #include "io/gtf.h"
 #include "io/track_render.h"
 #include "io/vcf.h"
@@ -76,6 +78,12 @@ int Fail(const std::string& message) {
 
 Result<gdm::Dataset> LoadFile(const std::string& name,
                               const std::string& path) {
+  if (EndsWith(path, ".gdmz")) {
+    // Binary columnar format; decoded straight out of the mapped file.
+    GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds, io::OpenGdmz(path));
+    ds.set_name(name);
+    return ds;
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   if (EndsWith(path, ".gdm")) {
@@ -107,7 +115,7 @@ Result<gdm::Dataset> LoadFile(const std::string& name,
     schema = io::BedSchema(columns >= 5 ? 5 : columns);
   } else {
     return Status::InvalidArgument(
-        "unrecognized extension (want .bed/.narrowPeak/.gtf/.vcf/.gdm): " +
+        "unrecognized extension (want .bed/.narrowPeak/.gtf/.vcf/.gdm/.gdmz): " +
         path);
   }
   sample.metadata.Add("source_file", path);
@@ -149,6 +157,56 @@ bool StripExplainAnalyze(std::string* gmql) {
   }
   *gmql = text.substr(pos);
   return true;
+}
+
+/// `--gdmz-selftest`: an in-process smoke of the binary format, runnable
+/// under the sanitizer builds in CI. Round-trips a generated dataset
+/// through .gdmz, checks the result is byte-identical to the text
+/// round-trip (the formats share the decimal-6 double fidelity), and feeds
+/// the decoder truncated and corrupted images, which must be rejected — not
+/// crash, not loop.
+int RunGdmzSelftest() {
+  auto genome = gdm::GenomeAssembly::HumanLike(4, 30000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 4;
+  popt.peaks_per_sample = 1000;
+  gdm::Dataset generated = sim::GeneratePeakDataset(genome, popt, 7);
+  // A text round-trip first, so the baseline carries text-representable
+  // doubles (the equality below is then exact, not approximate).
+  auto base = io::ReadGdmString(io::WriteGdmString(generated));
+  if (!base.ok()) {
+    return Fail("selftest: text round-trip: " + base.status().ToString());
+  }
+  std::string bin = io::WriteGdmzString(base.value());
+  auto back = io::ReadGdmzString(bin);
+  if (!back.ok()) {
+    return Fail("selftest: gdmz round-trip: " + back.status().ToString());
+  }
+  std::string text_a = io::WriteGdmString(base.value());
+  std::string text_b = io::WriteGdmString(back.value());
+  if (text_a != text_b) {
+    return Fail("selftest: gdmz round-trip diverged from the text form");
+  }
+  for (size_t cut = 0; cut < bin.size(); cut = cut * 2 + 7) {
+    if (io::ReadGdmzBytes(std::string_view(bin.data(), cut)).ok()) {
+      return Fail("selftest: truncated image accepted at " +
+                  std::to_string(cut) + " bytes");
+    }
+  }
+  std::string corrupt = bin;
+  for (size_t i = 0; i < corrupt.size(); i += 97) {
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5a);
+    // Decoding flipped bytes may legitimately succeed for payload bytes
+    // that only change values; the requirement is no crash/UB (the point
+    // of running this under ASan/UBSan).
+    (void)io::ReadGdmzBytes(corrupt);
+    corrupt[i] = bin[i];
+  }
+  std::printf("gdmz selftest ok: %zu text bytes -> %zu gdmz bytes (%.2fx)\n",
+              text_a.size(), bin.size(),
+              static_cast<double>(text_a.size()) /
+                  static_cast<double>(bin.size()));
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -437,6 +495,8 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   bool optimize = true;
   bool fusion = true;
+  bool columnar = true;
+  bool gdmz_selftest = false;
   bool demo = false;
   bool serve = false;
   ServeConfig serve_config;
@@ -487,6 +547,10 @@ int main(int argc, char** argv) {
       optimize = false;
     } else if (arg == "--no-fusion") {
       fusion = false;
+    } else if (arg == "--no-columnar") {
+      columnar = false;
+    } else if (arg == "--gdmz-selftest") {
+      gdmz_selftest = true;
     } else if (arg == "--demo") {
       demo = true;
     } else if (arg == "--trace") {
@@ -518,7 +582,9 @@ int main(int argc, char** argv) {
           "usage: gdms_shell [--repo DIR] [--load NAME=FILE]...\n"
           "                  [--query FILE | --exec GMQL]\n"
           "                  [--out DIR] [--parallel [N]] [--no-optimize]\n"
-          "                  [--no-fusion] [--show CHR:LEFT-RIGHT] [--demo]\n"
+          "                  [--no-fusion] [--no-columnar]\n"
+          "                  [--show CHR:LEFT-RIGHT] [--demo]\n"
+          "                  [--gdmz-selftest]\n"
           "                  [--trace FILE.json] [--metrics]\n"
           "                  [--serve] [--sample-ms N] [--expo FILE]\n"
           "                  [--query-log FILE] [--slow-ms X]\n"
@@ -529,6 +595,8 @@ int main(int argc, char** argv) {
       return Fail("unknown argument " + arg + " (try --help)");
     }
   }
+
+  if (gdmz_selftest) return RunGdmzSelftest();
 
   std::unique_ptr<engine::ParallelExecutor> executor;
   std::unique_ptr<core::QueryRunner> runner;
@@ -542,6 +610,7 @@ int main(int argc, char** argv) {
   }
   runner->set_optimize(optimize);
   runner->set_fusion(fusion);
+  runner->set_columnar(columnar);
 
   if (demo) LoadDemo(runner.get());
   if (!repo_dir.empty()) {
