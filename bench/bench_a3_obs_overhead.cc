@@ -16,7 +16,11 @@
 //     designed to stay off the query's critical path (the sampler reads
 //     relaxed atomics on its own thread; the log writes one line per
 //     query), so this too must stay within 2%.
-//  3. End-to-end figures (informational): the E7-style MAP query under the
+//  3. Accounting gate (exit code): the same E1-style batch with per-query
+//     byte accounting on (the default) vs. forced off via the
+//     ResourceTracker kill switch — the per-operator Charge walks and the
+//     storage-gauge registry must also stay within 2%.
+//  4. End-to-end figures (informational): the E7-style MAP query under the
 //     parallel executor with tracing off vs. on, showing what a traced run
 //     actually costs.
 
@@ -33,6 +37,7 @@
 #include "core/runner.h"
 #include "engine/parallel_executor.h"
 #include "obs/query_log.h"
+#include "obs/resource.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/generators.h"
@@ -211,6 +216,73 @@ int RunTelemetryGate() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Accounting gate: E1-style workload with byte accounting on vs. off
+// ---------------------------------------------------------------------------
+
+/// Times one E1-style batch with resource accounting forced on or off. The
+/// enabled path pays the per-operator Charge (an EstimateResidentBytes walk
+/// of each operator's output) plus the storage Touch per source.
+double AccountingBatchSeconds(core::QueryRunner* runner, bool enabled) {
+  obs::ResourceTracker::Global().set_accounting_enabled(enabled);
+  Timer timer;
+  for (int i = 0; i < kBatchQueries; ++i) {
+    auto results = runner->Run(kQuery);
+    if (!results.ok()) std::abort();
+  }
+  return timer.Seconds();
+}
+
+Round MeasureAccountingRound(int n, core::QueryRunner* runner) {
+  Round r;
+  for (int i = 0; i < n; ++i) {
+    r.plain = std::min(r.plain, AccountingBatchSeconds(runner, false));
+    r.live = std::min(r.live, AccountingBatchSeconds(runner, true));
+  }
+  return r;
+}
+
+int RunAccountingGate() {
+  bench::Header("A3c (gate): byte accounting on the E1 workload",
+                "per-query/per-operator accounting + storage gauges vs. "
+                "accounting off");
+  obs::Tracer::Global().set_enabled(false);
+  engine::EngineOptions options;
+  options.threads = 2;
+  engine::ParallelExecutor executor(options);
+  core::QueryRunner runner(&executor);
+  auto genome = gdm::GenomeAssembly::HumanLike(8, 100000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 6;
+  popt.peaks_per_sample = 20000;
+  runner.RegisterDataset(sim::GeneratePeakDataset(genome, popt, 7));
+  auto catalog = sim::GenerateGenes(genome, 2000, 7);
+  runner.RegisterDataset(sim::GenerateAnnotations(genome, catalog, {}, 7));
+
+  AccountingBatchSeconds(&runner, true);  // warmup
+  Round best = MeasureAccountingRound(3, &runner);
+  for (int round = 1; round < 3 && best.OverheadPct() > kMaxOverheadPct;
+       ++round) {
+    Round r = MeasureAccountingRound(3, &runner);
+    if (r.OverheadPct() < best.OverheadPct()) best = r;
+  }
+  obs::ResourceTracker::Global().set_accounting_enabled(true);
+  double overhead_pct = best.OverheadPct();
+  std::printf("%22s %12.3f ms\n", "E1 batch, no accounting",
+              best.plain * 1e3);
+  std::printf("%22s %12.3f ms\n", "E1 batch, accounting", best.live * 1e3);
+  std::printf("%22s %+12.2f %%  (gate: <= %.1f%%)\n", "overhead",
+              overhead_pct, kMaxOverheadPct);
+  if (overhead_pct > kMaxOverheadPct) {
+    std::fprintf(stderr,
+                 "FAIL: accounting overhead %.2f%% exceeds %.1f%%\n",
+                 overhead_pct, kMaxOverheadPct);
+    return 1;
+  }
+  bench::Note("ok: byte accounting within budget");
+  return 0;
+}
+
 int RunGate() {
   bench::Header("A3 (ablation): no-op tracing overhead",
                 "observability tentpole: disabled-tracer fast path must stay "
@@ -265,7 +337,9 @@ BENCHMARK(BM_StagePass)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   int gate = RunGate();
   int telemetry_gate = RunTelemetryGate();
+  int accounting_gate = RunAccountingGate();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return gate != 0 ? gate : telemetry_gate;
+  if (gate != 0) return gate;
+  return telemetry_gate != 0 ? telemetry_gate : accounting_gate;
 }

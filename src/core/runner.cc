@@ -25,6 +25,26 @@ class ScopedParent {
   uint64_t prev_;
 };
 
+/// Publishes an account as the process's active query account for the
+/// duration of one RunProgram, restoring nullptr on every exit path.
+class ActiveQueryScope {
+ public:
+  explicit ActiveQueryScope(obs::QueryAccounting* account) {
+    obs::ResourceTracker::Global().SetActiveQuery(account);
+  }
+  ~ActiveQueryScope() {
+    obs::ResourceTracker::Global().SetActiveQuery(nullptr);
+  }
+  ActiveQueryScope(const ActiveQueryScope&) = delete;
+  ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+};
+
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_mem_evictions_total");
+  return c;
+}
+
 /// The registry counters whose deltas RunStats attributes to one query.
 struct FedCounters {
   obs::Counter* requests;
@@ -50,9 +70,86 @@ QueryRunner::QueryRunner()
 
 QueryRunner::QueryRunner(Executor* executor) : executor_(executor) {}
 
+QueryRunner::~QueryRunner() {
+  for (const auto& [name, token] : storage_tokens_) {
+    obs::ResourceTracker::Global().UnregisterStorage(token);
+  }
+}
+
+QueryRunner::QueryRunner(QueryRunner&& other) noexcept
+    : owned_executor_(std::move(other.owned_executor_)),
+      executor_(other.executor_),
+      sources_(std::move(other.sources_)),
+      storage_tokens_(std::move(other.storage_tokens_)),
+      options_(other.options_),
+      stats_(std::move(other.stats_)) {
+  other.executor_ = nullptr;
+  other.sources_.clear();
+  other.storage_tokens_.clear();
+}
+
+QueryRunner& QueryRunner::operator=(QueryRunner&& other) noexcept {
+  if (this != &other) {
+    for (const auto& [name, token] : storage_tokens_) {
+      obs::ResourceTracker::Global().UnregisterStorage(token);
+    }
+    owned_executor_ = std::move(other.owned_executor_);
+    executor_ = other.executor_;
+    sources_ = std::move(other.sources_);
+    storage_tokens_ = std::move(other.storage_tokens_);
+    options_ = other.options_;
+    stats_ = std::move(other.stats_);
+    other.executor_ = nullptr;
+    other.sources_.clear();
+    other.storage_tokens_.clear();
+  }
+  return *this;
+}
+
 void QueryRunner::RegisterDataset(gdm::Dataset dataset) {
   std::string name = dataset.name();
-  sources_.insert_or_assign(std::move(name), std::move(dataset));
+  obs::ResourceTracker& tracker = obs::ResourceTracker::Global();
+  // Replacement destroys the old Dataset in place; drop its registration
+  // first so the sampler cannot walk a dataset mid-assignment (Unregister
+  // synchronizes with the tracker's callback lock).
+  auto tok = storage_tokens_.find(name);
+  if (tok != storage_tokens_.end()) {
+    tracker.UnregisterStorage(tok->second);
+    storage_tokens_.erase(tok);
+  }
+  auto [it, inserted] =
+      sources_.insert_or_assign(std::move(name), std::move(dataset));
+  (void)inserted;
+  gdm::Dataset* ds = &it->second;
+  // Row storage is immutable once registered, so its (O(regions)) estimate
+  // is computed once here; only the columnar-cache occupancy is live.
+  uint64_t row_bytes = ds->EstimateResidentBytes();
+  uint64_t token = tracker.RegisterStorage(
+      it->first,
+      [ds, row_bytes] {
+        obs::StorageUsage usage;
+        usage.rows_bytes = row_bytes;
+        usage.columnar_bytes = ds->ColumnarCacheBytes();
+        return usage;
+      },
+      [ds](uint64_t want_bytes) {
+        // Shed callback: drop built columnar caches sample by sample until
+        // the request is satisfied. Caches rebuild lazily from the intact
+        // row storage, so results are unaffected. Only ever called between
+        // queries (ResourceTracker::MaybeShed contract).
+        uint64_t freed = 0, evicted = 0;
+        for (auto& s : *ds->mutable_samples()) {
+          if (freed >= want_bytes) break;
+          uint64_t b = s.EvictColumns();
+          if (b > 0) {
+            freed += b;
+            ++evicted;
+          }
+        }
+        if (evicted > 0) EvictionsCounter()->Add(evicted);
+        return freed;
+      });
+  storage_tokens_.emplace(it->first, token);
 }
 
 const gdm::Dataset* QueryRunner::FindDataset(const std::string& name) const {
@@ -88,6 +185,14 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   uint64_t fed_received0 = fed.received->value();
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::Span query_span = tracer.StartSpan("query", "query", 0);
+  // Byte accounting: publish a fresh account as the process's active query
+  // so operator-output charges (Evaluate) and engine scratch-buffer charges
+  // (ScopedCharge in the flat scheduler) attribute here. Per-process, like
+  // the fed counters: concurrent runners would cross-attribute.
+  obs::ResourceTracker& tracker = obs::ResourceTracker::Global();
+  bool accounting = tracker.accounting_enabled();
+  obs::QueryAccounting account;
+  ActiveQueryScope account_scope(accounting ? &account : nullptr);
   if (options_.optimize) {
     stats_.optimizer = Optimizer::Optimize(&program);
   }
@@ -152,6 +257,22 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   stats_.fed_requests = fed.requests->value() - fed_requests0;
   stats_.fed_bytes_shipped = fed.shipped->value() - fed_shipped0;
   stats_.fed_bytes_received = fed.received->value() - fed_received0;
+  if (accounting) {
+    stats_.alloc_bytes = account.alloc_bytes();
+    stats_.peak_bytes = account.peak_bytes();
+    stats_.op_bytes = account.OperatorStats();
+    tracker.NoteQueryPeak(stats_.peak_bytes);
+    if (query_span.active()) {
+      query_span.AddAttr("peak_bytes",
+                         static_cast<double>(stats_.peak_bytes));
+      query_span.AddAttr("alloc_bytes",
+                         static_cast<double>(stats_.alloc_bytes));
+    }
+  }
+  // The query has quiesced: its intermediates are freed with the memo table
+  // below, so this is the safe point for the watermark shedder to drop
+  // columnar caches / cold pages if a budget is set.
+  tracker.MaybeShed();
   uint64_t query_span_id = query_span.id();
   query_span.End();
   if (query_span_id != 0) {
@@ -191,6 +312,11 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
     if (src == nullptr) {
       return Status::NotFound("unknown dataset: " + node->name);
     }
+    // LRU bump for the shedder: this dataset's caches were just used.
+    auto tok = storage_tokens_.find(node->name);
+    if (tok != storage_tokens_.end()) {
+      obs::ResourceTracker::Global().Touch(tok->second);
+    }
     return src;
   }
   obs::Tracer& tracer = obs::Tracer::Global();
@@ -205,10 +331,9 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
   // A fused node's span names every logical operator in the chain
   // ("MAP+SELECT") and carries fused=true, so EXPLAIN ANALYZE stays truthful
   // about which operators ran even though they share one physical stage.
-  obs::Span span = tracer.StartSpan(node->kind == OpKind::kFused
-                                        ? node->FusedChainName()
-                                        : OpKindName(node->kind),
-                                    "operator", parent_span);
+  std::string op_name = node->kind == OpKind::kFused ? node->FusedChainName()
+                                                     : OpKindName(node->kind);
+  obs::Span span = tracer.StartSpan(op_name, "operator", parent_span);
   if (node->kind == OpKind::kFused && span.active()) {
     span.AddAttr("fused", 1);
     span.AddAttr("fused_stages",
@@ -224,10 +349,22 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
   // Publish this operator's span as the cross-layer parent: engine stage
   // spans and federation hops emitted inside Execute nest under it.
   ExecutorStats before = span.active() ? executor_->stats() : ExecutorStats{};
+  // Name the operator for byte attribution: scratch buffers the engine
+  // charges during Execute and the output charge below land on it.
+  obs::QueryAccounting* account =
+      obs::ResourceTracker::Global().active_query();
+  if (account != nullptr) account->SetCurrentOp(op_name);
   gdm::Dataset out;
   {
     ScopedParent scope(&tracer, span.id());
     GDMS_ASSIGN_OR_RETURN(out, executor_->Execute(*node, inputs));
+  }
+  if (account != nullptr) {
+    uint64_t out_bytes = out.EstimateResidentBytes();
+    account->Charge(out_bytes);
+    if (span.active()) {
+      span.AddAttr("out_bytes", static_cast<double>(out_bytes));
+    }
   }
   if (span.active()) {
     ExecutorStats after = executor_->stats();
@@ -270,6 +407,8 @@ obs::QueryLogEntry MakeQueryLogEntry(const std::string& query,
   entry.fed_requests = stats.fed_requests;
   entry.fed_bytes_shipped = stats.fed_bytes_shipped;
   entry.fed_bytes_received = stats.fed_bytes_received;
+  entry.alloc_bytes = stats.alloc_bytes;
+  entry.peak_bytes = stats.peak_bytes;
   entry.profile = stats.profile;
   return entry;
 }

@@ -13,6 +13,7 @@
 #include "gdm/dataset.h"
 #include "obs/profile.h"
 #include "obs/query_log.h"
+#include "obs/resource.h"
 
 namespace gdms::core {
 
@@ -52,6 +53,13 @@ struct RunStats {
   uint64_t fed_requests = 0;
   uint64_t fed_bytes_shipped = 0;
   uint64_t fed_bytes_received = 0;
+  /// Byte accounting of this query (obs::QueryAccounting): cumulative bytes
+  /// charged for operator outputs and engine scratch buffers, the
+  /// high-water of live bytes, and the per-operator breakdown. Zeros when
+  /// ResourceTracker accounting is disabled.
+  uint64_t alloc_bytes = 0;
+  uint64_t peak_bytes = 0;
+  std::vector<obs::OpByteStat> op_bytes;
   double wall_seconds = 0;
   /// The query's span tree — one operator span per evaluated plan node with
   /// engine stage / federation spans nested beneath. Only populated while
@@ -71,8 +79,19 @@ class QueryRunner {
   /// Uses a caller-provided executor (e.g. a parallel engine); the executor
   /// must outlive the runner.
   explicit QueryRunner(Executor* executor);
+  ~QueryRunner();
+  QueryRunner(const QueryRunner&) = delete;
+  QueryRunner& operator=(const QueryRunner&) = delete;
+  /// Movable: the tracker callbacks point into sources_ map nodes, whose
+  /// addresses survive a move of the map, so registrations stay valid and
+  /// ownership of the tokens transfers with them.
+  QueryRunner(QueryRunner&& other) noexcept;
+  QueryRunner& operator=(QueryRunner&& other) noexcept;
 
-  /// Registers a source dataset under its name (replacing any previous one).
+  /// Registers a source dataset under its name (replacing any previous one)
+  /// and publishes its storage residency to obs::ResourceTracker — the
+  /// per-dataset gauges and the columnar-cache shed callback the memory
+  /// budget drives.
   void RegisterDataset(gdm::Dataset dataset);
 
   /// Access to a registered dataset; nullptr if absent.
@@ -111,6 +130,9 @@ class QueryRunner {
   std::unique_ptr<Executor> owned_executor_;
   Executor* executor_;
   std::map<std::string, gdm::Dataset> sources_;
+  /// ResourceTracker registration per source dataset (map nodes are
+  /// address-stable, so the tracker callbacks point into sources_).
+  std::map<std::string, uint64_t> storage_tokens_;
   ExecOptions options_;
   RunStats stats_;
 };

@@ -11,6 +11,7 @@
 #include "interval/batch.h"
 #include "interval/sweep.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace gdms::engine {
@@ -33,6 +34,17 @@ using gdm::Sample;
 using gdm::Value;
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Total bytes held by a materialized-backend shuffle buffer pair, charged
+/// to the active query's current operator for the shuffle's lifetime (the
+/// stage barrier means the runner thread is still inside that operator).
+uint64_t ShuffleBufferBytes(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  uint64_t total = 0;
+  for (const auto& s : a) total += s.size();
+  for (const auto& s : b) total += s.size();
+  return total;
+}
 
 /// Overlap sweep over single-chromosome slices (both sorted by left).
 /// `window` > 0 turns it into a distance-window sweep.
@@ -697,6 +709,8 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
               kRelaxed);
         });
         trace_.stage_barriers.fetch_add(1, kRelaxed);
+        obs::ScopedCharge shuffle_charge(
+            ShuffleBufferBytes(ref_buffers, exp_buffers));
         FirstError errors;
         RunStage("map:compute", partitions.size(), [&](size_t pi) {
           if (errors.failed()) return;
@@ -817,6 +831,8 @@ Result<gdm::Dataset> ParallelExecutor::ParallelMap(
           kRelaxed);
     });
     trace_.stage_barriers.fetch_add(1, kRelaxed);
+    obs::ScopedCharge shuffle_charge(
+        ShuffleBufferBytes(ref_buffers, exp_buffers));
     FirstError errors;
     RunStage("map:compute", parts.size(), [&](size_t pi) {
       if (errors.failed()) return;
@@ -955,6 +971,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
               kRelaxed);
         });
         trace_.stage_barriers.fetch_add(1, kRelaxed);
+        obs::ScopedCharge shuffle_charge(ShuffleBufferBytes(lbuf, rbuf));
         FirstError errors;
         RunStage("join:compute", partitions.size(), [&](size_t pi) {
           if (errors.failed()) return;
@@ -1038,6 +1055,7 @@ Result<gdm::Dataset> ParallelExecutor::ParallelJoin(
           kRelaxed);
     });
     trace_.stage_barriers.fetch_add(1, kRelaxed);
+    obs::ScopedCharge shuffle_charge(ShuffleBufferBytes(lbuf, rbuf));
     FirstError errors;
     RunStage("join:compute", parts.size(), [&](size_t pi) {
       if (errors.failed()) return;

@@ -3,8 +3,23 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace gdms::gdm {
+
+namespace {
+
+// Cumulative bytes of columnar caches built (the cache-build winners only;
+// racing losers drop their copy without counting). Paired with
+// gdms_mem_columnar_cache_bytes (current occupancy, sampled by the resource
+// tracker) and gdms_mem_evicted_bytes_total this exposes cache churn.
+obs::Counter* ColumnarBuiltCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_mem_columnar_built_bytes_total");
+  return c;
+}
+
+}  // namespace
 
 const ChromIndex& Sample::chrom_index() const {
   auto cached = std::atomic_load_explicit(&chrom_index_cache_,
@@ -34,12 +49,27 @@ const RegionColumns& Sample::columns(const RegionSchema& schema) const {
   if (std::atomic_compare_exchange_strong_explicit(
           &columns_cache_, &cached, built, std::memory_order_acq_rel,
           std::memory_order_acquire)) {
+    ColumnarBuiltCounter()->Add(built->MemoryBytes());
     return *built;
   }
   if (cached != nullptr && cached->ValidFor(regions)) return *cached;
   std::atomic_store_explicit(&columns_cache_, built,
                              std::memory_order_release);
+  ColumnarBuiltCounter()->Add(built->MemoryBytes());
   return *built;
+}
+
+uint64_t Sample::ColumnarCacheBytes() const {
+  auto cached =
+      std::atomic_load_explicit(&columns_cache_, std::memory_order_acquire);
+  return cached != nullptr ? cached->MemoryBytes() : 0;
+}
+
+uint64_t Sample::EvictColumns() const {
+  auto cached = std::atomic_exchange_explicit(
+      &columns_cache_, std::shared_ptr<const RegionColumns>(),
+      std::memory_order_acq_rel);
+  return cached != nullptr ? cached->MemoryBytes() : 0;
 }
 
 uint64_t Dataset::TotalRegions() const {
@@ -124,6 +154,24 @@ uint64_t Dataset::EstimateResidentBytes() const {
     }
   }
   return total;
+}
+
+uint64_t Dataset::ColumnarCacheBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : samples_) total += s.ColumnarCacheBytes();
+  return total;
+}
+
+uint64_t Dataset::EvictColumnarCaches(uint64_t* samples_evicted) {
+  uint64_t freed = 0;
+  for (const auto& s : samples_) {
+    uint64_t b = s.EvictColumns();
+    if (b > 0) {
+      freed += b;
+      if (samples_evicted != nullptr) ++*samples_evicted;
+    }
+  }
+  return freed;
 }
 
 const Sample* Dataset::FindSample(SampleId id) const {

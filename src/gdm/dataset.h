@@ -62,6 +62,19 @@ struct Sample {
   /// change without a region-storage change is not detected.
   const RegionColumns& columns(const RegionSchema& schema) const;
 
+  /// Resident bytes of the cached columnar layout (0 when not built).
+  /// Safe to call concurrently with readers: reads the atomically
+  /// published cache pointer only.
+  uint64_t ColumnarCacheBytes() const;
+
+  /// Drops only the cached columnar layout (the chromosome index stays),
+  /// returning the bytes freed. The next columns() call rebuilds the same
+  /// columns from the untouched row storage, so results are bit-identical;
+  /// the resource shedder calls this between queries under memory
+  /// pressure. Same caller contract as InvalidateChromIndex: must not race
+  /// readers holding references into the cache.
+  uint64_t EvictColumns() const;
+
   /// Drops the cached chromosome index and columnar layout; the next
   /// chrom_index()/columns() call rebuilds them.
   void InvalidateChromIndex() const {
@@ -127,6 +140,15 @@ class Dataset {
   /// region structs, their Value payload vectors and string heap, metadata.
   /// Caches (chrom index, columns) are not included.
   uint64_t EstimateResidentBytes() const;
+
+  /// Resident bytes of the samples' built columnar caches (the reclaimable
+  /// overlay the resource shedder may drop; 0 when nothing is built).
+  uint64_t ColumnarCacheBytes() const;
+
+  /// Evicts every sample's columnar cache (EvictColumns per sample),
+  /// returning total bytes freed and counting evicted samples in
+  /// `*samples_evicted` when non-null.
+  uint64_t EvictColumnarCaches(uint64_t* samples_evicted = nullptr);
 
   /// Finds a sample by id; nullptr if absent.
   const Sample* FindSample(SampleId id) const;

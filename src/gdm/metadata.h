@@ -64,6 +64,15 @@ class Metadata {
     return entries_ == other.entries_;
   }
 
+  /// Resident bytes: the entry vector plus every string's heap block.
+  uint64_t MemoryBytes() const {
+    uint64_t total = entries_.capacity() * sizeof(MetaEntry);
+    for (const MetaEntry& e : entries_) {
+      total += e.attr.capacity() + e.value.capacity();
+    }
+    return total;
+  }
+
  private:
   std::vector<MetaEntry> entries_;
 };

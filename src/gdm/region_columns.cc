@@ -5,12 +5,24 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace gdms::gdm {
 
 namespace {
 
 void SetBit(std::vector<uint8_t>* bits, size_t i) {
   (*bits)[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+}
+
+// Cumulative bytes of lazily materialized attribute columns (CAS winners
+// only). Distinct from gdms_mem_columnar_built_bytes_total: coordinate
+// columns count there at Sample-cache publication; attribute columns count
+// here at first access.
+obs::Counter* AttrBuiltCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_mem_attr_columns_built_bytes_total");
+  return c;
 }
 
 }  // namespace
@@ -188,6 +200,7 @@ const ValueColumn& RegionColumns::attr(size_t a) const {
         ValueColumn::Build(*source_, a, attr_types_[a]));
     std::shared_ptr<const ValueColumn> expected;
     if (std::atomic_compare_exchange_strong(&attrs_[a], &expected, built)) {
+      AttrBuiltCounter()->Add(built->MemoryBytes());
       col = std::move(built);
     } else {
       col = std::move(expected);  // another thread won the race; adopt its column

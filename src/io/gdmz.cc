@@ -18,6 +18,8 @@
 #endif
 
 #include "gdm/region_columns.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
 
 namespace gdms::io {
 
@@ -1068,24 +1070,140 @@ Result<gdm::Dataset> ReadGdmzString(const std::string& bytes) {
   return ReadGdmzBytes(std::string_view(bytes));
 }
 
-Result<gdm::Dataset> OpenGdmz(const std::string& path) {
+// ---------------------------------------------------------------------------
+// MappedGdmz
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t PageBytes() {
+#ifdef __unix__
+  static const uint64_t page = [] {
+    long p = ::sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<uint64_t>(p) : 4096;
+  }();
+  return page;
+#else
+  return 4096;
+#endif
+}
+
+// Little-endian u64 at `offset` of the image (0 when out of bounds); used
+// to recover dir_offset/dir_size from the fixed header layout.
+uint64_t HeaderU64(std::string_view bytes, size_t offset) {
+  if (bytes.size() < offset + 8) return 0;
+  uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+obs::Counter* GdmzDroppedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_storage_gdmz_dropped_bytes_total");
+  return c;
+}
+
+#ifdef __unix__
+/// Bytes of [addr, addr+length) present in this process's page tables,
+/// read from /proc/self/pagemap (bit 63 of each entry; readable without
+/// privilege — only the PFN field is masked). This is the figure that
+/// tracks process RSS: MADV_DONTNEED on a private file mapping unmaps the
+/// pages from the tables but leaves them in the page cache, so mincore —
+/// which reports the cache — cannot see an eviction. Falls back to mincore
+/// when pagemap is unavailable (non-Linux unix).
+uint64_t ResidentBytesIn(const void* addr, size_t length) {
+  if (length == 0) return 0;
+  uint64_t page = PageBytes();
+  uintptr_t base = reinterpret_cast<uintptr_t>(addr) / page * page;
+  size_t npages = (reinterpret_cast<uintptr_t>(addr) + length - base +
+                   page - 1) / page;
+  int fd = ::open("/proc/self/pagemap", O_RDONLY);
+  if (fd >= 0) {
+    std::vector<uint64_t> entries(npages);
+    ssize_t n = ::pread(fd, entries.data(), npages * sizeof(uint64_t),
+                        static_cast<off_t>(base / page * sizeof(uint64_t)));
+    ::close(fd);
+    if (n >= 0) {
+      uint64_t resident = 0;
+      for (size_t i = 0; i < static_cast<size_t>(n) / sizeof(uint64_t); ++i) {
+        resident += (entries[i] >> 63) & 1;
+      }
+      return resident * page;
+    }
+  }
+  std::vector<unsigned char> vec(npages);
+  if (::mincore(reinterpret_cast<void*>(base), npages * page, vec.data()) !=
+      0) {
+    return 0;
+  }
+  uint64_t resident = 0;
+  for (unsigned char v : vec) resident += v & 1;
+  return resident * page;
+}
+#endif
+
+}  // namespace
+
+MappedGdmz::~MappedGdmz() { Close(); }
+
+void MappedGdmz::Close() {
+  if (token_ != 0) {
+    obs::ResourceTracker::Global().UnregisterStorage(token_);
+    token_ = 0;
+  }
+#ifdef __unix__
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = nullptr;
+  size_ = 0;
+  buffer_.clear();
+}
+
+MappedGdmz::MappedGdmz(MappedGdmz&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedGdmz& MappedGdmz::operator=(MappedGdmz&& other) noexcept {
+  if (this != &other) {
+    Close();
+    // The tracker's usage callback captures `this`, so a registration
+    // cannot simply transfer: drop the source's and re-create it here.
+    bool reregister = other.token_ != 0;
+    if (reregister) {
+      obs::ResourceTracker::Global().UnregisterStorage(other.token_);
+      other.token_ = 0;
+    }
+    path_ = std::move(other.path_);
+    map_ = other.map_;
+    size_ = other.size_;
+    buffer_ = std::move(other.buffer_);
+    other.map_ = nullptr;
+    other.size_ = 0;
+    if (reregister) RegisterWithTracker();
+  }
+  return *this;
+}
+
+Result<MappedGdmz> MappedGdmz::Open(const std::string& path) {
+  MappedGdmz m;
+  m.path_ = path;
 #ifdef __unix__
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
     struct stat st;
-    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
       size_t size = static_cast<size_t>(st.st_size);
-      if (size == 0) {
-        ::close(fd);
-        return Status::ParseError("not a .gdmz document (missing GDMZ magic)");
-      }
       void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
       if (map != MAP_FAILED) {
-        auto result =
-            ReadGdmzBytes(std::string_view(static_cast<char*>(map), size));
-        ::munmap(map, size);
         ::close(fd);
-        return result;
+        m.map_ = map;
+        m.size_ = size;
+        return m;
       }
     }
     ::close(fd);
@@ -1093,9 +1211,108 @@ Result<gdm::Dataset> OpenGdmz(const std::string& path) {
 #endif
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IoError("cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(f)),
-                    std::istreambuf_iterator<char>());
-  return ReadGdmzBytes(bytes);
+  m.buffer_.assign((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  return m;
+}
+
+std::string_view MappedGdmz::bytes() const {
+  if (map_ != nullptr) {
+    return std::string_view(static_cast<const char*>(map_), size_);
+  }
+  return std::string_view(buffer_);
+}
+
+uint64_t MappedGdmz::map_length() const {
+  return map_ != nullptr ? size_ : buffer_.size();
+}
+
+Result<gdm::Dataset> MappedGdmz::Parse() const {
+  return ReadGdmzBytes(bytes());
+}
+
+uint64_t MappedGdmz::ResidentBytes() const {
+#ifdef __unix__
+  if (map_ != nullptr) return ResidentBytesIn(map_, size_);
+#endif
+  return buffer_.size();
+}
+
+void MappedGdmz::WillNeedPrefix() const {
+#ifdef __unix__
+  if (map_ == nullptr) return;
+  char* base = static_cast<char*>(map_);
+  uint64_t page = PageBytes();
+  // Header plus the first sample blobs: cheap insurance against a cold
+  // first query paying one major fault per decoded chunk.
+  size_t prefix = std::min<size_t>(size_, 256 * 1024);
+  (void)::madvise(base, prefix, MADV_WILLNEED);
+  // The directory sits at the tail; every parse walks all of it.
+  uint64_t dir_offset = HeaderU64(bytes(), 16);
+  uint64_t dir_size = HeaderU64(bytes(), 24);
+  if (dir_offset >= kGdmzHeaderSize && dir_offset < size_ &&
+      dir_size <= size_ - dir_offset) {
+    uint64_t begin = dir_offset / page * page;
+    (void)::madvise(base + begin, dir_offset + dir_size - begin,
+                    MADV_WILLNEED);
+  }
+#endif
+}
+
+uint64_t MappedGdmz::DropColdPages() {
+#ifdef __unix__
+  if (map_ == nullptr) return 0;
+  uint64_t dir_offset = HeaderU64(bytes(), 16);
+  if (dir_offset < kGdmzHeaderSize || dir_offset > size_) {
+    dir_offset = size_;
+  }
+  uint64_t page = PageBytes();
+  // Whole pages strictly inside the body [header end, directory start):
+  // the header page and directory pages stay warm.
+  uint64_t begin = (kGdmzHeaderSize + page - 1) / page * page;
+  uint64_t end = dir_offset / page * page;
+  if (end <= begin) return 0;
+  char* body = static_cast<char*>(map_) + begin;
+  uint64_t before = ResidentBytesIn(body, end - begin);
+  if (::madvise(body, end - begin, MADV_DONTNEED) != 0) return 0;
+  uint64_t after = ResidentBytesIn(body, end - begin);
+  uint64_t freed = before > after ? before - after : 0;
+  GdmzDroppedCounter()->Add(freed);
+  return freed;
+#else
+  return 0;
+#endif
+}
+
+void MappedGdmz::RegisterWithTracker() {
+  if (token_ != 0) return;
+  auto& tracker = obs::ResourceTracker::Global();
+  token_ = tracker.RegisterStorage(
+      "gdmz:" + BaseName(path_),
+      [this] {
+        obs::StorageUsage usage;
+        usage.mapped_bytes = map_length();
+        usage.mapped_resident_bytes = ResidentBytes();
+        return usage;
+      },
+      [this](uint64_t want_bytes) {
+        (void)want_bytes;  // all-or-nothing: the body is one cold range
+        return DropColdPages();
+      });
+}
+
+Result<gdm::Dataset> OpenGdmz(const std::string& path) {
+  static obs::Counter* opens = obs::MetricsRegistry::Global().GetCounter(
+      "gdms_storage_gdmz_opens_total");
+  static obs::Gauge* open_map = obs::MetricsRegistry::Global().GetGauge(
+      "gdms_storage_gdmz_open_map_bytes");
+  auto opened = MappedGdmz::Open(path);
+  if (!opened.ok()) return opened.status();
+  MappedGdmz mapped = std::move(opened).value();
+  opens->Add();
+  open_map->Set(static_cast<int64_t>(mapped.map_length()));
+  mapped.WillNeedPrefix();
+  return mapped.Parse();
 }
 
 }  // namespace gdms::io

@@ -67,9 +67,82 @@ Result<gdm::Dataset> ReadGdmzBytes(std::string_view bytes);
 /// Parses from a string (convenience for the protocol layer).
 Result<gdm::Dataset> ReadGdmzString(const std::string& bytes);
 
+/// \brief An mmap'd .gdmz file image (move-only RAII).
+///
+/// Beyond the one-shot parse of OpenGdmz, a MappedGdmz keeps the mapping
+/// alive so its page-level behavior is observable and controllable:
+/// ResidentBytes() samples actual residency with mincore(2),
+/// WillNeedPrefix() prefetches the hot prefix (header, directory, first
+/// sample blob) with madvise(MADV_WILLNEED), and DropColdPages() returns
+/// cold body pages to the kernel with madvise(MADV_DONTNEED) — the mapping
+/// is PROT_READ/MAP_PRIVATE with no writes, so dropped pages re-fault from
+/// the file unchanged. RegisterWithTracker() publishes the mapping to
+/// obs::ResourceTracker (map length + resident bytes in the
+/// gdms_storage_gdmz_* gauges, DropColdPages as the shed callback);
+/// the destructor unregisters. On platforms without mmap the image is
+/// buffered in memory and the madvise hooks are no-ops.
+class MappedGdmz {
+ public:
+  MappedGdmz() = default;
+  ~MappedGdmz();
+  MappedGdmz(const MappedGdmz&) = delete;
+  MappedGdmz& operator=(const MappedGdmz&) = delete;
+  MappedGdmz(MappedGdmz&& other) noexcept;
+  MappedGdmz& operator=(MappedGdmz&& other) noexcept;
+
+  /// Maps `path` read-only (buffered-read fallback). Fails with IoError
+  /// when the file cannot be opened; parse errors surface from Parse().
+  static Result<MappedGdmz> Open(const std::string& path);
+
+  /// True when the image is an actual mmap (false on the buffered
+  /// fallback, where the madvise hooks are no-ops).
+  bool mapped() const { return map_ != nullptr; }
+
+  /// The full file image.
+  std::string_view bytes() const;
+
+  /// Mapped (or buffered) length in bytes.
+  uint64_t map_length() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Parses the dataset out of the image (ReadGdmzBytes).
+  Result<gdm::Dataset> Parse() const;
+
+  /// Resident bytes of the mapping in this process's page tables
+  /// (pagemap-sampled, mincore fallback; buffer size on the non-mmap
+  /// fallback path, which is trivially all resident).
+  uint64_t ResidentBytes() const;
+
+  /// Prefetch hint for the hot prefix: header, directory, and the first
+  /// 256 KB of the body (the first sample blobs). No-op on the fallback.
+  void WillNeedPrefix() const;
+
+  /// Returns cold body pages (between header and directory) to the kernel;
+  /// returns resident bytes actually dropped. The directory stays warm so
+  /// a later re-parse touches only the blobs it needs.
+  uint64_t DropColdPages();
+
+  /// Registers this mapping with obs::ResourceTracker under
+  /// "gdmz:<basename>" (idempotent). The registration follows moves and is
+  /// dropped by the destructor.
+  void RegisterWithTracker();
+
+ private:
+  void Close();
+
+  std::string path_;
+  void* map_ = nullptr;
+  size_t size_ = 0;
+  std::string buffer_;  ///< fallback image when mmap is unavailable
+  uint64_t token_ = 0;  ///< ResourceTracker registration (0 = none)
+};
+
 /// Opens `path` via mmap (falling back to a buffered read when mapping is
 /// unavailable) and parses it — column payloads decode straight out of the
-/// page cache with no intermediate copy of the file image.
+/// page cache with no intermediate copy of the file image. Prefetches the
+/// hot prefix (MADV_WILLNEED) and reports the map length as the
+/// gdms_storage_gdmz_open_map_bytes gauge before parsing.
 Result<gdm::Dataset> OpenGdmz(const std::string& path);
 
 }  // namespace gdms::io

@@ -122,6 +122,12 @@ std::string QueryLog::FormatEntry(const QueryLogEntry& entry,
   AppendKV(&out, "bytes_received", entry.fed_bytes_received);
   out += "}";
 
+  out += ",\"mem\":{";
+  AppendKV(&out, "alloc_bytes", entry.alloc_bytes);
+  out += ",";
+  AppendKV(&out, "peak_bytes", entry.peak_bytes);
+  out += "}";
+
   // Per-operator self-times, profile tree order (parents before children).
   out += ",\"ops\":[";
   if (entry.profile != nullptr) {

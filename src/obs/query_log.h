@@ -34,6 +34,9 @@ struct QueryLogEntry {
   uint64_t fed_requests = 0;
   uint64_t fed_bytes_shipped = 0;
   uint64_t fed_bytes_received = 0;
+  // Byte accounting of the query (zeros when accounting is disabled).
+  uint64_t alloc_bytes = 0;
+  uint64_t peak_bytes = 0;
   /// Span tree of the query when tracing was on; null otherwise. Source of
   /// the per-operator self-times, the queue-wait/skew aggregates, and the
   /// slow-query EXPLAIN ANALYZE capture.
@@ -58,7 +61,8 @@ struct QueryLogOptions {
 ///    "fused_chains":1, "tasks":96, "partitions":96, "shuffle_bytes":0,
 ///    "stage_barriers":4, "queue_wait_mean_us":1.9, "part_max_us":344.0,
 ///    "skew":1.6, "fed":{"requests":0,"bytes_shipped":0,
-///    "bytes_received":0}, "ops":[{"op":"MAP","total_ms":9.1,
+///    "bytes_received":0}, "mem":{"alloc_bytes":52000,"peak_bytes":26000},
+///    "ops":[{"op":"MAP","total_ms":9.1,
 ///    "self_ms":3.0}, ...], "slow":false}
 ///
 /// Entries whose wall time reaches options.slow_ms additionally carry

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace gdms::obs {
@@ -71,6 +72,14 @@ TimeSeries* Sampler::Ensure(MetricState* state,
 }
 
 void Sampler::SampleOnceAt(int64_t t_ns) {
+  // Pull-refresh the resource gauges (RSS, page-fault deltas, per-dataset
+  // residency, columnar-cache occupancy) so every snapshot carries current
+  // byte figures without any push traffic from the data paths. Only done
+  // for the global registry — unit tests sampling a private registry stay
+  // deterministic.
+  if (registry_ == &MetricsRegistry::Global()) {
+    ResourceTracker::Global().UpdateGauges();
+  }
   std::vector<MetricSnapshot> snap = registry_->Snapshot();
   std::lock_guard<std::mutex> lk(mu_);
   for (const MetricSnapshot& m : snap) {

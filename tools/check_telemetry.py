@@ -34,7 +34,7 @@ UNIT_SUFFIXES = {
 REQUIRED_LOG_KEYS = [
     "ts_ms", "seq", "query", "ok", "wall_ms", "operators", "cache_hits",
     "intermediate_datasets", "fused_chains", "tasks", "partitions",
-    "shuffle_bytes", "stage_barriers", "fed", "slow",
+    "shuffle_bytes", "stage_barriers", "fed", "mem", "slow",
 ]
 
 SAMPLE_RE = re.compile(r"^(\S+(?:\{[^}]*\})?)\s+(-?[0-9.eE+-]+|[+-]?(?:inf|nan))$")
@@ -107,7 +107,7 @@ def summary_series_base(name):
     return None
 
 
-def check_exposition(path, early_path, expect_fed):
+def check_exposition(path, early_path, expect_fed, expect_mem, expect_shed):
     samples, types, units = parse_exposition(path)
     if not samples:
         fail(f"{path}: no samples scraped")
@@ -145,6 +145,37 @@ def check_exposition(path, early_path, expect_fed):
                 fail(f"{path}: expected federation sample {required} missing")
         if samples.get("gdms_fed_requests_total", 0) <= 0:
             fail(f"{path}: gdms_fed_requests_total shows no traffic")
+    if expect_mem:
+        for required in (
+            "gdms_mem_rss_bytes",
+            "gdms_mem_tracked_bytes",
+            "gdms_mem_reclaimable_bytes",
+            "gdms_mem_columnar_cache_bytes",
+            "gdms_mem_budget_bytes",
+            "gdms_mem_evictions_total",
+            "gdms_storage_gdmz_map_bytes",
+        ):
+            if required not in samples:
+                fail(f"{path}: expected memory sample {required} missing")
+        if samples.get("gdms_mem_rss_bytes", 0) <= 0:
+            fail(f"{path}: gdms_mem_rss_bytes shows no resident memory")
+        if not any(
+            name.startswith("gdms_storage_dataset_resident_bytes{")
+            for name in samples
+        ):
+            fail(f"{path}: no per-dataset resident-bytes gauge")
+    if expect_shed:
+        budget = samples.get("gdms_mem_budget_bytes", 0)
+        if budget <= 0:
+            fail(f"{path}: --expect-shed but no memory budget configured")
+        if samples.get("gdms_mem_evictions_total", 0) <= 0:
+            fail(f"{path}: budgeted run recorded no evictions")
+        reclaimable = samples.get("gdms_mem_reclaimable_bytes", 0)
+        if budget > 0 and reclaimable > budget:
+            fail(
+                f"{path}: reclaimable bytes {reclaimable} exceed the "
+                f"budget {budget} after shedding"
+            )
     if early_path:
         early_samples, _, _ = parse_exposition(early_path)
         for name, early_value in early_samples.items():
@@ -200,6 +231,16 @@ def check_query_log(path, expect_slow, expect_fed):
             "requests", "bytes_shipped", "bytes_received"
         } <= set(fed):
             fail(f"{path}: entry seq={entry.get('seq')}: malformed fed block")
+        mem = entry.get("mem", {})
+        if not isinstance(mem, dict) or not {
+            "alloc_bytes", "peak_bytes"
+        } <= set(mem):
+            fail(f"{path}: entry seq={entry.get('seq')}: malformed mem block")
+        elif mem["peak_bytes"] > mem["alloc_bytes"]:
+            fail(
+                f"{path}: entry seq={entry.get('seq')}: peak_bytes "
+                f"{mem['peak_bytes']} exceeds alloc_bytes {mem['alloc_bytes']}"
+            )
         if not entry.get("ok", True) and not entry.get("error"):
             fail(f"{path}: entry seq={entry.get('seq')}: failed but no error")
     if expect_slow:
@@ -235,11 +276,28 @@ def main():
         action="store_true",
         help="require federation gauges/counters and per-query fed traffic",
     )
+    parser.add_argument(
+        "--expect-mem",
+        action="store_true",
+        help="require the gdms_mem_*/gdms_storage_* accounting families",
+    )
+    parser.add_argument(
+        "--expect-shed",
+        action="store_true",
+        help="require a configured budget, evictions, and reclaimable bytes "
+        "at or under the budget",
+    )
     args = parser.parse_args()
     if not args.expo and not args.query_log:
         parser.error("nothing to check: pass --expo and/or --query-log")
     if args.expo:
-        check_exposition(args.expo, args.expo_early, args.expect_fed)
+        check_exposition(
+            args.expo,
+            args.expo_early,
+            args.expect_fed,
+            args.expect_mem,
+            args.expect_shed,
+        )
     if args.query_log:
         check_query_log(args.query_log, args.expect_slow, args.expect_fed)
     if errors:

@@ -9,7 +9,7 @@
 //   gdms_shell [--load NAME=FILE]... [--query FILE | --exec GMQL]
 //              [--out DIR] [--parallel [THREADS]] [--no-optimize]
 //              [--no-fusion] [--no-columnar] [--show CHR:LEFT-RIGHT]
-//              [--demo] [--gdmz-selftest]
+//              [--demo] [--gdmz-selftest] [--mem-budget-mb X]
 //              [--trace FILE.json] [--metrics]
 //              [--serve] [--sample-ms N] [--query-log FILE]
 //              [--slow-ms X] [--expo FILE]
@@ -27,6 +27,13 @@
 // --attach` can poll it. --query-log appends one JSON line per query
 // (schema in README "Operating GDMS"); queries at or above --slow-ms
 // escalate their entry to a full embedded EXPLAIN ANALYZE capture.
+//
+// --mem-budget-mb X (fractional MB allowed) sets the resource tracker's
+// memory budget over reclaimable bytes (columnar caches + mapped .gdmz
+// pages): after each query the watermark shedder evicts LRU caches until
+// usage is back under the budget. Results are bit-identical either way —
+// only rebuild cost changes. `.mem` in serve mode prints the last query's
+// accounting tree (query -> operator -> bytes) and storage residency.
 //
 // Examples:
 //   gdms_shell --load PEAKS=peaks.narrowPeak --load GENES=genes.gtf \
@@ -61,6 +68,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/query_log.h"
+#include "obs/resource.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "repo/catalog.h"
@@ -297,6 +305,7 @@ class ServeSession {
       std::puts(
           "  <gmql>              run a query (EXPLAIN ANALYZE prefix works)\n"
           "  .metrics [FILE]     dump exposition to stdout or FILE\n"
+          "  .mem                last query's byte tree + storage residency\n"
           "  .fed <gmql>         run the query on an in-process 2-site "
           "federation\n"
           "  .repeat N <gmql>    run the query N times\n"
@@ -312,6 +321,23 @@ class ServeSession {
                     ds->num_samples(),
                     static_cast<unsigned long long>(ds->TotalRegions()));
       }
+      return true;
+    }
+    if (cmd == ".mem") {
+      const core::RunStats& stats = runner_->last_stats();
+      std::printf("last query  alloc %s  peak %s\n",
+                  HumanBytes(stats.alloc_bytes).c_str(),
+                  HumanBytes(stats.peak_bytes).c_str());
+      for (const obs::OpByteStat& op : stats.op_bytes) {
+        std::printf("  %-24s alloc %-12s peak %-12s (%llu charge%s)\n",
+                    op.op.c_str(), HumanBytes(op.alloc_bytes).c_str(),
+                    HumanBytes(op.peak_bytes).c_str(),
+                    static_cast<unsigned long long>(op.charges),
+                    op.charges == 1 ? "" : "s");
+      }
+      std::fputs(
+          obs::ResourceTracker::Global().RenderStorageSummary().c_str(),
+          stdout);
       return true;
     }
     if (cmd == ".metrics") {
@@ -499,6 +525,7 @@ int main(int argc, char** argv) {
   bool gdmz_selftest = false;
   bool demo = false;
   bool serve = false;
+  double mem_budget_mb = 0;
   ServeConfig serve_config;
 
   for (int i = 1; i < argc; ++i) {
@@ -577,6 +604,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--expo needs a file");
       serve_config.expo_path = v;
+    } else if (arg == "--mem-budget-mb") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--mem-budget-mb needs a size in MB");
+      mem_budget_mb = std::atof(v);
+      if (mem_budget_mb <= 0) {
+        return Fail("--mem-budget-mb needs a positive size in MB");
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
           "usage: gdms_shell [--repo DIR] [--load NAME=FILE]...\n"
@@ -584,7 +618,7 @@ int main(int argc, char** argv) {
           "                  [--out DIR] [--parallel [N]] [--no-optimize]\n"
           "                  [--no-fusion] [--no-columnar]\n"
           "                  [--show CHR:LEFT-RIGHT] [--demo]\n"
-          "                  [--gdmz-selftest]\n"
+          "                  [--gdmz-selftest] [--mem-budget-mb X]\n"
           "                  [--trace FILE.json] [--metrics]\n"
           "                  [--serve] [--sample-ms N] [--expo FILE]\n"
           "                  [--query-log FILE] [--slow-ms X]\n"
@@ -597,6 +631,11 @@ int main(int argc, char** argv) {
   }
 
   if (gdmz_selftest) return RunGdmzSelftest();
+
+  if (mem_budget_mb > 0) {
+    obs::ResourceTracker::Global().set_budget_bytes(
+        static_cast<uint64_t>(mem_budget_mb * 1024.0 * 1024.0));
+  }
 
   std::unique_ptr<engine::ParallelExecutor> executor;
   std::unique_ptr<core::QueryRunner> runner;

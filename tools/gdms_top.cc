@@ -170,6 +170,63 @@ void AppendLine(std::string* out, const char* fmt, ...) {
   *out += '\n';
 }
 
+/// The Memory panel: process RSS (sparklined), the tracker's byte gauges,
+/// columnar-cache occupancy + eviction rate, and per-dataset residency —
+/// everything the gdms_mem_* / gdms_storage_* families expose. Rendered as
+/// its own section; the generic per-layer listing skips those families.
+std::string RenderMemoryPanel(const History& history,
+                              const obs::ScrapedExposition& scrape) {
+  double rss = history.Last("gdms_mem_rss_bytes");
+  if (rss == 0 && history.Last("gdms_mem_tracked_bytes") == 0) {
+    return "";  // serving process predates the memory gauges
+  }
+  std::string out;
+  AppendLine(&out, "-- memory %s", std::string(68, '-').c_str());
+  AppendLine(&out, "  rss %-10s tracked %-10s budget %-10s %s",
+             HumanBytes(static_cast<uint64_t>(rss)).c_str(),
+             HumanBytes(static_cast<uint64_t>(
+                            history.Last("gdms_mem_tracked_bytes")))
+                 .c_str(),
+             history.Last("gdms_mem_budget_bytes") > 0
+                 ? HumanBytes(static_cast<uint64_t>(
+                                  history.Last("gdms_mem_budget_bytes")))
+                       .c_str()
+                 : "off",
+             Sparkline(history.Values("gdms_mem_rss_bytes"), 20).c_str());
+  auto evict_rate = history.Rates("gdms_mem_evictions_total");
+  AppendLine(&out,
+             "  columnar %-10s gdmz map %-10s resident %-10s evictions "
+             "%s (%.1f/s) %s",
+             HumanBytes(static_cast<uint64_t>(
+                            history.Last("gdms_mem_columnar_cache_bytes")))
+                 .c_str(),
+             HumanBytes(static_cast<uint64_t>(
+                            history.Last("gdms_storage_gdmz_map_bytes")))
+                 .c_str(),
+             HumanBytes(static_cast<uint64_t>(history.Last(
+                            "gdms_storage_gdmz_resident_bytes")))
+                 .c_str(),
+             FormatValue(history.Last("gdms_mem_evictions_total")).c_str(),
+             evict_rate.empty() ? 0.0 : evict_rate.back(),
+             Sparkline(evict_rate, 12).c_str());
+  // Per-dataset residency (labeled gauges).
+  const std::string kResident = "gdms_storage_dataset_resident_bytes{";
+  for (const auto& [name, value] : scrape.samples) {
+    if (name.rfind(kResident, 0) != 0) continue;
+    std::string label = name.substr(kResident.size());
+    auto quote_end = label.rfind("\"}");
+    std::string dataset =
+        label.substr(9, quote_end == std::string::npos ? std::string::npos
+                                                       : quote_end - 9);
+    double columnar = history.Last(
+        "gdms_storage_dataset_columnar_bytes{dataset=\"" + dataset + "\"}");
+    AppendLine(&out, "  %-24s rows %-10s columnar %-10s", dataset.c_str(),
+               HumanBytes(static_cast<uint64_t>(value)).c_str(),
+               HumanBytes(static_cast<uint64_t>(columnar)).c_str());
+  }
+  return out;
+}
+
 std::string RenderFrame(const History& history,
                         const obs::ScrapedExposition& scrape, uint64_t tick,
                         double uptime_s) {
@@ -193,10 +250,13 @@ std::string RenderFrame(const History& history,
                FormatValue(p50).c_str(), FormatValue(p95).c_str(),
                FormatValue(p99).c_str());
   }
-  // Group every scraped sample under its layer.
+  out += RenderMemoryPanel(history, scrape);
+  // Group every scraped sample under its layer. The mem/storage families
+  // are rendered by the Memory panel above, not repeated here.
   std::map<std::string, std::vector<std::string>> layer_lines;
   for (const auto& [base, type] : scrape.types) {
     std::string layer = LayerOf(base);
+    if (layer == "mem" || layer == "storage") continue;
     std::string line;
     if (type == "counter") {
       auto rates = history.Rates(base);
