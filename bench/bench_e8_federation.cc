@@ -1,16 +1,24 @@
 // E8 — Section 4.4: federated query processing — query shipping vs data
-// shipping.
+// shipping, and resilience on a faulty wire.
 //
-// "Queries ... are short texts and produce short answers"; the protocol
-// transfers results instead of datasets. The bench sweeps the remote
-// dataset size and reports bytes moved both ways plus the advantage ratio.
-// Shape: the ratio grows with dataset size because the query text and the
-// (selective) result stay near-constant.
+// Part 1 (the paper's claim): "Queries ... are short texts and produce
+// short answers"; the protocol transfers results instead of datasets. The
+// bench sweeps the remote dataset size and reports bytes moved both ways
+// plus the advantage ratio.
+//
+// Part 2 (fault scenarios): every protocol message crosses a SimTransport
+// with seeded deterministic faults. Scenarios measure the resilient RPC
+// layer — retries under drops/corruption, graceful degradation with a dead
+// site, and hedged FETCHes against a straggler — reporting simulated
+// makespan, success rate, retry amplification and wasted bytes. Virtual
+// time makes every figure machine-independent and exactly reproducible,
+// so CI gates on them (tools/check_bench_regression.py).
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "io/gdm_format.h"
 #include "repo/federation.h"
 #include "sim/generators.h"
 
@@ -26,6 +34,20 @@ const char* kQuery =
     "TOPK = ORDER(antibody; TOP 2) R;\n"
     "MATERIALIZE TOPK;\n";
 
+void Populate(repo::FederatedNode* node, size_t peaks_per_sample) {
+  auto genome = gdm::GenomeAssembly::HumanLike(6, 50000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 6;
+  popt.peaks_per_sample = peaks_per_sample;
+  node->catalog()->Put(sim::GeneratePeakDataset(genome, popt, 7));
+  auto catalog = sim::GenerateGenes(genome, 400, 7);
+  node->catalog()->Put(sim::GenerateAnnotations(genome, catalog, {}, 7));
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: query shipping vs data shipping (bytes moved)
+// ---------------------------------------------------------------------------
+
 struct FedRun {
   uint64_t query_ship_bytes = 0;
   uint64_t data_ship_bytes = 0;
@@ -35,14 +57,8 @@ struct FedRun {
 };
 
 FedRun RunAtScale(size_t peaks_per_sample) {
-  auto genome = gdm::GenomeAssembly::HumanLike(6, 50000000);
   repo::FederatedNode node("milan");
-  sim::PeakDatasetOptions popt;
-  popt.num_samples = 6;
-  popt.peaks_per_sample = peaks_per_sample;
-  node.catalog()->Put(sim::GeneratePeakDataset(genome, popt, 7));
-  auto catalog = sim::GenerateGenes(genome, 400, 7);
-  node.catalog()->Put(sim::GenerateAnnotations(genome, catalog, {}, 7));
+  Populate(&node, peaks_per_sample);
   repo::Coordinator coordinator;
   coordinator.AddNode(&node);
 
@@ -69,26 +85,261 @@ FedRun RunAtScale(size_t peaks_per_sample) {
   return out;
 }
 
-void PrintTable() {
+void PrintTable(bench::BenchJson* json) {
   bench::Header("E8: query shipping vs data shipping",
                 "Section 4.4: 'distributing the processing to data, "
                 "transferring only query results which are usually small'");
   std::printf("%14s %14s %14s %14s %8s\n", "remote_data", "query_ship",
               "data_ship", "advantage", "sec(q/d)");
+  double last_advantage = 0;
   for (size_t peaks : {2000, 8000, 32000}) {
     FedRun run = RunAtScale(peaks);
+    last_advantage = static_cast<double>(run.data_ship_bytes) /
+                     static_cast<double>(
+                         run.query_ship_bytes ? run.query_ship_bytes : 1);
     std::printf("%14s %14s %14s %13.1fx %4.2f/%4.2f\n",
                 HumanBytes(run.remote_dataset_bytes).c_str(),
                 HumanBytes(run.query_ship_bytes).c_str(),
-                HumanBytes(run.data_ship_bytes).c_str(),
-                static_cast<double>(run.data_ship_bytes) /
-                    static_cast<double>(
-                        run.query_ship_bytes ? run.query_ship_bytes : 1),
+                HumanBytes(run.data_ship_bytes).c_str(), last_advantage,
                 run.query_ship_seconds, run.data_ship_seconds);
   }
+  json->top().Add("query_shipping_advantage_at_max_scale", last_advantage);
   bench::Note(
       "shape check: the advantage of query shipping grows with remote data "
       "size\nbecause the shipped query and the TOP-k result stay small.");
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: fault scenarios on the simulated wire
+// ---------------------------------------------------------------------------
+
+/// Canonical serialized image of a result set, for bit-identity checks.
+std::string Fingerprint(const std::map<std::string, gdm::Dataset>& results) {
+  std::string out;
+  for (const auto& [name, ds] : results) {
+    out += name;
+    out += '\0';
+    out += io::WriteGdmString(ds);
+    out += '\0';
+  }
+  return out;
+}
+
+constexpr size_t kFaultPeaks = 2000;
+constexpr int kReps = 5;
+
+struct Scenario {
+  const char* name;
+  repo::LinkProfile link;      ///< applied to milan for the measured phase
+  repo::FedPolicies policies;
+  bool warmup = false;         ///< clean-link runs to learn the p95 first
+  bool dead_second_site = false;  ///< adds a dead "boston" (RunEverywhere)
+};
+
+/// The common wire both scenarios agree on: a realistic WAN link.
+repo::LinkProfile BaseLink() {
+  repo::LinkProfile link;
+  link.latency_us = 20'000;                  // 20 ms RTT
+  link.bandwidth_bytes_per_sec = 10'000'000; // 10 MB/s
+  link.seed = 11;
+  return link;
+}
+
+struct ScenarioResult {
+  double success_rate = 0;
+  int bit_identical = -1;  ///< -1 = not applicable (partial-result scenario)
+  uint64_t makespan_us = 0;
+  uint64_t requests = 0;
+  repo::FedStats stats;
+  double completeness = 1.0;
+};
+
+ScenarioResult RunScenario(const Scenario& scenario,
+                           const std::string& reference) {
+  repo::FederatedNode milan("milan");
+  Populate(&milan, kFaultPeaks);
+  milan.set_chunk_bytes(4096);  // several FETCH round trips per query
+  repo::FederatedNode boston("boston");
+  repo::Coordinator coordinator;
+  coordinator.set_policies(scenario.policies);
+  coordinator.AddNode(&milan);
+  if (scenario.dead_second_site) {
+    Populate(&boston, kFaultPeaks);
+    boston.set_chunk_bytes(4096);
+    coordinator.AddNode(&boston);
+    repo::LinkProfile dead;
+    dead.dead = true;
+    coordinator.transport()->SetLinkProfile("boston", dead);
+  }
+
+  if (scenario.warmup) {
+    // Learn the healthy p95 before the link degrades.
+    coordinator.transport()->SetLinkProfile("milan", BaseLink());
+    for (int i = 0; i < 3; ++i) {
+      coordinator.RunRemote("milan", kQuery).ValueOrDie();
+    }
+  }
+  coordinator.transport()->SetLinkProfile("milan", scenario.link);
+  coordinator.ResetCounters();
+
+  ScenarioResult out;
+  uint64_t start_us = coordinator.transport()->clock().now_us();
+  int successes = 0;
+  bool identical = true;
+  double completeness_sum = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    if (scenario.dead_second_site) {
+      auto result = coordinator.RunEverywhere(kQuery);
+      if (result.ok()) {
+        ++successes;
+        completeness_sum += result.value().completeness();
+      }
+      continue;
+    }
+    auto result = coordinator.RunRemote("milan", kQuery);
+    if (result.ok()) {
+      ++successes;
+      completeness_sum += 1.0;
+      if (Fingerprint(result.value()) != reference) identical = false;
+    } else {
+      identical = false;
+    }
+  }
+  out.makespan_us = coordinator.transport()->clock().now_us() - start_us;
+  out.success_rate = static_cast<double>(successes) / kReps;
+  out.completeness = successes > 0 ? completeness_sum / successes : 0.0;
+  if (!scenario.dead_second_site) out.bit_identical = identical ? 1 : 0;
+  out.requests = coordinator.counters().requests;
+  out.stats = coordinator.fed_stats();
+  return out;
+}
+
+void PrintFaultScenarios(bench::BenchJson* json) {
+  bench::Header("E8: federation resilience under injected faults",
+                "simulated lossy transport; deadlines, retries, hedging, "
+                "circuit breakers, partial results");
+
+  // The fault-free reference fingerprint all retryable scenarios must
+  // reproduce bit-identically.
+  std::string reference;
+  {
+    repo::FederatedNode milan("milan");
+    Populate(&milan, kFaultPeaks);
+    milan.set_chunk_bytes(4096);
+    repo::Coordinator coordinator;
+    coordinator.AddNode(&milan);
+    coordinator.transport()->SetLinkProfile("milan", BaseLink());
+    reference = Fingerprint(coordinator.RunRemote("milan", kQuery)
+                                .ValueOrDie());
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "fault_free";
+    s.link = BaseLink();
+    scenarios.push_back(s);
+  }
+  {
+    // Retryable faults only: drops (request and response), corrupted
+    // payloads, occasional stalls. Success must stay 1.0 and results
+    // bit-identical — the retry/checksum machinery absorbs everything.
+    Scenario s;
+    s.name = "flaky_fetch";
+    s.link = BaseLink();
+    s.link.drop_rate = 0.15;
+    s.link.corrupt_rate = 0.10;
+    s.link.stall_rate = 0.10;
+    s.link.stall_us = 100'000;
+    s.policies.retry.deadline_us = 500'000;
+    scenarios.push_back(s);
+  }
+  {
+    // One live site, one dead: the broadcast degrades to a partial result
+    // (completeness 0.5) instead of failing, and boston's breaker trips.
+    Scenario s;
+    s.name = "dead_site";
+    s.link = BaseLink();
+    s.dead_second_site = true;
+    scenarios.push_back(s);
+  }
+  {
+    // A straggling site: 40% of FETCHes stall 900 ms (under the deadline,
+    // so unhedged retrieval succeeds — slowly).
+    Scenario s;
+    s.name = "straggler_unhedged";
+    s.link = BaseLink();
+    s.link.stall_rate = 0.4;
+    s.link.stall_us = 900'000;
+    s.link.fault_kinds = repo::MessageKindBit(repo::MessageKind::kFetch);
+    s.policies.retry.deadline_us = 2'000'000;
+    s.policies.hedge.enabled = false;
+    s.warmup = true;
+    scenarios.push_back(s);
+  }
+  {
+    // Same straggler with hedging on (at the median, since 40% of the
+    // latency distribution is stalled): a completion passing the observed
+    // quantile triggers a speculative duplicate, and the duplicate is
+    // usually fast — trading wasted bytes for makespan.
+    Scenario s;
+    s.name = "straggler_hedged";
+    s.link = BaseLink();
+    s.link.stall_rate = 0.4;
+    s.link.stall_us = 900'000;
+    s.link.fault_kinds = repo::MessageKindBit(repo::MessageKind::kFetch);
+    s.policies.retry.deadline_us = 2'000'000;
+    s.policies.hedge.enabled = true;
+    s.policies.hedge.quantile = 0.5;
+    s.policies.hedge.min_observations = 6;
+    s.warmup = true;
+    scenarios.push_back(s);
+  }
+
+  std::printf("%20s %8s %10s %12s %8s %7s %7s %8s %10s\n", "scenario",
+              "success", "identical", "makespan_ms", "requests", "retries",
+              "hedges", "timeouts", "wasted");
+  uint64_t fault_free_requests = 0;
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult r = RunScenario(scenario, reference);
+    if (std::string(scenario.name) == "fault_free") {
+      fault_free_requests = r.requests;
+    }
+    double amplification =
+        fault_free_requests > 0
+            ? static_cast<double>(r.requests) /
+                  static_cast<double>(fault_free_requests)
+            : 0.0;
+    std::printf("%20s %8.2f %10s %12.1f %8llu %7llu %7llu %8llu %10s\n",
+                scenario.name, r.success_rate,
+                r.bit_identical < 0 ? "n/a" : (r.bit_identical ? "yes" : "NO"),
+                static_cast<double>(r.makespan_us) / 1000.0,
+                static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.stats.retries),
+                static_cast<unsigned long long>(r.stats.hedges),
+                static_cast<unsigned long long>(r.stats.timeouts),
+                HumanBytes(r.stats.wasted_bytes).c_str());
+
+    bench::JsonObject& row = json->NewRun();
+    row.Add("scenario", scenario.name);
+    row.Add("success_rate", r.success_rate);
+    row.Add("bit_identical", static_cast<int64_t>(r.bit_identical));
+    row.Add("makespan_us", r.makespan_us);
+    row.Add("requests", r.requests);
+    row.Add("retry_amplification", amplification);
+    row.Add("retries", r.stats.retries);
+    row.Add("hedges", r.stats.hedges);
+    row.Add("timeouts", r.stats.timeouts);
+    row.Add("corruptions", r.stats.corruptions);
+    row.Add("breaker_trips", r.stats.breaker_trips);
+    row.Add("wasted_bytes", r.stats.wasted_bytes);
+    row.Add("completeness", r.completeness);
+  }
+  bench::Note(
+      "shape check: retryable faults keep success at 1.00 with identical "
+      "results;\nthe dead site degrades to completeness 0.5 instead of "
+      "failing; hedging\nbeats the unhedged straggler on makespan at the "
+      "price of wasted bytes.");
 }
 
 void BM_QueryShipping(benchmark::State& state) {
@@ -102,7 +353,14 @@ BENCHMARK(BM_QueryShipping)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  std::string json_path = bench::JsonPathFromArgs(&argc, argv);
+  bench::BenchJson json("E8 federation resilience");
+  json.top().Add("fault_peaks_per_sample",
+                 static_cast<uint64_t>(kFaultPeaks));
+  json.top().Add("reps_per_scenario", static_cast<uint64_t>(kReps));
+  PrintTable(&json);
+  PrintFaultScenarios(&json);
+  if (!json_path.empty()) json.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

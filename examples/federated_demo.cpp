@@ -127,8 +127,9 @@ int main() {
   auto everywhere = coordinator.RunEverywhere(
       "X = SELECT(_term == 'sequencing_assay') ENCODE;\nMATERIALIZE X;\n");
   if (everywhere.ok()) {
-    std::puts("\n== broadcast (every node that can answer) ==");
-    for (const auto& [key, ds] : everywhere.value()) {
+    std::printf("\n== broadcast (every node that can answer): %s ==\n",
+                everywhere.value().Annotation().c_str());
+    for (const auto& [key, ds] : everywhere.value().datasets) {
       std::printf("  %-14s %zu samples, %llu regions\n", key.c_str(),
                   ds.num_samples(),
                   static_cast<unsigned long long>(ds.TotalRegions()));

@@ -29,6 +29,12 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
   }
   return "Unknown";
 }

@@ -23,6 +23,9 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kResourceExhausted,
+  kUnavailable,        ///< remote site unreachable / circuit open
+  kDeadlineExceeded,   ///< RPC did not complete within its deadline
+  kDataCorruption,     ///< payload failed its checksum on arrival
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -76,6 +79,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,10 @@
 #include "repo/federation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/parser.h"
 #include "io/gdm_format.h"
@@ -59,6 +63,55 @@ class HopScope {
   obs::Span span_;
 };
 
+/// Releases a staged result when the enclosing RunRemote scope exits —
+/// success and every error path alike, so a mid-FETCH failure can no
+/// longer leak staging space on the remote node.
+class StagedGuard {
+ public:
+  StagedGuard(FederatedNode* node, std::string query_id)
+      : node_(node), query_id_(std::move(query_id)) {}
+  ~StagedGuard() {
+    if (node_ != nullptr) node_->ReleaseStaged(query_id_);
+  }
+  StagedGuard(const StagedGuard&) = delete;
+  StagedGuard& operator=(const StagedGuard&) = delete;
+
+ private:
+  FederatedNode* node_;
+  std::string query_id_;
+};
+
+// -- wire serialization of the typed handler payloads --
+
+std::string EncodeCompileInfo(const CompileInfo& info) {
+  if (!info.ok) return "0 " + info.error;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "1 %.17g %.17g", info.estimated_regions,
+                info.estimated_bytes);
+  return buf;
+}
+
+Result<CompileInfo> DecodeCompileInfo(const std::string& body) {
+  if (body.size() < 2 || (body[0] != '0' && body[0] != '1') ||
+      body[1] != ' ') {
+    return Status::DataCorruption("malformed COMPILE reply");
+  }
+  CompileInfo info;
+  if (body[0] == '0') {
+    info.ok = false;
+    info.error = body.substr(2);
+    return info;
+  }
+  info.ok = true;
+  char* end = nullptr;
+  info.estimated_regions = std::strtod(body.c_str() + 2, &end);
+  if (end == nullptr || *end != ' ') {
+    return Status::DataCorruption("malformed COMPILE estimate");
+  }
+  info.estimated_bytes = std::strtod(end + 1, nullptr);
+  return info;
+}
+
 }  // namespace
 
 FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {
@@ -67,12 +120,45 @@ FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {
       "gdms_fed_staged_bytes" + label);
   staged_results_gauge_ = obs::MetricsRegistry::Global().GetGauge(
       "gdms_fed_staged_results" + label);
-  PublishStagingGauges();
+  PublishStagingGaugesLocked();
 }
 
-void FederatedNode::PublishStagingGauges() const {
-  staged_bytes_gauge_->Set(static_cast<int64_t>(staged_bytes()));
+void FederatedNode::PublishStagingGaugesLocked() const {
+  staged_bytes_gauge_->Set(static_cast<int64_t>(StagedBytesLocked()));
   staged_results_gauge_->Set(static_cast<int64_t>(staged_.size()));
+}
+
+Result<std::string> FederatedNode::HandleMessage(MessageKind kind,
+                                                 const std::string& request) {
+  switch (kind) {
+    case MessageKind::kInfo:
+      return HandleInfo();
+    case MessageKind::kCompile:
+      return EncodeCompileInfo(HandleCompile(request));
+    case MessageKind::kExecute: {
+      // First line is the idempotency token, the rest is the program.
+      size_t newline = request.find('\n');
+      if (newline == std::string::npos) {
+        return Status::InvalidArgument("EXECUTE request missing token line");
+      }
+      return HandleExecute(request.substr(newline + 1),
+                           request.substr(0, newline));
+    }
+    case MessageKind::kFetch: {
+      size_t space = request.find(' ');
+      if (space == std::string::npos) {
+        return Status::InvalidArgument("FETCH request wants '<id> <index>'");
+      }
+      size_t index = static_cast<size_t>(
+          std::strtoull(request.c_str() + space + 1, nullptr, 10));
+      GDMS_ASSIGN_OR_RETURN(FetchResult chunk,
+                            HandleFetch(request.substr(0, space), index));
+      return (chunk.has_more ? ">" : ".") + chunk.payload;
+    }
+    case MessageKind::kDataset:
+      return HandleDatasetDownload(request);
+  }
+  return Status::InvalidArgument("unknown message kind");
 }
 
 std::string FederatedNode::HandleInfo() const {
@@ -108,13 +194,31 @@ CompileInfo FederatedNode::HandleCompile(const std::string& gmql) const {
   return info;
 }
 
-uint64_t FederatedNode::staged_bytes() const {
+uint64_t FederatedNode::StagedBytesLocked() const {
   uint64_t total = 0;
   for (const auto& [id, payload] : staged_) total += payload.size();
   return total;
 }
 
-Result<std::string> FederatedNode::HandleExecute(const std::string& gmql) {
+uint64_t FederatedNode::staged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StagedBytesLocked();
+}
+
+size_t FederatedNode::staged_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_.size();
+}
+
+Result<std::string> FederatedNode::HandleExecute(const std::string& gmql,
+                                                 const std::string& token) {
+  if (!token.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tokens_.find(token);
+    if (it != tokens_.end() && staged_.count(it->second) > 0) {
+      return it->second;  // retry of an EXECUTE whose response was lost
+    }
+  }
   core::QueryRunner runner;
   for (const auto& name : catalog_.Names()) {
     runner.RegisterDataset(*catalog_.Get(name));
@@ -127,11 +231,12 @@ Result<std::string> FederatedNode::HandleExecute(const std::string& gmql) {
   for (const auto& [name, ds] : results) {
     payload += io::WriteGdmzString(ds);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (max_staged_bytes_ > 0 &&
-      staged_bytes() + payload.size() > max_staged_bytes_) {
+      StagedBytesLocked() + payload.size() > max_staged_bytes_) {
     return Status::ResourceExhausted(
         "staging area full on node " + name_ + " (" +
-        std::to_string(staged_bytes()) + " + " +
+        std::to_string(StagedBytesLocked()) + " + " +
         std::to_string(payload.size()) + " > " +
         std::to_string(max_staged_bytes_) + " bytes); fetch and release "
         "pending results first");
@@ -139,12 +244,14 @@ Result<std::string> FederatedNode::HandleExecute(const std::string& gmql) {
   std::string query_id =
       name_ + "-q" + std::to_string(next_query_++);
   staged_.emplace(query_id, std::move(payload));
-  PublishStagingGauges();
+  if (!token.empty()) tokens_[token] = query_id;
+  PublishStagingGaugesLocked();
   return query_id;
 }
 
 Result<FetchResult> FederatedNode::HandleFetch(const std::string& query_id,
                                                size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = staged_.find(query_id);
   if (it == staged_.end()) {
     return Status::NotFound("no staged result for query " + query_id);
@@ -169,12 +276,41 @@ Result<std::string> FederatedNode::HandleDatasetDownload(
 }
 
 void FederatedNode::ReleaseStaged(const std::string& query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   staged_.erase(query_id);
-  PublishStagingGauges();
+  for (auto it = tokens_.begin(); it != tokens_.end();) {
+    it = it->second == query_id ? tokens_.erase(it) : std::next(it);
+  }
+  PublishStagingGaugesLocked();
+}
+
+std::string FederatedResult::Annotation() const {
+  if (complete()) {
+    return "complete (" + std::to_string(sites_answered) + " site" +
+           (sites_answered == 1 ? "" : "s") + ")";
+  }
+  std::string out = "partial " + std::to_string(sites_answered) + "/" +
+                    std::to_string(sites_answered + sites_failed);
+  if (!failures.empty()) {
+    out += " (";
+    for (size_t i = 0; i < failures.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += failures[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Coordinator::Coordinator() {
+  static std::atomic<uint64_t> next_id{1};
+  coordinator_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  rng_state_ = policies_.retry.jitter_seed;
 }
 
 void Coordinator::AddNode(FederatedNode* node) {
   nodes_[node->name()] = node;
+  transport_.AddSite(node);
   static obs::Gauge* fed_nodes =
       obs::MetricsRegistry::Global().GetGauge("gdms_fed_nodes");
   fed_nodes->Set(static_cast<int64_t>(nodes_.size()));
@@ -201,6 +337,200 @@ void Coordinator::Account(uint64_t requests, uint64_t sent,
 FederatedNode* Coordinator::FindNode(const std::string& name) {
   auto it = nodes_.find(name);
   return it == nodes_.end() ? nullptr : it->second;
+}
+
+CircuitBreaker& Coordinator::BreakerFor(const std::string& site) {
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(site, CircuitBreaker(policies_.breaker)).first;
+  }
+  return it->second;
+}
+
+CircuitBreaker::State Coordinator::BreakerState(
+    const std::string& site) const {
+  auto it = breakers_.find(site);
+  return it == breakers_.end() ? CircuitBreaker::State::kClosed
+                               : it->second.state();
+}
+
+void Coordinator::PublishBreakerGauge(const std::string& site,
+                                      CircuitBreaker::State state) {
+  auto it = breaker_gauges_.find(site);
+  if (it == breaker_gauges_.end()) {
+    std::string name = "gdms_fed_breaker_state{site=\"" +
+                       obs::ExpositionLabelValue(site) + "\"}";
+    it = breaker_gauges_
+             .emplace(site, obs::MetricsRegistry::Global().GetGauge(name))
+             .first;
+  }
+  it->second->Set(static_cast<int64_t>(state));
+}
+
+bool Coordinator::HedgeDelayFor(const std::string& site,
+                                uint64_t* delay_us) const {
+  auto it = fetch_latencies_.find(site);
+  if (it == fetch_latencies_.end() ||
+      it->second.size() < policies_.hedge.min_observations) {
+    return false;
+  }
+  std::vector<uint64_t> sorted(it->second);
+  std::sort(sorted.begin(), sorted.end());
+  size_t index = static_cast<size_t>(
+      policies_.hedge.quantile * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  *delay_us = std::max<uint64_t>(sorted[index], 1);
+  return true;
+}
+
+void Coordinator::RecordFetchLatency(const std::string& site,
+                                     uint64_t latency_us) {
+  auto& samples = fetch_latencies_[site];
+  samples.push_back(latency_us);
+  if (samples.size() > 128) samples.erase(samples.begin());
+}
+
+uint64_t Coordinator::BackoffUs(int attempt) {
+  const RetryPolicy& rp = policies_.retry;
+  double base = static_cast<double>(rp.initial_backoff_us) *
+                std::pow(rp.backoff_multiplier, attempt);
+  rng_state_ = SplitMix64(rng_state_);
+  double unit = static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+  return static_cast<uint64_t>(base * (1.0 + rp.jitter * unit));
+}
+
+Result<std::string> Coordinator::Call(const std::string& site,
+                                      MessageKind kind,
+                                      const std::string& request) {
+  static obs::Counter* retries_total =
+      obs::MetricsRegistry::Global().GetCounter("gdms_fed_retries_total");
+  static obs::Counter* hedges_total =
+      obs::MetricsRegistry::Global().GetCounter("gdms_fed_hedges_total");
+  static obs::Counter* timeouts_total =
+      obs::MetricsRegistry::Global().GetCounter("gdms_fed_timeouts_total");
+  static obs::Counter* corruptions_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_fed_corruptions_total");
+  static obs::Counter* trips_total = obs::MetricsRegistry::Global()
+                                         .GetCounter(
+                                             "gdms_fed_breaker_trips_total");
+  static obs::Counter* wasted_total = obs::MetricsRegistry::Global()
+                                          .GetCounter(
+                                              "gdms_fed_bytes_wasted_total");
+
+  const RetryPolicy& rp = policies_.retry;
+  CircuitBreaker& breaker = BreakerFor(site);
+  Status last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < rp.max_attempts; ++attempt) {
+    uint64_t now = transport_.clock().now_us();
+    if (!breaker.Allow(now)) {
+      ++fed_stats_.breaker_fast_fails;
+      PublishBreakerGauge(site, breaker.state());
+      return Status::Unavailable("circuit open for site " + site +
+                                 " (fast fail)");
+    }
+    PublishBreakerGauge(site, breaker.state());
+
+    AttemptOutcome first = transport_.Attempt(site, kind, request);
+    AttemptOutcome hedge;
+    AttemptOutcome* winner = &first;
+    uint64_t completion = first.latency_us;
+    uint64_t requests = 1;
+    uint64_t sent = first.bytes_sent;
+    uint64_t received = 0;
+    uint64_t wasted = 0;
+
+    // Hedged FETCH: once this attempt's completion would pass the site's
+    // observed p95, race a speculative duplicate and keep the earlier
+    // arrival; the loser's bytes are wasted-but-accounted wire traffic.
+    uint64_t hedge_delay = 0;
+    if (kind == MessageKind::kFetch && policies_.hedge.enabled &&
+        HedgeDelayFor(site, &hedge_delay) && completion > hedge_delay &&
+        hedge_delay < rp.deadline_us) {
+      hedge = transport_.Attempt(site, kind, request);
+      ++requests;
+      sent += hedge.bytes_sent;
+      ++fed_stats_.hedges;
+      hedges_total->Add();
+      uint64_t hedge_completion =
+          hedge.latency_us == AttemptOutcome::kNeverUs
+              ? AttemptOutcome::kNeverUs
+              : hedge_delay + hedge.latency_us;
+      AttemptOutcome* loser = &hedge;
+      uint64_t loser_completion = hedge_completion;
+      if (hedge_completion < completion) {
+        loser = &first;
+        loser_completion = completion;
+        winner = &hedge;
+        completion = hedge_completion;
+      }
+      if (loser->status.ok()) {
+        // The slower copy still crosses the wire eventually.
+        received += loser->bytes_received;
+        wasted += loser->bytes_received;
+        (void)loser_completion;
+      }
+    }
+
+    bool timed_out = completion > rp.deadline_us;
+    uint64_t elapsed = std::min<uint64_t>(completion, rp.deadline_us);
+    transport_.clock().Advance(elapsed);
+    bool delivered = winner->status.ok() && !timed_out;
+    if (delivered) {
+      received += winner->bytes_received;
+    } else if (winner->status.ok()) {
+      // Delivered after the deadline: bytes moved, answer discarded.
+      received += winner->bytes_received;
+      wasted += winner->bytes_received;
+    }
+    Account(requests, sent, received);
+    if (wasted > 0) {
+      fed_stats_.wasted_bytes += wasted;
+      wasted_total->Add(wasted);
+    }
+
+    Status status;
+    if (delivered) {
+      auto body = DecodeEnvelope(winner->response);
+      if (body.ok()) {
+        breaker.RecordSuccess();
+        PublishBreakerGauge(site, breaker.state());
+        if (kind == MessageKind::kFetch) RecordFetchLatency(site, elapsed);
+        // Application-level errors (compile failures, unknown datasets,
+        // staging exhaustion) are answers, not transport faults: they are
+        // returned to the caller un-retried and never trip the breaker.
+        return DecodeReply(body.value());
+      }
+      ++fed_stats_.corruptions;
+      corruptions_total->Add();
+      status = body.status();
+    } else if (timed_out) {
+      status = Status::DeadlineExceeded(
+          std::string(MessageKindName(kind)) + " on " + site +
+          " missed its " + std::to_string(rp.deadline_us) + "us deadline" +
+          (winner->status.ok() ? "" : ": " + winner->status.message()));
+      ++fed_stats_.timeouts;
+      timeouts_total->Add();
+    } else {
+      status = winner->status;
+      if (status.code() == StatusCode::kInternal) return status;  // no link
+    }
+
+    if (breaker.RecordFailure(transport_.clock().now_us())) {
+      ++fed_stats_.breaker_trips;
+      trips_total->Add();
+    }
+    PublishBreakerGauge(site, breaker.state());
+    last = status;
+    if (attempt + 1 < rp.max_attempts) {
+      ++fed_stats_.retries;
+      retries_total->Add();
+      transport_.clock().Advance(BackoffUs(attempt));
+    }
+  }
+  return Status(last.code(),
+                last.message() + " (after " +
+                    std::to_string(rp.max_attempts) + " attempts)");
 }
 
 namespace {
@@ -243,6 +573,13 @@ Result<std::map<std::string, gdm::Dataset>> ParseConcatenated(
 
 }  // namespace
 
+Result<CompileInfo> Coordinator::CompileRemote(const std::string& site,
+                                               const std::string& gmql) {
+  GDMS_ASSIGN_OR_RETURN(std::string body,
+                        Call(site, MessageKind::kCompile, gmql));
+  return DecodeCompileInfo(body);
+}
+
 Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
     const std::string& node_name, const std::string& gmql) {
   FederatedNode* node = FindNode(node_name);
@@ -250,62 +587,89 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
   HopScope hop("site:" + node_name, &counters_);
 
   // COMPILE round-trip: the query text travels once, the estimate returns.
-  Account(1, gmql.size() + 16, 0);
-  CompileInfo compile = node->HandleCompile(gmql);
-  Account(0, 0, 64);  // fixed-size estimate record
+  GDMS_ASSIGN_OR_RETURN(CompileInfo compile,
+                        CompileRemote(node_name, gmql));
   if (!compile.ok) {
     return Status::InvalidArgument("remote compile failed: " + compile.error);
   }
 
-  // EXECUTE.
-  Account(1, gmql.size() + 16, 0);
-  GDMS_ASSIGN_OR_RETURN(std::string query_id, node->HandleExecute(gmql));
-  Account(0, 0, query_id.size());
+  // EXECUTE with an idempotency token, so a lost response can be retried
+  // without staging a second copy server-side.
+  std::string token = "c" + std::to_string(coordinator_id_) + "-t" +
+                      std::to_string(next_token_++);
+  GDMS_ASSIGN_OR_RETURN(
+      std::string query_id,
+      Call(node_name, MessageKind::kExecute, token + "\n" + gmql));
 
-  // Staged FETCH loop (deferred retrieval, controlled communication load).
+  // Staged FETCH loop (deferred retrieval, controlled communication load);
+  // the guard releases the staged result on every exit path.
+  StagedGuard guard(node, query_id);
   std::string payload;
   size_t index = 0;
   while (true) {
-    Account(1, query_id.size() + 24, 0);
-    GDMS_ASSIGN_OR_RETURN(FetchResult chunk,
-                          node->HandleFetch(query_id, index));
-    Account(0, 0, chunk.payload.size());
-    payload += chunk.payload;
-    if (!chunk.has_more) break;
+    GDMS_ASSIGN_OR_RETURN(
+        std::string chunk,
+        Call(node_name, MessageKind::kFetch,
+             query_id + " " + std::to_string(index)));
+    if (chunk.empty() || (chunk[0] != '>' && chunk[0] != '.')) {
+      return Status::DataCorruption("malformed FETCH chunk marker");
+    }
+    payload.append(chunk, 1, std::string::npos);
+    if (chunk[0] == '.') break;
     ++index;
   }
-  node->ReleaseStaged(query_id);
   if (payload.empty()) return std::map<std::string, gdm::Dataset>{};
   return ParseConcatenated(payload);
 }
 
-Result<std::map<std::string, gdm::Dataset>> Coordinator::RunEverywhere(
-    const std::string& gmql) {
-  std::map<std::string, gdm::Dataset> merged;
-  size_t answered = 0;
+Result<FederatedResult> Coordinator::RunEverywhere(const std::string& gmql) {
+  static obs::Counter* partial_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "gdms_fed_partial_results_total");
+  FederatedResult out;
+  out.sites_total = nodes_.size();
   std::string last_error = "no nodes registered";
   for (auto& [node_name, node] : nodes_) {
     // Probe with COMPILE first: nodes lacking the datasets are skipped
-    // without execution cost.
-    Account(1, gmql.size() + 16, 0);
-    CompileInfo compile = node->HandleCompile(gmql);
-    Account(0, 0, 64);
-    if (!compile.ok) {
-      last_error = node_name + ": " + compile.error;
+    // without execution cost, and unreachable or breaker-tripped sites
+    // degrade the result instead of failing it.
+    auto compile = CompileRemote(node_name, gmql);
+    if (!compile.ok()) {
+      ++out.sites_failed;
+      out.failures.push_back(node_name + ": " +
+                             compile.status().ToString());
+      last_error = out.failures.back();
       continue;
     }
-    GDMS_ASSIGN_OR_RETURN(auto results, RunRemote(node_name, gmql));
-    for (auto& [output, ds] : results) {
+    if (!compile.value().ok) {
+      ++out.sites_skipped;
+      last_error = node_name + ": " + compile.value().error;
+      continue;
+    }
+    auto results = RunRemote(node_name, gmql);
+    if (!results.ok()) {
+      ++out.sites_failed;
+      out.failures.push_back(node_name + ": " +
+                             results.status().ToString());
+      last_error = out.failures.back();
+      continue;
+    }
+    for (auto& [output, ds] : results.value()) {
       std::string key = output + "@" + node_name;
       ds.set_name(key);
-      merged.insert_or_assign(std::move(key), std::move(ds));
+      out.datasets.insert_or_assign(std::move(key), std::move(ds));
     }
-    ++answered;
+    ++out.sites_answered;
   }
-  if (answered == 0) {
-    return Status::NotFound("no node could answer the query: " + last_error);
+  if (out.sites_answered == 0) {
+    return Status::Unavailable("no node could answer the query: " +
+                               last_error);
   }
-  return merged;
+  if (!out.complete()) {
+    ++fed_stats_.partial_results;
+    partial_total->Add();
+  }
+  return out;
 }
 
 Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
@@ -316,10 +680,8 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
   HopScope hop("ship:" + node_name, &counters_);
   core::QueryRunner runner;
   for (const auto& name : datasets) {
-    Account(1, name.size() + 16, 0);
     GDMS_ASSIGN_OR_RETURN(std::string payload,
-                          node->HandleDatasetDownload(name));
-    Account(0, 0, payload.size());
+                          Call(node_name, MessageKind::kDataset, name));
     GDMS_ASSIGN_OR_RETURN(gdm::Dataset ds,
                           io::LooksLikeGdmz(payload)
                               ? io::ReadGdmzString(payload)

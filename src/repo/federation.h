@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/runner.h"
 #include "repo/catalog.h"
 #include "repo/estimator.h"
+#include "repo/transport.h"
 
 namespace gdms::obs {
 class Counter;
@@ -23,8 +25,10 @@ namespace gdms::repo {
 /// "Queries move from a requesting node to a remote node, are locally
 /// executed, and results are communicated back ... transferring only query
 /// results which are usually small in size." Every protocol message is a
-/// serialized string so byte accounting is honest; the coordinator compares
-/// query shipping against full data shipping (experiment E8).
+/// serialized string crossing a SimTransport wire (see transport.h) that
+/// can drop, stall, corrupt, or be down — so byte accounting is honest and
+/// the coordinator's resilience (deadlines, retries, hedges, circuit
+/// breakers, partial results) is actually exercised.
 
 /// Protocol interactions supported by a node:
 ///   INFO            — dataset summaries (metadata + schemas)
@@ -44,6 +48,21 @@ struct ProtocolCounters {
   uint64_t bytes_received = 0;  ///< node -> coordinator
 };
 
+/// Resilience tallies of one coordinator, mirrored into the registry as
+/// gdms_fed_retries_total / gdms_fed_hedges_total / gdms_fed_timeouts_total
+/// / gdms_fed_corruptions_total / gdms_fed_breaker_trips_total /
+/// gdms_fed_bytes_wasted_total / gdms_fed_partial_results_total.
+struct FedStats {
+  uint64_t retries = 0;       ///< re-attempts after a transport failure
+  uint64_t hedges = 0;        ///< speculative duplicate FETCHes issued
+  uint64_t timeouts = 0;      ///< attempts that blew their deadline
+  uint64_t corruptions = 0;   ///< checksum mismatches detected (re-fetched)
+  uint64_t breaker_trips = 0; ///< closed/half-open -> open transitions
+  uint64_t breaker_fast_fails = 0;  ///< calls rejected by an open breaker
+  uint64_t wasted_bytes = 0;  ///< hedge losers + post-deadline deliveries
+  uint64_t partial_results = 0;  ///< RunEverywhere calls missing sites
+};
+
 /// One staged query result chunk.
 struct FetchResult {
   std::string payload;
@@ -59,6 +78,9 @@ struct CompileInfo {
 };
 
 /// \brief A repository node: catalog + local GMQL engine + staging area.
+/// Handlers are thread-safe: concurrent coordinators (the `--serve`
+/// federation driver) share nodes, so the staging map, the execution-token
+/// table and the query-id counter are mutex-guarded.
 class FederatedNode {
  public:
   explicit FederatedNode(std::string name);
@@ -79,14 +101,27 @@ class FederatedNode {
 
   // -- protocol handlers; each takes/returns serialized payloads --
 
+  /// Dispatches a serialized wire request to the matching typed handler
+  /// and serializes the response; this is what the transport delivers.
+  Result<std::string> HandleMessage(MessageKind kind,
+                                    const std::string& request);
+
   /// INFO: returns the rendered DatasetInfo list.
   std::string HandleInfo() const;
 
   /// COMPILE: parses the query and estimates result sizes.
   CompileInfo HandleCompile(const std::string& gmql) const;
 
-  /// EXECUTE: runs the query, stages serialized results, returns a query id.
-  Result<std::string> HandleExecute(const std::string& gmql);
+  /// EXECUTE: runs the query, stages serialized results, returns a query
+  /// id. A non-empty `token` makes the call idempotent: a retry carrying
+  /// the same token returns the already-staged query id instead of
+  /// executing (and staging) a second copy — what makes EXECUTE safely
+  /// retryable when the response is lost in transit.
+  Result<std::string> HandleExecute(const std::string& gmql,
+                                    const std::string& token);
+  Result<std::string> HandleExecute(const std::string& gmql) {
+    return HandleExecute(gmql, "");
+  }
 
   /// FETCH: returns chunk `index` of the staged result.
   Result<FetchResult> HandleFetch(const std::string& query_id, size_t index);
@@ -95,7 +130,7 @@ class FederatedNode {
   Result<std::string> HandleDatasetDownload(const std::string& name) const;
 
   /// Number of currently staged results (for staging-resource control).
-  size_t staged_count() const { return staged_.size(); }
+  size_t staged_count() const;
 
   /// Drops a staged result once the requester is done.
   void ReleaseStaged(const std::string& query_id);
@@ -103,34 +138,74 @@ class FederatedNode {
  private:
   /// Pushes the current staging occupancy into this node's labeled
   /// registry gauges (gdms_fed_staged_bytes{node="..."} /
-  /// gdms_fed_staged_results{node="..."}).
-  void PublishStagingGauges() const;
+  /// gdms_fed_staged_results{node="..."}). Caller holds mu_.
+  void PublishStagingGaugesLocked() const;
+  uint64_t StagedBytesLocked() const;
 
   std::string name_;
   Catalog catalog_;
   size_t chunk_bytes_ = 1 << 20;
   uint64_t max_staged_bytes_ = 0;
+  mutable std::mutex mu_;  ///< guards staged_, tokens_, next_query_
   std::map<std::string, std::string> staged_;  // query id -> serialized result
+  std::map<std::string, std::string> tokens_;  // execution token -> query id
   uint64_t next_query_ = 1;
   /// Live per-node staging gauges; registry-owned, fetched once.
   obs::Gauge* staged_bytes_gauge_ = nullptr;
   obs::Gauge* staged_results_gauge_ = nullptr;
 };
 
-/// \brief The requesting side: ships queries (or fetches data) and accounts
-/// for every byte crossing the simulated wire.
+/// \brief A federated broadcast's result with its completeness annotation:
+/// dead or breaker-tripped sites are skipped instead of failing the whole
+/// query, and the caller can see exactly what is missing.
+struct FederatedResult {
+  std::map<std::string, gdm::Dataset> datasets;
+  size_t sites_total = 0;     ///< registered sites
+  size_t sites_answered = 0;  ///< shipped results back
+  size_t sites_skipped = 0;   ///< lacked the datasets (no execution cost)
+  size_t sites_failed = 0;    ///< unreachable / timed out / tripped
+  std::vector<std::string> failures;  ///< "site: Status" per failed site
+
+  bool complete() const { return sites_failed == 0; }
+
+  /// answered / (answered + failed); 1.0 when nothing was eligible.
+  double completeness() const {
+    size_t eligible = sites_answered + sites_failed;
+    return eligible == 0
+               ? 1.0
+               : static_cast<double>(sites_answered) /
+                     static_cast<double>(eligible);
+  }
+
+  /// "complete (2 sites)" or "partial 2/3 (geneva: Unavailable: ...)".
+  std::string Annotation() const;
+};
+
+/// \brief The requesting side: ships queries (or fetches data) across the
+/// simulated transport, accounts for every byte, and survives the wire —
+/// per-RPC deadlines, bounded retries with exponential backoff + jitter,
+/// p95-based hedged FETCHes, per-site circuit breakers, checksummed
+/// payloads with re-fetch on corruption, and graceful partial results.
 class Coordinator {
  public:
-  Coordinator() = default;
+  Coordinator();
 
-  /// Registers a node; the coordinator does not own it.
+  /// Registers a node; the coordinator does not own it. The transport link
+  /// starts perfect (zero latency, no faults) — shape it afterwards with
+  /// transport()->SetLinkProfile().
   void AddNode(FederatedNode* node);
 
   FederatedNode* FindNode(const std::string& name);
 
+  SimTransport* transport() { return &transport_; }
+
+  void set_policies(const FedPolicies& policies) { policies_ = policies; }
+  const FedPolicies& policies() const { return policies_; }
+
   /// Query shipping: COMPILE on the remote node, then EXECUTE, then staged
   /// FETCHes; returns the materialized datasets. Bytes are accounted in
-  /// counters().
+  /// counters(). The staged result is released even when a mid-FETCH
+  /// failure aborts the loop (RAII guard).
   Result<std::map<std::string, gdm::Dataset>> RunRemote(
       const std::string& node_name, const std::string& gmql);
 
@@ -142,13 +217,29 @@ class Coordinator {
 
   /// Broadcast: ships the query to every node whose catalog can compile it
   /// (nodes lacking the referenced datasets are skipped), then unions the
-  /// per-node results under "<output>@<node>" keys. Errors only when no
-  /// node could answer.
-  Result<std::map<std::string, gdm::Dataset>> RunEverywhere(
-      const std::string& gmql);
+  /// per-node results under "<output>@<node>" keys. Sites that are dead,
+  /// time out, or have a tripped breaker degrade the result to partial
+  /// (see FederatedResult) instead of failing it; errors only when no
+  /// site could answer at all.
+  Result<FederatedResult> RunEverywhere(const std::string& gmql);
+
+  /// The resilient RPC chokepoint every protocol message goes through:
+  /// breaker admission, deadline clamping, bounded retries with jittered
+  /// exponential backoff, hedged FETCHes after the site's observed p95,
+  /// checksum verification, byte/telemetry accounting. Returns the
+  /// application-level reply payload.
+  Result<std::string> Call(const std::string& site, MessageKind kind,
+                           const std::string& request);
+
+  /// Current breaker state for a site (kClosed when never used).
+  CircuitBreaker::State BreakerState(const std::string& site) const;
 
   const ProtocolCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = ProtocolCounters{}; }
+  const FedStats& fed_stats() const { return fed_stats_; }
+  void ResetCounters() {
+    counters_ = ProtocolCounters{};
+    fed_stats_ = FedStats{};
+  }
 
  private:
   /// Single accounting chokepoint: bumps the per-coordinator struct and
@@ -156,8 +247,28 @@ class Coordinator {
   /// federation traffic is live in the exposition.
   void Account(uint64_t requests, uint64_t sent, uint64_t received);
 
+  CircuitBreaker& BreakerFor(const std::string& site);
+  void PublishBreakerGauge(const std::string& site,
+                           CircuitBreaker::State state);
+  /// The site's p95 FETCH completion time; false until enough samples.
+  bool HedgeDelayFor(const std::string& site, uint64_t* delay_us) const;
+  void RecordFetchLatency(const std::string& site, uint64_t latency_us);
+  uint64_t BackoffUs(int attempt);
+
+  Result<CompileInfo> CompileRemote(const std::string& site,
+                                    const std::string& gmql);
+
+  SimTransport transport_;
+  FedPolicies policies_;
   std::map<std::string, FederatedNode*> nodes_;
   ProtocolCounters counters_;
+  FedStats fed_stats_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  std::map<std::string, std::vector<uint64_t>> fetch_latencies_;
+  std::map<std::string, obs::Gauge*> breaker_gauges_;
+  uint64_t rng_state_ = 0;
+  uint64_t next_token_ = 1;
+  uint64_t coordinator_id_ = 0;  ///< makes execution tokens process-unique
 };
 
 }  // namespace gdms::repo

@@ -1,0 +1,220 @@
+#include "repo/transport.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "repo/federation.h"
+
+namespace gdms::repo {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kInfo:
+      return "INFO";
+    case MessageKind::kCompile:
+      return "COMPILE";
+    case MessageKind::kExecute:
+      return "EXECUTE";
+    case MessageKind::kFetch:
+      return "FETCH";
+    case MessageKind::kDataset:
+      return "DATASET";
+  }
+  return "UNKNOWN";
+}
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string EncodeEnvelope(const std::string& body) {
+  char head[16];
+  std::snprintf(head, sizeof(head), "%08x ", Crc32(body));
+  return std::string(head) + body;
+}
+
+Result<std::string> DecodeEnvelope(const std::string& wire) {
+  if (wire.size() < kEnvelopeOverhead || wire[kEnvelopeOverhead - 1] != ' ') {
+    return Status::DataCorruption("malformed wire envelope");
+  }
+  uint32_t declared = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    char c = wire[i];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      return Status::DataCorruption("malformed wire checksum");
+    }
+    declared = declared * 16 + digit;
+  }
+  std::string body = wire.substr(kEnvelopeOverhead);
+  if (Crc32(body) != declared) {
+    return Status::DataCorruption("payload checksum mismatch (crc32)");
+  }
+  return body;
+}
+
+std::string EncodeReply(const Result<std::string>& reply) {
+  if (reply.ok()) return "+" + reply.value();
+  return "-" + std::to_string(static_cast<int>(reply.status().code())) + " " +
+         reply.status().message();
+}
+
+Result<std::string> DecodeReply(const std::string& body) {
+  if (body.empty()) return Status::DataCorruption("empty reply body");
+  if (body[0] == '+') return body.substr(1);
+  if (body[0] != '-') return Status::DataCorruption("malformed reply marker");
+  size_t space = body.find(' ');
+  if (space == std::string::npos) {
+    return Status::DataCorruption("malformed reply status");
+  }
+  int code = std::atoi(body.substr(1, space - 1).c_str());
+  if (code <= 0 || code > static_cast<int>(StatusCode::kDataCorruption)) {
+    return Status::DataCorruption("unknown reply status code");
+  }
+  return Status(static_cast<StatusCode>(code), body.substr(space + 1));
+}
+
+void SimTransport::AddSite(FederatedNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_[node->name()].node = node;
+}
+
+void SimTransport::SetLinkProfile(const std::string& site,
+                                  const LinkProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(site);
+  if (it != links_.end()) it->second.profile = profile;
+}
+
+LinkProfile SimTransport::GetLinkProfile(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(site);
+  return it == links_.end() ? LinkProfile{} : it->second.profile;
+}
+
+bool SimTransport::Knows(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return links_.count(site) > 0;
+}
+
+AttemptOutcome SimTransport::Attempt(const std::string& site,
+                                     MessageKind kind,
+                                     const std::string& request) {
+  AttemptOutcome out;
+  FederatedNode* node = nullptr;
+  LinkProfile profile;
+  uint64_t message = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = links_.find(site);
+    if (it == links_.end()) {
+      out.status = Status::Internal("no link to site " + site);
+      return out;
+    }
+    node = it->second.node;
+    profile = it->second.profile;
+    message = it->second.messages++;
+  }
+  // Request wire image: KIND + space + enveloped body.
+  out.bytes_sent =
+      std::strlen(MessageKindName(kind)) + 1 + kEnvelopeOverhead +
+      request.size();
+
+  uint64_t now = clock_.now_us();
+  bool in_down_window = profile.down_until_us > profile.down_from_us &&
+                        now >= profile.down_from_us &&
+                        now < profile.down_until_us;
+  if (profile.dead || in_down_window) {
+    // Connection refused: the failure is known after one link RTT.
+    out.status = Status::Unavailable("site " + site + " unreachable");
+    out.latency_us = profile.latency_us;
+    return out;
+  }
+
+  bool faultable = (profile.fault_kinds & MessageKindBit(kind)) != 0;
+  double roll_drop = UnitDraw(profile.seed, message, 0);
+  double roll_stall = UnitDraw(profile.seed, message, 1);
+  double roll_corrupt = UnitDraw(profile.seed, message, 2);
+
+  // Half the drops lose the request (the handler never runs), half lose
+  // the response (server work done, answer gone) — the case the EXECUTE
+  // idempotency token exists for.
+  if (faultable && roll_drop < profile.drop_rate / 2) {
+    out.status =
+        Status::DeadlineExceeded("request to " + site + " lost in transit");
+    out.latency_us = AttemptOutcome::kNeverUs;
+    return out;
+  }
+
+  std::string body = EncodeReply(node->HandleMessage(kind, request));
+
+  if (faultable && roll_drop < profile.drop_rate) {
+    out.status = Status::DeadlineExceeded("response from " + site +
+                                          " lost in transit");
+    out.latency_us = AttemptOutcome::kNeverUs;
+    return out;
+  }
+
+  std::string wire = EncodeEnvelope(body);
+  if (faultable && roll_corrupt < profile.corrupt_rate) {
+    // Flip bytes past the checksum header; the sender checksummed the
+    // clean body, so the receiver's CRC32 catches every flip.
+    for (size_t i = kEnvelopeOverhead; i < wire.size(); i += 97) {
+      wire[i] = static_cast<char>(wire[i] ^ 0x20);
+    }
+  }
+  out.bytes_received = wire.size();
+  out.response = std::move(wire);
+
+  uint64_t latency = profile.latency_us;
+  if (profile.bandwidth_bytes_per_sec > 0) {
+    latency += static_cast<uint64_t>(
+        static_cast<double>(out.bytes_sent + out.bytes_received) * 1e6 /
+        static_cast<double>(profile.bandwidth_bytes_per_sec));
+  }
+  if (faultable && roll_stall < profile.stall_rate) {
+    latency += profile.stall_us;
+  }
+  out.latency_us = latency;
+  return out;
+}
+
+}  // namespace gdms::repo

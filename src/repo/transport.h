@@ -1,0 +1,235 @@
+#ifndef GDMS_REPO_TRANSPORT_H_
+#define GDMS_REPO_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gdms::repo {
+
+class FederatedNode;
+
+/// \brief The simulated wire between a Coordinator and its FederatedNodes.
+///
+/// The paper's "Internet of Genomes" (Sec. 4.4) assumes cooperating but
+/// unreliable peers: slow links, saturated sites, sites that are simply
+/// gone. Every protocol message therefore crosses a SimTransport whose
+/// per-link LinkProfile injects latency, bandwidth delay and seeded,
+/// deterministic faults (drop, stall, payload corruption, down windows).
+/// Time is virtual — a SimClock advanced by the caller with the computed
+/// delivery latency — so fault schedules, retries, hedges and the measured
+/// makespan are all bit-reproducible and machine-independent.
+
+/// The five protocol interactions of federation.h, as wire messages.
+enum class MessageKind { kInfo = 0, kCompile, kExecute, kFetch, kDataset };
+
+const char* MessageKindName(MessageKind kind);
+
+/// Bitmask helpers for LinkProfile::fault_kinds.
+inline constexpr uint32_t MessageKindBit(MessageKind kind) {
+  return 1u << static_cast<int>(kind);
+}
+inline constexpr uint32_t kAllMessageKinds = 0x1f;
+
+/// One direction of simulated wire quality plus its fault schedule. All
+/// fault draws derive from (seed, per-link message index) via SplitMix64,
+/// so a given profile replays the same schedule on every run.
+struct LinkProfile {
+  uint64_t latency_us = 0;  ///< fixed per-round-trip latency
+  uint64_t bandwidth_bytes_per_sec = 0;  ///< 0 = infinite
+  double drop_rate = 0;      ///< message lost; the caller sees a timeout
+  double stall_rate = 0;     ///< delivery delayed by stall_us
+  uint64_t stall_us = 200000;
+  double corrupt_rate = 0;   ///< payload bytes flipped after checksumming
+  uint64_t down_from_us = 0;  ///< site-down window in sim-clock time;
+  uint64_t down_until_us = 0; ///< empty window (from >= until) = never down
+  bool dead = false;          ///< permanently unreachable
+  uint32_t fault_kinds = kAllMessageKinds;  ///< which messages can fault
+  uint64_t seed = 1;
+};
+
+/// CRC32 (IEEE 802.3 polynomial) used to checksum every payload that
+/// crosses the wire; corruption faults flip bytes after the sender has
+/// checksummed, so the receiver detects them and re-fetches.
+uint32_t Crc32(std::string_view data);
+
+/// SplitMix64 — the deterministic fault/jitter generator of the layer.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) from a (seed, message, salt) triple.
+inline double UnitDraw(uint64_t seed, uint64_t message, uint64_t salt) {
+  uint64_t mixed = SplitMix64(seed ^ SplitMix64(message + salt * 0x51ed2701));
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+/// Wire envelope: an 8-hex-digit CRC32 of the body, a space, the body.
+/// DecodeEnvelope returns DataCorruption when the checksum mismatches.
+inline constexpr size_t kEnvelopeOverhead = 9;
+std::string EncodeEnvelope(const std::string& body);
+Result<std::string> DecodeEnvelope(const std::string& wire);
+
+/// Application-level reply framing inside the envelope: '+' payload for
+/// success, '-' code ' ' message for a handler error — so server-side
+/// errors travel back across the (faulty) wire like any other payload.
+std::string EncodeReply(const Result<std::string>& reply);
+Result<std::string> DecodeReply(const std::string& body);
+
+/// Virtual time, in microseconds, shared by one coordinator's links.
+class SimClock {
+ public:
+  uint64_t now_us() const { return now_.load(std::memory_order_relaxed); }
+  void Advance(uint64_t us) { now_.fetch_add(us, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+/// Outcome of one delivery attempt. `latency_us` is the simulated time
+/// until the caller knows the outcome; kNeverUs means the message vanished
+/// (the caller clamps to its deadline). Fault-free perfect links yield
+/// latency 0 and an OK status, so the transport is free when unconfigured.
+struct AttemptOutcome {
+  static constexpr uint64_t kNeverUs = ~0ull;
+
+  Status status = Status::OK();
+  std::string response;  ///< enveloped reply wire image (when delivered)
+  uint64_t latency_us = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// \brief Delivers protocol messages to registered nodes across per-link
+/// simulated wires. One instance per coordinator; link state (message
+/// counters) is mutex-guarded so concurrent use is safe, though fault
+/// schedules are only replayable under a deterministic call order.
+class SimTransport {
+ public:
+  SimTransport() = default;
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  /// Registers a site with a perfect (zero-latency, fault-free) link.
+  void AddSite(FederatedNode* node);
+
+  /// Replaces the link profile for `site`; no-op for unknown sites.
+  void SetLinkProfile(const std::string& site, const LinkProfile& profile);
+
+  LinkProfile GetLinkProfile(const std::string& site) const;
+
+  bool Knows(const std::string& site) const;
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+
+  /// One delivery attempt: runs the link's fault schedule, dispatches to
+  /// the node's handler when the request survives, envelopes (and possibly
+  /// corrupts) the reply, and prices the round trip. Does NOT advance the
+  /// clock — the caller owns deadline clamping and hedged races.
+  AttemptOutcome Attempt(const std::string& site, MessageKind kind,
+                         const std::string& request);
+
+ private:
+  struct Link {
+    FederatedNode* node = nullptr;
+    LinkProfile profile;
+    uint64_t messages = 0;  ///< per-link message index driving fault draws
+  };
+
+  mutable std::mutex mu_;
+  SimClock clock_;
+  std::map<std::string, Link> links_;
+};
+
+/// Policies for the resilient RPC layer the coordinator builds on top of
+/// the transport.
+
+struct RetryPolicy {
+  int max_attempts = 4;               ///< total tries, first one included
+  uint64_t deadline_us = 5'000'000;   ///< per-attempt completion deadline
+  uint64_t initial_backoff_us = 10'000;
+  double backoff_multiplier = 2.0;
+  double jitter = 0.2;                ///< +/- fraction, seeded-deterministic
+  uint64_t jitter_seed = 7;
+};
+
+struct HedgePolicy {
+  bool enabled = true;
+  double quantile = 0.95;       ///< hedge once latency passes this quantile
+  size_t min_observations = 8;  ///< FETCH samples needed before hedging
+};
+
+struct BreakerPolicy {
+  int failure_threshold = 5;          ///< consecutive failures to open
+  uint64_t open_duration_us = 2'000'000;  ///< open -> half-open probe delay
+};
+
+struct FedPolicies {
+  RetryPolicy retry;
+  HedgePolicy hedge;
+  BreakerPolicy breaker;
+};
+
+/// \brief Per-site closed / open / half-open circuit breaker over sim time.
+///
+/// Closed counts consecutive transport failures; at the threshold it opens
+/// and fast-fails callers until open_duration_us has passed, then admits a
+/// single half-open probe whose outcome closes or re-opens the circuit.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(BreakerPolicy policy) : policy_(policy) {}
+
+  /// Whether a request may proceed at sim-time `now_us`; transitions
+  /// open -> half-open when the open window has elapsed.
+  bool Allow(uint64_t now_us) {
+    if (state_ == State::kOpen && now_us >= open_until_us_) {
+      state_ = State::kHalfOpen;
+    }
+    return state_ != State::kOpen;
+  }
+
+  void RecordSuccess() {
+    consecutive_failures_ = 0;
+    state_ = State::kClosed;
+  }
+
+  /// Returns true when this failure tripped the breaker open (either from
+  /// closed at the threshold, or a failed half-open probe).
+  bool RecordFailure(uint64_t now_us) {
+    ++consecutive_failures_;
+    bool trip = state_ == State::kHalfOpen ||
+                (state_ == State::kClosed &&
+                 consecutive_failures_ >= policy_.failure_threshold);
+    if (trip) {
+      state_ = State::kOpen;
+      open_until_us_ = now_us + policy_.open_duration_us;
+    }
+    return trip;
+  }
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  BreakerPolicy policy_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t open_until_us_ = 0;
+};
+
+const char* BreakerStateName(CircuitBreaker::State state);
+
+}  // namespace gdms::repo
+
+#endif  // GDMS_REPO_TRANSPORT_H_

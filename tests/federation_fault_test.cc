@@ -1,0 +1,410 @@
+// Fault-tolerant federation: the simulated lossy transport, the resilient
+// RPC layer (deadlines, retries, hedging, circuit breakers, checksums) and
+// graceful partial results. All faults are seeded and deterministic, so
+// every expectation here is exact, not statistical.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "io/gdm_format.h"
+#include "repo/federation.h"
+#include "repo/transport.h"
+#include "sim/generators.h"
+
+namespace gdms::repo {
+namespace {
+
+using gdm::Dataset;
+using gdm::GenomeAssembly;
+
+constexpr const char* kQuery =
+    "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;\n"
+    "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;\n"
+    "R = MAP(peak_count AS COUNT) PROMS PEAKS;\n"
+    "MATERIALIZE R;\n";
+
+Dataset SmallPeaks(uint64_t seed = 1) {
+  sim::PeakDatasetOptions opt;
+  opt.num_samples = 3;
+  opt.peaks_per_sample = 150;
+  return sim::GeneratePeakDataset(GenomeAssembly::HumanLike(3, 20000000), opt,
+                                  seed);
+}
+
+Dataset SmallAnnotations(uint64_t seed = 1) {
+  auto genome = GenomeAssembly::HumanLike(3, 20000000);
+  auto catalog = sim::GenerateGenes(genome, 100, seed);
+  return sim::GenerateAnnotations(genome, catalog, {}, seed);
+}
+
+void Populate(FederatedNode* node, uint64_t seed = 1) {
+  node->catalog()->Put(SmallPeaks(seed));
+  node->catalog()->Put(SmallAnnotations(seed));
+}
+
+/// Canonical serialized image of a result set: name -> text rendering.
+std::string Fingerprint(const std::map<std::string, Dataset>& results) {
+  std::string out;
+  for (const auto& [name, ds] : results) {
+    out += name;
+    out += '\0';
+    out += io::WriteGdmString(ds);
+    out += '\0';
+  }
+  return out;
+}
+
+// -- transport primitives -------------------------------------------------
+
+TEST(TransportTest, EnvelopeRoundTripsAndDetectsCorruption) {
+  std::string wire = EncodeEnvelope("hello staged payload");
+  auto ok = DecodeEnvelope(wire);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), "hello staged payload");
+
+  wire[kEnvelopeOverhead + 3] ^= 0x20;
+  auto bad = DecodeEnvelope(wire);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataCorruption);
+}
+
+TEST(TransportTest, ReplyFramingCarriesAppErrors) {
+  auto ok = DecodeReply(EncodeReply(std::string("payload")));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), "payload");
+
+  auto err = DecodeReply(EncodeReply(Status::NotFound("no such dataset")));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.status().message(), "no such dataset");
+}
+
+TEST(TransportTest, FaultScheduleIsSeededDeterministic) {
+  // Two transports with identical profiles replay identical schedules.
+  FederatedNode node("milan");
+  Populate(&node);
+  LinkProfile profile;
+  profile.drop_rate = 0.5;
+  profile.seed = 42;
+
+  auto run = [&](std::vector<bool>* outcomes) {
+    SimTransport transport;
+    transport.AddSite(&node);
+    transport.SetLinkProfile("milan", profile);
+    for (int i = 0; i < 32; ++i) {
+      outcomes->push_back(
+          transport.Attempt("milan", MessageKind::kInfo, "").status.ok());
+    }
+  };
+  std::vector<bool> a, b;
+  run(&a);
+  run(&b);
+  EXPECT_EQ(a, b);
+  // And the schedule actually mixes successes and failures.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(TransportTest, PerfectLinkIsFreeAndInstant) {
+  FederatedNode node("milan");
+  Populate(&node);
+  SimTransport transport;
+  transport.AddSite(&node);
+  AttemptOutcome out = transport.Attempt("milan", MessageKind::kInfo, "");
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.latency_us, 0u);
+  EXPECT_GT(out.bytes_received, 0u);
+}
+
+// -- circuit breaker state machine ----------------------------------------
+
+TEST(CircuitBreakerTest, ClosedOpensHalfOpensAndRecovers) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_duration_us = 1000;
+  CircuitBreaker breaker(policy);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(breaker.RecordFailure(0));
+  EXPECT_FALSE(breaker.RecordFailure(0));
+  EXPECT_TRUE(breaker.RecordFailure(0));  // third consecutive failure trips
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(500));  // still inside the open window
+  EXPECT_TRUE(breaker.Allow(1000));  // window over -> half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // A failed probe re-opens immediately (single failure, not threshold).
+  EXPECT_TRUE(breaker.RecordFailure(1000));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.Allow(2000));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+// -- resilient coordinator ------------------------------------------------
+
+class FaultFederationTest : public ::testing::Test {
+ protected:
+  FaultFederationTest() : milan_("milan") {
+    Populate(&milan_);
+    coordinator_.AddNode(&milan_);
+  }
+
+  FederatedNode milan_;
+  Coordinator coordinator_;
+};
+
+TEST_F(FaultFederationTest, RetryableFaultsYieldBitIdenticalResults) {
+  // Baseline: fault-free run.
+  auto clean = coordinator_.RunRemote("milan", kQuery);
+  ASSERT_TRUE(clean.ok());
+  std::string clean_print = Fingerprint(clean.value());
+
+  // Same query under a nasty-but-retryable wire: drops, stalls, corruption.
+  FederatedNode milan2("milan");
+  Populate(&milan2);
+  Coordinator faulty;
+  faulty.AddNode(&milan2);
+  LinkProfile profile;
+  profile.latency_us = 1000;
+  profile.drop_rate = 0.25;
+  profile.stall_rate = 0.2;
+  profile.stall_us = 50000;
+  profile.corrupt_rate = 0.15;
+  profile.seed = 9;
+  faulty.transport()->SetLinkProfile("milan", profile);
+
+  auto result = faulty.RunRemote("milan", kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Fingerprint(result.value()), clean_print);
+  // The schedule at this seed must actually have exercised the retry path.
+  EXPECT_GT(faulty.fed_stats().retries + faulty.fed_stats().corruptions, 0u);
+  EXPECT_EQ(milan2.staged_count(), 0u);  // nothing leaked
+}
+
+TEST_F(FaultFederationTest, CorruptionIsDetectedAndRefetched) {
+  FederatedNode milan2("milan");
+  Populate(&milan2);
+  Coordinator c;
+  c.AddNode(&milan2);
+  LinkProfile profile;
+  profile.corrupt_rate = 0.5;
+  profile.seed = 3;
+  c.transport()->SetLinkProfile("milan", profile);
+
+  auto result = c.RunRemote("milan", kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(c.fed_stats().corruptions, 0u);
+  EXPECT_EQ(c.fed_stats().corruptions, c.fed_stats().retries);
+}
+
+TEST_F(FaultFederationTest, RetriesExhaustOnTotalLoss) {
+  LinkProfile profile;
+  profile.drop_rate = 1.0;
+  coordinator_.transport()->SetLinkProfile("milan", profile);
+
+  auto result = coordinator_.RunRemote("milan", kQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // max_attempts - 1 retries for the first RPC in the chain.
+  EXPECT_EQ(coordinator_.fed_stats().retries,
+            static_cast<uint64_t>(coordinator_.policies().retry.max_attempts -
+                                  1));
+  EXPECT_EQ(coordinator_.fed_stats().timeouts,
+            static_cast<uint64_t>(coordinator_.policies().retry.max_attempts));
+}
+
+TEST_F(FaultFederationTest, BreakerTripsFastFailsAndHalfOpenRecovers) {
+  FedPolicies policies;
+  policies.retry.max_attempts = 3;
+  policies.breaker.failure_threshold = 3;
+  policies.breaker.open_duration_us = 1'000'000;
+  coordinator_.set_policies(policies);
+
+  LinkProfile profile;
+  profile.dead = true;
+  coordinator_.transport()->SetLinkProfile("milan", profile);
+
+  // One full RPC = 3 failed attempts = breaker trips at the threshold.
+  EXPECT_FALSE(coordinator_.Call("milan", MessageKind::kInfo, "").ok());
+  EXPECT_EQ(coordinator_.BreakerState("milan"),
+            CircuitBreaker::State::kOpen);
+  EXPECT_EQ(coordinator_.fed_stats().breaker_trips, 1u);
+
+  // While open, calls fast-fail without touching the wire.
+  uint64_t requests_before = coordinator_.counters().requests;
+  EXPECT_FALSE(coordinator_.Call("milan", MessageKind::kInfo, "").ok());
+  EXPECT_EQ(coordinator_.counters().requests, requests_before);
+  EXPECT_GT(coordinator_.fed_stats().breaker_fast_fails, 0u);
+
+  // Past the open window the site has recovered; the half-open probe
+  // succeeds and the breaker closes again.
+  coordinator_.transport()->clock().Advance(
+      policies.breaker.open_duration_us);
+  coordinator_.transport()->SetLinkProfile("milan", LinkProfile{});
+  EXPECT_TRUE(coordinator_.Call("milan", MessageKind::kInfo, "").ok());
+  EXPECT_EQ(coordinator_.BreakerState("milan"),
+            CircuitBreaker::State::kClosed);
+}
+
+TEST_F(FaultFederationTest, DownWindowHealsBySimTime) {
+  LinkProfile profile;
+  profile.down_from_us = 0;
+  profile.down_until_us = 500'000;
+  coordinator_.transport()->SetLinkProfile("milan", profile);
+
+  // Inside the window every attempt is refused, but the retry backoff
+  // advances sim time past the outage, so the RPC succeeds on a later try.
+  auto result = coordinator_.Call("milan", MessageKind::kInfo, "");
+  if (!result.ok()) {
+    // Backoffs too short to escape the window: advance and try again.
+    coordinator_.transport()->clock().Advance(500'000);
+    result = coordinator_.Call("milan", MessageKind::kInfo, "");
+  }
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(coordinator_.fed_stats().retries, 0u);
+}
+
+TEST_F(FaultFederationTest, ExecuteTokenMakesRetriesIdempotent) {
+  // Lost EXECUTE responses must not stage duplicate results server-side.
+  auto first = milan_.HandleExecute(kQuery, "tok-1");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(milan_.staged_count(), 1u);
+  auto retry = milan_.HandleExecute(kQuery, "tok-1");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.value(), first.value());
+  EXPECT_EQ(milan_.staged_count(), 1u);  // deduped, not re-staged
+
+  // Releasing the staged result also forgets the token.
+  milan_.ReleaseStaged(first.value());
+  EXPECT_EQ(milan_.staged_count(), 0u);
+  auto again = milan_.HandleExecute(kQuery, "tok-1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again.value(), first.value());
+  milan_.ReleaseStaged(again.value());
+}
+
+TEST_F(FaultFederationTest, MidFetchFailureReleasesStagedResult) {
+  // Faults aimed only at FETCH: COMPILE and EXECUTE succeed, every FETCH
+  // vanishes — the RAII guard must still release the staged result.
+  LinkProfile profile;
+  profile.drop_rate = 1.0;
+  profile.fault_kinds = MessageKindBit(MessageKind::kFetch);
+  coordinator_.transport()->SetLinkProfile("milan", profile);
+
+  auto result = coordinator_.RunRemote("milan", kQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(milan_.staged_count(), 0u);
+  EXPECT_EQ(milan_.staged_bytes(), 0u);
+}
+
+TEST_F(FaultFederationTest, HedgedFetchFiresAfterP95) {
+  // Warm the latency history with fast FETCHes, then stall every FETCH:
+  // completions pass the observed p95 and hedges fire.
+  FedPolicies policies;
+  policies.hedge.min_observations = 4;
+  coordinator_.set_policies(policies);
+  milan_.set_chunk_bytes(256);  // several FETCHes per run -> p95 warms fast
+  LinkProfile fast;
+  fast.latency_us = 1000;
+  coordinator_.transport()->SetLinkProfile("milan", fast);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(coordinator_.RunRemote("milan", kQuery).ok());
+  }
+  ASSERT_EQ(coordinator_.fed_stats().hedges, 0u);
+
+  LinkProfile slow = fast;
+  slow.stall_rate = 1.0;
+  slow.stall_us = 400'000;
+  slow.fault_kinds = MessageKindBit(MessageKind::kFetch);
+  coordinator_.transport()->SetLinkProfile("milan", slow);
+  auto result = coordinator_.RunRemote("milan", kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(coordinator_.fed_stats().hedges, 0u);
+  EXPECT_GT(coordinator_.fed_stats().wasted_bytes, 0u);
+}
+
+TEST_F(FaultFederationTest, RunEverywhereDegradesToPartial) {
+  FederatedNode boston("boston");
+  Populate(&boston, 2);
+  coordinator_.AddNode(&boston);
+  LinkProfile dead;
+  dead.dead = true;
+  coordinator_.transport()->SetLinkProfile("boston", dead);
+
+  auto result = coordinator_.RunEverywhere(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FederatedResult& fed = result.value();
+  EXPECT_FALSE(fed.complete());
+  EXPECT_EQ(fed.sites_answered, 1u);
+  EXPECT_EQ(fed.sites_failed, 1u);
+  EXPECT_DOUBLE_EQ(fed.completeness(), 0.5);
+  EXPECT_EQ(fed.datasets.count("R@milan"), 1u);
+  ASSERT_EQ(fed.failures.size(), 1u);
+  EXPECT_NE(fed.failures[0].find("boston"), std::string::npos);
+  EXPECT_NE(fed.Annotation().find("partial 1/2"), std::string::npos);
+  EXPECT_EQ(coordinator_.fed_stats().partial_results, 1u);
+}
+
+TEST_F(FaultFederationTest, AllSitesDeadIsAProperError) {
+  LinkProfile dead;
+  dead.dead = true;
+  coordinator_.transport()->SetLinkProfile("milan", dead);
+
+  auto result = coordinator_.RunEverywhere(kQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("no node could answer"),
+            std::string::npos);
+}
+
+TEST_F(FaultFederationTest, AppErrorsAreNotRetriedAndDoNotTrip) {
+  // A compile error is an answer: one request, no retries, breaker closed.
+  auto result = coordinator_.RunRemote("milan", "X = SELECT(a == 'b') GHOST;");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(coordinator_.fed_stats().retries, 0u);
+  EXPECT_EQ(coordinator_.BreakerState("milan"),
+            CircuitBreaker::State::kClosed);
+  EXPECT_EQ(coordinator_.counters().requests, 1u);
+}
+
+TEST(FederationConcurrencyTest, ConcurrentCoordinatorsShareNodesSafely) {
+  // Two coordinators hammer the same two nodes from four threads; the
+  // staging map, token table and query-id counter are mutex-guarded, so
+  // under TSan this must be clean and nothing may leak.
+  FederatedNode milan("milan");
+  FederatedNode boston("boston");
+  Populate(&milan);
+  Populate(&boston, 2);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Coordinator coordinator;
+      coordinator.AddNode(&milan);
+      coordinator.AddNode(&boston);
+      LinkProfile flaky;
+      flaky.drop_rate = 0.2;
+      flaky.seed = 100 + static_cast<uint64_t>(t);
+      coordinator.transport()->SetLinkProfile("milan", flaky);
+      for (int round = 0; round < kRounds; ++round) {
+        auto result = coordinator.RunEverywhere(kQuery);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(milan.staged_count(), 0u);
+  EXPECT_EQ(boston.staged_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gdms::repo

@@ -227,14 +227,17 @@ TEST_F(FederationTest, RunEverywhereMergesPerNodeResults) {
   auto encode_everywhere = coordinator_.RunEverywhere(
       "X = SELECT(dataType == 'ChipSeq') ENCODE;\nMATERIALIZE X;\n")
       .ValueOrDie();
-  ASSERT_EQ(encode_everywhere.size(), 1u);
-  EXPECT_TRUE(encode_everywhere.count("X@milan"));
+  ASSERT_EQ(encode_everywhere.datasets.size(), 1u);
+  EXPECT_TRUE(encode_everywhere.datasets.count("X@milan"));
+  EXPECT_TRUE(encode_everywhere.complete());
+  EXPECT_EQ(encode_everywhere.sites_answered, 1u);
+  EXPECT_EQ(encode_everywhere.sites_skipped, 1u);
 
   auto mutations_everywhere = coordinator_.RunEverywhere(
       "X = SELECT(dataType == 'Mutation') MUTATIONS;\nMATERIALIZE X;\n")
       .ValueOrDie();
-  ASSERT_EQ(mutations_everywhere.size(), 1u);
-  EXPECT_TRUE(mutations_everywhere.count("X@boston"));
+  ASSERT_EQ(mutations_everywhere.datasets.size(), 1u);
+  EXPECT_TRUE(mutations_everywhere.datasets.count("X@boston"));
 
   auto nowhere = coordinator_.RunEverywhere(
       "X = SELECT(a == 'b') GHOST;\nMATERIALIZE X;\n");

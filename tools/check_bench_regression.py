@@ -23,6 +23,21 @@ bench_e7 reports fail when:
   * a (threads, scheduling, columnar) row's wall_seconds regressed beyond
     the tolerance, or its task count changed (task counts are exact).
 
+bench_e8 reports fail when:
+  * any retryable-fault scenario (fault_free, flaky_fetch, straggler_*)
+    drops below success rate 1.0 or stops being bit-identical to the
+    fault-free result — the resilience layer must absorb retryable faults
+    completely,
+  * flaky_fetch retry amplification (requests vs fault_free) exceeds the
+    3x floor, or its retries drop to zero (the scenario stopped injecting),
+  * dead_site stops producing a partial result (completeness != 0.5) or
+    its breaker never trips,
+  * straggler_hedged stops hedging, or its simulated makespan is no longer
+    faster than straggler_unhedged,
+  * a scenario's simulated makespan drifts from baseline at all — virtual
+    time is deterministic, so any change means behavior changed,
+  * the query-shipping advantage falls below the 10x floor.
+
 Timing improvements and faster rows are reported but never fail the gate.
 """
 
@@ -37,6 +52,15 @@ import sys
 # real regression below the shipped figures.
 E7_MIN_COLUMNAR_SPEEDUP = 1.5
 E7_MIN_SIZE_RATIO = 3.0
+
+# Acceptance floors from the E8 federation-resilience work. Retryable
+# faults must be absorbed completely (success 1.0, bit-identical results)
+# with bounded retry amplification; query shipping must stay far cheaper
+# than data shipping. Absolute, so a bad baseline can never mask them.
+E8_MAX_RETRY_AMPLIFICATION = 3.0
+E8_MIN_SHIPPING_ADVANTAGE = 10.0
+E8_RETRYABLE_SCENARIOS = ("fault_free", "flaky_fetch", "straggler_unhedged",
+                          "straggler_hedged")
 
 
 def load(path):
@@ -171,6 +195,90 @@ def check_e7(baseline, current, tol, failures, notes):
             notes.append(line)
 
 
+def e8_rows(report):
+    return {run["scenario"]: run for run in report.get("runs", [])}
+
+
+def check_e8(baseline, current, tol, failures, notes):
+    advantage = current.get("query_shipping_advantage_at_max_scale")
+    if advantage is None:
+        failures.append("query_shipping_advantage_at_max_scale missing")
+    else:
+        line = (
+            f"query_shipping_advantage: {advantage:.1f}x "
+            f"(floor {E8_MIN_SHIPPING_ADVANTAGE}x)"
+        )
+        if advantage < E8_MIN_SHIPPING_ADVANTAGE:
+            failures.append(line + " below acceptance floor")
+        else:
+            notes.append(line)
+
+    base_rows = e8_rows(baseline)
+    cur_rows = e8_rows(current)
+    for name in base_rows:
+        if name not in cur_rows:
+            failures.append(f"scenario {name} missing from current report")
+    for name, cur in sorted(cur_rows.items()):
+        rate = cur.get("success_rate", 0)
+        if name in E8_RETRYABLE_SCENARIOS:
+            if rate != 1.0:
+                failures.append(
+                    f"{name}: success_rate {rate} != 1.0 under retryable faults"
+                )
+            else:
+                notes.append(f"{name}: success_rate 1.00")
+            if cur.get("bit_identical") != 1:
+                failures.append(
+                    f"{name}: results no longer bit-identical to fault-free"
+                )
+        # Virtual-time makespans are exact: any drift is a behavior change.
+        base = base_rows.get(name)
+        if base is not None and base.get("makespan_us") != cur.get("makespan_us"):
+            failures.append(
+                f"{name}: simulated makespan changed "
+                f"{base.get('makespan_us')}us -> {cur.get('makespan_us')}us "
+                "(virtual time is deterministic; behavior changed)"
+            )
+
+    flaky = cur_rows.get("flaky_fetch")
+    if flaky is not None:
+        amp = flaky.get("retry_amplification", 0)
+        line = (
+            f"flaky_fetch: retry_amplification {amp:.2f}x "
+            f"(ceiling {E8_MAX_RETRY_AMPLIFICATION}x)"
+        )
+        if amp > E8_MAX_RETRY_AMPLIFICATION:
+            failures.append(line + " above ceiling")
+        else:
+            notes.append(line)
+        if flaky.get("retries", 0) == 0:
+            failures.append("flaky_fetch: zero retries (faults not injected?)")
+
+    dead = cur_rows.get("dead_site")
+    if dead is not None:
+        if dead.get("completeness") != 0.5:
+            failures.append(
+                f"dead_site: completeness {dead.get('completeness')} != 0.5 "
+                "(partial-result degradation broke)"
+            )
+        else:
+            notes.append("dead_site: completeness 0.50 (graceful partial)")
+        if dead.get("breaker_trips", 0) < 1:
+            failures.append("dead_site: breaker never tripped")
+
+    hedged = cur_rows.get("straggler_hedged")
+    unhedged = cur_rows.get("straggler_unhedged")
+    if hedged is not None and unhedged is not None:
+        if hedged.get("hedges", 0) == 0:
+            failures.append("straggler_hedged: zero hedges fired")
+        hm, um = hedged.get("makespan_us", 0), unhedged.get("makespan_us", 0)
+        line = f"straggler makespan: hedged {hm}us vs unhedged {um}us"
+        if hm >= um:
+            failures.append(line + " (hedging no longer wins)")
+        else:
+            notes.append(line + f" ({um / hm:.2f}x faster)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -197,6 +305,8 @@ def main():
         )
     elif experiment.startswith("E7"):
         check_e7(baseline, current, tol, failures, notes)
+    elif experiment.startswith("E8"):
+        check_e8(baseline, current, tol, failures, notes)
     else:
         check_e1(baseline, current, tol, failures, notes)
 

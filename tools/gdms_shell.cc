@@ -226,6 +226,11 @@ struct ServeConfig {
   double slow_ms = 250.0;   ///< query-log slow threshold
   std::string query_log_path;
   std::string expo_path;
+  /// Fault profile applied to every federation link (the .fed driver):
+  /// lets a long-running serve session exercise retries, hedges and
+  /// breakers with live telemetry. Defaults are a perfect wire.
+  repo::LinkProfile fed_link;
+  size_t fed_sites = 2;  ///< sites built by EnsureFederation
 };
 
 /// The long-running loop behind `gdms_shell --serve`: reads commands from
@@ -443,13 +448,28 @@ class ServeSession {
     entry.fed_bytes_shipped = after.bytes_sent - before.bytes_sent;
     entry.fed_bytes_received = after.bytes_received - before.bytes_received;
     if (results.ok()) {
+      const repo::FederatedResult& fed = results.value();
+      const repo::FedStats& stats = coordinator_->fed_stats();
       std::printf(
-          "[%llu] ok (federated): %zu outputs, %llu requests, "
+          "[%llu] ok (federated, %s): %zu outputs, %llu requests, "
           "%s shipped, %s received, %.1f ms\n",
-          static_cast<unsigned long long>(queries_), results.value().size(),
+          static_cast<unsigned long long>(queries_), fed.Annotation().c_str(),
+          fed.datasets.size(),
           static_cast<unsigned long long>(entry.fed_requests),
           HumanBytes(entry.fed_bytes_shipped).c_str(),
           HumanBytes(entry.fed_bytes_received).c_str(), wall_ms);
+      if (stats.retries + stats.hedges + stats.timeouts +
+              stats.breaker_trips >
+          0) {
+        std::printf(
+            "      resilience: %llu retries, %llu hedges, %llu timeouts, "
+            "%llu breaker trips, %s wasted\n",
+            static_cast<unsigned long long>(stats.retries),
+            static_cast<unsigned long long>(stats.hedges),
+            static_cast<unsigned long long>(stats.timeouts),
+            static_cast<unsigned long long>(stats.breaker_trips),
+            HumanBytes(stats.wasted_bytes).c_str());
+      }
     } else {
       ++failed_;
       entry.ok = false;
@@ -465,24 +485,34 @@ class ServeSession {
 
   void EnsureFederation() {
     if (coordinator_ != nullptr) return;
-    site_a_ = std::make_unique<repo::FederatedNode>("site_a");
-    site_b_ = std::make_unique<repo::FederatedNode>("site_b");
-    for (const auto& name : runner_->DatasetNames()) {
-      site_a_->catalog()->Put(*runner_->FindDataset(name));
-      site_b_->catalog()->Put(*runner_->FindDataset(name));
-    }
     coordinator_ = std::make_unique<repo::Coordinator>();
-    coordinator_->AddNode(site_a_.get());
-    coordinator_->AddNode(site_b_.get());
-    std::printf("federation up: 2 sites, %zu datasets each\n",
-                runner_->DatasetNames().size());
+    size_t sites = std::max<size_t>(config_.fed_sites, 1);
+    for (size_t s = 0; s < sites; ++s) {
+      std::string name = "site_" + std::string(1, static_cast<char>('a' + s));
+      auto node = std::make_unique<repo::FederatedNode>(name);
+      for (const auto& ds_name : runner_->DatasetNames()) {
+        node->catalog()->Put(*runner_->FindDataset(ds_name));
+      }
+      coordinator_->AddNode(node.get());
+      repo::LinkProfile profile = config_.fed_link;
+      profile.seed = config_.fed_link.seed + s;  // distinct fault schedules
+      coordinator_->transport()->SetLinkProfile(name, profile);
+      sites_.push_back(std::move(node));
+    }
+    std::printf(
+        "federation up: %zu sites, %zu datasets each "
+        "(link: %llums latency, drop %.2f, stall %.2f, corrupt %.2f%s)\n",
+        sites_.size(), runner_->DatasetNames().size(),
+        static_cast<unsigned long long>(config_.fed_link.latency_us / 1000),
+        config_.fed_link.drop_rate, config_.fed_link.stall_rate,
+        config_.fed_link.corrupt_rate,
+        config_.fed_link.dead ? ", DEAD" : "");
   }
 
   core::QueryRunner* runner_;
   ServeConfig config_;
   std::unique_ptr<obs::QueryLog> log_;
-  std::unique_ptr<repo::FederatedNode> site_a_;
-  std::unique_ptr<repo::FederatedNode> site_b_;
+  std::vector<std::unique_ptr<repo::FederatedNode>> sites_;
   std::unique_ptr<repo::Coordinator> coordinator_;
   uint64_t queries_ = 0;
   uint64_t failed_ = 0;
@@ -604,6 +634,36 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--expo needs a file");
       serve_config.expo_path = v;
+    } else if (arg == "--fed-drop") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fed-drop needs a rate in [0,1]");
+      serve_config.fed_link.drop_rate = std::atof(v);
+    } else if (arg == "--fed-stall") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fed-stall needs a rate in [0,1]");
+      serve_config.fed_link.stall_rate = std::atof(v);
+    } else if (arg == "--fed-corrupt") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fed-corrupt needs a rate in [0,1]");
+      serve_config.fed_link.corrupt_rate = std::atof(v);
+    } else if (arg == "--fed-latency-us") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fed-latency-us needs microseconds");
+      serve_config.fed_link.latency_us =
+          static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--fed-seed") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fed-seed needs an integer");
+      serve_config.fed_link.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--fed-dead") {
+      serve_config.fed_link.dead = true;
+    } else if (arg == "--fed-sites") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fed-sites needs a count");
+      serve_config.fed_sites = static_cast<size_t>(std::atoi(v));
+      if (serve_config.fed_sites < 1 || serve_config.fed_sites > 26) {
+        return Fail("--fed-sites wants 1..26 sites");
+      }
     } else if (arg == "--mem-budget-mb") {
       const char* v = next();
       if (v == nullptr) return Fail("--mem-budget-mb needs a size in MB");
@@ -622,6 +682,9 @@ int main(int argc, char** argv) {
           "                  [--trace FILE.json] [--metrics]\n"
           "                  [--serve] [--sample-ms N] [--expo FILE]\n"
           "                  [--query-log FILE] [--slow-ms X]\n"
+          "                  [--fed-sites N] [--fed-drop R] [--fed-stall R]\n"
+          "                  [--fed-corrupt R] [--fed-latency-us N]\n"
+          "                  [--fed-seed N] [--fed-dead]\n"
           "       prefix GMQL text with EXPLAIN ANALYZE for a profile tree\n"
           "       --serve reads commands from stdin; see .help");
       return 0;

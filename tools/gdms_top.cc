@@ -227,6 +227,77 @@ std::string RenderMemoryPanel(const History& history,
   return out;
 }
 
+/// The federation-health panel: per-site circuit-breaker state (the
+/// gdms_fed_breaker_state gauge encodes 0=closed 1=open 2=half-open) plus
+/// staging occupancy, and one resilience line with retry / hedge / timeout
+/// / corruption rates. The generic per-layer listing skips the fed family.
+std::string RenderFederationPanel(const History& history,
+                                  const obs::ScrapedExposition& scrape) {
+  const std::string kBreaker = "gdms_fed_breaker_state{site=\"";
+  bool has_breakers = false;
+  for (const auto& [name, value] : scrape.samples) {
+    if (name.rfind(kBreaker, 0) == 0) has_breakers = true;
+  }
+  if (history.Last("gdms_fed_requests_total") == 0 && !has_breakers) {
+    return "";  // no federation traffic yet
+  }
+  std::string out;
+  AppendLine(&out, "-- federation %s", std::string(64, '-').c_str());
+  auto req_rate = history.Rates("gdms_fed_requests_total");
+  AppendLine(&out,
+             "  requests %-8s (%.1f/s) %s | shipped %-10s received %-10s "
+             "wasted %s",
+             FormatValue(history.Last("gdms_fed_requests_total")).c_str(),
+             req_rate.empty() ? 0.0 : req_rate.back(),
+             Sparkline(req_rate, 16).c_str(),
+             HumanBytes(static_cast<uint64_t>(
+                            history.Last("gdms_fed_bytes_shipped_total")))
+                 .c_str(),
+             HumanBytes(static_cast<uint64_t>(
+                            history.Last("gdms_fed_bytes_received_total")))
+                 .c_str(),
+             HumanBytes(static_cast<uint64_t>(
+                            history.Last("gdms_fed_bytes_wasted_total")))
+                 .c_str());
+  auto retry_rate = history.Rates("gdms_fed_retries_total");
+  auto hedge_rate = history.Rates("gdms_fed_hedges_total");
+  auto timeout_rate = history.Rates("gdms_fed_timeouts_total");
+  AppendLine(
+      &out,
+      "  retries %-6s (%.1f/s) %s hedges %-6s (%.1f/s) timeouts %-6s "
+      "(%.1f/s) corruptions %-4s partial %s",
+      FormatValue(history.Last("gdms_fed_retries_total")).c_str(),
+      retry_rate.empty() ? 0.0 : retry_rate.back(),
+      Sparkline(retry_rate, 10).c_str(),
+      FormatValue(history.Last("gdms_fed_hedges_total")).c_str(),
+      hedge_rate.empty() ? 0.0 : hedge_rate.back(),
+      FormatValue(history.Last("gdms_fed_timeouts_total")).c_str(),
+      timeout_rate.empty() ? 0.0 : timeout_rate.back(),
+      FormatValue(history.Last("gdms_fed_corruptions_total")).c_str(),
+      FormatValue(history.Last("gdms_fed_partial_results_total")).c_str());
+  // Per-site health: breaker state + staging occupancy.
+  for (const auto& [name, value] : scrape.samples) {
+    if (name.rfind(kBreaker, 0) != 0) continue;
+    std::string site = name.substr(kBreaker.size());
+    auto quote = site.find('"');
+    if (quote != std::string::npos) site = site.substr(0, quote);
+    int state = static_cast<int>(value);
+    const char* state_name = state == 0   ? "closed"
+                             : state == 1 ? "OPEN"
+                                          : "half-open";
+    double staged = history.Last("gdms_fed_staged_bytes{node=\"" + site +
+                                 "\"}");
+    double staged_n = history.Last("gdms_fed_staged_results{node=\"" + site +
+                                   "\"}");
+    AppendLine(&out, "  %-24s breaker %-10s staged %-10s (%s results) %s",
+               site.c_str(), state_name,
+               HumanBytes(static_cast<uint64_t>(staged)).c_str(),
+               FormatValue(staged_n).c_str(),
+               Sparkline(history.Values(name), 12).c_str());
+  }
+  return out;
+}
+
 std::string RenderFrame(const History& history,
                         const obs::ScrapedExposition& scrape, uint64_t tick,
                         double uptime_s) {
@@ -251,12 +322,13 @@ std::string RenderFrame(const History& history,
                FormatValue(p99).c_str());
   }
   out += RenderMemoryPanel(history, scrape);
-  // Group every scraped sample under its layer. The mem/storage families
-  // are rendered by the Memory panel above, not repeated here.
+  out += RenderFederationPanel(history, scrape);
+  // Group every scraped sample under its layer. The mem/storage/fed
+  // families are rendered by the dedicated panels above, not repeated here.
   std::map<std::string, std::vector<std::string>> layer_lines;
   for (const auto& [base, type] : scrape.types) {
     std::string layer = LayerOf(base);
-    if (layer == "mem" || layer == "storage") continue;
+    if (layer == "mem" || layer == "storage" || layer == "fed") continue;
     std::string line;
     if (type == "counter") {
       auto rates = history.Rates(base);
@@ -289,10 +361,9 @@ std::string RenderFrame(const History& history,
       layer_lines[layer].push_back(buf);
     }
   }
-  // Stable layer order: the engine/runner hot path first, then federation,
-  // then everything else alphabetically.
-  std::vector<std::string> order = {"runner", "engine", "core", "fed",
-                                    "search"};
+  // Stable layer order: the engine/runner hot path first, then everything
+  // else alphabetically (federation has its own panel above).
+  std::vector<std::string> order = {"runner", "engine", "core", "search"};
   for (const auto& [layer, lines] : layer_lines) {
     if (std::find(order.begin(), order.end(), layer) == order.end()) {
       order.push_back(layer);
@@ -346,6 +417,12 @@ class DemoWorkload {
     coordinator_ = std::make_unique<repo::Coordinator>();
     coordinator_->AddNode(site_a_.get());
     coordinator_->AddNode(site_b_.get());
+    // A lightly faulty link to site_b so the federation panel shows live
+    // retry/breaker movement in the demo.
+    repo::LinkProfile flaky;
+    flaky.drop_rate = 0.10;
+    flaky.seed = 5;
+    coordinator_->transport()->SetLinkProfile("site_b", flaky);
 
     thread_ = std::thread([this] { Loop(); });
   }
