@@ -26,17 +26,27 @@ class ScopedParent {
 };
 
 /// Publishes an account as the process's active query account for the
-/// duration of one RunProgram, restoring nullptr on every exit path.
+/// duration of one RunProgram. Teardown clears the slot only when it still
+/// holds this account (compare-exchange), so concurrent runners finishing
+/// out of order never clobber each other's registration.
 class ActiveQueryScope {
  public:
-  explicit ActiveQueryScope(obs::QueryAccounting* account) {
-    obs::ResourceTracker::Global().SetActiveQuery(account);
+  explicit ActiveQueryScope(std::shared_ptr<obs::QueryAccounting> account)
+      : account_(std::move(account)) {
+    if (account_ != nullptr) {
+      obs::ResourceTracker::Global().SetActiveQuery(account_);
+    }
   }
   ~ActiveQueryScope() {
-    obs::ResourceTracker::Global().SetActiveQuery(nullptr);
+    if (account_ != nullptr) {
+      obs::ResourceTracker::Global().ClearActiveQuery(account_);
+    }
   }
   ActiveQueryScope(const ActiveQueryScope&) = delete;
   ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+
+ private:
+  std::shared_ptr<obs::QueryAccounting> account_;
 };
 
 obs::Counter* EvictionsCounter() {
@@ -81,6 +91,8 @@ QueryRunner::QueryRunner(QueryRunner&& other) noexcept
       executor_(other.executor_),
       sources_(std::move(other.sources_)),
       storage_tokens_(std::move(other.storage_tokens_)),
+      provider_(std::move(other.provider_)),
+      shed_at_quiesce_(other.shed_at_quiesce_),
       options_(other.options_),
       stats_(std::move(other.stats_)) {
   other.executor_ = nullptr;
@@ -97,6 +109,8 @@ QueryRunner& QueryRunner::operator=(QueryRunner&& other) noexcept {
     executor_ = other.executor_;
     sources_ = std::move(other.sources_);
     storage_tokens_ = std::move(other.storage_tokens_);
+    provider_ = std::move(other.provider_);
+    shed_at_quiesce_ = other.shed_at_quiesce_;
     options_ = other.options_;
     stats_ = std::move(other.stats_);
     other.executor_ = nullptr;
@@ -157,6 +171,17 @@ const gdm::Dataset* QueryRunner::FindDataset(const std::string& name) const {
   return it == sources_.end() ? nullptr : &it->second;
 }
 
+const gdm::Dataset* QueryRunner::ResolveSource(const std::string& name) {
+  if (provider_) {
+    if (std::shared_ptr<const gdm::Dataset> snapshot = provider_(name)) {
+      const gdm::Dataset* raw = snapshot.get();
+      pinned_.push_back(std::move(snapshot));
+      return raw;
+    }
+  }
+  return FindDataset(name);
+}
+
 std::vector<std::string> QueryRunner::DatasetNames() const {
   std::vector<std::string> out;
   out.reserve(sources_.size());
@@ -186,13 +211,26 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::Span query_span = tracer.StartSpan("query", "query", 0);
   // Byte accounting: publish a fresh account as the process's active query
-  // so operator-output charges (Evaluate) and engine scratch-buffer charges
-  // (ScopedCharge in the flat scheduler) attribute here. Per-process, like
-  // the fed counters: concurrent runners would cross-attribute.
+  // so engine scratch-buffer charges (ScopedCharge in the flat scheduler)
+  // attribute here. Evaluate charges operator outputs through the runner's
+  // own account_ member, so concurrent runners keep exact output
+  // attribution; only engine scratch charges go through the shared slot
+  // (safe — shared_ptr — but per-process, so siblings may cross-attribute).
   obs::ResourceTracker& tracker = obs::ResourceTracker::Global();
   bool accounting = tracker.accounting_enabled();
-  obs::QueryAccounting account;
-  ActiveQueryScope account_scope(accounting ? &account : nullptr);
+  std::shared_ptr<obs::QueryAccounting> account =
+      accounting ? std::make_shared<obs::QueryAccounting>() : nullptr;
+  account_ = account;
+  pinned_.clear();
+  // Clears the per-run source pins and account on every exit path.
+  struct RunCleanup {
+    QueryRunner* runner;
+    ~RunCleanup() {
+      runner->pinned_.clear();
+      runner->account_.reset();
+    }
+  } cleanup{this};
+  ActiveQueryScope account_scope(account);
   if (options_.optimize) {
     stats_.optimizer = Optimizer::Optimize(&program);
   }
@@ -244,7 +282,7 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
       }
     } else {
       // The payload is a source dataset; never move registry entries.
-      const gdm::Dataset* src = FindDataset(payload->name);
+      const gdm::Dataset* src = ResolveSource(payload->name);
       if (src == nullptr) {
         return Status::NotFound("unknown dataset: " + payload->name);
       }
@@ -258,9 +296,9 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   stats_.fed_bytes_shipped = fed.shipped->value() - fed_shipped0;
   stats_.fed_bytes_received = fed.received->value() - fed_received0;
   if (accounting) {
-    stats_.alloc_bytes = account.alloc_bytes();
-    stats_.peak_bytes = account.peak_bytes();
-    stats_.op_bytes = account.OperatorStats();
+    stats_.alloc_bytes = account->alloc_bytes();
+    stats_.peak_bytes = account->peak_bytes();
+    stats_.op_bytes = account->OperatorStats();
     tracker.NoteQueryPeak(stats_.peak_bytes);
     if (query_span.active()) {
       query_span.AddAttr("peak_bytes",
@@ -271,8 +309,11 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   }
   // The query has quiesced: its intermediates are freed with the memo table
   // below, so this is the safe point for the watermark shedder to drop
-  // columnar caches / cold pages if a budget is set.
-  tracker.MaybeShed();
+  // columnar caches / cold pages if a budget is set. Disabled on serve
+  // workers (set_shed_at_quiesce(false)): with sibling queries in flight
+  // the process has NOT quiesced, and the session manager sheds when the
+  // last in-flight query drains instead.
+  if (shed_at_quiesce_) tracker.MaybeShed();
   uint64_t query_span_id = query_span.id();
   query_span.End();
   if (query_span_id != 0) {
@@ -308,11 +349,12 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
     return &it->second;
   }
   if (node->kind == OpKind::kSource) {
-    const gdm::Dataset* src = FindDataset(node->name);
+    const gdm::Dataset* src = ResolveSource(node->name);
     if (src == nullptr) {
       return Status::NotFound("unknown dataset: " + node->name);
     }
     // LRU bump for the shedder: this dataset's caches were just used.
+    // (Provider-served datasets are touched by the catalog's Resolve.)
     auto tok = storage_tokens_.find(node->name);
     if (tok != storage_tokens_.end()) {
       obs::ResourceTracker::Global().Touch(tok->second);
@@ -351,8 +393,7 @@ Result<const gdm::Dataset*> QueryRunner::Evaluate(
   ExecutorStats before = span.active() ? executor_->stats() : ExecutorStats{};
   // Name the operator for byte attribution: scratch buffers the engine
   // charges during Execute and the output charge below land on it.
-  obs::QueryAccounting* account =
-      obs::ResourceTracker::Global().active_query();
+  obs::QueryAccounting* account = account_.get();
   if (account != nullptr) account->SetCurrentOp(op_name);
   gdm::Dataset out;
   {

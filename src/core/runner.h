@@ -1,9 +1,11 @@
 #ifndef GDMS_CORE_RUNNER_H_
 #define GDMS_CORE_RUNNER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/executor.h"
@@ -100,6 +102,24 @@ class QueryRunner {
   /// Names of all registered datasets.
   std::vector<std::string> DatasetNames() const;
 
+  /// Serve-path hook: resolves source datasets from a shared catalog
+  /// (serve::ServeCatalog snapshots) before falling back to the runner's
+  /// own registry. Every snapshot the provider returns is pinned until the
+  /// running program finishes, so a writer republishing the dataset
+  /// mid-query cannot free storage this query is reading. A nullptr result
+  /// falls through to RegisterDataset'd sources.
+  using SourceProvider =
+      std::function<std::shared_ptr<const gdm::Dataset>(const std::string&)>;
+  void set_source_provider(SourceProvider provider) {
+    provider_ = std::move(provider);
+  }
+
+  /// Whether RunProgram ends with a ResourceTracker::MaybeShed() pass
+  /// (default on). Shedding is only safe with no query in flight, so the
+  /// session manager turns this off on its worker runners and sheds at
+  /// global quiesce instead.
+  void set_shed_at_quiesce(bool on) { shed_at_quiesce_ = on; }
+
   void set_exec_options(ExecOptions options) { options_ = options; }
   const ExecOptions& exec_options() const { return options_; }
 
@@ -127,12 +147,26 @@ class QueryRunner {
       const PlanNode::Ptr& node,
       std::map<const PlanNode*, gdm::Dataset>* memo, uint64_t parent_span);
 
+  /// Source lookup for one running program: the provider first (pinning the
+  /// snapshot into pinned_), then the runner's own registry.
+  const gdm::Dataset* ResolveSource(const std::string& name);
+
   std::unique_ptr<Executor> owned_executor_;
   Executor* executor_;
   std::map<std::string, gdm::Dataset> sources_;
   /// ResourceTracker registration per source dataset (map nodes are
   /// address-stable, so the tracker callbacks point into sources_).
   std::map<std::string, uint64_t> storage_tokens_;
+  SourceProvider provider_;
+  /// Catalog snapshots resolved by the current RunProgram; cleared when it
+  /// returns. Holding them here keeps provider-served datasets alive for
+  /// exactly the duration of the query.
+  std::vector<std::shared_ptr<const gdm::Dataset>> pinned_;
+  /// This query's byte account while RunProgram is on the stack; Evaluate
+  /// charges operator outputs here directly (never through the process
+  /// slot, which a concurrent runner may have republished).
+  std::shared_ptr<obs::QueryAccounting> account_;
+  bool shed_at_quiesce_ = true;
   ExecOptions options_;
   RunStats stats_;
 };

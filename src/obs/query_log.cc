@@ -128,6 +128,17 @@ std::string QueryLog::FormatEntry(const QueryLogEntry& entry,
   AppendKV(&out, "peak_bytes", entry.peak_bytes);
   out += "}";
 
+  if (entry.serve) {
+    out += ",\"serve\":{";
+    AppendKV(&out, "session", entry.session_id);
+    out += ",";
+    AppendKV(&out, "queue_ms", entry.queue_ms);
+    out += ",\"plan_cache\":\"" + JsonEscape(entry.plan_cache) + "\"";
+    out += entry.result_cache_hit ? ",\"result_cache\":true"
+                                  : ",\"result_cache\":false";
+    out += "}";
+  }
+
   // Per-operator self-times, profile tree order (parents before children).
   out += ",\"ops\":[";
   if (entry.profile != nullptr) {

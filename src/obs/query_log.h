@@ -37,6 +37,14 @@ struct QueryLogEntry {
   // Byte accounting of the query (zeros when accounting is disabled).
   uint64_t alloc_bytes = 0;
   uint64_t peak_bytes = 0;
+  // Serve-path figures (gdms_shell --workers). `serve` switches the block
+  // on; plan_cache is one of "hit"/"rebind"/"miss" and result_cache_hit
+  // marks a query answered straight from the result cache.
+  bool serve = false;
+  uint64_t session_id = 0;
+  double queue_ms = 0;
+  std::string plan_cache;
+  bool result_cache_hit = false;
   /// Span tree of the query when tracing was on; null otherwise. Source of
   /// the per-operator self-times, the queue-wait/skew aggregates, and the
   /// slow-query EXPLAIN ANALYZE capture.

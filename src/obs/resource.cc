@@ -185,21 +185,22 @@ std::string QueryAccounting::RenderTree(
 // ---------------------------------------------------------------------------
 
 ScopedCharge::ScopedCharge(uint64_t bytes) {
-  QueryAccounting* account = ResourceTracker::Global().active_query();
+  std::shared_ptr<QueryAccounting> account =
+      ResourceTracker::Global().active_query();
   if (account == nullptr || bytes == 0) return;
-  account_ = account;
-  op_ = account->current_op();
+  account_ = std::move(account);
+  op_ = account_->current_op();
   bytes_ = bytes;
-  account->ChargeTo(op_, bytes_);
+  account_->ChargeTo(op_, bytes_);
 }
 
 ScopedCharge& ScopedCharge::operator=(ScopedCharge&& other) noexcept {
   if (this != &other) {
     Release();
-    account_ = other.account_;
+    account_ = std::move(other.account_);
     op_ = std::move(other.op_);
     bytes_ = other.bytes_;
-    other.account_ = nullptr;
+    other.account_.reset();
     other.bytes_ = 0;
   }
   return *this;
@@ -208,13 +209,14 @@ ScopedCharge& ScopedCharge::operator=(ScopedCharge&& other) noexcept {
 void ScopedCharge::Release() {
   if (account_ == nullptr) return;
   account_->ReleaseFrom(op_, bytes_);
-  account_ = nullptr;
+  account_.reset();
   bytes_ = 0;
 }
 
 void ChargeActiveQuery(uint64_t bytes) {
   if (bytes == 0) return;
-  QueryAccounting* account = ResourceTracker::Global().active_query();
+  std::shared_ptr<QueryAccounting> account =
+      ResourceTracker::Global().active_query();
   if (account != nullptr) account->Charge(bytes);
 }
 

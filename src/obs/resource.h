@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -112,7 +113,7 @@ class ScopedCharge {
   void Release();
 
  private:
-  QueryAccounting* account_ = nullptr;
+  std::shared_ptr<QueryAccounting> account_;
   std::string op_;
   uint64_t bytes_ = 0;
 };
@@ -159,13 +160,23 @@ class ResourceTracker {
 
   /// Publishes `account` as the process's active query account (nullptr
   /// clears). The runner brackets each query with this; charge helpers and
-  /// ScopedCharge route through it. Attribution is per-process, like the
-  /// federation counters: concurrent runners would cross-attribute.
-  void SetActiveQuery(QueryAccounting* account) {
-    active_.store(account, std::memory_order_release);
+  /// ScopedCharge route through it. The slot holds a shared_ptr so a charge
+  /// captured by a concurrent runner can never dangle: attribution is
+  /// per-process (concurrent runners may cross-attribute engine scratch
+  /// charges, like the federation counters), but lifetime is safe.
+  void SetActiveQuery(std::shared_ptr<QueryAccounting> account) {
+    std::atomic_store_explicit(&active_, std::move(account),
+                               std::memory_order_release);
   }
-  QueryAccounting* active_query() const {
-    return active_.load(std::memory_order_acquire);
+  /// Clears the slot only when `account` is still the published one, so a
+  /// finishing query cannot clobber a sibling's registration.
+  void ClearActiveQuery(std::shared_ptr<QueryAccounting> account) {
+    std::atomic_compare_exchange_strong_explicit(
+        &active_, &account, std::shared_ptr<QueryAccounting>(),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+  std::shared_ptr<QueryAccounting> active_query() const {
+    return std::atomic_load_explicit(&active_, std::memory_order_acquire);
   }
 
   /// Runtime kill switch for byte accounting (the A3 accounting gate
@@ -237,7 +248,8 @@ class ResourceTracker {
     uint64_t last_touch = 0;
   };
 
-  std::atomic<QueryAccounting*> active_{nullptr};
+  /// Accessed only through the std::atomic_* shared_ptr free functions.
+  std::shared_ptr<QueryAccounting> active_;
   std::atomic<bool> accounting_enabled_{true};
   std::atomic<uint64_t> budget_{0};
   std::atomic<uint64_t> touch_clock_{0};

@@ -25,9 +25,9 @@ namespace {
 /// outside a hop (RunEverywhere's COMPILE scouting) are still counted.
 class HopScope {
  public:
-  HopScope(std::string name, const ProtocolCounters* counters)
-      : counters_(counters),
-        before_(*counters),
+  HopScope(std::string name, const Coordinator* coordinator)
+      : coordinator_(coordinator),
+        before_(coordinator->counters()),
         start_ns_(obs::Tracer::Global().NowNs()),
         span_(obs::Tracer::Global().StartSpan(
             std::move(name), "federation",
@@ -43,12 +43,13 @@ class HopScope {
     int64_t elapsed_ns = obs::Tracer::Global().NowNs() - start_ns_;
     hop_latency->Record(static_cast<uint64_t>(elapsed_ns / 1000));
     if (span_.active()) {
-      span_.AddAttr("requests", static_cast<double>(counters_->requests -
-                                                    before_.requests));
-      span_.AddAttr("bytes_sent", static_cast<double>(counters_->bytes_sent -
-                                                      before_.bytes_sent));
+      ProtocolCounters now = coordinator_->counters();
+      span_.AddAttr("requests",
+                    static_cast<double>(now.requests - before_.requests));
+      span_.AddAttr("bytes_sent",
+                    static_cast<double>(now.bytes_sent - before_.bytes_sent));
       span_.AddAttr("bytes_received",
-                    static_cast<double>(counters_->bytes_received -
+                    static_cast<double>(now.bytes_received -
                                         before_.bytes_received));
     }
   }
@@ -57,7 +58,7 @@ class HopScope {
   HopScope& operator=(const HopScope&) = delete;
 
  private:
-  const ProtocolCounters* counters_;
+  const Coordinator* coordinator_;
   ProtocolCounters before_;
   int64_t start_ns_;
   obs::Span span_;
@@ -309,11 +310,16 @@ Coordinator::Coordinator() {
 }
 
 void Coordinator::AddNode(FederatedNode* node) {
-  nodes_[node->name()] = node;
+  size_t count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_[node->name()] = node;
+    count = nodes_.size();
+  }
   transport_.AddSite(node);
   static obs::Gauge* fed_nodes =
       obs::MetricsRegistry::Global().GetGauge("gdms_fed_nodes");
-  fed_nodes->Set(static_cast<int64_t>(nodes_.size()));
+  fed_nodes->Set(static_cast<int64_t>(count));
 }
 
 void Coordinator::Account(uint64_t requests, uint64_t sent,
@@ -326,20 +332,40 @@ void Coordinator::Account(uint64_t requests, uint64_t sent,
   static obs::Counter* received_total =
       obs::MetricsRegistry::Global().GetCounter(
           "gdms_fed_bytes_received_total");
-  counters_.requests += requests;
-  counters_.bytes_sent += sent;
-  counters_.bytes_received += received;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.requests += requests;
+    counters_.bytes_sent += sent;
+    counters_.bytes_received += received;
+  }
   if (requests > 0) req_total->Add(requests);
   if (sent > 0) shipped_total->Add(sent);
   if (received > 0) received_total->Add(received);
 }
 
+ProtocolCounters Coordinator::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+FedStats Coordinator::fed_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fed_stats_;
+}
+
+void Coordinator::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = ProtocolCounters{};
+  fed_stats_ = FedStats{};
+}
+
 FederatedNode* Coordinator::FindNode(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(name);
   return it == nodes_.end() ? nullptr : it->second;
 }
 
-CircuitBreaker& Coordinator::BreakerFor(const std::string& site) {
+CircuitBreaker& Coordinator::BreakerForLocked(const std::string& site) {
   auto it = breakers_.find(site);
   if (it == breakers_.end()) {
     it = breakers_.emplace(site, CircuitBreaker(policies_.breaker)).first;
@@ -349,6 +375,7 @@ CircuitBreaker& Coordinator::BreakerFor(const std::string& site) {
 
 CircuitBreaker::State Coordinator::BreakerState(
     const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = breakers_.find(site);
   return it == breakers_.end() ? CircuitBreaker::State::kClosed
                                : it->second.state();
@@ -356,25 +383,34 @@ CircuitBreaker::State Coordinator::BreakerState(
 
 void Coordinator::PublishBreakerGauge(const std::string& site,
                                       CircuitBreaker::State state) {
-  auto it = breaker_gauges_.find(site);
-  if (it == breaker_gauges_.end()) {
-    std::string name = "gdms_fed_breaker_state{site=\"" +
-                       obs::ExpositionLabelValue(site) + "\"}";
-    it = breaker_gauges_
-             .emplace(site, obs::MetricsRegistry::Global().GetGauge(name))
-             .first;
+  obs::Gauge* gauge;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = breaker_gauges_.find(site);
+    if (it == breaker_gauges_.end()) {
+      std::string name = "gdms_fed_breaker_state{site=\"" +
+                         obs::ExpositionLabelValue(site) + "\"}";
+      it = breaker_gauges_
+               .emplace(site, obs::MetricsRegistry::Global().GetGauge(name))
+               .first;
+    }
+    gauge = it->second;
   }
-  it->second->Set(static_cast<int64_t>(state));
+  gauge->Set(static_cast<int64_t>(state));
 }
 
 bool Coordinator::HedgeDelayFor(const std::string& site,
                                 uint64_t* delay_us) const {
-  auto it = fetch_latencies_.find(site);
-  if (it == fetch_latencies_.end() ||
-      it->second.size() < policies_.hedge.min_observations) {
-    return false;
+  std::vector<uint64_t> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fetch_latencies_.find(site);
+    if (it == fetch_latencies_.end() ||
+        it->second.size() < policies_.hedge.min_observations) {
+      return false;
+    }
+    sorted = it->second;
   }
-  std::vector<uint64_t> sorted(it->second);
   std::sort(sorted.begin(), sorted.end());
   size_t index = static_cast<size_t>(
       policies_.hedge.quantile * static_cast<double>(sorted.size()));
@@ -385,6 +421,7 @@ bool Coordinator::HedgeDelayFor(const std::string& site,
 
 void Coordinator::RecordFetchLatency(const std::string& site,
                                      uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& samples = fetch_latencies_[site];
   samples.push_back(latency_us);
   if (samples.size() > 128) samples.erase(samples.begin());
@@ -394,8 +431,13 @@ uint64_t Coordinator::BackoffUs(int attempt) {
   const RetryPolicy& rp = policies_.retry;
   double base = static_cast<double>(rp.initial_backoff_us) *
                 std::pow(rp.backoff_multiplier, attempt);
-  rng_state_ = SplitMix64(rng_state_);
-  double unit = static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+  uint64_t draw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_state_ = SplitMix64(rng_state_);
+    draw = rng_state_;
+  }
+  double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
   return static_cast<uint64_t>(base * (1.0 + rp.jitter * unit));
 }
 
@@ -419,17 +461,23 @@ Result<std::string> Coordinator::Call(const std::string& site,
                                               "gdms_fed_bytes_wasted_total");
 
   const RetryPolicy& rp = policies_.retry;
-  CircuitBreaker& breaker = BreakerFor(site);
   Status last = Status::Internal("no attempts made");
   for (int attempt = 0; attempt < rp.max_attempts; ++attempt) {
     uint64_t now = transport_.clock().now_us();
-    if (!breaker.Allow(now)) {
-      ++fed_stats_.breaker_fast_fails;
-      PublishBreakerGauge(site, breaker.state());
+    bool allowed;
+    CircuitBreaker::State breaker_state;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CircuitBreaker& breaker = BreakerForLocked(site);
+      allowed = breaker.Allow(now);
+      if (!allowed) ++fed_stats_.breaker_fast_fails;
+      breaker_state = breaker.state();
+    }
+    PublishBreakerGauge(site, breaker_state);
+    if (!allowed) {
       return Status::Unavailable("circuit open for site " + site +
                                  " (fast fail)");
     }
-    PublishBreakerGauge(site, breaker.state());
 
     AttemptOutcome first = transport_.Attempt(site, kind, request);
     AttemptOutcome hedge;
@@ -450,7 +498,10 @@ Result<std::string> Coordinator::Call(const std::string& site,
       hedge = transport_.Attempt(site, kind, request);
       ++requests;
       sent += hedge.bytes_sent;
-      ++fed_stats_.hedges;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++fed_stats_.hedges;
+      }
       hedges_total->Add();
       uint64_t hedge_completion =
           hedge.latency_us == AttemptOutcome::kNeverUs
@@ -485,7 +536,10 @@ Result<std::string> Coordinator::Call(const std::string& site,
     }
     Account(requests, sent, received);
     if (wasted > 0) {
-      fed_stats_.wasted_bytes += wasted;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        fed_stats_.wasted_bytes += wasted;
+      }
       wasted_total->Add(wasted);
     }
 
@@ -493,15 +547,23 @@ Result<std::string> Coordinator::Call(const std::string& site,
     if (delivered) {
       auto body = DecodeEnvelope(winner->response);
       if (body.ok()) {
-        breaker.RecordSuccess();
-        PublishBreakerGauge(site, breaker.state());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          CircuitBreaker& breaker = BreakerForLocked(site);
+          breaker.RecordSuccess();
+          breaker_state = breaker.state();
+        }
+        PublishBreakerGauge(site, breaker_state);
         if (kind == MessageKind::kFetch) RecordFetchLatency(site, elapsed);
         // Application-level errors (compile failures, unknown datasets,
         // staging exhaustion) are answers, not transport faults: they are
         // returned to the caller un-retried and never trip the breaker.
         return DecodeReply(body.value());
       }
-      ++fed_stats_.corruptions;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++fed_stats_.corruptions;
+      }
       corruptions_total->Add();
       status = body.status();
     } else if (timed_out) {
@@ -509,21 +571,32 @@ Result<std::string> Coordinator::Call(const std::string& site,
           std::string(MessageKindName(kind)) + " on " + site +
           " missed its " + std::to_string(rp.deadline_us) + "us deadline" +
           (winner->status.ok() ? "" : ": " + winner->status.message()));
-      ++fed_stats_.timeouts;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++fed_stats_.timeouts;
+      }
       timeouts_total->Add();
     } else {
       status = winner->status;
       if (status.code() == StatusCode::kInternal) return status;  // no link
     }
 
-    if (breaker.RecordFailure(transport_.clock().now_us())) {
-      ++fed_stats_.breaker_trips;
-      trips_total->Add();
+    bool tripped;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CircuitBreaker& breaker = BreakerForLocked(site);
+      tripped = breaker.RecordFailure(transport_.clock().now_us());
+      if (tripped) ++fed_stats_.breaker_trips;
+      breaker_state = breaker.state();
     }
-    PublishBreakerGauge(site, breaker.state());
+    if (tripped) trips_total->Add();
+    PublishBreakerGauge(site, breaker_state);
     last = status;
     if (attempt + 1 < rp.max_attempts) {
-      ++fed_stats_.retries;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++fed_stats_.retries;
+      }
       retries_total->Add();
       transport_.clock().Advance(BackoffUs(attempt));
     }
@@ -584,7 +657,7 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
     const std::string& node_name, const std::string& gmql) {
   FederatedNode* node = FindNode(node_name);
   if (node == nullptr) return Status::NotFound("unknown node " + node_name);
-  HopScope hop("site:" + node_name, &counters_);
+  HopScope hop("site:" + node_name, this);
 
   // COMPILE round-trip: the query text travels once, the estimate returns.
   GDMS_ASSIGN_OR_RETURN(CompileInfo compile,
@@ -595,8 +668,9 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
 
   // EXECUTE with an idempotency token, so a lost response can be retried
   // without staging a second copy server-side.
-  std::string token = "c" + std::to_string(coordinator_id_) + "-t" +
-                      std::to_string(next_token_++);
+  std::string token =
+      "c" + std::to_string(coordinator_id_) + "-t" +
+      std::to_string(next_token_.fetch_add(1, std::memory_order_relaxed));
   GDMS_ASSIGN_OR_RETURN(
       std::string query_id,
       Call(node_name, MessageKind::kExecute, token + "\n" + gmql));
@@ -626,10 +700,17 @@ Result<FederatedResult> Coordinator::RunEverywhere(const std::string& gmql) {
   static obs::Counter* partial_total =
       obs::MetricsRegistry::Global().GetCounter(
           "gdms_fed_partial_results_total");
+  // Snapshot the node table: RunRemote below must run without the lock,
+  // and a concurrent AddNode must not invalidate this iteration.
+  std::map<std::string, FederatedNode*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes = nodes_;
+  }
   FederatedResult out;
-  out.sites_total = nodes_.size();
+  out.sites_total = nodes.size();
   std::string last_error = "no nodes registered";
-  for (auto& [node_name, node] : nodes_) {
+  for (auto& [node_name, node] : nodes) {
     // Probe with COMPILE first: nodes lacking the datasets are skipped
     // without execution cost, and unreachable or breaker-tripped sites
     // degrade the result instead of failing it.
@@ -666,7 +747,10 @@ Result<FederatedResult> Coordinator::RunEverywhere(const std::string& gmql) {
                                last_error);
   }
   if (!out.complete()) {
-    ++fed_stats_.partial_results;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++fed_stats_.partial_results;
+    }
     partial_total->Add();
   }
   return out;
@@ -677,7 +761,7 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunWithDataShipping(
     const std::string& gmql) {
   FederatedNode* node = FindNode(node_name);
   if (node == nullptr) return Status::NotFound("unknown node " + node_name);
-  HopScope hop("ship:" + node_name, &counters_);
+  HopScope hop("ship:" + node_name, this);
   core::QueryRunner runner;
   for (const auto& name : datasets) {
     GDMS_ASSIGN_OR_RETURN(std::string payload,

@@ -1,6 +1,7 @@
 #ifndef GDMS_REPO_FEDERATION_H_
 #define GDMS_REPO_FEDERATION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -234,12 +235,12 @@ class Coordinator {
   /// Current breaker state for a site (kClosed when never used).
   CircuitBreaker::State BreakerState(const std::string& site) const;
 
-  const ProtocolCounters& counters() const { return counters_; }
-  const FedStats& fed_stats() const { return fed_stats_; }
-  void ResetCounters() {
-    counters_ = ProtocolCounters{};
-    fed_stats_ = FedStats{};
-  }
+  /// Snapshots taken under the coordinator lock: safe to read while
+  /// concurrent queries are in flight (returned by value — never a
+  /// reference into mutating state).
+  ProtocolCounters counters() const;
+  FedStats fed_stats() const;
+  void ResetCounters();
 
  private:
   /// Single accounting chokepoint: bumps the per-coordinator struct and
@@ -247,10 +248,14 @@ class Coordinator {
   /// federation traffic is live in the exposition.
   void Account(uint64_t requests, uint64_t sent, uint64_t received);
 
-  CircuitBreaker& BreakerFor(const std::string& site);
+  /// Caller holds mu_. Map nodes are address-stable, but the breaker
+  /// object itself must only be touched under the lock.
+  CircuitBreaker& BreakerForLocked(const std::string& site);
+  /// Locks internally; never call while holding mu_.
   void PublishBreakerGauge(const std::string& site,
                            CircuitBreaker::State state);
   /// The site's p95 FETCH completion time; false until enough samples.
+  /// Locks internally.
   bool HedgeDelayFor(const std::string& site, uint64_t* delay_us) const;
   void RecordFetchLatency(const std::string& site, uint64_t latency_us);
   uint64_t BackoffUs(int attempt);
@@ -260,6 +265,12 @@ class Coordinator {
 
   SimTransport transport_;
   FedPolicies policies_;
+  /// Guards every mutable member below: concurrent RunRemote /
+  /// RunEverywhere calls (the serve path shares one coordinator across
+  /// sessions) race on the byte counters, resilience tallies, breaker and
+  /// latency tables, and the backoff RNG without it. Held only for short
+  /// bookkeeping sections — never across a transport attempt.
+  mutable std::mutex mu_;
   std::map<std::string, FederatedNode*> nodes_;
   ProtocolCounters counters_;
   FedStats fed_stats_;
@@ -267,7 +278,8 @@ class Coordinator {
   std::map<std::string, std::vector<uint64_t>> fetch_latencies_;
   std::map<std::string, obs::Gauge*> breaker_gauges_;
   uint64_t rng_state_ = 0;
-  uint64_t next_token_ = 1;
+  /// Atomic so RunRemote can mint idempotency tokens without the lock.
+  std::atomic<uint64_t> next_token_{1};
   uint64_t coordinator_id_ = 0;  ///< makes execution tokens process-unique
 };
 

@@ -1,0 +1,290 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace gdms::serve {
+
+namespace {
+
+/// The gdms_serve_plan_* counters, resolved once.
+struct PlanMetrics {
+  obs::Counter* hits;
+  obs::Counter* rebinds;
+  obs::Counter* misses;
+
+  static const PlanMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static PlanMetrics m{reg.GetCounter("gdms_serve_plan_hits_total"),
+                         reg.GetCounter("gdms_serve_plan_rebinds_total"),
+                         reg.GetCounter("gdms_serve_plan_misses_total")};
+    return m;
+  }
+};
+
+/// A '-' starts a negative number only after a token that cannot end an
+/// expression (mirrors the parser lexer's NumberContext so normalized
+/// shapes re-lex identically).
+bool NumberContext(const std::vector<std::string>& tokens,
+                   const std::vector<bool>& is_literal) {
+  if (tokens.empty()) return true;
+  if (is_literal.back()) return false;  // after a number/string: binary minus
+  const std::string& prev = tokens.back();
+  static const char* kContexts[] = {"(", ",", "==", "!=", "<",
+                                    "<=", ">", ">=", ";", ":"};
+  for (const char* sym : kContexts) {
+    if (prev == sym) return true;
+  }
+  return false;
+}
+
+std::string JoinBinding(const std::vector<std::string>& literals) {
+  std::string key;
+  for (const std::string& lit : literals) {
+    key += lit;
+    key += '\x1f';
+  }
+  return key;
+}
+
+/// Splices a binding's literals into a shape's token template and joins
+/// with single spaces — the statement text prepared for that binding.
+std::string SpliceBinding(const std::vector<std::string>& tokens,
+                          const std::vector<std::string>& literals) {
+  std::string text;
+  size_t next_literal = 0;
+  for (const std::string& tok : tokens) {
+    if (!text.empty()) text += ' ';
+    if (tok == "?" && next_literal < literals.size()) {
+      text += literals[next_literal++];
+    } else {
+      text += tok;
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+Result<NormalizedQuery> NormalizeGmql(const std::string& text) {
+  NormalizedQuery out;
+  std::vector<bool> is_literal;
+  size_t pos = 0, line = 1;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_' || text[pos] == '.')) {
+        ++pos;
+      }
+      out.tokens.push_back(text.substr(start, pos - start));
+      is_literal.push_back(false);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1])) &&
+         NumberContext(out.tokens, is_literal))) {
+      size_t start = pos;
+      if (c == '-') ++pos;
+      bool saw_dot = false;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+              (!saw_dot && text[pos] == '.' && pos + 1 < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos + 1]))))) {
+        if (text[pos] == '.') saw_dot = true;
+        ++pos;
+      }
+      out.literals.push_back(text.substr(start, pos - start));
+      out.tokens.push_back("?");
+      is_literal.push_back(true);
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = pos;
+      ++pos;
+      while (pos < text.size() && text[pos] != quote) ++pos;
+      if (pos >= text.size()) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(line));
+      }
+      ++pos;  // closing quote
+      out.literals.push_back(text.substr(start, pos - start));
+      out.tokens.push_back("?");
+      is_literal.push_back(true);
+      continue;
+    }
+    static const char* kTwo[] = {"==", "!=", "<=", ">="};
+    bool matched = false;
+    for (const char* sym : kTwo) {
+      if (text.compare(pos, 2, sym) == 0) {
+        out.tokens.push_back(sym);
+        is_literal.push_back(false);
+        pos += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kOne = "();,=<>+-*/:.";
+    if (kOne.find(c) != std::string::npos) {
+      out.tokens.push_back(std::string(1, c));
+      is_literal.push_back(false);
+      ++pos;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line));
+  }
+  for (const std::string& tok : out.tokens) {
+    if (!out.key.empty()) out.key += ' ';
+    out.key += tok;
+  }
+  return out;
+}
+
+PlanCache::PlanCache(size_t max_shapes, size_t max_bindings_per_shape)
+    : max_shapes_(max_shapes == 0 ? 1 : max_shapes),
+      max_bindings_per_shape_(
+          max_bindings_per_shape == 0 ? 1 : max_bindings_per_shape) {}
+
+Result<PlanCache::Lookup> PlanCache::GetOrPrepare(const std::string& gmql,
+                                                  const PrepareFn& prepare) {
+  GDMS_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeGmql(gmql));
+  std::string binding_key = JoinBinding(nq.literals);
+  Outcome outcome = Outcome::kMiss;
+  std::string prepare_text = gmql;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = shapes_.find(nq.key);
+    if (it != shapes_.end()) {
+      Shape& shape = it->second;
+      shape.last_touch = ++touch_clock_;
+      ++shape.uses;
+      auto bit = shape.bindings.find(binding_key);
+      if (bit != shape.bindings.end()) {
+        ++hits_;
+        PlanMetrics::Get().hits->Add();
+        shape.binding_touch[binding_key] = touch_clock_;
+        return Lookup{bit->second, Outcome::kHit};
+      }
+      // Known shape, unseen literals: re-bind them into the cached token
+      // template and prepare this one variant.
+      outcome = Outcome::kRebind;
+      prepare_text = SpliceBinding(shape.tokens, nq.literals);
+    }
+  }
+  GDMS_ASSIGN_OR_RETURN(Prepared prepared, prepare(prepare_text));
+  auto shared = std::make_shared<const Prepared>(std::move(prepared));
+  std::lock_guard<std::mutex> lk(mu_);
+  Shape& shape = shapes_[nq.key];
+  if (shape.tokens.empty()) shape.tokens = std::move(nq.tokens);
+  shape.last_touch = ++touch_clock_;
+  auto [bit, inserted] = shape.bindings.emplace(binding_key, shared);
+  shape.binding_touch[binding_key] = touch_clock_;
+  if (outcome == Outcome::kRebind) {
+    ++rebinds_;
+    PlanMetrics::Get().rebinds->Add();
+  } else {
+    ++misses_;
+    PlanMetrics::Get().misses->Add();
+  }
+  // Bound the per-shape binding set (LRU) and the shape set itself.
+  if (shape.bindings.size() > max_bindings_per_shape_) {
+    std::string coldest;
+    uint64_t coldest_touch = UINT64_MAX;
+    for (const auto& [key, touch] : shape.binding_touch) {
+      if (key != binding_key && touch < coldest_touch) {
+        coldest_touch = touch;
+        coldest = key;
+      }
+    }
+    shape.bindings.erase(coldest);
+    shape.binding_touch.erase(coldest);
+  }
+  EvictIfNeededLocked();
+  // A raced prepare of the same binding: the first insert won and `bit`
+  // points at the winner; both callers share it.
+  return Lookup{bit->second, outcome};
+}
+
+void PlanCache::EvictIfNeededLocked() {
+  while (shapes_.size() > max_shapes_) {
+    auto coldest = shapes_.end();
+    for (auto it = shapes_.begin(); it != shapes_.end(); ++it) {
+      if (coldest == shapes_.end() ||
+          it->second.last_touch < coldest->second.last_touch) {
+        coldest = it;
+      }
+    }
+    shapes_.erase(coldest);
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  shapes_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.rebinds = rebinds_;
+  s.misses = misses_;
+  s.shapes = shapes_.size();
+  for (const auto& [key, shape] : shapes_) s.bindings += shape.bindings.size();
+  return s;
+}
+
+std::string PlanCache::RenderSummary(size_t max_shapes) const {
+  Stats s = stats();
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "plan cache  shapes %zu  bindings %zu  hit %llu  rebind %llu"
+                "  miss %llu  hit-rate %.1f%%\n",
+                s.shapes, s.bindings, static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.rebinds),
+                static_cast<unsigned long long>(s.misses),
+                100.0 * s.hit_rate());
+  std::string out = head;
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, shape] : shapes_) {
+      std::string label = key.size() > 72 ? key.substr(0, 69) + "..." : key;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %6llu uses  %2zu bindings  %s\n",
+                    static_cast<unsigned long long>(shape.uses),
+                    shape.bindings.size(), label.c_str());
+      rows.emplace_back(shape.uses, buf);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = 0; i < rows.size() && i < max_shapes; ++i) {
+    out += rows[i].second;
+  }
+  return out;
+}
+
+}  // namespace gdms::serve

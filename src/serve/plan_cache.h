@@ -1,0 +1,135 @@
+#ifndef GDMS_SERVE_PLAN_CACHE_H_
+#define GDMS_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/plan.h"
+
+namespace gdms::serve {
+
+/// Lexical normalization of one GMQL query: the token stream with every
+/// number and quoted-string literal replaced by a placeholder. Two queries
+/// that differ only in literal values normalize to the same `key` — the
+/// prepared-statement shape the plan cache is keyed on — while the extracted
+/// `literals` (source spellings, in order) form the binding.
+struct NormalizedQuery {
+  /// Canonical shape: tokens joined by single spaces, literals as '?'.
+  std::string key;
+  /// Token sequence of the shape; literal slots hold "?". Splicing a
+  /// binding's literals back into these slots reconstructs a parseable
+  /// statement for that binding.
+  std::vector<std::string> tokens;
+  /// Literal spellings in source order (numbers verbatim, strings with
+  /// their quotes), i.e. the binding of this query.
+  std::vector<std::string> literals;
+};
+
+/// Normalizes with the parser's own lexical rules (comments stripped,
+/// whitespace collapsed, negative-number context). Returns an error only on
+/// malformed input the parser would reject too (unterminated string, stray
+/// character).
+Result<NormalizedQuery> NormalizeGmql(const std::string& gmql);
+
+/// \brief Shared cache of prepared (parsed + optimized + fused) plans,
+/// keyed on the normalized query shape.
+///
+/// Layout: shape -> binding -> Prepared. A lookup whose shape AND binding
+/// are cached is a **hit**: the immutable, already-optimized Program is
+/// shared directly — zero parse or optimize work. A cached shape with an
+/// unseen binding is a **rebind**: the new literals are spliced into the
+/// shape's token template and prepared once, then cached under that
+/// binding. An unseen shape is a **miss**.
+///
+/// Cached Programs are safe to execute concurrently without copying their
+/// nodes: plan nodes are read-only during evaluation (operators clone
+/// predicates before binding), and the session manager runs them with
+/// optimization/fusion disabled since both were applied at prepare time.
+///
+/// Thread-safe. Preparation runs outside the cache lock; when two sessions
+/// race to prepare the same (shape, binding), the first insert wins and
+/// both share the winner's plan.
+class PlanCache {
+ public:
+  /// One prepared plan variant plus what the result cache needs to key and
+  /// invalidate results computed from it.
+  struct Prepared {
+    /// Optimized + fused program; immutable from here on.
+    std::shared_ptr<const core::Program> program;
+    /// Names of the source datasets the plan reads (result-cache versioning).
+    std::vector<std::string> sources;
+    /// Canonical plan identity: the concatenated sink signatures.
+    std::string plan_key;
+  };
+
+  enum class Outcome { kHit, kRebind, kMiss };
+
+  struct Lookup {
+    std::shared_ptr<const Prepared> prepared;
+    Outcome outcome = Outcome::kMiss;
+  };
+
+  /// Parses + optimizes `text` into a Prepared (supplied by the session
+  /// manager so the cache stays agnostic of ExecOptions).
+  using PrepareFn = std::function<Result<Prepared>(const std::string& text)>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t rebinds = 0;
+    uint64_t misses = 0;
+    size_t shapes = 0;
+    size_t bindings = 0;
+    /// hits / (hits + rebinds + misses); a rebind is NOT a hit — the 90%
+    /// warm-hit-rate gate counts shared-plan reuse only.
+    double hit_rate() const {
+      uint64_t total = hits + rebinds + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  explicit PlanCache(size_t max_shapes = 256,
+                     size_t max_bindings_per_shape = 64);
+
+  /// The cache's one entry point: normalize, then hit / rebind / prepare.
+  /// Parse failures are returned and never cached.
+  Result<Lookup> GetOrPrepare(const std::string& gmql,
+                              const PrepareFn& prepare);
+
+  void Clear();
+  Stats stats() const;
+
+  /// Human-readable shape table (the `.cache` command), hottest first.
+  std::string RenderSummary(size_t max_shapes = 10) const;
+
+ private:
+  struct Shape {
+    std::vector<std::string> tokens;
+    /// binding key (literals joined by '\x1f') -> prepared plan.
+    std::map<std::string, std::shared_ptr<const Prepared>> bindings;
+    std::map<std::string, uint64_t> binding_touch;
+    uint64_t last_touch = 0;
+    uint64_t uses = 0;
+  };
+
+  void EvictIfNeededLocked();
+
+  const size_t max_shapes_;
+  const size_t max_bindings_per_shape_;
+  mutable std::mutex mu_;
+  std::map<std::string, Shape> shapes_;
+  uint64_t touch_clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t rebinds_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gdms::serve
+
+#endif  // GDMS_SERVE_PLAN_CACHE_H_

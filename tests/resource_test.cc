@@ -78,18 +78,18 @@ TEST(QueryAccountingTest, ChargeReleaseArithmetic) {
 
 TEST(QueryAccountingTest, ScopedChargeKeepsAttributionAcrossOpChange) {
   TrackerStateGuard guard;
-  QueryAccounting account;
-  ResourceTracker::Global().SetActiveQuery(&account);
-  account.SetCurrentOp("MAP");
+  auto account = std::make_shared<QueryAccounting>();
+  ResourceTracker::Global().SetActiveQuery(account);
+  account->SetCurrentOp("MAP");
   {
     ScopedCharge charge(2048);
     // The runner has moved on, but the scoped bytes stay on MAP.
-    account.SetCurrentOp("SELECT");
-    EXPECT_EQ(account.current_bytes(), 2048u);
+    account->SetCurrentOp("SELECT");
+    EXPECT_EQ(account->current_bytes(), 2048u);
   }
-  EXPECT_EQ(account.current_bytes(), 0u);
-  EXPECT_EQ(account.peak_bytes(), 2048u);
-  auto stats = account.OperatorStats();
+  EXPECT_EQ(account->current_bytes(), 0u);
+  EXPECT_EQ(account->peak_bytes(), 2048u);
+  auto stats = account->OperatorStats();
   ASSERT_FALSE(stats.empty());
   EXPECT_EQ(stats[0].op, "MAP");
   ResourceTracker::Global().SetActiveQuery(nullptr);
@@ -97,7 +97,21 @@ TEST(QueryAccountingTest, ScopedChargeKeepsAttributionAcrossOpChange) {
   // Without an active account the whole mechanism is a no-op.
   ScopedCharge idle(4096);
   ChargeActiveQuery(4096);
-  EXPECT_EQ(account.current_bytes(), 0u);
+  EXPECT_EQ(account->current_bytes(), 0u);
+}
+
+TEST(QueryAccountingTest, ClearActiveQueryOnlyClearsOwnRegistration) {
+  TrackerStateGuard guard;
+  auto first = std::make_shared<QueryAccounting>();
+  auto second = std::make_shared<QueryAccounting>();
+  ResourceTracker::Global().SetActiveQuery(first);
+  // A sibling query publishes its own account before `first` finishes…
+  ResourceTracker::Global().SetActiveQuery(second);
+  // …so `first` finishing must NOT clobber the sibling's registration.
+  ResourceTracker::Global().ClearActiveQuery(first);
+  EXPECT_EQ(ResourceTracker::Global().active_query(), second);
+  ResourceTracker::Global().ClearActiveQuery(second);
+  EXPECT_EQ(ResourceTracker::Global().active_query(), nullptr);
 }
 
 TEST(ResourceTest, ColumnarCacheBytesMatchGroundTruth) {

@@ -73,6 +73,8 @@
 #include "obs/trace.h"
 #include "repo/catalog.h"
 #include "repo/federation.h"
+#include "serve/serve_catalog.h"
+#include "serve/session_manager.h"
 #include "sim/generators.h"
 
 namespace {
@@ -231,6 +233,14 @@ struct ServeConfig {
   /// breakers with live telemetry. Defaults are a perfect wire.
   repo::LinkProfile fed_link;
   size_t fed_sites = 2;  ///< sites built by EnsureFederation
+  /// --workers N: route queries through the multi-session server core
+  /// (serve::SessionManager) instead of the single shared runner. 0 keeps
+  /// the classic single-runner loop.
+  size_t workers = 0;
+  size_t queue_limit = 64;   ///< --queue-limit
+  double deadline_ms = 0;    ///< --deadline-ms (0 = none)
+  size_t engine_threads = 1; ///< per-worker engine threads (from --parallel)
+  core::ExecOptions exec;    ///< optimize/fusion/columnar for prepares
 };
 
 /// The long-running loop behind `gdms_shell --serve`: reads commands from
@@ -249,11 +259,29 @@ class ServeSession {
   }
 
   int Loop() {
+    if (config_.workers > 0) {
+      // Multi-session server core: publish every registered dataset into
+      // the shared versioned catalog and admit queries through the session
+      // manager (plan cache, result cache, bounded queue, deadlines).
+      catalog_ = std::make_unique<serve::ServeCatalog>();
+      for (const auto& name : runner_->DatasetNames()) {
+        catalog_->Publish(*runner_->FindDataset(name));
+      }
+      serve::ServeOptions opt;
+      opt.workers = config_.workers;
+      opt.queue_limit = config_.queue_limit;
+      opt.default_deadline_ms = config_.deadline_ms;
+      opt.engine_threads = config_.engine_threads;
+      opt.exec = config_.exec;
+      manager_ = std::make_unique<serve::SessionManager>(catalog_.get(), opt);
+    }
     // Tracing stays on for the whole session: the query log needs profile
     // trees for self-times and slow-query EXPLAIN capture. The span buffer
     // is cleared after every query so a long-running serve never fills
-    // Tracer::kMaxSpans and silently stops capturing.
-    obs::Tracer::Global().set_enabled(true);
+    // Tracer::kMaxSpans and silently stops capturing. The tracer's single
+    // current-parent slot is not safe across concurrent sessions, so it
+    // stays off when more than one worker can execute at once.
+    obs::Tracer::Global().set_enabled(config_.workers <= 1);
     obs::Sampler sampler;
     if (config_.sample_ms > 0) {
       obs::SamplerOptions opt;
@@ -267,8 +295,10 @@ class ServeSession {
       sampler.Start(opt);
     }
     std::printf(
-        "gdms_shell serving: sampler=%s expo=%s query-log=%s slow-ms=%.0f\n"
+        "gdms_shell serving: workers=%zu sampler=%s expo=%s query-log=%s "
+        "slow-ms=%.0f\n"
         "type GMQL to run it, .help for commands, .quit or EOF to stop\n",
+        config_.workers,
         config_.sample_ms > 0
             ? (std::to_string(config_.sample_ms) + "ms").c_str()
             : "off",
@@ -281,10 +311,13 @@ class ServeSession {
       if (text.empty() || text[0] == '#') continue;
       if (text[0] == '.') {
         if (!Dispatch(text)) break;
+      } else if (manager_ != nullptr) {
+        ExecServe(text);
       } else {
         ExecQuery(text);
       }
     }
+    if (manager_ != nullptr) manager_->Drain();
     sampler.Stop();
     if (config_.sample_ms > 0) sampler.SampleOnce();
     if (!config_.expo_path.empty()) {
@@ -311,12 +344,47 @@ class ServeSession {
           "  <gmql>              run a query (EXPLAIN ANALYZE prefix works)\n"
           "  .metrics [FILE]     dump exposition to stdout or FILE\n"
           "  .mem                last query's byte tree + storage residency\n"
+          "  .sessions           session-manager status (--workers mode)\n"
+          "  .cache              plan + result cache summaries\n"
+          "  .bump NAME          republish a dataset (bump its version)\n"
           "  .fed <gmql>         run the query on an in-process 2-site "
           "federation\n"
           "  .repeat N <gmql>    run the query N times\n"
           "  .sleep MS           pause (lets the sampler tick)\n"
           "  .datasets           list registered datasets\n"
           "  .quit               stop serving");
+      return true;
+    }
+    if (cmd == ".sessions") {
+      if (manager_ == nullptr) {
+        std::puts("sessions off (start with --workers N)");
+      } else {
+        std::fputs(manager_->RenderSessions().c_str(), stdout);
+      }
+      return true;
+    }
+    if (cmd == ".cache") {
+      if (manager_ == nullptr) {
+        std::puts("caches off (start with --workers N)");
+      } else {
+        std::fputs(manager_->plan_cache().RenderSummary().c_str(), stdout);
+        std::fputs(manager_->result_cache().RenderSummary().c_str(), stdout);
+      }
+      return true;
+    }
+    if (cmd == ".bump") {
+      if (manager_ == nullptr) {
+        std::puts("error: .bump needs --workers mode");
+        return true;
+      }
+      serve::ServeCatalog::Snapshot snap = catalog_->Resolve(rest);
+      if (snap.data == nullptr) {
+        std::printf("error: unknown dataset %s\n", rest.c_str());
+        return true;
+      }
+      uint64_t version = catalog_->Publish(*snap.data);
+      std::printf("bumped %s to version %llu (cached results invalidated)\n",
+                  rest.c_str(), static_cast<unsigned long long>(version));
       return true;
     }
     if (cmd == ".datasets") {
@@ -428,6 +496,54 @@ class ServeSession {
     obs::Tracer::Global().Clear();
   }
 
+  /// --workers mode: runs the query through the session manager (admission
+  /// control, plan cache, result cache over catalog snapshots).
+  void ExecServe(const std::string& gmql_in) {
+    std::string gmql = gmql_in;
+    bool explain = StripExplainAnalyze(&gmql);
+    serve::ServeResponse resp = manager_->Execute(gmql);
+    ++queries_;
+    obs::QueryLogEntry entry;
+    if (resp.status.ok()) {
+      entry = core::MakeQueryLogEntry(gmql, resp.stats);
+      entry.wall_ms = resp.total_ms;
+      size_t outputs = 0;
+      uint64_t regions = 0;
+      if (resp.results != nullptr) {
+        outputs = resp.results->size();
+        for (const auto& [name, ds] : *resp.results) {
+          regions += ds.TotalRegions();
+        }
+      }
+      std::printf(
+          "[%llu] ok: %zu outputs, %llu regions, %.1f ms "
+          "(plan %s%s, queue %.1f ms, worker %llu)\n",
+          static_cast<unsigned long long>(resp.id), outputs,
+          static_cast<unsigned long long>(regions), resp.total_ms,
+          resp.plan_cache, resp.result_cache_hit ? " + result cache" : "",
+          resp.queue_ms, static_cast<unsigned long long>(resp.worker));
+      if (explain && entry.profile != nullptr) {
+        std::printf("%s", entry.profile->RenderTree().c_str());
+      }
+    } else {
+      ++failed_;
+      entry = core::MakeQueryLogEntry(gmql, core::RunStats{},
+                                      resp.status.ToString());
+      entry.wall_ms = resp.total_ms;
+      std::printf("[%llu] error: %s\n",
+                  static_cast<unsigned long long>(resp.id),
+                  resp.status.ToString().c_str());
+    }
+    entry.serve = true;
+    entry.session_id = resp.id;
+    entry.queue_ms = resp.queue_ms;
+    entry.plan_cache = resp.plan_cache;
+    entry.result_cache_hit = resp.result_cache_hit;
+    if (entry.wall_ms >= config_.slow_ms) ++slow_;
+    if (log_ != nullptr) log_->Record(entry);
+    obs::Tracer::Global().Clear();
+  }
+
   /// Runs the query over a lazily built in-process federation (two sites,
   /// both holding every registered dataset) so federation counters, hops
   /// and per-site staging gauges show real traffic in the exposition.
@@ -511,6 +627,8 @@ class ServeSession {
 
   core::QueryRunner* runner_;
   ServeConfig config_;
+  std::unique_ptr<serve::ServeCatalog> catalog_;
+  std::unique_ptr<serve::SessionManager> manager_;
   std::unique_ptr<obs::QueryLog> log_;
   std::vector<std::unique_ptr<repo::FederatedNode>> sites_;
   std::unique_ptr<repo::Coordinator> coordinator_;
@@ -618,6 +736,20 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--workers needs a count");
+      serve_config.workers = static_cast<size_t>(std::atoi(v));
+      if (serve_config.workers < 1) return Fail("--workers wants >= 1");
+    } else if (arg == "--queue-limit") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--queue-limit needs a count");
+      serve_config.queue_limit = static_cast<size_t>(std::atoi(v));
+      if (serve_config.queue_limit < 1) return Fail("--queue-limit wants >= 1");
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--deadline-ms needs milliseconds");
+      serve_config.deadline_ms = std::atof(v);
     } else if (arg == "--sample-ms") {
       const char* v = next();
       if (v == nullptr) return Fail("--sample-ms needs a period");
@@ -680,7 +812,8 @@ int main(int argc, char** argv) {
           "                  [--show CHR:LEFT-RIGHT] [--demo]\n"
           "                  [--gdmz-selftest] [--mem-budget-mb X]\n"
           "                  [--trace FILE.json] [--metrics]\n"
-          "                  [--serve] [--sample-ms N] [--expo FILE]\n"
+          "                  [--serve] [--workers N] [--queue-limit N]\n"
+          "                  [--deadline-ms X] [--sample-ms N] [--expo FILE]\n"
           "                  [--query-log FILE] [--slow-ms X]\n"
           "                  [--fed-sites N] [--fed-drop R] [--fed-stall R]\n"
           "                  [--fed-corrupt R] [--fed-latency-us N]\n"
@@ -740,6 +873,13 @@ int main(int argc, char** argv) {
   }
 
   if (serve) {
+    // Per-worker engine threads: an explicit --parallel N carries over; a
+    // bare --parallel gets a modest 2 per worker (N workers already run
+    // concurrently, so hardware-wide intra-query pools would oversubscribe).
+    serve_config.engine_threads = parallel ? (threads > 0 ? threads : 2) : 1;
+    serve_config.exec.optimize = optimize;
+    serve_config.exec.fusion = fusion;
+    serve_config.exec.columnar = columnar;
     ServeSession session(runner.get(), serve_config);
     return session.Loop();
   }

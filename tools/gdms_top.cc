@@ -298,6 +298,63 @@ std::string RenderFederationPanel(const History& history,
   return out;
 }
 
+/// The serve panel: session-pool occupancy, admission health and cache
+/// effectiveness of a `gdms_shell --serve --workers N` process. The generic
+/// per-layer listing skips the serve family.
+std::string RenderServePanel(const History& history) {
+  if (history.Last("gdms_serve_workers") == 0) {
+    return "";  // serving process runs without the session manager
+  }
+  std::string out;
+  AppendLine(&out, "-- serve %s", std::string(69, '-').c_str());
+  auto admit_rate = history.Rates("gdms_serve_admitted_total");
+  auto reject_rate = history.Rates("gdms_serve_rejected_total");
+  AppendLine(&out,
+             "  workers %-4s active %-4s queued %-4s | admitted %s (%.1f/s) "
+             "%s rejected %s (%.1f/s)",
+             FormatValue(history.Last("gdms_serve_workers")).c_str(),
+             FormatValue(history.Last("gdms_serve_active_sessions")).c_str(),
+             FormatValue(history.Last("gdms_serve_queue_depth")).c_str(),
+             FormatValue(history.Last("gdms_serve_admitted_total")).c_str(),
+             admit_rate.empty() ? 0.0 : admit_rate.back(),
+             Sparkline(admit_rate, 14).c_str(),
+             FormatValue(history.Last("gdms_serve_rejected_total")).c_str(),
+             reject_rate.empty() ? 0.0 : reject_rate.back());
+  double plan_hits = history.Last("gdms_serve_plan_hits_total");
+  double plan_total = plan_hits +
+                      history.Last("gdms_serve_plan_rebinds_total") +
+                      history.Last("gdms_serve_plan_misses_total");
+  double result_hits = history.Last("gdms_serve_result_hits_total");
+  double result_total =
+      result_hits + history.Last("gdms_serve_result_misses_total");
+  AppendLine(
+      &out,
+      "  plan cache %5.1f%% hit (%s lookups) | result cache %5.1f%% hit "
+      "(%s lookups, %s invalidations)",
+      plan_total > 0 ? 100.0 * plan_hits / plan_total : 0.0,
+      FormatValue(plan_total).c_str(),
+      result_total > 0 ? 100.0 * result_hits / result_total : 0.0,
+      FormatValue(result_total).c_str(),
+      FormatValue(history.Last("gdms_serve_result_invalidations_total"))
+          .c_str());
+  AppendLine(
+      &out,
+      "  latency us p50 %-8s p95 %-8s p99 %-8s | deadline_exceeded %s "
+      "failed %s",
+      FormatValue(
+          history.Last("gdms_serve_latency_us{quantile=\"0.5\"}"))
+          .c_str(),
+      FormatValue(
+          history.Last("gdms_serve_latency_us{quantile=\"0.95\"}"))
+          .c_str(),
+      FormatValue(
+          history.Last("gdms_serve_latency_us{quantile=\"0.99\"}"))
+          .c_str(),
+      FormatValue(history.Last("gdms_serve_deadline_exceeded_total")).c_str(),
+      FormatValue(history.Last("gdms_serve_failed_total")).c_str());
+  return out;
+}
+
 std::string RenderFrame(const History& history,
                         const obs::ScrapedExposition& scrape, uint64_t tick,
                         double uptime_s) {
@@ -321,14 +378,18 @@ std::string RenderFrame(const History& history,
                FormatValue(p50).c_str(), FormatValue(p95).c_str(),
                FormatValue(p99).c_str());
   }
+  out += RenderServePanel(history);
   out += RenderMemoryPanel(history, scrape);
   out += RenderFederationPanel(history, scrape);
-  // Group every scraped sample under its layer. The mem/storage/fed
+  // Group every scraped sample under its layer. The serve/mem/storage/fed
   // families are rendered by the dedicated panels above, not repeated here.
   std::map<std::string, std::vector<std::string>> layer_lines;
   for (const auto& [base, type] : scrape.types) {
     std::string layer = LayerOf(base);
-    if (layer == "mem" || layer == "storage" || layer == "fed") continue;
+    if (layer == "mem" || layer == "storage" || layer == "fed" ||
+        layer == "serve") {
+      continue;
+    }
     std::string line;
     if (type == "counter") {
       auto rates = history.Rates(base);
