@@ -20,7 +20,13 @@
 //     byte accounting on (the default) vs. forced off via the
 //     ResourceTracker kill switch — the per-operator Charge walks and the
 //     storage-gauge registry must also stay within 2%.
-//  4. End-to-end figures (informational): the E7-style MAP query under the
+//  4. Distributed-tracing gate (exit code): a batch of federated
+//     RunEverywhere queries with a full per-query distributed trace
+//     (BeginTrace / wire @trace headers / remote span piggyback /
+//     FinishTrace + critical-path extraction) vs. the same batch untraced.
+//     Tracing is opt-in per query, so the traced path may do real work —
+//     but it must stay within the same 2% budget.
+//  5. End-to-end figures (informational): the E7-style MAP query under the
 //     parallel executor with tracing off vs. on, showing what a traced run
 //     actually costs.
 
@@ -36,10 +42,12 @@
 #include "bench_util.h"
 #include "core/runner.h"
 #include "engine/parallel_executor.h"
+#include "obs/dtrace.h"
 #include "obs/query_log.h"
 #include "obs/resource.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "repo/federation.h"
 #include "sim/generators.h"
 
 namespace {
@@ -283,6 +291,89 @@ int RunAccountingGate() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Distributed-tracing gate: traced vs. untraced federated batch
+// ---------------------------------------------------------------------------
+
+constexpr int kFedBatchQueries = 4;
+
+/// Populates a federated site. The corpus is sized so one broadcast query
+/// does tens of milliseconds of real work — tracing's cost is a fixed
+/// per-RPC tax, and the gate should price it against a realistic query,
+/// not a toy one that finishes in the time it takes to format a span name.
+void PopulateSite(repo::FederatedNode* node, uint64_t seed) {
+  auto genome = gdm::GenomeAssembly::HumanLike(3, 20000000);
+  sim::PeakDatasetOptions popt;
+  popt.num_samples = 4;
+  popt.peaks_per_sample = 4000;
+  node->catalog()->Put(sim::GeneratePeakDataset(genome, popt, seed));
+  auto catalog = sim::GenerateGenes(genome, 100, seed);
+  node->catalog()->Put(sim::GenerateAnnotations(genome, catalog, {}, seed));
+}
+
+/// Times one batch of broadcast queries; when `traced` is set every query
+/// runs under a full distributed trace — wire @trace headers, remote span
+/// buffering + piggyback, SimClock stitching, and critical-path extraction
+/// on the result (exactly what gdms_shell's .fed path does per query).
+double FedBatchSeconds(repo::Coordinator* coordinator, bool traced) {
+  Timer timer;
+  for (int i = 0; i < kFedBatchQueries; ++i) {
+    if (traced) {
+      coordinator->BeginTrace(
+          obs::MintTraceId(static_cast<uint64_t>(i) + 1, 0xa3d));
+    }
+    auto result = coordinator->RunEverywhere(kQuery);
+    if (!result.ok()) std::abort();
+    if (traced) {
+      obs::DistTrace trace = coordinator->FinishTrace("bench");
+      benchmark::DoNotOptimize(obs::CriticalPath(trace));
+    }
+  }
+  return timer.Seconds();
+}
+
+Round MeasureTracingRound(int n, repo::Coordinator* coordinator) {
+  Round r;
+  for (int i = 0; i < n; ++i) {
+    r.plain = std::min(r.plain, FedBatchSeconds(coordinator, false));
+    r.live = std::min(r.live, FedBatchSeconds(coordinator, true));
+  }
+  return r;
+}
+
+int RunTracingGate() {
+  bench::Header("A3d (gate): distributed tracing on a federated batch",
+                "per-query BeginTrace/stitch/critical-path vs. untraced "
+                "broadcast");
+  repo::FederatedNode milan("milan");
+  repo::FederatedNode geneva("geneva");
+  PopulateSite(&milan, 7);
+  PopulateSite(&geneva, 8);
+  repo::Coordinator coordinator;
+  coordinator.AddNode(&milan);
+  coordinator.AddNode(&geneva);
+
+  FedBatchSeconds(&coordinator, true);  // warmup
+  Round best = MeasureTracingRound(3, &coordinator);
+  for (int round = 1; round < 3 && best.OverheadPct() > kMaxOverheadPct;
+       ++round) {
+    Round r = MeasureTracingRound(3, &coordinator);
+    if (r.OverheadPct() < best.OverheadPct()) best = r;
+  }
+  double overhead_pct = best.OverheadPct();
+  std::printf("%22s %12.3f ms\n", "fed batch, untraced", best.plain * 1e3);
+  std::printf("%22s %12.3f ms\n", "fed batch, traced", best.live * 1e3);
+  std::printf("%22s %+12.2f %%  (gate: <= %.1f%%)\n", "overhead",
+              overhead_pct, kMaxOverheadPct);
+  if (overhead_pct > kMaxOverheadPct) {
+    std::fprintf(stderr, "FAIL: tracing overhead %.2f%% exceeds %.1f%%\n",
+                 overhead_pct, kMaxOverheadPct);
+    return 1;
+  }
+  bench::Note("ok: traced federation path within budget");
+  return 0;
+}
+
 int RunGate() {
   bench::Header("A3 (ablation): no-op tracing overhead",
                 "observability tentpole: disabled-tracer fast path must stay "
@@ -338,8 +429,10 @@ int main(int argc, char** argv) {
   int gate = RunGate();
   int telemetry_gate = RunTelemetryGate();
   int accounting_gate = RunAccountingGate();
+  int tracing_gate = RunTracingGate();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   if (gate != 0) return gate;
-  return telemetry_gate != 0 ? telemetry_gate : accounting_gate;
+  if (telemetry_gate != 0) return telemetry_gate;
+  return accounting_gate != 0 ? accounting_gate : tracing_gate;
 }

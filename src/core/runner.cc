@@ -210,6 +210,13 @@ Result<std::map<std::string, gdm::Dataset>> QueryRunner::RunProgram(
   uint64_t fed_received0 = fed.received->value();
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::Span query_span = tracer.StartSpan("query", "query", 0);
+  if (options_.trace.valid()) {
+    stats_.trace_id = options_.trace.id;
+    if (query_span.active()) {
+      query_span.AddAttr("trace_parent",
+                         static_cast<double>(options_.trace.parent_span));
+    }
+  }
   // Byte accounting: publish a fresh account as the process's active query
   // so engine scratch-buffer charges (ScopedCharge in the flat scheduler)
   // attribute here. Evaluate charges operator outputs through the runner's
@@ -451,6 +458,7 @@ obs::QueryLogEntry MakeQueryLogEntry(const std::string& query,
   entry.alloc_bytes = stats.alloc_bytes;
   entry.peak_bytes = stats.peak_bytes;
   entry.profile = stats.profile;
+  if (stats.trace_id.valid()) entry.trace_id = stats.trace_id.ToHex();
   return entry;
 }
 

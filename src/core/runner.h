@@ -13,6 +13,7 @@
 #include "core/parser.h"
 #include "core/plan.h"
 #include "gdm/dataset.h"
+#include "obs/dtrace.h"
 #include "obs/profile.h"
 #include "obs/query_log.h"
 #include "obs/resource.h"
@@ -33,6 +34,12 @@ struct ExecOptions {
   /// DIFFERENCE / COVER). Disable (--no-columnar) to A/B the row-structured
   /// baseline — results are identical either way.
   bool columnar = true;
+  /// Distributed-trace context of the enclosing query (minted at serve
+  /// admission): invalid = untraced. RunProgram stamps the trace id into
+  /// RunStats and tags the wall profile's query span with the parent span
+  /// id, so the serve layer can rebase engine spans into the stitched
+  /// trace.
+  obs::TraceContext trace;
 };
 
 /// Per-query execution statistics.
@@ -67,6 +74,9 @@ struct RunStats {
   /// engine stage / federation spans nested beneath. Only populated while
   /// obs::Tracer::Global() is enabled; null otherwise.
   std::shared_ptr<const obs::Profile> profile;
+  /// The distributed trace this run executed under (from
+  /// ExecOptions::trace); invalid when untraced.
+  obs::TraceId trace_id;
 };
 
 /// \brief End-to-end GMQL query runner.

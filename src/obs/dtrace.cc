@@ -1,0 +1,577 @@
+#include "obs/dtrace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace gdms::obs {
+
+namespace {
+
+/// Same mixer as repo::SplitMix64; duplicated because obs sits below repo
+/// in the build graph.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+std::string FormatAttrValue(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+/// Deterministic ordering for stitched span sets.
+bool SpanBefore(const DistSpan& a, const DistSpan& b) {
+  if (a.start_us != b.start_us) return a.start_us < b.start_us;
+  if (a.origin != b.origin) return a.origin < b.origin;
+  if (a.id != b.id) return a.id < b.id;
+  return a.name < b.name;
+}
+
+}  // namespace
+
+std::string TraceId::ToHex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(&out, hi);
+  AppendHex64(&out, lo);
+  return out;
+}
+
+TraceId TraceId::FromHex(std::string_view hex) {
+  TraceId out;
+  if (hex.size() != 32) return out;
+  auto parse = [](std::string_view part, uint64_t* value) {
+    *value = 0;
+    for (char c : part) {
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        return false;
+      }
+      *value = (*value << 4) | digit;
+    }
+    return true;
+  };
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  if (!parse(hex.substr(0, 16), &hi) || !parse(hex.substr(16, 16), &lo)) {
+    return TraceId{};
+  }
+  out.hi = hi;
+  out.lo = lo;
+  return out;
+}
+
+TraceId MintTraceId(uint64_t seed_a, uint64_t seed_b) {
+  TraceId id;
+  // Both seeds feed both halves, so ids minted from the same counter under
+  // different namespaces (serve vs .fed) already differ in their prefix —
+  // `.trace <prefix>` lookups stay unambiguous.
+  id.hi = Mix64(seed_a ^ Mix64(seed_b ^ 0x6a09e667f3bcc908ull));
+  id.lo = Mix64(seed_b + Mix64(seed_a + 0xbb67ae8584caa73bull));
+  if (!id.valid()) id.lo = 1;  // all-zero mix would mean "untraced"
+  return id;
+}
+
+std::string EncodeTraceContext(const TraceContext& ctx) {
+  std::string out;
+  AppendHex64(&out, ctx.id.hi);
+  out += '-';
+  AppendHex64(&out, ctx.id.lo);
+  out += '-';
+  AppendU64(&out, ctx.parent_span);
+  out += '-';
+  AppendU64(&out, ctx.arrival_us);
+  return out;
+}
+
+bool DecodeTraceContext(std::string_view text, TraceContext* out) {
+  // "<hex16>-<hex16>-<dec>-<dec>"
+  if (text.size() < 16 + 1 + 16 + 1 + 1 + 1 + 1) return false;
+  if (text[16] != '-' || text[33] != '-') return false;
+  TraceId id = TraceId::FromHex(
+      std::string(text.substr(0, 16)) + std::string(text.substr(17, 16)));
+  if (!id.valid()) return false;
+  std::string rest(text.substr(34));
+  size_t dash = rest.find('-');
+  if (dash == std::string::npos) return false;
+  out->id = id;
+  out->parent_span = std::strtoull(rest.substr(0, dash).c_str(), nullptr, 10);
+  out->arrival_us = std::strtoull(rest.c_str() + dash + 1, nullptr, 10);
+  return true;
+}
+
+const DistSpan* DistTrace::root() const {
+  for (const DistSpan& s : spans) {
+    if (s.parent == 0 && s.origin.empty()) return &s;
+  }
+  return nullptr;
+}
+
+uint64_t DistTrace::total_us() const {
+  const DistSpan* r = root();
+  return r == nullptr ? 0 : r->duration_us;
+}
+
+DistTrace StitchTrace(const TraceId& id, std::vector<DistSpan> spans) {
+  // Per-origin counters collide by construction; identity is (origin, id).
+  // First occurrence wins — a re-shipped remote buffer (retried FETCH)
+  // carries the same spans again.
+  std::set<std::pair<std::string, uint64_t>> seen;
+  std::vector<DistSpan> unique;
+  unique.reserve(spans.size());
+  for (DistSpan& s : spans) {
+    if (seen.emplace(s.origin, s.id).second) unique.push_back(std::move(s));
+  }
+  std::sort(unique.begin(), unique.end(), SpanBefore);
+  DistTrace out;
+  out.id = id;
+  out.spans = std::move(unique);
+  return out;
+}
+
+std::vector<PathSegment> CriticalPath(const DistTrace& trace) {
+  std::vector<PathSegment> out;
+  const DistSpan* root = trace.root();
+  if (root == nullptr) return out;
+  const uint64_t lo = root->start_us;
+  const uint64_t hi = root->start_us + root->duration_us;
+
+  std::vector<const DistSpan*> segs;
+  for (const DistSpan& s : trace.spans) {
+    // Wasted work (hedge losers, post-deadline deliveries) is retained as
+    // detail but never attributed: the winner's span owns that interval.
+    if (!s.segment.empty() && !s.wasted && &s != root) segs.push_back(&s);
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const DistSpan* a, const DistSpan* b) {
+              return SpanBefore(*a, *b);
+            });
+
+  // Greedy sweep over the root window: each segment-bearing span claims
+  // the part of its interval not already covered by an earlier one, so
+  // overlaps (hedge races) never double-count and the slices plus the
+  // trailing "self" sum exactly to the root duration.
+  std::map<std::string, uint64_t> totals;
+  uint64_t cursor = lo;
+  uint64_t covered = 0;
+  for (const DistSpan* s : segs) {
+    uint64_t begin = std::max(cursor, std::max(lo, s->start_us));
+    uint64_t end = std::min(hi, s->start_us + s->duration_us);
+    if (end <= begin) continue;
+    totals[s->segment] += end - begin;
+    covered += end - begin;
+    cursor = end;
+  }
+  if (hi - lo > covered) totals["self"] += (hi - lo) - covered;
+
+  for (auto& [label, us] : totals) out.push_back({label, us});
+  std::sort(out.begin(), out.end(),
+            [](const PathSegment& a, const PathSegment& b) {
+              if (a.us != b.us) return a.us > b.us;
+              return a.label < b.label;
+            });
+  return out;
+}
+
+void RecordCriticalPathMetrics(const std::vector<PathSegment>& path) {
+  for (const PathSegment& seg : path) {
+    std::string name = "gdms_trace_critical_";
+    for (char c : seg.label) name += (c == '.') ? '_' : c;
+    name += "_us";
+    MetricsRegistry::Global().GetHistogram(name)->Record(seg.us);
+  }
+}
+
+std::string EncodeDistSpans(const std::vector<DistSpan>& spans) {
+  std::string out;
+  for (const DistSpan& s : spans) {
+    out += "S\t";
+    out += s.origin;
+    out += '\t';
+    AppendU64(&out, s.id);
+    out += '\t';
+    out += s.parent_origin;
+    out += '\t';
+    AppendU64(&out, s.parent);
+    out += '\t';
+    AppendU64(&out, s.start_us);
+    out += '\t';
+    AppendU64(&out, s.duration_us);
+    out += '\t';
+    out += s.wasted ? '1' : '0';
+    out += '\t';
+    out += s.segment;
+    out += '\t';
+    out += s.name;
+    for (const auto& [key, value] : s.attrs) {
+      out += '\t';
+      out += key;
+      out += '=';
+      out += FormatAttrValue(value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<DistSpan> DecodeDistSpans(std::string_view text) {
+  std::vector<DistSpan> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+      size_t tab = line.find('\t', start);
+      fields.emplace_back(line.substr(
+          start, tab == std::string_view::npos ? std::string_view::npos
+                                               : tab - start));
+      if (tab == std::string_view::npos) break;
+      start = tab + 1;
+    }
+    if (fields.size() < 9 || fields[0] != "S") continue;
+    DistSpan s;
+    s.origin = fields[1];
+    s.id = std::strtoull(fields[2].c_str(), nullptr, 10);
+    s.parent_origin = fields[3];
+    s.parent = std::strtoull(fields[4].c_str(), nullptr, 10);
+    s.start_us = std::strtoull(fields[5].c_str(), nullptr, 10);
+    s.duration_us = std::strtoull(fields[6].c_str(), nullptr, 10);
+    s.wasted = fields[7] == "1";
+    s.segment = fields[8];
+    s.name = fields.size() > 9 ? fields[9] : "";
+    for (size_t i = 10; i < fields.size(); ++i) {
+      size_t eq = fields[i].find('=');
+      if (eq == std::string::npos) continue;
+      s.attrs.emplace_back(fields[i].substr(0, eq),
+                           std::strtod(fields[i].c_str() + eq + 1, nullptr));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string DistTrace::RenderJson() const {
+  std::vector<PathSegment> path = CriticalPath(*this);
+  std::string out = "{\"trace_id\": \"" + id.ToHex() + "\", \"total_us\": ";
+  AppendU64(&out, total_us());
+  if (!reason.empty()) {
+    out += ", \"reason\": \"" + JsonEscape(reason) + "\"";
+  }
+  out += ", \"spans\": [";
+  bool first = true;
+  for (const DistSpan& s : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"origin\": \"" + JsonEscape(s.origin) + "\", \"id\": ";
+    AppendU64(&out, s.id);
+    out += ", \"parent_origin\": \"" + JsonEscape(s.parent_origin) +
+           "\", \"parent\": ";
+    AppendU64(&out, s.parent);
+    out += ", \"name\": \"" + JsonEscape(s.name) + "\", \"segment\": \"" +
+           JsonEscape(s.segment) + "\", \"start_us\": ";
+    AppendU64(&out, s.start_us);
+    out += ", \"duration_us\": ";
+    AppendU64(&out, s.duration_us);
+    out += ", \"wasted\": ";
+    out += s.wasted ? "1" : "0";
+    if (!s.attrs.empty()) {
+      out += ", \"attrs\": {";
+      bool afirst = true;
+      for (const auto& [key, value] : s.attrs) {
+        if (!afirst) out += ", ";
+        afirst = false;
+        out += "\"" + JsonEscape(key) + "\": " + FormatAttrValue(value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n], \"critical_path\": [";
+  first = true;
+  for (const PathSegment& seg : path) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"segment\": \"" + JsonEscape(seg.label) + "\", \"us\": ";
+    AppendU64(&out, seg.us);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string DistTrace::RenderTree() const {
+  std::string out = "trace " + id.ToHex();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  total=%.3fms",
+                static_cast<double>(total_us()) / 1e3);
+  out += buf;
+  if (!reason.empty()) out += "  kept=" + reason;
+  out += "\n";
+
+  // Children keyed by (origin, id) of the parent; roots = unresolved
+  // parents (foreign or 0).
+  std::map<std::pair<std::string, uint64_t>, std::vector<size_t>> children;
+  std::map<std::pair<std::string, uint64_t>, size_t> index;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    index[{spans[i].origin, spans[i].id}] = i;
+  }
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    auto pkey = std::make_pair(spans[i].parent_origin, spans[i].parent);
+    if (spans[i].parent != 0 && index.count(pkey) > 0) {
+      children[pkey].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  auto render = [&](auto&& self, size_t i, const std::string& prefix,
+                    bool last, bool top) -> void {
+    const DistSpan& s = spans[i];
+    std::string line = prefix;
+    if (!top) line += last ? "└─ " : "├─ ";
+    if (!s.origin.empty()) line += "[" + s.origin + "] ";
+    line += s.name;
+    std::snprintf(buf, sizeof(buf), "  %.3fms @%.3fms",
+                  static_cast<double>(s.duration_us) / 1e3,
+                  static_cast<double>(s.start_us) / 1e3);
+    line += buf;
+    if (!s.segment.empty()) line += "  seg=" + s.segment;
+    if (s.wasted) line += "  wasted=1";
+    for (const auto& [key, value] : s.attrs) {
+      line += "  " + key + "=" + FormatAttrValue(value);
+    }
+    out += line;
+    out += "\n";
+    std::string child_prefix = prefix;
+    if (!top) child_prefix += last ? "   " : "│  ";
+    auto it = children.find({s.origin, s.id});
+    if (it == children.end()) return;
+    for (size_t c = 0; c < it->second.size(); ++c) {
+      self(self, it->second[c], child_prefix, c + 1 == it->second.size(),
+           false);
+    }
+  };
+  for (size_t i = 0; i < roots.size(); ++i) {
+    render(render, roots[i], "", i + 1 == roots.size(), true);
+  }
+  std::vector<PathSegment> path = CriticalPath(*this);
+  if (!path.empty()) {
+    out += "critical path:";
+    uint64_t total = std::max<uint64_t>(total_us(), 1);
+    for (const PathSegment& seg : path) {
+      std::snprintf(buf, sizeof(buf), "  %s=%.3fms(%.0f%%)",
+                    seg.label.c_str(), static_cast<double>(seg.us) / 1e3,
+                    100.0 * static_cast<double>(seg.us) /
+                        static_cast<double>(total));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DistTrace::RenderChromeTrace() const {
+  // One process lane per origin: the coordinator is pid 1, each remote
+  // site gets the next pid in first-appearance order, with process_name
+  // metadata so the viewer labels the lanes.
+  std::map<std::string, int> pids;
+  auto pid_for = [&](const std::string& origin) {
+    auto it = pids.find(origin);
+    if (it != pids.end()) return it->second;
+    int pid = static_cast<int>(pids.size()) + 1;
+    pids.emplace(origin, pid);
+    return pid;
+  };
+  pid_for("");  // the coordinator always renders first
+
+  std::string out = "{\"traceEvents\": [";
+  char buf[200];
+  bool first = true;
+  for (const DistSpan& s : spans) pid_for(s.origin);
+  for (const auto& [origin, pid] : pids) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+                  "\"tid\": 1, \"args\": {\"name\": \"%s\"}}",
+                  pid,
+                  origin.empty() ? "coordinator"
+                                 : JsonEscape(origin).c_str());
+    out += buf;
+  }
+  for (const DistSpan& s : spans) {
+    out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %" PRIu64 ", \"dur\": %" PRIu64
+                  ", \"pid\": %d, \"tid\": 1, \"args\": {",
+                  JsonEscape(s.name).c_str(),
+                  s.segment.empty() ? "detail" : JsonEscape(s.segment).c_str(),
+                  s.start_us, s.duration_us, pid_for(s.origin));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"span\": %" PRIu64 ", \"parent\": %" PRIu64
+                  ", \"wasted\": %d",
+                  s.id, s.parent, s.wasted ? 1 : 0);
+    out += buf;
+    for (const auto& [key, value] : s.attrs) {
+      out += ", \"" + JsonEscape(key) + "\": " + FormatAttrValue(value);
+    }
+    out += "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+TraceExemplars& TraceExemplars::Global() {
+  static TraceExemplars* instance = new TraceExemplars();
+  return *instance;
+}
+
+void TraceExemplars::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, n);
+  while (ring_.size() > capacity_) ring_.pop_back();
+}
+
+size_t TraceExemplars::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceExemplars::Keep(std::shared_ptr<const DistTrace> trace) {
+  if (trace == nullptr) return;
+  static Counter* kept = MetricsRegistry::Global().GetCounter(
+      "gdms_trace_exemplars_kept_total");
+  kept->Add();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_front(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_back();
+}
+
+std::vector<std::shared_ptr<const DistTrace>> TraceExemplars::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::shared_ptr<const DistTrace> TraceExemplars::Find(
+    const std::string& id_prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return nullptr;
+  if (id_prefix.empty() || id_prefix == "last") return ring_.front();
+  for (const auto& trace : ring_) {
+    if (trace->id.ToHex().rfind(id_prefix, 0) == 0) return trace;
+  }
+  return nullptr;
+}
+
+std::string TraceExemplars::RenderList() const {
+  auto traces = Snapshot();
+  if (traces.empty()) {
+    return "no retained traces (only slow/error/shed/partial queries are "
+           "kept)\n";
+  }
+  std::string out;
+  char buf[160];
+  for (const auto& trace : traces) {
+    std::vector<PathSegment> path = CriticalPath(*trace);
+    std::snprintf(buf, sizeof(buf), "%s  %9.3fms  %-8s",
+                  trace->id.ToHex().substr(0, 16).c_str(),
+                  static_cast<double>(trace->total_us()) / 1e3,
+                  trace->reason.empty() ? "-" : trace->reason.c_str());
+    out += buf;
+    size_t shown = 0;
+    for (const PathSegment& seg : path) {
+      if (seg.label == "self" || shown >= 2) continue;
+      std::snprintf(buf, sizeof(buf), "  %s=%.3fms", seg.label.c_str(),
+                    static_cast<double>(seg.us) / 1e3);
+      out += buf;
+      ++shown;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TraceExemplars::RenderExposition() const {
+  auto traces = Snapshot();
+  std::sort(traces.begin(), traces.end(),
+            [](const std::shared_ptr<const DistTrace>& a,
+               const std::shared_ptr<const DistTrace>& b) {
+              return a->total_us() > b->total_us();
+            });
+  std::string out;
+  if (traces.empty()) return out;
+  out += "# TYPE gdms_trace_exemplar_us gauge\n";
+  out += "# UNIT gdms_trace_exemplar_us us\n";
+  char buf[64];
+  size_t rank = 0;
+  for (const auto& trace : traces) {
+    if (++rank > 5) break;
+    std::vector<PathSegment> path = CriticalPath(*trace);
+    uint64_t total = std::max<uint64_t>(trace->total_us(), 1);
+    std::string segs[2];
+    size_t shown = 0;
+    for (const PathSegment& seg : path) {
+      if (seg.label == "self" || shown >= 2) continue;
+      std::snprintf(buf, sizeof(buf), ":%.0f%%",
+                    100.0 * static_cast<double>(seg.us) /
+                        static_cast<double>(total));
+      segs[shown] = seg.label + buf;
+      ++shown;
+    }
+    out += "gdms_trace_exemplar_us{rank=\"" + std::to_string(rank) +
+           "\",trace=\"" + trace->id.ToHex().substr(0, 16) + "\",reason=\"" +
+           ExpositionLabelValue(trace->reason) + "\",seg1=\"" +
+           ExpositionLabelValue(segs[0]) + "\",seg2=\"" +
+           ExpositionLabelValue(segs[1]) + "\"} ";
+    AppendU64(&out, trace->total_us());
+    out += "\n";
+  }
+  return out;
+}
+
+void TraceExemplars::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace gdms::obs

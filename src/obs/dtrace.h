@@ -1,0 +1,183 @@
+#ifndef GDMS_OBS_DTRACE_H_
+#define GDMS_OBS_DTRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gdms::obs {
+
+/// \brief Distributed tracing primitives: the per-query trace identity that
+/// crosses layer and wire boundaries, the stitched cross-site span set, the
+/// critical-path extractor, and the tail-based exemplar ring.
+///
+/// Two clock domains coexist deliberately. Serve-path traces are stamped in
+/// wall microseconds relative to query admission; federation traces are
+/// stamped in SimClock virtual microseconds, so a faulted query's stitched
+/// trace — retries, hedges and all — is bit-reproducible across runs with
+/// the same transport fault seed (the same property bench_e8 gates for
+/// makespans). A DistTrace never mixes the two.
+
+/// 128-bit trace identity. Zero (both halves) means "no trace".
+struct TraceId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  bool operator==(const TraceId& o) const { return hi == o.hi && lo == o.lo; }
+
+  /// 32 lowercase hex chars (hi then lo).
+  std::string ToHex() const;
+  /// Parses ToHex() output; returns an invalid id on malformed input.
+  static TraceId FromHex(std::string_view hex);
+};
+
+/// Deterministically mints a trace id from two seeds (SplitMix64-mixed) —
+/// callers derive the seeds from stable per-query counters so traced runs
+/// replay with identical ids.
+TraceId MintTraceId(uint64_t seed_a, uint64_t seed_b);
+
+/// The context one layer hands the next: which trace, which span to parent
+/// under, and (stamped by the transport on delivery) the virtual arrival
+/// time at the remote site.
+struct TraceContext {
+  TraceId id;
+  uint64_t parent_span = 0;  ///< span id in the coordinator origin ("")
+  uint64_t arrival_us = 0;   ///< filled in by the transport, not the sender
+
+  bool valid() const { return id.valid(); }
+};
+
+/// Wire codec for the transport envelope header line:
+///   "<hi-hex>-<lo-hex>-<parent>-<arrival_us>"
+std::string EncodeTraceContext(const TraceContext& ctx);
+bool DecodeTraceContext(std::string_view text, TraceContext* out);
+
+/// One span of a distributed trace. Span ids are only unique within their
+/// origin — every process/site runs its own counter — so identity is the
+/// (origin, id) pair and parent links carry the parent's origin explicitly.
+/// Names, segments, origins and attr keys must not contain whitespace (they
+/// cross the wire in a field-separated line format).
+struct DistSpan {
+  std::string origin;  ///< "" = the coordinator / serving process
+  uint64_t id = 0;
+  std::string parent_origin;
+  uint64_t parent = 0;  ///< 0 = root
+  std::string name;     ///< "rpc:FETCH@milan", "remote:EXECUTE", ...
+  /// Critical-path segment this span's wall time is attributed to
+  /// ("admit.queue", "wire.fetch", "wait.backoff", ...); "" = detail-only
+  /// span, excluded from attribution (remote lanes, hedge losers).
+  std::string segment;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  bool wasted = false;  ///< hedge loser / post-deadline delivery
+  std::vector<std::pair<std::string, double>> attrs;
+};
+
+/// One attributed slice of the end-to-end time.
+struct PathSegment {
+  std::string label;
+  uint64_t us = 0;
+};
+
+/// A stitched trace: the coordinator's spans plus every remote span shipped
+/// back, deduplicated by (origin, id) and sorted deterministically.
+struct DistTrace {
+  TraceId id;
+  std::vector<DistSpan> spans;
+  /// Why the exemplar ring kept it: "slow" | "error" | "shed" | "partial" |
+  /// "faulted" | "" (not retained).
+  std::string reason;
+
+  /// The root span (parent 0 in the coordinator origin); nullptr if absent.
+  const DistSpan* root() const;
+  /// Root duration; 0 without a root.
+  uint64_t total_us() const;
+
+  /// Structured JSON dump (spans + critical path + totals) — what
+  /// `gdms_shell .trace <id> <file>` writes and check_telemetry.py
+  /// --expect-trace validates. Deterministic byte-for-byte for a given
+  /// span set.
+  std::string RenderJson() const;
+  /// Human tree rendering for the terminal.
+  std::string RenderTree() const;
+  /// Chrome trace-event JSON with one process lane per origin, so remote
+  /// sites render as separate rows under the coordinator's timeline.
+  std::string RenderChromeTrace() const;
+};
+
+/// Dedups (origin, id) collisions — per-process span counters collide by
+/// construction — keeping the first occurrence, sorts by
+/// (start_us, origin, id, name), and wraps the result.
+DistTrace StitchTrace(const TraceId& id, std::vector<DistSpan> spans);
+
+/// Attributes the root span's wall time to named segments: spans carrying a
+/// non-empty `segment` are swept in start order, each contributing its
+/// not-yet-covered interval (clamped to the root window), so the returned
+/// segments plus the trailing "self" slice sum exactly to total_us().
+/// Ordered by descending time, then label.
+std::vector<PathSegment> CriticalPath(const DistTrace& trace);
+
+/// Records one query's critical path into the gdms_trace_critical_<seg>_us
+/// registry histograms (segment dots become underscores).
+void RecordCriticalPathMetrics(const std::vector<PathSegment>& path);
+
+/// Span-list wire codec: what a FederatedNode piggybacks onto its final
+/// FETCH chunk. Line-based, tab-separated; best-effort decode skips
+/// malformed lines (a corrupted reply is re-fetched anyway).
+std::string EncodeDistSpans(const std::vector<DistSpan>& spans);
+std::vector<DistSpan> DecodeDistSpans(std::string_view text);
+
+/// \brief Tail-based exemplar retention: a bounded ring of complete
+/// stitched traces, kept only for queries worth debugging (slow, error,
+/// shed, partial/faulted federation). Normal queries contribute to the
+/// aggregate histograms only and never enter the ring.
+class TraceExemplars {
+ public:
+  static TraceExemplars& Global();
+
+  TraceExemplars() = default;
+  TraceExemplars(const TraceExemplars&) = delete;
+  TraceExemplars& operator=(const TraceExemplars&) = delete;
+
+  void set_capacity(size_t n);
+  size_t capacity() const;
+
+  /// Pushes a retained trace (its `reason` says why); evicts the oldest
+  /// beyond capacity. Bumps gdms_trace_exemplars_kept_total.
+  void Keep(std::shared_ptr<const DistTrace> trace);
+
+  /// Newest-first snapshot of the ring.
+  std::vector<std::shared_ptr<const DistTrace>> Snapshot() const;
+
+  /// Finds by hex-id prefix, or the most recent trace for "last"/"".
+  std::shared_ptr<const DistTrace> Find(const std::string& id_prefix) const;
+
+  /// One line per retained trace (id, total ms, reason, top segments) —
+  /// the `.trace` listing.
+  std::string RenderList() const;
+
+  /// Exposition lines for the slowest retained traces:
+  ///   gdms_trace_exemplar_us{rank="1",trace="<hex16>",reason="...",
+  ///     seg1="wire.fetch:62%",seg2="wait.backoff:21%"} <total_us>
+  /// Appended verbatim to the registry exposition (fresh every scrape, so
+  /// rank labels never go stale); gdms_top renders them as the "slowest
+  /// recent traces" panel.
+  std::string RenderExposition() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_ = 32;
+  std::deque<std::shared_ptr<const DistTrace>> ring_;  ///< newest at front
+};
+
+}  // namespace gdms::obs
+
+#endif  // GDMS_OBS_DTRACE_H_

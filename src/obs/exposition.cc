@@ -126,12 +126,13 @@ std::string RenderExposition(const MetricsRegistry& registry) {
 }
 
 bool WriteExpositionFile(const MetricsRegistry& registry,
-                         const std::string& path) {
+                         const std::string& path, const std::string& extra) {
   std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return false;
     out << RenderExposition(registry);
+    if (!extra.empty()) out << extra;
     if (!out.flush()) return false;
   }
   return std::rename(tmp.c_str(), path.c_str()) == 0;

@@ -35,9 +35,14 @@ std::string RenderExposition(const std::vector<MetricSnapshot>& snapshot);
 std::string RenderExposition(const MetricsRegistry& registry);
 
 /// Writes the exposition atomically (temp file + rename) so a concurrent
-/// scraper never reads a torn dump. Returns false on I/O error.
+/// scraper never reads a torn dump. Returns false on I/O error. `extra`
+/// is appended verbatim after the registry metrics — exposition-formatted
+/// lines computed outside the registry (the trace exemplar gauges, whose
+/// label sets change every scrape and must not accrete stale registry
+/// entries).
 bool WriteExpositionFile(const MetricsRegistry& registry,
-                         const std::string& path);
+                         const std::string& path,
+                         const std::string& extra = "");
 
 /// One scraped sample line: full name (labels included) -> value.
 /// `# TYPE`/`# UNIT` comments are folded into `types` / `units` keyed by

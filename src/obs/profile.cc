@@ -47,14 +47,18 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 Profile::Profile(std::vector<SpanRecord> spans) : spans_(std::move(spans)) {
-  std::map<uint64_t, size_t> by_id;
+  // Span ids are per-tracer counters, so a merged multi-tracer span set
+  // collides on bare ids; key the tree on (origin, id) and resolve parent
+  // links within the same origin so each tracer's spans form their own
+  // subtree instead of cross-linking.
+  std::map<std::pair<uint64_t, uint64_t>, size_t> by_id;
   nodes_.resize(spans_.size());
   for (size_t i = 0; i < spans_.size(); ++i) {
     nodes_[i].rec = &spans_[i];
-    by_id[spans_[i].id] = i;
+    by_id[{spans_[i].origin, spans_[i].id}] = i;
   }
   for (size_t i = 0; i < spans_.size(); ++i) {
-    auto it = by_id.find(spans_[i].parent);
+    auto it = by_id.find({spans_[i].origin, spans_[i].parent});
     if (it == by_id.end()) {
       roots_.push_back(i);
       total_ns_ += spans_[i].duration_ns;
@@ -125,14 +129,17 @@ std::string Profile::RenderChromeTrace() const {
   for (const auto& rec : spans_) {
     if (!first) out += ",";
     first = false;
+    // One thread lane per origin: spans merged from multiple tracers
+    // render as separate rows instead of one garbled flame.
     std::snprintf(buf, sizeof(buf),
                   "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": 1, "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %llu, "
                   "\"args\": {",
                   JsonEscape(rec.name).c_str(),
                   JsonEscape(rec.category).c_str(),
                   static_cast<double>(rec.start_ns) / 1e3,
-                  static_cast<double>(rec.duration_ns) / 1e3);
+                  static_cast<double>(rec.duration_ns) / 1e3,
+                  static_cast<unsigned long long>(rec.origin + 1));
     out += buf;
     std::snprintf(buf, sizeof(buf), "\"span\": %llu, \"parent\": %llu",
                   static_cast<unsigned long long>(rec.id),

@@ -43,8 +43,9 @@ class Profile {
   std::string RenderTree() const;
 
   /// Chrome trace-event JSON ("X" complete events; ts/dur in microseconds).
-  /// Spans share one pid/tid so strictly nested time ranges render as a
-  /// nested flame in the viewer.
+  /// Spans share one pid with one tid lane per span origin, so strictly
+  /// nested single-tracer ranges render as a nested flame and merged
+  /// multi-tracer sets get a row each.
   std::string RenderChromeTrace() const;
 
   /// Writes RenderChromeTrace to `path`; false (with stderr note) on error.

@@ -139,6 +139,22 @@ std::string QueryLog::FormatEntry(const QueryLogEntry& entry,
     out += "}";
   }
 
+  if (!entry.trace_id.empty()) {
+    out += ",\"trace_id\":\"" + JsonEscape(entry.trace_id) + "\"";
+  }
+  if (!entry.critical_path.empty()) {
+    out += ",\"critical_path\":[";
+    bool first = true;
+    for (const PathSegment& seg : entry.critical_path) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"segment\":\"" + JsonEscape(seg.label) + "\",";
+      AppendKV(&out, "us", seg.us);
+      out += "}";
+    }
+    out += "]";
+  }
+
   // Per-operator self-times, profile tree order (parents before children).
   out += ",\"ops\":[";
   if (entry.profile != nullptr) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/dtrace.h"
 #include "obs/profile.h"
 
 namespace gdms::obs {
@@ -49,6 +50,11 @@ struct QueryLogEntry {
   /// the per-operator self-times, the queue-wait/skew aggregates, and the
   /// slow-query EXPLAIN ANALYZE capture.
   std::shared_ptr<const Profile> profile;
+  /// Distributed-trace linkage: the hex trace id (empty when untraced) and
+  /// the critical-path attribution of the end-to-end time. Emitted as
+  /// "trace_id" and "critical_path" fields when present.
+  std::string trace_id;
+  std::vector<PathSegment> critical_path;
 };
 
 struct QueryLogOptions {

@@ -38,6 +38,7 @@ Span Tracer::StartSpan(std::string name, const char* category,
   if (!enabled()) return span;
   span.tracer_ = this;
   span.rec_.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.rec_.origin = origin_.load(std::memory_order_relaxed);
   span.rec_.parent = parent;
   span.rec_.name = std::move(name);
   span.rec_.category = category;

@@ -13,6 +13,11 @@ namespace gdms::obs {
 
 /// One finished span: a named, timed slice of a query with numeric
 /// attributes. Parent links form the profile tree (0 = root).
+///
+/// `origin` namespaces the id: every tracer mints ids from its own
+/// process-local counter, so spans merged from multiple tracers (remote
+/// sites, per-node tracers in tests) collide on bare ids. Identity is the
+/// (origin, id) pair; parent links are resolved within the same origin.
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent = 0;
@@ -22,6 +27,10 @@ struct SpanRecord {
   int64_t start_ns = 0;  ///< steady time since the tracer epoch
   int64_t duration_ns = 0;
   std::vector<std::pair<std::string, double>> attrs;
+  /// Tracer origin tag: span identity is (origin, id) in merged span sets,
+  /// and parent links resolve within the same origin. 0 = this process's
+  /// default tracer.
+  uint64_t origin = 0;
 };
 
 /// Per-partition duration spread of one parallel stage.
@@ -102,6 +111,14 @@ class Tracer {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Origin tag stamped on every span this tracer starts. Distinct per
+  /// tracer instance when span sets are merged across tracers (the global
+  /// tracer keeps the default 0).
+  void set_origin(uint64_t origin) {
+    origin_.store(origin, std::memory_order_relaxed);
+  }
+  uint64_t origin() const { return origin_.load(std::memory_order_relaxed); }
+
   /// Starts a span under `parent` (0 = root). Inactive handle when disabled.
   Span StartSpan(std::string name, const char* category, uint64_t parent);
 
@@ -143,6 +160,7 @@ class Tracer {
   void Finish(SpanRecord rec);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> origin_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> current_parent_{0};
   std::atomic<uint64_t> dropped_{0};

@@ -113,6 +113,43 @@ Result<CompileInfo> DecodeCompileInfo(const std::string& body) {
   return info;
 }
 
+/// Critical-path segment label for one wire interaction ("wire.fetch").
+std::string WireSegment(MessageKind kind) {
+  std::string out = "wire.";
+  for (const char* p = MessageKindName(kind); *p != '\0'; ++p) {
+    out += static_cast<char>(*p - 'A' + 'a');
+  }
+  return out;
+}
+
+/// RAII "site:<name>" trace span: scopes every rpc/backoff span the
+/// enclosed RunRemote emits under one per-site node in the stitched tree.
+/// No-op when the coordinator is untraced.
+class TraceSiteScope {
+ public:
+  TraceSiteScope(Coordinator* coordinator, const std::string& site)
+      : coordinator_(coordinator) {
+    uint64_t now = coordinator_->transport()->clock().now_us();
+    span_ = coordinator_->TraceEmit("site:" + site, "", now, 0);
+    if (span_ != 0) {
+      prev_parent_ = coordinator_->TraceExchangeParent(span_);
+    }
+  }
+  ~TraceSiteScope() {
+    if (span_ == 0) return;
+    coordinator_->TraceClose(span_,
+                             coordinator_->transport()->clock().now_us());
+    coordinator_->TraceExchangeParent(prev_parent_);
+  }
+  TraceSiteScope(const TraceSiteScope&) = delete;
+  TraceSiteScope& operator=(const TraceSiteScope&) = delete;
+
+ private:
+  Coordinator* coordinator_;
+  uint64_t span_ = 0;
+  uint64_t prev_parent_ = 0;
+};
+
 }  // namespace
 
 FederatedNode::FederatedNode(std::string name) : name_(std::move(name)) {
@@ -129,35 +166,107 @@ void FederatedNode::PublishStagingGaugesLocked() const {
   staged_results_gauge_->Set(static_cast<int64_t>(staged_.size()));
 }
 
+uint64_t FederatedNode::TraceRemoteSpanLocked(MessageKind kind,
+                                              const obs::TraceContext& ctx) {
+  std::string key = ctx.id.ToHex();
+  auto it = trace_buffers_.find(key);
+  if (it == trace_buffers_.end()) {
+    // FIFO bound: a coordinator that gave up mid-query never fetches its
+    // buffer, so old traces age out instead of accreting.
+    while (trace_buffer_order_.size() >= 8) {
+      trace_buffers_.erase(trace_buffer_order_.front());
+      trace_buffer_order_.pop_front();
+    }
+    it = trace_buffers_.emplace(key, std::vector<obs::DistSpan>{}).first;
+    trace_buffer_order_.push_back(key);
+  }
+  obs::DistSpan span;
+  span.origin = name_;
+  span.id = next_span_++;
+  span.parent_origin = "";  // the parent rpc span lives at the coordinator
+  span.parent = ctx.parent_span;
+  span.name = std::string("remote:") + MessageKindName(kind);
+  span.start_us = ctx.arrival_us;
+  span.duration_us = 0;  // the simulation charges no server-side compute
+  it->second.push_back(std::move(span));
+  return it->second.back().id;
+}
+
+std::string FederatedNode::TraceBufferLocked(
+    const obs::TraceContext& ctx) const {
+  auto it = trace_buffers_.find(ctx.id.ToHex());
+  return it == trace_buffers_.end() ? "" : obs::EncodeDistSpans(it->second);
+}
+
 Result<std::string> FederatedNode::HandleMessage(MessageKind kind,
                                                  const std::string& request) {
+  // A traced coordinator prefixes one "@trace" header line; strip it and
+  // open this site's span under the sender's rpc span.
+  std::string body;
+  obs::TraceContext ctx = StripTraceHeader(request, &body);
+  uint64_t remote_span = 0;
+  if (ctx.valid()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    remote_span = TraceRemoteSpanLocked(kind, ctx);
+  }
   switch (kind) {
     case MessageKind::kInfo:
       return HandleInfo();
     case MessageKind::kCompile:
-      return EncodeCompileInfo(HandleCompile(request));
+      return EncodeCompileInfo(HandleCompile(body));
     case MessageKind::kExecute: {
       // First line is the idempotency token, the rest is the program.
-      size_t newline = request.find('\n');
+      size_t newline = body.find('\n');
       if (newline == std::string::npos) {
         return Status::InvalidArgument("EXECUTE request missing token line");
       }
-      return HandleExecute(request.substr(newline + 1),
-                           request.substr(0, newline));
+      auto result =
+          HandleExecute(body.substr(newline + 1), body.substr(0, newline));
+      if (ctx.valid() && result.ok()) {
+        // The engine ran under this EXECUTE; record it as a child span in
+        // this origin so the stitched tree shows where the work happened.
+        std::lock_guard<std::mutex> lock(mu_);
+        obs::DistSpan engine;
+        engine.origin = name_;
+        engine.id = next_span_++;
+        engine.parent_origin = name_;
+        engine.parent = remote_span;
+        engine.name = "remote:engine";
+        engine.start_us = ctx.arrival_us;
+        engine.duration_us = 0;
+        auto it = trace_buffers_.find(ctx.id.ToHex());
+        if (it != trace_buffers_.end()) it->second.push_back(std::move(engine));
+      }
+      return result;
     }
     case MessageKind::kFetch: {
-      size_t space = request.find(' ');
+      size_t space = body.find(' ');
       if (space == std::string::npos) {
         return Status::InvalidArgument("FETCH request wants '<id> <index>'");
       }
       size_t index = static_cast<size_t>(
-          std::strtoull(request.c_str() + space + 1, nullptr, 10));
+          std::strtoull(body.c_str() + space + 1, nullptr, 10));
       GDMS_ASSIGN_OR_RETURN(FetchResult chunk,
-                            HandleFetch(request.substr(0, space), index));
+                            HandleFetch(body.substr(0, space), index));
+      if (ctx.valid()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = trace_buffers_.find(ctx.id.ToHex());
+        if (it != trace_buffers_.end() && !it->second.empty()) {
+          it->second.back().attrs.emplace_back("chunk",
+                                               static_cast<double>(index));
+        }
+        if (!chunk.has_more) {
+          // Final chunk of a traced query: piggyback this site's buffered
+          // spans behind a length-framed payload. The buffer stays — a
+          // retried final FETCH re-ships it and the coordinator dedups.
+          return "!" + std::to_string(chunk.payload.size()) + " " +
+                 chunk.payload + TraceBufferLocked(ctx);
+        }
+      }
       return (chunk.has_more ? ">" : ".") + chunk.payload;
     }
     case MessageKind::kDataset:
-      return HandleDatasetDownload(request);
+      return HandleDatasetDownload(body);
   }
   return Status::InvalidArgument("unknown message kind");
 }
@@ -381,6 +490,115 @@ CircuitBreaker::State Coordinator::BreakerState(
                                : it->second.state();
 }
 
+void Coordinator::BeginTrace(const obs::TraceId& id) {
+  if (!id.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = std::make_unique<ActiveTrace>();
+  trace_->id = id;
+  obs::DistSpan root;
+  root.id = trace_->next_span++;
+  root.name = "fed:query";
+  root.start_us = transport_.clock().now_us();
+  trace_->root = root.id;
+  trace_->parent = root.id;
+  trace_->spans.push_back(std::move(root));
+}
+
+bool Coordinator::tracing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_ != nullptr;
+}
+
+obs::DistTrace Coordinator::FinishTrace(const std::string& reason) {
+  std::unique_ptr<ActiveTrace> trace;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trace = std::move(trace_);
+  }
+  if (trace == nullptr) return obs::DistTrace{};
+  uint64_t now = transport_.clock().now_us();
+  for (obs::DistSpan& span : trace->spans) {
+    if (span.origin.empty() && span.id == trace->root) {
+      span.duration_us = now - span.start_us;
+      break;
+    }
+  }
+  obs::DistTrace out = obs::StitchTrace(trace->id, std::move(trace->spans));
+  out.reason = reason;
+  return out;
+}
+
+obs::DistSpan* Coordinator::TraceFindLocked(uint64_t span) {
+  if (trace_ == nullptr || span == 0) return nullptr;
+  for (auto it = trace_->spans.rbegin(); it != trace_->spans.rend(); ++it) {
+    if (it->origin.empty() && it->id == span) return &*it;
+  }
+  return nullptr;
+}
+
+uint64_t Coordinator::TraceEmit(const std::string& name,
+                                const std::string& segment, uint64_t start_us,
+                                uint64_t duration_us, uint64_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr) return 0;
+  obs::DistSpan span;
+  span.id = trace_->next_span++;
+  span.parent = parent != 0 ? parent : trace_->parent;
+  span.name = name;
+  span.segment = segment;
+  span.start_us = start_us;
+  span.duration_us = duration_us;
+  trace_->spans.push_back(std::move(span));
+  return trace_->spans.back().id;
+}
+
+void Coordinator::TraceClose(uint64_t span, uint64_t end_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::DistSpan* s = TraceFindLocked(span);
+  if (s != nullptr && end_us > s->start_us) {
+    s->duration_us = end_us - s->start_us;
+  }
+}
+
+void Coordinator::TraceAnnotate(uint64_t span, const std::string& key,
+                                double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::DistSpan* s = TraceFindLocked(span);
+  if (s != nullptr) s->attrs.emplace_back(key, value);
+}
+
+uint64_t Coordinator::TraceExchangeParent(uint64_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr) return 0;
+  uint64_t prev = trace_->parent;
+  trace_->parent = parent != 0 ? parent : trace_->root;
+  return prev;
+}
+
+std::string Coordinator::TraceHeaderFor(uint64_t span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr || span == 0) return "";
+  obs::TraceContext ctx;
+  ctx.id = trace_->id;
+  ctx.parent_span = span;
+  return std::string(kTraceHeaderPrefix) + obs::EncodeTraceContext(ctx) +
+         "\n";
+}
+
+void Coordinator::TraceAbsorbRemote(std::string_view text) {
+  if (text.empty()) return;
+  std::vector<obs::DistSpan> spans = obs::DecodeDistSpans(text);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr) return;
+  for (obs::DistSpan& span : spans) {
+    // Never absorb a coordinator-origin claim from the wire: remote spans
+    // carry their site name, and a corrupted line must not be able to
+    // forge entries in the coordinator's own id namespace.
+    if (span.origin.empty()) continue;
+    trace_->spans.push_back(std::move(span));
+  }
+}
+
 void Coordinator::PublishBreakerGauge(const std::string& site,
                                       CircuitBreaker::State state) {
   obs::Gauge* gauge;
@@ -475,11 +693,29 @@ Result<std::string> Coordinator::Call(const std::string& site,
     }
     PublishBreakerGauge(site, breaker_state);
     if (!allowed) {
+      uint64_t fast_fail =
+          TraceEmit("breaker:fastfail@" + site, "breaker.fastfail", now, 0);
+      if (fast_fail != 0) {
+        TraceAnnotate(fast_fail, "attempt", attempt);
+      }
       return Status::Unavailable("circuit open for site " + site +
                                  " (fast fail)");
     }
 
-    AttemptOutcome first = transport_.Attempt(site, kind, request);
+    // When a trace is active, this attempt opens its own rpc span and the
+    // request crosses the wire with a "@trace" header parented under it,
+    // so the remote site's spans stitch in below this exact attempt.
+    uint64_t rpc_span = TraceEmit(
+        "rpc:" + std::string(MessageKindName(kind)) + "@" + site,
+        WireSegment(kind), now, 0);
+    std::string traced_request = TraceHeaderFor(rpc_span);
+    const std::string* wire_request = &request;
+    if (!traced_request.empty()) {
+      traced_request += request;
+      wire_request = &traced_request;
+    }
+
+    AttemptOutcome first = transport_.Attempt(site, kind, *wire_request);
     AttemptOutcome hedge;
     AttemptOutcome* winner = &first;
     uint64_t completion = first.latency_us;
@@ -492,10 +728,20 @@ Result<std::string> Coordinator::Call(const std::string& site,
     // observed p95, race a speculative duplicate and keep the earlier
     // arrival; the loser's bytes are wasted-but-accounted wire traffic.
     uint64_t hedge_delay = 0;
+    uint64_t hedge_span = 0;
     if (kind == MessageKind::kFetch && policies_.hedge.enabled &&
         HedgeDelayFor(site, &hedge_delay) && completion > hedge_delay &&
         hedge_delay < rp.deadline_us) {
-      hedge = transport_.Attempt(site, kind, request);
+      hedge_span = TraceEmit(
+          "rpc:" + std::string(MessageKindName(kind)) + ":hedge@" + site, "",
+          now + hedge_delay, 0);
+      std::string hedge_request = TraceHeaderFor(hedge_span);
+      if (!hedge_request.empty()) {
+        hedge_request += request;
+        hedge = transport_.Attempt(site, kind, hedge_request);
+      } else {
+        hedge = transport_.Attempt(site, kind, request);
+      }
       ++requests;
       sent += hedge.bytes_sent;
       {
@@ -526,6 +772,55 @@ Result<std::string> Coordinator::Call(const std::string& site,
     bool timed_out = completion > rp.deadline_us;
     uint64_t elapsed = std::min<uint64_t>(completion, rp.deadline_us);
     transport_.clock().Advance(elapsed);
+
+    if (rpc_span != 0) {
+      // Close the attempt's spans over the race window [now, now+elapsed].
+      // The winner keeps its wire.* segment (it IS the critical path); the
+      // hedge loser becomes a wasted detail span with no segment so the
+      // sweep never double-counts the overlap, its true latency kept as an
+      // attribute.
+      bool first_won = winner == &first;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (obs::DistSpan* s = TraceFindLocked(rpc_span)) {
+        s->duration_us = elapsed;
+        s->attrs.emplace_back("attempt", static_cast<double>(attempt));
+        s->attrs.emplace_back("bytes_sent",
+                              static_cast<double>(first.bytes_sent));
+        s->attrs.emplace_back("bytes_received",
+                              static_cast<double>(first.bytes_received));
+        if (hedge_span != 0) {
+          s->attrs.emplace_back("hedged", 1);
+          if (!first_won) {
+            s->wasted = true;
+            s->segment.clear();
+            s->attrs.emplace_back(
+                "loser_latency_us",
+                first.latency_us == AttemptOutcome::kNeverUs
+                    ? 0.0
+                    : static_cast<double>(first.latency_us));
+          }
+        }
+        if (timed_out && first_won) s->attrs.emplace_back("timeout", 1);
+      }
+      if (obs::DistSpan* s = TraceFindLocked(hedge_span)) {
+        s->duration_us = elapsed > hedge_delay ? elapsed - hedge_delay : 0;
+        s->attrs.emplace_back("hedged", 1);
+        s->attrs.emplace_back("bytes_received",
+                              static_cast<double>(hedge.bytes_received));
+        if (first_won) {
+          s->wasted = true;
+          s->attrs.emplace_back(
+              "loser_latency_us",
+              hedge.latency_us == AttemptOutcome::kNeverUs
+                  ? 0.0
+                  : static_cast<double>(hedge.latency_us));
+        } else {
+          s->segment = WireSegment(kind);
+          if (timed_out) s->attrs.emplace_back("timeout", 1);
+        }
+      }
+    }
+
     bool delivered = winner->status.ok() && !timed_out;
     if (delivered) {
       received += winner->bytes_received;
@@ -598,7 +893,14 @@ Result<std::string> Coordinator::Call(const std::string& site,
         ++fed_stats_.retries;
       }
       retries_total->Add();
-      transport_.clock().Advance(BackoffUs(attempt));
+      uint64_t backoff = BackoffUs(attempt);
+      uint64_t backoff_span =
+          TraceEmit("wait:backoff@" + site, "wait.backoff",
+                    transport_.clock().now_us(), backoff);
+      if (backoff_span != 0) {
+        TraceAnnotate(backoff_span, "attempt", attempt);
+      }
+      transport_.clock().Advance(backoff);
     }
   }
   return Status(last.code(),
@@ -658,6 +960,7 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
   FederatedNode* node = FindNode(node_name);
   if (node == nullptr) return Status::NotFound("unknown node " + node_name);
   HopScope hop("site:" + node_name, this);
+  TraceSiteScope trace_scope(this, node_name);
 
   // COMPILE round-trip: the query text travels once, the estimate returns.
   GDMS_ASSIGN_OR_RETURN(CompileInfo compile,
@@ -685,8 +988,23 @@ Result<std::map<std::string, gdm::Dataset>> Coordinator::RunRemote(
         std::string chunk,
         Call(node_name, MessageKind::kFetch,
              query_id + " " + std::to_string(index)));
-    if (chunk.empty() || (chunk[0] != '>' && chunk[0] != '.')) {
+    if (chunk.empty() ||
+        (chunk[0] != '>' && chunk[0] != '.' && chunk[0] != '!')) {
       return Status::DataCorruption("malformed FETCH chunk marker");
+    }
+    if (chunk[0] == '!') {
+      // Final chunk of a traced query: "!<len> <payload><remote spans>".
+      size_t space = chunk.find(' ');
+      if (space == std::string::npos) {
+        return Status::DataCorruption("malformed traced FETCH framing");
+      }
+      uint64_t len = std::strtoull(chunk.c_str() + 1, nullptr, 10);
+      if (space + 1 + len > chunk.size()) {
+        return Status::DataCorruption("truncated traced FETCH chunk");
+      }
+      payload.append(chunk, space + 1, len);
+      TraceAbsorbRemote(std::string_view(chunk).substr(space + 1 + len));
+      break;
     }
     payload.append(chunk, 1, std::string::npos);
     if (chunk[0] == '.') break;

@@ -2,6 +2,7 @@
 #define GDMS_REPO_FEDERATION_H_
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/runner.h"
+#include "obs/dtrace.h"
 #include "repo/catalog.h"
 #include "repo/estimator.h"
 #include "repo/transport.h"
@@ -137,6 +139,15 @@ class FederatedNode {
   void ReleaseStaged(const std::string& query_id);
 
  private:
+  /// Mints a remote span for one handled traced message and buffers it for
+  /// piggyback shipping on the final FETCH chunk. Span ids come from this
+  /// node's own counter — unique only within the (origin = node name)
+  /// namespace; the coordinator's stitcher keys on the pair. Caller holds
+  /// mu_. Returns the span id.
+  uint64_t TraceRemoteSpanLocked(MessageKind kind,
+                                 const obs::TraceContext& ctx);
+  /// The buffered spans of one trace, serialized. Caller holds mu_.
+  std::string TraceBufferLocked(const obs::TraceContext& ctx) const;
   /// Pushes the current staging occupancy into this node's labeled
   /// registry gauges (gdms_fed_staged_bytes{node="..."} /
   /// gdms_fed_staged_results{node="..."}). Caller holds mu_.
@@ -147,10 +158,19 @@ class FederatedNode {
   Catalog catalog_;
   size_t chunk_bytes_ = 1 << 20;
   uint64_t max_staged_bytes_ = 0;
-  mutable std::mutex mu_;  ///< guards staged_, tokens_, next_query_
+  /// Guards staged_, tokens_, next_query_, and the trace state below.
+  mutable std::mutex mu_;
   std::map<std::string, std::string> staged_;  // query id -> serialized result
   std::map<std::string, std::string> tokens_;  // execution token -> query id
   uint64_t next_query_ = 1;
+  /// Per-trace buffered remote spans awaiting piggyback shipment, keyed by
+  /// trace id hex; FIFO-bounded so abandoned traces (coordinator gave up
+  /// mid-query) cannot grow the map forever. Buffers are kept after
+  /// shipping — a retried final FETCH re-ships, and the coordinator dedups
+  /// by (origin, id).
+  std::map<std::string, std::vector<obs::DistSpan>> trace_buffers_;
+  std::deque<std::string> trace_buffer_order_;
+  uint64_t next_span_ = 1;  ///< remote span ids, unique within this origin
   /// Live per-node staging gauges; registry-owned, fetched once.
   obs::Gauge* staged_bytes_gauge_ = nullptr;
   obs::Gauge* staged_results_gauge_ = nullptr;
@@ -235,6 +255,33 @@ class Coordinator {
   /// Current breaker state for a site (kClosed when never used).
   CircuitBreaker::State BreakerState(const std::string& site) const;
 
+  // -- distributed tracing (opt-in; see obs/dtrace.h) --
+  //
+  // BeginTrace opens a root "fed:query" span at the current virtual time
+  // and switches Call() into traced mode: every attempt carries a
+  // "@trace" wire header, opens a coordinator-side rpc/backoff/hedge span
+  // in SimClock microseconds, and remote spans come back piggybacked on
+  // the final FETCH chunk. FinishTrace closes the root and returns the
+  // stitched trace. One traced query at a time per coordinator — the
+  // traced drivers (gdms_shell .fed, the tests) are single-threaded; a
+  // second BeginTrace before FinishTrace replaces the active trace.
+
+  void BeginTrace(const obs::TraceId& id);
+  bool tracing() const;
+  obs::DistTrace FinishTrace(const std::string& reason = "");
+
+  /// Span plumbing for the in-file trace scopes; every call is a no-op
+  /// (returning 0) when no trace is active. `parent` 0 means "the current
+  /// parent"; TraceClose back-fills the duration of an open span;
+  /// TraceExchangeParent scopes subsequent spans under `parent` and
+  /// returns the previous parent for restoration.
+  uint64_t TraceEmit(const std::string& name, const std::string& segment,
+                     uint64_t start_us, uint64_t duration_us,
+                     uint64_t parent = 0);
+  void TraceClose(uint64_t span, uint64_t end_us);
+  void TraceAnnotate(uint64_t span, const std::string& key, double value);
+  uint64_t TraceExchangeParent(uint64_t parent);
+
   /// Snapshots taken under the coordinator lock: safe to read while
   /// concurrent queries are in flight (returned by value — never a
   /// reference into mutating state).
@@ -263,6 +310,24 @@ class Coordinator {
   Result<CompileInfo> CompileRemote(const std::string& site,
                                     const std::string& gmql);
 
+  /// The active trace: the coordinator's own spans plus absorbed remote
+  /// ones, all in SimClock microseconds. Guarded by mu_.
+  struct ActiveTrace {
+    obs::TraceId id;
+    uint64_t next_span = 1;
+    uint64_t root = 0;
+    uint64_t parent = 0;  ///< parent for newly opened spans
+    std::vector<obs::DistSpan> spans;
+  };
+
+  /// Caller holds mu_; nullptr-safe lookup of an own-origin span by id.
+  obs::DistSpan* TraceFindLocked(uint64_t span);
+  /// "@trace <ctx>\n" for a traced attempt parented under `span`, or ""
+  /// when untraced. Locks internally.
+  std::string TraceHeaderFor(uint64_t span);
+  /// Decodes and absorbs piggybacked remote spans. Locks internally.
+  void TraceAbsorbRemote(std::string_view text);
+
   SimTransport transport_;
   FedPolicies policies_;
   /// Guards every mutable member below: concurrent RunRemote /
@@ -281,6 +346,7 @@ class Coordinator {
   /// Atomic so RunRemote can mint idempotency tokens without the lock.
   std::atomic<uint64_t> next_token_{1};
   uint64_t coordinator_id_ = 0;  ///< makes execution tokens process-unique
+  std::unique_ptr<ActiveTrace> trace_;  ///< null = untraced; guarded by mu_
 };
 
 }  // namespace gdms::repo

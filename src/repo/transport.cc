@@ -97,6 +97,26 @@ std::string EncodeReply(const Result<std::string>& reply) {
          reply.status().message();
 }
 
+obs::TraceContext StripTraceHeader(const std::string& request,
+                                   std::string* body) {
+  obs::TraceContext ctx;
+  constexpr size_t kPrefixLen = sizeof(kTraceHeaderPrefix) - 1;
+  if (request.compare(0, kPrefixLen, kTraceHeaderPrefix) != 0) {
+    *body = request;
+    return ctx;
+  }
+  size_t eol = request.find('\n');
+  if (eol == std::string::npos) {
+    *body = request;
+    return ctx;
+  }
+  std::string_view header(request);
+  header = header.substr(kPrefixLen, eol - kPrefixLen);
+  if (!obs::DecodeTraceContext(header, &ctx)) ctx = obs::TraceContext{};
+  *body = request.substr(eol + 1);
+  return ctx;
+}
+
 Result<std::string> DecodeReply(const std::string& body) {
   if (body.empty()) return Status::DataCorruption("empty reply body");
   if (body[0] == '+') return body.substr(1);
@@ -153,12 +173,31 @@ AttemptOutcome SimTransport::Attempt(const std::string& site,
     profile = it->second.profile;
     message = it->second.messages++;
   }
+  uint64_t now = clock_.now_us();
+
+  // Stamp a traced request's arrival time: the remote site opens its spans
+  // at the instant the message lands, i.e. one nominal one-way latency
+  // after send (stall/bandwidth delay is attributed to the wire span on
+  // the coordinator side, not to the remote clock).
+  const std::string* dispatched = &request;
+  std::string patched;
+  constexpr size_t kPrefixLen = sizeof(kTraceHeaderPrefix) - 1;
+  if (request.compare(0, kPrefixLen, kTraceHeaderPrefix) == 0) {
+    std::string rest;
+    obs::TraceContext ctx = StripTraceHeader(request, &rest);
+    if (ctx.valid()) {
+      ctx.arrival_us = now + profile.latency_us / 2;
+      patched = kTraceHeaderPrefix + obs::EncodeTraceContext(ctx) + "\n" +
+                rest;
+      dispatched = &patched;
+    }
+  }
+
   // Request wire image: KIND + space + enveloped body.
   out.bytes_sent =
       std::strlen(MessageKindName(kind)) + 1 + kEnvelopeOverhead +
-      request.size();
+      dispatched->size();
 
-  uint64_t now = clock_.now_us();
   bool in_down_window = profile.down_until_us > profile.down_from_us &&
                         now >= profile.down_from_us &&
                         now < profile.down_until_us;
@@ -184,7 +223,7 @@ AttemptOutcome SimTransport::Attempt(const std::string& site,
     return out;
   }
 
-  std::string body = EncodeReply(node->HandleMessage(kind, request));
+  std::string body = EncodeReply(node->HandleMessage(kind, *dispatched));
 
   if (faultable && roll_drop < profile.drop_rate) {
     out.status = Status::DeadlineExceeded("response from " + site +

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "obs/dtrace.h"
 
 namespace gdms::repo {
 
@@ -83,6 +84,21 @@ Result<std::string> DecodeEnvelope(const std::string& wire);
 /// errors travel back across the (faulty) wire like any other payload.
 std::string EncodeReply(const Result<std::string>& reply);
 Result<std::string> DecodeReply(const std::string& body);
+
+/// Opt-in trace propagation. A tracing coordinator prefixes the request
+/// body with one header line — "@trace <EncodeTraceContext>\n" — and the
+/// transport stamps the context's arrival_us with the virtual delivery
+/// time before dispatch, so remote spans open at the instant the message
+/// lands at the site. Untraced requests carry no header and stay
+/// byte-identical to pre-tracing wire images (bench_e8's exact makespan
+/// baselines depend on that).
+inline constexpr char kTraceHeaderPrefix[] = "@trace ";
+
+/// Splits a leading trace header off `request`: *body receives the payload
+/// without the header (the whole request when no header is present) and the
+/// decoded context is returned — invalid when absent or malformed.
+obs::TraceContext StripTraceHeader(const std::string& request,
+                                   std::string* body);
 
 /// Virtual time, in microseconds, shared by one coordinator's links.
 class SimClock {

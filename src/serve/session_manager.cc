@@ -55,6 +55,15 @@ struct ServeMetrics {
   }
 };
 
+/// Whitespace is structural in the span list/wire formats, and serve span
+/// names derived from operator names ("MATERIALIZE OUT") can carry spaces.
+std::string SpanName(std::string name) {
+  for (char& c : name) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  return name;
+}
+
 /// Collects the kSource names a program reads, in first-use order. Walks
 /// children and fused stages so fused chains don't hide their inputs.
 void CollectSources(const core::PlanNode::Ptr& node,
@@ -158,6 +167,10 @@ Result<uint64_t> SessionManager::Submit(std::string gmql, ResponseFn done,
   job->gmql = std::move(gmql);
   job->done = std::move(done);
   job->submitted = Clock::now();
+  // Trace identity is minted at admission, from the query id, so traced
+  // runs replay with identical ids and the queue wait is already inside
+  // the trace window.
+  job->trace.id = obs::MintTraceId(job->id, 0x73657276ull);
   double effective = deadline_ms < 0 ? options_.default_deadline_ms : deadline_ms;
   if (effective > 0) {
     job->has_deadline = true;
@@ -181,6 +194,49 @@ void SessionManager::RunJob(Job* job) {
   resp.queue_ms = MsSince(job->submitted, dequeued);
   m.queue_wait_us->Record(static_cast<uint64_t>(resp.queue_ms * 1000.0));
 
+  // Serve-path trace assembly: spans in wall microseconds since admission,
+  // stitched into one DistTrace when the job finishes (or is shed). The
+  // same builder runs for every admitted query; retention is tail-based.
+  std::vector<obs::DistSpan> tspans;
+  uint64_t tnext = 1;
+  auto temit = [&](std::string name, std::string segment, uint64_t start_us,
+                   uint64_t duration_us, uint64_t parent) {
+    obs::DistSpan s;
+    s.id = tnext++;
+    s.parent = parent;
+    s.name = std::move(name);
+    s.segment = std::move(segment);
+    s.start_us = start_us;
+    s.duration_us = duration_us;
+    tspans.push_back(std::move(s));
+    return tspans.back().id;
+  };
+  const uint64_t queue_us = static_cast<uint64_t>(resp.queue_ms * 1000.0);
+  const uint64_t troot = temit("serve:query", "", 0, 0, 0);
+  tspans.back().attrs.emplace_back("query", static_cast<double>(job->id));
+  temit("serve:queue", "admit.queue", 0, queue_us, troot);
+  // Closes the root at total_ms, stitches, records critical-path metrics,
+  // and retains the exemplar when the tail-based criteria fire.
+  auto finish_trace = [&](const char* forced_reason) {
+    // Spans with id == troot are at a fixed index, but find defensively.
+    uint64_t total_us = static_cast<uint64_t>(resp.total_ms * 1000.0);
+    for (obs::DistSpan& s : tspans) {
+      if (s.id == troot) s.duration_us = std::max(s.duration_us, total_us);
+    }
+    std::string reason = forced_reason;
+    if (reason.empty() && !resp.status.ok()) reason = "error";
+    if (reason.empty() && options_.trace_slow_ms > 0 &&
+        resp.total_ms >= options_.trace_slow_ms) {
+      reason = "slow";
+    }
+    obs::DistTrace trace = obs::StitchTrace(job->trace.id, std::move(tspans));
+    trace.reason = reason;
+    auto shared = std::make_shared<const obs::DistTrace>(std::move(trace));
+    obs::RecordCriticalPathMetrics(obs::CriticalPath(*shared));
+    if (!shared->reason.empty()) obs::TraceExemplars::Global().Keep(shared);
+    resp.trace = shared;
+  };
+
   // Expired while queued: shed without executing.
   if (job->has_deadline && dequeued >= job->deadline) {
     resp.status = Status::DeadlineExceeded(
@@ -192,6 +248,9 @@ void SessionManager::RunJob(Job* job) {
     m.deadline_exceeded->Add();
     m.failed->Add();
     m.latency_us->Record(static_cast<uint64_t>(resp.total_ms * 1000.0));
+    // Even a query that never executed leaves a (minimal) trace: the root
+    // plus the queue-wait span, so shed storms are attributable.
+    finish_trace("shed");
     job->done(resp);
     TryQuiesceShed();
     return;
@@ -206,9 +265,16 @@ void SessionManager::RunJob(Job* job) {
     WorkerContext* ctx = AcquireContext();
     resp.worker = ctx->id;
 
+    Clock::time_point plan0 = Clock::now();
     Result<PlanCache::Lookup> lookup_or = plan_cache_.GetOrPrepare(
         job->gmql, [this](const std::string& text) { return Prepare(text); });
+    Clock::time_point plan1 = Clock::now();
+    const uint64_t plan_off =
+        static_cast<uint64_t>(MsSince(job->submitted, plan0) * 1000.0);
+    const uint64_t plan_dur =
+        static_cast<uint64_t>(MsSince(plan0, plan1) * 1000.0);
     if (!lookup_or.ok()) {
+      temit("serve:plan:error", "plan.prepare", plan_off, plan_dur, troot);
       resp.status = lookup_or.status();
     } else {
       const PlanCache::Lookup& lookup = lookup_or.value();
@@ -218,6 +284,8 @@ void SessionManager::RunJob(Job* job) {
         case PlanCache::Outcome::kRebind: resp.plan_cache = "rebind"; break;
         case PlanCache::Outcome::kMiss: resp.plan_cache = "miss"; break;
       }
+      temit(std::string("serve:plan:") + resp.plan_cache, "plan.prepare",
+            plan_off, plan_dur, troot);
 
       // Pin every source snapshot up front; the version key is built from
       // exactly these pins, so a cached entry always matches the bytes the
@@ -236,10 +304,15 @@ void SessionManager::RunJob(Job* job) {
 
       bool cache_results = options_.result_cache_bytes > 0;
       if (cache_results) {
+        Clock::time_point rc0 = Clock::now();
         if (ResultCache::Results cached = result_cache_.Get(key)) {
           resp.results = std::move(cached);
           resp.result_cache_hit = true;
           resp.status = Status::OK();
+          temit("serve:result_cache", "result.cache",
+                static_cast<uint64_t>(MsSince(job->submitted, rc0) * 1000.0),
+                static_cast<uint64_t>(MsSince(rc0, Clock::now()) * 1000.0),
+                troot);
         }
       }
       if (resp.results == nullptr) {
@@ -251,12 +324,60 @@ void SessionManager::RunJob(Job* job) {
               return catalog_->Resolve(name).data;
             });
         Clock::time_point t0 = Clock::now();
+        const uint64_t exec_off =
+            static_cast<uint64_t>(MsSince(job->submitted, t0) * 1000.0);
+        const uint64_t texec = temit("serve:exec", "engine", exec_off, 0, troot);
+        // Thread the trace into the runner for exactly this program: the
+        // engine's wall profile (when the tracer is on) gets rebased under
+        // the exec span below, and RunStats carries the trace id into the
+        // query log.
+        const core::ExecOptions worker_opts = ctx->runner->exec_options();
+        core::ExecOptions traced_opts = worker_opts;
+        traced_opts.trace = job->trace;
+        traced_opts.trace.parent_span = texec;
+        ctx->runner->set_exec_options(traced_opts);
         Result<std::map<std::string, gdm::Dataset>> run =
             ctx->runner->RunProgram(*prepared.program);
+        ctx->runner->set_exec_options(worker_opts);
         resp.exec_ms = MsSince(t0, Clock::now());
         m.exec_us->Record(static_cast<uint64_t>(resp.exec_ms * 1000.0));
         resp.stats = ctx->runner->last_stats();
         ctx->runner->set_source_provider(nullptr);
+        // temit never erases, so span id N sits at index N - 1.
+        tspans[texec - 1].duration_us =
+            static_cast<uint64_t>(resp.exec_ms * 1000.0);
+        // Rebase the engine's operator spans (wall profile) under the exec
+        // span. Parents start before their children, so a start-ordered
+        // sweep resolves every parent link in one pass; bounded so a huge
+        // plan can't bloat the exemplar ring.
+        if (resp.stats.profile != nullptr &&
+            !resp.stats.profile->roots().empty()) {
+          const obs::Profile& prof = *resp.stats.profile;
+          int64_t anchor = prof.nodes()[prof.roots()[0]].rec->start_ns;
+          std::vector<const obs::SpanRecord*> ops;
+          for (const obs::SpanRecord& rec : prof.spans()) {
+            if (rec.category == "operator") ops.push_back(&rec);
+          }
+          std::sort(ops.begin(), ops.end(),
+                    [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+                      return a->start_ns < b->start_ns;
+                    });
+          if (ops.size() > 64) ops.resize(64);
+          std::map<std::pair<uint64_t, uint64_t>, uint64_t> remap;
+          for (const obs::SpanRecord* rec : ops) {
+            uint64_t parent = texec;
+            auto it = remap.find({rec->origin, rec->parent});
+            if (it != remap.end()) parent = it->second;
+            int64_t off_ns = std::max<int64_t>(0, rec->start_ns - anchor);
+            uint64_t id = temit(
+                SpanName("op:" + rec->name), "",
+                exec_off + static_cast<uint64_t>(off_ns / 1000),
+                static_cast<uint64_t>(std::max<int64_t>(0, rec->duration_ns) /
+                                      1000),
+                parent);
+            remap[{rec->origin, rec->id}] = id;
+          }
+        }
         if (!run.ok()) {
           resp.status = run.status();
         } else {
@@ -276,6 +397,7 @@ void SessionManager::RunJob(Job* job) {
 
   resp.total_ms = MsSince(job->submitted, Clock::now());
   m.latency_us->Record(static_cast<uint64_t>(resp.total_ms * 1000.0));
+  finish_trace("");
   if (resp.status.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     m.completed->Add();

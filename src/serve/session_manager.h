@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/runner.h"
+#include "obs/dtrace.h"
 #include "serve/plan_cache.h"
 #include "serve/result_cache.h"
 #include "serve/serve_catalog.h"
@@ -44,6 +45,11 @@ struct ServeOptions {
   /// executed as-is (workers run with optimize/fusion off — both already
   /// happened — so shared plan nodes are never mutated).
   core::ExecOptions exec;
+  /// Tail-based trace retention threshold: a traced query whose total time
+  /// reaches this many milliseconds is kept in the exemplar ring
+  /// ("slow"); errors and queue-sheds are always kept. <= 0 disables the
+  /// slow criterion (errors/sheds are still retained).
+  double trace_slow_ms = 250.0;
 };
 
 /// Everything one finished (or refused) query reports back.
@@ -62,6 +68,12 @@ struct ServeResponse {
   const char* plan_cache = "";
   bool result_cache_hit = false;
   uint64_t worker = 0;
+  /// The query's serve-path trace: admission queue, plan cache, result
+  /// cache / engine spans in wall microseconds since admission, with the
+  /// critical-path extractable via obs::CriticalPath. Present for every
+  /// admitted query — including shed ones, whose minimal trace is the
+  /// root plus the queue-wait span. Null only for rejected submissions.
+  std::shared_ptr<const obs::DistTrace> trace;
 };
 
 /// \brief The server core: admission control + N concurrent sessions over
@@ -138,6 +150,9 @@ class SessionManager {
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    /// Minted at admission; every layer the query crosses hangs its spans
+    /// off this one identity.
+    obs::TraceContext trace;
   };
 
   void RunJob(Job* job);

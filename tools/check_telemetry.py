@@ -14,6 +14,14 @@ Checks two things CI cares about:
      non-decreasing, and (with --expect-slow / --expect-fed) at least one
      entry carries the embedded EXPLAIN ANALYZE escalation and at least one
      shows federation traffic.
+  3. Distributed tracing (--expect-trace): the exposition carries the
+     exemplar gauge and critical-path histograms, every registry metric
+     matches the gdms_<layer>_<name>[_unit][_total] naming scheme, and the
+     query log has traced entries whose critical-path segments sum to the
+     traced total. A stitched-trace JSON (--trace-json, from
+     `gdms_shell .trace <id> FILE`) is additionally checked structurally:
+     remote spans present, every parent link resolves to a span in the
+     same trace, and the critical path sums to within 5% of the root span.
 
 Exit code 0 when every check passes, 1 otherwise (each failure printed).
 """
@@ -38,6 +46,11 @@ REQUIRED_LOG_KEYS = [
 ]
 
 SAMPLE_RE = re.compile(r"^(\S+(?:\{[^}]*\})?)\s+(-?[0-9.eE+-]+|[+-]?(?:inf|nan))$")
+
+# Every registry metric: gdms_<layer>_<name>[_unit][_total] -- lowercase
+# alphanumeric words joined by single underscores, at least one word after
+# the layer. Summary sub-series (_sum/_count) inherit the shape.
+METRIC_NAME_RE = re.compile(r"^gdms_[a-z0-9]+(_[a-z0-9]+)+$")
 
 errors = []
 
@@ -107,11 +120,19 @@ def summary_series_base(name):
     return None
 
 
-def check_exposition(path, early_path, expect_fed, expect_mem, expect_shed):
+def check_exposition(
+    path, early_path, expect_fed, expect_mem, expect_shed, expect_trace
+):
     samples, types, units = parse_exposition(path)
     if not samples:
         fail(f"{path}: no samples scraped")
         return
+    for base in sorted(set(types) | {base_name(n) for n in samples}):
+        if not METRIC_NAME_RE.match(base):
+            fail(
+                f"{path}: metric {base} violates the "
+                f"gdms_<layer>_<name>[_unit][_total] naming scheme"
+            )
     for name, value in samples.items():
         base = base_name(name)
         # Summary sub-series (_sum/_count/quantile lines) inherit the TYPE
@@ -176,6 +197,15 @@ def check_exposition(path, early_path, expect_fed, expect_mem, expect_shed):
                 f"{path}: reclaimable bytes {reclaimable} exceed the "
                 f"budget {budget} after shedding"
             )
+    if expect_trace:
+        if samples.get("gdms_trace_exemplars_kept_total", 0) <= 0:
+            fail(f"{path}: no trace exemplars were retained")
+        if not any(
+            name.startswith("gdms_trace_exemplar_us{") for name in samples
+        ):
+            fail(f"{path}: no gdms_trace_exemplar_us samples (exemplar ring)")
+        if not any(base.startswith("gdms_trace_critical_") for base in types):
+            fail(f"{path}: no gdms_trace_critical_* segment histograms")
     if early_path:
         early_samples, _, _ = parse_exposition(early_path)
         for name, early_value in early_samples.items():
@@ -197,7 +227,53 @@ def check_exposition(path, early_path, expect_fed, expect_mem, expect_shed):
                 )
 
 
-def check_query_log(path, expect_slow, expect_fed):
+def check_trace_json(path):
+    """Structural checks on one stitched-trace JSON (RenderJson output)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: unreadable trace JSON: {e}")
+        return
+    tid = trace.get("trace_id", "")
+    if not re.fullmatch(r"[0-9a-f]{32}", tid):
+        fail(f"{path}: bad trace_id {tid!r}")
+    spans = trace.get("spans", [])
+    if not spans:
+        fail(f"{path}: trace has no spans")
+        return
+    ids = {(s.get("origin", ""), s.get("id")) for s in spans}
+    if len(ids) != len(spans):
+        fail(f"{path}: duplicate (origin, id) span identities")
+    roots = [s for s in spans if s.get("parent", 0) == 0]
+    if len(roots) != 1:
+        fail(f"{path}: expected exactly one root span, found {len(roots)}")
+    for s in spans:
+        if s.get("parent", 0) == 0:
+            continue
+        link = (s.get("parent_origin", ""), s.get("parent"))
+        if link not in ids:
+            fail(
+                f"{path}: span ({s.get('origin')!r}, {s.get('id')}) has an "
+                f"unresolved parent link {link}"
+            )
+    if not any(s.get("origin") for s in spans):
+        fail(f"{path}: no remote spans (every origin is the coordinator)")
+    total = trace.get("total_us", 0)
+    if roots and roots[0].get("duration_us") != total:
+        fail(
+            f"{path}: root duration {roots[0].get('duration_us')}us "
+            f"disagrees with total_us {total}"
+        )
+    path_sum = sum(seg.get("us", 0) for seg in trace.get("critical_path", []))
+    if total > 0 and abs(path_sum - total) > 0.05 * total:
+        fail(
+            f"{path}: critical-path segments sum to {path_sum}us, "
+            f"more than 5% off the {total}us total"
+        )
+
+
+def check_query_log(path, expect_slow, expect_fed, expect_trace):
     entries = []
     with open(path, encoding="utf-8") as f:
         for lineno, raw in enumerate(f, 1):
@@ -256,6 +332,32 @@ def check_query_log(path, expect_slow, expect_fed):
     if expect_fed:
         if not any(e.get("fed", {}).get("requests", 0) > 0 for e in entries):
             fail(f"{path}: no entry shows federation requests")
+    if expect_trace:
+        traced = [e for e in entries if e.get("trace_id")]
+        if not traced:
+            fail(f"{path}: no entry carries a trace_id")
+            return
+        with_path = [e for e in traced if e.get("critical_path")]
+        if not with_path:
+            fail(f"{path}: no traced entry carries a critical_path block")
+        for e in with_path:
+            for seg in e["critical_path"]:
+                if not {"segment", "us"} <= set(seg):
+                    fail(
+                        f"{path}: entry seq={e.get('seq')}: malformed "
+                        f"critical_path segment {seg!r}"
+                    )
+            if e.get("query", "").startswith(".fed "):
+                # Federation traces tick in SimClock virtual time; their
+                # wall_ms is unrelated by design.
+                continue
+            total = sum(seg.get("us", 0) for seg in e["critical_path"])
+            want = e.get("wall_ms", 0) * 1000.0
+            if want > 1000 and abs(total - want) > 0.05 * want:
+                fail(
+                    f"{path}: entry seq={e.get('seq')}: critical path sums "
+                    f"to {total}us but the query took {want:.0f}us"
+                )
 
 
 def main():
@@ -287,9 +389,24 @@ def main():
         help="require a configured budget, evictions, and reclaimable bytes "
         "at or under the budget",
     )
+    parser.add_argument(
+        "--expect-trace",
+        action="store_true",
+        help="require trace exemplars + critical-path histograms in the "
+        "exposition and traced query-log entries whose critical path sums "
+        "to the query total",
+    )
+    parser.add_argument(
+        "--trace-json",
+        help="stitched-trace JSON (gdms_shell `.trace <id> FILE`) to check "
+        "structurally: remote spans, resolved parent links, critical-path "
+        "sum within 5%% of the root",
+    )
     args = parser.parse_args()
-    if not args.expo and not args.query_log:
-        parser.error("nothing to check: pass --expo and/or --query-log")
+    if not args.expo and not args.query_log and not args.trace_json:
+        parser.error(
+            "nothing to check: pass --expo, --query-log and/or --trace-json"
+        )
     if args.expo:
         check_exposition(
             args.expo,
@@ -297,9 +414,15 @@ def main():
             args.expect_fed,
             args.expect_mem,
             args.expect_shed,
+            args.expect_trace,
         )
     if args.query_log:
-        check_query_log(args.query_log, args.expect_slow, args.expect_fed)
+        check_query_log(
+            args.query_log, args.expect_slow, args.expect_fed,
+            args.expect_trace,
+        )
+    if args.trace_json:
+        check_trace_json(args.trace_json)
     if errors:
         for message in errors:
             print(f"FAIL: {message}", file=sys.stderr)

@@ -64,6 +64,7 @@
 #include "io/gtf.h"
 #include "io/track_render.h"
 #include "io/vcf.h"
+#include "obs/dtrace.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -273,6 +274,8 @@ class ServeSession {
       opt.default_deadline_ms = config_.deadline_ms;
       opt.engine_threads = config_.engine_threads;
       opt.exec = config_.exec;
+      // Tail-based trace retention shares the query-log slow threshold.
+      opt.trace_slow_ms = config_.slow_ms;
       manager_ = std::make_unique<serve::SessionManager>(catalog_.get(), opt);
     }
     // Tracing stays on for the whole session: the query log needs profile
@@ -289,7 +292,9 @@ class ServeSession {
       if (!config_.expo_path.empty()) {
         std::string path = config_.expo_path;
         opt.on_tick = [path](uint64_t) {
-          obs::WriteExpositionFile(obs::MetricsRegistry::Global(), path);
+          obs::WriteExpositionFile(
+              obs::MetricsRegistry::Global(), path,
+              obs::TraceExemplars::Global().RenderExposition());
         };
       }
       sampler.Start(opt);
@@ -322,7 +327,8 @@ class ServeSession {
     if (config_.sample_ms > 0) sampler.SampleOnce();
     if (!config_.expo_path.empty()) {
       obs::WriteExpositionFile(obs::MetricsRegistry::Global(),
-                               config_.expo_path);
+                               config_.expo_path,
+                               obs::TraceExemplars::Global().RenderExposition());
     }
     std::printf("served %llu queries (%llu failed, %llu slow)\n",
                 static_cast<unsigned long long>(queries_),
@@ -349,6 +355,10 @@ class ServeSession {
           "  .bump NAME          republish a dataset (bump its version)\n"
           "  .fed <gmql>         run the query on an in-process 2-site "
           "federation\n"
+          "  .trace [ID [FILE]]  list retained traces; dump one (\"last\" or "
+          "a hex-id\n"
+          "                      prefix), or export it as Chrome JSON to "
+          "FILE\n"
           "  .repeat N <gmql>    run the query N times\n"
           "  .sleep MS           pause (lets the sampler tick)\n"
           "  .datasets           list registered datasets\n"
@@ -455,6 +465,41 @@ class ServeSession {
       }
       return true;
     }
+    if (cmd == ".trace") {
+      if (rest.empty()) {
+        std::fputs(obs::TraceExemplars::Global().RenderList().c_str(), stdout);
+        return true;
+      }
+      auto space2 = rest.find_first_of(" \t");
+      std::string id = rest.substr(0, space2);
+      std::string file(
+          space2 == std::string::npos ? "" : Trim(rest.substr(space2 + 1)));
+      std::shared_ptr<const obs::DistTrace> trace =
+          obs::TraceExemplars::Global().Find(id);
+      if (trace == nullptr) {
+        std::printf("error: no retained trace matches %s (.trace lists them)\n",
+                    id.c_str());
+        return true;
+      }
+      if (file.empty()) {
+        std::fputs(trace->RenderTree().c_str(), stdout);
+      } else {
+        std::ofstream out(file);
+        if (!out) {
+          std::printf("error: cannot write %s\n", file.c_str());
+          return true;
+        }
+        // A *.chrome.json target gets the chrome://tracing export (one lane
+        // per site); anything else gets the full stitched-trace JSON with
+        // span parent links and the critical path (what check_telemetry.py
+        // --trace-json validates).
+        bool chrome = EndsWith(file, ".chrome.json");
+        out << (chrome ? trace->RenderChromeTrace() : trace->RenderJson());
+        std::printf("wrote %s trace %s to %s\n", chrome ? "chrome" : "stitched",
+                    trace->id.ToHex().c_str(), file.c_str());
+      }
+      return true;
+    }
     std::printf("error: unknown command %s (try .help)\n", cmd.c_str());
     return true;
   }
@@ -539,6 +584,10 @@ class ServeSession {
     entry.queue_ms = resp.queue_ms;
     entry.plan_cache = resp.plan_cache;
     entry.result_cache_hit = resp.result_cache_hit;
+    if (resp.trace != nullptr) {
+      entry.trace_id = resp.trace->id.ToHex();
+      entry.critical_path = obs::CriticalPath(*resp.trace);
+    }
     if (entry.wall_ms >= config_.slow_ms) ++slow_;
     if (log_ != nullptr) log_->Record(entry);
     obs::Tracer::Global().Clear();
@@ -550,6 +599,12 @@ class ServeSession {
   void ExecFederated(const std::string& gmql) {
     EnsureFederation();
     repo::ProtocolCounters before = coordinator_->counters();
+    const repo::FedStats before_fed = coordinator_->fed_stats();
+    // Deterministic trace identity: the per-session .fed sequence number and
+    // the transport seed, so two runs with the same seed and query order
+    // mint identical trace ids and (virtual-time spans) identical traces.
+    coordinator_->BeginTrace(
+        obs::MintTraceId(++fed_trace_seq_, config_.fed_link.seed));
     auto start = std::chrono::steady_clock::now();
     auto results = coordinator_->RunEverywhere(gmql);
     double wall_ms = std::chrono::duration<double, std::milli>(
@@ -594,6 +649,35 @@ class ServeSession {
                   static_cast<unsigned long long>(queries_),
                   entry.error.c_str());
     }
+    // Tail-based retention: faulted (retry/hedge/timeout/breaker activity),
+    // partial, errored or slow federated queries keep their stitched trace
+    // in the exemplar ring; clean fast ones only contribute to the
+    // critical-path histograms.
+    const repo::FedStats& after_fed = coordinator_->fed_stats();
+    bool faulted = (after_fed.retries - before_fed.retries) +
+                       (after_fed.hedges - before_fed.hedges) +
+                       (after_fed.timeouts - before_fed.timeouts) +
+                       (after_fed.breaker_fast_fails -
+                        before_fed.breaker_fast_fails) >
+                   0;
+    bool partial = results.ok() && !results.value().complete();
+    std::string reason;
+    if (!results.ok()) {
+      reason = "error";
+    } else if (partial) {
+      reason = "partial";
+    } else if (faulted) {
+      reason = "faulted";
+    } else if (wall_ms >= config_.slow_ms) {
+      reason = "slow";
+    }
+    auto trace = std::make_shared<const obs::DistTrace>(
+        coordinator_->FinishTrace(reason));
+    std::vector<obs::PathSegment> critical = obs::CriticalPath(*trace);
+    obs::RecordCriticalPathMetrics(critical);
+    if (!reason.empty()) obs::TraceExemplars::Global().Keep(trace);
+    entry.trace_id = trace->id.ToHex();
+    entry.critical_path = std::move(critical);
     if (entry.wall_ms >= config_.slow_ms) ++slow_;
     if (log_ != nullptr) log_->Record(entry);
     obs::Tracer::Global().Clear();
@@ -635,6 +719,8 @@ class ServeSession {
   uint64_t queries_ = 0;
   uint64_t failed_ = 0;
   uint64_t slow_ = 0;
+  /// .fed queries issued — the deterministic half of each .fed trace id.
+  uint64_t fed_trace_seq_ = 0;
 };
 
 /// Parses "chr1:0-2000000".

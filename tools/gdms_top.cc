@@ -355,6 +355,47 @@ std::string RenderServePanel(const History& history) {
   return out;
 }
 
+/// One "key=\"value\"" extraction from a sample's label block.
+std::string LabelValue(const std::string& labels, const std::string& key) {
+  std::string needle = key + "=\"";
+  auto pos = labels.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  auto end = labels.find('"', pos);
+  return labels.substr(
+      pos, end == std::string::npos ? std::string::npos : end - pos);
+}
+
+/// The "slowest recent traces" panel: the gdms_trace_exemplar_us samples
+/// the serving shell appends from its trace exemplar ring — trace id,
+/// end-to-end time, why the trace was retained, and its top-2
+/// critical-path segments. Hidden until a trace has been retained.
+std::string RenderTracesPanel(const obs::ScrapedExposition& scrape) {
+  const std::string kPrefix = "gdms_trace_exemplar_us{";
+  std::vector<std::pair<int, std::string>> rows;
+  for (const auto& [name, value] : scrape.samples) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    std::string labels = name.substr(kPrefix.size());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  #%s %-18s %12.1f ms  %-8s %-22s %s",
+                  LabelValue(labels, "rank").c_str(),
+                  LabelValue(labels, "trace").c_str(), value / 1000.0,
+                  LabelValue(labels, "reason").c_str(),
+                  LabelValue(labels, "seg1").c_str(),
+                  LabelValue(labels, "seg2").c_str());
+    rows.push_back({std::atoi(LabelValue(labels, "rank").c_str()), buf});
+  }
+  if (rows.empty()) return "";
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  AppendLine(&out, "-- slowest recent traces %s", std::string(53, '-').c_str());
+  for (auto& [rank, line] : rows) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
 std::string RenderFrame(const History& history,
                         const obs::ScrapedExposition& scrape, uint64_t tick,
                         double uptime_s) {
@@ -381,13 +422,15 @@ std::string RenderFrame(const History& history,
   out += RenderServePanel(history);
   out += RenderMemoryPanel(history, scrape);
   out += RenderFederationPanel(history, scrape);
+  out += RenderTracesPanel(scrape);
   // Group every scraped sample under its layer. The serve/mem/storage/fed
-  // families are rendered by the dedicated panels above, not repeated here.
+  // families are rendered by the dedicated panels above, not repeated here
+  // (the exemplar gauge too — its ranked rows are the traces panel).
   std::map<std::string, std::vector<std::string>> layer_lines;
   for (const auto& [base, type] : scrape.types) {
     std::string layer = LayerOf(base);
     if (layer == "mem" || layer == "storage" || layer == "fed" ||
-        layer == "serve") {
+        layer == "serve" || base == "gdms_trace_exemplar_us") {
       continue;
     }
     std::string line;
